@@ -1,0 +1,71 @@
+//! Shared helpers for the baseline protocols.
+
+use scmp_sim::GroupId;
+use std::collections::BTreeMap;
+
+/// Subnet membership edge detector: the baselines need the same
+/// first-host-joined / last-host-left triggers IGMP gives SCMP's DRs,
+/// without the full query/report machinery.
+#[derive(Clone, Debug, Default)]
+pub struct LocalMembers {
+    counts: BTreeMap<GroupId, u32>,
+}
+
+impl LocalMembers {
+    /// Empty tracker.
+    pub fn new() -> Self {
+        LocalMembers::default()
+    }
+
+    /// A host joined; returns `true` when it is the subnet's first
+    /// member of the group.
+    pub fn join(&mut self, g: GroupId) -> bool {
+        let c = self.counts.entry(g).or_insert(0);
+        *c += 1;
+        *c == 1
+    }
+
+    /// A host left; returns `true` when it was the subnet's last member.
+    pub fn leave(&mut self, g: GroupId) -> bool {
+        match self.counts.get_mut(&g) {
+            Some(c) if *c > 0 => {
+                *c -= 1;
+                if *c == 0 {
+                    self.counts.remove(&g);
+                    true
+                } else {
+                    false
+                }
+            }
+            _ => false,
+        }
+    }
+
+    /// Does the subnet currently have members of `g`?
+    pub fn has(&self, g: GroupId) -> bool {
+        self.counts.get(&g).copied().unwrap_or(0) > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const G: GroupId = GroupId(4);
+
+    #[test]
+    fn edges() {
+        let mut m = LocalMembers::new();
+        assert!(m.join(G));
+        assert!(!m.join(G));
+        assert!(!m.leave(G));
+        assert!(m.leave(G));
+        assert!(!m.has(G));
+    }
+
+    #[test]
+    fn leave_without_join_is_noop() {
+        let mut m = LocalMembers::new();
+        assert!(!m.leave(G));
+    }
+}

@@ -1,0 +1,330 @@
+//! DVMRP — dense-mode reverse-path flood-and-prune (paper ref \[2\]).
+//!
+//! Data from a source is flooded over the whole domain by reverse-path
+//! forwarding: a router accepts a packet only when it arrives from the
+//! neighbour on its own shortest path back to the source, then copies it
+//! to every other neighbour. Routers with no members and no interested
+//! children send PRUNE(source, group) upstream; prune state expires
+//! after [`DvmrpConfig::prune_timeout`], causing the periodic
+//! re-flooding that dominates DVMRP's data overhead in Fig. 8. A host
+//! joining under a pruned branch triggers a GRAFT chain upstream.
+//!
+//! Prune state is refreshed *by data*: every packet reaching a
+//! disinterested leaf regenerates its prune, so protocol overhead falls
+//! as group size grows (fewer disinterested routers) — the §IV-B
+//! observation that DVMRP "shows a decrease when the group size
+//! increases".
+
+use crate::common::LocalMembers;
+use scmp_net::NodeId;
+use scmp_sim::{AppEvent, Ctx, GroupId, Packet, Router};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// DVMRP wire messages.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DvmrpMsg {
+    /// Flooded payload; RPF keyed on `source`.
+    Data { source: NodeId },
+    /// Prune (source, group) sent to the RPF upstream.
+    Prune { source: NodeId },
+    /// Graft (source, group) cancelling a previous prune.
+    Graft { source: NodeId },
+}
+
+/// DVMRP parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct DvmrpConfig {
+    /// Prune lifetime in ticks (standard DVMRP uses ~2 h; simulations
+    /// scale it to a few data periods so expiry-refloods appear within
+    /// the 30 s run, as they do in the paper's curves).
+    pub prune_timeout: u64,
+}
+
+impl Default for DvmrpConfig {
+    fn default() -> Self {
+        DvmrpConfig {
+            prune_timeout: 10_000,
+        }
+    }
+}
+
+/// The DVMRP router state machine.
+pub struct DvmrpRouter {
+    me: NodeId,
+    config: DvmrpConfig,
+    members: LocalMembers,
+    /// (group, source) -> child -> prune expiry time.
+    pruned: BTreeMap<(GroupId, NodeId), BTreeMap<NodeId, u64>>,
+    /// (group, source) pairs this router has itself pruned upstream.
+    sent_prune: BTreeSet<(GroupId, NodeId)>,
+    /// Sources seen per group (to know where to send GRAFTs on join).
+    sources_seen: BTreeMap<GroupId, BTreeSet<NodeId>>,
+}
+
+impl DvmrpRouter {
+    /// State machine for node `me`.
+    pub fn new(me: NodeId, config: DvmrpConfig) -> Self {
+        DvmrpRouter {
+            me,
+            config,
+            members: LocalMembers::new(),
+            pruned: BTreeMap::new(),
+            sent_prune: BTreeSet::new(),
+            sources_seen: BTreeMap::new(),
+        }
+    }
+
+    /// Is `child` currently pruned for `(group, source)` at time `now`?
+    fn child_pruned(&self, group: GroupId, source: NodeId, child: NodeId, now: u64) -> bool {
+        self.pruned
+            .get(&(group, source))
+            .and_then(|m| m.get(&child))
+            .is_some_and(|&expiry| expiry > now)
+    }
+
+    /// Test accessor: does this router hold live prune state from `child`?
+    pub fn has_prune_from(&self, group: GroupId, source: NodeId, child: NodeId, now: u64) -> bool {
+        self.child_pruned(group, source, child, now)
+    }
+
+    fn rpf_upstream(&self, source: NodeId, ctx: &Ctx<'_, DvmrpMsg>) -> Option<NodeId> {
+        ctx.routes().next_hop(self.me, source)
+    }
+
+    /// Forward a flooded packet: copy to every neighbour except the
+    /// arrival one and currently-pruned children; prune upstream if this
+    /// router turns out disinterested.
+    fn flood(
+        &mut self,
+        arrived_from: Option<NodeId>,
+        pkt: &Packet<DvmrpMsg>,
+        source: NodeId,
+        ctx: &mut Ctx<'_, DvmrpMsg>,
+    ) {
+        let now = ctx.now();
+        self.sources_seen.entry(pkt.group).or_default().insert(source);
+        if self.members.has(pkt.group) {
+            ctx.deliver_local(pkt);
+        }
+        let upstream = self.rpf_upstream(source, ctx);
+        let neighbors: Vec<NodeId> = ctx.topo().neighbors(self.me).iter().map(|e| e.to).collect();
+        let mut forwarded_any = false;
+        for n in neighbors {
+            if Some(n) == arrived_from || Some(n) == upstream {
+                continue;
+            }
+            if self.child_pruned(pkt.group, source, n, now) {
+                continue;
+            }
+            ctx.send(n, pkt.clone());
+            forwarded_any = true;
+        }
+        // Disinterested leaf: no members, nothing forwarded => prune.
+        if !forwarded_any && !self.members.has(pkt.group) {
+            if let Some(up) = upstream {
+                ctx.send(up, Packet::control(pkt.group, DvmrpMsg::Prune { source }));
+                self.sent_prune.insert((pkt.group, source));
+            }
+        }
+    }
+
+    fn handle_data(&mut self, from: NodeId, pkt: Packet<DvmrpMsg>, ctx: &mut Ctx<'_, DvmrpMsg>) {
+        let DvmrpMsg::Data { source } = pkt.body else {
+            unreachable!()
+        };
+        // RPF check: accept only from the shortest-path neighbour back to
+        // the source; everything else is a flood duplicate. On
+        // point-to-point links DVMRP answers a wrong-interface packet
+        // with a prune on that link, so the flood converges to the RPF
+        // tree until the prune expires.
+        if self.rpf_upstream(source, ctx) != Some(from) {
+            ctx.drop_packet();
+            ctx.send(from, Packet::control(pkt.group, DvmrpMsg::Prune { source }));
+            return;
+        }
+        self.flood(Some(from), &pkt, source, ctx);
+    }
+
+    fn handle_prune(&mut self, from: NodeId, group: GroupId, source: NodeId, ctx: &mut Ctx<'_, DvmrpMsg>) {
+        let expiry = ctx.now() + self.config.prune_timeout;
+        self.pruned.entry((group, source)).or_default().insert(from, expiry);
+    }
+
+    fn handle_graft(&mut self, from: NodeId, group: GroupId, source: NodeId, ctx: &mut Ctx<'_, DvmrpMsg>) {
+        if let Some(m) = self.pruned.get_mut(&(group, source)) {
+            m.remove(&from);
+        }
+        // If we had pruned ourselves, we are interested again: graft on.
+        if self.sent_prune.remove(&(group, source)) {
+            if let Some(up) = self.rpf_upstream(source, ctx) {
+                ctx.send(up, Packet::control(group, DvmrpMsg::Graft { source }));
+            }
+        }
+    }
+
+    fn handle_join(&mut self, group: GroupId, ctx: &mut Ctx<'_, DvmrpMsg>) {
+        if !self.members.join(group) {
+            return;
+        }
+        // Late join under pruned branches: graft toward every known
+        // source we pruned.
+        let sources: Vec<NodeId> = self
+            .sent_prune
+            .iter()
+            .filter(|(g, _)| *g == group)
+            .map(|&(_, s)| s)
+            .collect();
+        for source in sources {
+            self.sent_prune.remove(&(group, source));
+            if let Some(up) = self.rpf_upstream(source, ctx) {
+                ctx.send(up, Packet::control(group, DvmrpMsg::Graft { source }));
+            }
+        }
+    }
+
+    fn handle_send(&mut self, group: GroupId, tag: u64, ctx: &mut Ctx<'_, DvmrpMsg>) {
+        let source = self.me;
+        let pkt = Packet::data(group, tag, ctx.now(), DvmrpMsg::Data { source });
+        self.flood(None, &pkt, source, ctx);
+    }
+}
+
+impl Router for DvmrpRouter {
+    type Msg = DvmrpMsg;
+
+    fn on_packet(&mut self, from: NodeId, pkt: Packet<DvmrpMsg>, ctx: &mut Ctx<'_, DvmrpMsg>) {
+        match pkt.body {
+            DvmrpMsg::Data { .. } => self.handle_data(from, pkt, ctx),
+            DvmrpMsg::Prune { source } => self.handle_prune(from, pkt.group, source, ctx),
+            DvmrpMsg::Graft { source } => self.handle_graft(from, pkt.group, source, ctx),
+        }
+    }
+
+    fn on_app(&mut self, ev: AppEvent, ctx: &mut Ctx<'_, DvmrpMsg>) {
+        match ev {
+            AppEvent::Join(g) => self.handle_join(g, ctx),
+            AppEvent::Leave(g) => {
+                self.members.leave(g);
+                // Disinterest is signalled lazily: the next flooded
+                // packet triggers the prune (data-driven prune state).
+            }
+            AppEvent::Send { group, tag } => self.handle_send(group, tag, ctx),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scmp_net::topology::examples::fig5;
+    use scmp_sim::Engine;
+
+    const G: GroupId = GroupId(1);
+
+    fn engine(timeout: u64) -> Engine<DvmrpRouter> {
+        Engine::new(fig5(), move |me, _, _| {
+            DvmrpRouter::new(me, DvmrpConfig { prune_timeout: timeout })
+        })
+    }
+
+    #[test]
+    fn first_packet_floods_and_reaches_members() {
+        let mut e = engine(10_000);
+        e.schedule_app(0, NodeId(4), AppEvent::Join(G));
+        e.schedule_app(0, NodeId(5), AppEvent::Join(G));
+        e.schedule_app(1_000, NodeId(0), AppEvent::Send { group: G, tag: 1 });
+        e.run_to_quiescence();
+        assert_eq!(e.stats().delivery_count(G, 1, NodeId(4)), 1);
+        assert_eq!(e.stats().delivery_count(G, 1, NodeId(5)), 1);
+        assert!(!e.stats().has_duplicate_deliveries());
+        // Flooding pushed data over far more links than a tree would.
+        assert!(e.stats().data_hops >= 7, "hops {}", e.stats().data_hops);
+        // Disinterested leaves pruned.
+        assert!(e.stats().protocol_overhead > 0);
+    }
+
+    #[test]
+    fn prunes_suppress_second_flood() {
+        let mut e = engine(1_000_000);
+        e.schedule_app(0, NodeId(4), AppEvent::Join(G));
+        e.schedule_app(1_000, NodeId(0), AppEvent::Send { group: G, tag: 1 });
+        e.run_until(500_000);
+        let hops_after_first = e.stats().data_hops;
+        e.schedule_app(600_000, NodeId(0), AppEvent::Send { group: G, tag: 2 });
+        e.run_to_quiescence();
+        let second_flood = e.stats().data_hops - hops_after_first;
+        assert!(
+            second_flood < hops_after_first,
+            "second send used {second_flood} hops vs first {hops_after_first}"
+        );
+        assert_eq!(e.stats().delivery_count(G, 2, NodeId(4)), 1);
+    }
+
+    #[test]
+    fn prune_expiry_causes_reflood() {
+        let mut e = engine(2_000);
+        e.schedule_app(0, NodeId(4), AppEvent::Join(G));
+        e.schedule_app(1_000, NodeId(0), AppEvent::Send { group: G, tag: 1 });
+        e.run_until(100_000);
+        let first = e.stats().data_hops;
+        // Well past expiry: flood resumes at full breadth.
+        e.schedule_app(200_000, NodeId(0), AppEvent::Send { group: G, tag: 2 });
+        e.run_to_quiescence();
+        let second = e.stats().data_hops - first;
+        assert!(second >= first, "reflood {second} < first {first}");
+    }
+
+    #[test]
+    fn graft_unpunes_late_joiner() {
+        let mut e = engine(1_000_000);
+        e.schedule_app(0, NodeId(4), AppEvent::Join(G));
+        e.schedule_app(1_000, NodeId(0), AppEvent::Send { group: G, tag: 1 });
+        e.run_until(500_000);
+        // Node 5 (pruned region) joins; graft must reopen its branch.
+        e.schedule_app(500_000, NodeId(5), AppEvent::Join(G));
+        e.schedule_app(600_000, NodeId(0), AppEvent::Send { group: G, tag: 2 });
+        e.run_to_quiescence();
+        assert_eq!(e.stats().delivery_count(G, 2, NodeId(5)), 1, "grafted member");
+        assert_eq!(e.stats().delivery_count(G, 2, NodeId(4)), 1);
+    }
+
+    #[test]
+    fn rpf_drops_non_shortest_path_copies() {
+        let mut e = engine(1_000_000);
+        for v in 0..6u32 {
+            e.schedule_app(0, NodeId(v), AppEvent::Join(G));
+        }
+        e.schedule_app(1_000, NodeId(3), AppEvent::Send { group: G, tag: 1 });
+        e.run_to_quiescence();
+        // Everyone got exactly one copy despite cycles in fig5.
+        for v in 0..6u32 {
+            assert_eq!(e.stats().delivery_count(G, 1, NodeId(v)), 1, "node {v}");
+        }
+        assert!(!e.stats().has_duplicate_deliveries());
+        // And drops occurred (the duplicate flood copies).
+        assert!(e.stats().drops > 0);
+    }
+
+    #[test]
+    fn dense_groups_prune_less() {
+        // Protocol overhead with all members < with one member.
+        let mut sparse = engine(10_000);
+        sparse.schedule_app(0, NodeId(4), AppEvent::Join(G));
+        sparse.schedule_app(1_000, NodeId(0), AppEvent::Send { group: G, tag: 1 });
+        sparse.run_to_quiescence();
+
+        let mut dense = engine(10_000);
+        for v in 1..6u32 {
+            dense.schedule_app(0, NodeId(v), AppEvent::Join(G));
+        }
+        dense.schedule_app(1_000, NodeId(0), AppEvent::Send { group: G, tag: 1 });
+        dense.run_to_quiescence();
+
+        assert!(
+            dense.stats().protocol_overhead < sparse.stats().protocol_overhead,
+            "dense {} >= sparse {}",
+            dense.stats().protocol_overhead,
+            sparse.stats().protocol_overhead
+        );
+    }
+}

@@ -1,0 +1,37 @@
+//! # scmp-baselines — the paper's comparison protocols
+//!
+//! §IV-B implements SCMP "along with three existing protocols" on the
+//! simulator. This crate provides those three, each as a
+//! [`scmp_sim::Router`] state machine:
+//!
+//! * [`cbt`] — Core-Based Trees: hop-by-hop JOIN-REQUEST toward the
+//!   core, JOIN-ACK instantiating the bidirectional shared tree, QUIT
+//!   pruning, and unicast encapsulation for off-tree sources. As in the
+//!   paper, core selection is out of scope ("we did not simulate the
+//!   core selection process") and keepalive ECHO traffic is disabled.
+//! * [`dvmrp`] — Distance-Vector Multicast (dense mode): reverse-path
+//!   flooding of data, data-driven PRUNEs with a lifetime, GRAFTs on
+//!   late joins. Prune expiry causes the periodic re-flooding the paper
+//!   calls out as DVMRP's data-overhead problem.
+//! * [`mospf`] — Multicast OSPF: group-membership LSAs flooded
+//!   domain-wide on every membership change; data forwarded along
+//!   per-source shortest-path trees computed identically at every router
+//!   from the shared link-state/membership database.
+//! * [`pim_sm`] — PIM Sparse Mode: the other shared-tree protocol the
+//!   paper's introduction discusses; unidirectional RP tree with
+//!   Register-tunnelled sources (not in the paper's figures — provided
+//!   as an additional comparator, see the `extra_pimsm` experiment).
+//!
+//! All three share [`common::LocalMembers`] for subnet-membership edge
+//! detection, mirroring what IGMP gives the DRs.
+
+pub mod cbt;
+pub mod common;
+pub mod dvmrp;
+pub mod mospf;
+pub mod pim_sm;
+
+pub use cbt::{CbtConfig, CbtMsg, CbtRouter};
+pub use dvmrp::{DvmrpConfig, DvmrpMsg, DvmrpRouter};
+pub use mospf::{MospfMsg, MospfRouter};
+pub use pim_sm::{PimConfig, PimMsg, PimSmRouter};

@@ -1,0 +1,335 @@
+//! PIM-SM — Protocol Independent Multicast, Sparse Mode (paper ref \[6\]).
+//!
+//! The second shared-tree protocol the paper's introduction discusses
+//! next to CBT. Differences from CBT that matter for the §IV metrics:
+//!
+//! * The (*, G) shared tree rooted at the *rendezvous point* (RP) is
+//!   **unidirectional**: data flows only RP → members. Even an on-tree
+//!   source must push its packets to the RP first.
+//! * Sources send via **Register** encapsulation: the source's DR
+//!   tunnels data to the RP, which decapsulates and forwards down the
+//!   tree. (The real protocol then lets the RP join a source-specific
+//!   SPT and send Register-Stop; we model the long-lived register path,
+//!   which is the shape the paper's shared-tree arguments rely on —
+//!   SPT switchover is out of scope, like CBT's core election.)
+//! * Joins are hop-by-hop JOIN(*, G) toward the RP, instantiating
+//!   forwarding state on the way — no ack pass (PIM is soft-state; we
+//!   omit the periodic refresh, as the paper omits CBT's keepalives).
+//!
+//! Consequence visible in experiments: PIM-SM's member-sourced traffic
+//! costs *more* than CBT's (source → RP → whole tree, instead of
+//! spreading bidirectionally from the source), while its join machinery
+//! is the cheapest of all (single pass, no acks).
+
+use crate::common::LocalMembers;
+use scmp_net::NodeId;
+use scmp_sim::{AppEvent, Ctx, GroupId, Packet, Router};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// PIM-SM wire messages.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PimMsg {
+    /// Hop-by-hop JOIN(*, G) toward the RP; state instantiates as it
+    /// travels (no ack).
+    Join,
+    /// Hop-by-hop PRUNE(*, G) from a leaf losing its last interest.
+    Prune,
+    /// Payload travelling down the shared tree (RP → members only).
+    Data,
+    /// Register: payload tunnelled from the source's DR to the RP.
+    Register,
+}
+
+/// Domain configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct PimConfig {
+    /// The rendezvous point.
+    pub rp: NodeId,
+}
+
+/// Per-group downstream state (upstream is implicit: next hop to RP).
+#[derive(Clone, Debug, Default)]
+struct Entry {
+    children: BTreeSet<NodeId>,
+    local: bool,
+}
+
+/// The PIM-SM router state machine.
+pub struct PimSmRouter {
+    me: NodeId,
+    config: PimConfig,
+    members: LocalMembers,
+    entries: BTreeMap<GroupId, Entry>,
+}
+
+impl PimSmRouter {
+    /// State machine for node `me`.
+    pub fn new(me: NodeId, config: PimConfig) -> Self {
+        PimSmRouter {
+            me,
+            config,
+            members: LocalMembers::new(),
+            entries: BTreeMap::new(),
+        }
+    }
+
+    fn is_rp(&self) -> bool {
+        self.me == self.config.rp
+    }
+
+    /// Test accessor: is this router on the (*, G) tree?
+    pub fn on_tree(&self, group: GroupId) -> bool {
+        self.is_rp() || self.entries.contains_key(&group)
+    }
+
+    /// Test accessor: downstream children for `group`.
+    pub fn children(&self, group: GroupId) -> Vec<NodeId> {
+        self.entries
+            .get(&group)
+            .map(|e| e.children.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    fn upstream(&self, ctx: &Ctx<'_, PimMsg>) -> Option<NodeId> {
+        ctx.routes().next_hop(self.me, self.config.rp)
+    }
+
+    /// JOIN(*, G) processing: add the downstream, and keep propagating
+    /// toward the RP until an already-joined router (or the RP) absorbs
+    /// it.
+    fn handle_join(&mut self, from: Option<NodeId>, group: GroupId, ctx: &mut Ctx<'_, PimMsg>) {
+        let had_state = self.is_rp() || self.entries.contains_key(&group);
+        let e = self.entries.entry(group).or_default();
+        match from {
+            Some(child) => {
+                e.children.insert(child);
+            }
+            None => e.local = true,
+        }
+        if !had_state {
+            if let Some(up) = self.upstream(ctx) {
+                ctx.send(up, Packet::control(group, PimMsg::Join));
+            }
+        }
+    }
+
+    fn prune_if_idle(&mut self, group: GroupId, ctx: &mut Ctx<'_, PimMsg>) {
+        if self.is_rp() {
+            return;
+        }
+        if let Some(e) = self.entries.get(&group) {
+            if e.children.is_empty() && !e.local {
+                if let Some(up) = self.upstream(ctx) {
+                    ctx.send(up, Packet::control(group, PimMsg::Prune));
+                }
+                self.entries.remove(&group);
+            }
+        }
+    }
+
+    fn handle_prune(&mut self, from: NodeId, group: GroupId, ctx: &mut Ctx<'_, PimMsg>) {
+        if let Some(e) = self.entries.get_mut(&group) {
+            e.children.remove(&from);
+        }
+        self.prune_if_idle(group, ctx);
+    }
+
+    /// Data arriving on the shared tree: strictly downstream forwarding
+    /// (unidirectional tree — packets from a child are misrouted).
+    fn handle_data(&mut self, from: NodeId, pkt: Packet<PimMsg>, ctx: &mut Ctx<'_, PimMsg>) {
+        let expected_parent = self.upstream(ctx);
+        if Some(from) != expected_parent {
+            ctx.drop_packet();
+            return;
+        }
+        let Some(e) = self.entries.get(&pkt.group) else {
+            ctx.drop_packet();
+            return;
+        };
+        if e.local {
+            ctx.deliver_local(&pkt);
+        }
+        for to in e.children.clone() {
+            ctx.send(to, pkt.clone());
+        }
+    }
+
+    /// Register reaching the RP: decapsulate and push down the tree.
+    fn handle_register(&mut self, pkt: Packet<PimMsg>, ctx: &mut Ctx<'_, PimMsg>) {
+        if !self.is_rp() {
+            ctx.drop_packet();
+            return;
+        }
+        let data = Packet {
+            body: PimMsg::Data,
+            ..pkt
+        };
+        if let Some(e) = self.entries.get(&data.group) {
+            if e.local {
+                ctx.deliver_local(&data);
+            }
+            for to in e.children.clone() {
+                ctx.send(to, data.clone());
+            }
+        }
+    }
+}
+
+impl Router for PimSmRouter {
+    type Msg = PimMsg;
+
+    fn on_packet(&mut self, from: NodeId, pkt: Packet<PimMsg>, ctx: &mut Ctx<'_, PimMsg>) {
+        match pkt.body {
+            PimMsg::Join => self.handle_join(Some(from), pkt.group, ctx),
+            PimMsg::Prune => self.handle_prune(from, pkt.group, ctx),
+            PimMsg::Data => self.handle_data(from, pkt, ctx),
+            PimMsg::Register => self.handle_register(pkt, ctx),
+        }
+    }
+
+    fn on_app(&mut self, ev: AppEvent, ctx: &mut Ctx<'_, PimMsg>) {
+        match ev {
+            AppEvent::Join(g) => {
+                if self.members.join(g) {
+                    self.handle_join(None, g, ctx);
+                }
+            }
+            AppEvent::Leave(g) => {
+                if self.members.leave(g) {
+                    if let Some(e) = self.entries.get_mut(&g) {
+                        e.local = false;
+                    }
+                    self.prune_if_idle(g, ctx);
+                }
+            }
+            AppEvent::Send { group, tag } => {
+                // Everything registers to the RP — even on-tree sources
+                // (the unidirectional-tree cost the paper's bidirectional
+                // design avoids). The RP's own subnet sends directly.
+                if self.is_rp() {
+                    let pkt = Packet::data(group, tag, ctx.now(), PimMsg::Data);
+                    if let Some(e) = self.entries.get(&group) {
+                        if e.local {
+                            ctx.deliver_local(&pkt);
+                        }
+                        for to in e.children.clone() {
+                            ctx.send(to, pkt.clone());
+                        }
+                    }
+                } else {
+                    let rp = self.config.rp;
+                    ctx.unicast(rp, Packet::data(group, tag, ctx.now(), PimMsg::Register));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scmp_net::topology::examples::fig5;
+    use scmp_sim::Engine;
+
+    const G: GroupId = GroupId(1);
+
+    fn engine(rp: NodeId) -> Engine<PimSmRouter> {
+        Engine::new(fig5(), move |me, _, _| PimSmRouter::new(me, PimConfig { rp }))
+    }
+
+    #[test]
+    fn join_builds_unidirectional_tree() {
+        let mut e = engine(NodeId(0));
+        e.schedule_app(0, NodeId(4), AppEvent::Join(G));
+        e.run_to_quiescence();
+        // Path 4-1-0: single join pass, no acks.
+        assert!(e.router(NodeId(1)).on_tree(G));
+        assert_eq!(e.router(NodeId(1)).children(G), vec![NodeId(4)]);
+        assert_eq!(e.router(NodeId(0)).children(G), vec![NodeId(1)]);
+        // Exactly 2 control hops (4->1, 1->0) — cheaper than CBT's
+        // request+ack double pass.
+        assert_eq!(e.stats().control_hops, 2);
+    }
+
+    #[test]
+    fn data_reaches_members_via_rp_only() {
+        let mut e = engine(NodeId(0));
+        for (t, m) in [(0, 4u32), (1_000, 3), (2_000, 5)] {
+            e.schedule_app(t, NodeId(m), AppEvent::Join(G));
+        }
+        // Member 4 sends: unlike CBT, the payload MUST detour via the RP.
+        e.schedule_app(50_000, NodeId(4), AppEvent::Send { group: G, tag: 1 });
+        e.run_to_quiescence();
+        for m in [3u32, 4, 5] {
+            assert_eq!(e.stats().delivery_count(G, 1, NodeId(m)), 1, "member {m}");
+        }
+        assert!(!e.stats().has_duplicate_deliveries());
+    }
+
+    #[test]
+    fn member_source_costs_more_than_cbt() {
+        use crate::cbt::{CbtConfig, CbtRouter};
+        let drive = |pim: bool| {
+            let stats = if pim {
+                let mut e = engine(NodeId(0));
+                for (t, m) in [(0, 4u32), (1_000, 3), (2_000, 5)] {
+                    e.schedule_app(t, NodeId(m), AppEvent::Join(G));
+                }
+                e.schedule_app(50_000, NodeId(4), AppEvent::Send { group: G, tag: 1 });
+                e.run_to_quiescence();
+                e.stats().clone()
+            } else {
+                let mut e = Engine::new(fig5(), |me, _, _| {
+                    CbtRouter::new(me, CbtConfig { core: NodeId(0) })
+                });
+                for (t, m) in [(0, 4u32), (1_000, 3), (2_000, 5)] {
+                    e.schedule_app(t, NodeId(m), AppEvent::Join(G));
+                }
+                e.schedule_app(50_000, NodeId(4), AppEvent::Send { group: G, tag: 1 });
+                e.run_to_quiescence();
+                e.stats().clone()
+            };
+            stats.data_overhead
+        };
+        let pim_cost = drive(true);
+        let cbt_cost = drive(false);
+        assert!(
+            pim_cost > cbt_cost,
+            "unidirectional RP tree must cost more for member sources: \
+             pim {pim_cost} vs cbt {cbt_cost}"
+        );
+    }
+
+    #[test]
+    fn leave_prunes_single_pass() {
+        let mut e = engine(NodeId(0));
+        e.schedule_app(0, NodeId(4), AppEvent::Join(G));
+        e.schedule_app(1_000, NodeId(3), AppEvent::Join(G));
+        e.schedule_app(50_000, NodeId(4), AppEvent::Leave(G));
+        e.run_to_quiescence();
+        assert!(!e.router(NodeId(4)).on_tree(G));
+        assert!(!e.router(NodeId(1)).on_tree(G), "idle forwarder pruned");
+        assert!(e.router(NodeId(3)).on_tree(G));
+    }
+
+    #[test]
+    fn rp_subnet_participation() {
+        let mut e = engine(NodeId(0));
+        e.schedule_app(0, NodeId(0), AppEvent::Join(G));
+        e.schedule_app(1_000, NodeId(4), AppEvent::Join(G));
+        e.schedule_app(50_000, NodeId(0), AppEvent::Send { group: G, tag: 2 });
+        e.run_to_quiescence();
+        assert_eq!(e.stats().delivery_count(G, 2, NodeId(0)), 1);
+        assert_eq!(e.stats().delivery_count(G, 2, NodeId(4)), 1);
+    }
+
+    #[test]
+    fn off_tree_register_delivery() {
+        let mut e = engine(NodeId(0));
+        e.schedule_app(0, NodeId(4), AppEvent::Join(G));
+        e.schedule_app(50_000, NodeId(5), AppEvent::Send { group: G, tag: 3 });
+        e.run_to_quiescence();
+        assert_eq!(e.stats().delivery_count(G, 3, NodeId(4)), 1);
+        assert_eq!(e.stats().delivery_count(G, 3, NodeId(5)), 0);
+    }
+}

@@ -1,0 +1,54 @@
+//! Criterion benchmarks for the TREE-packet codec (§III-E): encoding and
+//! decoding the recursive self-routing packet for trees of increasing
+//! size and for the two degenerate shapes (chain and star).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use scmp_core::TreePacket;
+use scmp_net::NodeId;
+use scmp_tree::MulticastTree;
+
+fn chain(n: usize) -> MulticastTree {
+    let mut t = MulticastTree::new(n, NodeId(0));
+    for i in 1..n as u32 {
+        t.attach(NodeId(i - 1), NodeId(i));
+    }
+    t
+}
+
+fn star(n: usize) -> MulticastTree {
+    let mut t = MulticastTree::new(n, NodeId(0));
+    for i in 1..n as u32 {
+        t.attach(NodeId(0), NodeId(i));
+    }
+    t
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tree_packet");
+    for (shape, make) in [("chain", chain as fn(usize) -> MulticastTree), ("star", star)] {
+        for &n in &[16usize, 128, 512] {
+            let tree = make(n);
+            let pkt = TreePacket::from_tree(&tree, NodeId(0));
+            g.bench_with_input(
+                BenchmarkId::new(format!("encode_{shape}"), n),
+                &pkt,
+                |b, p| b.iter(|| p.encode_words().len()),
+            );
+            let words = pkt.encode_words();
+            g.bench_with_input(
+                BenchmarkId::new(format!("decode_{shape}"), n),
+                &words,
+                |b, w| b.iter(|| TreePacket::decode_words(w).unwrap().router_count()),
+            );
+            g.bench_with_input(
+                BenchmarkId::new(format!("from_tree_{shape}"), n),
+                &tree,
+                |b, t| b.iter(|| TreePacket::from_tree(t, NodeId(0)).router_count()),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

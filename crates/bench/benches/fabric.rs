@@ -1,0 +1,48 @@
+//! Criterion benchmarks for the switching fabric: Beneš routing
+//! (the looping algorithm) and sandwich configuration at m-router
+//! port counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use scmp_fabric::{Benes, GroupRequest, SandwichFabric};
+
+fn bench_benes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("benes_route");
+    for &n in &[16usize, 64, 256, 1024] {
+        // A fixed non-trivial permutation: rotate by n/3.
+        let perm: Vec<usize> = (0..n).map(|i| (i + n / 3) % n).collect();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &perm, |b, p| {
+            b.iter(|| Benes::route(p).depth())
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("benes_eval");
+    for &n in &[64usize, 1024] {
+        let perm: Vec<usize> = (0..n).rev().collect();
+        let net = Benes::route(&perm);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &net, |b, net| {
+            b.iter(|| (0..net.size()).map(|i| net.eval(i)).sum::<usize>())
+        });
+    }
+    g.finish();
+}
+
+fn bench_sandwich(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sandwich_configure");
+    for &n in &[64usize, 256] {
+        // n/4 groups of 2 sources each.
+        let groups: Vec<GroupRequest> = (0..n / 4)
+            .map(|k| GroupRequest {
+                sources: vec![2 * k, 2 * k + 1],
+                output: n - 1 - k,
+            })
+            .collect();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &groups, |b, gs| {
+            b.iter(|| SandwichFabric::configure(n, gs).unwrap().depth())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_benes, bench_sandwich);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion benchmarks of full protocol simulations: one Fig. 8 cell
+//! (ARPANET, 6 members, 30 packets) per protocol, measuring simulator
+//! throughput end to end.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use scmp_bench::netperf::{run_one, Protocol, TopologyKind};
+
+fn bench_protocol_runs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("protocol_simulation");
+    g.sample_size(20);
+    for proto in Protocol::ALL {
+        g.bench_with_input(
+            BenchmarkId::new("arpanet_g6", proto.label()),
+            &proto,
+            |b, &p| b.iter(|| run_one(TopologyKind::Arpanet, p, 6, 0).data_overhead),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("random50deg3_g20", proto.label()),
+            &proto,
+            |b, &p| b.iter(|| run_one(TopologyKind::Random50Deg3, p, 20, 0).data_overhead),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_protocol_runs);
+criterion_main!(benches);

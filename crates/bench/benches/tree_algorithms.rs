@@ -1,0 +1,70 @@
+//! Criterion microbenchmarks for the tree-construction algorithms
+//! (Fig. 7's machinery): DCDM incremental joins, KMB, SPT, and the
+//! all-pairs precomputation they depend on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::seq::SliceRandom;
+use scmp_net::rng::rng_for;
+use scmp_net::topology::{waxman, WaxmanConfig};
+use scmp_net::{AllPairsPaths, NodeId, Topology};
+use scmp_tree::{kmb_tree, spt_tree, Dcdm, DelayBound};
+
+fn setup(n: usize, group: usize) -> (Topology, AllPairsPaths, Vec<NodeId>) {
+    let mut rng = rng_for("bench-tree", n as u64);
+    let topo = waxman(
+        &WaxmanConfig {
+            n,
+            ..WaxmanConfig::default()
+        },
+        &mut rng,
+    );
+    let paths = AllPairsPaths::compute(&topo);
+    let mut pool: Vec<NodeId> = topo.nodes().filter(|v| v.0 != 0).collect();
+    pool.shuffle(&mut rng);
+    pool.truncate(group);
+    (topo, paths, pool)
+}
+
+fn bench_construction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tree_construction");
+    for &(n, gs) in &[(50usize, 20usize), (100, 50), (200, 80)] {
+        let (topo, paths, members) = setup(n, gs);
+        g.bench_with_input(BenchmarkId::new("dcdm", format!("n{n}_g{gs}")), &(), |b, _| {
+            b.iter(|| {
+                let mut d = Dcdm::new(&topo, &paths, NodeId(0), DelayBound::Dynamic);
+                for &m in &members {
+                    d.join(m);
+                }
+                d.into_tree().tree_cost(&topo)
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("kmb", format!("n{n}_g{gs}")), &(), |b, _| {
+            b.iter(|| kmb_tree(&topo, &paths, NodeId(0), &members).tree_cost(&topo))
+        });
+        g.bench_with_input(BenchmarkId::new("spt", format!("n{n}_g{gs}")), &(), |b, _| {
+            b.iter(|| spt_tree(&topo, &paths, NodeId(0), &members).tree_cost(&topo))
+        });
+    }
+    g.finish();
+}
+
+fn bench_all_pairs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("all_pairs_paths");
+    for &n in &[50usize, 100, 200] {
+        let mut rng = rng_for("bench-ap", n as u64);
+        let topo = waxman(
+            &WaxmanConfig {
+                n,
+                ..WaxmanConfig::default()
+            },
+            &mut rng,
+        );
+        g.bench_with_input(BenchmarkId::from_parameter(n), &topo, |b, t| {
+            b.iter(|| AllPairsPaths::compute(t).node_count())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_construction, bench_all_pairs);
+criterion_main!(benches);

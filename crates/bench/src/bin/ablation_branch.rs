@@ -1,0 +1,28 @@
+//! BRANCH vs full-TREE distribution ablation (§III-E design choice).
+
+use scmp_bench::{ablation, report};
+
+fn main() {
+    let seeds: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
+    let points = ablation::run_branch(seeds);
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.group_size.to_string(),
+                format!("{:.0}", p.with_branch),
+                format!("{:.0}", p.tree_only),
+                format!("{:.2}x", p.tree_only / p.with_branch.max(1.0)),
+            ]
+        })
+        .collect();
+    report::print_table(
+        "Join-phase protocol overhead: BRANCH vs TREE-only",
+        &["group", "with_branch", "tree_only", "ratio"],
+        &rows,
+    );
+    report::write_json("ablation_branch", &points);
+}

@@ -1,0 +1,34 @@
+//! DCDM candidate path-set ablation: both P_lc and P_sl (paper) vs one
+//! family only.
+
+use scmp_bench::{ablation, report};
+
+fn main() {
+    let seeds: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
+    let points = ablation::run_paths(seeds);
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.group_size.to_string(),
+                format!("{:.0}", p.both_cost),
+                format!("{:.0}", p.lc_only_cost),
+                format!("{:.0}", p.sl_only_cost),
+                format!("{:.0}", p.both_delay),
+                format!("{:.0}", p.lc_only_delay),
+                format!("{:.0}", p.sl_only_delay),
+            ]
+        })
+        .collect();
+    report::print_table(
+        "DCDM candidate set ablation (Waxman n=100, dynamic bound)",
+        &[
+            "group", "cost_both", "cost_lc", "cost_sl", "delay_both", "delay_lc", "delay_sl",
+        ],
+        &rows,
+    );
+    report::write_json("ablation_paths", &points);
+}

@@ -1,0 +1,31 @@
+//! §I/§V traffic-concentration study: simultaneous bursts through the
+//! shared-tree root, ordinary core vs powerful m-router.
+
+use scmp_bench::{concentration, report};
+
+fn main() {
+    let seeds: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
+    let points = concentration::run(seeds);
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.root_kind.clone(),
+                p.sources.to_string(),
+                format!("{:.1}", p.queue_drops),
+                format!("{:.0}", p.max_queueing_delay),
+                format!("{:.0}", p.max_e2e_delay),
+                format!("{:.3}", p.delivery_rate),
+            ]
+        })
+        .collect();
+    report::print_table(
+        "Traffic concentration at the tree root (burst load)",
+        &["root", "sources", "queue_drops", "max_queue_wait", "max_e2e", "delivery_rate"],
+        &rows,
+    );
+    report::write_json("concentration", &points);
+}

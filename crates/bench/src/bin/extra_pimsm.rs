@@ -1,0 +1,30 @@
+//! Shared-tree trio comparison: SCMP vs CBT vs PIM-SM (beyond the
+//! paper's figures; see `scmp_bench::extra_pimsm`).
+
+use scmp_bench::{extra_pimsm, report};
+
+fn main() {
+    let seeds: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
+    let points = extra_pimsm::run(seeds);
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.protocol.clone(),
+                p.group_size.to_string(),
+                format!("{:.0}", p.data_overhead),
+                format!("{:.0}", p.protocol_overhead),
+                format!("{:.0}", p.max_e2e_delay),
+            ]
+        })
+        .collect();
+    report::print_table(
+        "Shared-tree trio on random50-deg3 (30 pkts, off-tree source)",
+        &["protocol", "group", "data_overhead", "protocol_overhead", "max_e2e"],
+        &rows,
+    );
+    report::write_json("extra_pimsm", &points);
+}

@@ -1,0 +1,43 @@
+//! Regenerate Fig. 7: tree delay and tree cost vs group size for SPT,
+//! KMB and DCDM under the three delay-constraint levels.
+
+use scmp_bench::{fig7, report};
+
+fn main() {
+    let seeds: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
+    let points = fig7::run(&fig7::Fig7Config {
+        seeds,
+        ..Default::default()
+    });
+    for level in ["tightest", "moderate", "loosest"] {
+        let rows: Vec<Vec<String>> = points
+            .iter()
+            .filter(|p| p.level == level)
+            .map(|p| {
+                vec![
+                    p.group_size.to_string(),
+                    format!("{:.0}", p.spt_delay),
+                    format!("{:.0}", p.kmb_delay),
+                    format!("{:.0}", p.dcdm_delay),
+                    format!("{:.0}", p.greedy_delay),
+                    format!("{:.0}", p.spt_cost),
+                    format!("{:.0}", p.kmb_cost),
+                    format!("{:.0}", p.dcdm_cost),
+                    format!("{:.0}", p.greedy_cost),
+                ]
+            })
+            .collect();
+        report::print_table(
+            &format!("Fig 7 — delay constraint: {level}"),
+            &[
+                "group", "spt_delay", "kmb_delay", "dcdm_delay", "greedy_delay", "spt_cost",
+                "kmb_cost", "dcdm_cost", "greedy_cost",
+            ],
+            &rows,
+        );
+    }
+    report::write_json("fig7", &points);
+}

@@ -1,0 +1,47 @@
+//! Regenerate Fig. 8: data overhead (a–c) and protocol overhead (d–f)
+//! vs group size for SCMP, CBT, DVMRP and MOSPF on the three §IV-B
+//! topologies.
+
+use scmp_bench::{netperf, report};
+
+fn main() {
+    let seeds: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
+    let points = netperf::run_suite(seeds);
+    for kind in netperf::TopologyKind::ALL {
+        for (metric, pick) in [
+            ("data overhead", 0usize),
+            ("protocol overhead", 1),
+        ] {
+            let mut rows = Vec::new();
+            for gs in kind.group_sizes() {
+                let mut row = vec![gs.to_string()];
+                for proto in netperf::Protocol::ALL {
+                    let p = points
+                        .iter()
+                        .find(|p| {
+                            p.topology == kind.label()
+                                && p.protocol == proto.label()
+                                && p.group_size == gs
+                        })
+                        .expect("full sweep");
+                    let v = if pick == 0 {
+                        p.data_overhead
+                    } else {
+                        p.protocol_overhead
+                    };
+                    row.push(format!("{v:.0}"));
+                }
+                rows.push(row);
+            }
+            report::print_table(
+                &format!("Fig 8 — {metric} on {}", kind.label()),
+                &["group", "scmp", "cbt", "dvmrp", "mospf"],
+                &rows,
+            );
+        }
+    }
+    report::write_json("fig8_fig9", &points);
+}

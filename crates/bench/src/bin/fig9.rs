@@ -1,0 +1,36 @@
+//! Regenerate Fig. 9: maximum end-to-end delay vs group size on the
+//! three §IV-B topologies.
+
+use scmp_bench::{netperf, report};
+
+fn main() {
+    let seeds: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
+    let points = netperf::run_suite(seeds);
+    for kind in netperf::TopologyKind::ALL {
+        let mut rows = Vec::new();
+        for gs in kind.group_sizes() {
+            let mut row = vec![gs.to_string()];
+            for proto in netperf::Protocol::ALL {
+                let p = points
+                    .iter()
+                    .find(|p| {
+                        p.topology == kind.label()
+                            && p.protocol == proto.label()
+                            && p.group_size == gs
+                    })
+                    .expect("full sweep");
+                row.push(format!("{:.0}", p.max_e2e_delay));
+            }
+            rows.push(row);
+        }
+        report::print_table(
+            &format!("Fig 9 — max end-to-end delay (ticks) on {}", kind.label()),
+            &["group", "scmp", "cbt", "dvmrp", "mospf"],
+            &rows,
+        );
+    }
+    report::write_json("fig8_fig9", &points);
+}

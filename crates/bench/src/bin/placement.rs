@@ -1,0 +1,27 @@
+//! §IV-A placement heuristics study: rules 1–3 vs random m-router
+//! placement.
+
+use scmp_bench::{placement_exp, report};
+
+fn main() {
+    let seeds: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
+    let points = placement_exp::run(seeds);
+    let mut rows = Vec::new();
+    for p in &points {
+        rows.push(vec![
+            p.strategy.clone(),
+            p.group_size.to_string(),
+            format!("{:.0}", p.tree_cost),
+            format!("{:.0}", p.tree_delay),
+        ]);
+    }
+    report::print_table(
+        "m-router placement (DCDM trees, Waxman n=100)",
+        &["strategy", "group", "tree_cost", "tree_delay"],
+        &rows,
+    );
+    report::write_json("placement", &points);
+}

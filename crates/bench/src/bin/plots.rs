@@ -1,0 +1,91 @@
+//! Turn the committed JSON results into SVG figures:
+//! `cargo run -p scmp-bench --bin plots` after running `fig7`/`fig8`.
+//! Writes `bench_results/fig7_*.svg`, `fig8_*.svg`, `fig9_*.svg`.
+
+use scmp_bench::plot::{render, ChartConfig, Series};
+use serde_json::Value;
+use std::fs;
+
+fn load(name: &str) -> Option<Vec<Value>> {
+    let path = format!("bench_results/{name}.json");
+    let data = fs::read_to_string(&path).ok()?;
+    serde_json::from_str(&data).ok()
+}
+
+fn save(name: &str, svg: &str) {
+    let path = format!("bench_results/{name}.svg");
+    fs::write(&path, svg).expect("write svg");
+    println!("wrote {path}");
+}
+
+fn f(v: &Value, key: &str) -> f64 {
+    v[key].as_f64().unwrap_or(0.0)
+}
+
+fn main() {
+    if let Some(points) = load("fig7") {
+        for (metric, fig) in [("delay", "fig7_delay"), ("cost", "fig7_cost")] {
+            for level in ["tightest", "moderate", "loosest"] {
+                let series: Vec<Series> = ["spt", "kmb", "dcdm", "greedy"]
+                    .iter()
+                    .map(|algo| Series {
+                        label: algo.to_uppercase(),
+                        points: points
+                            .iter()
+                            .filter(|p| p["level"] == level)
+                            .map(|p| (f(p, "group_size"), f(p, &format!("{algo}_{metric}"))))
+                            .collect(),
+                    })
+                    .collect();
+                let svg = render(
+                    &ChartConfig {
+                        title: format!("Fig 7 tree {metric} — {level} constraint"),
+                        x_label: "group size".into(),
+                        y_label: format!("tree {metric}"),
+                        log_y: false,
+                    },
+                    &series,
+                );
+                save(&format!("{fig}_{level}"), &svg);
+            }
+        }
+    } else {
+        eprintln!("bench_results/fig7.json missing — run the fig7 binary first");
+    }
+
+    if let Some(points) = load("fig8_fig9") {
+        let topos = ["arpanet", "random50-deg3", "random50-deg5"];
+        for (metric, label, log) in [
+            ("data_overhead", "data overhead", false),
+            ("protocol_overhead", "protocol overhead", true),
+            ("max_e2e_delay", "max end-to-end delay", false),
+        ] {
+            for topo in topos {
+                let series: Vec<Series> = ["scmp", "cbt", "dvmrp", "mospf"]
+                    .iter()
+                    .map(|proto| Series {
+                        label: proto.to_uppercase(),
+                        points: points
+                            .iter()
+                            .filter(|p| p["topology"] == topo && p["protocol"] == *proto)
+                            .map(|p| (f(p, "group_size"), f(p, metric).max(1.0)))
+                            .collect(),
+                    })
+                    .collect();
+                let fig = if metric == "max_e2e_delay" { "fig9" } else { "fig8" };
+                let svg = render(
+                    &ChartConfig {
+                        title: format!("{label} — {topo}"),
+                        x_label: "group size".into(),
+                        y_label: label.into(),
+                        log_y: log,
+                    },
+                    &series,
+                );
+                save(&format!("{fig}_{metric}_{topo}"), &svg);
+            }
+        }
+    } else {
+        eprintln!("bench_results/fig8_fig9.json missing — run the fig8 binary first");
+    }
+}

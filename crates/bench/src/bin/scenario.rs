@@ -1,0 +1,27 @@
+//! Run a JSON scenario file on the full SCMP protocol:
+//! `cargo run -p scmp-bench --bin scenario -- path/to/scenario.json`
+
+use scmp_bench::scenario_file::run_scenario;
+
+fn main() {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: scenario <file.json>");
+        std::process::exit(2);
+    };
+    let json = match std::fs::read_to_string(&path) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    match run_scenario(&json) {
+        Ok(result) => {
+            println!("{}", serde_json::to_string_pretty(&result).expect("serialisable"));
+        }
+        Err(e) => {
+            eprintln!("scenario error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

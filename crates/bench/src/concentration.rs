@@ -1,0 +1,166 @@
+//! Traffic concentration at the shared-tree root (§I / §V).
+//!
+//! The paper's motivation for powerful m-routers: "the ST-based approach
+//! may cause traffic jam around the core, since packets from multiple
+//! sources may reach the core simultaneously. The traffic concentration
+//! will further cause the problems of packet loss and longer
+//! communication delay" — and its answer: "the m-routers in the new
+//! architecture are specially designed powerful routers to efficiently
+//! handle heavy network traffic, which can greatly alleviate the
+//! problem" (§V item 3).
+//!
+//! This experiment turns on the simulator's finite link-capacity model
+//! and slams the shared tree with simultaneous bursts from many
+//! sources, comparing an *ordinary* root (core-grade line rate) against
+//! an *m-router* root (fast fabric ports). Measured: congestion drops,
+//! queueing delay and end-to-end delay.
+
+use scmp_core::router::{ScmpConfig, ScmpDomain, ScmpRouter};
+use scmp_net::graph::LinkWeight;
+use scmp_net::topology::regular::star;
+use scmp_net::NodeId;
+use scmp_sim::{AppEvent, CapacityModel, Engine, GroupId, SimStats};
+use serde::Serialize;
+use std::sync::Arc;
+
+const G: GroupId = GroupId(1);
+/// Per-packet serialisation time on an ordinary line card.
+const ORDINARY_TX: u64 = 2_000;
+/// Per-packet serialisation time on the m-router's fabric ports.
+const MROUTER_TX: u64 = 100;
+/// Queue slots per link direction.
+const QUEUE_LIMIT: u64 = 8;
+
+/// One averaged data point.
+#[derive(Clone, Debug, Serialize)]
+pub struct ConcentrationPoint {
+    /// "ordinary-core" or "m-router".
+    pub root_kind: String,
+    /// Number of simultaneous burst sources.
+    pub sources: usize,
+    /// Congestion (queue-overflow) drops.
+    pub queue_drops: f64,
+    /// Largest queueing wait (ticks).
+    pub max_queueing_delay: f64,
+    /// Max end-to-end delay (ticks).
+    pub max_e2e_delay: f64,
+    /// Fraction of (packet, member) deliveries that arrived.
+    pub delivery_rate: f64,
+}
+
+/// Number of group members (leaf DRs of the star).
+const MEMBERS: usize = 12;
+/// Packets per burst source.
+const PER_SOURCE: u64 = 5;
+
+/// The distilled §I hotspot: a star domain whose hub is the tree root.
+/// Every source's flow converges on the hub and fans out to every
+/// member leaf, so the hub's egress ports are the only congestible
+/// inner hops — exactly the "traffic jam around the core" scenario.
+/// (`seed` shifts which leaves send, exercising different port sets.)
+fn run_once(sources: usize, fast_root: bool, seed: u64) -> SimStats {
+    let n = 1 + MEMBERS + sources.max(1);
+    let topo = star(n, LinkWeight::new(50, 10));
+    let center = NodeId(0);
+    let domain = ScmpDomain::new(topo.clone(), ScmpConfig::new(center));
+    let mut e = Engine::new(topo.clone(), move |me, _, _| {
+        ScmpRouter::new(me, Arc::clone(&domain))
+    });
+    let mut cap = CapacityModel::uniform(ORDINARY_TX, QUEUE_LIMIT);
+    if fast_root {
+        cap = cap.with_node_tx(center, MROUTER_TX);
+    }
+    e.set_capacity(cap);
+    let members: Vec<NodeId> = (1..=MEMBERS as u32).map(NodeId).collect();
+    let senders: Vec<NodeId> = (MEMBERS as u32 + 1..n as u32).map(NodeId).collect();
+    let mut t = 0;
+    for &m in &members {
+        e.schedule_app(t, m, AppEvent::Join(G));
+        t += 2_000;
+    }
+    // Simultaneous bursts from the off-tree sources: everything funnels
+    // through the hub via encapsulation.
+    let burst_at = t + 1_000_000 + seed; // seed staggers the burst phase
+    let mut tag = 0;
+    for &s in &senders {
+        for _ in 0..PER_SOURCE {
+            tag += 1;
+            e.schedule_app(burst_at, s, AppEvent::Send { group: G, tag });
+        }
+    }
+    e.run_to_quiescence();
+    e.stats().clone()
+}
+
+/// Run the sweep over burst-source counts for both root kinds.
+pub fn run(seeds: u64) -> Vec<ConcentrationPoint> {
+    let mut out = Vec::new();
+    for &sources in &[2usize, 4, 8, 12] {
+        for fast_root in [false, true] {
+            let mut drops = Vec::new();
+            let mut qd = Vec::new();
+            let mut e2e = Vec::new();
+            let mut rate = Vec::new();
+            for seed in 0..seeds {
+                let stats = run_once(sources, fast_root, seed);
+                drops.push(stats.queue_drops as f64);
+                qd.push(stats.max_queueing_delay as f64);
+                e2e.push(stats.max_end_to_end_delay as f64);
+                let expected = (sources as u64 * PER_SOURCE * MEMBERS as u64) as f64;
+                rate.push(stats.distinct_deliveries() as f64 / expected);
+            }
+            out.push(ConcentrationPoint {
+                root_kind: if fast_root { "m-router" } else { "ordinary-core" }.to_string(),
+                sources,
+                queue_drops: crate::report::mean(&drops),
+                max_queueing_delay: crate::report::mean(&qd),
+                max_e2e_delay: crate::report::mean(&e2e),
+                delivery_rate: crate::report::mean(&rate),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn m_router_alleviates_concentration() {
+        let pts = run(3);
+        for sources in [8usize, 12] {
+            let ordinary = pts
+                .iter()
+                .find(|p| p.sources == sources && p.root_kind == "ordinary-core")
+                .unwrap();
+            let mrouter = pts
+                .iter()
+                .find(|p| p.sources == sources && p.root_kind == "m-router")
+                .unwrap();
+            assert!(
+                mrouter.delivery_rate >= ordinary.delivery_rate,
+                "{sources} sources: m-router {mrouter:?} vs {ordinary:?}"
+            );
+            assert!(
+                mrouter.queue_drops <= ordinary.queue_drops,
+                "{sources} sources: m-router drops {} > ordinary {}",
+                mrouter.queue_drops,
+                ordinary.queue_drops
+            );
+        }
+        // At high load the ordinary core actually suffers (drops or
+        // serious queueing) while the m-router keeps the loss lower.
+        let worst_ord = pts
+            .iter()
+            .filter(|p| p.root_kind == "ordinary-core")
+            .map(|p| p.queue_drops)
+            .fold(0.0f64, f64::max);
+        let worst_m = pts
+            .iter()
+            .filter(|p| p.root_kind == "m-router")
+            .map(|p| p.queue_drops)
+            .fold(0.0f64, f64::max);
+        assert!(worst_m <= worst_ord, "m-router {worst_m} > ordinary {worst_ord}");
+    }
+}

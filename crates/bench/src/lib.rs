@@ -1,0 +1,26 @@
+//! # scmp-bench — experiment harness
+//!
+//! One module per paper experiment; each binary in `src/bin/` prints the
+//! corresponding figure's series and writes machine-readable JSON under
+//! `bench_results/`.
+//!
+//! | Binary | Paper artefact |
+//! |---|---|
+//! | `fig7` | Fig. 7(a–f): tree delay & cost vs group size, three delay-constraint levels |
+//! | `fig8` | Fig. 8(a–f): data & protocol overhead vs group size, three topologies |
+//! | `fig9` | Fig. 9(a–c): maximum end-to-end delay vs group size |
+//! | `placement` | §IV-A m-router placement heuristics study |
+//! | `ablation_branch` | BRANCH packets vs full TREE refresh on every join |
+//! | `ablation_paths` | DCDM candidate set: P_lc ∪ P_sl vs P_lc-only vs P_sl-only |
+//! | `concentration` | §I/§V traffic-concentration study: ordinary core vs powerful m-router under burst load |
+//! | `extra_pimsm` | Beyond the paper: PIM-SM vs CBT vs SCMP (shared-tree trio) |
+
+pub mod ablation;
+pub mod concentration;
+pub mod extra_pimsm;
+pub mod fig7;
+pub mod netperf;
+pub mod placement_exp;
+pub mod plot;
+pub mod report;
+pub mod scenario_file;

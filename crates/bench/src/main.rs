@@ -1,0 +1,31 @@
+//! `scmp-bench` — run every experiment in sequence (the individual
+//! binaries run one each).
+
+use scmp_bench::{ablation, fig7, netperf, placement_exp, report};
+
+fn main() {
+    let seeds: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
+    println!("SCMP reproduction — full experiment suite ({seeds} seeds)");
+
+    let f7 = fig7::run(&fig7::Fig7Config {
+        seeds,
+        ..Default::default()
+    });
+    report::write_json("fig7", &f7);
+
+    let net = netperf::run_suite(seeds);
+    report::write_json("fig8_fig9", &net);
+
+    let pl = placement_exp::run(seeds);
+    report::write_json("placement", &pl);
+
+    let ab = ablation::run_branch(seeds);
+    report::write_json("ablation_branch", &ab);
+    let ap = ablation::run_paths(seeds);
+    report::write_json("ablation_paths", &ap);
+
+    println!("\nAll experiments complete; JSON in bench_results/.");
+}

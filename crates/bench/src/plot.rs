@@ -1,0 +1,290 @@
+//! Minimal self-contained SVG line charts — turns the harness JSON into
+//! figure artifacts without any plotting dependency.
+//!
+//! Deliberately small: linear or log₁₀ Y axis, auto-scaled ticks, one
+//! polyline + markers per series, legend. Enough to eyeball the
+//! reproduced Figs. 7–9 next to the paper.
+
+use std::fmt::Write;
+
+/// One plotted series.
+#[derive(Clone, Debug)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// (x, y) points, in x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Chart configuration.
+#[derive(Clone, Debug)]
+pub struct ChartConfig {
+    /// Title printed above the plot.
+    pub title: String,
+    /// Axis captions.
+    pub x_label: String,
+    pub y_label: String,
+    /// Use a log₁₀ Y axis (the paper's Fig. 8(e,f) trick).
+    pub log_y: bool,
+}
+
+const W: f64 = 640.0;
+const H: f64 = 420.0;
+const ML: f64 = 70.0; // margins
+const MR: f64 = 150.0;
+const MT: f64 = 40.0;
+const MB: f64 = 55.0;
+const COLORS: [&str; 6] = [
+    "#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b",
+];
+
+/// Render the chart as an SVG document.
+///
+/// # Panics
+/// If no series has any points, or a log-scale chart sees y ≤ 0.
+pub fn render(cfg: &ChartConfig, series: &[Series]) -> String {
+    let pts = || series.iter().flat_map(|s| s.points.iter().copied());
+    assert!(pts().count() > 0, "nothing to plot");
+    let tx = |y: f64| -> f64 {
+        if cfg.log_y {
+            assert!(y > 0.0, "log scale needs positive values");
+            y.log10()
+        } else {
+            y
+        }
+    };
+    let (mut xmin, mut xmax) = (f64::MAX, f64::MIN);
+    let (mut ymin, mut ymax) = (f64::MAX, f64::MIN);
+    for (x, y) in pts() {
+        xmin = xmin.min(x);
+        xmax = xmax.max(x);
+        ymin = ymin.min(tx(y));
+        ymax = ymax.max(tx(y));
+    }
+    if (xmax - xmin).abs() < 1e-12 {
+        xmax = xmin + 1.0;
+    }
+    if (ymax - ymin).abs() < 1e-12 {
+        ymax = ymin + 1.0;
+    }
+    // A little headroom on Y.
+    let pad = (ymax - ymin) * 0.05;
+    let (ymin, ymax) = (ymin - pad, ymax + pad);
+
+    let px = |x: f64| ML + (x - xmin) / (xmax - xmin) * (W - ML - MR);
+    let py = |y: f64| H - MB - (tx(y) - ymin) / (ymax - ymin) * (H - MT - MB);
+
+    let mut svg = String::new();
+    let _ = writeln!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{W}" height="{H}" viewBox="0 0 {W} {H}" font-family="sans-serif" font-size="12">"#
+    );
+    let _ = writeln!(svg, r#"<rect width="{W}" height="{H}" fill="white"/>"#);
+    let _ = writeln!(
+        svg,
+        r#"<text x="{:.0}" y="22" text-anchor="middle" font-size="15" font-weight="bold">{}</text>"#,
+        (W - MR + ML) / 2.0,
+        esc(&cfg.title)
+    );
+    // Axes.
+    let _ = writeln!(
+        svg,
+        r#"<line x1="{ML}" y1="{MT}" x2="{ML}" y2="{}" stroke="black"/>"#,
+        H - MB
+    );
+    let _ = writeln!(
+        svg,
+        r#"<line x1="{ML}" y1="{}" x2="{}" y2="{}" stroke="black"/>"#,
+        H - MB,
+        W - MR,
+        H - MB
+    );
+    // Ticks: 5 per axis.
+    for i in 0..=4 {
+        let fx = xmin + (xmax - xmin) * i as f64 / 4.0;
+        let x = px(fx);
+        let _ = writeln!(
+            svg,
+            r#"<line x1="{x:.1}" y1="{}" x2="{x:.1}" y2="{}" stroke="black"/>"#,
+            H - MB,
+            H - MB + 5.0
+        );
+        let _ = writeln!(
+            svg,
+            r#"<text x="{x:.1}" y="{}" text-anchor="middle">{}</text>"#,
+            H - MB + 20.0,
+            fmt_num(fx)
+        );
+        let fy = ymin + (ymax - ymin) * i as f64 / 4.0;
+        let y = H - MB - (fy - ymin) / (ymax - ymin) * (H - MT - MB);
+        let shown = if cfg.log_y { 10f64.powf(fy) } else { fy };
+        let _ = writeln!(
+            svg,
+            r#"<line x1="{}" y1="{y:.1}" x2="{ML}" y2="{y:.1}" stroke="black"/>"#,
+            ML - 5.0
+        );
+        let _ = writeln!(
+            svg,
+            r#"<text x="{}" y="{:.1}" text-anchor="end">{}</text>"#,
+            ML - 9.0,
+            y + 4.0,
+            fmt_num(shown)
+        );
+    }
+    // Axis labels.
+    let _ = writeln!(
+        svg,
+        r#"<text x="{:.0}" y="{:.0}" text-anchor="middle">{}</text>"#,
+        (W - MR + ML) / 2.0,
+        H - 12.0,
+        esc(&cfg.x_label)
+    );
+    let _ = writeln!(
+        svg,
+        r#"<text x="16" y="{:.0}" text-anchor="middle" transform="rotate(-90 16 {:.0})">{}</text>"#,
+        (H - MB + MT) / 2.0,
+        (H - MB + MT) / 2.0,
+        esc(&format!(
+            "{}{}",
+            esc(&cfg.y_label),
+            if cfg.log_y { " (log)" } else { "" }
+        ))
+    );
+    // Series.
+    for (k, s) in series.iter().enumerate() {
+        let color = COLORS[k % COLORS.len()];
+        let path: Vec<String> = s
+            .points
+            .iter()
+            .map(|&(x, y)| format!("{:.1},{:.1}", px(x), py(y)))
+            .collect();
+        let _ = writeln!(
+            svg,
+            r#"<polyline points="{}" fill="none" stroke="{color}" stroke-width="2"/>"#,
+            path.join(" ")
+        );
+        for &(x, y) in &s.points {
+            let _ = writeln!(
+                svg,
+                r#"<circle cx="{:.1}" cy="{:.1}" r="3" fill="{color}"/>"#,
+                px(x),
+                py(y)
+            );
+        }
+        // Legend.
+        let ly = MT + 18.0 * k as f64;
+        let _ = writeln!(
+            svg,
+            r#"<line x1="{:.0}" y1="{ly:.0}" x2="{:.0}" y2="{ly:.0}" stroke="{color}" stroke-width="3"/>"#,
+            W - MR + 10.0,
+            W - MR + 34.0
+        );
+        let _ = writeln!(
+            svg,
+            r#"<text x="{:.0}" y="{:.0}">{}</text>"#,
+            W - MR + 40.0,
+            ly + 4.0,
+            esc(&s.label)
+        );
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+fn fmt_num(v: f64) -> String {
+    let a = v.abs();
+    if a >= 1e6 {
+        format!("{:.1}M", v / 1e6)
+    } else if a >= 1e3 {
+        format!("{:.0}k", v / 1e3)
+    } else if a >= 10.0 || (v - v.round()).abs() < 1e-9 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(log: bool) -> ChartConfig {
+        ChartConfig {
+            title: "T<est> & more".into(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            log_y: log,
+        }
+    }
+
+    fn demo() -> Vec<Series> {
+        vec![
+            Series {
+                label: "a".into(),
+                points: vec![(0.0, 10.0), (1.0, 20.0), (2.0, 15.0)],
+            },
+            Series {
+                label: "b".into(),
+                points: vec![(0.0, 100.0), (2.0, 400.0)],
+            },
+        ]
+    }
+
+    #[test]
+    fn renders_valid_svg_skeleton() {
+        let svg = render(&cfg(false), &demo());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert_eq!(svg.matches("<circle").count(), 5);
+        // Title escaped.
+        assert!(svg.contains("T&lt;est&gt; &amp; more"));
+    }
+
+    #[test]
+    fn log_scale_positions_differ() {
+        let lin = render(&cfg(false), &demo());
+        let log = render(&cfg(true), &demo());
+        assert_ne!(lin, log);
+        assert!(log.contains("(log)"));
+    }
+
+    #[test]
+    fn single_point_does_not_divide_by_zero() {
+        let s = vec![Series {
+            label: "solo".into(),
+            points: vec![(5.0, 7.0)],
+        }];
+        let svg = render(&cfg(false), &s);
+        assert!(svg.contains("<circle"));
+        assert!(!svg.contains("NaN"));
+    }
+
+    #[test]
+    #[should_panic(expected = "nothing to plot")]
+    fn empty_panics() {
+        render(&cfg(false), &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive values")]
+    fn log_rejects_zero() {
+        let s = vec![Series {
+            label: "z".into(),
+            points: vec![(0.0, 0.0)],
+        }];
+        render(&cfg(true), &s);
+    }
+
+    #[test]
+    fn number_formatting() {
+        assert_eq!(fmt_num(2_500_000.0), "2.5M");
+        assert_eq!(fmt_num(12_000.0), "12k");
+        assert_eq!(fmt_num(42.0), "42");
+        assert_eq!(fmt_num(0.5), "0.50");
+    }
+}

@@ -1,0 +1,364 @@
+//! JSON scenario files: declarative SCMP simulations for the `scenario`
+//! binary.
+//!
+//! A scenario file picks a topology, an m-router placement, an optional
+//! link-capacity model, and a timeline of join/leave/send events; the
+//! runner executes it on the full SCMP protocol and reports the §IV-B
+//! metrics plus per-member delivery. Example:
+//!
+//! ```json
+//! {
+//!   "topology": { "kind": "waxman", "n": 50, "seed": 7 },
+//!   "m_router": "rule1",
+//!   "events": [
+//!     { "time": 0,      "node": 4, "op": "join", "group": 1 },
+//!     { "time": 1000,   "node": 9, "op": "join", "group": 1 },
+//!     { "time": 500000, "node": 2, "op": "send", "group": 1, "tag": 1 }
+//!   ]
+//! }
+//! ```
+
+use scmp_core::placement;
+use scmp_core::router::{ScmpConfig, ScmpDomain, ScmpRouter};
+use scmp_net::rng::rng_for;
+use scmp_net::topology::{arpanet, gt_itm_flat, waxman, GtItmConfig, WaxmanConfig};
+use scmp_net::{AllPairsPaths, NodeId, Topology};
+use scmp_sim::{AppEvent, CapacityModel, Engine, GroupId, SimStats};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Topology selection.
+#[derive(Clone, Debug, Deserialize, Serialize)]
+#[serde(tag = "kind", rename_all = "lowercase")]
+pub enum TopologySpec {
+    /// The paper's Waxman model.
+    Waxman {
+        /// Node count.
+        n: usize,
+        /// Generator seed.
+        seed: u64,
+    },
+    /// GT-ITM-like flat random.
+    Gtitm {
+        /// Node count.
+        n: usize,
+        /// Target average degree.
+        degree: f64,
+        /// Generator seed.
+        seed: u64,
+    },
+    /// The classic ARPANET map with seeded weights.
+    Arpanet {
+        /// Weight seed.
+        seed: u64,
+    },
+    /// An explicit topology: `links[k] = [a, b, delay, cost]`.
+    Custom {
+        /// Node count.
+        nodes: usize,
+        /// Undirected links with weights.
+        links: Vec<[u64; 4]>,
+    },
+}
+
+impl TopologySpec {
+    /// Materialise the topology.
+    pub fn build(&self) -> Topology {
+        match *self {
+            TopologySpec::Waxman { n, seed } => waxman(
+                &WaxmanConfig {
+                    n,
+                    min_delay_one: true,
+                    ..WaxmanConfig::default()
+                },
+                &mut rng_for("scenario-waxman", seed),
+            ),
+            TopologySpec::Gtitm { n, degree, seed } => gt_itm_flat(
+                &GtItmConfig {
+                    n,
+                    average_degree: degree,
+                    grid: 32_767,
+                },
+                &mut rng_for("scenario-gtitm", seed),
+            ),
+            TopologySpec::Arpanet { seed } => arpanet(&mut rng_for("scenario-arpanet", seed)),
+            TopologySpec::Custom { nodes, ref links } => {
+                let mut b = scmp_net::TopologyBuilder::new(nodes);
+                for &[a, bb, delay, cost] in links {
+                    b.add_link(
+                        NodeId(a as u32),
+                        NodeId(bb as u32),
+                        scmp_net::LinkWeight { delay, cost },
+                    );
+                }
+                b.build()
+            }
+        }
+    }
+}
+
+/// m-router placement: a fixed node id or one of the §IV-A rules.
+#[derive(Clone, Debug, Deserialize, Serialize)]
+#[serde(untagged)]
+pub enum MRouterSpec {
+    /// Explicit node id.
+    Node(u32),
+    /// Placement rule: `"rule1"`, `"rule2"`, `"rule3"`.
+    Rule(String),
+}
+
+impl MRouterSpec {
+    /// Resolve to a node.
+    pub fn resolve(&self, topo: &Topology, paths: &AllPairsPaths) -> Result<NodeId, String> {
+        match self {
+            MRouterSpec::Node(v) => {
+                let id = NodeId(*v);
+                if id.index() < topo.node_count() {
+                    Ok(id)
+                } else {
+                    Err(format!("m_router {v} out of range"))
+                }
+            }
+            MRouterSpec::Rule(r) => match r.as_str() {
+                "rule1" => Ok(placement::min_average_delay(topo, paths)),
+                "rule2" => Ok(placement::max_degree(topo)),
+                "rule3" => Ok(placement::diameter_midpoint(topo, paths)),
+                other => Err(format!("unknown placement rule {other:?}")),
+            },
+        }
+    }
+}
+
+/// One timeline event.
+#[derive(Clone, Debug, Deserialize, Serialize)]
+pub struct EventSpec {
+    /// Absolute simulation time (ticks).
+    pub time: u64,
+    /// Router (DR) the event occurs at.
+    pub node: u32,
+    /// `"join"`, `"leave"` or `"send"`.
+    pub op: String,
+    /// Group id.
+    pub group: u32,
+    /// Payload tag (send only; defaults to an auto-increment).
+    #[serde(default)]
+    pub tag: Option<u64>,
+}
+
+/// Optional capacity model.
+#[derive(Clone, Debug, Deserialize, Serialize)]
+pub struct CapacitySpec {
+    /// Per-packet serialisation time.
+    pub link_tx: u64,
+    /// Queue slots per link direction.
+    pub queue_limit: u64,
+    /// Give the m-router faster ports.
+    #[serde(default)]
+    pub m_router_tx: Option<u64>,
+}
+
+/// A complete scenario file.
+#[derive(Clone, Debug, Deserialize, Serialize)]
+pub struct ScenarioFile {
+    /// Topology to simulate.
+    pub topology: TopologySpec,
+    /// m-router placement.
+    pub m_router: MRouterSpec,
+    /// Timeline.
+    pub events: Vec<EventSpec>,
+    /// Optional finite link capacities.
+    #[serde(default)]
+    pub capacity: Option<CapacitySpec>,
+}
+
+/// Result summary the runner prints as JSON.
+#[derive(Clone, Debug, Serialize)]
+pub struct ScenarioResult {
+    /// Resolved m-router node.
+    pub m_router: u32,
+    /// §IV-B metrics.
+    pub data_overhead: u64,
+    pub protocol_overhead: u64,
+    pub max_end_to_end_delay: u64,
+    pub drops: u64,
+    pub queue_drops: u64,
+    /// Per (group, tag): how many routers' subnets received it.
+    pub deliveries: Vec<DeliveryLine>,
+}
+
+/// Delivery record for one payload.
+#[derive(Clone, Debug, Serialize)]
+pub struct DeliveryLine {
+    pub group: u32,
+    pub tag: u64,
+    pub receivers: usize,
+}
+
+/// Parse and run a scenario, returning the summary.
+pub fn run_scenario(json: &str) -> Result<ScenarioResult, String> {
+    let spec: ScenarioFile = serde_json::from_str(json).map_err(|e| e.to_string())?;
+    let topo = spec.topology.build();
+    let paths = AllPairsPaths::compute(&topo);
+    let m_router = spec.m_router.resolve(&topo, &paths)?;
+    for ev in &spec.events {
+        if ev.node as usize >= topo.node_count() {
+            return Err(format!("event node {} out of range", ev.node));
+        }
+        if !matches!(ev.op.as_str(), "join" | "leave" | "send") {
+            return Err(format!("unknown op {:?}", ev.op));
+        }
+    }
+
+    let domain = ScmpDomain::new(topo.clone(), ScmpConfig::new(m_router));
+    let mut engine = Engine::new(topo.clone(), move |me, _, _| {
+        ScmpRouter::new(me, Arc::clone(&domain))
+    });
+    if let Some(cap) = &spec.capacity {
+        let mut model = CapacityModel::uniform(cap.link_tx, cap.queue_limit);
+        if let Some(tx) = cap.m_router_tx {
+            model = model.with_node_tx(m_router, tx);
+        }
+        engine.set_capacity(model);
+    }
+
+    let mut auto_tag = 0u64;
+    let mut sent: Vec<(GroupId, u64)> = Vec::new();
+    for ev in &spec.events {
+        let group = GroupId(ev.group);
+        let app = match ev.op.as_str() {
+            "join" => AppEvent::Join(group),
+            "leave" => AppEvent::Leave(group),
+            "send" => {
+                let tag = ev.tag.unwrap_or_else(|| {
+                    auto_tag += 1;
+                    auto_tag | 1 << 32 // auto tags never collide with explicit small tags
+                });
+                sent.push((group, tag));
+                AppEvent::Send { group, tag }
+            }
+            _ => unreachable!("validated above"),
+        };
+        engine.schedule_app(ev.time, NodeId(ev.node), app);
+    }
+    engine.run_to_quiescence();
+
+    let stats: &SimStats = engine.stats();
+    let deliveries = sent
+        .iter()
+        .map(|&(g, tag)| DeliveryLine {
+            group: g.0,
+            tag,
+            receivers: topo
+                .nodes()
+                .filter(|&v| stats.delivery_count(g, tag, v) > 0)
+                .count(),
+        })
+        .collect();
+    Ok(ScenarioResult {
+        m_router: m_router.0,
+        data_overhead: stats.data_overhead,
+        protocol_overhead: stats.protocol_overhead,
+        max_end_to_end_delay: stats.max_end_to_end_delay,
+        drops: stats.drops,
+        queue_drops: stats.queue_drops,
+        deliveries,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASIC: &str = r#"{
+        "topology": { "kind": "arpanet", "seed": 1 },
+        "m_router": "rule1",
+        "events": [
+            { "time": 0,      "node": 4,  "op": "join", "group": 1 },
+            { "time": 1000,   "node": 9,  "op": "join", "group": 1 },
+            { "time": 500000, "node": 15, "op": "send", "group": 1, "tag": 1 }
+        ]
+    }"#;
+
+    #[test]
+    fn basic_scenario_runs() {
+        let r = run_scenario(BASIC).unwrap();
+        assert_eq!(r.deliveries.len(), 1);
+        assert_eq!(r.deliveries[0].receivers, 2, "both members heard tag 1");
+        assert!(r.data_overhead > 0);
+        assert!(r.protocol_overhead > 0);
+    }
+
+    #[test]
+    fn fixed_m_router_and_leave() {
+        let json = r#"{
+            "topology": { "kind": "waxman", "n": 20, "seed": 3 },
+            "m_router": 0,
+            "events": [
+                { "time": 0,      "node": 5, "op": "join",  "group": 2 },
+                { "time": 100000, "node": 5, "op": "leave", "group": 2 },
+                { "time": 600000, "node": 7, "op": "send",  "group": 2 }
+            ]
+        }"#;
+        let r = run_scenario(json).unwrap();
+        assert_eq!(r.m_router, 0);
+        assert_eq!(r.deliveries[0].receivers, 0, "member left before the send");
+    }
+
+    #[test]
+    fn capacity_section_applies() {
+        let json = r#"{
+            "topology": { "kind": "arpanet", "seed": 1 },
+            "m_router": "rule2",
+            "capacity": { "link_tx": 10, "queue_limit": 4, "m_router_tx": 1 },
+            "events": [
+                { "time": 0,     "node": 4,  "op": "join", "group": 1 },
+                { "time": 50000, "node": 15, "op": "send", "group": 1 }
+            ]
+        }"#;
+        let r = run_scenario(json).unwrap();
+        assert_eq!(r.deliveries[0].receivers, 1);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(run_scenario("{").is_err());
+        let bad_node = BASIC.replace("\"node\": 4", "\"node\": 99");
+        assert!(run_scenario(&bad_node).unwrap_err().contains("out of range"));
+        let bad_op = BASIC.replace("\"op\": \"send\"", "\"op\": \"explode\"");
+        assert!(run_scenario(&bad_op).unwrap_err().contains("unknown op"));
+        let bad_rule = BASIC.replace("\"rule1\"", "\"rule9\"");
+        assert!(run_scenario(&bad_rule).unwrap_err().contains("placement rule"));
+    }
+
+    #[test]
+    fn custom_topology() {
+        // The paper's Fig. 5 expressed inline.
+        let json = r#"{
+            "topology": { "kind": "custom", "nodes": 6, "links": [
+                [0,1,3,6],[0,2,4,5],[0,3,2,6],[1,2,3,2],[1,4,9,3],[2,3,4,1],[2,5,7,2]
+            ]},
+            "m_router": 0,
+            "events": [
+                { "time": 0,     "node": 4, "op": "join", "group": 1 },
+                { "time": 100,   "node": 3, "op": "join", "group": 1 },
+                { "time": 200,   "node": 5, "op": "join", "group": 1 },
+                { "time": 10000, "node": 4, "op": "send", "group": 1, "tag": 1 }
+            ]
+        }"#;
+        let r = run_scenario(json).unwrap();
+        assert_eq!(r.deliveries[0].receivers, 3);
+        // The Fig. 5(d) tree costs 17; one on-tree send = 17 data units
+        // plus the per-hop copies... data overhead equals the tree cost
+        // because the source is a member and every tree edge carries the
+        // packet exactly once.
+        assert_eq!(r.data_overhead, 17);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = run_scenario(BASIC).unwrap();
+        let b = run_scenario(BASIC).unwrap();
+        assert_eq!(a.data_overhead, b.data_overhead);
+        assert_eq!(a.max_end_to_end_delay, b.max_end_to_end_delay);
+    }
+}

@@ -1,0 +1,204 @@
+//! IGMPv2-like subnet model (§II-C).
+//!
+//! The paper keeps SCMP compatible with IGMP: hosts register dynamic
+//! membership with their subnet's designated router (DR); the DR learns
+//! group presence via Query/Report and informs the m-router only on
+//! *edges* — when the first host of a subnet joins a group, or the last
+//! one leaves.
+//!
+//! This module models one subnet: a set of hosts, DR election (lowest
+//! address wins, as in IGMPv2), queries, reports with suppression (a host
+//! cancels its report when it hears another member report the same
+//! group), and leave processing. It is deliberately link-traffic-free —
+//! subnet chatter stays on the LAN and does not touch the §IV-B overhead
+//! metrics — but the message counts are exposed so tests can check the
+//! suppression behaviour.
+
+use scmp_sim::GroupId;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Host identifier within a subnet (think: last octet of its address).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct HostId(pub u32);
+
+/// What the DR must tell the multicast routing protocol after a host
+/// event — the edge triggers of §III-B/C.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MembershipEdge {
+    /// First host of this subnet joined the group: the DR sends JOIN.
+    FirstJoined(GroupId),
+    /// Last host left: the DR sends LEAVE (and possibly PRUNE).
+    LastLeft(GroupId),
+    /// Membership set for the group unchanged in kind: no routing action.
+    NoChange,
+}
+
+/// One subnet: hosts, their memberships, and the DR.
+#[derive(Clone, Debug, Default)]
+pub struct Subnet {
+    hosts: BTreeSet<HostId>,
+    /// group -> member hosts.
+    members: BTreeMap<GroupId, BTreeSet<HostId>>,
+    /// IGMP message counters (reports actually transmitted, suppressed
+    /// reports, queries, leaves).
+    pub reports_sent: u64,
+    /// Reports suppressed because another member answered first.
+    pub reports_suppressed: u64,
+    /// Queries the DR transmitted.
+    pub queries_sent: u64,
+    /// Leave messages hosts transmitted.
+    pub leaves_sent: u64,
+}
+
+impl Subnet {
+    /// An empty subnet.
+    pub fn new() -> Self {
+        Subnet::default()
+    }
+
+    /// Attach a host to the subnet.
+    pub fn add_host(&mut self, h: HostId) {
+        self.hosts.insert(h);
+    }
+
+    /// The designated router election winner among `candidates` — IGMPv2
+    /// picks the lowest address. Returns `None` for an empty slate.
+    pub fn elect_dr(candidates: &[u32]) -> Option<u32> {
+        candidates.iter().copied().min()
+    }
+
+    /// Host `h` joins `group` (sends an unsolicited report, as IGMPv2
+    /// joiners do). Returns the routing-visible edge.
+    pub fn host_join(&mut self, h: HostId, group: GroupId) -> MembershipEdge {
+        self.hosts.insert(h);
+        let set = self.members.entry(group).or_default();
+        let first = set.is_empty();
+        if set.insert(h) {
+            self.reports_sent += 1;
+            if first {
+                return MembershipEdge::FirstJoined(group);
+            }
+        }
+        MembershipEdge::NoChange
+    }
+
+    /// Host `h` leaves `group` (sends an IGMPv2 Leave; the DR then
+    /// queries and, if nobody reports, declares the group gone).
+    pub fn host_leave(&mut self, h: HostId, group: GroupId) -> MembershipEdge {
+        let Some(set) = self.members.get_mut(&group) else {
+            return MembershipEdge::NoChange;
+        };
+        if !set.remove(&h) {
+            return MembershipEdge::NoChange;
+        }
+        self.leaves_sent += 1;
+        // Last-member query: the DR asks; remaining members would answer.
+        self.queries_sent += 1;
+        if set.is_empty() {
+            self.members.remove(&group);
+            MembershipEdge::LastLeft(group)
+        } else {
+            MembershipEdge::NoChange
+        }
+    }
+
+    /// The DR's periodic general Query: every group with members is
+    /// answered by exactly one report (the others suppress). Returns the
+    /// groups confirmed alive.
+    pub fn general_query(&mut self) -> Vec<GroupId> {
+        self.queries_sent += 1;
+        let mut alive = Vec::new();
+        for (&g, set) in &self.members {
+            if !set.is_empty() {
+                alive.push(g);
+                self.reports_sent += 1;
+                self.reports_suppressed += set.len() as u64 - 1;
+            }
+        }
+        alive
+    }
+
+    /// Does any host on this subnet belong to `group`?
+    pub fn has_members(&self, group: GroupId) -> bool {
+        self.members.get(&group).is_some_and(|s| !s.is_empty())
+    }
+
+    /// Groups with at least one member host.
+    pub fn active_groups(&self) -> Vec<GroupId> {
+        self.members
+            .iter()
+            .filter(|(_, s)| !s.is_empty())
+            .map(|(&g, _)| g)
+            .collect()
+    }
+
+    /// Number of member hosts of `group`.
+    pub fn member_count(&self, group: GroupId) -> usize {
+        self.members.get(&group).map_or(0, |s| s.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const G: GroupId = GroupId(7);
+
+    #[test]
+    fn first_join_and_last_leave_are_edges() {
+        let mut s = Subnet::new();
+        assert_eq!(s.host_join(HostId(1), G), MembershipEdge::FirstJoined(G));
+        assert_eq!(s.host_join(HostId(2), G), MembershipEdge::NoChange);
+        assert_eq!(s.host_leave(HostId(1), G), MembershipEdge::NoChange);
+        assert_eq!(s.host_leave(HostId(2), G), MembershipEdge::LastLeft(G));
+        assert!(!s.has_members(G));
+    }
+
+    #[test]
+    fn duplicate_join_is_idempotent() {
+        let mut s = Subnet::new();
+        s.host_join(HostId(1), G);
+        assert_eq!(s.host_join(HostId(1), G), MembershipEdge::NoChange);
+        assert_eq!(s.member_count(G), 1);
+    }
+
+    #[test]
+    fn leave_of_non_member_is_noop() {
+        let mut s = Subnet::new();
+        assert_eq!(s.host_leave(HostId(9), G), MembershipEdge::NoChange);
+        s.host_join(HostId(1), G);
+        assert_eq!(s.host_leave(HostId(9), G), MembershipEdge::NoChange);
+        assert!(s.has_members(G));
+    }
+
+    #[test]
+    fn report_suppression_on_query() {
+        let mut s = Subnet::new();
+        for h in 0..5 {
+            s.host_join(HostId(h), G);
+        }
+        let before = s.reports_sent;
+        let alive = s.general_query();
+        assert_eq!(alive, vec![G]);
+        // One report answers the query, four are suppressed.
+        assert_eq!(s.reports_sent - before, 1);
+        assert_eq!(s.reports_suppressed, 4);
+    }
+
+    #[test]
+    fn dr_election_picks_lowest() {
+        assert_eq!(Subnet::elect_dr(&[30, 10, 20]), Some(10));
+        assert_eq!(Subnet::elect_dr(&[]), None);
+    }
+
+    #[test]
+    fn multiple_groups_tracked_independently() {
+        let mut s = Subnet::new();
+        let g2 = GroupId(8);
+        s.host_join(HostId(1), G);
+        s.host_join(HostId(1), g2);
+        assert_eq!(s.active_groups(), vec![G, g2]);
+        s.host_leave(HostId(1), G);
+        assert_eq!(s.active_groups(), vec![g2]);
+    }
+}

@@ -1,0 +1,41 @@
+//! # scmp-core — the Service-Centric Multicast Protocol
+//!
+//! This crate is the paper's primary contribution: the SCMP protocol of
+//! §II–III, implemented as state machines over the [`scmp_sim`]
+//! discrete-event engine.
+//!
+//! * [`message`] — the SCMP wire messages (JOIN/LEAVE/PRUNE, TREE and
+//!   BRANCH self-routing packets, encapsulated data, heartbeats).
+//! * [`tree_packet`] — the recursive self-routing TREE packet of §III-E,
+//!   including the word-level wire codec that reproduces the paper's
+//!   Fig. 6 example byte-for-byte, plus the BRANCH packet.
+//! * [`igmp`] — the host/subnet-facing IGMPv2-like model of §II-C
+//!   (queries, reports with suppression, leaves, DR election).
+//! * [`router`] — the [`ScmpRouter`] state machine: i-router forwarding
+//!   (§III-F), member joining/leaving (§III-B/C), TREE/BRANCH processing
+//!   (§III-E), and the m-router (§III-D: centralized DCDM tree
+//!   construction, membership database, accounting log, hot-standby
+//!   mirroring).
+//! * [`placement`] — the three §IV-A heuristics for locating the
+//!   m-router.
+//! * [`session`] — multicast session and group-address management
+//!   (§II-C), including the accounting/billing event log.
+//! * [`wire`] — a byte-level codec for complete SCMP packets (header +
+//!   per-type body), total and fuzz-tested.
+//!
+//! The m-router's switching fabric lives in [`scmp_fabric`]; the
+//! [`router::MRouterState`] assigns an output port per active group and
+//! keeps a configured [`scmp_fabric::SandwichFabric`] in sync with the
+//! group set.
+
+pub mod igmp;
+pub mod message;
+pub mod placement;
+pub mod router;
+pub mod session;
+pub mod tree_packet;
+pub mod wire;
+
+pub use message::ScmpMsg;
+pub use router::{ScmpConfig, ScmpRouter};
+pub use tree_packet::{BranchPacket, TreePacket};

@@ -1,0 +1,90 @@
+//! SCMP wire messages.
+//!
+//! The group id rides in the enclosing [`scmp_sim::Packet`]'s `group`
+//! field; message bodies carry only what §III puts in each packet type.
+
+use crate::tree_packet::{BranchPacket, TreePacket};
+use scmp_net::NodeId;
+
+/// Body of an SCMP packet.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ScmpMsg {
+    /// JOIN request, unicast from a DR to the m-router (§III-B):
+    /// carries the DR's address.
+    Join { requester: NodeId },
+    /// LEAVE notification, unicast from a DR to the m-router (§III-C).
+    Leave { requester: NodeId },
+    /// PRUNE, sent hop-by-hop from a leaf to its upstream (§III-C).
+    Prune,
+    /// Self-routing TREE packet: the receiver's whole subtree (§III-E).
+    /// `gen` is the m-router's per-group tree generation; i-routers
+    /// discard packets older than their installed state, which makes the
+    /// distribution immune to reordering between a restructure's TREE
+    /// refresh and an earlier join's still-in-flight BRANCH packet.
+    Tree { gen: u64, packet: TreePacket },
+    /// BRANCH packet: path from the m-router to one new member (§III-E),
+    /// generation-stamped like TREE.
+    Branch { gen: u64, packet: BranchPacket },
+    /// Explicit state removal for routers pruned during a centralized
+    /// tree restructure (loop elimination) — the TREE refresh never
+    /// reaches them, so the m-router tells them directly. The generation
+    /// doubles as a tombstone: stale TREE/BRANCH packets at or below it
+    /// are ignored.
+    Flush { gen: u64 },
+    /// Multicast payload travelling on the bidirectional tree (§III-F).
+    Data,
+    /// Payload from an off-tree source, encapsulated in unicast toward
+    /// the m-router (§III-F).
+    EncapData,
+    /// Primary→standby liveness beacon (§V, hot-standby design).
+    Heartbeat { seq: u64 },
+    /// Primary→standby membership mirror update.
+    StandbySync { member: NodeId, joined: bool },
+    /// New-primary announcement after a takeover: tells every router the
+    /// m-router address changed (the paper provisions the address via
+    /// router configuration; the takeover re-provisions it).
+    NewMRouter { address: NodeId },
+}
+
+impl ScmpMsg {
+    /// Short label for traces and debugging output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ScmpMsg::Join { .. } => "JOIN",
+            ScmpMsg::Leave { .. } => "LEAVE",
+            ScmpMsg::Prune => "PRUNE",
+            ScmpMsg::Tree { .. } => "TREE",
+            ScmpMsg::Branch { .. } => "BRANCH",
+            ScmpMsg::Flush { .. } => "FLUSH",
+            ScmpMsg::Data => "DATA",
+            ScmpMsg::EncapData => "ENCAP",
+            ScmpMsg::Heartbeat { .. } => "HEARTBEAT",
+            ScmpMsg::StandbySync { .. } => "SYNC",
+            ScmpMsg::NewMRouter { .. } => "NEW-MROUTER",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_cover_all_variants() {
+        let msgs = [
+            ScmpMsg::Join { requester: NodeId(1) },
+            ScmpMsg::Leave { requester: NodeId(1) },
+            ScmpMsg::Prune,
+            ScmpMsg::Tree { gen: 1, packet: TreePacket::leaf() },
+            ScmpMsg::Branch { gen: 1, packet: BranchPacket { path: vec![NodeId(1)] } },
+            ScmpMsg::Flush { gen: 1 },
+            ScmpMsg::Data,
+            ScmpMsg::EncapData,
+            ScmpMsg::Heartbeat { seq: 0 },
+            ScmpMsg::StandbySync { member: NodeId(1), joined: true },
+            ScmpMsg::NewMRouter { address: NodeId(2) },
+        ];
+        let labels: std::collections::BTreeSet<&str> = msgs.iter().map(|m| m.label()).collect();
+        assert_eq!(labels.len(), msgs.len(), "labels must be distinct");
+    }
+}

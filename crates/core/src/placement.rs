@@ -1,0 +1,192 @@
+//! m-router placement heuristics (§IV-A).
+//!
+//! "There is no such location of the m-router that it has the best
+//! performance under all conditions. However, there are some heuristics
+//! for placing the m-router to achieve good performance in most cases:
+//!
+//! * **Rule 1**: for each node, calculate the average delay between the
+//!   node and all the other nodes, and choose the node with less average
+//!   delay;
+//! * **Rule 2**: choose the node with a larger node degree;
+//! * **Rule 3**: choose the node lying on the path whose delay is equal
+//!   to the diameter of the graph."
+
+use scmp_net::{AllPairsPaths, Metric, NodeId, Topology};
+
+/// The three placement heuristics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PlacementRule {
+    /// Minimise average shortest-delay distance to all other nodes.
+    MinAverageDelay,
+    /// Maximise node degree.
+    MaxDegree,
+    /// Midpoint of a delay-diameter path.
+    DiameterPath,
+}
+
+impl PlacementRule {
+    /// All rules in paper order.
+    pub const ALL: [PlacementRule; 3] = [
+        PlacementRule::MinAverageDelay,
+        PlacementRule::MaxDegree,
+        PlacementRule::DiameterPath,
+    ];
+
+    /// Harness label.
+    pub fn label(self) -> &'static str {
+        match self {
+            PlacementRule::MinAverageDelay => "rule1-avg-delay",
+            PlacementRule::MaxDegree => "rule2-degree",
+            PlacementRule::DiameterPath => "rule3-diameter",
+        }
+    }
+}
+
+/// Sum of shortest delays from `v` to every other node.
+fn delay_sum(paths: &AllPairsPaths, topo: &Topology, v: NodeId) -> u64 {
+    topo.nodes()
+        .filter(|&u| u != v)
+        .map(|u| paths.unicast_delay(v, u).unwrap_or(u64::MAX / 2))
+        .sum()
+}
+
+/// Rule 1: the node with the smallest average shortest-delay distance to
+/// every other node (ties to the lower id).
+pub fn min_average_delay(topo: &Topology, paths: &AllPairsPaths) -> NodeId {
+    topo.nodes()
+        .min_by_key(|&v| (delay_sum(paths, topo, v), v))
+        .expect("non-empty topology")
+}
+
+/// Rule 2: the node with the largest degree (ties to the lower id).
+pub fn max_degree(topo: &Topology) -> NodeId {
+    topo.nodes()
+        .max_by_key(|&v| (topo.degree(v), std::cmp::Reverse(v)))
+        .expect("non-empty topology")
+}
+
+/// The delay diameter: the endpoints realising the largest pairwise
+/// shortest delay, and that delay.
+pub fn delay_diameter(topo: &Topology, paths: &AllPairsPaths) -> (NodeId, NodeId, u64) {
+    let mut best = (NodeId(0), NodeId(0), 0);
+    for a in topo.nodes() {
+        for b in topo.nodes() {
+            if a < b {
+                if let Some(d) = paths.unicast_delay(a, b) {
+                    if d > best.2 {
+                        best = (a, b, d);
+                    }
+                }
+            }
+        }
+    }
+    best
+}
+
+/// Rule 3: the node on a delay-diameter path whose distance to both
+/// endpoints is most balanced (the path's delay midpoint).
+pub fn diameter_midpoint(topo: &Topology, paths: &AllPairsPaths) -> NodeId {
+    let (a, b, total) = delay_diameter(topo, paths);
+    let path = paths.path(a, b, Metric::Delay).expect("connected");
+    let mut acc = 0u64;
+    let mut best = (u64::MAX, path[0]);
+    for pair in path.windows(2) {
+        acc += topo.link(pair[0], pair[1]).expect("path link").delay;
+        let imbalance = acc.abs_diff(total - acc);
+        if imbalance < best.0 {
+            best = (imbalance, pair[1]);
+        }
+    }
+    // Also consider the first node (imbalance = total).
+    if total.abs_diff(0) < best.0 {
+        best.1 = path[0];
+    }
+    best.1
+}
+
+/// Apply a placement rule.
+pub fn place(rule: PlacementRule, topo: &Topology, paths: &AllPairsPaths) -> NodeId {
+    match rule {
+        PlacementRule::MinAverageDelay => min_average_delay(topo, paths),
+        PlacementRule::MaxDegree => max_degree(topo),
+        PlacementRule::DiameterPath => diameter_midpoint(topo, paths),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scmp_net::graph::LinkWeight;
+    use scmp_net::topology::regular::{line, star};
+    use scmp_net::topology::examples::fig5;
+
+    #[test]
+    fn rule1_picks_center_of_line() {
+        let topo = line(5, LinkWeight::new(1, 1));
+        let ap = AllPairsPaths::compute(&topo);
+        assert_eq!(min_average_delay(&topo, &ap), NodeId(2));
+    }
+
+    #[test]
+    fn rule2_picks_hub_of_star() {
+        let topo = star(6, LinkWeight::new(1, 1));
+        assert_eq!(max_degree(&topo), NodeId(0));
+    }
+
+    #[test]
+    fn rule3_picks_middle_of_line() {
+        let topo = line(7, LinkWeight::new(1, 1));
+        let ap = AllPairsPaths::compute(&topo);
+        let (a, b, d) = delay_diameter(&topo, &ap);
+        assert_eq!((a, b, d), (NodeId(0), NodeId(6), 6));
+        assert_eq!(diameter_midpoint(&topo, &ap), NodeId(3));
+    }
+
+    #[test]
+    fn rules_run_on_fig5() {
+        let topo = fig5();
+        let ap = AllPairsPaths::compute(&topo);
+        for rule in PlacementRule::ALL {
+            let v = place(rule, &topo, &ap);
+            assert!(v.index() < topo.node_count(), "{}", rule.label());
+        }
+        // Diameter of fig5: ul(4, 5) = 4-1-0? compute: delay(4,5):
+        // 4-1-2-5 = 9+3+7 = 19, 4-1-0-2-5? = 9+3+4+7 = 23 → 19. Other
+        // pairs are smaller, so diameter is (4, 5).
+        let (a, b, d) = delay_diameter(&topo, &ap);
+        assert_eq!((a, b), (NodeId(4), NodeId(5)));
+        assert_eq!(d, 19);
+    }
+
+    #[test]
+    fn rule2_finds_scale_free_hub() {
+        use scmp_net::rng::rng_for;
+        use scmp_net::topology::ba::barabasi_albert;
+        // On a BA graph the max-degree heuristic must land on a true hub:
+        // degree several times the mean.
+        let topo = barabasi_albert(120, 2, &mut rng_for("placement-ba", 0));
+        let hub = max_degree(&topo);
+        assert!(topo.degree(hub) as f64 > topo.average_degree() * 3.0);
+        // And rule 1 picks a node with below-average eccentricity.
+        let ap = AllPairsPaths::compute(&topo);
+        let r1 = min_average_delay(&topo, &ap);
+        let avg_of = |v: scmp_net::NodeId| -> f64 {
+            let s: u64 = topo
+                .nodes()
+                .filter(|&u| u != v)
+                .map(|u| ap.unicast_delay(v, u).unwrap())
+                .sum();
+            s as f64 / (topo.node_count() - 1) as f64
+        };
+        let mean_all: f64 =
+            topo.nodes().map(avg_of).sum::<f64>() / topo.node_count() as f64;
+        assert!(avg_of(r1) < mean_all, "rule 1 must beat the average node");
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: std::collections::BTreeSet<_> =
+            PlacementRule::ALL.iter().map(|r| r.label()).collect();
+        assert_eq!(labels.len(), 3);
+    }
+}

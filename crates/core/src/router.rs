@@ -1,0 +1,1371 @@
+//! The SCMP router state machine (§II–III).
+//!
+//! Every node in the domain runs one [`ScmpRouter`]. Most are i-routers:
+//! they keep one multicast routing entry per group — the paper's triple
+//! *(group id, upstream, downstream)* — and perform only forwarding,
+//! TREE/BRANCH processing and PRUNE propagation. One node is the
+//! m-router: it owns the membership database, runs the DCDM algorithm on
+//! every JOIN/LEAVE, emits TREE/BRANCH packets, keeps the accounting log
+//! and (optionally) mirrors state to a hot-standby peer (§V item 4).
+//!
+//! Packet walk (Fig. 4): IGMP report → DR sends JOIN (unicast to
+//! m-router) → m-router updates the tree (DCDM) → BRANCH packet (simple
+//! graft) or TREE packets (restructure) install routing entries → data
+//! flows on the bidirectional shared tree, with off-tree sources
+//! encapsulating to the m-router.
+
+use crate::igmp::{HostId, MembershipEdge, Subnet};
+use crate::message::ScmpMsg;
+use crate::session::SessionDb;
+use crate::tree_packet::{BranchPacket, TreePacket};
+use scmp_fabric::{GroupRequest, SandwichFabric};
+use scmp_net::{AllPairsPaths, NodeId, Topology};
+use scmp_sim::{AppEvent, Ctx, GroupId, Packet, Router};
+use scmp_tree::{Dcdm, DelayBound, MulticastTree};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+/// Timer tokens.
+const TIMER_HEARTBEAT: u64 = 1;
+const TIMER_REBUILD: u64 = 3;
+/// Watchdog tokens are generation-stamped: `TIMER_WATCHDOG_BASE + gen`.
+/// Every heartbeat bumps the generation, so only the deadman timer armed
+/// after the *last* heartbeat can trigger a takeover.
+const TIMER_WATCHDOG_BASE: u64 = 1_000;
+/// Session-expiry tokens: `TIMER_EXPIRY_BASE + gid`. Must stay above
+/// every watchdog token; group ids are small in practice, and the bases
+/// are far enough apart that overlap would need 2^63 heartbeats.
+const TIMER_EXPIRY_BASE: u64 = 1 << 63;
+/// JOIN-retry tokens: `TIMER_JOIN_RETRY_BASE + gid`.
+const TIMER_JOIN_RETRY_BASE: u64 = 1 << 62;
+
+/// Domain-wide SCMP configuration, shared by every router.
+#[derive(Clone, Debug)]
+pub struct ScmpConfig {
+    /// The (primary) m-router's address, provisioned in every router's
+    /// configuration file (§III-A).
+    pub m_router: NodeId,
+    /// Additional m-routers for the §II-A extension ("an ISP may own
+    /// more than one m-routers ... our approach can be easily extended
+    /// to multiple m-routers per domain"). Groups are assigned
+    /// round-robin by group id across `[m_router] ∪ extra_m_routers`.
+    /// Mutually exclusive with `standby` (hot-standby failover is
+    /// implemented for the single-m-router configuration).
+    pub extra_m_routers: Vec<NodeId>,
+    /// Optional hot-standby m-router.
+    pub standby: Option<NodeId>,
+    /// Delay-bound regime handed to DCDM.
+    pub bound: DelayBound,
+    /// Primary→standby heartbeat period (0 disables failover machinery).
+    pub heartbeat_interval: u64,
+    /// After a takeover, wait this long before pushing rebuilt TREE
+    /// packets (lets the NewMRouter announcements land first).
+    pub takeover_rebuild_delay: u64,
+    /// Ablation switch: always distribute full TREE packets, never
+    /// BRANCH packets (§III-E motivates BRANCH as the cheap path; the
+    /// `ablation_branch` bench quantifies it).
+    pub tree_packets_only: bool,
+    /// Tear down a session after its group has been memberless this long
+    /// (§II-C: "tear down an expired multicast session" and "revoke a
+    /// multicast address from an abandoned multicast group").
+    /// 0 disables expiry.
+    pub session_expiry: u64,
+    /// Retransmit a JOIN if the tree has not reached this DR after this
+    /// long — protects membership against congestion-dropped JOIN or
+    /// TREE/BRANCH packets when the link-capacity model is active.
+    /// 0 disables retries.
+    pub join_retry: u64,
+}
+
+impl ScmpConfig {
+    /// Plain configuration: given m-router, dynamic bound, no standby.
+    pub fn new(m_router: NodeId) -> Self {
+        ScmpConfig {
+            m_router,
+            extra_m_routers: Vec::new(),
+            standby: None,
+            bound: DelayBound::Dynamic,
+            heartbeat_interval: 0,
+            takeover_rebuild_delay: 1_000,
+            tree_packets_only: false,
+            session_expiry: 0,
+            join_retry: 500_000,
+        }
+    }
+}
+
+/// Immutable domain context shared by all routers (the m-router's global
+/// knowledge; i-routers only use the topology for neighbour checks).
+#[derive(Debug)]
+pub struct ScmpDomain {
+    /// The domain topology.
+    pub topo: Topology,
+    /// Precomputed `P_sl`/`P_lc` tables (link-state database).
+    pub paths: AllPairsPaths,
+    /// Protocol configuration.
+    pub config: ScmpConfig,
+    /// Failover view: the topology with the primary m-router's links
+    /// removed, plus its path tables. Precomputed when a standby is
+    /// configured so the takeover plans trees around the dead primary.
+    pub failover: Option<(Topology, AllPairsPaths)>,
+}
+
+impl ScmpDomain {
+    /// Build the shared context (computes the path tables).
+    pub fn new(topo: Topology, config: ScmpConfig) -> Arc<Self> {
+        let paths = AllPairsPaths::compute(&topo);
+        let failover = config.standby.map(|_| {
+            let ft = topo.without_node(config.m_router);
+            let fp = AllPairsPaths::compute(&ft);
+            (ft, fp)
+        });
+        Arc::new(ScmpDomain {
+            topo,
+            paths,
+            config,
+            failover,
+        })
+    }
+}
+
+/// One multicast routing entry: the paper's *(gid, upstream, downstream)*
+/// triple; `downstream` splits into child routers and the local subnet
+/// interface.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RoutingEntry {
+    /// Parent router on the tree (`None` at the m-router).
+    pub upstream: Option<NodeId>,
+    /// Child routers on the tree.
+    pub downstream_routers: BTreeSet<NodeId>,
+    /// True when the local subnet has at least one member host.
+    pub local_interface: bool,
+    /// Tree generation this entry was last written at. TREE/BRANCH/FLUSH
+    /// packets carrying an older generation are ignored, so a stale
+    /// BRANCH overtaken by a restructure's TREE refresh cannot corrupt
+    /// the installed state.
+    pub gen: u64,
+}
+
+impl RoutingEntry {
+    /// The forwarding set `F` of §III-F: upstream ∪ downstream routers.
+    pub fn forwarding_set(&self) -> Vec<NodeId> {
+        let mut f: Vec<NodeId> = self.downstream_routers.iter().copied().collect();
+        if let Some(u) = self.upstream {
+            f.push(u);
+        }
+        f
+    }
+
+    /// A leaf entry with no local members can be discarded.
+    pub fn is_prunable(&self) -> bool {
+        self.downstream_routers.is_empty() && !self.local_interface
+    }
+}
+
+/// m-router-only state.
+#[derive(Debug)]
+pub struct MRouterState {
+    /// One mirrored multicast tree per group (§III-D: "the multicast
+    /// tree is constructed in the m-router before it is physically
+    /// formed in the domain").
+    trees: BTreeMap<GroupId, MulticastTree>,
+    /// Group/session database with the accounting log.
+    pub sessions: SessionDb,
+    /// Output-port assignment per group in the switching fabric.
+    fabric_ports: BTreeMap<GroupId, usize>,
+    /// The configured sandwich fabric (rebuilt when the group set
+    /// changes); `None` until the first group appears.
+    fabric: Option<SandwichFabric>,
+    /// Fabric port count (power of two ≥ 2 × expected groups).
+    fabric_size: usize,
+    /// Per-group tree generation, bumped on every membership change.
+    gens: BTreeMap<GroupId, u64>,
+    heartbeat_seq: u64,
+}
+
+impl MRouterState {
+    fn new() -> Self {
+        MRouterState {
+            trees: BTreeMap::new(),
+            sessions: SessionDb::new(),
+            fabric_ports: BTreeMap::new(),
+            fabric: None,
+            fabric_size: 64,
+            gens: BTreeMap::new(),
+            heartbeat_seq: 0,
+        }
+    }
+
+    /// Bump and return the tree generation for `group`.
+    fn next_gen(&mut self, group: GroupId) -> u64 {
+        let g = self.gens.entry(group).or_insert(0);
+        *g += 1;
+        *g
+    }
+
+    /// The mirrored tree for `group`, if the group has been seen.
+    pub fn tree(&self, group: GroupId) -> Option<&MulticastTree> {
+        self.trees.get(&group)
+    }
+
+    /// The fabric output port assigned to `group`.
+    pub fn fabric_port(&self, group: GroupId) -> Option<usize> {
+        self.fabric_ports.get(&group).copied()
+    }
+
+    /// Reconfigure the sandwich fabric for the current group set: one
+    /// input port per group (the line from the domain) merging onto the
+    /// group's assigned output port. In a deployed m-router the sources
+    /// of a group would occupy several input ports; the per-group
+    /// input-port set here is the minimal one that keeps the
+    /// configuration live and checked.
+    fn reconfigure_fabric(&mut self) {
+        let groups: Vec<GroupRequest> = self
+            .fabric_ports
+            .iter()
+            .enumerate()
+            .map(|(idx, (_, &port))| GroupRequest {
+                sources: vec![idx],
+                output: port,
+            })
+            .collect();
+        if groups.is_empty() {
+            self.fabric = None;
+            return;
+        }
+        self.fabric = Some(
+            SandwichFabric::configure(self.fabric_size, &groups)
+                .expect("port assignment is collision-free"),
+        );
+    }
+
+    fn assign_fabric_port(&mut self, group: GroupId) {
+        if self.fabric_ports.contains_key(&group) {
+            return;
+        }
+        // Grow the fabric when the group count approaches the port count
+        // (half the ports serve as source lines, half as group outputs —
+        // a bigger switching fabric is exactly the §II-B scaling story).
+        while self.fabric_ports.len() + 1 > self.fabric_size / 2 {
+            self.fabric_size *= 2;
+        }
+        // Deterministic first-free assignment from the top of the port
+        // range (low ports serve as source lines).
+        let used: BTreeSet<usize> = self.fabric_ports.values().copied().collect();
+        let port = (0..self.fabric_size)
+            .rev()
+            .find(|p| !used.contains(p))
+            .expect("fabric has free ports");
+        self.fabric_ports.insert(group, port);
+        self.reconfigure_fabric();
+    }
+}
+
+/// Standby-only state: the mirrored membership plus the deadman
+/// generation counter.
+#[derive(Debug)]
+pub struct StandbyState {
+    membership: SessionDb,
+    /// Bumped on every heartbeat; stale watchdog timers are ignored.
+    watchdog_gen: u64,
+}
+
+/// Role of a node in the SCMP domain.
+#[derive(Debug)]
+pub enum Role {
+    /// Ordinary intermediate multicast router.
+    IRouter,
+    /// The active master multicast router (boxed: the state is two
+    /// orders of magnitude larger than the other variants).
+    MRouter(Box<MRouterState>),
+    /// Hot standby mirroring the primary.
+    Standby(StandbyState),
+}
+
+/// The per-node SCMP state machine. Implements [`scmp_sim::Router`].
+pub struct ScmpRouter {
+    me: NodeId,
+    domain: Arc<ScmpDomain>,
+    /// Current believed m-router address (changes after a takeover).
+    m_router: NodeId,
+    role: Role,
+    /// Multicast routing table: one entry per group.
+    entries: BTreeMap<GroupId, RoutingEntry>,
+    /// Groups whose local interface is marked pending a TREE/BRANCH
+    /// packet (§III-B: "the interface ... is marked so that it will be
+    /// added to the downstream ... when the DR receives the TREE packet
+    /// later").
+    pending_interfaces: BTreeSet<GroupId>,
+    /// Flush tombstones: highest generation at which this router was
+    /// told to discard a group's state; older TREE/BRANCH are ignored.
+    flushed: BTreeMap<GroupId, u64>,
+    /// IGMP subnet model.
+    pub subnet: Subnet,
+    /// Sequential host ids for app-injected join/leave events.
+    next_host: u32,
+    /// Host stack per group so Leave events pop a real joined host.
+    joined_hosts: BTreeMap<GroupId, Vec<HostId>>,
+}
+
+impl ScmpRouter {
+    /// Create the state machine for node `me`.
+    pub fn new(me: NodeId, domain: Arc<ScmpDomain>) -> Self {
+        let cfg = &domain.config;
+        assert!(
+            cfg.extra_m_routers.is_empty() || cfg.standby.is_none(),
+            "hot standby is only supported with a single m-router"
+        );
+        let role = if me == cfg.m_router || cfg.extra_m_routers.contains(&me) {
+            Role::MRouter(Box::new(MRouterState::new()))
+        } else if Some(me) == cfg.standby {
+            Role::Standby(StandbyState {
+                membership: SessionDb::new(),
+                watchdog_gen: 0,
+            })
+        } else {
+            Role::IRouter
+        };
+        ScmpRouter {
+            me,
+            m_router: cfg.m_router,
+            domain,
+            role,
+            entries: BTreeMap::new(),
+            pending_interfaces: BTreeSet::new(),
+            flushed: BTreeMap::new(),
+            subnet: Subnet::new(),
+            next_host: 0,
+            joined_hosts: BTreeMap::new(),
+        }
+    }
+
+    /// The node's routing entry for `group` (None when off-tree).
+    pub fn entry(&self, group: GroupId) -> Option<&RoutingEntry> {
+        self.entries.get(&group)
+    }
+
+    /// Current believed m-router address (of the primary; per-group
+    /// addresses come from [`Self::m_router_for`]).
+    pub fn m_router_address(&self) -> NodeId {
+        self.m_router
+    }
+
+    /// The m-router serving `group`: round-robin over the configured
+    /// m-router set, or the (possibly failed-over) single m-router.
+    pub fn m_router_for(&self, group: GroupId) -> NodeId {
+        let extra = &self.domain.config.extra_m_routers;
+        if extra.is_empty() {
+            return self.m_router;
+        }
+        let idx = group.0 as usize % (1 + extra.len());
+        if idx == 0 {
+            self.domain.config.m_router
+        } else {
+            extra[idx - 1]
+        }
+    }
+
+    /// True while this node acts as the m-router.
+    pub fn is_m_router(&self) -> bool {
+        matches!(self.role, Role::MRouter(_))
+    }
+
+    /// m-router state, if this node is (currently) the m-router.
+    pub fn m_state(&self) -> Option<&MRouterState> {
+        match &self.role {
+            Role::MRouter(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Member joining / leaving (§III-B, §III-C)
+    // ------------------------------------------------------------------
+
+    fn handle_host_join(&mut self, group: GroupId, ctx: &mut Ctx<'_, ScmpMsg>) {
+        let host = HostId(self.next_host);
+        self.next_host += 1;
+        let edge = self.subnet.host_join(host, group);
+        self.joined_hosts.entry(group).or_default().push(host);
+        if edge != MembershipEdge::FirstJoined(group) {
+            return;
+        }
+        if let Some(entry) = self.entries.get_mut(&group) {
+            // Already on the tree: just open the interface; the JOIN is
+            // still sent "for possible accounting and billing purposes".
+            entry.local_interface = true;
+        } else {
+            self.pending_interfaces.insert(group);
+            let retry = self.domain.config.join_retry;
+            if retry > 0 {
+                ctx.set_timer(retry, TIMER_JOIN_RETRY_BASE + group.0 as u64);
+            }
+        }
+        let m = self.m_router_for(group);
+        let me = self.me;
+        ctx.unicast(m, Packet::control(group, ScmpMsg::Join { requester: me }));
+    }
+
+    /// JOIN retry: if the subnet still wants the group but no tree state
+    /// arrived (the JOIN or its TREE/BRANCH answer was lost), resend.
+    fn retry_join_if_unanswered(&mut self, group: GroupId, ctx: &mut Ctx<'_, ScmpMsg>) {
+        let wants = self.subnet.has_members(group);
+        let answered = self
+            .entries
+            .get(&group)
+            .is_some_and(|e| e.local_interface || !wants);
+        if !wants || answered || self.is_m_router() {
+            return;
+        }
+        self.pending_interfaces.insert(group);
+        let m = self.m_router_for(group);
+        let me = self.me;
+        ctx.unicast(m, Packet::control(group, ScmpMsg::Join { requester: me }));
+        let retry = self.domain.config.join_retry;
+        if retry > 0 {
+            ctx.set_timer(retry, TIMER_JOIN_RETRY_BASE + group.0 as u64);
+        }
+    }
+
+    fn handle_host_leave(&mut self, group: GroupId, ctx: &mut Ctx<'_, ScmpMsg>) {
+        let Some(host) = self.joined_hosts.get_mut(&group).and_then(|v| v.pop()) else {
+            return; // no joined host to leave
+        };
+        let edge = self.subnet.host_leave(host, group);
+        if edge != MembershipEdge::LastLeft(group) {
+            return;
+        }
+        self.pending_interfaces.remove(&group);
+        let mut send_leave = false;
+        if let Some(entry) = self.entries.get_mut(&group) {
+            entry.local_interface = false;
+            if entry.is_prunable() {
+                // Became a leaf: PRUNE upstream and forget the entry.
+                if let Some(up) = entry.upstream {
+                    ctx.send(up, Packet::control(group, ScmpMsg::Prune));
+                }
+                self.entries.remove(&group);
+                send_leave = true;
+            } else if !entry.downstream_routers.is_empty() {
+                // Still forwarding for children: LEAVE for accounting only.
+                send_leave = true;
+            }
+        } else {
+            // Leave raced ahead of the BRANCH/TREE install.
+            send_leave = true;
+        }
+        if send_leave {
+            let m = self.m_router_for(group);
+            let me = self.me;
+            ctx.unicast(m, Packet::control(group, ScmpMsg::Leave { requester: me }));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Data plane (§III-F)
+    // ------------------------------------------------------------------
+
+    fn handle_host_send(&mut self, group: GroupId, tag: u64, ctx: &mut Ctx<'_, ScmpMsg>) {
+        if let Some(entry) = self.entries.get(&group) {
+            let pkt = Packet::data(group, tag, ctx.now(), ScmpMsg::Data);
+            if entry.local_interface {
+                ctx.deliver_local(&pkt);
+            }
+            for to in entry.forwarding_set() {
+                ctx.send(to, pkt.clone());
+            }
+        } else {
+            // Off-tree source: encapsulate toward the m-router (§III-F).
+            let m = self.m_router_for(group);
+            let pkt = Packet::data(group, tag, ctx.now(), ScmpMsg::EncapData);
+            ctx.unicast(m, pkt);
+        }
+    }
+
+    fn forward_on_tree(&mut self, from: NodeId, pkt: Packet<ScmpMsg>, ctx: &mut Ctx<'_, ScmpMsg>) {
+        let Some(entry) = self.entries.get(&pkt.group) else {
+            ctx.drop_packet();
+            return;
+        };
+        let f = entry.forwarding_set();
+        if !f.contains(&from) {
+            // §III-F: packets from routers outside F are dropped.
+            ctx.drop_packet();
+            return;
+        }
+        if entry.local_interface {
+            ctx.deliver_local(&pkt);
+        }
+        for to in f {
+            if to != from {
+                ctx.send(to, pkt.clone());
+            }
+        }
+    }
+
+    fn handle_encap_data(&mut self, pkt: Packet<ScmpMsg>, ctx: &mut Ctx<'_, ScmpMsg>) {
+        if !self.is_m_router() {
+            // Stale sender configuration (e.g. right after a takeover):
+            // relay toward the address we believe in, unless that's us.
+            let m = self.m_router_for(pkt.group);
+            if m != self.me {
+                ctx.unicast(m, pkt);
+            } else {
+                ctx.drop_packet();
+            }
+            return;
+        }
+        // Decapsulate and push down the tree (§III-F).
+        let data = Packet {
+            body: ScmpMsg::Data,
+            ..pkt
+        };
+        if let Some(entry) = self.entries.get(&data.group) {
+            if entry.local_interface {
+                ctx.deliver_local(&data);
+            }
+            for to in entry.downstream_routers.clone() {
+                ctx.send(to, data.clone());
+            }
+        }
+        // No entry: empty group, payload evaporates at the root.
+    }
+
+    // ------------------------------------------------------------------
+    // Tree distribution (§III-E)
+    // ------------------------------------------------------------------
+
+    /// A TREE/BRANCH packet is stale when an equal-or-newer generation
+    /// has already been installed or flushed.
+    fn is_stale(&self, group: GroupId, gen: u64) -> bool {
+        if self.flushed.get(&group).is_some_and(|&fg| gen <= fg) {
+            return true;
+        }
+        self.entries.get(&group).is_some_and(|e| gen <= e.gen)
+    }
+
+    fn install_tree_packet(
+        &mut self,
+        from: NodeId,
+        group: GroupId,
+        gen: u64,
+        tp: TreePacket,
+        ctx: &mut Ctx<'_, ScmpMsg>,
+    ) {
+        if self.is_stale(group, gen) {
+            ctx.drop_packet();
+            return;
+        }
+        // The DR's subnet is the ground truth for the local interface:
+        // a concurrent restructure may have flushed an entry (losing the
+        // flag) while this router's own JOIN was still in flight.
+        self.pending_interfaces.remove(&group);
+        let local = self.subnet.has_members(group);
+        let entry = self.entries.entry(group).or_default();
+        let old_upstream = entry.upstream;
+        entry.upstream = Some(from);
+        entry.downstream_routers = tp.downstream_routers().into_iter().collect();
+        entry.gen = gen;
+        entry.local_interface = local;
+        // Moving under a new parent: tell the old one to stop forwarding
+        // to us, or it would keep a stale child pointer forever.
+        if let Some(old) = old_upstream {
+            if old != from {
+                ctx.send(old, Packet::control(group, ScmpMsg::Prune));
+            }
+        }
+        for (child, sub) in tp.split() {
+            ctx.send(child, Packet::control(group, ScmpMsg::Tree { gen, packet: sub }));
+        }
+        self.prune_if_orphaned(group, ctx);
+    }
+
+    fn install_branch_packet(
+        &mut self,
+        from: NodeId,
+        group: GroupId,
+        gen: u64,
+        bp: BranchPacket,
+        ctx: &mut Ctx<'_, ScmpMsg>,
+    ) {
+        if self.is_stale(group, gen) {
+            // A newer TREE refresh already encodes this (or a newer)
+            // tree; the stale branch must not resurrect old edges.
+            ctx.drop_packet();
+            return;
+        }
+        let (next, rest) = bp.advance(self.me);
+        self.pending_interfaces.remove(&group);
+        let local = self.subnet.has_members(group);
+        let entry = self.entries.entry(group).or_default();
+        let old_upstream = entry.upstream;
+        entry.upstream = Some(from);
+        entry.gen = gen;
+        entry.local_interface = local;
+        if let Some(old) = old_upstream {
+            if old != from {
+                ctx.send(old, Packet::control(group, ScmpMsg::Prune));
+            }
+        }
+        if let Some(next) = next {
+            entry.downstream_routers.insert(next);
+            ctx.send(next, Packet::control(group, ScmpMsg::Branch { gen, packet: rest }));
+        } else {
+            self.prune_if_orphaned(group, ctx);
+        }
+    }
+
+    /// A just-installed leaf entry with no local members (the join was
+    /// cancelled by a leave racing past it) prunes itself immediately.
+    fn prune_if_orphaned(&mut self, group: GroupId, ctx: &mut Ctx<'_, ScmpMsg>) {
+        if self.is_m_router() {
+            return;
+        }
+        if let Some(entry) = self.entries.get(&group) {
+            if entry.is_prunable() {
+                if let Some(up) = entry.upstream {
+                    ctx.send(up, Packet::control(group, ScmpMsg::Prune));
+                }
+                self.entries.remove(&group);
+            }
+        }
+    }
+
+    fn handle_prune(&mut self, from: NodeId, group: GroupId, ctx: &mut Ctx<'_, ScmpMsg>) {
+        let Some(entry) = self.entries.get_mut(&group) else {
+            return;
+        };
+        entry.downstream_routers.remove(&from);
+        if !self.is_m_router() {
+            self.prune_if_orphaned(group, ctx);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // m-router: centralized tree construction (§III-D)
+    // ------------------------------------------------------------------
+
+    fn m_handle_join(&mut self, group: GroupId, requester: NodeId, ctx: &mut Ctx<'_, ScmpMsg>) {
+        let domain = Arc::clone(&self.domain);
+        let me = self.me;
+        let Role::MRouter(state) = &mut self.role else {
+            return; // JOIN addressed to a node that is not the m-router
+        };
+        state.sessions.register_group(group);
+        state.sessions.record(ctx.now(), group, requester, true);
+        state.assign_fabric_port(group);
+        let gen = state.next_gen(group);
+        let tree = state
+            .trees
+            .remove(&group)
+            .unwrap_or_else(|| MulticastTree::new(domain.topo.node_count(), me));
+        let mut dcdm = Dcdm::with_tree(&domain.topo, &domain.paths, tree, domain.config.bound);
+        let outcome = dcdm.join(requester);
+        let tree = dcdm.into_tree();
+
+        // Refresh the m-router's own routing entry from the mirror.
+        let entry = self.entries.entry(group).or_default();
+        entry.upstream = None;
+        entry.downstream_routers = tree.children(me).iter().copied().collect();
+        if requester == me {
+            self.pending_interfaces.remove(&group);
+            entry.local_interface = true;
+        }
+
+        // Physically form the change in the domain.
+        if requester != me {
+            if outcome.path.len() == 1 {
+                // Requester was already a forwarder: its entry exists and
+                // its interface opened locally. Nothing to distribute.
+            } else if outcome.is_simple_graft() && !domain.config.tree_packets_only {
+                let path = tree.path_from_root(requester).expect("member on tree");
+                let bp = BranchPacket::from_root_path(&path);
+                let first = bp.path[0];
+                ctx.send(first, Packet::control(group, ScmpMsg::Branch { gen, packet: bp }));
+            } else {
+                // Restructured (or ablation): full TREE refresh, plus
+                // explicit flushes for routers pruned off the tree.
+                for &child in tree.children(me) {
+                    let tp = TreePacket::from_tree(&tree, child);
+                    ctx.send(child, Packet::control(group, ScmpMsg::Tree { gen, packet: tp }));
+                }
+                for &gone in &outcome.pruned {
+                    ctx.unicast(gone, Packet::control(group, ScmpMsg::Flush { gen }));
+                }
+            }
+        }
+
+        let Role::MRouter(state) = &mut self.role else {
+            unreachable!()
+        };
+        state.trees.insert(group, tree);
+        if let Some(standby) = domain.config.standby {
+            if standby != me {
+                ctx.unicast(
+                    standby,
+                    Packet::control(
+                        group,
+                        ScmpMsg::StandbySync {
+                            member: requester,
+                            joined: true,
+                        },
+                    ),
+                );
+            }
+        }
+    }
+
+    fn m_handle_leave(&mut self, group: GroupId, requester: NodeId, ctx: &mut Ctx<'_, ScmpMsg>) {
+        let domain = Arc::clone(&self.domain);
+        let me = self.me;
+        let Role::MRouter(state) = &mut self.role else {
+            return;
+        };
+        state.sessions.record(ctx.now(), group, requester, false);
+        state.next_gen(group);
+        let Some(tree) = state.trees.remove(&group) else {
+            return;
+        };
+        let mut dcdm = Dcdm::with_tree(&domain.topo, &domain.paths, tree, domain.config.bound);
+        dcdm.leave(requester);
+        let tree = dcdm.into_tree();
+        // The physical prune travels hop-by-hop from the leaving DR
+        // (§III-D: "the real prune operation is accomplished by the
+        // leaving member sending the PRUNE message upstream hop by
+        // hop") — the m-router only refreshes its mirror and entry.
+        let entry = self.entries.entry(group).or_default();
+        entry.downstream_routers = tree.children(me).iter().copied().collect();
+        if requester == me {
+            entry.local_interface = false;
+        }
+        let emptied = tree.member_count() == 0;
+        let Role::MRouter(state) = &mut self.role else {
+            unreachable!()
+        };
+        state.trees.insert(group, tree);
+        if emptied && domain.config.session_expiry > 0 {
+            ctx.set_timer(domain.config.session_expiry, TIMER_EXPIRY_BASE + group.0 as u64);
+        }
+        if let Some(standby) = domain.config.standby {
+            if standby != me {
+                ctx.unicast(
+                    standby,
+                    Packet::control(
+                        group,
+                        ScmpMsg::StandbySync {
+                            member: requester,
+                            joined: false,
+                        },
+                    ),
+                );
+            }
+        }
+    }
+
+    /// Expiry timer fired for a group: if it is still memberless, tear
+    /// down the session — revoke the address, free the fabric port and
+    /// drop the tree state.
+    fn expire_session_if_empty(&mut self, group: GroupId) {
+        let Role::MRouter(state) = &mut self.role else {
+            return;
+        };
+        let still_empty = state
+            .trees
+            .get(&group)
+            .is_none_or(|t| t.member_count() == 0);
+        if !still_empty {
+            return;
+        }
+        state.trees.remove(&group);
+        state.gens.remove(&group);
+        state.sessions.expire_group(group);
+        if state.fabric_ports.remove(&group).is_some() {
+            state.reconfigure_fabric();
+        }
+        self.entries.remove(&group);
+    }
+
+    // ------------------------------------------------------------------
+    // Hot standby (§V item 4)
+    // ------------------------------------------------------------------
+
+    fn standby_takeover(&mut self, ctx: &mut Ctx<'_, ScmpMsg>) {
+        let domain = Arc::clone(&self.domain);
+        let me = self.me;
+        let Role::Standby(standby) = std::mem::replace(&mut self.role, Role::IRouter) else {
+            return;
+        };
+        let mut state = Box::new(MRouterState::new());
+        state.sessions = standby.membership;
+        // Announce the new address to every router first; the rebuilt
+        // TREE packets follow after `takeover_rebuild_delay`.
+        for v in domain.topo.nodes() {
+            if v != me {
+                ctx.unicast(
+                    v,
+                    Packet::control(GroupId(0), ScmpMsg::NewMRouter { address: me }),
+                );
+            }
+        }
+        self.m_router = me;
+        self.role = Role::MRouter(state);
+        ctx.set_timer(domain.config.takeover_rebuild_delay, TIMER_REBUILD);
+    }
+
+    fn rebuild_after_takeover(&mut self, ctx: &mut Ctx<'_, ScmpMsg>) {
+        let domain = Arc::clone(&self.domain);
+        let me = self.me;
+        // Plan around the failed primary: its links are unusable.
+        let (topo, paths) = match &domain.failover {
+            Some((t, p)) => (t, p),
+            None => (&domain.topo, &domain.paths),
+        };
+        let Role::MRouter(state) = &mut self.role else {
+            return;
+        };
+        let groups: Vec<GroupId> = state.sessions.active_groups();
+        let mut rebuilt = Vec::new();
+        for group in groups {
+            // Members partitioned away by the primary's failure cannot be
+            // served until the operator restores connectivity; skip them.
+            let members: Vec<NodeId> = state
+                .sessions
+                .members_from_log(group)
+                .into_iter()
+                .filter(|&m| paths.unicast_delay(m, me).is_some())
+                .collect();
+            if members.is_empty() {
+                continue;
+            }
+            state.assign_fabric_port(group);
+            let mut dcdm = Dcdm::new(topo, paths, me, domain.config.bound);
+            for m in &members {
+                dcdm.join(*m);
+            }
+            rebuilt.push((group, dcdm.into_tree()));
+        }
+        for (group, tree) in rebuilt {
+            let Role::MRouter(state) = &mut self.role else {
+                unreachable!()
+            };
+            let gen = state.next_gen(group);
+            let entry = self.entries.entry(group).or_default();
+            entry.upstream = None;
+            entry.downstream_routers = tree.children(me).iter().copied().collect();
+            entry.local_interface = tree.is_member(me);
+            entry.gen = gen;
+            for &child in tree.children(me) {
+                let tp = TreePacket::from_tree(&tree, child);
+                ctx.send(child, Packet::control(group, ScmpMsg::Tree { gen, packet: tp }));
+            }
+            let Role::MRouter(state) = &mut self.role else {
+                unreachable!()
+            };
+            state.trees.insert(group, tree);
+        }
+    }
+}
+
+impl Router for ScmpRouter {
+    type Msg = ScmpMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, ScmpMsg>) {
+        let cfg = &self.domain.config;
+        if cfg.heartbeat_interval == 0 {
+            return;
+        }
+        match self.role {
+            Role::MRouter(_) if cfg.standby.is_some() => {
+                ctx.set_timer(cfg.heartbeat_interval, TIMER_HEARTBEAT);
+            }
+            Role::Standby(_) => {
+                // Generous first deadline: the primary may be several
+                // propagation delays away.
+                ctx.set_timer(cfg.heartbeat_interval * 8, TIMER_WATCHDOG_BASE);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_packet(&mut self, from: NodeId, pkt: Packet<ScmpMsg>, ctx: &mut Ctx<'_, ScmpMsg>) {
+        let group = pkt.group;
+        match pkt.body.clone() {
+            ScmpMsg::Join { requester } => self.m_handle_join(group, requester, ctx),
+            ScmpMsg::Leave { requester } => self.m_handle_leave(group, requester, ctx),
+            ScmpMsg::Prune => self.handle_prune(from, group, ctx),
+            ScmpMsg::Tree { gen, packet } => self.install_tree_packet(from, group, gen, packet, ctx),
+            ScmpMsg::Branch { gen, packet } => self.install_branch_packet(from, group, gen, packet, ctx),
+            ScmpMsg::Flush { gen } => {
+                let tomb = self.flushed.entry(group).or_insert(0);
+                if gen > *tomb {
+                    *tomb = gen;
+                }
+                // Only state at or below the flushed generation dies; a
+                // newer BRANCH/TREE may have legitimately re-added us
+                // while the flush was in flight.
+                if self.entries.get(&group).is_some_and(|e| e.gen <= gen) {
+                    self.entries.remove(&group);
+                }
+            }
+            ScmpMsg::Data => self.forward_on_tree(from, pkt, ctx),
+            ScmpMsg::EncapData => self.handle_encap_data(pkt, ctx),
+            ScmpMsg::Heartbeat { .. } => {
+                let interval = self.domain.config.heartbeat_interval;
+                if let Role::Standby(s) = &mut self.role {
+                    // Re-arm the deadman timer: takeover only when no
+                    // heartbeat lands for 4 intervals.
+                    s.watchdog_gen += 1;
+                    let gen = s.watchdog_gen;
+                    ctx.set_timer(interval * 4, TIMER_WATCHDOG_BASE + gen);
+                }
+            }
+            ScmpMsg::StandbySync { member, joined } => {
+                if let Role::Standby(s) = &mut self.role {
+                    s.membership.register_group(group);
+                    s.membership.record(ctx.now(), group, member, joined);
+                }
+            }
+            ScmpMsg::NewMRouter { address } => {
+                // The old trees are rooted at the dead primary: drop all
+                // forwarding state. The new m-router pushes fresh TREE
+                // packets after `takeover_rebuild_delay`; until they
+                // arrive, sources fall back to unicast encapsulation.
+                // Subnets that still have members re-mark their interface
+                // as pending so the rebuilt tree re-opens it on arrival.
+                self.m_router = address;
+                self.entries.clear();
+                self.flushed.clear();
+                self.pending_interfaces = self.subnet.active_groups().into_iter().collect();
+            }
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut Ctx<'_, ScmpMsg>) {
+        match token {
+            TIMER_HEARTBEAT => {
+                let cfg = self.domain.config.clone();
+                if let Role::MRouter(state) = &mut self.role {
+                    state.heartbeat_seq += 1;
+                    let seq = state.heartbeat_seq;
+                    if let Some(standby) = cfg.standby {
+                        ctx.unicast(
+                            standby,
+                            Packet::control(GroupId(0), ScmpMsg::Heartbeat { seq }),
+                        );
+                    }
+                    ctx.set_timer(cfg.heartbeat_interval, TIMER_HEARTBEAT);
+                }
+            }
+            TIMER_REBUILD => self.rebuild_after_takeover(ctx),
+            token if token >= TIMER_EXPIRY_BASE => {
+                self.expire_session_if_empty(GroupId((token - TIMER_EXPIRY_BASE) as u32));
+            }
+            token if token >= TIMER_JOIN_RETRY_BASE => {
+                self.retry_join_if_unanswered(GroupId((token - TIMER_JOIN_RETRY_BASE) as u32), ctx);
+            }
+            token if token >= TIMER_WATCHDOG_BASE => {
+                let take_over = match &self.role {
+                    Role::Standby(s) => token - TIMER_WATCHDOG_BASE == s.watchdog_gen,
+                    _ => false,
+                };
+                if take_over {
+                    self.standby_takeover(ctx);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_app(&mut self, ev: AppEvent, ctx: &mut Ctx<'_, ScmpMsg>) {
+        match ev {
+            AppEvent::Join(g) => self.handle_host_join(g, ctx),
+            AppEvent::Leave(g) => self.handle_host_leave(g, ctx),
+            AppEvent::Send { group, tag } => self.handle_host_send(group, tag, ctx),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scmp_net::topology::examples::fig5;
+    use scmp_sim::Engine;
+
+    const G: GroupId = GroupId(1);
+
+    fn build(topo: Topology, config: ScmpConfig) -> Engine<ScmpRouter> {
+        let domain = ScmpDomain::new(topo, config);
+        Engine::new(domain.topo.clone(), move |me, _, _| {
+            ScmpRouter::new(me, Arc::clone(&domain))
+        })
+    }
+
+    fn fig5_engine() -> Engine<ScmpRouter> {
+        build(fig5(), ScmpConfig::new(NodeId(0)))
+    }
+
+    #[test]
+    fn single_join_installs_branch() {
+        let mut e = fig5_engine();
+        e.schedule_app(0, NodeId(4), AppEvent::Join(G));
+        e.run_to_quiescence();
+        // BRANCH path 0-1-4: node 1 forwards, node 4 is the member.
+        let r1 = e.router(NodeId(1));
+        let entry = r1.entry(G).expect("node 1 on tree");
+        assert_eq!(entry.upstream, Some(NodeId(0)));
+        assert!(entry.downstream_routers.contains(&NodeId(4)));
+        assert!(!entry.local_interface);
+        let r4 = e.router(NodeId(4));
+        let entry = r4.entry(G).expect("node 4 on tree");
+        assert_eq!(entry.upstream, Some(NodeId(1)));
+        assert!(entry.local_interface);
+        // m-router mirror matches.
+        let m = e.router(NodeId(0)).m_state().unwrap();
+        assert!(m.tree(G).unwrap().is_member(NodeId(4)));
+    }
+
+    #[test]
+    fn fig5_walkthrough_forms_paper_tree() {
+        let mut e = fig5_engine();
+        e.schedule_app(0, NodeId(4), AppEvent::Join(G)); // g1
+        e.schedule_app(1_000, NodeId(3), AppEvent::Join(G)); // g2
+        e.schedule_app(2_000, NodeId(5), AppEvent::Join(G)); // g3
+        e.run_to_quiescence();
+        // Final tree (Fig. 5d): 0-1-4, 0-2, 2-3, 2-5.
+        let expect = [
+            (NodeId(0), None, vec![NodeId(1), NodeId(2)]),
+            (NodeId(1), Some(NodeId(0)), vec![NodeId(4)]),
+            (NodeId(2), Some(NodeId(0)), vec![NodeId(3), NodeId(5)]),
+            (NodeId(3), Some(NodeId(2)), vec![]),
+            (NodeId(4), Some(NodeId(1)), vec![]),
+            (NodeId(5), Some(NodeId(2)), vec![]),
+        ];
+        for (node, up, down) in expect {
+            let entry = e.router(node).entry(G).unwrap_or_else(|| panic!("{node:?} off tree"));
+            assert_eq!(entry.upstream, up, "{node:?} upstream");
+            let d: Vec<NodeId> = entry.downstream_routers.iter().copied().collect();
+            assert_eq!(d, down, "{node:?} downstream");
+        }
+    }
+
+    #[test]
+    fn on_tree_source_reaches_all_members() {
+        let mut e = fig5_engine();
+        for (t, n) in [(0, 4u32), (1_000, 3), (2_000, 5)] {
+            e.schedule_app(t, NodeId(n), AppEvent::Join(G));
+        }
+        e.schedule_app(10_000, NodeId(4), AppEvent::Send { group: G, tag: 1 });
+        e.run_to_quiescence();
+        for m in [4u32, 3, 5] {
+            assert_eq!(
+                e.stats().delivery_count(G, 1, NodeId(m)),
+                1,
+                "member {m}"
+            );
+        }
+        assert!(!e.stats().has_duplicate_deliveries());
+    }
+
+    #[test]
+    fn off_tree_source_encapsulates_via_m_router() {
+        let mut e = fig5_engine();
+        e.schedule_app(0, NodeId(4), AppEvent::Join(G));
+        // Node 5 is NOT on the tree; it sends.
+        e.schedule_app(5_000, NodeId(5), AppEvent::Send { group: G, tag: 7 });
+        e.run_to_quiescence();
+        assert_eq!(e.stats().delivery_count(G, 7, NodeId(4)), 1);
+        // Sender itself has no members: no local delivery.
+        assert_eq!(e.stats().delivery_count(G, 7, NodeId(5)), 0);
+    }
+
+    #[test]
+    fn leave_prunes_physically() {
+        let mut e = fig5_engine();
+        e.schedule_app(0, NodeId(4), AppEvent::Join(G));
+        e.schedule_app(1_000, NodeId(3), AppEvent::Join(G));
+        e.schedule_app(5_000, NodeId(4), AppEvent::Leave(G));
+        e.run_to_quiescence();
+        assert!(e.router(NodeId(4)).entry(G).is_none(), "4 pruned");
+        // Node 1 still forwards toward 2-3 (Fig. 5b tree), so it stays.
+        let e1 = e.router(NodeId(1)).entry(G).expect("1 keeps forwarding");
+        assert_eq!(
+            e1.downstream_routers.iter().copied().collect::<Vec<_>>(),
+            vec![NodeId(2)]
+        );
+        // Tree mirror agrees.
+        let m = e.router(NodeId(0)).m_state().unwrap();
+        assert!(!m.tree(G).unwrap().contains(NodeId(4)));
+        assert!(m.tree(G).unwrap().is_member(NodeId(3)));
+        // Data still reaches the remaining member.
+        let mut e2 = e;
+        let later = e2.now() + 20_000;
+        e2.schedule_app(later, NodeId(0), AppEvent::Send { group: G, tag: 2 });
+        e2.run_to_quiescence();
+        assert_eq!(e2.stats().delivery_count(G, 2, NodeId(3)), 1);
+        assert_eq!(e2.stats().delivery_count(G, 2, NodeId(4)), 0);
+    }
+
+    #[test]
+    fn second_host_join_and_partial_leave_keep_tree() {
+        let mut e = fig5_engine();
+        e.schedule_app(0, NodeId(4), AppEvent::Join(G));
+        e.schedule_app(1_000, NodeId(4), AppEvent::Join(G)); // second host, same subnet
+        e.schedule_app(2_000, NodeId(4), AppEvent::Leave(G)); // one host leaves
+        e.run_to_quiescence();
+        // Subnet still has a member: entry and interface stay.
+        let entry = e.router(NodeId(4)).entry(G).expect("still on tree");
+        assert!(entry.local_interface);
+    }
+
+    #[test]
+    fn m_router_subnet_membership() {
+        let mut e = fig5_engine();
+        e.schedule_app(0, NodeId(0), AppEvent::Join(G));
+        e.schedule_app(1_000, NodeId(4), AppEvent::Join(G));
+        e.schedule_app(5_000, NodeId(4), AppEvent::Send { group: G, tag: 3 });
+        e.run_to_quiescence();
+        // The m-router's own subnet hears the data.
+        assert_eq!(e.stats().delivery_count(G, 3, NodeId(0)), 1);
+        assert_eq!(e.stats().delivery_count(G, 3, NodeId(4)), 1);
+    }
+
+    #[test]
+    fn restructure_sends_tree_packets_and_flushes() {
+        // The Fig. 5 walkthrough restructures on g3's join; verify node
+        // entries stay consistent and no stale path remains from node 1
+        // to node 2.
+        let mut e = fig5_engine();
+        for (t, n) in [(0, 4u32), (1_000, 3), (2_000, 5)] {
+            e.schedule_app(t, NodeId(n), AppEvent::Join(G));
+        }
+        e.schedule_app(10_000, NodeId(0), AppEvent::Send { group: G, tag: 9 });
+        e.run_to_quiescence();
+        for m in [3u32, 4, 5] {
+            assert_eq!(e.stats().delivery_count(G, 9, NodeId(m)), 1, "member {m}");
+        }
+        assert!(!e.stats().has_duplicate_deliveries());
+        // Node 1's downstream no longer contains node 2.
+        assert!(!e
+            .router(NodeId(1))
+            .entry(G)
+            .unwrap()
+            .downstream_routers
+            .contains(&NodeId(2)));
+    }
+
+    #[test]
+    fn tree_packets_only_ablation_works() {
+        let mut cfg = ScmpConfig::new(NodeId(0));
+        cfg.tree_packets_only = true;
+        let mut e = build(fig5(), cfg);
+        for (t, n) in [(0, 4u32), (1_000, 3), (2_000, 5)] {
+            e.schedule_app(t, NodeId(n), AppEvent::Join(G));
+        }
+        e.schedule_app(10_000, NodeId(4), AppEvent::Send { group: G, tag: 1 });
+        e.run_to_quiescence();
+        for m in [3u32, 4, 5] {
+            assert_eq!(e.stats().delivery_count(G, 1, NodeId(m)), 1);
+        }
+    }
+
+    #[test]
+    fn fabric_port_assigned_per_group() {
+        let mut e = fig5_engine();
+        e.schedule_app(0, NodeId(4), AppEvent::Join(G));
+        e.schedule_app(0, NodeId(3), AppEvent::Join(GroupId(2)));
+        e.run_to_quiescence();
+        let m = e.router(NodeId(0)).m_state().unwrap();
+        let p1 = m.fabric_port(G).unwrap();
+        let p2 = m.fabric_port(GroupId(2)).unwrap();
+        assert_ne!(p1, p2);
+    }
+
+    #[test]
+    fn accounting_log_records_all_membership_traffic() {
+        let mut e = fig5_engine();
+        e.schedule_app(0, NodeId(4), AppEvent::Join(G));
+        e.schedule_app(1_000, NodeId(3), AppEvent::Join(G));
+        e.schedule_app(2_000, NodeId(4), AppEvent::Leave(G));
+        e.run_to_quiescence();
+        let m = e.router(NodeId(0)).m_state().unwrap();
+        let log = m.sessions.log();
+        assert_eq!(log.len(), 3);
+        assert!(log[0].joined && log[0].node == NodeId(4));
+        assert!(!log[2].joined && log[2].node == NodeId(4));
+        assert_eq!(m.sessions.members_from_log(G), vec![NodeId(3)]);
+    }
+
+    #[test]
+    fn failover_restores_service() {
+        let mut cfg = ScmpConfig::new(NodeId(0));
+        cfg.standby = Some(NodeId(2));
+        cfg.heartbeat_interval = 500;
+        cfg.takeover_rebuild_delay = 500;
+        let mut e = build(fig5(), cfg);
+        e.schedule_app(0, NodeId(4), AppEvent::Join(G));
+        e.schedule_app(1_000, NodeId(3), AppEvent::Join(G));
+        e.run_until(3_000);
+        // Primary dies.
+        e.set_node_down(NodeId(0), true);
+        e.run_until(20_000);
+        // Standby must have taken over.
+        assert!(e.router(NodeId(2)).is_m_router(), "standby promoted");
+        assert_eq!(e.router(NodeId(4)).m_router_address(), NodeId(2));
+        // Data from an off-tree source flows through the new m-router.
+        e.schedule_app(21_000, NodeId(1), AppEvent::Send { group: G, tag: 5 });
+        e.run_to_quiescence();
+        assert_eq!(e.stats().delivery_count(G, 5, NodeId(4)), 1);
+        assert_eq!(e.stats().delivery_count(G, 5, NodeId(3)), 1);
+    }
+
+    #[test]
+    fn no_takeover_while_primary_alive() {
+        let mut cfg = ScmpConfig::new(NodeId(0));
+        cfg.standby = Some(NodeId(2));
+        cfg.heartbeat_interval = 500;
+        let mut e = build(fig5(), cfg);
+        e.schedule_app(0, NodeId(4), AppEvent::Join(G));
+        e.run_until(50_000);
+        assert!(e.router(NodeId(0)).is_m_router());
+        assert!(!e.router(NodeId(2)).is_m_router());
+        assert_eq!(e.router(NodeId(4)).m_router_address(), NodeId(0));
+    }
+
+    #[test]
+    fn data_to_empty_group_evaporates() {
+        let mut e = fig5_engine();
+        e.schedule_app(0, NodeId(5), AppEvent::Send { group: G, tag: 1 });
+        e.run_to_quiescence();
+        assert_eq!(e.stats().distinct_deliveries(), 0);
+        // The encapsulated packet still cost data overhead on its way.
+        assert!(e.stats().data_overhead > 0);
+    }
+
+    #[test]
+    fn staleness_rules() {
+        // A protocol run stamps real generations...
+        let mut e = fig5_engine();
+        e.schedule_app(0, NodeId(4), AppEvent::Join(G));
+        e.run_to_quiescence();
+        assert!(e.router(NodeId(1)).entry(G).unwrap().gen >= 1);
+        // ...and the staleness predicate orders packets against both the
+        // installed entry and the flush tombstone.
+        let domain = ScmpDomain::new(fig5(), ScmpConfig::new(NodeId(0)));
+        let mut r = ScmpRouter::new(NodeId(1), domain);
+        r.entries.insert(
+            G,
+            RoutingEntry {
+                upstream: Some(NodeId(0)),
+                downstream_routers: [NodeId(4)].into(),
+                local_interface: false,
+                gen: 5,
+            },
+        );
+        assert!(r.is_stale(G, 5), "equal generation is stale");
+        assert!(r.is_stale(G, 3), "older generation is stale");
+        assert!(!r.is_stale(G, 6), "newer generation applies");
+        r.flushed.insert(G, 9);
+        assert!(r.is_stale(G, 7), "tombstone outranks the entry");
+        assert!(!r.is_stale(G, 10));
+    }
+
+    #[test]
+    fn join_retries_through_transient_failure() {
+        // The link carrying the JOIN is down when the host joins; the
+        // retry timer must re-register the member once it recovers.
+        let mut e = fig5_engine();
+        e.set_link_down(NodeId(0), NodeId(3), true);
+        e.set_link_down(NodeId(2), NodeId(3), true);
+        // Node 3 is now unreachable except via... fig5: 3 connects to 0
+        // and 2 only, so it is fully cut off.
+        e.schedule_app(0, NodeId(3), AppEvent::Join(G));
+        e.run_until(400_000);
+        assert!(e.router(NodeId(3)).entry(G).is_none(), "join lost while cut off");
+        e.set_link_down(NodeId(0), NodeId(3), false);
+        e.set_link_down(NodeId(2), NodeId(3), false);
+        e.run_to_quiescence();
+        let entry = e.router(NodeId(3)).entry(G).expect("retry re-registered");
+        assert!(entry.local_interface);
+        // Data now reaches it.
+        let later = e.now() + 10_000;
+        e.schedule_app(later, NodeId(5), AppEvent::Send { group: G, tag: 1 });
+        e.run_to_quiescence();
+        assert_eq!(e.stats().delivery_count(G, 1, NodeId(3)), 1);
+    }
+
+    #[test]
+    fn session_expires_after_memberless_period() {
+        use crate::session::SessionState;
+        let mut cfg = ScmpConfig::new(NodeId(0));
+        cfg.session_expiry = 100_000;
+        let mut e = build(fig5(), cfg);
+        e.schedule_app(0, NodeId(4), AppEvent::Join(G));
+        e.schedule_app(50_000, NodeId(4), AppEvent::Leave(G));
+        e.run_to_quiescence();
+        let m = e.router(NodeId(0)).m_state().unwrap();
+        assert!(m.tree(G).is_none(), "tree state torn down");
+        assert!(m.fabric_port(G).is_none(), "fabric port revoked");
+        assert_eq!(m.sessions.state(G), Some(SessionState::Expired));
+    }
+
+    #[test]
+    fn rejoin_before_expiry_cancels_teardown() {
+        let mut cfg = ScmpConfig::new(NodeId(0));
+        cfg.session_expiry = 500_000;
+        let mut e = build(fig5(), cfg);
+        e.schedule_app(0, NodeId(4), AppEvent::Join(G));
+        e.schedule_app(50_000, NodeId(4), AppEvent::Leave(G));
+        // Rejoin while the expiry timer is pending.
+        e.schedule_app(200_000, NodeId(3), AppEvent::Join(G));
+        e.run_to_quiescence();
+        let m = e.router(NodeId(0)).m_state().unwrap();
+        let tree = m.tree(G).expect("session survived");
+        assert!(tree.is_member(NodeId(3)));
+        // Data still flows.
+        let mut e2 = e;
+        e2.schedule_app(2_000_000, NodeId(5), AppEvent::Send { group: G, tag: 1 });
+        e2.run_to_quiescence();
+        assert_eq!(e2.stats().delivery_count(G, 1, NodeId(3)), 1);
+    }
+
+    #[test]
+    fn generations_increase_per_membership_change() {
+        let mut e = fig5_engine();
+        e.schedule_app(0, NodeId(4), AppEvent::Join(G));
+        e.run_to_quiescence();
+        let g1 = e.router(NodeId(4)).entry(G).unwrap().gen;
+        let later = e.now() + 10_000;
+        e.schedule_app(later, NodeId(3), AppEvent::Join(G));
+        e.run_to_quiescence();
+        let g2 = e.router(NodeId(3)).entry(G).unwrap().gen;
+        assert!(g2 > g1, "second join distributes a newer generation");
+    }
+
+    #[test]
+    fn rapid_join_leave_churn_stays_consistent() {
+        let mut e = fig5_engine();
+        let mut t = 0;
+        for round in 0..5 {
+            for n in [3u32, 4, 5] {
+                e.schedule_app(t, NodeId(n), AppEvent::Join(G));
+                t += 100;
+            }
+            for n in [3u32, 4, 5] {
+                e.schedule_app(t, NodeId(n), AppEvent::Leave(G));
+                t += 100;
+            }
+            let _ = round;
+        }
+        e.run_to_quiescence();
+        // Everyone left: no entries anywhere except possibly the root's.
+        for v in 1..6u32 {
+            assert!(
+                e.router(NodeId(v)).entry(G).is_none(),
+                "node {v} kept a stale entry"
+            );
+        }
+        let m = e.router(NodeId(0)).m_state().unwrap();
+        assert_eq!(m.tree(G).unwrap().member_count(), 0);
+        assert_eq!(m.tree(G).unwrap().on_tree_count(), 1);
+    }
+}

@@ -1,0 +1,317 @@
+//! TREE and BRANCH self-routing packets (§III-E).
+//!
+//! A TREE packet describes the whole subtree rooted at its receiver:
+//!
+//! ```text
+//! TREE := count, { child-address, subpacket-length, TREE }*
+//! ```
+//!
+//! The structure is recursive, mirroring the tree; routers forward TREE
+//! packets using only the information inside the packet (self-routing).
+//! The word-level encoding below reproduces the paper's Fig. 6 example
+//! exactly: the packet for node 2's subtree is
+//! `(3; 4,1,0; 5,7,2,7,1,0,8,1,0; 6,4,1,9,1,0)`.
+//!
+//! A BRANCH packet is the lightweight alternative for a minor change:
+//! the sequence of routers from (but excluding) the m-router down to a
+//! newly joining member.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use scmp_net::NodeId;
+use scmp_tree::MulticastTree;
+
+/// A recursive TREE packet: the subtree below one router.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TreePacket {
+    /// One entry per downstream router: its address and the subpacket
+    /// describing the subtree below it.
+    pub downstream: Vec<(NodeId, TreePacket)>,
+}
+
+/// Codec errors for the wire form.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CodecError {
+    /// Buffer ended mid-structure.
+    Truncated,
+    /// A subpacket length field disagreed with its actual extent.
+    LengthMismatch,
+    /// Trailing words after a complete packet.
+    TrailingData,
+}
+
+impl TreePacket {
+    /// A leaf packet (no downstream routers).
+    pub fn leaf() -> Self {
+        TreePacket {
+            downstream: Vec::new(),
+        }
+    }
+
+    /// Extract the subtree of `tree` rooted at `node` as a TREE packet.
+    pub fn from_tree(tree: &MulticastTree, node: NodeId) -> Self {
+        TreePacket {
+            downstream: tree
+                .children(node)
+                .iter()
+                .map(|&c| (c, TreePacket::from_tree(tree, c)))
+                .collect(),
+        }
+    }
+
+    /// Number of routers described (this node's subtree, excluding the
+    /// receiver itself).
+    pub fn router_count(&self) -> usize {
+        self.downstream
+            .iter()
+            .map(|(_, sub)| 1 + sub.router_count())
+            .sum()
+    }
+
+    /// The paper's word-level encoding:
+    /// `count, { address, length(words), subpacket-words }*`.
+    pub fn encode_words(&self) -> Vec<u32> {
+        let mut out = vec![self.downstream.len() as u32];
+        for (child, sub) in &self.downstream {
+            let words = sub.encode_words();
+            out.push(child.0);
+            out.push(words.len() as u32);
+            out.extend(words);
+        }
+        out
+    }
+
+    /// Decode the word-level form.
+    pub fn decode_words(words: &[u32]) -> Result<Self, CodecError> {
+        let (pkt, used) = Self::decode_words_inner(words)?;
+        if used != words.len() {
+            return Err(CodecError::TrailingData);
+        }
+        Ok(pkt)
+    }
+
+    fn decode_words_inner(words: &[u32]) -> Result<(Self, usize), CodecError> {
+        let Some(&count) = words.first() else {
+            return Err(CodecError::Truncated);
+        };
+        let mut pos = 1;
+        let mut downstream = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            if pos + 2 > words.len() {
+                return Err(CodecError::Truncated);
+            }
+            let child = NodeId(words[pos]);
+            let len = words[pos + 1] as usize;
+            pos += 2;
+            if pos + len > words.len() {
+                return Err(CodecError::Truncated);
+            }
+            let (sub, used) = Self::decode_words_inner(&words[pos..pos + len])?;
+            if used != len {
+                return Err(CodecError::LengthMismatch);
+            }
+            pos += len;
+            downstream.push((child, sub));
+        }
+        Ok((TreePacket { downstream }, pos))
+    }
+
+    /// Byte-level wire form (big-endian `u32` words) using `bytes`.
+    pub fn encode_bytes(&self) -> Bytes {
+        let words = self.encode_words();
+        let mut buf = BytesMut::with_capacity(words.len() * 4);
+        for w in words {
+            buf.put_u32(w);
+        }
+        buf.freeze()
+    }
+
+    /// Decode the byte-level wire form.
+    pub fn decode_bytes(mut bytes: Bytes) -> Result<Self, CodecError> {
+        if !bytes.len().is_multiple_of(4) {
+            return Err(CodecError::Truncated);
+        }
+        let mut words = Vec::with_capacity(bytes.len() / 4);
+        while bytes.has_remaining() {
+            words.push(bytes.get_u32());
+        }
+        Self::decode_words(&words)
+    }
+
+    /// Split into the per-child TREE packets an i-router forwards after
+    /// installing this packet (§III-E: "the TREE packet is split into
+    /// several smaller TREE packets each of which represents a subtree
+    /// rooted at one of the downstream routers").
+    pub fn split(self) -> Vec<(NodeId, TreePacket)> {
+        self.downstream
+    }
+
+    /// Downstream router addresses (the receiver's new children).
+    pub fn downstream_routers(&self) -> Vec<NodeId> {
+        self.downstream.iter().map(|(c, _)| *c).collect()
+    }
+}
+
+/// A BRANCH packet: routers on the path from the m-router (exclusive) to
+/// a new member (inclusive), in order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BranchPacket {
+    /// Remaining path; the head is always the current receiver.
+    pub path: Vec<NodeId>,
+}
+
+impl BranchPacket {
+    /// Build from a full root→member tree path (drops the root).
+    ///
+    /// # Panics
+    /// If the path has fewer than two nodes (root and member).
+    pub fn from_root_path(path: &[NodeId]) -> Self {
+        assert!(path.len() >= 2, "branch needs at least root and member");
+        BranchPacket {
+            path: path[1..].to_vec(),
+        }
+    }
+
+    /// The receiver pops itself off the head; returns the next hop to
+    /// forward to, if any.
+    ///
+    /// # Panics
+    /// If the head is not `me` (mis-routed packet).
+    pub fn advance(mut self, me: NodeId) -> (Option<NodeId>, BranchPacket) {
+        assert_eq!(self.path.first(), Some(&me), "BRANCH not addressed to {me:?}");
+        self.path.remove(0);
+        (self.path.first().copied(), self)
+    }
+
+    /// The final member this branch leads to.
+    pub fn member(&self) -> NodeId {
+        *self.path.last().expect("non-empty path")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scmp_net::topology::examples::fig6_tree_edges;
+
+    /// The tree of the paper's Fig. 6 (root = node 2).
+    fn fig6_tree() -> MulticastTree {
+        let mut t = MulticastTree::new(11, NodeId(2));
+        for (p, c) in fig6_tree_edges() {
+            t.attach(p, c);
+        }
+        t
+    }
+
+    #[test]
+    fn fig6_example_encoding_matches_paper() {
+        let pkt = TreePacket::from_tree(&fig6_tree(), NodeId(2));
+        // Paper: (3; 4,1,0; 5,7,2,7,1,0,8,1,0; 6,4,1,9,1,0)
+        assert_eq!(
+            pkt.encode_words(),
+            vec![3, 4, 1, 0, 5, 7, 2, 7, 1, 0, 8, 1, 0, 6, 4, 1, 9, 1, 0]
+        );
+    }
+
+    #[test]
+    fn fig6_split_matches_paper() {
+        let pkt = TreePacket::from_tree(&fig6_tree(), NodeId(2));
+        let parts = pkt.split();
+        assert_eq!(parts.len(), 3);
+        // Node 4's subpacket is (0); node 5's is (2,7,1,0,8,1,0);
+        // node 6's is (1,9,1,0) — exactly as the paper narrates.
+        assert_eq!(parts[0].0, NodeId(4));
+        assert_eq!(parts[0].1.encode_words(), vec![0]);
+        assert_eq!(parts[1].0, NodeId(5));
+        assert_eq!(parts[1].1.encode_words(), vec![2, 7, 1, 0, 8, 1, 0]);
+        assert_eq!(parts[2].0, NodeId(6));
+        assert_eq!(parts[2].1.encode_words(), vec![1, 9, 1, 0]);
+    }
+
+    #[test]
+    fn words_roundtrip() {
+        let pkt = TreePacket::from_tree(&fig6_tree(), NodeId(2));
+        let words = pkt.encode_words();
+        assert_eq!(TreePacket::decode_words(&words).unwrap(), pkt);
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let pkt = TreePacket::from_tree(&fig6_tree(), NodeId(2));
+        let bytes = pkt.encode_bytes();
+        assert_eq!(bytes.len(), 19 * 4);
+        assert_eq!(TreePacket::decode_bytes(bytes).unwrap(), pkt);
+    }
+
+    #[test]
+    fn decode_rejects_corruption() {
+        let pkt = TreePacket::from_tree(&fig6_tree(), NodeId(2));
+        let mut words = pkt.encode_words();
+        // Truncate.
+        words.pop();
+        assert_eq!(TreePacket::decode_words(&words), Err(CodecError::Truncated));
+        // Bad inner length.
+        let mut words = pkt.encode_words();
+        words[2] = 2; // node 4's subpacket claims 2 words but contains (0)
+        assert!(TreePacket::decode_words(&words).is_err());
+        // Trailing garbage.
+        let mut words = pkt.encode_words();
+        words.push(99);
+        assert!(matches!(
+            TreePacket::decode_words(&words),
+            Err(CodecError::TrailingData) | Err(CodecError::Truncated)
+        ));
+        // Odd byte length.
+        assert_eq!(
+            TreePacket::decode_bytes(Bytes::from_static(&[0, 0, 0])),
+            Err(CodecError::Truncated)
+        );
+    }
+
+    #[test]
+    fn leaf_encoding() {
+        let leaf = TreePacket::leaf();
+        assert_eq!(leaf.encode_words(), vec![0]);
+        assert_eq!(leaf.router_count(), 0);
+        assert_eq!(TreePacket::decode_words(&[0]).unwrap(), leaf);
+    }
+
+    #[test]
+    fn router_count_counts_subtree() {
+        let pkt = TreePacket::from_tree(&fig6_tree(), NodeId(2));
+        assert_eq!(pkt.router_count(), 6);
+    }
+
+    #[test]
+    fn branch_packet_walkthrough() {
+        // Paper: node 10 joins; BRANCH (2,4,10) sent to node 2.
+        let b = BranchPacket::from_root_path(&[NodeId(0), NodeId(2), NodeId(4), NodeId(10)]);
+        assert_eq!(b.path, vec![NodeId(2), NodeId(4), NodeId(10)]);
+        assert_eq!(b.member(), NodeId(10));
+        let (next, b) = b.advance(NodeId(2));
+        assert_eq!(next, Some(NodeId(4)));
+        let (next, b) = b.advance(NodeId(4));
+        assert_eq!(next, Some(NodeId(10)));
+        let (next, _) = b.advance(NodeId(10));
+        assert_eq!(next, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "not addressed")]
+    fn branch_misrouted_panics() {
+        let b = BranchPacket::from_root_path(&[NodeId(0), NodeId(2)]);
+        b.advance(NodeId(3));
+    }
+
+    #[test]
+    fn deep_chain_roundtrips() {
+        // A 50-deep chain exercises recursion depth in both directions.
+        let mut t = MulticastTree::new(51, NodeId(0));
+        for i in 1..51u32 {
+            t.attach(NodeId(i - 1), NodeId(i));
+        }
+        let pkt = TreePacket::from_tree(&t, NodeId(0));
+        assert_eq!(pkt.router_count(), 50);
+        let words = pkt.encode_words();
+        assert_eq!(TreePacket::decode_words(&words).unwrap(), pkt);
+    }
+}

@@ -1,0 +1,327 @@
+//! Wire codec for complete SCMP packets.
+//!
+//! The simulator passes [`ScmpMsg`] values by value, but a deployable
+//! SCMP needs a byte format. This module defines one: a fixed header
+//! (magic, version, message type, group, tag, creation timestamp)
+//! followed by a per-type body; the recursive TREE payload reuses the
+//! §III-E word encoding from [`crate::tree_packet`].
+//!
+//! ```text
+//! 0      2   3    4        8            16           24
+//! +------+---+----+--------+------------+------------+----....
+//! | magic|ver|type| group  |    tag     | created_at | body
+//! +------+---+----+--------+------------+------------+----....
+//! ```
+//!
+//! All integers big-endian. The codec is total: `decode(encode(p)) == p`
+//! for every representable packet (checked by property tests), and every
+//! truncation or corruption decodes to a typed error, never a panic.
+
+use crate::message::ScmpMsg;
+use crate::tree_packet::{BranchPacket, TreePacket};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use scmp_net::NodeId;
+use scmp_sim::{GroupId, Packet, PacketClass};
+
+/// Protocol magic: "SC".
+pub const MAGIC: u16 = 0x5343;
+/// Wire format version.
+pub const VERSION: u8 = 1;
+
+/// Message-type discriminants on the wire.
+#[repr(u8)]
+enum MsgType {
+    Join = 1,
+    Leave = 2,
+    Prune = 3,
+    Tree = 4,
+    Branch = 5,
+    Flush = 6,
+    Data = 7,
+    EncapData = 8,
+    Heartbeat = 9,
+    StandbySync = 10,
+    NewMRouter = 11,
+}
+
+/// Decode errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// First two bytes were not [`MAGIC`].
+    BadMagic,
+    /// Unsupported version byte.
+    BadVersion(u8),
+    /// Unknown message-type byte.
+    UnknownType(u8),
+    /// Buffer ended mid-field.
+    Truncated,
+    /// Bytes left over after a complete packet.
+    TrailingBytes,
+    /// Embedded TREE payload failed to decode.
+    BadTreePayload,
+}
+
+/// Serialise a packet.
+pub fn encode(pkt: &Packet<ScmpMsg>) -> Bytes {
+    let mut b = BytesMut::with_capacity(32);
+    b.put_u16(MAGIC);
+    b.put_u8(VERSION);
+    b.put_u8(type_of(&pkt.body) as u8);
+    b.put_u32(pkt.group.0);
+    b.put_u64(pkt.tag);
+    b.put_u64(pkt.created_at);
+    match &pkt.body {
+        ScmpMsg::Join { requester } | ScmpMsg::Leave { requester } => {
+            b.put_u32(requester.0);
+        }
+        ScmpMsg::Prune | ScmpMsg::Data | ScmpMsg::EncapData => {}
+        ScmpMsg::Tree { gen, packet } => {
+            b.put_u64(*gen);
+            let words = packet.encode_words();
+            b.put_u32(words.len() as u32);
+            for w in words {
+                b.put_u32(w);
+            }
+        }
+        ScmpMsg::Branch { gen, packet } => {
+            b.put_u64(*gen);
+            b.put_u16(packet.path.len() as u16);
+            for n in &packet.path {
+                b.put_u32(n.0);
+            }
+        }
+        ScmpMsg::Flush { gen } => b.put_u64(*gen),
+        ScmpMsg::Heartbeat { seq } => b.put_u64(*seq),
+        ScmpMsg::StandbySync { member, joined } => {
+            b.put_u32(member.0);
+            b.put_u8(u8::from(*joined));
+        }
+        ScmpMsg::NewMRouter { address } => b.put_u32(address.0),
+    }
+    b.freeze()
+}
+
+fn type_of(msg: &ScmpMsg) -> MsgType {
+    match msg {
+        ScmpMsg::Join { .. } => MsgType::Join,
+        ScmpMsg::Leave { .. } => MsgType::Leave,
+        ScmpMsg::Prune => MsgType::Prune,
+        ScmpMsg::Tree { .. } => MsgType::Tree,
+        ScmpMsg::Branch { .. } => MsgType::Branch,
+        ScmpMsg::Flush { .. } => MsgType::Flush,
+        ScmpMsg::Data => MsgType::Data,
+        ScmpMsg::EncapData => MsgType::EncapData,
+        ScmpMsg::Heartbeat { .. } => MsgType::Heartbeat,
+        ScmpMsg::StandbySync { .. } => MsgType::StandbySync,
+        ScmpMsg::NewMRouter { .. } => MsgType::NewMRouter,
+    }
+}
+
+/// The overhead class a message type belongs to (data payloads vs
+/// control traffic) — recomputed on decode so receivers cannot be fooled
+/// by a forged class field.
+fn class_of(msg: &ScmpMsg) -> PacketClass {
+    match msg {
+        ScmpMsg::Data | ScmpMsg::EncapData => PacketClass::Data,
+        _ => PacketClass::Control,
+    }
+}
+
+macro_rules! need {
+    ($buf:expr, $n:expr) => {
+        if $buf.remaining() < $n {
+            return Err(WireError::Truncated);
+        }
+    };
+}
+
+/// Deserialise a packet.
+pub fn decode(mut bytes: Bytes) -> Result<Packet<ScmpMsg>, WireError> {
+    need!(bytes, 2 + 1 + 1 + 4 + 8 + 8);
+    if bytes.get_u16() != MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    let version = bytes.get_u8();
+    if version != VERSION {
+        return Err(WireError::BadVersion(version));
+    }
+    let ty = bytes.get_u8();
+    let group = GroupId(bytes.get_u32());
+    let tag = bytes.get_u64();
+    let created_at = bytes.get_u64();
+    let body = match ty {
+        t if t == MsgType::Join as u8 => {
+            need!(bytes, 4);
+            ScmpMsg::Join {
+                requester: NodeId(bytes.get_u32()),
+            }
+        }
+        t if t == MsgType::Leave as u8 => {
+            need!(bytes, 4);
+            ScmpMsg::Leave {
+                requester: NodeId(bytes.get_u32()),
+            }
+        }
+        t if t == MsgType::Prune as u8 => ScmpMsg::Prune,
+        t if t == MsgType::Tree as u8 => {
+            need!(bytes, 8 + 4);
+            let gen = bytes.get_u64();
+            let count = bytes.get_u32() as usize;
+            need!(bytes, count * 4);
+            let words: Vec<u32> = (0..count).map(|_| bytes.get_u32()).collect();
+            let packet = TreePacket::decode_words(&words).map_err(|_| WireError::BadTreePayload)?;
+            ScmpMsg::Tree { gen, packet }
+        }
+        t if t == MsgType::Branch as u8 => {
+            need!(bytes, 8 + 2);
+            let gen = bytes.get_u64();
+            let len = bytes.get_u16() as usize;
+            need!(bytes, len * 4);
+            let path: Vec<NodeId> = (0..len).map(|_| NodeId(bytes.get_u32())).collect();
+            ScmpMsg::Branch {
+                gen,
+                packet: BranchPacket { path },
+            }
+        }
+        t if t == MsgType::Flush as u8 => {
+            need!(bytes, 8);
+            ScmpMsg::Flush {
+                gen: bytes.get_u64(),
+            }
+        }
+        t if t == MsgType::Data as u8 => ScmpMsg::Data,
+        t if t == MsgType::EncapData as u8 => ScmpMsg::EncapData,
+        t if t == MsgType::Heartbeat as u8 => {
+            need!(bytes, 8);
+            ScmpMsg::Heartbeat {
+                seq: bytes.get_u64(),
+            }
+        }
+        t if t == MsgType::StandbySync as u8 => {
+            need!(bytes, 5);
+            ScmpMsg::StandbySync {
+                member: NodeId(bytes.get_u32()),
+                joined: bytes.get_u8() != 0,
+            }
+        }
+        t if t == MsgType::NewMRouter as u8 => {
+            need!(bytes, 4);
+            ScmpMsg::NewMRouter {
+                address: NodeId(bytes.get_u32()),
+            }
+        }
+        other => return Err(WireError::UnknownType(other)),
+    };
+    if bytes.has_remaining() {
+        return Err(WireError::TrailingBytes);
+    }
+    let class = class_of(&body);
+    Ok(Packet {
+        class,
+        group,
+        tag,
+        created_at,
+        body,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(pkt: Packet<ScmpMsg>) {
+        let bytes = encode(&pkt);
+        let back = decode(bytes).expect("decodes");
+        assert_eq!(back.class, pkt.class);
+        assert_eq!(back.group, pkt.group);
+        assert_eq!(back.tag, pkt.tag);
+        assert_eq!(back.created_at, pkt.created_at);
+        assert_eq!(back.body, pkt.body);
+    }
+
+    #[test]
+    fn all_control_variants_roundtrip() {
+        let bodies = [
+            ScmpMsg::Join { requester: NodeId(7) },
+            ScmpMsg::Leave { requester: NodeId(9) },
+            ScmpMsg::Prune,
+            ScmpMsg::Flush { gen: 42 },
+            ScmpMsg::Heartbeat { seq: u64::MAX },
+            ScmpMsg::StandbySync { member: NodeId(3), joined: true },
+            ScmpMsg::StandbySync { member: NodeId(3), joined: false },
+            ScmpMsg::NewMRouter { address: NodeId(11) },
+            ScmpMsg::Branch {
+                gen: 5,
+                packet: BranchPacket { path: vec![NodeId(2), NodeId(4), NodeId(10)] },
+            },
+        ];
+        for body in bodies {
+            roundtrip(Packet::control(GroupId(3), body));
+        }
+    }
+
+    #[test]
+    fn data_variants_roundtrip_with_metadata() {
+        roundtrip(Packet::data(GroupId(1), 99, 123_456, ScmpMsg::Data));
+        roundtrip(Packet::data(GroupId(1), 100, 123_457, ScmpMsg::EncapData));
+    }
+
+    #[test]
+    fn tree_message_roundtrips_fig6() {
+        use scmp_net::topology::examples::fig6_tree_edges;
+        use scmp_tree::MulticastTree;
+        let mut t = MulticastTree::new(11, NodeId(2));
+        for (p, c) in fig6_tree_edges() {
+            t.attach(p, c);
+        }
+        let tp = TreePacket::from_tree(&t, NodeId(2));
+        roundtrip(Packet::control(GroupId(8), ScmpMsg::Tree { gen: 17, packet: tp }));
+    }
+
+    #[test]
+    fn class_is_recomputed_not_trusted() {
+        // Even if the caller mislabels the class, decode derives it from
+        // the message type.
+        let mut pkt = Packet::control(GroupId(1), ScmpMsg::Data);
+        pkt.class = PacketClass::Control; // forged
+        let back = decode(encode(&pkt)).unwrap();
+        assert_eq!(back.class, PacketClass::Data);
+    }
+
+    #[test]
+    fn rejects_bad_magic_version_type() {
+        let good = encode(&Packet::control(GroupId(1), ScmpMsg::Prune));
+        let mut v = good.to_vec();
+        v[0] = 0xff;
+        assert_eq!(decode(Bytes::from(v)).unwrap_err(), WireError::BadMagic);
+        let mut v = good.to_vec();
+        v[2] = 99;
+        assert_eq!(decode(Bytes::from(v)).unwrap_err(), WireError::BadVersion(99));
+        let mut v = good.to_vec();
+        v[3] = 200;
+        assert_eq!(decode(Bytes::from(v)).unwrap_err(), WireError::UnknownType(200));
+    }
+
+    #[test]
+    fn rejects_truncation_everywhere() {
+        let pkt = Packet::control(
+            GroupId(4),
+            ScmpMsg::Branch {
+                gen: 9,
+                packet: BranchPacket { path: vec![NodeId(1), NodeId(2)] },
+            },
+        );
+        let bytes = encode(&pkt);
+        for cut in 0..bytes.len() {
+            let r = decode(bytes.slice(0..cut));
+            assert!(r.is_err(), "cut at {cut} decoded");
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_bytes() {
+        let mut v = encode(&Packet::control(GroupId(1), ScmpMsg::Prune)).to_vec();
+        v.push(0);
+        assert_eq!(decode(Bytes::from(v)).unwrap_err(), WireError::TrailingBytes);
+    }
+}

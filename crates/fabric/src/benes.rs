@@ -1,0 +1,269 @@
+//! Beneš rearrangeably-nonblocking permutation networks.
+//!
+//! A Beneš network of size `n = 2^k` consists of an input column of
+//! `n/2` 2×2 crossbars, two recursively nested size-`n/2` Beneš networks
+//! (the *top* and *bottom* subnets), and an output column of `n/2`
+//! crossbars — `2k − 1` columns in total. Any permutation of the `n`
+//! inputs can be realised; the constructive proof is the *looping
+//! algorithm* implemented by [`Benes::route`].
+//!
+//! The m-router uses two of these: the PN in front of the CCN and the DN
+//! behind it (§II-B).
+
+/// A configured Beneš network.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Benes {
+    /// Size-2 base case: one crossbar, `true` = crossed.
+    Single(bool),
+    /// Size-`n` recursive case.
+    Rec {
+        /// Input-column crossbar settings (`n/2` of them).
+        in_sw: Vec<bool>,
+        /// Top subnet (lines leaving crossbar upper outputs).
+        top: Box<Benes>,
+        /// Bottom subnet (lines leaving crossbar lower outputs).
+        bottom: Box<Benes>,
+        /// Output-column crossbar settings.
+        out_sw: Vec<bool>,
+        /// Port count `n`.
+        n: usize,
+    },
+}
+
+impl Benes {
+    /// Port count of this network.
+    pub fn size(&self) -> usize {
+        match self {
+            Benes::Single(_) => 2,
+            Benes::Rec { n, .. } => *n,
+        }
+    }
+
+    /// Number of crossbar columns: `2·log₂n − 1`.
+    pub fn depth(&self) -> usize {
+        match self {
+            Benes::Single(_) => 1,
+            Benes::Rec { top, .. } => top.depth() + 2,
+        }
+    }
+
+    /// Total number of 2×2 crossbars.
+    pub fn switch_count(&self) -> usize {
+        match self {
+            Benes::Single(_) => 1,
+            Benes::Rec { top, bottom, n, .. } => n + top.switch_count() + bottom.switch_count(),
+        }
+    }
+
+    /// Route `perm`: configure the network so input `i` exits at output
+    /// `perm[i]`.
+    ///
+    /// # Panics
+    /// If `perm.len()` is not a power of two ≥ 2 or `perm` is not a
+    /// permutation.
+    pub fn route(perm: &[usize]) -> Benes {
+        let n = perm.len();
+        assert!(n >= 2 && n.is_power_of_two(), "size must be a power of two ≥ 2");
+        let mut seen = vec![false; n];
+        for &p in perm {
+            assert!(p < n && !seen[p], "not a permutation");
+            seen[p] = true;
+        }
+        Self::route_unchecked(perm)
+    }
+
+    fn route_unchecked(perm: &[usize]) -> Benes {
+        let n = perm.len();
+        if n == 2 {
+            return Benes::Single(perm[0] == 1);
+        }
+        // inverse permutation
+        let mut inv = vec![0usize; n];
+        for (i, &p) in perm.iter().enumerate() {
+            inv[p] = i;
+        }
+        // Looping algorithm: 2-colour inputs/outputs with subnet ids so
+        // that crossbar partners differ and in_sub[i] == out_sub[perm[i]].
+        const UNSET: u8 = 2;
+        let mut in_sub = vec![UNSET; n];
+        let mut out_sub = vec![UNSET; n];
+        for start in 0..n {
+            if in_sub[start] != UNSET {
+                continue;
+            }
+            let mut i = start;
+            let mut colour = 0u8;
+            loop {
+                in_sub[i] = colour;
+                let o = perm[i];
+                out_sub[o] = colour;
+                let o2 = o ^ 1; // partner output in the same crossbar
+                out_sub[o2] = colour ^ 1;
+                let j = inv[o2];
+                let j2 = j ^ 1; // partner input
+                if in_sub[j] != UNSET {
+                    debug_assert_eq!(in_sub[j], colour ^ 1);
+                    break;
+                }
+                in_sub[j] = colour ^ 1;
+                if in_sub[j2] != UNSET {
+                    break;
+                }
+                // Continue the chain from j's crossbar partner, which is
+                // forced to the colour opposite to j's.
+                i = j2;
+                colour = in_sub[j] ^ 1;
+            }
+        }
+        // Crossbar settings from the colouring.
+        let half = n / 2;
+        let in_sw: Vec<bool> = (0..half).map(|s| in_sub[2 * s] == 1).collect();
+        let out_sw: Vec<bool> = (0..half).map(|t| out_sub[2 * t] == 1).collect();
+        // Sub-permutations.
+        let mut top_perm = vec![0usize; half];
+        let mut bot_perm = vec![0usize; half];
+        for i in 0..n {
+            let s = i / 2;
+            let t = perm[i] / 2;
+            if in_sub[i] == 0 {
+                top_perm[s] = t;
+            } else {
+                bot_perm[s] = t;
+            }
+        }
+        Benes::Rec {
+            in_sw,
+            top: Box::new(Self::route_unchecked(&top_perm)),
+            bottom: Box::new(Self::route_unchecked(&bot_perm)),
+            out_sw,
+            n,
+        }
+    }
+
+    /// Trace a cell entering at `input` through the configured crossbars
+    /// and return the output port it exits at.
+    pub fn eval(&self, input: usize) -> usize {
+        match self {
+            Benes::Single(cross) => {
+                assert!(input < 2);
+                if *cross {
+                    input ^ 1
+                } else {
+                    input
+                }
+            }
+            Benes::Rec {
+                in_sw,
+                top,
+                bottom,
+                out_sw,
+                n,
+            } => {
+                assert!(input < *n);
+                let s = input / 2;
+                let pos = input % 2;
+                let out_pos = if in_sw[s] { pos ^ 1 } else { pos };
+                // Upper crossbar output feeds top subnet line s; lower
+                // feeds bottom subnet line s.
+                let (t, from_bottom) = if out_pos == 0 {
+                    (top.eval(s), false)
+                } else {
+                    (bottom.eval(s), true)
+                };
+                // Output crossbar t: top subnet arrives at its upper
+                // input, bottom at its lower input.
+                let pos_in = if from_bottom { 1 } else { 0 };
+                let pos_out = if out_sw[t] { pos_in ^ 1 } else { pos_in };
+                2 * t + pos_out
+            }
+        }
+    }
+
+    /// Evaluate the whole permutation this configuration realises.
+    pub fn permutation(&self) -> Vec<usize> {
+        (0..self.size()).map(|i| self.eval(i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+
+    fn check(perm: Vec<usize>) {
+        let b = Benes::route(&perm);
+        assert_eq!(b.permutation(), perm);
+    }
+
+    #[test]
+    fn identity_and_swap_size2() {
+        check(vec![0, 1]);
+        check(vec![1, 0]);
+    }
+
+    #[test]
+    fn all_permutations_size4() {
+        // Exhaustive over 4! = 24 permutations.
+        let mut p = vec![0, 1, 2, 3];
+        let mut perms = Vec::new();
+        permute(&mut p, 0, &mut perms);
+        assert_eq!(perms.len(), 24);
+        for perm in perms {
+            check(perm);
+        }
+    }
+
+    fn permute(p: &mut Vec<usize>, k: usize, out: &mut Vec<Vec<usize>>) {
+        if k == p.len() {
+            out.push(p.clone());
+            return;
+        }
+        for i in k..p.len() {
+            p.swap(k, i);
+            permute(p, k + 1, out);
+            p.swap(k, i);
+        }
+    }
+
+    #[test]
+    fn all_permutations_size8_sampled_plus_structured() {
+        check((0..8).collect()); // identity
+        check((0..8).rev().collect()); // reversal
+        check(vec![1, 0, 3, 2, 5, 4, 7, 6]); // neighbour swaps
+        check(vec![4, 5, 6, 7, 0, 1, 2, 3]); // halves swap
+    }
+
+    #[test]
+    fn random_permutations_large() {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(42);
+        for &n in &[8usize, 16, 32, 64, 128] {
+            for _ in 0..20 {
+                let mut perm: Vec<usize> = (0..n).collect();
+                perm.shuffle(&mut rng);
+                check(perm);
+            }
+        }
+    }
+
+    #[test]
+    fn depth_and_switch_count() {
+        let b = Benes::route(&(0..16).collect::<Vec<_>>());
+        assert_eq!(b.size(), 16);
+        assert_eq!(b.depth(), 2 * 4 - 1); // 2 log2(16) - 1 = 7
+        // N/2 switches per column × depth columns: 8 × 7 = 56.
+        assert_eq!(b.switch_count(), 56);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        Benes::route(&[0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn rejects_duplicates() {
+        Benes::route(&[0, 0, 1, 2]);
+    }
+}

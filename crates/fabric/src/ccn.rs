@@ -1,0 +1,151 @@
+//! The connection component network (CCN).
+//!
+//! §II-B: "The CCN realizes the connections of multiple sources by
+//! merging them in a reversed tree rooted at an output ... the multiple
+//! sources can share one multicast tree via the connections in the CCN.
+//! However, ... sources to different multicast groups are never
+//! connected in the switching fabric."
+//!
+//! Physically the CCN is a column of fan-in (merge) trees over adjacent
+//! lines — it can merge any set of *contiguous* line runs, each run onto
+//! its first line. The sandwich PN's job is exactly to make each group's
+//! sources contiguous. This module is a cycle-accurate functional model:
+//! configuration assigns a component id per line, evaluation maps an
+//! input line to the output line its component is rooted at, with
+//! structural checks that no two components overlap or interleave.
+
+/// A configured CCN over `n` lines.
+#[derive(Clone, Debug)]
+pub struct ConnectionComponentNetwork {
+    /// Component id per line (`None` = idle line, passed through).
+    component: Vec<Option<usize>>,
+    /// Root line (first line) per component id.
+    root: Vec<usize>,
+}
+
+/// Errors rejected at configuration time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CcnError {
+    /// A run referenced a line ≥ n or was empty.
+    BadRun,
+    /// Two runs claimed the same line (groups would be connected).
+    Overlap { line: usize },
+    /// A run was not contiguous (the PN must pre-sort lines).
+    NotContiguous { component: usize },
+}
+
+impl ConnectionComponentNetwork {
+    /// Configure merge components. `runs[k]` is the sorted list of lines
+    /// belonging to component `k`; each run must be non-empty,
+    /// contiguous, and disjoint from every other run.
+    pub fn configure(n: usize, runs: &[Vec<usize>]) -> Result<Self, CcnError> {
+        let mut component = vec![None; n];
+        let mut root = Vec::with_capacity(runs.len());
+        for (k, run) in runs.iter().enumerate() {
+            if run.is_empty() || run.iter().any(|&l| l >= n) {
+                return Err(CcnError::BadRun);
+            }
+            let lo = run[0];
+            for (off, &l) in run.iter().enumerate() {
+                if l != lo + off {
+                    return Err(CcnError::NotContiguous { component: k });
+                }
+                if component[l].is_some() {
+                    return Err(CcnError::Overlap { line: l });
+                }
+                component[l] = Some(k);
+            }
+            root.push(lo);
+        }
+        Ok(ConnectionComponentNetwork { component, root })
+    }
+
+    /// Number of lines.
+    pub fn size(&self) -> usize {
+        self.component.len()
+    }
+
+    /// Output line for a cell entering on `line`: the root of its merge
+    /// component, or the line itself when idle (pass-through).
+    pub fn eval(&self, line: usize) -> usize {
+        match self.component[line] {
+            Some(k) => self.root[k],
+            None => line,
+        }
+    }
+
+    /// Component id of `line`, if any.
+    pub fn component_of(&self, line: usize) -> Option<usize> {
+        self.component[line]
+    }
+
+    /// Gate-level depth of the merge trees: ⌈log₂(max run length)⌉
+    /// levels of 2-input merge elements (0 when nothing merges).
+    pub fn depth(&self) -> usize {
+        let mut max_len = 1usize;
+        for k in 0..self.root.len() {
+            let len = self.component.iter().filter(|c| **c == Some(k)).count();
+            max_len = max_len.max(len);
+        }
+        usize::BITS as usize - (max_len - 1).leading_zeros() as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merges_runs_to_roots() {
+        let c = ConnectionComponentNetwork::configure(8, &[vec![1, 2, 3], vec![5, 6]]).unwrap();
+        assert_eq!(c.eval(1), 1);
+        assert_eq!(c.eval(2), 1);
+        assert_eq!(c.eval(3), 1);
+        assert_eq!(c.eval(5), 5);
+        assert_eq!(c.eval(6), 5);
+        // Idle lines pass through.
+        assert_eq!(c.eval(0), 0);
+        assert_eq!(c.eval(4), 4);
+        assert_eq!(c.eval(7), 7);
+    }
+
+    #[test]
+    fn isolation_between_components() {
+        let c = ConnectionComponentNetwork::configure(8, &[vec![0, 1], vec![2, 3]]).unwrap();
+        assert_ne!(c.eval(0), c.eval(2));
+        assert_ne!(c.component_of(1), c.component_of(2));
+    }
+
+    #[test]
+    fn rejects_overlap() {
+        let e = ConnectionComponentNetwork::configure(4, &[vec![0, 1], vec![1, 2]]);
+        assert_eq!(e.unwrap_err(), CcnError::Overlap { line: 1 });
+    }
+
+    #[test]
+    fn rejects_non_contiguous() {
+        let e = ConnectionComponentNetwork::configure(4, &[vec![0, 2]]);
+        assert_eq!(e.unwrap_err(), CcnError::NotContiguous { component: 0 });
+    }
+
+    #[test]
+    fn rejects_bad_lines() {
+        assert_eq!(
+            ConnectionComponentNetwork::configure(4, &[vec![]]).unwrap_err(),
+            CcnError::BadRun
+        );
+        assert_eq!(
+            ConnectionComponentNetwork::configure(4, &[vec![4]]).unwrap_err(),
+            CcnError::BadRun
+        );
+    }
+
+    #[test]
+    fn depth_is_log_of_longest_run() {
+        let c = ConnectionComponentNetwork::configure(16, &[vec![0, 1, 2, 3, 4], vec![8, 9]])
+            .unwrap();
+        assert_eq!(c.depth(), 3); // ⌈log2 5⌉
+        let solo = ConnectionComponentNetwork::configure(4, &[vec![2]]).unwrap();
+        assert_eq!(solo.depth(), 0);
+    }
+}

@@ -1,0 +1,182 @@
+//! Self-routing copy network (the paper's reference \[10\]: Yang & Wang,
+//! "A new self-routing multicast network").
+//!
+//! SCMP borrows its TREE packet idea from the self-routing multicast
+//! networks of \[10\]: a cell carries a compact tag and each switching
+//! stage splits it locally, with no global controller. This module is a
+//! functional model of the *copy network* half of that design: `log₂ n`
+//! stages of 1×2 splitters that replicate an input cell into a
+//! contiguous block of outputs `[lo, hi]`.
+//!
+//! At stage `k` (handling bit `k` counted from the most significant),
+//! a cell at line `x` carrying interval `[lo, hi]`:
+//!
+//! * goes straight when the interval lies entirely in one half of the
+//!   current sub-range, or
+//! * **splits**: one copy continues with the low sub-interval, the other
+//!   with the high sub-interval — exactly how a TREE packet splits into
+//!   subpackets at each i-router.
+//!
+//! The model is cycle-accurate at splitter granularity: [`CopyNetwork::route`]
+//! returns every (stage, line) activation, so tests can check both the
+//! final outputs and the internal replication work.
+
+/// A copy network over `n = 2^k` lines.
+#[derive(Clone, Debug)]
+pub struct CopyNetwork {
+    n: usize,
+    stages: usize,
+}
+
+/// One splitter activation during routing (for work accounting).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Activation {
+    /// Stage index, 0 = first.
+    pub stage: usize,
+    /// Line occupied entering the stage.
+    pub line: usize,
+    /// Whether the splitter duplicated the cell here.
+    pub split: bool,
+}
+
+impl CopyNetwork {
+    /// Build a copy network with `n` (power of two ≥ 2) lines.
+    ///
+    /// # Panics
+    /// If `n` is not a power of two ≥ 2.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2 && n.is_power_of_two(), "size must be a power of two ≥ 2");
+        CopyNetwork {
+            n,
+            stages: n.trailing_zeros() as usize,
+        }
+    }
+
+    /// Number of lines.
+    pub fn size(&self) -> usize {
+        self.n
+    }
+
+    /// Number of splitter stages (`log₂ n`).
+    pub fn stages(&self) -> usize {
+        self.stages
+    }
+
+    /// Replicate a cell entering on `input` to the contiguous output
+    /// block `lo..=hi`. Returns `(outputs, activations)`.
+    ///
+    /// # Panics
+    /// If the interval is empty or out of range.
+    pub fn route(&self, input: usize, lo: usize, hi: usize) -> (Vec<usize>, Vec<Activation>) {
+        assert!(input < self.n, "input out of range");
+        assert!(lo <= hi && hi < self.n, "bad output interval");
+        let mut acts = Vec::new();
+        let mut outputs = Vec::new();
+        // Each in-flight copy: (line, remaining interval). The line's
+        // high `stage` bits progressively take on the interval's bits.
+        let mut cells = vec![(input, lo, hi)];
+        for stage in 0..self.stages {
+            let shift = self.stages - 1 - stage; // bit decided this stage
+            let mut next = Vec::with_capacity(cells.len() * 2);
+            for (line, lo, hi) in cells {
+                let bit_lo = (lo >> shift) & 1;
+                let bit_hi = (hi >> shift) & 1;
+                if bit_lo == bit_hi {
+                    // Whole interval in one half: route straight.
+                    acts.push(Activation {
+                        stage,
+                        line,
+                        split: false,
+                    });
+                    next.push((set_bit(line, shift, bit_lo), lo, hi));
+                } else {
+                    // Interval straddles the halves: split the cell.
+                    acts.push(Activation {
+                        stage,
+                        line,
+                        split: true,
+                    });
+                    let mid_hi = (hi >> shift) << shift; // first index of high half
+                    next.push((set_bit(line, shift, 0), lo, mid_hi - 1));
+                    next.push((set_bit(line, shift, 1), mid_hi, hi));
+                }
+            }
+            cells = next;
+        }
+        for (line, lo, hi) in cells {
+            debug_assert_eq!(lo, hi, "interval fully resolved");
+            debug_assert_eq!(line, lo, "cell landed on its output");
+            outputs.push(line);
+        }
+        outputs.sort_unstable();
+        (outputs, acts)
+    }
+}
+
+fn set_bit(x: usize, bit: usize, val: usize) -> usize {
+    (x & !(1 << bit)) | (val << bit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unicast_passes_through() {
+        let cn = CopyNetwork::new(8);
+        let (outs, acts) = cn.route(5, 3, 3);
+        assert_eq!(outs, vec![3]);
+        assert_eq!(acts.len(), 3, "one activation per stage");
+        assert!(acts.iter().all(|a| !a.split));
+    }
+
+    #[test]
+    fn full_broadcast_doubles_each_stage() {
+        let cn = CopyNetwork::new(16);
+        let (outs, acts) = cn.route(9, 0, 15);
+        assert_eq!(outs, (0..16).collect::<Vec<_>>());
+        // Splits: 1 + 2 + 4 + 8 = 15 activations, all splitting.
+        assert_eq!(acts.len(), 15);
+        assert!(acts.iter().all(|a| a.split));
+    }
+
+    #[test]
+    fn arbitrary_intervals() {
+        let cn = CopyNetwork::new(32);
+        for input in [0usize, 7, 31] {
+            for (lo, hi) in [(0, 0), (3, 17), (5, 5), (16, 31), (1, 30)] {
+                let (outs, _) = cn.route(input, lo, hi);
+                assert_eq!(outs, (lo..=hi).collect::<Vec<_>>(), "{input} -> [{lo},{hi}]");
+            }
+        }
+    }
+
+    #[test]
+    fn activation_count_is_copies_minus_one_plus_stages() {
+        // Every split creates one extra copy; straight hops are one per
+        // stage per live copy. Total outputs = splits + 1.
+        let cn = CopyNetwork::new(64);
+        let (outs, acts) = cn.route(10, 20, 43);
+        let splits = acts.iter().filter(|a| a.split).count();
+        assert_eq!(splits + 1, outs.len());
+    }
+
+    #[test]
+    fn exhaustive_small() {
+        let cn = CopyNetwork::new(8);
+        for input in 0..8 {
+            for lo in 0..8 {
+                for hi in lo..8 {
+                    let (outs, _) = cn.route(input, lo, hi);
+                    assert_eq!(outs, (lo..=hi).collect::<Vec<_>>());
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        CopyNetwork::new(6);
+    }
+}

@@ -1,0 +1,36 @@
+//! # scmp-fabric — the m-router's switching fabric
+//!
+//! §II-B of the paper sketches the m-router's internal `n × n` switching
+//! fabric as a *sandwich network* (refs \[11\], \[12\]): three `n × n`
+//! subnetworks in series —
+//!
+//! ```text
+//!   inputs ── PN ── CCN ── DN ── outputs
+//! ```
+//!
+//! * **PN** (permutation network) reorders incoming links so that the
+//!   sources of each multicast group sit on adjacent lines;
+//! * **CCN** (connection component network) merges each adjacent run of
+//!   sources into one line — the reversed tree that lets multiple
+//!   sources of a many-to-many session share one multicast tree;
+//! * **DN** (distribution network) permutes the merged lines to the
+//!   output ports the m-router assigned to the groups (and load-balances
+//!   across them).
+//!
+//! The PN and DN are [Beneš networks](benes) — rearrangeably nonblocking
+//! permutation networks of `2·log₂n − 1` stages of 2×2 crossbars — routed
+//! with the classical looping algorithm. The CCN is a functional model of
+//! a fan-in merge network over contiguous line runs. [`sandwich`]
+//! composes the three and checks the paper's isolation guarantee:
+//! "sources to different multicast groups are never connected in the
+//! switching fabric".
+
+pub mod benes;
+pub mod copy;
+pub mod ccn;
+pub mod sandwich;
+
+pub use benes::Benes;
+pub use copy::CopyNetwork;
+pub use ccn::ConnectionComponentNetwork;
+pub use sandwich::{FabricError, GroupRequest, SandwichFabric};

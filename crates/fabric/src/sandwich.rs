@@ -1,0 +1,257 @@
+//! The PN–CCN–DN sandwich fabric (§II-B, Fig. 3).
+//!
+//! Given a set of many-to-many requests — each multicast group has a set
+//! of source input ports and one assigned output port — the fabric is
+//! configured in three steps:
+//!
+//! 1. the **PN** permutes inputs so each group's sources occupy a
+//!    contiguous run of internal lines;
+//! 2. the **CCN** merges every run onto its first line (the reversed
+//!    fan-in tree);
+//! 3. the **DN** permutes merged lines to the groups' assigned output
+//!    ports.
+//!
+//! [`SandwichFabric::eval`] traces a cell through all three stages, so
+//! tests can verify end-to-end that every source reaches exactly its
+//! group's output and that distinct groups are never connected.
+
+use crate::benes::Benes;
+use crate::ccn::ConnectionComponentNetwork;
+
+/// One many-to-many connection request: all `sources` of a group merge
+/// onto the single `output` port (which leads to the root of the group's
+/// multicast tree in the Internet).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GroupRequest {
+    /// Input ports carrying this group's sources (non-empty, disjoint
+    /// from every other group).
+    pub sources: Vec<usize>,
+    /// Output port the m-router assigned to the group.
+    pub output: usize,
+}
+
+/// Configuration-time errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FabricError {
+    /// Port count must be a power of two ≥ 2 (Beneš constraint).
+    SizeNotPowerOfTwo,
+    /// A request referenced a port ≥ n, or had no sources.
+    BadRequest,
+    /// Two groups claimed the same input port.
+    SourceConflict { port: usize },
+    /// Two groups claimed the same output port.
+    OutputConflict { port: usize },
+}
+
+/// A fully configured sandwich fabric.
+#[derive(Clone, Debug)]
+pub struct SandwichFabric {
+    n: usize,
+    pn: Benes,
+    ccn: ConnectionComponentNetwork,
+    dn: Benes,
+    /// group id per input port (None = idle).
+    group_of_input: Vec<Option<usize>>,
+    outputs: Vec<usize>,
+}
+
+impl SandwichFabric {
+    /// Configure the fabric for `groups` over `n` ports.
+    pub fn configure(n: usize, groups: &[GroupRequest]) -> Result<Self, FabricError> {
+        if n < 2 || !n.is_power_of_two() {
+            return Err(FabricError::SizeNotPowerOfTwo);
+        }
+        let mut group_of_input = vec![None; n];
+        let mut output_taken = vec![false; n];
+        for (k, g) in groups.iter().enumerate() {
+            if g.sources.is_empty() || g.output >= n || g.sources.iter().any(|&s| s >= n) {
+                return Err(FabricError::BadRequest);
+            }
+            for &s in &g.sources {
+                if group_of_input[s].is_some() {
+                    return Err(FabricError::SourceConflict { port: s });
+                }
+                group_of_input[s] = Some(k);
+            }
+            if output_taken[g.output] {
+                return Err(FabricError::OutputConflict { port: g.output });
+            }
+            output_taken[g.output] = true;
+        }
+
+        // PN: pack each group's sources into a contiguous run of internal
+        // lines, groups in order, idle inputs after them.
+        let mut pn_perm = vec![usize::MAX; n];
+        let mut next_line = 0usize;
+        let mut runs: Vec<Vec<usize>> = Vec::with_capacity(groups.len());
+        let mut root_line = Vec::with_capacity(groups.len());
+        for g in groups {
+            let base = next_line;
+            let mut run = Vec::with_capacity(g.sources.len());
+            for &s in &g.sources {
+                pn_perm[s] = next_line;
+                run.push(next_line);
+                next_line += 1;
+            }
+            root_line.push(base);
+            runs.push(run);
+        }
+        for (port, slot) in group_of_input.iter().enumerate() {
+            if slot.is_none() {
+                pn_perm[port] = next_line;
+                next_line += 1;
+            }
+        }
+        debug_assert_eq!(next_line, n);
+        let pn = Benes::route(&pn_perm);
+
+        // CCN: merge each run to its first line.
+        let ccn =
+            ConnectionComponentNetwork::configure(n, &runs).expect("runs are contiguous by construction");
+
+        // DN: root lines go to assigned outputs; all remaining lines take
+        // the remaining outputs in ascending order.
+        let mut dn_perm = vec![usize::MAX; n];
+        for (k, g) in groups.iter().enumerate() {
+            dn_perm[root_line[k]] = g.output;
+        }
+        let mut free_outputs = (0..n).filter(|&o| !output_taken[o]);
+        for slot in dn_perm.iter_mut() {
+            if *slot == usize::MAX {
+                *slot = free_outputs.next().expect("counts match");
+            }
+        }
+        let dn = Benes::route(&dn_perm);
+
+        Ok(SandwichFabric {
+            n,
+            pn,
+            ccn,
+            dn,
+            group_of_input,
+            outputs: groups.iter().map(|g| g.output).collect(),
+        })
+    }
+
+    /// Port count.
+    pub fn size(&self) -> usize {
+        self.n
+    }
+
+    /// Trace a cell from `input` through PN → CCN → DN.
+    pub fn eval(&self, input: usize) -> usize {
+        let line = self.pn.eval(input);
+        let merged = self.ccn.eval(line);
+        self.dn.eval(merged)
+    }
+
+    /// The group an input port belongs to, if any.
+    pub fn group_of_input(&self, port: usize) -> Option<usize> {
+        self.group_of_input[port]
+    }
+
+    /// The output port assigned to group `k`.
+    pub fn output_of_group(&self, k: usize) -> usize {
+        self.outputs[k]
+    }
+
+    /// Crossbar columns a cell traverses (PN depth + CCN merge depth +
+    /// DN depth) — the fabric latency model used by the m-router design
+    /// discussion.
+    pub fn depth(&self) -> usize {
+        self.pn.depth() + self.ccn.depth() + self.dn.depth()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(sources: &[usize], output: usize) -> GroupRequest {
+        GroupRequest {
+            sources: sources.to_vec(),
+            output,
+        }
+    }
+
+    #[test]
+    fn single_group_many_to_one() {
+        let f = SandwichFabric::configure(8, &[req(&[1, 4, 6], 3)]).unwrap();
+        for s in [1, 4, 6] {
+            assert_eq!(f.eval(s), 3, "source {s}");
+        }
+    }
+
+    #[test]
+    fn multiple_groups_are_isolated() {
+        let groups = [req(&[0, 5], 7), req(&[2, 3, 6], 1), req(&[7], 0)];
+        let f = SandwichFabric::configure(8, &groups).unwrap();
+        assert_eq!(f.eval(0), 7);
+        assert_eq!(f.eval(5), 7);
+        assert_eq!(f.eval(2), 1);
+        assert_eq!(f.eval(3), 1);
+        assert_eq!(f.eval(6), 1);
+        assert_eq!(f.eval(7), 0);
+        // Idle inputs must not land on any group output.
+        for idle in [1usize, 4] {
+            let out = f.eval(idle);
+            assert!(![7, 1, 0].contains(&out), "idle {idle} hit group output {out}");
+        }
+    }
+
+    #[test]
+    fn full_port_utilisation() {
+        // Every input a source, every output assigned.
+        let groups = [
+            req(&[0, 1], 0),
+            req(&[2], 1),
+            req(&[3, 4, 5], 2),
+            req(&[6, 7], 3),
+        ];
+        let f = SandwichFabric::configure(8, &groups).unwrap();
+        for (k, g) in groups.iter().enumerate() {
+            for &s in &g.sources {
+                assert_eq!(f.eval(s), g.output, "group {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_conflicts() {
+        assert_eq!(
+            SandwichFabric::configure(8, &[req(&[0], 1), req(&[0], 2)]).unwrap_err(),
+            FabricError::SourceConflict { port: 0 }
+        );
+        assert_eq!(
+            SandwichFabric::configure(8, &[req(&[0], 1), req(&[2], 1)]).unwrap_err(),
+            FabricError::OutputConflict { port: 1 }
+        );
+        assert_eq!(
+            SandwichFabric::configure(6, &[]).unwrap_err(),
+            FabricError::SizeNotPowerOfTwo
+        );
+        assert_eq!(
+            SandwichFabric::configure(8, &[req(&[], 0)]).unwrap_err(),
+            FabricError::BadRequest
+        );
+        assert_eq!(
+            SandwichFabric::configure(8, &[req(&[9], 0)]).unwrap_err(),
+            FabricError::BadRequest
+        );
+    }
+
+    #[test]
+    fn empty_configuration_passes_through_distinctly() {
+        let f = SandwichFabric::configure(4, &[]).unwrap();
+        let mut outs: Vec<usize> = (0..4).map(|i| f.eval(i)).collect();
+        outs.sort_unstable();
+        assert_eq!(outs, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn depth_accounts_all_stages() {
+        let f = SandwichFabric::configure(16, &[req(&[0, 1, 2], 5)]).unwrap();
+        // Two Beneš of depth 7 plus merge depth ⌈log2 3⌉ = 2.
+        assert_eq!(f.depth(), 7 + 2 + 7);
+    }
+}

@@ -1,0 +1,66 @@
+//! Property-based tests for the switching fabric.
+
+use proptest::prelude::*;
+use scmp_fabric::{Benes, GroupRequest, SandwichFabric};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Beneš realises every permutation it is given.
+    #[test]
+    fn benes_realises_any_permutation(k in 1u32..8, seed in any::<u64>()) {
+        let n = 1usize << k;
+        let mut perm: Vec<usize> = (0..n).collect();
+        // Fisher–Yates with a splitmix-style stream derived from `seed`.
+        let mut state = seed | 1;
+        for i in (1..n).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            perm.swap(i, j);
+        }
+        let b = Benes::route(&perm);
+        prop_assert_eq!(b.permutation(), perm);
+        prop_assert_eq!(b.depth(), 2 * k as usize - 1);
+    }
+
+    /// Random many-to-many patterns: every source reaches its group's
+    /// output, outputs of distinct groups differ, and the whole fabric
+    /// mapping stays injective per active line.
+    #[test]
+    fn sandwich_many_to_many(k in 2u32..7, pattern in any::<u64>()) {
+        let n = 1usize << k;
+        // Derive a random grouping: each input joins group (h % (g+1)),
+        // value g meaning idle.
+        let g = (n / 2).max(1);
+        let mut sources: Vec<Vec<usize>> = vec![Vec::new(); g];
+        let mut state = pattern | 1;
+        for port in 0..n {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let pick = (state >> 33) as usize % (g + 1);
+            if pick < g {
+                sources[pick].push(port);
+            }
+        }
+        let groups: Vec<GroupRequest> = sources
+            .into_iter()
+            .filter(|s| !s.is_empty())
+            .enumerate()
+            .map(|(k, sources)| GroupRequest { sources, output: k })
+            .collect();
+        let f = SandwichFabric::configure(n, &groups).unwrap();
+        for (k, gr) in groups.iter().enumerate() {
+            for &s in &gr.sources {
+                prop_assert_eq!(f.eval(s), gr.output, "group {} source {}", k, s);
+                prop_assert_eq!(f.group_of_input(s), Some(k));
+            }
+            prop_assert_eq!(f.output_of_group(k), gr.output);
+        }
+        // Idle inputs never collide with a group output.
+        let taken: Vec<usize> = groups.iter().map(|g| g.output).collect();
+        for port in 0..n {
+            if f.group_of_input(port).is_none() {
+                prop_assert!(!taken.contains(&f.eval(port)));
+            }
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! Graphviz (DOT) export for topologies — handy for eyeballing the
+//! generated Waxman/GT-ITM graphs and for documentation figures.
+
+use crate::graph::{NodeId, Topology};
+use std::fmt::Write;
+
+/// Render `topo` as an undirected DOT graph. Edge labels are
+/// `delay/cost`; nodes in `highlight` are drawn filled (the harness uses
+/// this for group members and the m-router).
+pub fn to_dot(topo: &Topology, highlight: &[NodeId]) -> String {
+    let mut out = String::from("graph topology {\n  node [shape=circle];\n");
+    for v in topo.nodes() {
+        if highlight.contains(&v) {
+            let _ = writeln!(out, "  n{v} [style=filled, fillcolor=lightblue];");
+        } else {
+            let _ = writeln!(out, "  n{v};");
+        }
+    }
+    for &(a, b, w) in topo.edges() {
+        let _ = writeln!(out, "  n{a} -- n{b} [label=\"{}/{}\"];", w.delay, w.cost);
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::examples::fig5;
+
+    #[test]
+    fn dot_contains_every_node_and_edge() {
+        let topo = fig5();
+        let dot = to_dot(&topo, &[NodeId(0)]);
+        assert!(dot.starts_with("graph topology {"));
+        assert!(dot.trim_end().ends_with('}'));
+        for v in topo.nodes() {
+            assert!(dot.contains(&format!("n{v}")), "{v:?} missing");
+        }
+        assert_eq!(dot.matches(" -- ").count(), topo.edge_count());
+        // The m-router is highlighted; weights are labelled.
+        assert!(dot.contains("n0 [style=filled"));
+        assert!(dot.contains("label=\"3/6\""));
+    }
+
+    #[test]
+    fn empty_topology() {
+        let topo = crate::graph::TopologyBuilder::new(0).build();
+        let dot = to_dot(&topo, &[]);
+        assert!(dot.contains("graph topology"));
+        assert!(!dot.contains(" -- "));
+    }
+}

@@ -1,0 +1,426 @@
+//! Undirected weighted topology model.
+//!
+//! Routers are identified by dense [`NodeId`]s; links are undirected and
+//! symmetric, carrying the paper's two parameters per link: *delay* and
+//! *cost* (§III-A). Delay feeds end-to-end latency accounting; cost feeds
+//! the data/protocol overhead metrics of §IV-B ("a packet going through
+//! one link contributes `lc` units to the overhead").
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a router (node) in the topology. Dense, `0..n`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The node id as a usable index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+/// The `(delay, cost)` pair attached to every link.
+///
+/// Both are unsigned integers: in the paper's Waxman experiments the cost
+/// is a Manhattan distance on a 32767×32767 grid and the delay a uniform
+/// integer in `[0, cost]`, so `u64` path sums never overflow.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LinkWeight {
+    /// Perceived queueing + transmission + propagation delay of the link.
+    pub delay: u64,
+    /// Utilization-derived cost of using the link.
+    pub cost: u64,
+}
+
+impl LinkWeight {
+    /// Convenience constructor.
+    #[inline]
+    pub const fn new(delay: u64, cost: u64) -> Self {
+        LinkWeight { delay, cost }
+    }
+}
+
+/// A half-edge as stored in the adjacency list: the neighbour plus the
+/// link weight (identical in both directions — links are symmetric).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EdgeRef {
+    /// Neighbour on the other end of the link.
+    pub to: NodeId,
+    /// Link weight (same for both directions).
+    pub weight: LinkWeight,
+}
+
+/// An undirected network topology with symmetric `(delay, cost)` links.
+///
+/// The structure is immutable once built (via [`TopologyBuilder`]); all
+/// algorithms in the workspace treat it as read-only shared state, which
+/// lets the benchmark harness fan seeds out across threads without locks.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Topology {
+    adj: Vec<Vec<EdgeRef>>,
+    /// Canonical edge list with `a < b`, in insertion order.
+    edges: Vec<(NodeId, NodeId, LinkWeight)>,
+    /// Optional planar coordinates (set by the Waxman / GT-ITM generators,
+    /// used by the placement heuristics and for reporting).
+    coords: Option<Vec<(i64, i64)>>,
+}
+
+impl Topology {
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of undirected links.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Iterator over all node ids, `0..n`.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.adj.len() as u32).map(NodeId)
+    }
+
+    /// Neighbours (with weights) of `node`.
+    #[inline]
+    pub fn neighbors(&self, node: NodeId) -> &[EdgeRef] {
+        &self.adj[node.index()]
+    }
+
+    /// Degree of `node`.
+    #[inline]
+    pub fn degree(&self, node: NodeId) -> usize {
+        self.adj[node.index()].len()
+    }
+
+    /// Average node degree `2m / n`.
+    pub fn average_degree(&self) -> f64 {
+        if self.adj.is_empty() {
+            return 0.0;
+        }
+        2.0 * self.edges.len() as f64 / self.adj.len() as f64
+    }
+
+    /// Canonical undirected edge list (`a < b`).
+    #[inline]
+    pub fn edges(&self) -> &[(NodeId, NodeId, LinkWeight)] {
+        &self.edges
+    }
+
+    /// Weight of the link `a—b`, if the link exists.
+    pub fn link(&self, a: NodeId, b: NodeId) -> Option<LinkWeight> {
+        self.adj[a.index()]
+            .iter()
+            .find(|e| e.to == b)
+            .map(|e| e.weight)
+    }
+
+    /// True iff nodes `a` and `b` are directly linked.
+    #[inline]
+    pub fn has_link(&self, a: NodeId, b: NodeId) -> bool {
+        self.link(a, b).is_some()
+    }
+
+    /// Planar coordinates of `node` if the generator recorded them.
+    pub fn coords(&self, node: NodeId) -> Option<(i64, i64)> {
+        self.coords.as_ref().map(|c| c[node.index()])
+    }
+
+    /// True iff every node can reach every other node.
+    ///
+    /// All generators in [`crate::topology`] guarantee connectivity (they
+    /// augment disconnected samples), and the protocols assume it; this is
+    /// the invariant checked by the property tests.
+    pub fn is_connected(&self) -> bool {
+        let n = self.node_count();
+        if n == 0 {
+            return true;
+        }
+        let mut seen = vec![false; n];
+        let mut stack = vec![NodeId(0)];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(v) = stack.pop() {
+            for e in self.neighbors(v) {
+                if !seen[e.to.index()] {
+                    seen[e.to.index()] = true;
+                    count += 1;
+                    stack.push(e.to);
+                }
+            }
+        }
+        count == n
+    }
+
+    /// Total delay and cost of a node path, or `None` if the path does not
+    /// follow existing links.
+    pub fn path_weight(&self, path: &[NodeId]) -> Option<LinkWeight> {
+        let mut total = LinkWeight::new(0, 0);
+        for pair in path.windows(2) {
+            let w = self.link(pair[0], pair[1])?;
+            total.delay += w.delay;
+            total.cost += w.cost;
+        }
+        Some(total)
+    }
+
+    /// A copy of this topology with every link of `node` removed (the
+    /// node id itself stays, isolated). Used by the hot-standby
+    /// m-router to plan trees around the failed primary.
+    pub fn without_node(&self, node: NodeId) -> Topology {
+        let mut b = TopologyBuilder::new(self.node_count());
+        if let Some(coords) = &self.coords {
+            b = b.with_coords(coords.clone());
+        }
+        for &(a, bb, w) in &self.edges {
+            if a != node && bb != node {
+                b.add_link(a, bb, w);
+            }
+        }
+        b.build()
+    }
+
+    /// Connected components, each a sorted list of nodes. Used by the
+    /// generators to augment disconnected samples.
+    pub fn components(&self) -> Vec<Vec<NodeId>> {
+        let n = self.node_count();
+        let mut seen = vec![false; n];
+        let mut out = Vec::new();
+        for start in 0..n {
+            if seen[start] {
+                continue;
+            }
+            let mut comp = Vec::new();
+            let mut stack = vec![NodeId(start as u32)];
+            seen[start] = true;
+            while let Some(v) = stack.pop() {
+                comp.push(v);
+                for e in self.neighbors(v) {
+                    if !seen[e.to.index()] {
+                        seen[e.to.index()] = true;
+                        stack.push(e.to);
+                    }
+                }
+            }
+            comp.sort_unstable();
+            out.push(comp);
+        }
+        out
+    }
+}
+
+/// Builder for [`Topology`]. Rejects self-loops and duplicate links.
+#[derive(Clone, Debug, Default)]
+pub struct TopologyBuilder {
+    adj: Vec<Vec<EdgeRef>>,
+    edges: Vec<(NodeId, NodeId, LinkWeight)>,
+    coords: Option<Vec<(i64, i64)>>,
+}
+
+impl TopologyBuilder {
+    /// Start a builder with `n` isolated nodes.
+    pub fn new(n: usize) -> Self {
+        TopologyBuilder {
+            adj: vec![Vec::new(); n],
+            edges: Vec::new(),
+            coords: None,
+        }
+    }
+
+    /// Attach planar coordinates (one per node) for placement heuristics.
+    ///
+    /// # Panics
+    /// If `coords.len()` differs from the node count.
+    pub fn with_coords(mut self, coords: Vec<(i64, i64)>) -> Self {
+        assert_eq!(coords.len(), self.adj.len(), "one coordinate per node");
+        self.coords = Some(coords);
+        self
+    }
+
+    /// Number of nodes the builder was created with.
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// True iff the link `a—b` has already been added.
+    pub fn has_link(&self, a: NodeId, b: NodeId) -> bool {
+        self.adj[a.index()].iter().any(|e| e.to == b)
+    }
+
+    /// Add the undirected link `a—b` with weight `w`.
+    ///
+    /// # Panics
+    /// On self-loops, out-of-range endpoints, or duplicate links.
+    pub fn add_link(&mut self, a: NodeId, b: NodeId, w: LinkWeight) -> &mut Self {
+        assert_ne!(a, b, "self-loop {a:?}");
+        assert!(a.index() < self.adj.len(), "node {a:?} out of range");
+        assert!(b.index() < self.adj.len(), "node {b:?} out of range");
+        assert!(!self.has_link(a, b), "duplicate link {a:?}-{b:?}");
+        self.adj[a.index()].push(EdgeRef { to: b, weight: w });
+        self.adj[b.index()].push(EdgeRef { to: a, weight: w });
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        self.edges.push((lo, hi, w));
+        self
+    }
+
+    /// Finish building. Adjacency lists are sorted by neighbour id so that
+    /// every algorithm downstream is deterministic regardless of insertion
+    /// order.
+    pub fn build(mut self) -> Topology {
+        for l in &mut self.adj {
+            l.sort_unstable_by_key(|e| e.to);
+        }
+        self.edges.sort_unstable_by_key(|&(a, b, _)| (a, b));
+        Topology {
+            adj: self.adj,
+            edges: self.edges,
+            coords: self.coords,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Topology {
+        let mut b = TopologyBuilder::new(3);
+        b.add_link(NodeId(0), NodeId(1), LinkWeight::new(1, 10));
+        b.add_link(NodeId(1), NodeId(2), LinkWeight::new(2, 20));
+        b.add_link(NodeId(2), NodeId(0), LinkWeight::new(3, 30));
+        b.build()
+    }
+
+    #[test]
+    fn counts_and_degrees() {
+        let t = triangle();
+        assert_eq!(t.node_count(), 3);
+        assert_eq!(t.edge_count(), 3);
+        assert_eq!(t.degree(NodeId(0)), 2);
+        assert!((t.average_degree() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn links_are_symmetric() {
+        let t = triangle();
+        assert_eq!(t.link(NodeId(0), NodeId(1)), t.link(NodeId(1), NodeId(0)));
+        assert_eq!(t.link(NodeId(0), NodeId(1)), Some(LinkWeight::new(1, 10)));
+        assert_eq!(t.link(NodeId(0), NodeId(2)), Some(LinkWeight::new(3, 30)));
+    }
+
+    #[test]
+    fn missing_link_is_none() {
+        let mut b = TopologyBuilder::new(3);
+        b.add_link(NodeId(0), NodeId(1), LinkWeight::new(1, 1));
+        let t = b.build();
+        assert_eq!(t.link(NodeId(0), NodeId(2)), None);
+        assert!(!t.has_link(NodeId(1), NodeId(2)));
+    }
+
+    #[test]
+    fn path_weight_sums_links() {
+        let t = triangle();
+        let w = t.path_weight(&[NodeId(0), NodeId(1), NodeId(2)]).unwrap();
+        assert_eq!(w, LinkWeight::new(3, 30));
+        // Non-adjacent hop in path => None.
+        let mut b = TopologyBuilder::new(4);
+        b.add_link(NodeId(0), NodeId(1), LinkWeight::new(1, 1));
+        let t2 = b.build();
+        assert_eq!(t2.path_weight(&[NodeId(0), NodeId(1), NodeId(3)]), None);
+    }
+
+    #[test]
+    fn empty_path_has_zero_weight() {
+        let t = triangle();
+        assert_eq!(t.path_weight(&[NodeId(1)]), Some(LinkWeight::new(0, 0)));
+        assert_eq!(t.path_weight(&[]), Some(LinkWeight::new(0, 0)));
+    }
+
+    #[test]
+    fn connectivity() {
+        assert!(triangle().is_connected());
+        let b = TopologyBuilder::new(2);
+        assert!(!b.build().is_connected());
+        assert!(TopologyBuilder::new(0).build().is_connected());
+        assert!(TopologyBuilder::new(1).build().is_connected());
+    }
+
+    #[test]
+    fn components_split() {
+        let mut b = TopologyBuilder::new(5);
+        b.add_link(NodeId(0), NodeId(1), LinkWeight::new(1, 1));
+        b.add_link(NodeId(2), NodeId(3), LinkWeight::new(1, 1));
+        let t = b.build();
+        let comps = t.components();
+        assert_eq!(comps.len(), 3);
+        assert_eq!(comps[0], vec![NodeId(0), NodeId(1)]);
+        assert_eq!(comps[1], vec![NodeId(2), NodeId(3)]);
+        assert_eq!(comps[2], vec![NodeId(4)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn rejects_self_loop() {
+        let mut b = TopologyBuilder::new(2);
+        b.add_link(NodeId(0), NodeId(0), LinkWeight::new(1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate link")]
+    fn rejects_duplicate_links() {
+        let mut b = TopologyBuilder::new(2);
+        b.add_link(NodeId(0), NodeId(1), LinkWeight::new(1, 1));
+        b.add_link(NodeId(1), NodeId(0), LinkWeight::new(2, 2));
+    }
+
+    #[test]
+    fn adjacency_sorted_after_build() {
+        let mut b = TopologyBuilder::new(4);
+        b.add_link(NodeId(0), NodeId(3), LinkWeight::new(1, 1));
+        b.add_link(NodeId(0), NodeId(1), LinkWeight::new(1, 1));
+        b.add_link(NodeId(0), NodeId(2), LinkWeight::new(1, 1));
+        let t = b.build();
+        let ns: Vec<_> = t.neighbors(NodeId(0)).iter().map(|e| e.to).collect();
+        assert_eq!(ns, vec![NodeId(1), NodeId(2), NodeId(3)]);
+    }
+
+    #[test]
+    fn without_node_drops_its_links() {
+        let t = triangle().without_node(NodeId(1));
+        assert_eq!(t.node_count(), 3);
+        assert_eq!(t.edge_count(), 1);
+        assert!(t.has_link(NodeId(0), NodeId(2)));
+        assert_eq!(t.degree(NodeId(1)), 0);
+    }
+
+    #[test]
+    fn coords_roundtrip() {
+        let mut b = TopologyBuilder::new(2).with_coords(vec![(0, 0), (3, 4)]);
+        b.add_link(NodeId(0), NodeId(1), LinkWeight::new(1, 7));
+        let t = b.build();
+        assert_eq!(t.coords(NodeId(1)), Some((3, 4)));
+        assert_eq!(triangle().coords(NodeId(0)), None);
+    }
+}

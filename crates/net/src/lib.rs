@@ -1,0 +1,35 @@
+//! # scmp-net — network substrate for the SCMP reproduction
+//!
+//! This crate models the intra-domain network that the Service-Centric
+//! Multicast Protocol (SCMP, Yang/Wang/Yang, ICPP 2006) runs over:
+//!
+//! * [`Topology`] — an undirected graph of routers connected by symmetric
+//!   links, each link carrying a *(delay, cost)* pair exactly as in the
+//!   paper (§III-A: "each link has two parameters: link delay and link
+//!   cost ... links are symmetric").
+//! * [`mod@dijkstra`] — single-source shortest paths under either metric.
+//! * [`AllPairsPaths`] — the precomputed `P_sl` (shortest-delay) and
+//!   `P_lc` (least-cost) path tables the DCDM tree algorithm consults
+//!   ("for each router on the tree, there are two paths, P_lc and P_sl,
+//!   ... which were computed in advance").
+//! * [`RoutingTables`] — per-node unicast next-hop tables derived from the
+//!   shortest-delay paths; the link-state unicast routing protocol the
+//!   paper assumes is running in the domain.
+//! * [`topology`] — generators: the paper's Waxman model (§IV-A), a
+//!   GT-ITM-like flat random model with target average degree (§IV-B),
+//!   a transit–stub model, the classic ARPANET map, and regular test
+//!   topologies (line, ring, star, grid).
+
+pub mod dijkstra;
+pub mod export;
+pub mod graph;
+pub mod metrics;
+pub mod paths;
+pub mod rng;
+pub mod routing;
+pub mod topology;
+
+pub use dijkstra::{dijkstra, Metric, ShortestPathTree};
+pub use graph::{EdgeRef, LinkWeight, NodeId, Topology, TopologyBuilder};
+pub use paths::AllPairsPaths;
+pub use routing::RoutingTables;

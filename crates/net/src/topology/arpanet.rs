@@ -1,0 +1,113 @@
+//! The ARPANET topology used as the first §IV-B evaluation network.
+//!
+//! We encode the classic 20-node / 32-link ARPANET map as commonly
+//! reproduced in the multicast-routing literature (average node degree
+//! 3.2). The paper assigns link weights randomly per experiment seed, so
+//! only the *shape* is fixed; [`arpanet`] draws weights the same way as
+//! the other generators (cost uniform, delay uniform in `[1, cost]`).
+
+use crate::graph::{LinkWeight, NodeId, Topology, TopologyBuilder};
+use rand::Rng;
+
+/// Number of nodes in the ARPANET map.
+pub const ARPANET_NODES: usize = 20;
+
+/// The 32 undirected links of the ARPANET map.
+pub const ARPANET_EDGES: [(u32, u32); 32] = [
+    (0, 1),
+    (0, 3),
+    (1, 2),
+    (1, 12),
+    (2, 4),
+    (2, 5),
+    (3, 4),
+    (3, 6),
+    (4, 5),
+    (4, 7),
+    (5, 8),
+    (6, 7),
+    (6, 9),
+    (7, 8),
+    (7, 10),
+    (8, 11),
+    (9, 10),
+    (9, 13),
+    (10, 11),
+    (10, 14),
+    (11, 15),
+    (12, 13),
+    (12, 16),
+    (13, 14),
+    (13, 17),
+    (14, 15),
+    (14, 18),
+    (15, 19),
+    (16, 17),
+    (16, 19),
+    (17, 18),
+    (18, 19),
+];
+
+/// Build the ARPANET with randomly drawn link weights: cost uniform in
+/// `[10, 100]`, delay uniform in `[1, cost]` (same convention as the
+/// random topologies, so overhead units are comparable across Fig. 8's
+/// three panels).
+pub fn arpanet(rng: &mut impl Rng) -> Topology {
+    let mut b = TopologyBuilder::new(ARPANET_NODES);
+    for &(u, v) in &ARPANET_EDGES {
+        let cost = rng.gen_range(10..=100u64);
+        let delay = rng.gen_range(1..=cost);
+        b.add_link(NodeId(u), NodeId(v), LinkWeight { delay, cost });
+    }
+    b.build()
+}
+
+/// The ARPANET with every link weighted `(1, 1)` — handy for tests that
+/// reason about hop counts.
+pub fn arpanet_unit() -> Topology {
+    let mut b = TopologyBuilder::new(ARPANET_NODES);
+    for &(u, v) in &ARPANET_EDGES {
+        b.add_link(NodeId(u), NodeId(v), LinkWeight::new(1, 1));
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rng_for;
+
+    #[test]
+    fn shape_invariants() {
+        let t = arpanet_unit();
+        assert_eq!(t.node_count(), 20);
+        assert_eq!(t.edge_count(), 32);
+        assert!(t.is_connected());
+        assert!((t.average_degree() - 3.2).abs() < 1e-9);
+        // Historic ARPANET had no high-degree hubs.
+        for v in t.nodes() {
+            assert!(t.degree(v) >= 2 && t.degree(v) <= 4, "{v:?}");
+        }
+    }
+
+    #[test]
+    fn weighted_variant_keeps_shape() {
+        let t = arpanet(&mut rng_for("arpa", 0));
+        let u = arpanet_unit();
+        assert_eq!(t.edge_count(), u.edge_count());
+        for &(a, b, _) in t.edges() {
+            assert!(u.has_link(a, b));
+        }
+        for &(_, _, w) in t.edges() {
+            assert!((10..=100).contains(&w.cost));
+            assert!(w.delay >= 1 && w.delay <= w.cost);
+        }
+    }
+
+    #[test]
+    fn weights_deterministic_per_seed() {
+        let a = arpanet(&mut rng_for("arpa-det", 5));
+        let b = arpanet(&mut rng_for("arpa-det", 5));
+        assert_eq!(a.edges(), b.edges());
+    }
+}

@@ -1,0 +1,110 @@
+//! Barabási–Albert preferential-attachment topologies.
+//!
+//! Not used by the paper's own evaluation (which predates the
+//! scale-free-Internet literature becoming standard in multicast
+//! papers), but provided for the harness's sensitivity studies: BA
+//! graphs have the heavy-tailed degree distribution of real AS-level
+//! maps, which stresses the placement heuristics (rule 2 finds a real
+//! hub) and the concentration experiments (hubs are natural hotspots).
+
+use crate::graph::{LinkWeight, NodeId, Topology, TopologyBuilder};
+use rand::Rng;
+
+/// Generate a Barabási–Albert graph: start from a small clique, then
+/// each new node attaches to `m` distinct existing nodes chosen with
+/// probability proportional to their degree.
+///
+/// Link weights follow the workspace convention (cost uniform in
+/// `[10, 100]`, delay uniform in `[1, cost]`).
+///
+/// # Panics
+/// If `n < m + 1` or `m == 0`.
+pub fn barabasi_albert(n: usize, m: usize, rng: &mut impl Rng) -> Topology {
+    assert!(m >= 1, "need at least one edge per new node");
+    assert!(n > m, "need more nodes than the attachment count");
+    let mut b = TopologyBuilder::new(n);
+    let draw = |rng: &mut dyn rand::RngCore| {
+        let cost = rng.gen_range(10..=100u64);
+        LinkWeight {
+            delay: rng.gen_range(1..=cost),
+            cost,
+        }
+    };
+    // Seed clique over the first m+1 nodes.
+    for i in 0..=m {
+        for j in (i + 1)..=m {
+            b.add_link(NodeId(i as u32), NodeId(j as u32), draw(rng));
+        }
+    }
+    // Repeated-endpoint list: sampling uniformly from it is sampling
+    // proportional to degree.
+    let mut endpoints: Vec<u32> = Vec::with_capacity(4 * n * m);
+    for i in 0..=m {
+        for _ in 0..m {
+            endpoints.push(i as u32);
+        }
+    }
+    for v in (m + 1)..n {
+        let mut targets = Vec::with_capacity(m);
+        while targets.len() < m {
+            let t = endpoints[rng.gen_range(0..endpoints.len())];
+            if t != v as u32 && !targets.contains(&t) {
+                targets.push(t);
+            }
+        }
+        for &t in &targets {
+            b.add_link(NodeId(v as u32), NodeId(t), draw(rng));
+            endpoints.push(t);
+            endpoints.push(v as u32);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rng_for;
+
+    #[test]
+    fn shape_and_connectivity() {
+        let t = barabasi_albert(60, 2, &mut rng_for("ba", 0));
+        assert_eq!(t.node_count(), 60);
+        assert!(t.is_connected());
+        // clique(3) + 57 nodes × 2 edges = 3 + 114.
+        assert_eq!(t.edge_count(), 3 + 57 * 2);
+    }
+
+    #[test]
+    fn heavy_tail_emerges() {
+        // The max degree of a BA graph dwarfs the mean; a flat random
+        // graph of the same density does not produce such hubs.
+        let t = barabasi_albert(200, 2, &mut rng_for("ba-tail", 1));
+        let max_deg = t.nodes().map(|v| t.degree(v)).max().unwrap();
+        let mean = t.average_degree();
+        assert!(
+            max_deg as f64 > mean * 4.0,
+            "expected a hub: max {max_deg}, mean {mean:.1}"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = barabasi_albert(40, 3, &mut rng_for("ba-det", 2));
+        let b = barabasi_albert(40, 3, &mut rng_for("ba-det", 2));
+        assert_eq!(a.edges(), b.edges());
+    }
+
+    #[test]
+    fn minimal_sizes() {
+        let t = barabasi_albert(3, 1, &mut rng_for("ba-min", 0));
+        assert!(t.is_connected());
+        assert_eq!(t.edge_count(), 2); // clique(2)=1 edge + 1 new node
+    }
+
+    #[test]
+    #[should_panic(expected = "more nodes")]
+    fn rejects_tiny_n() {
+        barabasi_albert(2, 2, &mut rng_for("ba-bad", 0));
+    }
+}

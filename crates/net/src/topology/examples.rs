@@ -1,0 +1,93 @@
+//! Worked-example topologies from the paper, reconstructed from the text.
+
+use crate::graph::{LinkWeight, NodeId, Topology, TopologyBuilder};
+
+/// The 6-node topology of the paper's Fig. 5 (DCDM walkthrough).
+///
+/// Link labels are `(delay, cost)`. Node 0 is the m-router; nodes 4, 3
+/// and 5 are the group members `g1`, `g2`, `g3`. The edge set is fully
+/// determined by the numbers in the §III-D walkthrough:
+///
+/// * `g1` joins over the shortest-delay path `0-1-4` with delay
+///   `3 + 9 = 12` ⇒ links `0-1 = (3,6)`, `1-4 = (9,3)`.
+/// * `g2 = 3` has unicast delay 2 and grafting at node 0 adds cost 6
+///   ⇒ direct link `0-3 = (2,6)`.
+/// * Grafting `g2` at node 1 gives multicast delay `3+3+4 = 10` with
+///   cost increase 3 ⇒ `1-2 = (3,2)`, `2-3 = (4,1)`.
+/// * `g3 = 5` has unicast delay `4+7 = 11` and grafting at node 2 would
+///   give `3+3+7 = 13` ⇒ `0-2 = (4,5)`, `2-5 = (7,2)`.
+pub fn fig5() -> Topology {
+    let mut b = TopologyBuilder::new(6);
+    b.add_link(NodeId(0), NodeId(1), LinkWeight::new(3, 6));
+    b.add_link(NodeId(0), NodeId(2), LinkWeight::new(4, 5));
+    b.add_link(NodeId(0), NodeId(3), LinkWeight::new(2, 6));
+    b.add_link(NodeId(1), NodeId(2), LinkWeight::new(3, 2));
+    b.add_link(NodeId(1), NodeId(4), LinkWeight::new(9, 3));
+    b.add_link(NodeId(2), NodeId(3), LinkWeight::new(4, 1));
+    b.add_link(NodeId(2), NodeId(5), LinkWeight::new(7, 2));
+    b.build()
+}
+
+/// The multicast subtree of the paper's Fig. 6 (TREE-packet walkthrough),
+/// rooted at node 2, expressed as `(parent, child)` pairs:
+///
+/// ```text
+///          2
+///        / | \
+///       4  5  6
+///         / \  \
+///        7   8  9
+/// ```
+///
+/// Node 10 (the BRANCH-packet example joiner) hangs off node 4.
+pub fn fig6_tree_edges() -> Vec<(NodeId, NodeId)> {
+    vec![
+        (NodeId(2), NodeId(4)),
+        (NodeId(2), NodeId(5)),
+        (NodeId(2), NodeId(6)),
+        (NodeId(5), NodeId(7)),
+        (NodeId(5), NodeId(8)),
+        (NodeId(6), NodeId(9)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dijkstra::{dijkstra, Metric};
+
+    #[test]
+    fn fig5_matches_paper_unicast_delays() {
+        let t = fig5();
+        let spt = dijkstra(&t, NodeId(0), Metric::Delay);
+        // ul(g1)=12 via 0-1-4, ul(g2)=2 direct, ul(g3)=11 via 0-2-5.
+        assert_eq!(spt.distance(NodeId(4)), Some(12));
+        assert_eq!(spt.path_to(NodeId(4)).unwrap(), vec![NodeId(0), NodeId(1), NodeId(4)]);
+        assert_eq!(spt.distance(NodeId(3)), Some(2));
+        assert_eq!(spt.distance(NodeId(5)), Some(11));
+        assert_eq!(spt.path_to(NodeId(5)).unwrap(), vec![NodeId(0), NodeId(2), NodeId(5)]);
+    }
+
+    #[test]
+    fn fig5_is_connected_and_symmetric() {
+        let t = fig5();
+        assert!(t.is_connected());
+        assert_eq!(t.edge_count(), 7);
+        for &(a, b, w) in t.edges() {
+            assert_eq!(t.link(a, b), Some(w));
+            assert_eq!(t.link(b, a), Some(w));
+        }
+    }
+
+    #[test]
+    fn fig6_tree_is_a_tree() {
+        let edges = fig6_tree_edges();
+        // 6 edges, 7 distinct non-root children, root 2.
+        assert_eq!(edges.len(), 6);
+        let mut children: Vec<_> = edges.iter().map(|&(_, c)| c).collect();
+        children.sort_unstable();
+        children.dedup();
+        assert_eq!(children.len(), 6);
+        assert!(!children.contains(&NodeId(2)));
+    }
+}

@@ -1,0 +1,102 @@
+//! Deterministic regular topologies for unit and property tests.
+
+use crate::graph::{LinkWeight, NodeId, Topology, TopologyBuilder};
+
+/// A path `0 - 1 - … - (n-1)` with uniform weight `w`.
+pub fn line(n: usize, w: LinkWeight) -> Topology {
+    let mut b = TopologyBuilder::new(n);
+    for i in 1..n {
+        b.add_link(NodeId(i as u32 - 1), NodeId(i as u32), w);
+    }
+    b.build()
+}
+
+/// A cycle of `n ≥ 3` nodes with uniform weight `w`.
+pub fn ring(n: usize, w: LinkWeight) -> Topology {
+    assert!(n >= 3, "ring needs at least 3 nodes");
+    let mut b = TopologyBuilder::new(n);
+    for i in 0..n {
+        b.add_link(NodeId(i as u32), NodeId(((i + 1) % n) as u32), w);
+    }
+    b.build()
+}
+
+/// A star: node 0 is the hub, nodes `1..n` are leaves.
+pub fn star(n: usize, w: LinkWeight) -> Topology {
+    assert!(n >= 2, "star needs a hub and a leaf");
+    let mut b = TopologyBuilder::new(n);
+    for i in 1..n {
+        b.add_link(NodeId(0), NodeId(i as u32), w);
+    }
+    b.build()
+}
+
+/// A `rows × cols` grid; node `(r, c)` is `r * cols + c`.
+pub fn grid(rows: usize, cols: usize, w: LinkWeight) -> Topology {
+    assert!(rows >= 1 && cols >= 1);
+    let mut b = TopologyBuilder::new(rows * cols);
+    let id = |r: usize, c: usize| NodeId((r * cols + c) as u32);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.add_link(id(r, c), id(r, c + 1), w);
+            }
+            if r + 1 < rows {
+                b.add_link(id(r, c), id(r + 1, c), w);
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dijkstra::{dijkstra, Metric};
+
+    const W: LinkWeight = LinkWeight::new(2, 3);
+
+    #[test]
+    fn line_shape() {
+        let t = line(5, W);
+        assert_eq!(t.edge_count(), 4);
+        assert!(t.is_connected());
+        let spt = dijkstra(&t, NodeId(0), Metric::Delay);
+        assert_eq!(spt.distance(NodeId(4)), Some(8));
+    }
+
+    #[test]
+    fn ring_shape() {
+        let t = ring(6, W);
+        assert_eq!(t.edge_count(), 6);
+        // Opposite node reachable both ways in 3 hops.
+        let spt = dijkstra(&t, NodeId(0), Metric::Delay);
+        assert_eq!(spt.distance(NodeId(3)), Some(6));
+    }
+
+    #[test]
+    fn star_shape() {
+        let t = star(5, W);
+        assert_eq!(t.degree(NodeId(0)), 4);
+        for i in 1..5u32 {
+            assert_eq!(t.degree(NodeId(i)), 1);
+        }
+    }
+
+    #[test]
+    fn grid_shape() {
+        let t = grid(3, 4, W);
+        assert_eq!(t.node_count(), 12);
+        assert_eq!(t.edge_count(), 3 * 3 + 2 * 4); // 17
+        let spt = dijkstra(&t, NodeId(0), Metric::Cost);
+        // Corner to corner: (3-1)+(4-1) = 5 hops.
+        assert_eq!(spt.distance(NodeId(11)), Some(5 * 3));
+    }
+
+    #[test]
+    fn degenerate_grids() {
+        assert_eq!(grid(1, 1, W).edge_count(), 0);
+        assert_eq!(grid(1, 4, W).edge_count(), 3);
+        assert!(line(1, W).is_connected());
+    }
+}

@@ -1,0 +1,177 @@
+//! The Waxman random-topology model exactly as parameterised in §IV-A.
+//!
+//! > "Nodes in the graph are placed randomly in a rectangular coordinate
+//! > grid ... The size of the rectangular is 32,767 by 32,767. ... the
+//! > probability that there exists an edge connecting u and v is
+//! > P(u,v) = β·e^(−d(u,v)/(αL)) where d(u,v) is the Manhattan distance
+//! > ... L is the maximum Manhattan distance between any two nodes, which
+//! > is 2·32,767. ... The link cost value of an edge is equal to the
+//! > Manhattan distance between the two nodes, and the link delay value
+//! > ... an uniformly distributed random variable between 0 and the link
+//! > cost value."
+
+use crate::graph::{LinkWeight, NodeId, Topology, TopologyBuilder};
+use rand::Rng;
+
+/// Parameters of the Waxman model. Defaults are the paper's §IV-A values
+/// (`n = 100`, `α = 0.25`, `β = 0.2`).
+#[derive(Clone, Copy, Debug)]
+pub struct WaxmanConfig {
+    /// Number of nodes.
+    pub n: usize,
+    /// Long-edge likelihood parameter (paper: 0.25).
+    pub alpha: f64,
+    /// Overall edge-density parameter (paper: 0.2).
+    pub beta: f64,
+    /// Grid side length (paper: 32 767).
+    pub grid: i64,
+    /// Guarantee delay ≥ 1 on every link (the paper draws `U[0, cost]`;
+    /// the discrete-event simulator needs strictly positive propagation
+    /// delays, so the §IV-B experiments set this).
+    pub min_delay_one: bool,
+}
+
+impl Default for WaxmanConfig {
+    fn default() -> Self {
+        WaxmanConfig {
+            n: 100,
+            alpha: 0.25,
+            beta: 0.2,
+            grid: 32_767,
+            min_delay_one: false,
+        }
+    }
+}
+
+/// Generate a connected Waxman topology.
+///
+/// Disconnected samples are augmented by linking closest component pairs
+/// (cost = Manhattan distance, delay drawn like any other link), so the
+/// result is always connected without resampling — keeping the node
+/// coordinate stream aligned with the seed.
+pub fn waxman(cfg: &WaxmanConfig, rng: &mut impl Rng) -> Topology {
+    assert!(cfg.n >= 1, "need at least one node");
+    assert!(cfg.alpha > 0.0 && cfg.beta > 0.0, "alpha/beta must be positive");
+    let coords: Vec<(i64, i64)> = (0..cfg.n)
+        .map(|_| (rng.gen_range(0..=cfg.grid), rng.gen_range(0..=cfg.grid)))
+        .collect();
+    let l = (2 * cfg.grid) as f64;
+    let mut b = TopologyBuilder::new(cfg.n).with_coords(coords.clone());
+    for u in 0..cfg.n {
+        for v in (u + 1)..cfg.n {
+            let d = (coords[u].0 - coords[v].0).abs() + (coords[u].1 - coords[v].1).abs();
+            if d == 0 {
+                // Coincident nodes: treat as distance 1 so the link, if
+                // drawn, has a positive cost.
+                continue;
+            }
+            let p = cfg.beta * (-(d as f64) / (cfg.alpha * l)).exp();
+            if rng.gen_bool(p.clamp(0.0, 1.0)) {
+                let w = draw_weight(d as u64, cfg.min_delay_one, rng);
+                b.add_link(NodeId(u as u32), NodeId(v as u32), w);
+            }
+        }
+    }
+    let b = super::connect_components(b, &coords, |d| draw_weight(d as u64, cfg.min_delay_one, rng));
+    b.build()
+}
+
+fn draw_weight(cost: u64, min_delay_one: bool, rng: &mut impl Rng) -> LinkWeight {
+    let cost = cost.max(1);
+    let delay = rng.gen_range(0..=cost);
+    let delay = if min_delay_one { delay.max(1) } else { delay };
+    LinkWeight { delay, cost }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rng_for;
+
+    #[test]
+    fn paper_parameters_produce_connected_graph() {
+        for seed in 0..5 {
+            let mut rng = rng_for("waxman-test", seed);
+            let t = waxman(&WaxmanConfig::default(), &mut rng);
+            assert_eq!(t.node_count(), 100);
+            assert!(t.is_connected());
+            // β=0.2, α=0.25 on 100 nodes is reasonably dense.
+            assert!(t.average_degree() > 2.0, "degree {}", t.average_degree());
+        }
+    }
+
+    #[test]
+    fn weights_follow_model() {
+        let mut rng = rng_for("waxman-weights", 0);
+        let t = waxman(&WaxmanConfig::default(), &mut rng);
+        for &(a, b, w) in t.edges() {
+            assert!(w.cost >= 1);
+            assert!(w.delay <= w.cost, "delay {} > cost {}", w.delay, w.cost);
+            // Cost equals Manhattan distance of endpoints.
+            let (ax, ay) = t.coords(a).unwrap();
+            let (bx, by) = t.coords(b).unwrap();
+            let d = ((ax - bx).abs() + (ay - by).abs()).max(1) as u64;
+            assert_eq!(w.cost, d);
+        }
+    }
+
+    #[test]
+    fn min_delay_one_clamps() {
+        let cfg = WaxmanConfig {
+            min_delay_one: true,
+            ..WaxmanConfig::default()
+        };
+        let mut rng = rng_for("waxman-clamp", 0);
+        let t = waxman(&cfg, &mut rng);
+        assert!(t.edges().iter().all(|&(_, _, w)| w.delay >= 1));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = waxman(&WaxmanConfig::default(), &mut rng_for("w", 7));
+        let b = waxman(&WaxmanConfig::default(), &mut rng_for("w", 7));
+        assert_eq!(a.edges(), b.edges());
+        let c = waxman(&WaxmanConfig::default(), &mut rng_for("w", 8));
+        assert_ne!(a.edges(), c.edges());
+    }
+
+    #[test]
+    fn tiny_graphs_work() {
+        let cfg = WaxmanConfig {
+            n: 1,
+            ..WaxmanConfig::default()
+        };
+        let t = waxman(&cfg, &mut rng_for("tiny", 0));
+        assert_eq!(t.node_count(), 1);
+        assert!(t.is_connected());
+
+        let cfg2 = WaxmanConfig {
+            n: 2,
+            beta: 1e-9, // essentially never draws an edge: augmentation kicks in
+            ..WaxmanConfig::default()
+        };
+        let t2 = waxman(&cfg2, &mut rng_for("tiny", 1));
+        assert!(t2.is_connected());
+        assert_eq!(t2.edge_count(), 1);
+    }
+
+    #[test]
+    fn alpha_increases_long_edges() {
+        // Higher α admits more long edges => more edges overall.
+        let lo = WaxmanConfig {
+            alpha: 0.05,
+            ..WaxmanConfig::default()
+        };
+        let hi = WaxmanConfig {
+            alpha: 0.8,
+            ..WaxmanConfig::default()
+        };
+        let mut e_lo = 0;
+        let mut e_hi = 0;
+        for seed in 0..5 {
+            e_lo += waxman(&lo, &mut rng_for("alpha", seed)).edge_count();
+            e_hi += waxman(&hi, &mut rng_for("alpha", seed)).edge_count();
+        }
+        assert!(e_hi > e_lo, "hi {e_hi} <= lo {e_lo}");
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based tests for the network substrate.
+
+use proptest::prelude::*;
+use scmp_net::rng::rng_for;
+use scmp_net::topology::{gt_itm_flat, waxman, GtItmConfig, WaxmanConfig};
+use scmp_net::{dijkstra, AllPairsPaths, Metric, NodeId, RoutingTables};
+
+fn small_waxman(seed: u64, n: usize) -> scmp_net::Topology {
+    let cfg = WaxmanConfig {
+        n,
+        ..WaxmanConfig::default()
+    };
+    waxman(&cfg, &mut rng_for("prop-waxman", seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Generators always produce connected graphs.
+    #[test]
+    fn generated_graphs_connected(seed in 0u64..1000, n in 2usize..40) {
+        let t = small_waxman(seed, n);
+        prop_assert!(t.is_connected());
+        prop_assert_eq!(t.node_count(), n);
+    }
+
+    /// Dijkstra distances satisfy the triangle inequality over links.
+    #[test]
+    fn dijkstra_triangle_inequality(seed in 0u64..500, n in 3usize..25) {
+        let t = small_waxman(seed, n);
+        for metric in [Metric::Delay, Metric::Cost] {
+            let spt = dijkstra(&t, NodeId(0), metric);
+            for &(a, b, w) in t.edges() {
+                let da = spt.distance(a).unwrap();
+                let db = spt.distance(b).unwrap();
+                let w = metric.of(w);
+                prop_assert!(da <= db + w);
+                prop_assert!(db <= da + w);
+            }
+        }
+    }
+
+    /// Reconstructed shortest paths actually have the reported distance.
+    #[test]
+    fn path_weight_matches_distance(seed in 0u64..500, n in 2usize..25) {
+        let t = small_waxman(seed, n);
+        let ap = AllPairsPaths::compute(&t);
+        for src in t.nodes() {
+            for dst in t.nodes() {
+                for metric in [Metric::Delay, Metric::Cost] {
+                    let p = ap.path(src, dst, metric).unwrap();
+                    let w = t.path_weight(&p).unwrap();
+                    prop_assert_eq!(metric.of(w), ap.distance(src, dst, metric).unwrap());
+                }
+            }
+        }
+    }
+
+    /// Distances are symmetric because links are.
+    #[test]
+    fn distances_symmetric(seed in 0u64..500, n in 2usize..25) {
+        let t = small_waxman(seed, n);
+        let ap = AllPairsPaths::compute(&t);
+        for a in t.nodes() {
+            for b in t.nodes() {
+                for m in [Metric::Delay, Metric::Cost] {
+                    prop_assert_eq!(ap.distance(a, b, m), ap.distance(b, a, m));
+                }
+            }
+        }
+    }
+
+    /// Hop-by-hop unicast routes terminate and realise the shortest delay.
+    #[test]
+    fn routing_tables_sound(seed in 0u64..500, n in 2usize..20) {
+        let t = small_waxman(seed, n);
+        let rt = RoutingTables::compute(&t);
+        let ap = AllPairsPaths::compute(&t);
+        for src in t.nodes() {
+            for dst in t.nodes() {
+                let route = rt.route(src, dst).unwrap();
+                prop_assert_eq!(route.first().copied(), Some(src));
+                prop_assert_eq!(route.last().copied(), Some(dst));
+                let w = t.path_weight(&route).unwrap();
+                prop_assert_eq!(Some(w.delay), ap.unicast_delay(src, dst));
+            }
+        }
+    }
+
+    /// GT-ITM generator hits its size and stays connected for odd params.
+    #[test]
+    fn gt_itm_connected(seed in 0u64..200, n in 2usize..30, deg in 1u32..6) {
+        let cfg = GtItmConfig { n, average_degree: deg as f64, grid: 1000 };
+        let t = gt_itm_flat(&cfg, &mut rng_for("prop-gtitm", seed));
+        prop_assert!(t.is_connected());
+        prop_assert_eq!(t.node_count(), n);
+    }
+}

@@ -1,0 +1,940 @@
+//! The discrete-event engine.
+
+use crate::packet::{Packet, PacketClass};
+use crate::stats::SimStats;
+use scmp_net::{NodeId, RoutingTables, Topology};
+use std::collections::BinaryHeap;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// Simulation time in abstract ticks (the same unit as link delays).
+pub type SimTime = u64;
+
+/// Finite link-capacity model (off by default).
+///
+/// With capacities enabled, each link direction is a FIFO server: a
+/// packet sent at `t` starts transmitting when the link is free,
+/// occupies it for the sender's transmission time, and then propagates
+/// for the link delay. A bounded queue drops packets that would wait for
+/// more than `queue_limit` earlier transmissions — the §I "traffic
+/// concentration around the core ... packet loss and longer
+/// communication delay" failure mode. Per-node overrides model the
+/// m-router's "specially designed powerful" line cards (§V).
+#[derive(Clone, Debug)]
+pub struct CapacityModel {
+    /// Ticks to serialise one packet onto a link.
+    pub link_tx: u64,
+    /// Maximum packets waiting per link direction before tail drop.
+    pub queue_limit: u64,
+    /// Per-node transmission-time override (e.g. the m-router's ports);
+    /// `None` uses `link_tx`.
+    pub node_tx: HashMap<NodeId, u64>,
+}
+
+impl CapacityModel {
+    /// Uniform capacity: every node serialises a packet in `link_tx`
+    /// ticks, with `queue_limit` queue slots per link direction.
+    pub fn uniform(link_tx: u64, queue_limit: u64) -> Self {
+        assert!(link_tx > 0, "transmission time must be positive");
+        CapacityModel {
+            link_tx,
+            queue_limit,
+            node_tx: HashMap::new(),
+        }
+    }
+
+    /// Give `node` faster ports (smaller transmission time).
+    pub fn with_node_tx(mut self, node: NodeId, tx: u64) -> Self {
+        assert!(tx > 0);
+        self.node_tx.insert(node, tx);
+        self
+    }
+
+    fn tx_of(&self, sender: NodeId) -> u64 {
+        self.node_tx.get(&sender).copied().unwrap_or(self.link_tx)
+    }
+}
+
+/// One record of the (optional) event trace — enough to reconstruct the
+/// protocol conversation without holding message bodies.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// When the event fired.
+    pub time: SimTime,
+    /// The router that handled it.
+    pub node: NodeId,
+    /// What happened.
+    pub kind: TraceKind,
+}
+
+/// Kind of traced event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A packet was handed to the router.
+    Deliver {
+        /// Sender (neighbour or tunnel tail).
+        from: NodeId,
+        /// Overhead class.
+        class: PacketClass,
+        /// Group the packet belongs to.
+        group: crate::packet::GroupId,
+        /// Data tag (0 for control).
+        tag: u64,
+    },
+    /// A timer fired.
+    Timer {
+        /// Protocol-defined token.
+        token: u64,
+    },
+    /// A host/subnet event was injected.
+    App(AppEvent),
+}
+
+/// Scenario-injected application events: what the attached hosts/subnets
+/// ask their designated router to do.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AppEvent {
+    /// A host on this router's subnet joined `group` (the IGMP report
+    /// already aggregated — see `scmp-core::igmp` for the host-level
+    /// model).
+    Join(crate::packet::GroupId),
+    /// The last host on this router's subnet left `group`.
+    Leave(crate::packet::GroupId),
+    /// A local host sends one data payload (`tag`) to `group`.
+    Send {
+        group: crate::packet::GroupId,
+        tag: u64,
+    },
+}
+
+/// A protocol state machine running on one router.
+///
+/// One value of the implementing type exists per node; the engine owns
+/// them all and dispatches events. `Msg` is the protocol's wire-message
+/// enum.
+pub trait Router {
+    /// Protocol message body carried by [`Packet`].
+    type Msg: Clone + fmt::Debug;
+
+    /// Called once before the first event fires.
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Self::Msg>) {
+        let _ = ctx;
+    }
+
+    /// A packet arrived from neighbour (or tunnel tail) `from`.
+    fn on_packet(&mut self, from: NodeId, pkt: Packet<Self::Msg>, ctx: &mut Ctx<'_, Self::Msg>);
+
+    /// A timer set via [`Ctx::set_timer`] fired.
+    fn on_timer(&mut self, token: u64, ctx: &mut Ctx<'_, Self::Msg>) {
+        let _ = (token, ctx);
+    }
+
+    /// An application event occurred on this router's subnet.
+    fn on_app(&mut self, ev: AppEvent, ctx: &mut Ctx<'_, Self::Msg>);
+}
+
+enum EventKind<M> {
+    Deliver { from: NodeId, pkt: Packet<M> },
+    Timer { token: u64 },
+    App(AppEvent),
+}
+
+struct Entry<M> {
+    time: SimTime,
+    seq: u64,
+    node: NodeId,
+    kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Entry<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<M> Eq for Entry<M> {}
+impl<M> PartialOrd for Entry<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Entry<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap: reverse so earlier (time, seq) pops
+        // first. seq uniqueness makes the order total and deterministic.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// The per-dispatch context handed to [`Router`] callbacks: the only way
+/// protocols interact with the network.
+pub struct Ctx<'a, M> {
+    now: SimTime,
+    node: NodeId,
+    topo: &'a Topology,
+    routes: &'a RoutingTables,
+    queue: &'a mut BinaryHeap<Entry<M>>,
+    seq: &'a mut u64,
+    stats: &'a mut SimStats,
+    node_down: &'a [bool],
+    link_down: &'a HashSet<(NodeId, NodeId)>,
+    capacity: Option<&'a CapacityModel>,
+    link_busy: &'a mut HashMap<(NodeId, NodeId), SimTime>,
+}
+
+impl<'a, M: Clone + fmt::Debug> Ctx<'a, M> {
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The router being executed.
+    pub fn me(&self) -> NodeId {
+        self.node
+    }
+
+    /// The topology (read-only).
+    pub fn topo(&self) -> &Topology {
+        self.topo
+    }
+
+    /// The domain's unicast routing tables (read-only).
+    pub fn routes(&self) -> &RoutingTables {
+        self.routes
+    }
+
+    fn push(&mut self, time: SimTime, node: NodeId, kind: EventKind<M>) {
+        let seq = *self.seq;
+        *self.seq += 1;
+        self.queue.push(Entry {
+            time,
+            seq,
+            node,
+            kind,
+        });
+    }
+
+    fn link_alive(&self, a: NodeId, b: NodeId) -> bool {
+        let key = if a < b { (a, b) } else { (b, a) };
+        !self.link_down.contains(&key) && !self.node_down[a.index()] && !self.node_down[b.index()]
+    }
+
+    /// Send `pkt` to the directly-connected neighbour `to`. Charges the
+    /// link cost against the packet's overhead class and delivers after
+    /// the link delay. Dead links/nodes drop the packet.
+    ///
+    /// # Panics
+    /// If `to` is not a neighbour of the current node.
+    pub fn send(&mut self, to: NodeId, pkt: Packet<M>) {
+        let w = self
+            .topo
+            .link(self.node, to)
+            .unwrap_or_else(|| panic!("{:?} is not a neighbour of {:?}", to, self.node));
+        if !self.link_alive(self.node, to) {
+            self.stats.drops += 1;
+            return;
+        }
+        let Some(depart) = self.reserve_link(self.node, to, self.now) else {
+            // Queue overflow: the congestion loss of §I.
+            self.stats.drops += 1;
+            self.stats.queue_drops += 1;
+            return;
+        };
+        self.charge(pkt.class, w.cost);
+        let t = depart + w.delay;
+        self.push(t, to, EventKind::Deliver {
+            from: self.node,
+            pkt,
+        });
+    }
+
+    /// Reserve transmission time on the directed link `a -> b` starting
+    /// no earlier than `ready`. Returns the serialisation-complete time,
+    /// or `None` when the queue is full. Free (no-capacity) mode departs
+    /// immediately.
+    fn reserve_link(&mut self, a: NodeId, b: NodeId, ready: SimTime) -> Option<SimTime> {
+        let Some(cap) = self.capacity else {
+            return Some(ready);
+        };
+        let tx = cap.tx_of(a);
+        let busy = self.link_busy.entry((a, b)).or_insert(0);
+        let start = (*busy).max(ready);
+        // Packets already waiting = backlog / tx.
+        if (start - ready) / tx > cap.queue_limit {
+            return None;
+        }
+        let done = start + tx;
+        *busy = done;
+        let waited = start - ready;
+        self.stats.queueing_delay_total += waited;
+        self.stats.max_queueing_delay = self.stats.max_queueing_delay.max(waited);
+        Some(done)
+    }
+
+    /// Send `pkt` to an arbitrary router via the domain's unicast routing
+    /// (hop-by-hop along shortest-delay paths, every hop charged). This
+    /// models IP tunnelling: intermediate routers forward without the
+    /// multicast protocol seeing the packet. The receiver observes
+    /// `from` = the last hop on the path.
+    ///
+    /// The packet is dropped (and partially charged, like a real packet
+    /// making it partway) if the path crosses a dead link or node.
+    pub fn unicast(&mut self, dst: NodeId, pkt: Packet<M>) {
+        if dst == self.node {
+            let t = self.now;
+            self.push(t, dst, EventKind::Deliver {
+                from: self.node,
+                pkt,
+            });
+            return;
+        }
+        let Some(route) = self.routes.route(self.node, dst) else {
+            self.stats.drops += 1;
+            return;
+        };
+        let mut at = self.now;
+        for hop in route.windows(2) {
+            let (a, b) = (hop[0], hop[1]);
+            if !self.link_alive(a, b) {
+                self.stats.drops += 1;
+                return;
+            }
+            let Some(depart) = self.reserve_link(a, b, at) else {
+                self.stats.drops += 1;
+                self.stats.queue_drops += 1;
+                return;
+            };
+            let w = self.topo.link(a, b).expect("route follows links");
+            self.charge(pkt.class, w.cost);
+            at = depart + w.delay;
+        }
+        let from = route[route.len() - 2];
+        self.push(at, dst, EventKind::Deliver { from, pkt });
+    }
+
+    /// Arm a timer that fires `delay` ticks from now with `token`.
+    pub fn set_timer(&mut self, delay: SimTime, token: u64) {
+        let t = self.now + delay;
+        let node = self.node;
+        self.push(t, node, EventKind::Timer { token });
+    }
+
+    /// Record delivery of a data payload to the member hosts attached to
+    /// this router (the end of the multicast path).
+    pub fn deliver_local(&mut self, pkt: &Packet<M>) {
+        debug_assert_eq!(pkt.class, PacketClass::Data, "only data is delivered to hosts");
+        let delay = self.now.saturating_sub(pkt.created_at);
+        self.stats
+            .record_delivery(pkt.group, pkt.tag, self.node, delay);
+    }
+
+    /// Record a protocol-decision drop (e.g. a packet arriving from a
+    /// router outside the forwarding set, §III-F).
+    pub fn drop_packet(&mut self) {
+        self.stats.drops += 1;
+    }
+
+    fn charge(&mut self, class: PacketClass, cost: u64) {
+        match class {
+            PacketClass::Data => {
+                self.stats.data_overhead += cost;
+                self.stats.data_hops += 1;
+            }
+            PacketClass::Control => {
+                self.stats.protocol_overhead += cost;
+                self.stats.control_hops += 1;
+            }
+        }
+    }
+}
+
+/// The simulation engine: owns the topology, routing tables, per-node
+/// protocol state and the event queue.
+pub struct Engine<R: Router> {
+    topo: Topology,
+    routes: RoutingTables,
+    routers: Vec<R>,
+    queue: BinaryHeap<Entry<R::Msg>>,
+    seq: u64,
+    now: SimTime,
+    stats: SimStats,
+    node_down: Vec<bool>,
+    link_down: HashSet<(NodeId, NodeId)>,
+    started: bool,
+    event_limit: u64,
+    events_processed: u64,
+    trace: Option<Vec<TraceRecord>>,
+    capacity: Option<CapacityModel>,
+    link_busy: HashMap<(NodeId, NodeId), SimTime>,
+}
+
+impl<R: Router> Engine<R> {
+    /// Build an engine; `make` constructs the protocol state for each
+    /// router (it receives the topology and unicast tables so protocols
+    /// can precompute).
+    pub fn new(topo: Topology, mut make: impl FnMut(NodeId, &Topology, &RoutingTables) -> R) -> Self {
+        let routes = RoutingTables::compute(&topo);
+        let routers = topo.nodes().map(|v| make(v, &topo, &routes)).collect();
+        let n = topo.node_count();
+        Engine {
+            topo,
+            routes,
+            routers,
+            queue: BinaryHeap::new(),
+            seq: 0,
+            now: 0,
+            stats: SimStats::default(),
+            node_down: vec![false; n],
+            link_down: HashSet::new(),
+            started: false,
+            event_limit: 50_000_000,
+            events_processed: 0,
+            trace: None,
+            capacity: None,
+            link_busy: HashMap::new(),
+        }
+    }
+
+    /// Enable the finite link-capacity model (default: infinite
+    /// bandwidth, zero queueing).
+    pub fn set_capacity(&mut self, model: CapacityModel) {
+        self.capacity = Some(model);
+    }
+
+    /// Enable event tracing (disabled by default; the trace grows with
+    /// every dispatched event, so enable it only for small scenarios or
+    /// debugging sessions).
+    pub fn enable_trace(&mut self) {
+        self.trace = Some(Vec::new());
+    }
+
+    /// The recorded trace (empty slice when tracing is disabled).
+    pub fn trace(&self) -> &[TraceRecord] {
+        self.trace.as_deref().unwrap_or(&[])
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The topology being simulated.
+    pub fn topo(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Collected statistics.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// Read a router's protocol state (for assertions and reporting).
+    pub fn router(&self, node: NodeId) -> &R {
+        &self.routers[node.index()]
+    }
+
+    /// Override the runaway-protection event limit (default 50M).
+    pub fn set_event_limit(&mut self, limit: u64) {
+        self.event_limit = limit;
+    }
+
+    /// Inject an application event at absolute time `time`.
+    pub fn schedule_app(&mut self, time: SimTime, node: NodeId, ev: AppEvent) {
+        assert!(time >= self.now, "cannot schedule in the past");
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Entry {
+            time,
+            seq,
+            node,
+            kind: EventKind::App(ev),
+        });
+    }
+
+    /// Mark a node up/down. Packets, timers and app events addressed to a
+    /// down node are discarded when they fire. The unicast routing
+    /// tables reconverge immediately (modelling the domain's link-state
+    /// IGP reacting to the failure).
+    pub fn set_node_down(&mut self, node: NodeId, down: bool) {
+        self.node_down[node.index()] = down;
+        self.reconverge_routes();
+    }
+
+    /// Mark a link up/down (both directions); the unicast routing tables
+    /// reconverge immediately.
+    pub fn set_link_down(&mut self, a: NodeId, b: NodeId, down: bool) {
+        assert!(self.topo.has_link(a, b), "no such link {a:?}-{b:?}");
+        let key = if a < b { (a, b) } else { (b, a) };
+        if down {
+            self.link_down.insert(key);
+        } else {
+            self.link_down.remove(&key);
+        }
+        self.reconverge_routes();
+    }
+
+    /// Recompute the unicast next-hop tables over the surviving links.
+    fn reconverge_routes(&mut self) {
+        use scmp_net::graph::TopologyBuilder;
+        let mut b = TopologyBuilder::new(self.topo.node_count());
+        for &(a, bb, w) in self.topo.edges() {
+            let key = (a, bb);
+            if !self.link_down.contains(&key)
+                && !self.node_down[a.index()]
+                && !self.node_down[bb.index()]
+            {
+                b.add_link(a, bb, w);
+            }
+        }
+        self.routes = RoutingTables::compute(&b.build());
+    }
+
+    fn start_if_needed(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for i in 0..self.routers.len() {
+            let node = NodeId(i as u32);
+            let mut ctx = Ctx {
+                now: self.now,
+                node,
+                topo: &self.topo,
+                routes: &self.routes,
+                queue: &mut self.queue,
+                seq: &mut self.seq,
+                stats: &mut self.stats,
+                node_down: &self.node_down,
+                link_down: &self.link_down,
+                capacity: self.capacity.as_ref(),
+                link_busy: &mut self.link_busy,
+            };
+            self.routers[i].on_start(&mut ctx);
+        }
+    }
+
+    /// Run until the queue drains or the next event is later than
+    /// `deadline`. Returns the number of events processed.
+    pub fn run_until(&mut self, deadline: SimTime) -> u64 {
+        self.start_if_needed();
+        let mut processed = 0;
+        while let Some(top) = self.queue.peek() {
+            if top.time > deadline {
+                break;
+            }
+            let ev = self.queue.pop().expect("peeked");
+            debug_assert!(ev.time >= self.now, "time went backwards");
+            self.now = ev.time;
+            self.events_processed += 1;
+            processed += 1;
+            assert!(
+                self.events_processed <= self.event_limit,
+                "event limit exceeded: protocol livelock?"
+            );
+            let node = ev.node;
+            if self.node_down[node.index()] {
+                if matches!(ev.kind, EventKind::Deliver { .. }) {
+                    self.stats.drops += 1;
+                }
+                continue;
+            }
+            let mut ctx = Ctx {
+                now: self.now,
+                node,
+                topo: &self.topo,
+                routes: &self.routes,
+                queue: &mut self.queue,
+                seq: &mut self.seq,
+                stats: &mut self.stats,
+                node_down: &self.node_down,
+                link_down: &self.link_down,
+                capacity: self.capacity.as_ref(),
+                link_busy: &mut self.link_busy,
+            };
+            if let Some(trace) = &mut self.trace {
+                let kind = match &ev.kind {
+                    EventKind::Deliver { from, pkt } => TraceKind::Deliver {
+                        from: *from,
+                        class: pkt.class,
+                        group: pkt.group,
+                        tag: pkt.tag,
+                    },
+                    EventKind::Timer { token } => TraceKind::Timer { token: *token },
+                    EventKind::App(app) => TraceKind::App(app.clone()),
+                };
+                trace.push(TraceRecord {
+                    time: self.now,
+                    node,
+                    kind,
+                });
+            }
+            match ev.kind {
+                EventKind::Deliver { from, pkt } => {
+                    self.routers[node.index()].on_packet(from, pkt, &mut ctx)
+                }
+                EventKind::Timer { token } => self.routers[node.index()].on_timer(token, &mut ctx),
+                EventKind::App(app) => self.routers[node.index()].on_app(app, &mut ctx),
+            }
+        }
+        processed
+    }
+
+    /// Run until the event queue is completely drained.
+    pub fn run_to_quiescence(&mut self) -> u64 {
+        self.run_until(SimTime::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{GroupId, Packet};
+    use scmp_net::graph::LinkWeight;
+    use scmp_net::topology::regular::line;
+
+    /// A toy protocol: floods data to all neighbours except the one it
+    /// came from; delivers locally everywhere; answers a Join app event
+    /// by unicasting a control packet to node 0.
+    struct Flood {
+        me: NodeId,
+        seen: std::collections::HashSet<u64>,
+    }
+
+    #[derive(Clone, Debug)]
+    enum Msg {
+        Payload,
+        Hello,
+    }
+
+    impl Router for Flood {
+        type Msg = Msg;
+
+        fn on_packet(&mut self, from: NodeId, pkt: Packet<Msg>, ctx: &mut Ctx<'_, Msg>) {
+            match pkt.body {
+                Msg::Payload => {
+                    if !self.seen.insert(pkt.tag) {
+                        ctx.drop_packet();
+                        return;
+                    }
+                    ctx.deliver_local(&pkt);
+                    let neighbors: Vec<NodeId> =
+                        ctx.topo().neighbors(self.me).iter().map(|e| e.to).collect();
+                    for n in neighbors {
+                        if n != from {
+                            ctx.send(n, pkt.clone());
+                        }
+                    }
+                }
+                Msg::Hello => {}
+            }
+        }
+
+        fn on_app(&mut self, ev: AppEvent, ctx: &mut Ctx<'_, Msg>) {
+            match ev {
+                AppEvent::Send { group, tag } => {
+                    self.seen.insert(tag);
+                    let pkt = Packet::data(group, tag, ctx.now(), Msg::Payload);
+                    ctx.deliver_local(&pkt);
+                    let neighbors: Vec<NodeId> =
+                        ctx.topo().neighbors(self.me).iter().map(|e| e.to).collect();
+                    for n in neighbors {
+                        ctx.send(n, pkt.clone());
+                    }
+                }
+                AppEvent::Join(g) => {
+                    ctx.unicast(NodeId(0), Packet::control(g, Msg::Hello));
+                }
+                AppEvent::Leave(_) => {}
+            }
+        }
+
+        fn on_timer(&mut self, token: u64, ctx: &mut Ctx<'_, Msg>) {
+            // Re-flood with a tag derived from the token.
+            self.on_app(
+                AppEvent::Send {
+                    group: GroupId(0),
+                    tag: token,
+                },
+                ctx,
+            );
+        }
+    }
+
+    fn engine(n: usize) -> Engine<Flood> {
+        let topo = line(n, LinkWeight::new(2, 3));
+        Engine::new(topo, |me, _, _| Flood {
+            me,
+            seen: Default::default(),
+        })
+    }
+
+    #[test]
+    fn flood_reaches_everyone_once() {
+        let mut e = engine(5);
+        e.schedule_app(0, NodeId(0), AppEvent::Send {
+            group: GroupId(1),
+            tag: 42,
+        });
+        e.run_to_quiescence();
+        for v in 0..5u32 {
+            assert_eq!(e.stats().delivery_count(GroupId(1), 42, NodeId(v)), 1);
+        }
+        assert!(!e.stats().has_duplicate_deliveries());
+        // Line of 4 links, delay 2 each: farthest delivery at delay 8.
+        assert_eq!(e.stats().max_end_to_end_delay, 8);
+        // 4 data hops each costing 3.
+        assert_eq!(e.stats().data_overhead, 12);
+        assert_eq!(e.stats().protocol_overhead, 0);
+    }
+
+    #[test]
+    fn unicast_charges_full_path() {
+        let mut e = engine(4);
+        e.schedule_app(5, NodeId(3), AppEvent::Join(GroupId(1)));
+        e.run_to_quiescence();
+        // 3 hops at cost 3 = 9 units of protocol overhead.
+        assert_eq!(e.stats().protocol_overhead, 9);
+        assert_eq!(e.stats().control_hops, 3);
+        assert_eq!(e.stats().data_overhead, 0);
+    }
+
+    #[test]
+    fn dead_link_drops_flood() {
+        let mut e = engine(5);
+        e.set_link_down(NodeId(2), NodeId(3), true);
+        e.schedule_app(0, NodeId(0), AppEvent::Send {
+            group: GroupId(1),
+            tag: 1,
+        });
+        e.run_to_quiescence();
+        assert_eq!(e.stats().delivery_count(GroupId(1), 1, NodeId(2)), 1);
+        assert_eq!(e.stats().delivery_count(GroupId(1), 1, NodeId(3)), 0);
+        assert!(e.stats().drops > 0);
+    }
+
+    #[test]
+    fn dead_node_swallows_deliveries() {
+        let mut e = engine(5);
+        e.set_node_down(NodeId(2), true);
+        e.schedule_app(0, NodeId(0), AppEvent::Send {
+            group: GroupId(1),
+            tag: 1,
+        });
+        e.run_to_quiescence();
+        assert_eq!(e.stats().delivery_count(GroupId(1), 1, NodeId(1)), 1);
+        assert_eq!(e.stats().delivery_count(GroupId(1), 1, NodeId(4)), 0);
+    }
+
+    #[test]
+    fn node_recovery_allows_later_traffic() {
+        let mut e = engine(3);
+        e.set_node_down(NodeId(1), true);
+        e.schedule_app(0, NodeId(0), AppEvent::Send {
+            group: GroupId(1),
+            tag: 1,
+        });
+        e.run_until(100);
+        assert_eq!(e.stats().delivery_count(GroupId(1), 1, NodeId(2)), 0);
+        e.set_node_down(NodeId(1), false);
+        e.schedule_app(200, NodeId(0), AppEvent::Send {
+            group: GroupId(1),
+            tag: 2,
+        });
+        e.run_to_quiescence();
+        assert_eq!(e.stats().delivery_count(GroupId(1), 2, NodeId(2)), 1);
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        let mut e = engine(2);
+        // Two app events at the same time keep injection order (seq).
+        e.schedule_app(10, NodeId(0), AppEvent::Send {
+            group: GroupId(0),
+            tag: 1,
+        });
+        e.schedule_app(10, NodeId(0), AppEvent::Send {
+            group: GroupId(0),
+            tag: 2,
+        });
+        let processed = e.run_until(9);
+        assert_eq!(processed, 0);
+        e.run_to_quiescence();
+        assert_eq!(e.stats().delivery_count(GroupId(0), 1, NodeId(1)), 1);
+        assert_eq!(e.stats().delivery_count(GroupId(0), 2, NodeId(1)), 1);
+    }
+
+    #[test]
+    fn run_until_respects_deadline() {
+        let mut e = engine(5);
+        e.schedule_app(100, NodeId(0), AppEvent::Send {
+            group: GroupId(0),
+            tag: 9,
+        });
+        e.run_until(99);
+        assert_eq!(e.stats().distinct_deliveries(), 0);
+        e.run_until(101);
+        // Send processed at 100; first-hop deliveries at 102 still queued.
+        assert_eq!(e.stats().delivery_count(GroupId(0), 9, NodeId(0)), 1);
+        assert_eq!(e.stats().delivery_count(GroupId(0), 9, NodeId(1)), 0);
+        e.run_to_quiescence();
+        assert_eq!(e.stats().delivery_count(GroupId(0), 9, NodeId(4)), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a neighbour")]
+    fn send_to_non_neighbor_panics() {
+        struct Bad;
+        #[derive(Clone, Debug)]
+        struct M;
+        impl Router for Bad {
+            type Msg = M;
+            fn on_packet(&mut self, _: NodeId, _: Packet<M>, _: &mut Ctx<'_, M>) {}
+            fn on_app(&mut self, _: AppEvent, ctx: &mut Ctx<'_, M>) {
+                ctx.send(NodeId(3), Packet::control(GroupId(0), M));
+            }
+        }
+        let topo = line(4, LinkWeight::new(1, 1));
+        let mut e: Engine<Bad> = Engine::new(topo, |_, _, _| Bad);
+        e.schedule_app(0, NodeId(0), AppEvent::Leave(GroupId(0)));
+        e.run_to_quiescence();
+    }
+
+    #[test]
+    fn capacity_serialises_back_to_back_sends() {
+        // Two packets on the same link: the second waits for the first's
+        // transmission (tx = 10), so its delivery is 10 ticks later.
+        let mut e = engine(2);
+        e.set_capacity(CapacityModel::uniform(10, 100));
+        e.schedule_app(0, NodeId(0), AppEvent::Send {
+            group: GroupId(0),
+            tag: 1,
+        });
+        e.schedule_app(0, NodeId(0), AppEvent::Send {
+            group: GroupId(0),
+            tag: 2,
+        });
+        e.run_to_quiescence();
+        // Link delay 2, tx 10: first arrives at 12, second at 22.
+        assert_eq!(e.stats().delivery_delay(GroupId(0), 1, NodeId(1)), Some(12));
+        assert_eq!(e.stats().delivery_delay(GroupId(0), 2, NodeId(1)), Some(22));
+        assert_eq!(e.stats().max_queueing_delay, 10);
+        assert_eq!(e.stats().queue_drops, 0);
+    }
+
+    #[test]
+    fn capacity_queue_overflow_drops() {
+        let mut e = engine(2);
+        e.set_capacity(CapacityModel::uniform(10, 2)); // 2 queue slots
+        for tag in 0..10 {
+            e.schedule_app(0, NodeId(0), AppEvent::Send {
+                group: GroupId(0),
+                tag,
+            });
+        }
+        e.run_to_quiescence();
+        assert!(e.stats().queue_drops > 0, "overloaded link must drop");
+        let delivered = (0..10)
+            .filter(|&t| e.stats().delivery_count(GroupId(0), t, NodeId(1)) == 1)
+            .count();
+        assert!(delivered < 10);
+        assert!(delivered >= 3, "head of queue still flows: {delivered}");
+    }
+
+    #[test]
+    fn node_tx_override_speeds_up_sender() {
+        let mut slow = engine(2);
+        slow.set_capacity(CapacityModel::uniform(50, 100));
+        let mut fast = engine(2);
+        fast.set_capacity(CapacityModel::uniform(50, 100).with_node_tx(NodeId(0), 1));
+        for e in [&mut slow, &mut fast] {
+            for tag in 0..5 {
+                e.schedule_app(0, NodeId(0), AppEvent::Send {
+                    group: GroupId(0),
+                    tag,
+                });
+            }
+            e.run_to_quiescence();
+        }
+        assert!(
+            fast.stats().max_end_to_end_delay < slow.stats().max_end_to_end_delay,
+            "fast {} vs slow {}",
+            fast.stats().max_end_to_end_delay,
+            slow.stats().max_end_to_end_delay
+        );
+    }
+
+    #[test]
+    fn no_capacity_means_no_queueing() {
+        let mut e = engine(2);
+        for tag in 0..50 {
+            e.schedule_app(0, NodeId(0), AppEvent::Send {
+                group: GroupId(0),
+                tag,
+            });
+        }
+        e.run_to_quiescence();
+        assert_eq!(e.stats().queueing_delay_total, 0);
+        assert_eq!(e.stats().queue_drops, 0);
+        assert_eq!(e.stats().max_end_to_end_delay, 2);
+    }
+
+    #[test]
+    fn trace_records_dispatches() {
+        let mut e = engine(3);
+        e.enable_trace();
+        e.schedule_app(5, NodeId(0), AppEvent::Send {
+            group: GroupId(2),
+            tag: 7,
+        });
+        e.run_to_quiescence();
+        let trace = e.trace();
+        assert!(!trace.is_empty());
+        assert_eq!(trace[0].time, 5);
+        assert_eq!(trace[0].node, NodeId(0));
+        assert!(matches!(trace[0].kind, TraceKind::App(AppEvent::Send { .. })));
+        // Flood deliveries appear with class/group/tag metadata.
+        assert!(trace.iter().any(|r| matches!(
+            r.kind,
+            TraceKind::Deliver {
+                class: PacketClass::Data,
+                group: GroupId(2),
+                tag: 7,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn trace_disabled_by_default() {
+        let mut e = engine(2);
+        e.schedule_app(0, NodeId(0), AppEvent::Send {
+            group: GroupId(0),
+            tag: 1,
+        });
+        e.run_to_quiescence();
+        assert!(e.trace().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "event limit")]
+    fn event_limit_catches_livelock() {
+        // A protocol that reschedules itself forever.
+        struct Loopy;
+        #[derive(Clone, Debug)]
+        struct M;
+        impl Router for Loopy {
+            type Msg = M;
+            fn on_packet(&mut self, _: NodeId, _: Packet<M>, _: &mut Ctx<'_, M>) {}
+            fn on_timer(&mut self, token: u64, ctx: &mut Ctx<'_, M>) {
+                ctx.set_timer(1, token);
+            }
+            fn on_app(&mut self, _: AppEvent, ctx: &mut Ctx<'_, M>) {
+                ctx.set_timer(1, 0);
+            }
+        }
+        let topo = line(2, LinkWeight::new(1, 1));
+        let mut e: Engine<Loopy> = Engine::new(topo, |_, _, _| Loopy);
+        e.set_event_limit(1000);
+        e.schedule_app(0, NodeId(0), AppEvent::Leave(GroupId(0)));
+        e.run_to_quiescence();
+    }
+}

@@ -1,0 +1,31 @@
+//! # scmp-sim — deterministic discrete-event network simulator
+//!
+//! The paper evaluates SCMP against DVMRP, MOSPF and CBT on NS-2
+//! (§IV-B). This crate is the NS-2 stand-in: a packet-level,
+//! deterministic discrete-event engine over a [`scmp_net::Topology`].
+//!
+//! * Every router runs a protocol state machine implementing [`Router`];
+//!   the engine delivers packets after the link's propagation delay and
+//!   fires protocol timers.
+//! * The paper's §IV-B metrics are accounted natively: a packet crossing
+//!   a link adds the link's *cost* to the data or protocol overhead
+//!   depending on its [`PacketClass`]; data deliveries record end-to-end
+//!   delay for the "maximum end-to-end delay" figure.
+//! * Unicast tunnelling (JOIN messages to the m-router, encapsulated data
+//!   from off-tree sources, …) is modelled by [`Ctx::unicast`], which
+//!   forwards along the domain's unicast routing tables, charging every
+//!   hop.
+//! * Failure injection (node/link down) supports the hot-standby
+//!   m-router experiments.
+//!
+//! Determinism: events are ordered by `(time, sequence-number)`, and no
+//! wall-clock or unseeded randomness exists anywhere in the engine, so a
+//! scenario replays identically across runs and machines.
+
+pub mod engine;
+pub mod packet;
+pub mod stats;
+
+pub use engine::{AppEvent, CapacityModel, Ctx, Engine, Router, SimTime, TraceKind, TraceRecord};
+pub use packet::{GroupId, Packet, PacketClass};
+pub use stats::SimStats;

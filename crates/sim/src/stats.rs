@@ -1,0 +1,113 @@
+//! Simulation metrics — the three §IV-B measurements plus correctness
+//! counters used by the integration tests.
+
+use crate::packet::GroupId;
+use scmp_net::NodeId;
+use std::collections::HashMap;
+
+/// Aggregated statistics of one simulation run.
+#[derive(Clone, Debug, Default)]
+pub struct SimStats {
+    /// Σ link-cost of every data-class packet hop ("data overhead").
+    pub data_overhead: u64,
+    /// Σ link-cost of every control-class packet hop ("protocol
+    /// overhead").
+    pub protocol_overhead: u64,
+    /// Number of data-class packet hops.
+    pub data_hops: u64,
+    /// Number of control-class packet hops.
+    pub control_hops: u64,
+    /// Packets dropped (dead link/node, queue overflow, or protocol
+    /// decision).
+    pub drops: u64,
+    /// Subset of `drops` caused by link-queue overflow (congestion).
+    pub queue_drops: u64,
+    /// Total ticks packets spent waiting in link queues.
+    pub queueing_delay_total: u64,
+    /// Largest single queueing wait observed.
+    pub max_queueing_delay: u64,
+    /// Per (group, tag, receiver): delivery count (detects duplicates)
+    /// and first-delivery end-to-end delay.
+    deliveries: HashMap<(GroupId, u64, NodeId), (u64, u64)>,
+    /// Maximum end-to-end delay seen over all deliveries.
+    pub max_end_to_end_delay: u64,
+}
+
+impl SimStats {
+    /// Record a data payload reaching a member host.
+    pub fn record_delivery(&mut self, group: GroupId, tag: u64, node: NodeId, delay: u64) {
+        let entry = self.deliveries.entry((group, tag, node)).or_insert((0, delay));
+        entry.0 += 1;
+        if entry.0 == 1 {
+            entry.1 = delay;
+            self.max_end_to_end_delay = self.max_end_to_end_delay.max(delay);
+        }
+    }
+
+    /// How many times `(group, tag)` was delivered to `node`.
+    pub fn delivery_count(&self, group: GroupId, tag: u64, node: NodeId) -> u64 {
+        self.deliveries.get(&(group, tag, node)).map_or(0, |e| e.0)
+    }
+
+    /// First-delivery delay of `(group, tag)` at `node`, if delivered.
+    pub fn delivery_delay(&self, group: GroupId, tag: u64, node: NodeId) -> Option<u64> {
+        self.deliveries.get(&(group, tag, node)).map(|e| e.1)
+    }
+
+    /// Total number of distinct `(group, tag, node)` deliveries.
+    pub fn distinct_deliveries(&self) -> usize {
+        self.deliveries.len()
+    }
+
+    /// True iff any `(group, tag)` reached some node more than once —
+    /// a forwarding-loop symptom the integration tests assert against.
+    pub fn has_duplicate_deliveries(&self) -> bool {
+        self.deliveries.values().any(|e| e.0 > 1)
+    }
+
+    /// Total overhead (data + protocol).
+    pub fn total_overhead(&self) -> u64 {
+        self.data_overhead + self.protocol_overhead
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivery_tracking() {
+        let mut s = SimStats::default();
+        s.record_delivery(GroupId(1), 5, NodeId(2), 30);
+        s.record_delivery(GroupId(1), 5, NodeId(3), 70);
+        assert_eq!(s.delivery_count(GroupId(1), 5, NodeId(2)), 1);
+        assert_eq!(s.delivery_delay(GroupId(1), 5, NodeId(3)), Some(70));
+        assert_eq!(s.max_end_to_end_delay, 70);
+        assert_eq!(s.distinct_deliveries(), 2);
+        assert!(!s.has_duplicate_deliveries());
+    }
+
+    #[test]
+    fn duplicates_detected_and_delay_kept_first() {
+        let mut s = SimStats::default();
+        s.record_delivery(GroupId(1), 5, NodeId(2), 30);
+        s.record_delivery(GroupId(1), 5, NodeId(2), 90);
+        assert!(s.has_duplicate_deliveries());
+        assert_eq!(s.delivery_count(GroupId(1), 5, NodeId(2)), 2);
+        assert_eq!(s.delivery_delay(GroupId(1), 5, NodeId(2)), Some(30));
+        // Duplicate delivery does not inflate the max-delay metric.
+        assert_eq!(s.max_end_to_end_delay, 30);
+    }
+
+    #[test]
+    fn totals() {
+        let s = SimStats {
+            data_overhead: 10,
+            protocol_overhead: 5,
+            ..Default::default()
+        };
+        assert_eq!(s.total_overhead(), 15);
+        assert_eq!(s.delivery_count(GroupId(9), 9, NodeId(9)), 0);
+        assert_eq!(s.delivery_delay(GroupId(9), 9, NodeId(9)), None);
+    }
+}

@@ -1,0 +1,114 @@
+//! The three delay-constraint levels of Fig. 7.
+//!
+//! §IV-A: "We set the delay constraint to three levels: tightest,
+//! moderate and loosest. The tightest level means that the delay
+//! constraint cannot be tighter, or there is no multicast tree satisfying
+//! the delay constraint. The loosest level means that all possible
+//! multicast trees can satisfy the delay constraint."
+//!
+//! The tightest feasible bound for a member set is the largest unicast
+//! delay from the root to any member (`max ul`): any tree must deliver
+//! the farthest member no faster than its shortest-delay path, and the
+//! SPT achieves exactly that. Loosest is unbounded; moderate sits halfway
+//! (we use `1.5 × tightest`, recorded in EXPERIMENTS.md).
+
+use scmp_net::{AllPairsPaths, NodeId};
+
+/// Fig. 7's three delay-constraint levels.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ConstraintLevel {
+    /// Bound = max unicast delay over members (cannot be tighter).
+    Tightest,
+    /// Bound = 1.5 × the tightest bound.
+    Moderate,
+    /// No bound (every tree satisfies it).
+    Loosest,
+}
+
+impl ConstraintLevel {
+    /// All three levels, in figure order.
+    pub const ALL: [ConstraintLevel; 3] = [
+        ConstraintLevel::Tightest,
+        ConstraintLevel::Moderate,
+        ConstraintLevel::Loosest,
+    ];
+
+    /// Human-readable label used by the experiment harness output.
+    pub fn label(self) -> &'static str {
+        match self {
+            ConstraintLevel::Tightest => "tightest",
+            ConstraintLevel::Moderate => "moderate",
+            ConstraintLevel::Loosest => "loosest",
+        }
+    }
+}
+
+/// Compute the numeric delay bound for a level, member set and root.
+///
+/// Returns `u64::MAX` for [`ConstraintLevel::Loosest`] and for empty
+/// member sets (no constraint can bind).
+pub fn delay_bound(
+    level: ConstraintLevel,
+    paths: &AllPairsPaths,
+    root: NodeId,
+    members: &[NodeId],
+) -> u64 {
+    let tightest = members
+        .iter()
+        .filter_map(|&m| paths.unicast_delay(root, m))
+        .max();
+    let Some(tightest) = tightest else {
+        return u64::MAX;
+    };
+    match level {
+        ConstraintLevel::Tightest => tightest,
+        ConstraintLevel::Moderate => tightest.saturating_mul(3) / 2,
+        ConstraintLevel::Loosest => u64::MAX,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scmp_net::topology::examples::fig5;
+
+    #[test]
+    fn bounds_ordered() {
+        let topo = fig5();
+        let ap = AllPairsPaths::compute(&topo);
+        let members = [NodeId(3), NodeId(4), NodeId(5)];
+        let t = delay_bound(ConstraintLevel::Tightest, &ap, NodeId(0), &members);
+        let m = delay_bound(ConstraintLevel::Moderate, &ap, NodeId(0), &members);
+        let l = delay_bound(ConstraintLevel::Loosest, &ap, NodeId(0), &members);
+        assert_eq!(t, 12); // ul(g1) = 12 dominates
+        assert_eq!(m, 18);
+        assert_eq!(l, u64::MAX);
+        assert!(t <= m && m <= l);
+    }
+
+    #[test]
+    fn empty_members_unbounded() {
+        let topo = fig5();
+        let ap = AllPairsPaths::compute(&topo);
+        assert_eq!(
+            delay_bound(ConstraintLevel::Tightest, &ap, NodeId(0), &[]),
+            u64::MAX
+        );
+    }
+
+    #[test]
+    fn tightest_is_achievable_by_spt() {
+        let topo = fig5();
+        let ap = AllPairsPaths::compute(&topo);
+        let members = [NodeId(3), NodeId(5)];
+        let bound = delay_bound(ConstraintLevel::Tightest, &ap, NodeId(0), &members);
+        let spt = crate::spt::spt_tree(&topo, &ap, NodeId(0), &members);
+        assert_eq!(spt.tree_delay(&topo), bound);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(ConstraintLevel::Tightest.label(), "tightest");
+        assert_eq!(ConstraintLevel::ALL.len(), 3);
+    }
+}

@@ -1,0 +1,166 @@
+//! Greedy dynamic Steiner trees (the paper's reference \[1\],
+//! Aharoni & Cohen, "Restricted dynamic Steiner trees for scalable
+//! multicast in datagram networks").
+//!
+//! The classic online heuristic DCDM competes with: each joining member
+//! grafts onto the on-tree node reachable by the cheapest path,
+//! ignoring delay entirely. It is the natural "cost-only incremental"
+//! counterpart to DCDM's delay-constrained search and brackets DCDM from
+//! the opposite side to the SPT: cheaper trees, unbounded delay.
+
+use crate::tree::MulticastTree;
+use scmp_net::{AllPairsPaths, Metric, NodeId, Topology};
+use std::collections::BTreeSet;
+
+/// Incremental greedy Steiner builder.
+#[derive(Clone, Debug)]
+pub struct GreedySteiner<'a> {
+    topo: &'a Topology,
+    paths: &'a AllPairsPaths,
+    tree: MulticastTree,
+}
+
+impl<'a> GreedySteiner<'a> {
+    /// Empty tree rooted at `root`.
+    pub fn new(topo: &'a Topology, paths: &'a AllPairsPaths, root: NodeId) -> Self {
+        GreedySteiner {
+            topo,
+            paths,
+            tree: MulticastTree::new(topo.node_count(), root),
+        }
+    }
+
+    /// The current tree.
+    pub fn tree(&self) -> &MulticastTree {
+        &self.tree
+    }
+
+    /// Consume into the tree.
+    pub fn into_tree(self) -> MulticastTree {
+        self.tree
+    }
+
+    /// Join `s`: graft along the least-cost path to the nearest on-tree
+    /// node (ties to the lower-id graft node).
+    pub fn join(&mut self, s: NodeId) {
+        if self.tree.contains(s) {
+            self.tree.add_member(s);
+            return;
+        }
+        let best = self
+            .tree
+            .on_tree_nodes()
+            .into_iter()
+            .map(|r| {
+                (
+                    self.paths
+                        .distance(s, r, Metric::Cost)
+                        .expect("topology is connected"),
+                    r,
+                )
+            })
+            .min()
+            .expect("tree contains at least the root");
+        let mut path = self.paths.path(s, best.1, Metric::Cost).expect("connected");
+        path.reverse(); // graft -> … -> s
+        // The least-cost path to the *nearest* on-tree node cannot cross
+        // another on-tree node (that node would be nearer), so plain
+        // attachment suffices — no loop elimination needed.
+        let mut prev = path[0];
+        for &v in &path[1..] {
+            debug_assert!(!self.tree.contains(v), "nearest-node property violated");
+            self.tree.attach(prev, v);
+            prev = v;
+        }
+        self.tree.add_member(s);
+        debug_assert_eq!(self.tree.validate(Some(self.topo)), Ok(()));
+    }
+
+    /// Leave `s`: unmark and prune its dead branch.
+    pub fn leave(&mut self, s: NodeId) {
+        if self.tree.remove_member(s) {
+            self.tree.prune_upward(s, &BTreeSet::new());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kmb::kmb_tree;
+    use crate::spt::spt_tree;
+    use scmp_net::topology::examples::fig5;
+
+    #[test]
+    fn grafts_cheapest_paths_on_fig5() {
+        let topo = fig5();
+        let paths = AllPairsPaths::compute(&topo);
+        let mut g = GreedySteiner::new(&topo, &paths, NodeId(0));
+        g.join(NodeId(3)); // cheapest to root: direct (6) ties 3-2-0 (6)
+        g.join(NodeId(5)); // nearest on-tree node now 2 or 3
+        let t = g.tree();
+        assert!(t.is_member(NodeId(3)) && t.is_member(NodeId(5)));
+        t.validate(Some(&topo)).unwrap();
+        // Greedy cost never exceeds the SPT cost here.
+        let spt = spt_tree(&topo, &paths, NodeId(0), &[NodeId(3), NodeId(5)]);
+        assert!(t.tree_cost(&topo) <= spt.tree_cost(&topo));
+    }
+
+    #[test]
+    fn tracks_kmb_closely_on_random_graphs() {
+        use rand::seq::SliceRandom;
+        use scmp_net::rng::rng_for;
+        use scmp_net::topology::{waxman, WaxmanConfig};
+        let mut greedy_total = 0u64;
+        let mut kmb_total = 0u64;
+        for seed in 0..5 {
+            let mut rng = rng_for("greedy-test", seed);
+            let topo = waxman(
+                &WaxmanConfig {
+                    n: 40,
+                    ..WaxmanConfig::default()
+                },
+                &mut rng,
+            );
+            let paths = AllPairsPaths::compute(&topo);
+            let mut pool: Vec<NodeId> = topo.nodes().filter(|v| v.0 != 0).collect();
+            pool.shuffle(&mut rng);
+            let members: Vec<NodeId> = pool.into_iter().take(12).collect();
+            let mut g = GreedySteiner::new(&topo, &paths, NodeId(0));
+            for &m in &members {
+                g.join(m);
+            }
+            greedy_total += g.tree().tree_cost(&topo);
+            kmb_total += kmb_tree(&topo, &paths, NodeId(0), &members).tree_cost(&topo);
+        }
+        // Online greedy is known to stay within a small factor of KMB.
+        assert!(
+            greedy_total < kmb_total * 3 / 2,
+            "greedy {greedy_total} vs kmb {kmb_total}"
+        );
+    }
+
+    #[test]
+    fn leave_prunes() {
+        let topo = fig5();
+        let paths = AllPairsPaths::compute(&topo);
+        let mut g = GreedySteiner::new(&topo, &paths, NodeId(0));
+        g.join(NodeId(5));
+        g.leave(NodeId(5));
+        assert_eq!(g.tree().on_tree_count(), 1);
+        // Leaving a non-member is a no-op.
+        g.leave(NodeId(4));
+        assert_eq!(g.tree().on_tree_count(), 1);
+    }
+
+    #[test]
+    fn join_of_forwarder_is_trivial() {
+        let topo = fig5();
+        let paths = AllPairsPaths::compute(&topo);
+        let mut g = GreedySteiner::new(&topo, &paths, NodeId(0));
+        g.join(NodeId(5)); // path 0-2-5 or 0-3-2-5 by cost: 0-2 (5) + 2-5 (2) = 7 ✓
+        assert!(g.tree().contains(NodeId(2)));
+        g.join(NodeId(2)); // already a forwarder
+        assert!(g.tree().is_member(NodeId(2)));
+    }
+}

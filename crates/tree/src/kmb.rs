@@ -1,0 +1,212 @@
+//! The Kou–Markowsky–Berman Steiner-tree approximation (paper ref \[19\]).
+//!
+//! Fig. 7 uses KMB as the cost-optimised comparison point: it "achieves
+//! best approximation ratio on tree cost, but it does not consider tree
+//! delay". The classic five steps:
+//!
+//! 1. Build the metric closure over the terminals (root ∪ members) under
+//!    the *least-cost* distance.
+//! 2. Take an MST of that closure.
+//! 3. Expand each closure edge into its underlying least-cost path,
+//!    forming a subgraph of the original topology.
+//! 4. Take an MST of the subgraph.
+//! 5. Repeatedly delete non-terminal leaves.
+//!
+//! The result costs at most `2·(1 − 1/ℓ)` times the optimum.
+
+use crate::mst::prim_mst;
+use crate::tree::MulticastTree;
+use scmp_net::{AllPairsPaths, Metric, NodeId, Topology};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Build a KMB Steiner tree rooted at `root` spanning `members`.
+///
+/// `members` may include `root` and may be empty (yielding the trivial
+/// root-only tree). Duplicate members are tolerated.
+pub fn kmb_tree(
+    topo: &Topology,
+    paths: &AllPairsPaths,
+    root: NodeId,
+    members: &[NodeId],
+) -> MulticastTree {
+    let mut terminals: BTreeSet<NodeId> = members.iter().copied().collect();
+    terminals.insert(root);
+    if terminals.len() == 1 {
+        let mut t = MulticastTree::new(topo.node_count(), root);
+        if members.contains(&root) {
+            t.add_member(root);
+        }
+        return t;
+    }
+
+    // Step 1+2: MST of the metric closure on terminals.
+    let ts: Vec<NodeId> = terminals.iter().copied().collect();
+    let mut closure = Vec::with_capacity(ts.len() * (ts.len() - 1) / 2);
+    for (i, &a) in ts.iter().enumerate() {
+        for &b in &ts[i + 1..] {
+            let d = paths
+                .distance(a, b, Metric::Cost)
+                .expect("topology is connected");
+            closure.push((a, b, d));
+        }
+    }
+    let closure_mst = prim_mst(root, &closure);
+
+    // Step 3: expand closure edges into real paths; dedupe links.
+    let mut sub_edges: BTreeMap<(NodeId, NodeId), u64> = BTreeMap::new();
+    for (a, b, _) in closure_mst {
+        let p = paths.path(a, b, Metric::Cost).expect("connected");
+        for pair in p.windows(2) {
+            let (u, v) = (pair[0], pair[1]);
+            let key = if u < v { (u, v) } else { (v, u) };
+            let w = topo.link(u, v).expect("path follows links").cost;
+            sub_edges.insert(key, w);
+        }
+    }
+
+    // Step 4: MST of the expanded subgraph.
+    let sub_list: Vec<(NodeId, NodeId, u64)> =
+        sub_edges.iter().map(|(&(a, b), &w)| (a, b, w)).collect();
+    let sub_mst = prim_mst(root, &sub_list);
+
+    // Orient the MST away from the root.
+    let mut children: BTreeMap<NodeId, Vec<NodeId>> = BTreeMap::new();
+    let mut parent: BTreeMap<NodeId, NodeId> = BTreeMap::new();
+    for (from, to, _) in &sub_mst {
+        // Prim discovery order means `from` is already connected to root.
+        children.entry(*from).or_default().push(*to);
+        parent.insert(*to, *from);
+    }
+
+    // Step 5: drop non-terminal leaves repeatedly.
+    let mut alive: BTreeSet<NodeId> = parent.keys().copied().collect();
+    alive.insert(root);
+    loop {
+        let leaves: Vec<NodeId> = alive
+            .iter()
+            .copied()
+            .filter(|v| {
+                *v != root
+                    && !terminals.contains(v)
+                    && children
+                        .get(v)
+                        .is_none_or(|cs| cs.iter().all(|c| !alive.contains(c)))
+            })
+            .collect();
+        if leaves.is_empty() {
+            break;
+        }
+        for l in leaves {
+            alive.remove(&l);
+        }
+    }
+
+    // Materialise as a MulticastTree (attach in root-first order).
+    let mut tree = MulticastTree::new(topo.node_count(), root);
+    let mut stack = vec![root];
+    while let Some(v) = stack.pop() {
+        if let Some(cs) = children.get(&v) {
+            for &c in cs {
+                if alive.contains(&c) {
+                    tree.attach(v, c);
+                    stack.push(c);
+                }
+            }
+        }
+    }
+    for &m in members {
+        tree.add_member(m);
+    }
+    debug_assert_eq!(tree.validate(Some(topo)), Ok(()));
+    tree
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scmp_net::graph::{LinkWeight, TopologyBuilder};
+    use scmp_net::topology::examples::fig5;
+
+    #[test]
+    fn spans_all_members() {
+        let topo = fig5();
+        let ap = AllPairsPaths::compute(&topo);
+        let members = [NodeId(3), NodeId(4), NodeId(5)];
+        let t = kmb_tree(&topo, &ap, NodeId(0), &members);
+        t.validate(Some(&topo)).unwrap();
+        for m in members {
+            assert!(t.is_member(m));
+            assert!(t.contains(m));
+        }
+    }
+
+    #[test]
+    fn cost_at_most_spt_cost_on_fig5() {
+        let topo = fig5();
+        let ap = AllPairsPaths::compute(&topo);
+        let members = [NodeId(3), NodeId(4), NodeId(5)];
+        let kmb = kmb_tree(&topo, &ap, NodeId(0), &members);
+        let spt = crate::spt::spt_tree(&topo, &ap, NodeId(0), &members);
+        assert!(kmb.tree_cost(&topo) <= spt.tree_cost(&topo));
+    }
+
+    #[test]
+    fn steiner_node_used_when_cheaper() {
+        // Star around node 4 with expensive pairwise shortcuts: the
+        // Steiner tree must route through hub 4.
+        let mut b = TopologyBuilder::new(5);
+        for leaf in 0..4u32 {
+            b.add_link(NodeId(leaf), NodeId(4), LinkWeight::new(1, 1));
+        }
+        b.add_link(NodeId(0), NodeId(1), LinkWeight::new(1, 10));
+        b.add_link(NodeId(1), NodeId(2), LinkWeight::new(1, 10));
+        let topo = b.build();
+        let ap = AllPairsPaths::compute(&topo);
+        let t = kmb_tree(&topo, &ap, NodeId(0), &[NodeId(1), NodeId(2), NodeId(3)]);
+        assert!(t.contains(NodeId(4)), "hub must be a Steiner node");
+        assert_eq!(t.tree_cost(&topo), 4);
+    }
+
+    #[test]
+    fn prunes_non_terminal_leaves() {
+        let topo = fig5();
+        let ap = AllPairsPaths::compute(&topo);
+        let t = kmb_tree(&topo, &ap, NodeId(0), &[NodeId(3)]);
+        // Every leaf of the final tree must be a member (or the root).
+        for v in t.on_tree_nodes() {
+            if t.children(v).is_empty() && v != t.root() {
+                assert!(t.is_member(v), "non-terminal leaf {v:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_root_only_groups() {
+        let topo = fig5();
+        let ap = AllPairsPaths::compute(&topo);
+        let t = kmb_tree(&topo, &ap, NodeId(0), &[]);
+        assert_eq!(t.on_tree_count(), 1);
+        let t2 = kmb_tree(&topo, &ap, NodeId(0), &[NodeId(0)]);
+        assert!(t2.is_member(NodeId(0)));
+        assert_eq!(t2.on_tree_count(), 1);
+    }
+
+    #[test]
+    fn duplicate_members_tolerated() {
+        let topo = fig5();
+        let ap = AllPairsPaths::compute(&topo);
+        let t = kmb_tree(&topo, &ap, NodeId(0), &[NodeId(3), NodeId(3)]);
+        assert_eq!(t.member_count(), 1);
+        t.validate(Some(&topo)).unwrap();
+    }
+
+    #[test]
+    fn deterministic() {
+        let topo = fig5();
+        let ap = AllPairsPaths::compute(&topo);
+        let members = [NodeId(5), NodeId(4)];
+        let a = kmb_tree(&topo, &ap, NodeId(0), &members);
+        let b = kmb_tree(&topo, &ap, NodeId(0), &members);
+        assert_eq!(a.edges(), b.edges());
+    }
+}

@@ -1,0 +1,39 @@
+//! # scmp-tree — multicast tree structures and construction algorithms
+//!
+//! The m-router of the SCMP architecture computes multicast trees
+//! centrally, from complete topology and membership knowledge (§II-D).
+//! This crate implements:
+//!
+//! * [`MulticastTree`] — a rooted shared tree with prune/graft surgery and
+//!   the paper's metrics (*tree cost*, *tree delay*, per-member
+//!   *multicast delay* `ml`).
+//! * [`dcdm`] — the Delay-Constrained Dynamic Multicast algorithm of
+//!   reference \[20\] that SCMP adopts (§III-D), including the loop
+//!   elimination of the Fig. 5 walkthrough and dynamic/fixed delay bounds.
+//! * [`kmb`] — the Kou–Markowsky–Berman Steiner-tree approximation \[19\],
+//!   the cost-optimised baseline of Fig. 7.
+//! * [`spt`] — shortest-delay-path trees, the tree shape shared by
+//!   DVMRP/MOSPF/CBT under the paper's §IV-A assumption that the source
+//!   coincides with the core.
+//! * [`greedy`] — the online greedy Steiner heuristic of the paper's
+//!   reference \[1\] (nearest on-tree node by cost), bracketing DCDM from
+//!   the cost-only side.
+//! * [`constraint`] — the three delay-constraint levels of Fig. 7
+//!   (tightest / moderate / loosest).
+//! * [`analysis`] — per-member delay stretch and link-stress reports.
+
+pub mod analysis;
+pub mod constraint;
+pub mod dcdm;
+pub mod greedy;
+pub mod kmb;
+pub mod mst;
+pub mod spt;
+pub mod tree;
+
+pub use constraint::{delay_bound, ConstraintLevel};
+pub use dcdm::{Dcdm, DelayBound, JoinOutcome};
+pub use greedy::GreedySteiner;
+pub use kmb::kmb_tree;
+pub use spt::spt_tree;
+pub use tree::MulticastTree;

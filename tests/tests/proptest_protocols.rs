@@ -1,0 +1,112 @@
+//! Property-based integration tests: protocol invariants over random
+//! topologies, groups and churn schedules.
+
+use proptest::prelude::*;
+use scmp_integration::{scenario, scmp_engine, G};
+use scmp_net::NodeId;
+use scmp_sim::AppEvent;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// SCMP delivers every payload to every member exactly once, with no
+    /// duplicates anywhere, for arbitrary scenario shapes.
+    #[test]
+    fn scmp_exactly_once_delivery(seed in 0u64..500, n in 10usize..35, g in 1usize..10) {
+        let sc = scenario(seed, n, g);
+        let mut e = scmp_engine(sc.topo.clone());
+        let mut t = 0;
+        for &m in &sc.members {
+            e.schedule_app(t, m, AppEvent::Join(G));
+            t += 1_000;
+        }
+        e.schedule_app(t + 500_000, sc.source, AppEvent::Send { group: G, tag: 1 });
+        e.run_to_quiescence();
+        for &m in &sc.members {
+            prop_assert_eq!(e.stats().delivery_count(G, 1, m), 1);
+        }
+        prop_assert!(!e.stats().has_duplicate_deliveries());
+        // Non-members receive nothing.
+        for v in sc.topo.nodes() {
+            if !sc.members.contains(&v) {
+                prop_assert_eq!(e.stats().delivery_count(G, 1, v), 0);
+            }
+        }
+    }
+
+    /// Arbitrary interleavings of joins and leaves never leave stale
+    /// entries: after everyone leaves and the network quiesces, only the
+    /// m-router may hold state.
+    #[test]
+    fn scmp_churn_leaves_no_stale_state(
+        seed in 0u64..500,
+        n in 10usize..30,
+        ops in prop::collection::vec((0usize..8, prop::bool::ANY), 1..24),
+    ) {
+        let sc = scenario(seed, n, 8);
+        let mut e = scmp_engine(sc.topo.clone());
+        let mut t = 0;
+        // Replay the op schedule: (member index, join/leave).
+        for (idx, join) in &ops {
+            let m = sc.members[*idx % sc.members.len()];
+            let ev = if *join { AppEvent::Join(G) } else { AppEvent::Leave(G) };
+            e.schedule_app(t, m, ev);
+            t += 5_000;
+        }
+        // Drain every remaining membership.
+        t += 100_000;
+        for &m in &sc.members {
+            for _ in 0..ops.len() {
+                e.schedule_app(t, m, AppEvent::Leave(G));
+                t += 1_000;
+            }
+        }
+        e.run_to_quiescence();
+        for v in sc.topo.nodes() {
+            if v == NodeId(0) {
+                continue;
+            }
+            prop_assert!(
+                e.router(v).entry(G).is_none(),
+                "stale entry at {:?}", v
+            );
+        }
+        let m = e.router(NodeId(0)).m_state().unwrap();
+        if let Some(tree) = m.tree(G) {
+            prop_assert_eq!(tree.member_count(), 0);
+            prop_assert_eq!(tree.on_tree_count(), 1);
+        }
+    }
+
+    /// The m-router mirror and physical entries agree after quiescence
+    /// for any join schedule.
+    #[test]
+    fn scmp_mirror_agreement(seed in 0u64..300, n in 10usize..30, g in 1usize..10) {
+        let sc = scenario(seed, n, g);
+        let mut e = scmp_engine(sc.topo.clone());
+        let mut t = 0;
+        for &m in &sc.members {
+            e.schedule_app(t, m, AppEvent::Join(G));
+            t += 1_000;
+        }
+        e.run_to_quiescence();
+        let tree = e
+            .router(NodeId(0))
+            .m_state()
+            .unwrap()
+            .tree(G)
+            .unwrap()
+            .clone();
+        prop_assert_eq!(tree.validate(Some(&sc.topo)), Ok(()));
+        for v in sc.topo.nodes() {
+            if v == NodeId(0) {
+                continue;
+            }
+            let entry = e.router(v).entry(G);
+            prop_assert_eq!(tree.contains(v), entry.is_some(), "node {:?}", v);
+            if let Some(entry) = entry {
+                prop_assert_eq!(entry.upstream, tree.parent(v));
+            }
+        }
+    }
+}

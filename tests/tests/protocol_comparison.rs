@@ -1,0 +1,161 @@
+//! Cross-protocol comparisons: the §IV-B claims as executable
+//! assertions, over topologies the unit tests don't cover.
+
+use scmp_baselines::{CbtConfig, CbtRouter, DvmrpConfig, DvmrpRouter, MospfRouter};
+use scmp_integration::{scenario, G};
+use scmp_core::placement;
+use scmp_core::router::{ScmpConfig, ScmpDomain, ScmpRouter};
+use scmp_net::{AllPairsPaths, NodeId, Topology};
+use scmp_sim::{AppEvent, Engine, Router, SimStats};
+use std::sync::Arc;
+
+// The paper's §IV-B data phase: 30 packets at one per "second", with a
+// DVMRP prune lifetime of a few seconds so the flood-prune cycle repeats
+// during the run ("floods the packets frequently ... or the timer in a
+// leaf router is expired").
+const PACKETS: u64 = 30;
+const PRUNE_TIMEOUT: u64 = 150_000; // 3 data periods
+
+fn drive<R: Router>(e: &mut Engine<R>, members: &[NodeId], source: NodeId) {
+    let mut t = 0;
+    for &m in members {
+        e.schedule_app(t, m, AppEvent::Join(G));
+        t += 1_000;
+    }
+    let start = t + 500_000;
+    for k in 0..PACKETS {
+        e.schedule_app(start + k * 50_000, source, AppEvent::Send { group: G, tag: k + 1 });
+    }
+    e.run_to_quiescence();
+}
+
+fn run_all(topo: &Topology, members: &[NodeId], source: NodeId) -> [SimStats; 4] {
+    // The shared-tree protocols get a sensibly placed center (the
+    // paper's rule 1), as in the Fig. 8/9 harness.
+    let center = placement::min_average_delay(topo, &AllPairsPaths::compute(topo));
+    let scmp = {
+        let domain = ScmpDomain::new(topo.clone(), ScmpConfig::new(center));
+        let mut e = Engine::new(topo.clone(), move |me, _, _| {
+            ScmpRouter::new(me, Arc::clone(&domain))
+        });
+        drive(&mut e, members, source);
+        e.stats().clone()
+    };
+    let cbt = {
+        let mut e = Engine::new(topo.clone(), |me, _, _| {
+            CbtRouter::new(me, CbtConfig { core: center })
+        });
+        drive(&mut e, members, source);
+        e.stats().clone()
+    };
+    let dvmrp = {
+        let mut e = Engine::new(topo.clone(), |me, _, _| {
+            DvmrpRouter::new(me, DvmrpConfig { prune_timeout: PRUNE_TIMEOUT })
+        });
+        drive(&mut e, members, source);
+        e.stats().clone()
+    };
+    let mospf = {
+        let mut e = Engine::new(topo.clone(), |me, _, _| MospfRouter::new(me));
+        drive(&mut e, members, source);
+        e.stats().clone()
+    };
+    [scmp, cbt, dvmrp, mospf]
+}
+
+fn assert_full_delivery(stats: &SimStats, members: &[NodeId], label: &str) {
+    for &m in members {
+        for tag in 1..=PACKETS {
+            assert_eq!(
+                stats.delivery_count(G, tag, m),
+                1,
+                "{label}: member {m:?} tag {tag}"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_protocol_delivers_on_random_topologies() {
+    for seed in 0..5 {
+        let sc = scenario(seed + 200, 25, 6);
+        let [scmp, cbt, dvmrp, mospf] = run_all(&sc.topo, &sc.members, sc.source);
+        assert_full_delivery(&scmp, &sc.members, "scmp");
+        assert_full_delivery(&cbt, &sc.members, "cbt");
+        assert_full_delivery(&dvmrp, &sc.members, "dvmrp");
+        assert_full_delivery(&mospf, &sc.members, "mospf");
+    }
+}
+
+#[test]
+fn dvmrp_floods_most_data() {
+    let (mut dv, mut sc_tot, mut cb) = (0u64, 0u64, 0u64);
+    for seed in 0..4 {
+        let sc = scenario(seed + 300, 25, 5);
+        let [scmp, cbt, dvmrp, _] = run_all(&sc.topo, &sc.members, sc.source);
+        dv += dvmrp.data_overhead;
+        sc_tot += scmp.data_overhead;
+        cb += cbt.data_overhead;
+    }
+    assert!(dv > sc_tot, "dvmrp {dv} <= scmp {sc_tot}");
+    assert!(dv > cb, "dvmrp {dv} <= cbt {cb}");
+}
+
+#[test]
+fn flooding_protocols_pay_most_control_bandwidth() {
+    let (mut mo, mut dv, mut sc_tot, mut cb) = (0u64, 0u64, 0u64, 0u64);
+    for seed in 0..4 {
+        let sc = scenario(seed + 400, 25, 8);
+        let [scmp, cbt, dvmrp, mospf] = run_all(&sc.topo, &sc.members, sc.source);
+        mo += mospf.protocol_overhead;
+        dv += dvmrp.protocol_overhead;
+        sc_tot += scmp.protocol_overhead;
+        cb += cbt.protocol_overhead;
+    }
+    assert!(mo > sc_tot, "mospf {mo} <= scmp {sc_tot}");
+    assert!(mo > cb, "mospf {mo} <= cbt {cb}");
+    assert!(dv > cb, "dvmrp {dv} <= cbt {cb}");
+}
+
+#[test]
+fn cbt_control_at_most_scmp_control() {
+    // §IV-B: CBT's ack travels graft→member while SCMP's BRANCH travels
+    // m-router→member, so CBT's join machinery is slightly cheaper.
+    let mut cbt_total = 0;
+    let mut scmp_total = 0;
+    for seed in 0..6 {
+        let sc = scenario(seed + 500, 25, 8);
+        let [scmp, cbt, _, _] = run_all(&sc.topo, &sc.members, sc.source);
+        cbt_total += cbt.protocol_overhead;
+        scmp_total += scmp.protocol_overhead;
+    }
+    assert!(
+        cbt_total <= scmp_total,
+        "cbt {cbt_total} > scmp {scmp_total}"
+    );
+}
+
+#[test]
+fn shared_tree_delay_at_least_source_tree_delay() {
+    // Fig. 9: SCMP/CBT detour through the center; MOSPF delivers on the
+    // source-rooted SPT, the delay optimum.
+    let mut violations = 0;
+    for seed in 0..6 {
+        let sc = scenario(seed + 600, 25, 6);
+        let [scmp, _, _, mospf] = run_all(&sc.topo, &sc.members, sc.source);
+        if mospf.max_end_to_end_delay > scmp.max_end_to_end_delay {
+            violations += 1;
+        }
+    }
+    assert_eq!(violations, 0, "MOSPF exceeded SCMP delay");
+}
+
+#[test]
+fn scmp_and_cbt_share_tree_shape_for_single_member() {
+    // With a single member the DCDM tree and the CBT branch are both the
+    // shortest-delay path, so steady-state data overhead coincides.
+    let sc = scenario(777, 25, 1);
+    let [scmp, cbt, _, _] = run_all(&sc.topo, &sc.members, sc.source);
+    assert_eq!(scmp.data_overhead, cbt.data_overhead);
+    assert_eq!(scmp.max_end_to_end_delay, cbt.max_end_to_end_delay);
+}

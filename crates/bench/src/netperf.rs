@@ -259,13 +259,12 @@ pub fn run_suite(seeds: u64) -> Vec<NetPoint> {
     for kind in TopologyKind::ALL {
         for gs in kind.group_sizes() {
             for proto in Protocol::ALL {
-                let metrics: Vec<RunMetrics> = crossbeam::thread::scope(|s| {
+                let metrics: Vec<RunMetrics> = std::thread::scope(|s| {
                     let handles: Vec<_> = (0..seeds)
-                        .map(|seed| s.spawn(move |_| run_one(kind, proto, gs, seed)))
+                        .map(|seed| s.spawn(move || run_one(kind, proto, gs, seed)))
                         .collect();
                     handles.into_iter().map(|h| h.join().unwrap()).collect()
-                })
-                .unwrap();
+                });
                 out.push(NetPoint {
                     topology: kind.label().to_string(),
                     protocol: proto.label().to_string(),

@@ -23,7 +23,7 @@ use scmp_core::router::{ScmpConfig, ScmpDomain, ScmpRouter};
 use scmp_net::rng::rng_for;
 use scmp_net::topology::{arpanet, gt_itm_flat, waxman, GtItmConfig, WaxmanConfig};
 use scmp_net::{AllPairsPaths, NodeId, Topology};
-use scmp_sim::{AppEvent, CapacityModel, Engine, GroupId, SimStats};
+use scmp_sim::{AppEvent, CapacityModel, Engine, FaultPlan, FaultSpec, GroupId, SimStats};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
@@ -157,6 +157,30 @@ pub struct CapacitySpec {
     pub m_router_tx: Option<u64>,
 }
 
+/// Robustness knobs mapped onto [`ScmpConfig`]; absent fields keep the
+/// config defaults.
+#[derive(Clone, Debug, Default, Deserialize, Serialize)]
+pub struct RobustnessSpec {
+    /// m-router repair-scan period (0 = off).
+    #[serde(default)]
+    pub repair_interval: Option<u64>,
+    /// JOIN retransmission base delay (0 = off).
+    #[serde(default)]
+    pub join_retry: Option<u64>,
+    /// LEAVE retransmission base delay (0 = off).
+    #[serde(default)]
+    pub leave_retry: Option<u64>,
+    /// Primary→standby heartbeat period (0 = off).
+    #[serde(default)]
+    pub heartbeat_interval: Option<u64>,
+    /// Hot-standby m-router node.
+    #[serde(default)]
+    pub standby: Option<u32>,
+    /// Delay between takeover and the rebuilt TREE push.
+    #[serde(default)]
+    pub takeover_rebuild_delay: Option<u64>,
+}
+
 /// A complete scenario file.
 #[derive(Clone, Debug, Deserialize, Serialize)]
 pub struct ScenarioFile {
@@ -169,6 +193,19 @@ pub struct ScenarioFile {
     /// Optional finite link capacities.
     #[serde(default)]
     pub capacity: Option<CapacitySpec>,
+    /// Scheduled fault injections (links cut/restored, routers
+    /// crashed/recovered), validated against the topology.
+    #[serde(default)]
+    pub faults: Vec<FaultSpec>,
+    /// Robustness configuration (repair scan, retries, hot standby).
+    #[serde(default)]
+    pub robustness: Option<RobustnessSpec>,
+    /// Explicit simulation horizon. Required semantics: periodic timers
+    /// (repair scan, heartbeat) re-arm forever, so such runs stop here
+    /// instead of at quiescence. Defaults to the last event/fault time
+    /// plus a settling margin when those timers are active.
+    #[serde(default)]
+    pub run_until: Option<u64>,
 }
 
 /// Result summary the runner prints as JSON.
@@ -182,6 +219,18 @@ pub struct ScenarioResult {
     pub max_end_to_end_delay: u64,
     pub drops: u64,
     pub queue_drops: u64,
+    /// Robustness metrics (all zero / 1.0 on fault-free runs).
+    pub faults_injected: u64,
+    /// Fraction of membership-expected `(group, tag, receiver)` triples
+    /// actually delivered.
+    pub delivery_ratio: f64,
+    /// Tree repairs completed by the m-router scan.
+    pub repairs: u64,
+    /// Worst failure→repair latency observed.
+    pub max_repair_latency: u64,
+    /// Overhead accrued while any node/link was down.
+    pub data_overhead_during_failure: u64,
+    pub control_overhead_during_failure: u64,
     /// Per (group, tag): how many routers' subnets received it.
     pub deliveries: Vec<DeliveryLine>,
 }
@@ -209,7 +258,37 @@ pub fn run_scenario(json: &str) -> Result<ScenarioResult, String> {
         }
     }
 
-    let domain = ScmpDomain::new(topo.clone(), ScmpConfig::new(m_router));
+    let fault_plan = FaultPlan::from(spec.faults.clone());
+    fault_plan.validate(&topo)?;
+
+    let mut config = ScmpConfig::new(m_router);
+    let mut perpetual_timers = false;
+    if let Some(rob) = &spec.robustness {
+        if let Some(v) = rob.repair_interval {
+            config.repair_interval = v;
+        }
+        if let Some(v) = rob.join_retry {
+            config.join_retry = v;
+        }
+        if let Some(v) = rob.leave_retry {
+            config.leave_retry = v;
+        }
+        if let Some(v) = rob.heartbeat_interval {
+            config.heartbeat_interval = v;
+        }
+        if let Some(v) = rob.standby {
+            if v as usize >= topo.node_count() {
+                return Err(format!("standby {v} out of range"));
+            }
+            config.standby = Some(NodeId(v));
+        }
+        if let Some(v) = rob.takeover_rebuild_delay {
+            config.takeover_rebuild_delay = v;
+        }
+        perpetual_timers = config.repair_interval > 0 || config.heartbeat_interval > 0;
+    }
+
+    let domain = ScmpDomain::new(topo.clone(), config);
     let mut engine = Engine::new(topo.clone(), move |me, _, _| {
         ScmpRouter::new(me, Arc::clone(&domain))
     });
@@ -220,29 +299,72 @@ pub fn run_scenario(json: &str) -> Result<ScenarioResult, String> {
         }
         engine.set_capacity(model);
     }
+    engine.schedule_fault_plan(&fault_plan);
+
+    // Membership timeline (time-ordered, stable on ties) for the
+    // expected-delivery set: a send is expected at every DR whose subnet
+    // had joined the group (net of leaves) strictly before the send.
+    let mut ordered: Vec<&EventSpec> = spec.events.iter().collect();
+    ordered.sort_by_key(|ev| ev.time);
+    let mut membership: std::collections::BTreeMap<(u32, u32), i64> =
+        std::collections::BTreeMap::new();
+    let mut expected: Vec<(GroupId, u64, NodeId)> = Vec::new();
 
     let mut auto_tag = 0u64;
     let mut sent: Vec<(GroupId, u64)> = Vec::new();
-    for ev in &spec.events {
+    for ev in &ordered {
         let group = GroupId(ev.group);
         let app = match ev.op.as_str() {
-            "join" => AppEvent::Join(group),
-            "leave" => AppEvent::Leave(group),
+            "join" => {
+                *membership.entry((ev.group, ev.node)).or_insert(0) += 1;
+                AppEvent::Join(group)
+            }
+            "leave" => {
+                *membership.entry((ev.group, ev.node)).or_insert(0) -= 1;
+                AppEvent::Leave(group)
+            }
             "send" => {
                 let tag = ev.tag.unwrap_or_else(|| {
                     auto_tag += 1;
                     auto_tag | 1 << 32 // auto tags never collide with explicit small tags
                 });
                 sent.push((group, tag));
+                for (&(g, node), &count) in &membership {
+                    if g == ev.group && count > 0 {
+                        expected.push((group, tag, NodeId(node)));
+                    }
+                }
                 AppEvent::Send { group, tag }
             }
             _ => unreachable!("validated above"),
         };
         engine.schedule_app(ev.time, NodeId(ev.node), app);
     }
-    engine.run_to_quiescence();
+
+    let last_scheduled = spec
+        .events
+        .iter()
+        .map(|e| e.time)
+        .chain(fault_plan.faults.iter().map(|f| f.time))
+        .max()
+        .unwrap_or(0);
+    match spec.run_until {
+        Some(t) => {
+            engine.run_until(t);
+        }
+        None if perpetual_timers => {
+            // Quiescence never happens with periodic timers armed; give
+            // the protocol a generous settling window after the last
+            // scheduled event.
+            engine.run_until(last_scheduled + 2_000_000);
+        }
+        None => {
+            engine.run_to_quiescence();
+        }
+    }
 
     let stats: &SimStats = engine.stats();
+    let delivery_ratio = stats.delivery_ratio(expected.iter().copied());
     let deliveries = sent
         .iter()
         .map(|&(g, tag)| DeliveryLine {
@@ -261,6 +383,12 @@ pub fn run_scenario(json: &str) -> Result<ScenarioResult, String> {
         max_end_to_end_delay: stats.max_end_to_end_delay,
         drops: stats.drops,
         queue_drops: stats.queue_drops,
+        faults_injected: stats.faults_injected,
+        delivery_ratio,
+        repairs: stats.repairs,
+        max_repair_latency: stats.max_repair_latency,
+        data_overhead_during_failure: stats.data_overhead_during_failure,
+        control_overhead_during_failure: stats.control_overhead_during_failure,
         deliveries,
     })
 }
@@ -360,5 +488,70 @@ mod tests {
         let b = run_scenario(BASIC).unwrap();
         assert_eq!(a.data_overhead, b.data_overhead);
         assert_eq!(a.max_end_to_end_delay, b.max_end_to_end_delay);
+    }
+
+    /// Fig. 5 with the 0-2 tree link cut mid-session and the repair scan
+    /// enabled.
+    const FAULTY: &str = r#"{
+        "topology": { "kind": "custom", "nodes": 6, "links": [
+            [0,1,3,6],[0,2,4,5],[0,3,2,6],[1,2,3,2],[1,4,9,3],[2,3,4,1],[2,5,7,2]
+        ]},
+        "m_router": 0,
+        "robustness": { "repair_interval": 2000 },
+        "faults": [
+            { "time": 20000, "fault": { "kind": "link_down", "a": 0, "b": 2 } }
+        ],
+        "events": [
+            { "time": 0,     "node": 4, "op": "join", "group": 1 },
+            { "time": 100,   "node": 3, "op": "join", "group": 1 },
+            { "time": 200,   "node": 5, "op": "join", "group": 1 },
+            { "time": 10000, "node": 4, "op": "send", "group": 1, "tag": 1 },
+            { "time": 40000, "node": 4, "op": "send", "group": 1, "tag": 2 }
+        ],
+        "run_until": 100000
+    }"#;
+
+    #[test]
+    fn faults_section_injects_and_repairs() {
+        let r = run_scenario(FAULTY).unwrap();
+        assert_eq!(r.faults_injected, 1);
+        assert!(r.repairs >= 1, "repair scan must fire after the cut");
+        // Both sends reach all three members thanks to the repair.
+        assert!((r.delivery_ratio - 1.0).abs() < 1e-9, "ratio {}", r.delivery_ratio);
+        assert!(r.max_repair_latency <= 4_000);
+        assert!(r.data_overhead_during_failure > 0, "post-cut send is charged");
+    }
+
+    #[test]
+    fn delivery_ratio_degrades_without_repair() {
+        // Same scenario but no robustness: the cut strands members 3/5
+        // until... forever (nothing repairs the tree).
+        let json = FAULTY.replace("\"robustness\": { \"repair_interval\": 2000 },", "");
+        let r = run_scenario(&json).unwrap();
+        assert_eq!(r.repairs, 0);
+        // tag 1 reaches everyone, tag 2 only node 4 of the three
+        // members: 4 of 6 expected triples.
+        assert!((r.delivery_ratio - 4.0 / 6.0).abs() < 1e-9, "ratio {}", r.delivery_ratio);
+    }
+
+    #[test]
+    fn fault_validation_errors() {
+        let bad_link = FAULTY.replace("\"a\": 0, \"b\": 2", "\"a\": 0, \"b\": 5");
+        assert!(run_scenario(&bad_link).unwrap_err().contains("does not exist"));
+        let bad_node = FAULTY.replace(
+            "{ \"kind\": \"link_down\", \"a\": 0, \"b\": 2 }",
+            "{ \"kind\": \"router_crash\", \"node\": 77 }",
+        );
+        assert!(run_scenario(&bad_node).unwrap_err().contains("out of range"));
+    }
+
+    #[test]
+    fn faulty_scenario_is_deterministic() {
+        let a = run_scenario(FAULTY).unwrap();
+        let b = run_scenario(FAULTY).unwrap();
+        assert_eq!(a.data_overhead, b.data_overhead);
+        assert_eq!(a.repairs, b.repairs);
+        assert_eq!(a.max_repair_latency, b.max_repair_latency);
+        assert_eq!(a.delivery_ratio, b.delivery_ratio);
     }
 }

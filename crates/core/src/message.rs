@@ -44,6 +44,10 @@ pub enum ScmpMsg {
     /// m-router address changed (the paper provisions the address via
     /// router configuration; the takeover re-provisions it).
     NewMRouter { address: NodeId },
+    /// m-router → DR acknowledgement of a LEAVE. LEAVE is fire-and-forget
+    /// in the paper; under failure injection a lost LEAVE would strand
+    /// membership state, so DRs retransmit with backoff until acked.
+    LeaveAck,
 }
 
 impl ScmpMsg {
@@ -61,6 +65,7 @@ impl ScmpMsg {
             ScmpMsg::Heartbeat { .. } => "HEARTBEAT",
             ScmpMsg::StandbySync { .. } => "SYNC",
             ScmpMsg::NewMRouter { .. } => "NEW-MROUTER",
+            ScmpMsg::LeaveAck => "LEAVE-ACK",
         }
     }
 }
@@ -83,6 +88,7 @@ mod tests {
             ScmpMsg::Heartbeat { seq: 0 },
             ScmpMsg::StandbySync { member: NodeId(1), joined: true },
             ScmpMsg::NewMRouter { address: NodeId(2) },
+            ScmpMsg::LeaveAck,
         ];
         let labels: std::collections::BTreeSet<&str> = msgs.iter().map(|m| m.label()).collect();
         assert_eq!(labels.len(), msgs.len(), "labels must be distinct");

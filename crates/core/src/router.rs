@@ -28,6 +28,10 @@ use std::sync::Arc;
 /// Timer tokens.
 const TIMER_HEARTBEAT: u64 = 1;
 const TIMER_REBUILD: u64 = 3;
+/// Periodic m-router repair scan (robustness extension): check every
+/// mirrored tree against the IGP liveness view and re-run DCDM over the
+/// surviving topology when a tree is damaged.
+const TIMER_REPAIR: u64 = 4;
 /// Watchdog tokens are generation-stamped: `TIMER_WATCHDOG_BASE + gen`.
 /// Every heartbeat bumps the generation, so only the deadman timer armed
 /// after the *last* heartbeat can trigger a takeover.
@@ -38,6 +42,13 @@ const TIMER_WATCHDOG_BASE: u64 = 1_000;
 const TIMER_EXPIRY_BASE: u64 = 1 << 63;
 /// JOIN-retry tokens: `TIMER_JOIN_RETRY_BASE + gid`.
 const TIMER_JOIN_RETRY_BASE: u64 = 1 << 62;
+/// LEAVE-retry tokens: `TIMER_LEAVE_RETRY_BASE + gid`.
+const TIMER_LEAVE_RETRY_BASE: u64 = 1 << 61;
+/// Give up a JOIN/LEAVE retransmission series after this many attempts
+/// (the m-router is gone for good; a takeover or operator intervenes).
+const MAX_RETRIES: u32 = 8;
+/// Exponential-backoff shift cap: delay = base << min(attempt, cap).
+const BACKOFF_CAP: u32 = 6;
 
 /// Domain-wide SCMP configuration, shared by every router.
 #[derive(Clone, Debug)]
@@ -73,8 +84,22 @@ pub struct ScmpConfig {
     /// Retransmit a JOIN if the tree has not reached this DR after this
     /// long — protects membership against congestion-dropped JOIN or
     /// TREE/BRANCH packets when the link-capacity model is active.
-    /// 0 disables retries.
+    /// Retries back off exponentially (`join_retry << attempt`, capped)
+    /// and give up after [`MAX_RETRIES`]. 0 disables retries.
     pub join_retry: u64,
+    /// Retransmit an unacknowledged LEAVE after this long, with the same
+    /// backoff/give-up policy as `join_retry`. LEAVE is the one §III
+    /// message whose loss silently strands membership (and billing)
+    /// state at the m-router, so the m-router acks it with LEAVE-ACK
+    /// and the DR retries until acked. 0 disables retries.
+    pub leave_retry: u64,
+    /// m-router repair-scan period: every interval, check each mirrored
+    /// tree against the domain's liveness view (the IGP's link-state
+    /// database) and re-run DCDM over the surviving topology when the
+    /// tree is damaged or a logged member is reachable but off-tree.
+    /// 0 disables the scan. Note: a non-zero interval re-arms forever,
+    /// so drive such simulations with `run_until`, not quiescence.
+    pub repair_interval: u64,
 }
 
 impl ScmpConfig {
@@ -90,6 +115,8 @@ impl ScmpConfig {
             tree_packets_only: false,
             session_expiry: 0,
             join_retry: 500_000,
+            leave_retry: 500_000,
+            repair_interval: 0,
         }
     }
 }
@@ -305,6 +332,10 @@ pub struct ScmpRouter {
     next_host: u32,
     /// Host stack per group so Leave events pop a real joined host.
     joined_hosts: BTreeMap<GroupId, Vec<HostId>>,
+    /// JOIN retransmissions already made per group (backoff exponent).
+    join_attempts: BTreeMap<GroupId, u32>,
+    /// LEAVEs awaiting a LEAVE-ACK, with retransmission count.
+    pending_leaves: BTreeMap<GroupId, u32>,
 }
 
 impl ScmpRouter {
@@ -336,6 +367,8 @@ impl ScmpRouter {
             subnet: Subnet::new(),
             next_host: 0,
             joined_hosts: BTreeMap::new(),
+            join_attempts: BTreeMap::new(),
+            pending_leaves: BTreeMap::new(),
         }
     }
 
@@ -398,6 +431,7 @@ impl ScmpRouter {
             self.pending_interfaces.insert(group);
             let retry = self.domain.config.join_retry;
             if retry > 0 {
+                self.join_attempts.insert(group, 0);
                 ctx.set_timer(retry, TIMER_JOIN_RETRY_BASE + group.0 as u64);
             }
         }
@@ -407,7 +441,8 @@ impl ScmpRouter {
     }
 
     /// JOIN retry: if the subnet still wants the group but no tree state
-    /// arrived (the JOIN or its TREE/BRANCH answer was lost), resend.
+    /// arrived (the JOIN or its TREE/BRANCH answer was lost), resend with
+    /// exponential backoff, giving up after [`MAX_RETRIES`].
     fn retry_join_if_unanswered(&mut self, group: GroupId, ctx: &mut Ctx<'_, ScmpMsg>) {
         let wants = self.subnet.has_members(group);
         let answered = self
@@ -415,16 +450,42 @@ impl ScmpRouter {
             .get(&group)
             .is_some_and(|e| e.local_interface || !wants);
         if !wants || answered || self.is_m_router() {
+            self.join_attempts.remove(&group);
             return;
         }
+        let attempt = self.join_attempts.entry(group).or_insert(0);
+        *attempt += 1;
+        if *attempt > MAX_RETRIES {
+            self.join_attempts.remove(&group);
+            return;
+        }
+        let backoff = self.domain.config.join_retry << (*attempt).min(BACKOFF_CAP);
         self.pending_interfaces.insert(group);
         let m = self.m_router_for(group);
         let me = self.me;
         ctx.unicast(m, Packet::control(group, ScmpMsg::Join { requester: me }));
-        let retry = self.domain.config.join_retry;
-        if retry > 0 {
-            ctx.set_timer(retry, TIMER_JOIN_RETRY_BASE + group.0 as u64);
+        if self.domain.config.join_retry > 0 {
+            ctx.set_timer(backoff, TIMER_JOIN_RETRY_BASE + group.0 as u64);
         }
+    }
+
+    /// LEAVE retry: the m-router never acked, so either the LEAVE or the
+    /// LEAVE-ACK was lost; resend with backoff until acked or exhausted.
+    fn retry_leave_if_unacked(&mut self, group: GroupId, ctx: &mut Ctx<'_, ScmpMsg>) {
+        let Some(attempt) = self.pending_leaves.get_mut(&group) else {
+            return; // acked in the meantime
+        };
+        *attempt += 1;
+        let attempt = *attempt;
+        if attempt > MAX_RETRIES {
+            self.pending_leaves.remove(&group);
+            return;
+        }
+        let backoff = self.domain.config.leave_retry << attempt.min(BACKOFF_CAP);
+        let m = self.m_router_for(group);
+        let me = self.me;
+        ctx.unicast(m, Packet::control(group, ScmpMsg::Leave { requester: me }));
+        ctx.set_timer(backoff, TIMER_LEAVE_RETRY_BASE + group.0 as u64);
     }
 
     fn handle_host_leave(&mut self, group: GroupId, ctx: &mut Ctx<'_, ScmpMsg>) {
@@ -458,6 +519,11 @@ impl ScmpRouter {
             let m = self.m_router_for(group);
             let me = self.me;
             ctx.unicast(m, Packet::control(group, ScmpMsg::Leave { requester: me }));
+            let retry = self.domain.config.leave_retry;
+            if retry > 0 {
+                self.pending_leaves.insert(group, 0);
+                ctx.set_timer(retry, TIMER_LEAVE_RETRY_BASE + group.0 as u64);
+            }
         }
     }
 
@@ -560,6 +626,7 @@ impl ScmpRouter {
         // a concurrent restructure may have flushed an entry (losing the
         // flag) while this router's own JOIN was still in flight.
         self.pending_interfaces.remove(&group);
+        self.join_attempts.remove(&group);
         let local = self.subnet.has_members(group);
         let entry = self.entries.entry(group).or_default();
         let old_upstream = entry.upstream;
@@ -596,6 +663,7 @@ impl ScmpRouter {
         }
         let (next, rest) = bp.advance(self.me);
         self.pending_interfaces.remove(&group);
+        self.join_attempts.remove(&group);
         let local = self.subnet.has_members(group);
         let entry = self.entries.entry(group).or_default();
         let old_upstream = entry.upstream;
@@ -675,8 +743,18 @@ impl ScmpRouter {
         // Physically form the change in the domain.
         if requester != me {
             if outcome.path.len() == 1 {
-                // Requester was already a forwarder: its entry exists and
-                // its interface opened locally. Nothing to distribute.
+                // Requester was already on the tree — but its entry may
+                // be gone (crash-recovered DR, TREE/BRANCH lost to
+                // congestion), so re-send a BRANCH refresh along its root
+                // path instead of distributing nothing. This makes a
+                // repeated JOIN an idempotent state-repair primitive.
+                if let Some(path) = tree.path_from_root(requester) {
+                    if path.len() > 1 {
+                        let bp = BranchPacket::from_root_path(&path);
+                        let first = bp.path[0];
+                        ctx.send(first, Packet::control(group, ScmpMsg::Branch { gen, packet: bp }));
+                    }
+                }
             } else if outcome.is_simple_graft() && !domain.config.tree_packets_only {
                 let path = tree.path_from_root(requester).expect("member on tree");
                 let bp = BranchPacket::from_root_path(&path);
@@ -721,6 +799,15 @@ impl ScmpRouter {
         let Role::MRouter(state) = &mut self.role else {
             return;
         };
+        // Ack first: the DR retransmits until acked, and processing below
+        // is made idempotent so a duplicate LEAVE (lost ack) is harmless.
+        // Membership ground truth is the accounting log, not the mirrored
+        // tree — a repair rebuild may have dropped an unreachable member
+        // from the tree while its join is still on the books.
+        ctx.unicast(requester, Packet::control(group, ScmpMsg::LeaveAck));
+        if !state.sessions.members_from_log(group).contains(&requester) {
+            return; // duplicate of an already-processed LEAVE
+        }
         state.sessions.record(ctx.now(), group, requester, false);
         state.next_gen(group);
         let Some(tree) = state.trees.remove(&group) else {
@@ -864,6 +951,105 @@ impl ScmpRouter {
             state.trees.insert(group, tree);
         }
     }
+
+    // ------------------------------------------------------------------
+    // m-router: periodic tree repair (robustness extension)
+    // ------------------------------------------------------------------
+
+    /// Periodic repair scan. The m-router already owns the domain's
+    /// link-state database (§II-D), so it learns about dead links and
+    /// routers from the IGP; here that view is the simulator's liveness
+    /// state. Every mirrored tree is assessed against it, and a damaged
+    /// tree — or a tree missing a reachable logged member, e.g. after a
+    /// partition heals — is rebuilt by re-running DCDM over the
+    /// surviving topology. Pruned-off routers get explicit flushes so
+    /// stale entries cannot black-hole later traffic.
+    fn m_repair_scan(&mut self, ctx: &mut Ctx<'_, ScmpMsg>) {
+        let domain = Arc::clone(&self.domain);
+        let me = self.me;
+        if !self.is_m_router() {
+            return; // role changed since the timer was armed
+        }
+        let interval = domain.config.repair_interval;
+        if interval > 0 {
+            // Re-arm first so a scan can never silence itself.
+            ctx.set_timer(interval, TIMER_REPAIR);
+        }
+        let surviving = ctx.surviving_topology();
+        let reachable = scmp_net::metrics::reachable_set(&surviving, me);
+        // Phase 1 (read-only): which groups need surgery?
+        let mut damaged: Vec<GroupId> = Vec::new();
+        {
+            let Role::MRouter(state) = &self.role else {
+                unreachable!()
+            };
+            for (&group, tree) in &state.trees {
+                let damage = scmp_tree::repair::assess(
+                    tree,
+                    |v| ctx.node_up(v),
+                    |a, b| ctx.link_up(a, b),
+                );
+                let readopt = state
+                    .sessions
+                    .members_from_log(group)
+                    .into_iter()
+                    .any(|m| !tree.is_member(m) && reachable[m.index()]);
+                if !damage.is_intact() || readopt {
+                    damaged.push(group);
+                }
+            }
+        }
+        if damaged.is_empty() {
+            return;
+        }
+        let paths = AllPairsPaths::compute(&surviving);
+        for group in damaged {
+            let Role::MRouter(state) = &mut self.role else {
+                unreachable!()
+            };
+            // Members partitioned away stay off the tree until a later
+            // scan sees them reachable again (the readopt check above).
+            let members: Vec<NodeId> = state
+                .sessions
+                .members_from_log(group)
+                .into_iter()
+                .filter(|&m| paths.unicast_delay(m, me).is_some())
+                .collect();
+            let old_nodes = state
+                .trees
+                .get(&group)
+                .map(|t| t.on_tree_nodes())
+                .unwrap_or_default();
+            let gen = state.next_gen(group);
+            let mut dcdm = Dcdm::new(&surviving, &paths, me, domain.config.bound);
+            for &m in &members {
+                dcdm.join(m);
+            }
+            let tree = dcdm.into_tree();
+            let entry = self.entries.entry(group).or_default();
+            entry.upstream = None;
+            entry.downstream_routers = tree.children(me).iter().copied().collect();
+            entry.local_interface = self.subnet.has_members(group);
+            entry.gen = gen;
+            for &child in tree.children(me) {
+                let tp = TreePacket::from_tree(&tree, child);
+                ctx.send(child, Packet::control(group, ScmpMsg::Tree { gen, packet: tp }));
+            }
+            // Flush reachable routers that fell off the tree; partitioned
+            // ones keep stale state, which generation stamps and the
+            // §III-F forwarding-set check neutralise.
+            for v in old_nodes {
+                if v != me && !tree.contains(v) && reachable[v.index()] {
+                    ctx.unicast(v, Packet::control(group, ScmpMsg::Flush { gen }));
+                }
+            }
+            let Role::MRouter(state) = &mut self.role else {
+                unreachable!()
+            };
+            state.trees.insert(group, tree);
+        }
+        ctx.record_repair();
+    }
 }
 
 impl Router for ScmpRouter {
@@ -871,6 +1057,9 @@ impl Router for ScmpRouter {
 
     fn on_start(&mut self, ctx: &mut Ctx<'_, ScmpMsg>) {
         let cfg = &self.domain.config;
+        if cfg.repair_interval > 0 && self.is_m_router() {
+            ctx.set_timer(cfg.repair_interval, TIMER_REPAIR);
+        }
         if cfg.heartbeat_interval == 0 {
             return;
         }
@@ -925,6 +1114,9 @@ impl Router for ScmpRouter {
                     s.membership.record(ctx.now(), group, member, joined);
                 }
             }
+            ScmpMsg::LeaveAck => {
+                self.pending_leaves.remove(&group);
+            }
             ScmpMsg::NewMRouter { address } => {
                 // The old trees are rooted at the dead primary: drop all
                 // forwarding state. The new m-router pushes fresh TREE
@@ -936,6 +1128,16 @@ impl Router for ScmpRouter {
                 self.entries.clear();
                 self.flushed.clear();
                 self.pending_interfaces = self.subnet.active_groups().into_iter().collect();
+                // Restart the JOIN retry series toward the new address:
+                // the rebuilt TREE push may miss a DR whose original JOIN
+                // died with the primary.
+                let retry = self.domain.config.join_retry;
+                if retry > 0 {
+                    for &g in &self.pending_interfaces {
+                        self.join_attempts.insert(g, 0);
+                        ctx.set_timer(retry, TIMER_JOIN_RETRY_BASE + g.0 as u64);
+                    }
+                }
             }
         }
     }
@@ -957,11 +1159,15 @@ impl Router for ScmpRouter {
                 }
             }
             TIMER_REBUILD => self.rebuild_after_takeover(ctx),
+            TIMER_REPAIR => self.m_repair_scan(ctx),
             token if token >= TIMER_EXPIRY_BASE => {
                 self.expire_session_if_empty(GroupId((token - TIMER_EXPIRY_BASE) as u32));
             }
             token if token >= TIMER_JOIN_RETRY_BASE => {
                 self.retry_join_if_unanswered(GroupId((token - TIMER_JOIN_RETRY_BASE) as u32), ctx);
+            }
+            token if token >= TIMER_LEAVE_RETRY_BASE => {
+                self.retry_leave_if_unacked(GroupId((token - TIMER_LEAVE_RETRY_BASE) as u32), ctx);
             }
             token if token >= TIMER_WATCHDOG_BASE => {
                 let take_over = match &self.role {
@@ -1367,5 +1573,166 @@ mod tests {
         let m = e.router(NodeId(0)).m_state().unwrap();
         assert_eq!(m.tree(G).unwrap().member_count(), 0);
         assert_eq!(m.tree(G).unwrap().on_tree_count(), 1);
+    }
+
+    #[test]
+    fn repair_scan_reroutes_around_cut_tree_link() {
+        use scmp_sim::FaultEvent;
+        let mut cfg = ScmpConfig::new(NodeId(0));
+        cfg.repair_interval = 2_000;
+        let mut e = build(fig5(), cfg);
+        for (t, n) in [(0, 4u32), (1_000, 3), (2_000, 5)] {
+            e.schedule_app(t, NodeId(n), AppEvent::Join(G));
+        }
+        // Fig. 5d tree: 0-1-4, 0-2, 2-3, 2-5. Cutting 0-2 orphans the
+        // whole right side; 2 stays reachable via 1-2 and 3-2.
+        e.schedule_fault(20_000, FaultEvent::LinkDown {
+            a: NodeId(0),
+            b: NodeId(2),
+        });
+        e.schedule_app(15_000, NodeId(0), AppEvent::Send { group: G, tag: 1 });
+        e.schedule_app(30_000, NodeId(0), AppEvent::Send { group: G, tag: 2 });
+        e.run_until(60_000);
+        for m in [4u32, 3, 5] {
+            assert_eq!(e.stats().delivery_count(G, 1, NodeId(m)), 1, "pre-cut to {m}");
+            assert_eq!(
+                e.stats().delivery_count(G, 2, NodeId(m)),
+                1,
+                "post-repair to {m}"
+            );
+        }
+        assert!(!e.stats().has_duplicate_deliveries());
+        assert!(e.stats().repairs >= 1, "repair scan must have fired");
+        // The scan runs within one interval of the fault; allow slack for
+        // the timer phase.
+        assert!(
+            e.stats().max_repair_latency <= 2 * 2_000,
+            "repair latency {} too high",
+            e.stats().max_repair_latency
+        );
+        // The repaired mirror avoids the dead link.
+        let m = e.router(NodeId(0)).m_state().unwrap();
+        let tree = m.tree(G).unwrap();
+        assert_eq!(tree.validate(None), Ok(()));
+        for (p, c) in tree.edges() {
+            assert!(
+                !(p.0.min(c.0) == 0 && p.0.max(c.0) == 2),
+                "repaired tree still uses the dead link"
+            );
+        }
+    }
+
+    #[test]
+    fn repair_scan_idle_when_network_healthy() {
+        let mut cfg = ScmpConfig::new(NodeId(0));
+        cfg.repair_interval = 1_000;
+        let mut e = build(fig5(), cfg);
+        e.schedule_app(0, NodeId(4), AppEvent::Join(G));
+        let before = {
+            e.run_until(5_000);
+            e.stats().protocol_overhead
+        };
+        e.run_until(100_000);
+        // Scans keep running but distribute nothing: no repairs, no
+        // control traffic beyond the initial join.
+        assert_eq!(e.stats().repairs, 0);
+        assert_eq!(e.stats().protocol_overhead, before);
+    }
+
+    #[test]
+    fn repair_readopts_member_after_partition_heals() {
+        use scmp_sim::FaultEvent;
+        let mut cfg = ScmpConfig::new(NodeId(0));
+        cfg.repair_interval = 2_000;
+        let mut e = build(fig5(), cfg);
+        for (t, n) in [(0, 4u32), (1_000, 3), (2_000, 5)] {
+            e.schedule_app(t, NodeId(n), AppEvent::Join(G));
+        }
+        // Cut node 5 off entirely (its only link is 2-5): the repair
+        // drops it from the tree; when the link heals, a later scan must
+        // graft it back without any new JOIN from the host.
+        e.schedule_fault(10_000, FaultEvent::LinkDown {
+            a: NodeId(2),
+            b: NodeId(5),
+        });
+        e.run_until(20_000);
+        {
+            let m = e.router(NodeId(0)).m_state().unwrap();
+            assert!(!m.tree(G).unwrap().is_member(NodeId(5)), "5 dropped while cut");
+        }
+        e.schedule_fault(30_000, FaultEvent::LinkUp {
+            a: NodeId(2),
+            b: NodeId(5),
+        });
+        e.schedule_app(50_000, NodeId(0), AppEvent::Send { group: G, tag: 9 });
+        e.run_until(80_000);
+        let m = e.router(NodeId(0)).m_state().unwrap();
+        assert!(m.tree(G).unwrap().is_member(NodeId(5)), "5 re-adopted");
+        assert_eq!(e.stats().delivery_count(G, 9, NodeId(5)), 1);
+        assert!(e.stats().repairs >= 2, "cut + heal each trigger a repair");
+    }
+
+    #[test]
+    fn rejoin_after_dr_crash_reinstalls_entry() {
+        use scmp_sim::FaultEvent;
+        let mut e = fig5_engine();
+        e.schedule_app(0, NodeId(4), AppEvent::Join(G));
+        e.schedule_fault(10_000, FaultEvent::RouterCrash { node: NodeId(4) });
+        e.schedule_fault(20_000, FaultEvent::RouterRecover { node: NodeId(4) });
+        // The recovered DR lost its entry and subnet, but the m-router
+        // still counts node 4 as a member. A fresh host join must
+        // re-install the entry via the BRANCH refresh (a JOIN for an
+        // existing member used to distribute nothing).
+        e.schedule_app(30_000, NodeId(4), AppEvent::Join(G));
+        e.run_to_quiescence();
+        let entry = e.router(NodeId(4)).entry(G).expect("entry reinstalled");
+        assert!(entry.local_interface);
+        assert_eq!(entry.upstream, Some(NodeId(1)));
+        let later = e.now() + 1_000;
+        e.schedule_app(later, NodeId(0), AppEvent::Send { group: G, tag: 3 });
+        e.run_to_quiescence();
+        assert_eq!(e.stats().delivery_count(G, 3, NodeId(4)), 1);
+    }
+
+    #[test]
+    fn leave_is_acked_and_recorded_once() {
+        let mut e = fig5_engine();
+        e.schedule_app(0, NodeId(4), AppEvent::Join(G));
+        e.schedule_app(10_000, NodeId(4), AppEvent::Leave(G));
+        e.run_to_quiescence();
+        let m = e.router(NodeId(0)).m_state().unwrap();
+        // Ack landed before the first retry: exactly one leave record.
+        assert_eq!(m.sessions.log().len(), 2);
+        assert!(m.sessions.members_from_log(G).is_empty());
+    }
+
+    #[test]
+    fn leave_retries_through_transient_failure() {
+        // The member is cut off when its last host leaves; the LEAVE is
+        // lost, and the retransmission after the links heal must still
+        // deregister it (otherwise billing runs forever).
+        let mut e = fig5_engine();
+        e.schedule_app(0, NodeId(3), AppEvent::Join(G));
+        e.run_until(5_000);
+        e.set_link_down(NodeId(0), NodeId(3), true);
+        e.set_link_down(NodeId(2), NodeId(3), true);
+        e.schedule_app(6_000, NodeId(3), AppEvent::Leave(G));
+        e.run_until(400_000);
+        {
+            let m = e.router(NodeId(0)).m_state().unwrap();
+            assert_eq!(
+                m.sessions.members_from_log(G),
+                vec![NodeId(3)],
+                "LEAVE lost while cut off"
+            );
+        }
+        e.set_link_down(NodeId(0), NodeId(3), false);
+        e.set_link_down(NodeId(2), NodeId(3), false);
+        e.run_to_quiescence();
+        let m = e.router(NodeId(0)).m_state().unwrap();
+        assert!(
+            m.sessions.members_from_log(G).is_empty(),
+            "retried LEAVE deregistered the member"
+        );
     }
 }

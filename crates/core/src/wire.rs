@@ -42,6 +42,7 @@ enum MsgType {
     Heartbeat = 9,
     StandbySync = 10,
     NewMRouter = 11,
+    LeaveAck = 12,
 }
 
 /// Decode errors.
@@ -74,7 +75,7 @@ pub fn encode(pkt: &Packet<ScmpMsg>) -> Bytes {
         ScmpMsg::Join { requester } | ScmpMsg::Leave { requester } => {
             b.put_u32(requester.0);
         }
-        ScmpMsg::Prune | ScmpMsg::Data | ScmpMsg::EncapData => {}
+        ScmpMsg::Prune | ScmpMsg::Data | ScmpMsg::EncapData | ScmpMsg::LeaveAck => {}
         ScmpMsg::Tree { gen, packet } => {
             b.put_u64(*gen);
             let words = packet.encode_words();
@@ -114,6 +115,7 @@ fn type_of(msg: &ScmpMsg) -> MsgType {
         ScmpMsg::Heartbeat { .. } => MsgType::Heartbeat,
         ScmpMsg::StandbySync { .. } => MsgType::StandbySync,
         ScmpMsg::NewMRouter { .. } => MsgType::NewMRouter,
+        ScmpMsg::LeaveAck => MsgType::LeaveAck,
     }
 }
 
@@ -210,6 +212,7 @@ pub fn decode(mut bytes: Bytes) -> Result<Packet<ScmpMsg>, WireError> {
                 address: NodeId(bytes.get_u32()),
             }
         }
+        t if t == MsgType::LeaveAck as u8 => ScmpMsg::LeaveAck,
         other => return Err(WireError::UnknownType(other)),
     };
     if bytes.has_remaining() {
@@ -250,6 +253,7 @@ mod tests {
             ScmpMsg::StandbySync { member: NodeId(3), joined: true },
             ScmpMsg::StandbySync { member: NodeId(3), joined: false },
             ScmpMsg::NewMRouter { address: NodeId(11) },
+            ScmpMsg::LeaveAck,
             ScmpMsg::Branch {
                 gen: 5,
                 packet: BranchPacket { path: vec![NodeId(2), NodeId(4), NodeId(10)] },

@@ -110,7 +110,7 @@ proptest! {
         tag in any::<u64>(),
         created in any::<u64>(),
         gen in any::<u64>(),
-        variant in 0usize..8,
+        variant in 0usize..12,
     ) {
         let tree = random_tree(&choices);
         let body = match variant {
@@ -121,10 +121,14 @@ proptest! {
             4 => ScmpMsg::Branch { gen, packet: BranchPacket { path: vec![NodeId(1), NodeId(2)] } },
             5 => ScmpMsg::Flush { gen },
             6 => ScmpMsg::Data,
+            7 => ScmpMsg::EncapData,
+            8 => ScmpMsg::StandbySync { member: NodeId(9), joined: gen % 2 == 0 },
+            9 => ScmpMsg::NewMRouter { address: NodeId(10) },
+            10 => ScmpMsg::LeaveAck,
             _ => ScmpMsg::Heartbeat { seq: gen },
         };
         let pkt = Packet {
-            class: if matches!(body, ScmpMsg::Data) {
+            class: if matches!(body, ScmpMsg::Data | ScmpMsg::EncapData) {
                 scmp_sim::PacketClass::Data
             } else {
                 scmp_sim::PacketClass::Control

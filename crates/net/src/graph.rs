@@ -202,6 +202,29 @@ impl Topology {
         b.build()
     }
 
+    /// A copy of this topology keeping only links whose endpoints both
+    /// satisfy `keep_node` and which themselves satisfy `keep_link`.
+    /// Node ids are preserved (excluded nodes stay, isolated), so
+    /// routing state indexed by [`NodeId`] keeps working. This is the
+    /// "surviving topology" used by failure-injection experiments: the
+    /// m-router re-plans trees over `subtopology(node_up, link_up)`.
+    pub fn subtopology(
+        &self,
+        mut keep_node: impl FnMut(NodeId) -> bool,
+        mut keep_link: impl FnMut(NodeId, NodeId) -> bool,
+    ) -> Topology {
+        let mut b = TopologyBuilder::new(self.node_count());
+        if let Some(coords) = &self.coords {
+            b = b.with_coords(coords.clone());
+        }
+        for &(a, bb, w) in &self.edges {
+            if keep_node(a) && keep_node(bb) && keep_link(a, bb) {
+                b.add_link(a, bb, w);
+            }
+        }
+        b.build()
+    }
+
     /// Connected components, each a sorted list of nodes. Used by the
     /// generators to augment disconnected samples.
     pub fn components(&self) -> Vec<Vec<NodeId>> {

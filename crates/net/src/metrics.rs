@@ -73,6 +73,34 @@ pub fn profile(topo: &Topology, metric: Metric) -> TopologyProfile {
     }
 }
 
+/// Nodes reachable from `src` over the topology's links, as a dense
+/// membership vector (`out[v] == true` iff `v` is connected to `src`).
+/// On a surviving (post-failure) topology this is the set of routers a
+/// repair can still serve; everything else is partitioned away.
+pub fn reachable_set(topo: &Topology, src: crate::graph::NodeId) -> Vec<bool> {
+    let n = topo.node_count();
+    let mut seen = vec![false; n];
+    if src.index() >= n {
+        return seen;
+    }
+    let mut stack = vec![src];
+    seen[src.index()] = true;
+    while let Some(v) = stack.pop() {
+        for e in topo.neighbors(v) {
+            if !seen[e.to.index()] {
+                seen[e.to.index()] = true;
+                stack.push(e.to);
+            }
+        }
+    }
+    seen
+}
+
+/// How many nodes `src` can reach (including itself).
+pub fn reachable_count(topo: &Topology, src: crate::graph::NodeId) -> usize {
+    reachable_set(topo, src).iter().filter(|&&r| r).count()
+}
+
 /// Degree histogram: `hist[d]` = number of nodes with degree `d`.
 pub fn degree_histogram(topo: &Topology) -> Vec<usize> {
     let max = topo.nodes().map(|v| topo.degree(v)).max().unwrap_or(0);
@@ -117,6 +145,22 @@ mod tests {
         assert_eq!(h[1], 5); // five leaves
         assert_eq!(h[5], 1); // one hub
         assert_eq!(h.iter().sum::<usize>(), 6);
+    }
+
+    #[test]
+    fn reachability_splits_on_cut() {
+        use crate::graph::NodeId;
+        let t = line(5, LinkWeight::new(1, 1));
+        assert_eq!(reachable_count(&t, NodeId(0)), 5);
+        // Remove the middle link: two components of 3 and 2.
+        let cut = t.subtopology(|_| true, |a, b| !(a == NodeId(2) && b == NodeId(3)));
+        let from0 = reachable_set(&cut, NodeId(0));
+        assert_eq!(from0, vec![true, true, true, false, false]);
+        assert_eq!(reachable_count(&cut, NodeId(4)), 2);
+        // Killing a node isolates it and splits the line.
+        let dead2 = t.subtopology(|v| v != NodeId(2), |_, _| true);
+        assert_eq!(reachable_count(&dead2, NodeId(2)), 1);
+        assert_eq!(reachable_count(&dead2, NodeId(0)), 2);
     }
 
     #[test]

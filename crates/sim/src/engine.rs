@@ -1,5 +1,6 @@
 //! The discrete-event engine.
 
+use crate::fault::{FaultEvent, FaultPlan};
 use crate::packet::{Packet, PacketClass};
 use crate::stats::SimStats;
 use scmp_net::{NodeId, RoutingTables, Topology};
@@ -88,6 +89,8 @@ pub enum TraceKind {
     },
     /// A host/subnet event was injected.
     App(AppEvent),
+    /// A scheduled fault fired (link cut/restore, router crash/recover).
+    Fault(FaultEvent),
 }
 
 /// Scenario-injected application events: what the attached hosts/subnets
@@ -137,6 +140,7 @@ enum EventKind<M> {
     Deliver { from: NodeId, pkt: Packet<M> },
     Timer { token: u64 },
     App(AppEvent),
+    Fault(FaultEvent),
 }
 
 struct Entry<M> {
@@ -179,6 +183,9 @@ pub struct Ctx<'a, M> {
     link_down: &'a HashSet<(NodeId, NodeId)>,
     capacity: Option<&'a CapacityModel>,
     link_busy: &'a mut HashMap<(NodeId, NodeId), SimTime>,
+    /// True while any link or node is down: overhead charged in this
+    /// window also accumulates into the during-failure counters.
+    degraded: bool,
 }
 
 impl<'a, M: Clone + fmt::Debug> Ctx<'a, M> {
@@ -216,6 +223,37 @@ impl<'a, M: Clone + fmt::Debug> Ctx<'a, M> {
     fn link_alive(&self, a: NodeId, b: NodeId) -> bool {
         let key = if a < b { (a, b) } else { (b, a) };
         !self.link_down.contains(&key) && !self.node_down[a.index()] && !self.node_down[b.index()]
+    }
+
+    /// Is the link `a`–`b` (and both endpoints) currently in service?
+    /// Models the domain's link-state IGP view, which every router —
+    /// and in particular the m-router's repair scan — can consult.
+    pub fn link_up(&self, a: NodeId, b: NodeId) -> bool {
+        self.link_alive(a, b)
+    }
+
+    /// Is router `v` currently in service (per the IGP view)?
+    pub fn node_up(&self, v: NodeId) -> bool {
+        !self.node_down[v.index()]
+    }
+
+    /// The topology restricted to live nodes and links — what a repair
+    /// algorithm should plan over. Node ids are preserved.
+    pub fn surviving_topology(&self) -> Topology {
+        self.topo.subtopology(
+            |v| !self.node_down[v.index()],
+            |a, b| {
+                let key = if a < b { (a, b) } else { (b, a) };
+                !self.link_down.contains(&key)
+            },
+        )
+    }
+
+    /// Record a completed tree repair: the elapsed time since the most
+    /// recent fault becomes a repair-latency sample.
+    pub fn record_repair(&mut self) {
+        let now = self.now;
+        self.stats.record_repair(now);
     }
 
     /// Send `pkt` to the directly-connected neighbour `to`. Charges the
@@ -338,10 +376,16 @@ impl<'a, M: Clone + fmt::Debug> Ctx<'a, M> {
             PacketClass::Data => {
                 self.stats.data_overhead += cost;
                 self.stats.data_hops += 1;
+                if self.degraded {
+                    self.stats.data_overhead_during_failure += cost;
+                }
             }
             PacketClass::Control => {
                 self.stats.protocol_overhead += cost;
                 self.stats.control_hops += 1;
+                if self.degraded {
+                    self.stats.control_overhead_during_failure += cost;
+                }
             }
         }
     }
@@ -353,11 +397,17 @@ pub struct Engine<R: Router> {
     topo: Topology,
     routes: RoutingTables,
     routers: Vec<R>,
+    /// The router factory, kept so a crashed router can be cold-restarted
+    /// with factory-fresh state (see [`FaultEvent::RouterCrash`]).
+    make: Box<dyn FnMut(NodeId, &Topology, &RoutingTables) -> R>,
     queue: BinaryHeap<Entry<R::Msg>>,
     seq: u64,
     now: SimTime,
     stats: SimStats,
     node_down: Vec<bool>,
+    /// Count of `true` entries in `node_down` (kept in sync so the
+    /// degraded-window test is O(1) per event).
+    down_nodes: usize,
     link_down: HashSet<(NodeId, NodeId)>,
     started: bool,
     event_limit: u64,
@@ -370,8 +420,13 @@ pub struct Engine<R: Router> {
 impl<R: Router> Engine<R> {
     /// Build an engine; `make` constructs the protocol state for each
     /// router (it receives the topology and unicast tables so protocols
-    /// can precompute).
-    pub fn new(topo: Topology, mut make: impl FnMut(NodeId, &Topology, &RoutingTables) -> R) -> Self {
+    /// can precompute). The factory is retained: a
+    /// [`FaultEvent::RouterCrash`] wipes the node's state and a later
+    /// recovery rebuilds it through the same factory.
+    pub fn new(
+        topo: Topology,
+        mut make: impl FnMut(NodeId, &Topology, &RoutingTables) -> R + 'static,
+    ) -> Self {
         let routes = RoutingTables::compute(&topo);
         let routers = topo.nodes().map(|v| make(v, &topo, &routes)).collect();
         let n = topo.node_count();
@@ -379,11 +434,13 @@ impl<R: Router> Engine<R> {
             topo,
             routes,
             routers,
+            make: Box::new(make),
             queue: BinaryHeap::new(),
             seq: 0,
             now: 0,
             stats: SimStats::default(),
             node_down: vec![false; n],
+            down_nodes: 0,
             link_down: HashSet::new(),
             started: false,
             event_limit: 50_000_000,
@@ -455,8 +512,94 @@ impl<R: Router> Engine<R> {
     /// tables reconverge immediately (modelling the domain's link-state
     /// IGP reacting to the failure).
     pub fn set_node_down(&mut self, node: NodeId, down: bool) {
-        self.node_down[node.index()] = down;
+        let cur = &mut self.node_down[node.index()];
+        if *cur != down {
+            *cur = down;
+            if down {
+                self.down_nodes += 1;
+            } else {
+                self.down_nodes -= 1;
+            }
+        }
         self.reconverge_routes();
+    }
+
+    /// True while any node or link is out of service — the failure
+    /// window for the during-failure overhead counters.
+    pub fn degraded(&self) -> bool {
+        self.down_nodes > 0 || !self.link_down.is_empty()
+    }
+
+    /// Schedule a fault at absolute time `time`. Faults share the event
+    /// queue with packets and timers, so a seeded scenario replays
+    /// identically. Link faults must name an existing link.
+    pub fn schedule_fault(&mut self, time: SimTime, fault: FaultEvent) {
+        assert!(time >= self.now, "cannot schedule in the past");
+        match fault {
+            FaultEvent::LinkDown { a, b } | FaultEvent::LinkUp { a, b } => {
+                assert!(self.topo.has_link(a, b), "no such link {a:?}-{b:?}");
+            }
+            FaultEvent::RouterCrash { node } | FaultEvent::RouterRecover { node } => {
+                assert!(node.index() < self.topo.node_count(), "no such node {node:?}");
+            }
+        }
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Entry {
+            time,
+            seq,
+            node: fault.primary_node(),
+            kind: EventKind::Fault(fault),
+        });
+    }
+
+    /// Schedule every fault of a [`FaultPlan`].
+    ///
+    /// # Panics
+    /// If the plan does not validate against the engine's topology; call
+    /// [`FaultPlan::validate`] first for a `Result`.
+    pub fn schedule_fault_plan(&mut self, plan: &FaultPlan) {
+        for spec in &plan.faults {
+            self.schedule_fault(spec.time, spec.to_event());
+        }
+    }
+
+    /// Apply a fault that fired: flip liveness, reconverge the IGP, and
+    /// cold-restart crashed routers. Recovery re-runs `on_start` on the
+    /// rebuilt state machine.
+    fn apply_fault(&mut self, fault: FaultEvent) {
+        if fault.is_failure() {
+            self.stats.note_fault(self.now);
+        }
+        match fault {
+            FaultEvent::LinkDown { a, b } => self.set_link_down(a, b, true),
+            FaultEvent::LinkUp { a, b } => self.set_link_down(a, b, false),
+            FaultEvent::RouterCrash { node } => {
+                // Wipe the protocol state now; the node stays down (all
+                // events addressed to it are discarded) until recovery.
+                self.routers[node.index()] = (self.make)(node, &self.topo, &self.routes);
+                self.set_node_down(node, true);
+            }
+            FaultEvent::RouterRecover { node } => {
+                self.set_node_down(node, false);
+                let degraded = self.degraded();
+                let mut ctx = Ctx {
+                    now: self.now,
+                    node,
+                    topo: &self.topo,
+                    routes: &self.routes,
+                    queue: &mut self.queue,
+                    seq: &mut self.seq,
+                    stats: &mut self.stats,
+                    node_down: &self.node_down,
+                    link_down: &self.link_down,
+                    capacity: self.capacity.as_ref(),
+                    link_busy: &mut self.link_busy,
+                    degraded,
+                };
+                self.routers[node.index()].on_start(&mut ctx);
+            }
+        }
     }
 
     /// Mark a link up/down (both directions); the unicast routing tables
@@ -493,6 +636,7 @@ impl<R: Router> Engine<R> {
             return;
         }
         self.started = true;
+        let degraded = self.degraded();
         for i in 0..self.routers.len() {
             let node = NodeId(i as u32);
             let mut ctx = Ctx {
@@ -507,6 +651,7 @@ impl<R: Router> Engine<R> {
                 link_down: &self.link_down,
                 capacity: self.capacity.as_ref(),
                 link_busy: &mut self.link_busy,
+                degraded,
             };
             self.routers[i].on_start(&mut ctx);
         }
@@ -531,12 +676,26 @@ impl<R: Router> Engine<R> {
                 "event limit exceeded: protocol livelock?"
             );
             let node = ev.node;
+            // Faults are infrastructure events: they fire regardless of
+            // the target's liveness (a crashed node can still recover).
+            if let EventKind::Fault(fault) = ev.kind {
+                if let Some(trace) = &mut self.trace {
+                    trace.push(TraceRecord {
+                        time: self.now,
+                        node,
+                        kind: TraceKind::Fault(fault),
+                    });
+                }
+                self.apply_fault(fault);
+                continue;
+            }
             if self.node_down[node.index()] {
                 if matches!(ev.kind, EventKind::Deliver { .. }) {
                     self.stats.drops += 1;
                 }
                 continue;
             }
+            let degraded = self.degraded();
             let mut ctx = Ctx {
                 now: self.now,
                 node,
@@ -549,6 +708,7 @@ impl<R: Router> Engine<R> {
                 link_down: &self.link_down,
                 capacity: self.capacity.as_ref(),
                 link_busy: &mut self.link_busy,
+                degraded,
             };
             if let Some(trace) = &mut self.trace {
                 let kind = match &ev.kind {
@@ -560,6 +720,7 @@ impl<R: Router> Engine<R> {
                     },
                     EventKind::Timer { token } => TraceKind::Timer { token: *token },
                     EventKind::App(app) => TraceKind::App(app.clone()),
+                    EventKind::Fault(_) => unreachable!("handled above"),
                 };
                 trace.push(TraceRecord {
                     time: self.now,
@@ -573,6 +734,7 @@ impl<R: Router> Engine<R> {
                 }
                 EventKind::Timer { token } => self.routers[node.index()].on_timer(token, &mut ctx),
                 EventKind::App(app) => self.routers[node.index()].on_app(app, &mut ctx),
+                EventKind::Fault(_) => unreachable!("handled above"),
             }
         }
         processed
@@ -936,5 +1098,220 @@ mod tests {
         e.set_event_limit(1000);
         e.schedule_app(0, NodeId(0), AppEvent::Leave(GroupId(0)));
         e.run_to_quiescence();
+    }
+
+    #[test]
+    fn scheduled_link_faults_cut_and_restore() {
+        let mut e = engine(5);
+        e.schedule_fault(50, FaultEvent::LinkDown {
+            a: NodeId(2),
+            b: NodeId(3),
+        });
+        e.schedule_fault(300, FaultEvent::LinkUp {
+            a: NodeId(3),
+            b: NodeId(2), // endpoint order must not matter
+        });
+        // Before the cut: full line reachable.
+        e.schedule_app(0, NodeId(0), AppEvent::Send {
+            group: GroupId(1),
+            tag: 1,
+        });
+        // During the cut: flood stops at node 2.
+        e.schedule_app(100, NodeId(0), AppEvent::Send {
+            group: GroupId(1),
+            tag: 2,
+        });
+        // After restoration: full line reachable again.
+        e.schedule_app(400, NodeId(0), AppEvent::Send {
+            group: GroupId(1),
+            tag: 3,
+        });
+        e.run_to_quiescence();
+        assert_eq!(e.stats().delivery_count(GroupId(1), 1, NodeId(4)), 1);
+        assert_eq!(e.stats().delivery_count(GroupId(1), 2, NodeId(2)), 1);
+        assert_eq!(e.stats().delivery_count(GroupId(1), 2, NodeId(3)), 0);
+        assert_eq!(e.stats().delivery_count(GroupId(1), 3, NodeId(4)), 1);
+        // Only the LinkDown counts as a failure.
+        assert_eq!(e.stats().faults_injected, 1);
+        assert_eq!(e.stats().last_fault_at, Some(50));
+        assert!(!e.degraded());
+    }
+
+    #[test]
+    fn router_crash_wipes_protocol_state() {
+        // Flood dedups on `seen`; a crash must cold-restart that state,
+        // so a post-recovery replay of the same tag is accepted again.
+        let mut e = engine(3);
+        e.schedule_app(0, NodeId(0), AppEvent::Send {
+            group: GroupId(1),
+            tag: 7,
+        });
+        e.schedule_fault(100, FaultEvent::RouterCrash { node: NodeId(1) });
+        e.schedule_fault(200, FaultEvent::RouterRecover { node: NodeId(1) });
+        e.schedule_app(300, NodeId(0), AppEvent::Send {
+            group: GroupId(1),
+            tag: 7, // same tag — a survivor would dedup it
+        });
+        e.run_to_quiescence();
+        // Node 1 delivered tag 7 twice (fresh `seen` after the crash);
+        // node 2 kept its state and deduped the replay.
+        assert_eq!(e.stats().delivery_count(GroupId(1), 7, NodeId(1)), 2);
+        assert_eq!(e.stats().delivery_count(GroupId(1), 7, NodeId(2)), 1);
+        assert_eq!(e.stats().faults_injected, 1);
+    }
+
+    #[test]
+    fn crash_window_swallows_traffic() {
+        let mut e = engine(3);
+        e.schedule_fault(10, FaultEvent::RouterCrash { node: NodeId(1) });
+        e.schedule_app(20, NodeId(0), AppEvent::Send {
+            group: GroupId(1),
+            tag: 1,
+        });
+        e.schedule_fault(100, FaultEvent::RouterRecover { node: NodeId(1) });
+        e.schedule_app(200, NodeId(0), AppEvent::Send {
+            group: GroupId(1),
+            tag: 2,
+        });
+        e.run_to_quiescence();
+        // During the crash nothing passes node 1; afterwards it flows.
+        assert_eq!(e.stats().delivery_count(GroupId(1), 1, NodeId(2)), 0);
+        assert_eq!(e.stats().delivery_count(GroupId(1), 2, NodeId(2)), 1);
+    }
+
+    #[test]
+    fn degraded_window_charges_failure_overhead() {
+        let mut e = engine(5);
+        e.schedule_app(0, NodeId(0), AppEvent::Send {
+            group: GroupId(1),
+            tag: 1,
+        });
+        // Cut an edge-of-line link so most of the flood still flows.
+        e.schedule_fault(50, FaultEvent::LinkDown {
+            a: NodeId(3),
+            b: NodeId(4),
+        });
+        e.schedule_app(100, NodeId(0), AppEvent::Send {
+            group: GroupId(1),
+            tag: 2,
+        });
+        e.schedule_fault(300, FaultEvent::LinkUp {
+            a: NodeId(3),
+            b: NodeId(4),
+        });
+        e.schedule_app(400, NodeId(0), AppEvent::Send {
+            group: GroupId(1),
+            tag: 3,
+        });
+        e.run_to_quiescence();
+        // Healthy sends cross 4 links at cost 3 each; the degraded send
+        // crosses the surviving 3. Only the latter lands in the
+        // during-failure bucket.
+        assert_eq!(e.stats().data_overhead, 12 + 9 + 12);
+        assert_eq!(e.stats().data_overhead_during_failure, 9);
+        assert_eq!(e.stats().control_overhead_during_failure, 0);
+    }
+
+    #[test]
+    fn fault_plan_schedules_and_traces() {
+        use crate::fault::{FaultKind, FaultPlan};
+        let plan = FaultPlan::new()
+            .at(50, FaultKind::LinkDown { a: 1, b: 2 })
+            .at(150, FaultKind::LinkUp { a: 1, b: 2 });
+        let mut e = engine(3);
+        e.enable_trace();
+        e.schedule_fault_plan(&plan);
+        e.schedule_app(100, NodeId(0), AppEvent::Send {
+            group: GroupId(1),
+            tag: 1,
+        });
+        e.run_to_quiescence();
+        assert_eq!(e.stats().delivery_count(GroupId(1), 1, NodeId(2)), 0);
+        let faults: Vec<_> = e
+            .trace()
+            .iter()
+            .filter_map(|r| match r.kind {
+                TraceKind::Fault(f) => Some((r.time, f)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(faults.len(), 2);
+        assert_eq!(faults[0].0, 50);
+        assert!(matches!(faults[0].1, FaultEvent::LinkDown { .. }));
+        assert_eq!(faults[1].0, 150);
+    }
+
+    #[test]
+    fn fault_runs_are_deterministic() {
+        use crate::fault::FaultKind;
+        let run = || {
+            let mut e = engine(5);
+            e.enable_trace();
+            let plan = FaultPlan::new()
+                .at(40, FaultKind::RouterCrash { node: 2 })
+                .at(90, FaultKind::RouterRecover { node: 2 })
+                .at(120, FaultKind::LinkDown { a: 0, b: 1 })
+                .at(180, FaultKind::LinkUp { a: 0, b: 1 });
+            e.schedule_fault_plan(&plan);
+            for tag in 0..6 {
+                e.schedule_app(tag * 35, NodeId(0), AppEvent::Send {
+                    group: GroupId(1),
+                    tag,
+                });
+            }
+            e.run_to_quiescence();
+            let trace: Vec<String> = e
+                .trace()
+                .iter()
+                .map(|r| format!("{} n{} {:?}", r.time, r.node.0, r.kind))
+                .collect();
+            (trace, e.stats().clone())
+        };
+        let (t1, s1) = run();
+        let (t2, s2) = run();
+        assert_eq!(t1, t2, "same plan + same seed must replay bit-for-bit");
+        assert_eq!(s1.data_overhead, s2.data_overhead);
+        assert_eq!(s1.drops, s2.drops);
+        assert_eq!(s1.faults_injected, s2.faults_injected);
+        assert!(!t1.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "no such link")]
+    fn fault_on_missing_link_panics() {
+        let mut e = engine(3);
+        e.schedule_fault(10, FaultEvent::LinkDown {
+            a: NodeId(0),
+            b: NodeId(2), // line(3) has no 0-2 link
+        });
+    }
+
+    #[test]
+    fn surviving_topology_reflects_faults() {
+        struct Probe;
+        #[derive(Clone, Debug)]
+        struct M;
+        impl Router for Probe {
+            type Msg = M;
+            fn on_packet(&mut self, _: NodeId, _: Packet<M>, _: &mut Ctx<'_, M>) {}
+            fn on_app(&mut self, _: AppEvent, ctx: &mut Ctx<'_, M>) {
+                let surv = ctx.surviving_topology();
+                // Node 2 crashed, link 0-1 cut: only 3-4 remains.
+                assert_eq!(surv.edge_count(), 1);
+                assert!(surv.has_link(NodeId(3), NodeId(4)));
+                assert!(!ctx.node_up(NodeId(2)));
+                assert!(!ctx.link_up(NodeId(0), NodeId(1)));
+            }
+        }
+        let topo = line(5, LinkWeight::new(1, 1));
+        let mut e: Engine<Probe> = Engine::new(topo, |_, _, _| Probe);
+        e.schedule_fault(5, FaultEvent::RouterCrash { node: NodeId(2) });
+        e.schedule_fault(5, FaultEvent::LinkDown {
+            a: NodeId(0),
+            b: NodeId(1),
+        });
+        e.schedule_app(10, NodeId(0), AppEvent::Leave(GroupId(0)));
+        e.run_to_quiescence();
+        assert!(e.degraded());
     }
 }

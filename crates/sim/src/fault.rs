@@ -1,0 +1,280 @@
+//! Deterministic fault injection: scheduled link and router failures.
+//!
+//! The paper motivates SCMP's centralized tree management partly by how
+//! cheaply the m-router can react to failures (§V: the hot-standby
+//! m-router, JOIN retransmission, session teardown). This module gives
+//! the simulator a first-class failure vocabulary so robustness
+//! experiments are declarative and replayable:
+//!
+//! * [`FaultEvent`] — the engine-level event: link down/up, router
+//!   crash/recover. Faults ride the same `(time, seq)`-ordered event
+//!   queue as packets and timers, so a seeded scenario with faults
+//!   replays bit-for-bit.
+//! * [`FaultSpec`] / [`FaultPlan`] — the serialisable scenario form
+//!   consumed by JSON scenario files and the test harness.
+//!
+//! Semantics (see `Engine::schedule_fault`):
+//!
+//! * `LinkDown` removes a link from service in both directions; packets
+//!   in flight on it were already committed and still arrive, packets
+//!   sent afterwards drop. The domain's unicast IGP reconverges
+//!   immediately.
+//! * `RouterCrash` takes a node out of service *and wipes its protocol
+//!   state* — on recovery the router is rebuilt from the engine's
+//!   factory exactly as at simulation start (a cold restart), and its
+//!   `on_start` hook runs again. Volatile state such as multicast
+//!   routing entries does not survive a crash; recovering it is the
+//!   protocol's job.
+
+use scmp_net::{NodeId, Topology};
+use serde::{Deserialize, Serialize};
+
+/// An engine-level fault, addressed by [`NodeId`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultEvent {
+    /// Take the undirected link `a`–`b` out of service.
+    LinkDown {
+        /// One endpoint.
+        a: NodeId,
+        /// The other endpoint.
+        b: NodeId,
+    },
+    /// Restore the link `a`–`b`.
+    LinkUp {
+        /// One endpoint.
+        a: NodeId,
+        /// The other endpoint.
+        b: NodeId,
+    },
+    /// Crash a router: the node goes down and loses all protocol state.
+    RouterCrash {
+        /// The crashing node.
+        node: NodeId,
+    },
+    /// Bring a crashed router back with freshly-initialised state.
+    RouterRecover {
+        /// The recovering node.
+        node: NodeId,
+    },
+}
+
+impl FaultEvent {
+    /// The node the fault is attributed to in traces (for links, the
+    /// lower endpoint).
+    pub fn primary_node(&self) -> NodeId {
+        match *self {
+            FaultEvent::LinkDown { a, b } | FaultEvent::LinkUp { a, b } => a.min(b),
+            FaultEvent::RouterCrash { node } | FaultEvent::RouterRecover { node } => node,
+        }
+    }
+
+    /// True for the degrading half of the vocabulary (`LinkDown`,
+    /// `RouterCrash`) — the events counted as injected faults and used
+    /// as the starting point of repair-latency measurements.
+    pub fn is_failure(&self) -> bool {
+        matches!(
+            self,
+            FaultEvent::LinkDown { .. } | FaultEvent::RouterCrash { .. }
+        )
+    }
+
+    /// Short label for traces and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultEvent::LinkDown { .. } => "LINK-DOWN",
+            FaultEvent::LinkUp { .. } => "LINK-UP",
+            FaultEvent::RouterCrash { .. } => "CRASH",
+            FaultEvent::RouterRecover { .. } => "RECOVER",
+        }
+    }
+}
+
+/// The serialisable form of a [`FaultEvent`], node ids as plain `u32`.
+#[derive(Clone, Debug, PartialEq, Eq, Deserialize, Serialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum FaultKind {
+    /// Cut link `a`–`b`.
+    LinkDown {
+        /// One endpoint.
+        a: u32,
+        /// The other endpoint.
+        b: u32,
+    },
+    /// Restore link `a`–`b`.
+    LinkUp {
+        /// One endpoint.
+        a: u32,
+        /// The other endpoint.
+        b: u32,
+    },
+    /// Crash router `node`.
+    RouterCrash {
+        /// The crashing node.
+        node: u32,
+    },
+    /// Recover router `node`.
+    RouterRecover {
+        /// The recovering node.
+        node: u32,
+    },
+}
+
+/// One scheduled fault in a scenario file.
+#[derive(Clone, Debug, PartialEq, Eq, Deserialize, Serialize)]
+pub struct FaultSpec {
+    /// Absolute simulation time the fault fires at.
+    pub time: u64,
+    /// What fails (or recovers).
+    pub fault: FaultKind,
+}
+
+impl FaultSpec {
+    /// Convert to the engine-level event.
+    pub fn to_event(&self) -> FaultEvent {
+        match self.fault {
+            FaultKind::LinkDown { a, b } => FaultEvent::LinkDown {
+                a: NodeId(a),
+                b: NodeId(b),
+            },
+            FaultKind::LinkUp { a, b } => FaultEvent::LinkUp {
+                a: NodeId(a),
+                b: NodeId(b),
+            },
+            FaultKind::RouterCrash { node } => FaultEvent::RouterCrash { node: NodeId(node) },
+            FaultKind::RouterRecover { node } => FaultEvent::RouterRecover { node: NodeId(node) },
+        }
+    }
+}
+
+/// A complete failure schedule for one scenario.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Deserialize, Serialize)]
+pub struct FaultPlan {
+    /// Faults in scenario order (the engine orders by time anyway).
+    pub faults: Vec<FaultSpec>,
+}
+
+impl FaultPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Append a fault.
+    pub fn at(mut self, time: u64, fault: FaultKind) -> Self {
+        self.faults.push(FaultSpec { time, fault });
+        self
+    }
+
+    /// True when the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Check every fault against `topo`: link faults must name existing
+    /// links, router faults existing nodes.
+    pub fn validate(&self, topo: &Topology) -> Result<(), String> {
+        let n = topo.node_count();
+        for spec in &self.faults {
+            match spec.fault {
+                FaultKind::LinkDown { a, b } | FaultKind::LinkUp { a, b } => {
+                    if a as usize >= n || b as usize >= n {
+                        return Err(format!("fault link {a}-{b}: node out of range"));
+                    }
+                    if !topo.has_link(NodeId(a), NodeId(b)) {
+                        return Err(format!("fault link {a}-{b} does not exist"));
+                    }
+                }
+                FaultKind::RouterCrash { node } | FaultKind::RouterRecover { node } => {
+                    if node as usize >= n {
+                        return Err(format!("fault node {node} out of range"));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl From<Vec<FaultSpec>> for FaultPlan {
+    fn from(faults: Vec<FaultSpec>) -> Self {
+        FaultPlan { faults }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scmp_net::graph::LinkWeight;
+    use scmp_net::topology::regular::line;
+
+    #[test]
+    fn spec_converts_to_event() {
+        let s = FaultSpec {
+            time: 5,
+            fault: FaultKind::LinkDown { a: 1, b: 2 },
+        };
+        assert_eq!(
+            s.to_event(),
+            FaultEvent::LinkDown {
+                a: NodeId(1),
+                b: NodeId(2)
+            }
+        );
+        assert!(s.to_event().is_failure());
+        assert_eq!(s.to_event().primary_node(), NodeId(1));
+        let r = FaultSpec {
+            time: 9,
+            fault: FaultKind::RouterRecover { node: 3 },
+        };
+        assert!(!r.to_event().is_failure());
+        assert_eq!(r.to_event().label(), "RECOVER");
+    }
+
+    #[test]
+    fn plan_builder_and_validation() {
+        let topo = line(4, LinkWeight::new(1, 1));
+        let good = FaultPlan::new()
+            .at(10, FaultKind::LinkDown { a: 1, b: 2 })
+            .at(20, FaultKind::RouterCrash { node: 3 })
+            .at(30, FaultKind::LinkUp { a: 2, b: 1 });
+        assert_eq!(good.faults.len(), 3);
+        assert!(good.validate(&topo).is_ok());
+
+        let no_such_link = FaultPlan::new().at(0, FaultKind::LinkDown { a: 0, b: 3 });
+        assert!(no_such_link.validate(&topo).unwrap_err().contains("does not exist"));
+        let bad_node = FaultPlan::new().at(0, FaultKind::RouterCrash { node: 9 });
+        assert!(bad_node.validate(&topo).unwrap_err().contains("out of range"));
+        let bad_endpoint = FaultPlan::new().at(0, FaultKind::LinkUp { a: 0, b: 99 });
+        assert!(bad_endpoint.validate(&topo).unwrap_err().contains("out of range"));
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let plan = FaultPlan::new()
+            .at(1_000, FaultKind::LinkDown { a: 0, b: 3 })
+            .at(2_000, FaultKind::RouterCrash { node: 2 })
+            .at(3_000, FaultKind::RouterRecover { node: 2 })
+            .at(4_000, FaultKind::LinkUp { a: 0, b: 3 });
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, plan);
+    }
+
+    #[test]
+    fn json_format_is_tagged_snake_case() {
+        let json = r#"{ "faults": [
+            { "time": 7, "fault": { "kind": "link_down", "a": 1, "b": 4 } },
+            { "time": 8, "fault": { "kind": "router_crash", "node": 2 } }
+        ]}"#;
+        let plan: FaultPlan = serde_json::from_str(json).unwrap();
+        assert_eq!(plan.faults[0].fault, FaultKind::LinkDown { a: 1, b: 4 });
+        assert_eq!(plan.faults[1].fault, FaultKind::RouterCrash { node: 2 });
+    }
+
+    #[test]
+    fn empty_plan_is_valid_everywhere() {
+        let topo = line(2, LinkWeight::new(1, 1));
+        assert!(FaultPlan::new().is_empty());
+        assert!(FaultPlan::new().validate(&topo).is_ok());
+    }
+}

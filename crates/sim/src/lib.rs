@@ -23,9 +23,11 @@
 //! scenario replays identically across runs and machines.
 
 pub mod engine;
+pub mod fault;
 pub mod packet;
 pub mod stats;
 
 pub use engine::{AppEvent, CapacityModel, Ctx, Engine, Router, SimTime, TraceKind, TraceRecord};
+pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultSpec};
 pub use packet::{GroupId, Packet, PacketClass};
 pub use stats::SimStats;

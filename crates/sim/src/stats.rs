@@ -31,6 +31,22 @@ pub struct SimStats {
     deliveries: HashMap<(GroupId, u64, NodeId), (u64, u64)>,
     /// Maximum end-to-end delay seen over all deliveries.
     pub max_end_to_end_delay: u64,
+    /// Failure events injected (LinkDown / RouterCrash).
+    pub faults_injected: u64,
+    /// Time of the most recent injected failure, if any.
+    pub last_fault_at: Option<u64>,
+    /// Portion of `data_overhead` accrued while the network was degraded
+    /// (any node or link down).
+    pub data_overhead_during_failure: u64,
+    /// Portion of `protocol_overhead` accrued while degraded — the
+    /// "control overhead during failure" robustness metric.
+    pub control_overhead_during_failure: u64,
+    /// Tree repairs completed by the m-router's repair scan.
+    pub repairs: u64,
+    /// Σ over repairs of (repair time − most recent failure time).
+    pub repair_latency_total: u64,
+    /// Largest single repair latency observed.
+    pub max_repair_latency: u64,
 }
 
 impl SimStats {
@@ -69,6 +85,54 @@ impl SimStats {
     pub fn total_overhead(&self) -> u64 {
         self.data_overhead + self.protocol_overhead
     }
+
+    /// Record an injected failure (engine-internal).
+    pub fn note_fault(&mut self, now: u64) {
+        self.faults_injected += 1;
+        self.last_fault_at = Some(now);
+    }
+
+    /// Record a completed tree repair; latency is measured against the
+    /// most recent injected failure.
+    pub fn record_repair(&mut self, now: u64) {
+        self.repairs += 1;
+        if let Some(t0) = self.last_fault_at {
+            let latency = now.saturating_sub(t0);
+            self.repair_latency_total += latency;
+            self.max_repair_latency = self.max_repair_latency.max(latency);
+        }
+    }
+
+    /// Mean repair latency over all repairs, or 0.0 when none happened.
+    pub fn mean_repair_latency(&self) -> f64 {
+        if self.repairs == 0 {
+            0.0
+        } else {
+            self.repair_latency_total as f64 / self.repairs as f64
+        }
+    }
+
+    /// Fraction of `expected` `(group, tag, receiver)` triples that were
+    /// delivered at least once. An empty expectation yields 1.0 — a run
+    /// that offered nothing lost nothing.
+    pub fn delivery_ratio<I>(&self, expected: I) -> f64
+    where
+        I: IntoIterator<Item = (GroupId, u64, NodeId)>,
+    {
+        let mut total = 0u64;
+        let mut delivered = 0u64;
+        for key in expected {
+            total += 1;
+            if self.deliveries.get(&key).is_some_and(|e| e.0 > 0) {
+                delivered += 1;
+            }
+        }
+        if total == 0 {
+            1.0
+        } else {
+            delivered as f64 / total as f64
+        }
+    }
 }
 
 #[cfg(test)]
@@ -97,6 +161,41 @@ mod tests {
         assert_eq!(s.delivery_delay(GroupId(1), 5, NodeId(2)), Some(30));
         // Duplicate delivery does not inflate the max-delay metric.
         assert_eq!(s.max_end_to_end_delay, 30);
+    }
+
+    #[test]
+    fn fault_and_repair_accounting() {
+        let mut s = SimStats::default();
+        assert_eq!(s.mean_repair_latency(), 0.0);
+        s.note_fault(1_000);
+        s.note_fault(2_000);
+        assert_eq!(s.faults_injected, 2);
+        assert_eq!(s.last_fault_at, Some(2_000));
+        s.record_repair(2_700);
+        assert_eq!(s.repairs, 1);
+        assert_eq!(s.repair_latency_total, 700);
+        assert_eq!(s.max_repair_latency, 700);
+        s.record_repair(2_900);
+        assert_eq!(s.repair_latency_total, 700 + 900);
+        assert_eq!(s.max_repair_latency, 900);
+        assert!((s.mean_repair_latency() - 800.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn delivery_ratio_over_expected_triples() {
+        let mut s = SimStats::default();
+        s.record_delivery(GroupId(1), 0, NodeId(2), 10);
+        s.record_delivery(GroupId(1), 1, NodeId(2), 10);
+        // Expected: both delivered plus one the run never saw.
+        let expected = vec![
+            (GroupId(1), 0, NodeId(2)),
+            (GroupId(1), 1, NodeId(2)),
+            (GroupId(1), 1, NodeId(3)),
+        ];
+        let r = s.delivery_ratio(expected);
+        assert!((r - 2.0 / 3.0).abs() < 1e-9);
+        // Nothing expected → perfect ratio by convention.
+        assert_eq!(s.delivery_ratio(std::iter::empty()), 1.0);
     }
 
     #[test]

@@ -21,6 +21,8 @@
 //! * [`constraint`] — the three delay-constraint levels of Fig. 7
 //!   (tightest / moderate / loosest).
 //! * [`analysis`] — per-member delay stretch and link-stress reports.
+//! * [`repair`] — post-failure tree assessment (broken edges, detached
+//!   subtrees, orphaned members) feeding the m-router's repair scan.
 
 pub mod analysis;
 pub mod constraint;
@@ -28,11 +30,13 @@ pub mod dcdm;
 pub mod greedy;
 pub mod kmb;
 pub mod mst;
+pub mod repair;
 pub mod spt;
 pub mod tree;
 
 pub use constraint::{delay_bound, ConstraintLevel};
 pub use dcdm::{Dcdm, DelayBound, JoinOutcome};
+pub use repair::{assess, TreeDamage};
 pub use greedy::GreedySteiner;
 pub use kmb::kmb_tree;
 pub use spt::spt_tree;

@@ -1,0 +1,162 @@
+//! Post-failure tree assessment: which part of an installed multicast
+//! tree survives a set of link/node failures, and which members are
+//! orphaned.
+//!
+//! SCMP repairs trees centrally: the m-router periodically checks every
+//! mirrored tree against the domain's current liveness view (the IGP's
+//! link-state database) and re-runs DCDM over the surviving topology
+//! for the members it can still reach. This module provides the
+//! assessment half — a pure structural walk over the mirrored tree,
+//! independent of the simulator.
+
+use crate::tree::MulticastTree;
+use scmp_net::NodeId;
+use std::collections::BTreeSet;
+
+/// The result of checking a tree against a liveness view.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TreeDamage {
+    /// Tree edges `(parent, child)` whose link or child endpoint is
+    /// dead. Subtrees below these edges are detached from the root.
+    pub broken_edges: Vec<(NodeId, NodeId)>,
+    /// Every on-tree node no longer connected to the root *through the
+    /// tree* (the root itself is never listed, even when dead).
+    pub detached: BTreeSet<NodeId>,
+    /// The subset of `detached` that are members — the receivers that
+    /// stopped hearing data and need re-grafting.
+    pub orphaned_members: Vec<NodeId>,
+}
+
+impl TreeDamage {
+    /// True when every tree edge survived.
+    pub fn is_intact(&self) -> bool {
+        self.broken_edges.is_empty()
+    }
+}
+
+/// Walk `tree` from the root over live edges only and report what broke.
+///
+/// `node_up(v)` is the liveness of router `v`; `link_up(a, b)` the
+/// liveness of the (undirected) link `a`–`b`. A tree edge survives iff
+/// both endpoints and the link are up; everything below a failed edge is
+/// detached even if later edges are individually fine.
+pub fn assess(
+    tree: &MulticastTree,
+    mut node_up: impl FnMut(NodeId) -> bool,
+    mut link_up: impl FnMut(NodeId, NodeId) -> bool,
+) -> TreeDamage {
+    let mut damage = TreeDamage::default();
+    let root = tree.root();
+    let mut alive: BTreeSet<NodeId> = BTreeSet::new();
+    if node_up(root) {
+        alive.insert(root);
+        let mut stack = vec![root];
+        while let Some(v) = stack.pop() {
+            for &c in tree.children(v) {
+                if node_up(c) && link_up(v, c) {
+                    alive.insert(c);
+                    stack.push(c);
+                } else {
+                    damage.broken_edges.push((v, c));
+                }
+            }
+        }
+    } else {
+        // Dead root: every child edge is broken at the source.
+        for &c in tree.children(root) {
+            damage.broken_edges.push((root, c));
+        }
+    }
+    for v in tree.on_tree_nodes() {
+        if v != root && !alive.contains(&v) {
+            damage.detached.insert(v);
+            if tree.is_member(v) {
+                damage.orphaned_members.push(v);
+            }
+        }
+    }
+    damage
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tree over 7 nodes: 0 -> 1 -> 3, 1 -> 4, 0 -> 2 -> 5, 5 -> 6,
+    /// members {3, 4, 5, 6}.
+    fn sample() -> MulticastTree {
+        let mut t = MulticastTree::new(7, NodeId(0));
+        t.attach(NodeId(0), NodeId(1));
+        t.attach(NodeId(1), NodeId(3));
+        t.attach(NodeId(1), NodeId(4));
+        t.attach(NodeId(0), NodeId(2));
+        t.attach(NodeId(2), NodeId(5));
+        t.attach(NodeId(5), NodeId(6));
+        for m in [3u32, 4, 5, 6] {
+            t.add_member(NodeId(m));
+        }
+        t
+    }
+
+    #[test]
+    fn intact_when_everything_up() {
+        let d = assess(&sample(), |_| true, |_, _| true);
+        assert!(d.is_intact());
+        assert!(d.detached.is_empty());
+        assert!(d.orphaned_members.is_empty());
+    }
+
+    #[test]
+    fn cut_link_detaches_subtree() {
+        let d = assess(
+            &sample(),
+            |_| true,
+            |a, b| !(a == NodeId(0) && b == NodeId(1) || a == NodeId(1) && b == NodeId(0)),
+        );
+        assert_eq!(d.broken_edges, vec![(NodeId(0), NodeId(1))]);
+        assert_eq!(
+            d.detached,
+            [NodeId(1), NodeId(3), NodeId(4)].into_iter().collect()
+        );
+        assert_eq!(d.orphaned_members, vec![NodeId(3), NodeId(4)]);
+    }
+
+    #[test]
+    fn dead_forwarder_orphans_descendants() {
+        let d = assess(&sample(), |v| v != NodeId(5), |_, _| true);
+        assert_eq!(d.broken_edges, vec![(NodeId(2), NodeId(5))]);
+        assert_eq!(d.detached, [NodeId(5), NodeId(6)].into_iter().collect());
+        // Node 5 itself is a member and dead; 6 is a live orphan.
+        assert_eq!(d.orphaned_members, vec![NodeId(5), NodeId(6)]);
+    }
+
+    #[test]
+    fn off_tree_failures_do_not_matter() {
+        // Links not on the tree (e.g. 3-4) and nodes not on the tree can
+        // fail freely without damaging it.
+        let d = assess(
+            &sample(),
+            |_| true,
+            |a, b| !(a.0.min(b.0) == 3 && a.0.max(b.0) == 4),
+        );
+        assert!(d.is_intact());
+    }
+
+    #[test]
+    fn dead_root_detaches_everyone() {
+        let d = assess(&sample(), |v| v != NodeId(0), |_, _| true);
+        assert_eq!(d.broken_edges.len(), 2);
+        assert_eq!(d.detached.len(), 6);
+        assert_eq!(d.orphaned_members.len(), 4);
+    }
+
+    #[test]
+    fn deep_break_only_detaches_below() {
+        let d = assess(&sample(), |_| true, |a, b| {
+            !(a.0.min(b.0) == 5 && a.0.max(b.0) == 6)
+        });
+        assert_eq!(d.broken_edges, vec![(NodeId(5), NodeId(6))]);
+        assert_eq!(d.detached, [NodeId(6)].into_iter().collect());
+        assert_eq!(d.orphaned_members, vec![NodeId(6)]);
+    }
+}

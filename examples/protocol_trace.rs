@@ -51,6 +51,7 @@ fn main() {
                 format!("receives {kind} for {group:?} from {from}")
             }
             TraceKind::Timer { token } => format!("timer {token} fires"),
+            TraceKind::Fault(f) => format!("fault injected: {}", f.label()),
         };
         println!("{:>6}  n{:<5} {}", rec.time, rec.node.0, what);
     }

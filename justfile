@@ -1,0 +1,26 @@
+# Task runner for the SCMP reproduction. `just` is optional — every
+# recipe is a one-liner you can paste into a shell.
+
+default: test
+
+# Full test suite (debug profile).
+test:
+    cargo test -q
+
+# Tier-1 gate: release build + full test suite with cargo forced
+# offline (the repo vendors all dependencies).
+test-offline:
+    ./scripts/test-offline.sh
+
+# Release build only.
+build:
+    cargo build --release
+
+# Fault-injection demo: link cuts + router crash against Fig. 5.
+failstorm:
+    cargo run --example failstorm
+
+# Refresh the committed golden trace after an intentional protocol
+# change; review the diff like code.
+golden-update:
+    UPDATE_GOLDEN=1 cargo test -p scmp-integration --test golden_trace

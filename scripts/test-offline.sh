@@ -1,0 +1,9 @@
+#!/usr/bin/env sh
+# Tier-1 gate, runnable with no network access: everything this repo
+# needs is vendored under vendor/, so the build must succeed with cargo
+# forced offline. CI and the PR driver both call this.
+set -eu
+cd "$(dirname "$0")/.."
+export CARGO_NET_OFFLINE=true
+cargo build --release
+cargo test -q

@@ -3,8 +3,11 @@
 
 use proptest::prelude::*;
 use scmp_integration::{scenario, scmp_engine, G};
-use scmp_net::NodeId;
+use scmp_net::metrics::reachable_set;
+use scmp_net::{AllPairsPaths, NodeId};
 use scmp_sim::AppEvent;
+use scmp_tree::repair;
+use scmp_tree::{Dcdm, DelayBound};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
@@ -107,6 +110,64 @@ proptest! {
             if let Some(entry) = entry {
                 prop_assert_eq!(entry.upstream, tree.parent(v));
             }
+        }
+    }
+
+    /// Tree repair never partitions connected receivers: for any random
+    /// topology, member set and single-link failure, re-running DCDM on
+    /// the surviving topology yields a valid tree covering exactly the
+    /// members still reachable from the root.
+    #[test]
+    fn tree_repair_never_partitions_connected_receivers(
+        seed in 0u64..500,
+        n in 8usize..30,
+        g in 2usize..8,
+        kill in any::<u32>(),
+    ) {
+        let sc = scenario(seed, n, g);
+        let root = NodeId(0);
+        let paths = AllPairsPaths::compute(&sc.topo);
+        let mut dcdm = Dcdm::new(&sc.topo, &paths, root, DelayBound::Dynamic);
+        for &m in &sc.members {
+            dcdm.join(m);
+        }
+        let tree = dcdm.into_tree();
+        prop_assert_eq!(tree.validate(Some(&sc.topo)), Ok(()));
+
+        // Kill one link, chosen by the `kill` draw.
+        let edges = sc.topo.edges();
+        let (ka, kb, _) = edges[kill as usize % edges.len()];
+        let surviving = sc.topo.subtopology(
+            |_| true,
+            |a, b| !((a == ka && b == kb) || (a == kb && b == ka)),
+        );
+        let reachable = reachable_set(&surviving, root);
+
+        // The damage report must flag the cut iff it carried tree load.
+        let damage = repair::assess(&tree, |_| true, |a, b| surviving.has_link(a, b));
+        let on_tree = tree
+            .edges()
+            .iter()
+            .any(|&(p, c)| (p == ka && c == kb) || (p == kb && c == ka));
+        prop_assert_eq!(!damage.broken_edges.is_empty(), on_tree);
+
+        // Repair exactly as the m-router's scan does: rebuild with DCDM
+        // over the surviving topology for the reachable members.
+        let spaths = AllPairsPaths::compute(&surviving);
+        let mut rebuilt = Dcdm::new(&surviving, &spaths, root, DelayBound::Dynamic);
+        for &m in &sc.members {
+            if reachable[m.index()] {
+                rebuilt.join(m);
+            }
+        }
+        let repaired = rebuilt.into_tree();
+        prop_assert_eq!(repaired.validate(Some(&surviving)), Ok(()));
+        for &m in &sc.members {
+            prop_assert_eq!(
+                repaired.is_member(m),
+                reachable[m.index()],
+                "member {:?} (reachable = {})", m, reachable[m.index()]
+            );
         }
     }
 }

@@ -42,7 +42,7 @@ fn run_all(topo: &Topology, members: &[NodeId], source: NodeId) -> [SimStats; 4]
         e.stats().clone()
     };
     let cbt = {
-        let mut e = Engine::new(topo.clone(), |me, _, _| {
+        let mut e = Engine::new(topo.clone(), move |me, _, _| {
             CbtRouter::new(me, CbtConfig { core: center })
         });
         drive(&mut e, members, source);

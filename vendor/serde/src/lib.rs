@@ -1,0 +1,436 @@
+//! Offline stand-in for `serde` (see `vendor/README.md`).
+//!
+//! Upstream serde is a zero-copy visitor framework; this shim is a much
+//! simpler tree-based design that covers what the workspace needs: every
+//! [`Serialize`] type renders to a JSON [`Value`], every [`Deserialize`]
+//! type parses from one. `serde_json` (also vendored) supplies the
+//! text parser/printer over the same [`Value`].
+//!
+//! The `derive` feature re-exports the hand-written derive macros from
+//! the vendored `serde_derive`, which support exactly the container
+//! shapes and `#[serde(...)]` attributes used in this repository:
+//! named structs (with `#[serde(default)]` fields), newtype structs,
+//! unit-variant enums, internally tagged enums
+//! (`#[serde(tag = "...", rename_all = "lowercase")]`), and
+//! `#[serde(untagged)]` enums of newtype variants.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// An in-memory JSON document.
+///
+/// Integers keep their signedness (`U64` vs `I64`) so `u64` values above
+/// `i64::MAX` survive a round trip; floats are only produced for numbers
+/// written with a fraction or exponent.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Str(String),
+    Array(Vec<Value>),
+    /// Key-ordered as inserted (preserves document order).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Short name of the JSON kind, for error messages.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::U64(_) | Value::I64(_) | Value::F64(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// The fields when this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// The elements when this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string when this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric view as `f64` (any number kind).
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::U64(v) => Some(v as f64),
+            Value::I64(v) => Some(v as f64),
+            Value::F64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Numeric view as `u64` (non-negative integers only).
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::U64(v) => Some(v),
+            Value::I64(v) if v >= 0 => Some(v as u64),
+            _ => None,
+        }
+    }
+
+    /// Numeric view as `i64`.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::U64(v) if v <= i64::MAX as u64 => Some(v as i64),
+            Value::I64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Field lookup on objects (`None` for missing keys or non-objects).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()
+            .and_then(|fields| fields.iter().find(|(k, _)| k == key))
+            .map(|(_, v)| v)
+    }
+}
+
+static NULL: Value = Value::Null;
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    /// `value["key"]` — [`Value::Null`] for missing keys, like serde_json.
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+/// Field lookup helper used by the generated `Deserialize` impls.
+#[doc(hidden)]
+pub fn __field<'a>(fields: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// Types that can render themselves as a JSON [`Value`].
+pub trait Serialize {
+    /// Render as a JSON value.
+    fn to_json_value(&self) -> Value;
+}
+
+/// Types that can parse themselves from a JSON [`Value`].
+pub trait Deserialize: Sized {
+    /// Parse from a JSON value.
+    fn from_json_value(v: &Value) -> Result<Self, String>;
+
+    /// Called when a struct field is absent from the document. `Option`
+    /// overrides this to succeed with `None`; everything else errors,
+    /// which the derive turns into a "missing field" message.
+    fn from_json_missing() -> Result<Self, String> {
+        Err("missing".to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json_value(v: &Value) -> Result<Self, String> {
+                let raw = v
+                    .as_u64()
+                    .ok_or_else(|| format!("expected unsigned integer, got {}", v.kind_name()))?;
+                <$t>::try_from(raw).map_err(|_| format!("{raw} out of range for {}", stringify!($t)))
+            }
+        }
+    )*};
+}
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 { Value::U64(v as u64) } else { Value::I64(v) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json_value(v: &Value) -> Result<Self, String> {
+                let raw = v
+                    .as_i64()
+                    .ok_or_else(|| format!("expected integer, got {}", v.kind_name()))?;
+                <$t>::try_from(raw).map_err(|_| format!("{raw} out of range for {}", stringify!($t)))
+            }
+        }
+    )*};
+}
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_json_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_json_value(v: &Value) -> Result<Self, String> {
+        v.as_f64()
+            .ok_or_else(|| format!("expected number, got {}", v.kind_name()))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_json_value(&self) -> Value {
+        Value::F64(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_json_value(v: &Value) -> Result<Self, String> {
+        f64::from_json_value(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_json_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_json_value(v: &Value) -> Result<Self, String> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(format!("expected bool, got {}", other.kind_name())),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_json_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_json_value(v: &Value) -> Result<Self, String> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| format!("expected string, got {}", v.kind_name()))
+    }
+}
+
+impl Serialize for str {
+    fn to_json_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_json_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json_value(v: &Value) -> Result<Self, String> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_json_value(other).map(Some),
+        }
+    }
+
+    fn from_json_missing() -> Result<Self, String> {
+        Ok(None)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json_value(v: &Value) -> Result<Self, String> {
+        v.as_array()
+            .ok_or_else(|| format!("expected array, got {}", v.kind_name()))?
+            .iter()
+            .enumerate()
+            .map(|(i, item)| T::from_json_value(item).map_err(|e| format!("[{i}]: {e}")))
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json_value(&self) -> Value {
+        self.as_slice().to_json_value()
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_json_value(v: &Value) -> Result<Self, String> {
+        let items = Vec::<T>::from_json_value(v)?;
+        let got = items.len();
+        items
+            .try_into()
+            .map_err(|_| format!("expected array of {N} elements, got {got}"))
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for BTreeSet<T> {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn from_json_value(v: &Value) -> Result<Self, String> {
+        Vec::<T>::from_json_value(v).map(|items| items.into_iter().collect())
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_json_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_json_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_json_value(v: &Value) -> Result<Self, String> {
+        v.as_object()
+            .ok_or_else(|| format!("expected object, got {}", v.kind_name()))?
+            .iter()
+            .map(|(k, item)| {
+                V::from_json_value(item)
+                    .map(|parsed| (k.clone(), parsed))
+                    .map_err(|e| format!(".{k}: {e}"))
+            })
+            .collect()
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident : $idx:tt),+) with $len:expr;)*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_json_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_json_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_json_value(v: &Value) -> Result<Self, String> {
+                let items = v
+                    .as_array()
+                    .ok_or_else(|| format!("expected array, got {}", v.kind_name()))?;
+                if items.len() != $len {
+                    return Err(format!("expected {}-tuple, got {} elements", $len, items.len()));
+                }
+                Ok(($($name::from_json_value(&items[$idx]).map_err(|e| format!("[{}]: {e}", $idx))?,)+))
+            }
+        }
+    )*};
+}
+impl_serde_tuple! {
+    (A: 0) with 1;
+    (A: 0, B: 1) with 2;
+    (A: 0, B: 1, C: 2) with 3;
+    (A: 0, B: 1, C: 2, D: 3) with 4;
+}
+
+impl Serialize for Value {
+    fn to_json_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_json_value(v: &Value) -> Result<Self, String> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_and_eq() {
+        let v = Value::Object(vec![
+            ("level".to_string(), Value::Str("tightest".to_string())),
+            ("x".to_string(), Value::U64(3)),
+        ]);
+        assert!(v["level"] == "tightest");
+        assert_eq!(v["x"].as_f64(), Some(3.0));
+        assert_eq!(v["missing"], Value::Null);
+    }
+
+    #[test]
+    fn container_roundtrips() {
+        let original: (Vec<u32>, Option<i64>, [u64; 2]) = (vec![1, 2], Some(-5), [7, 8]);
+        let v = original.to_json_value();
+        let back = <(Vec<u32>, Option<i64>, [u64; 2])>::from_json_value(&v).unwrap();
+        assert_eq!(back, original);
+    }
+
+    #[test]
+    fn missing_field_semantics() {
+        assert!(u64::from_json_missing().is_err());
+        assert_eq!(Option::<u64>::from_json_missing(), Ok(None));
+    }
+
+    #[test]
+    fn range_checks() {
+        assert!(u8::from_json_value(&Value::U64(300)).is_err());
+        assert!(u64::from_json_value(&Value::I64(-1)).is_err());
+        assert_eq!(i32::from_json_value(&Value::I64(-7)), Ok(-7));
+    }
+}

@@ -1,0 +1,568 @@
+//! Offline stand-in for `serde_derive` (see `vendor/README.md`).
+//!
+//! Real serde_derive pulls in `syn`/`quote`; neither is available in
+//! this network-less build environment, so the item is parsed directly
+//! from the `proc_macro` token tree and the impl is emitted as a string.
+//! Supported container shapes (everything this workspace derives):
+//!
+//! * named structs, with per-field `#[serde(default)]`
+//! * newtype structs (`struct NodeId(pub u32)`)
+//! * enums of unit variants (serialized as their name string)
+//! * internally tagged enums of struct/unit variants:
+//!   `#[serde(tag = "kind", rename_all = "lowercase")]`
+//! * `#[serde(untagged)]` enums of newtype variants (tried in order)
+//!
+//! Anything else (generics, tuple structs with >1 field, adjacent/
+//! external tagging of data-carrying variants) panics at expansion time
+//! with a message naming this file, so a future extension is deliberate
+//! rather than silently wrong.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse(input);
+    gen_serialize(&item).parse().expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse(input);
+    gen_deserialize(&item).parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------- model
+
+#[derive(Default, Debug)]
+struct SerdeAttrs {
+    tag: Option<String>,
+    rename_all: Option<String>,
+    untagged: bool,
+    default: bool,
+}
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    default: bool,
+}
+
+#[derive(Debug)]
+enum VariantBody {
+    Unit,
+    Newtype,
+    Struct(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    body: VariantBody,
+}
+
+#[derive(Debug)]
+enum Kind {
+    NamedStruct(Vec<Field>),
+    NewtypeStruct,
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Item {
+    name: String,
+    attrs: SerdeAttrs,
+    kind: Kind,
+}
+
+// --------------------------------------------------------------- parser
+
+struct Cursor {
+    toks: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Self {
+        Cursor { toks: ts.into_iter().collect(), pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn is_punct(&self, ch: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ch)
+    }
+
+    fn is_ident(&self, word: &str) -> bool {
+        matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == word)
+    }
+
+    fn expect_ident(&mut self, what: &str) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde_derive shim: expected {what}, got {other:?}"),
+        }
+    }
+
+    /// Consume leading attributes, folding any `#[serde(...)]` content
+    /// into the returned attrs.
+    fn take_attrs(&mut self) -> SerdeAttrs {
+        let mut attrs = SerdeAttrs::default();
+        while self.is_punct('#') {
+            self.next();
+            match self.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                    parse_attr_group(g.stream(), &mut attrs);
+                }
+                other => panic!("serde_derive shim: malformed attribute, got {other:?}"),
+            }
+        }
+        attrs
+    }
+
+    /// Skip `pub` / `pub(crate)` / `pub(super)` etc.
+    fn skip_visibility(&mut self) {
+        if self.is_ident("pub") {
+            self.next();
+            if matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                self.next();
+            }
+        }
+    }
+
+    /// Skip tokens until a top-level comma (angle-bracket aware, so
+    /// `BTreeMap<String, u64>` counts as one chunk) or end of stream.
+    /// Consumes the comma. Returns false when the stream ended.
+    fn skip_type_to_comma(&mut self) -> bool {
+        let mut angle: i32 = 0;
+        while let Some(t) = self.next() {
+            if let TokenTree::Punct(p) = &t {
+                match p.as_char() {
+                    '<' => angle += 1,
+                    '>' => angle -= 1,
+                    ',' if angle == 0 => return true,
+                    _ => {}
+                }
+            }
+        }
+        false
+    }
+}
+
+fn parse_attr_group(stream: TokenStream, attrs: &mut SerdeAttrs) {
+    let mut c = Cursor::new(stream);
+    if !c.is_ident("serde") {
+        return; // #[doc], #[derive], #[inline], ... — not ours
+    }
+    c.next();
+    let inner = match c.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+        other => panic!("serde_derive shim: expected #[serde(...)], got {other:?}"),
+    };
+    let mut c = Cursor::new(inner);
+    while let Some(t) = c.next() {
+        let key = match t {
+            TokenTree::Ident(i) => i.to_string(),
+            TokenTree::Punct(p) if p.as_char() == ',' => continue,
+            other => panic!("serde_derive shim: unexpected token in #[serde(...)]: {other:?}"),
+        };
+        let value = if c.is_punct('=') {
+            c.next();
+            match c.next() {
+                Some(TokenTree::Literal(l)) => Some(strip_quotes(&l.to_string())),
+                other => panic!("serde_derive shim: expected string after {key} =, got {other:?}"),
+            }
+        } else {
+            None
+        };
+        match (key.as_str(), value) {
+            ("tag", Some(v)) => attrs.tag = Some(v),
+            ("rename_all", Some(v)) => attrs.rename_all = Some(v),
+            ("untagged", None) => attrs.untagged = true,
+            ("default", None) => attrs.default = true,
+            (other, v) => panic!(
+                "serde_derive shim: unsupported serde attribute {other}{}",
+                if v.is_some() { " = \"...\"" } else { "" }
+            ),
+        }
+    }
+}
+
+fn strip_quotes(lit: &str) -> String {
+    lit.trim_matches('"').to_string()
+}
+
+fn parse(input: TokenStream) -> Item {
+    let mut c = Cursor::new(input);
+    let attrs = c.take_attrs();
+    c.skip_visibility();
+    let keyword = c.expect_ident("`struct` or `enum`");
+    let name = c.expect_ident("item name");
+    if c.is_punct('<') {
+        panic!("serde_derive shim: generic type {name} not supported");
+    }
+    let kind = match keyword.as_str() {
+        "struct" => match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                if n != 1 {
+                    panic!("serde_derive shim: tuple struct {name} has {n} fields; only newtypes supported");
+                }
+                Kind::NewtypeStruct
+            }
+            other => panic!("serde_derive shim: unsupported struct body for {name}: {other:?}"),
+        },
+        "enum" => match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive shim: malformed enum {name}: {other:?}"),
+        },
+        other => panic!("serde_derive shim: cannot derive for `{other}` items"),
+    };
+    Item { name, attrs, kind }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut c = Cursor::new(stream);
+    let mut fields = Vec::new();
+    loop {
+        let attrs = c.take_attrs();
+        c.skip_visibility();
+        if c.peek().is_none() {
+            break;
+        }
+        let name = c.expect_ident("field name");
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive shim: expected `:` after field {name}, got {other:?}"),
+        }
+        fields.push(Field { name, default: attrs.default });
+        if !c.skip_type_to_comma() {
+            break;
+        }
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut c = Cursor::new(stream);
+    // Leading attrs/visibility belong to the first field.
+    let _ = c.take_attrs();
+    c.skip_visibility();
+    if c.peek().is_none() {
+        return 0;
+    }
+    let mut n = 1;
+    while c.skip_type_to_comma() {
+        let _ = c.take_attrs();
+        c.skip_visibility();
+        if c.peek().is_none() {
+            break; // trailing comma
+        }
+        n += 1;
+    }
+    n
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut c = Cursor::new(stream);
+    let mut variants = Vec::new();
+    loop {
+        let _ = c.take_attrs();
+        if c.peek().is_none() {
+            break;
+        }
+        let name = c.expect_ident("variant name");
+        let body = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                c.next();
+                VariantBody::Struct(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                if n != 1 {
+                    panic!("serde_derive shim: variant {name} has {n} tuple fields; only newtype variants supported");
+                }
+                c.next();
+                VariantBody::Newtype
+            }
+            _ => VariantBody::Unit,
+        };
+        variants.push(Variant { name, body });
+        if c.is_punct(',') {
+            c.next();
+        } else {
+            break;
+        }
+    }
+    variants
+}
+
+// -------------------------------------------------------------- helpers
+
+fn rename(variant: &str, rule: Option<&str>) -> String {
+    match rule {
+        None => variant.to_string(),
+        Some("lowercase") => variant.to_lowercase(),
+        Some("UPPERCASE") => variant.to_uppercase(),
+        Some("snake_case") => {
+            let mut out = String::new();
+            for (i, ch) in variant.chars().enumerate() {
+                if ch.is_uppercase() {
+                    if i > 0 {
+                        out.push('_');
+                    }
+                    out.extend(ch.to_lowercase());
+                } else {
+                    out.push(ch);
+                }
+            }
+            out
+        }
+        Some(other) => panic!("serde_derive shim: unsupported rename_all = \"{other}\""),
+    }
+}
+
+fn wrap(name: &str, trait_name: &str, body: &str) -> String {
+    format!(
+        "const _: () = {{\n\
+             #[automatically_derived]\n\
+             impl ::serde::{trait_name} for {name} {{\n\
+                 {body}\n\
+             }}\n\
+         }};"
+    )
+}
+
+// ------------------------------------------------------------ Serialize
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::NamedStruct(fields) => {
+            let mut pushes = String::new();
+            for f in fields {
+                let fname = &f.name;
+                pushes.push_str(&format!(
+                    "fields.push((\"{fname}\".to_string(), ::serde::Serialize::to_json_value(&self.{fname})));\n"
+                ));
+            }
+            format!(
+                "fn to_json_value(&self) -> ::serde::Value {{\n\
+                     let mut fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n\
+                     {pushes}\
+                     ::serde::Value::Object(fields)\n\
+                 }}"
+            )
+        }
+        Kind::NewtypeStruct => "fn to_json_value(&self) -> ::serde::Value {\n\
+                 ::serde::Serialize::to_json_value(&self.0)\n\
+             }"
+        .to_string(),
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.body {
+                    VariantBody::Unit if item.attrs.tag.is_none() && !item.attrs.untagged => {
+                        let ren = rename(vname, item.attrs.rename_all.as_deref());
+                        arms.push_str(&format!(
+                            "{name}::{vname} => ::serde::Value::Str(\"{ren}\".to_string()),\n"
+                        ));
+                    }
+                    VariantBody::Unit => {
+                        let tag = item.attrs.tag.as_deref().unwrap_or_else(|| {
+                            panic!("serde_derive shim: untagged unit variant {name}::{vname} unsupported")
+                        });
+                        let ren = rename(vname, item.attrs.rename_all.as_deref());
+                        arms.push_str(&format!(
+                            "{name}::{vname} => ::serde::Value::Object(vec![(\"{tag}\".to_string(), ::serde::Value::Str(\"{ren}\".to_string()))]),\n"
+                        ));
+                    }
+                    VariantBody::Newtype => {
+                        if !item.attrs.untagged {
+                            panic!("serde_derive shim: newtype variant {name}::{vname} requires #[serde(untagged)]");
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vname}(inner) => ::serde::Serialize::to_json_value(inner),\n"
+                        ));
+                    }
+                    VariantBody::Struct(fields) => {
+                        let tag = item.attrs.tag.as_deref().unwrap_or_else(|| {
+                            panic!("serde_derive shim: struct variant {name}::{vname} requires #[serde(tag = ...)]")
+                        });
+                        let ren = rename(vname, item.attrs.rename_all.as_deref());
+                        let pat: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let mut pushes = String::new();
+                        for f in fields {
+                            let fname = &f.name;
+                            pushes.push_str(&format!(
+                                "fields.push((\"{fname}\".to_string(), ::serde::Serialize::to_json_value({fname})));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {pat} }} => {{\n\
+                                 let mut fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = vec![(\"{tag}\".to_string(), ::serde::Value::Str(\"{ren}\".to_string()))];\n\
+                                 {pushes}\
+                                 ::serde::Value::Object(fields)\n\
+                             }}\n",
+                            pat = pat.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "fn to_json_value(&self) -> ::serde::Value {{\n\
+                     match self {{\n{arms}\n}}\n\
+                 }}"
+            )
+        }
+    };
+    wrap(name, "Serialize", &body)
+}
+
+// ---------------------------------------------------------- Deserialize
+
+/// Field extraction expression shared by struct and tagged-variant codegen.
+fn field_expr(container: &str, f: &Field) -> String {
+    let fname = &f.name;
+    if f.default {
+        format!(
+            "{fname}: match ::serde::__field(obj, \"{fname}\") {{\n\
+                 ::std::option::Option::Some(fv) => ::serde::Deserialize::from_json_value(fv)\n\
+                     .map_err(|e| format!(\"{container}.{fname}: {{}}\", e))?,\n\
+                 ::std::option::Option::None => ::std::default::Default::default(),\n\
+             }},\n"
+        )
+    } else {
+        format!(
+            "{fname}: match ::serde::__field(obj, \"{fname}\") {{\n\
+                 ::std::option::Option::Some(fv) => ::serde::Deserialize::from_json_value(fv)\n\
+                     .map_err(|e| format!(\"{container}.{fname}: {{}}\", e))?,\n\
+                 ::std::option::Option::None => ::serde::Deserialize::from_json_missing()\n\
+                     .map_err(|_| \"{container}: missing field `{fname}`\".to_string())?,\n\
+             }},\n"
+        )
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::NamedStruct(fields) => {
+            let extracts: String = fields.iter().map(|f| field_expr(name, f)).collect();
+            format!(
+                "fn from_json_value(v: &::serde::Value) -> ::std::result::Result<Self, ::std::string::String> {{\n\
+                     let obj = v.as_object().ok_or_else(|| format!(\"{name}: expected object, got {{}}\", v.kind_name()))?;\n\
+                     ::std::result::Result::Ok({name} {{\n{extracts}}})\n\
+                 }}"
+            )
+        }
+        Kind::NewtypeStruct => format!(
+            "fn from_json_value(v: &::serde::Value) -> ::std::result::Result<Self, ::std::string::String> {{\n\
+                 ::std::result::Result::Ok({name}(::serde::Deserialize::from_json_value(v)?))\n\
+             }}"
+        ),
+        Kind::Enum(variants) if item.attrs.untagged => {
+            let mut tries = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.body {
+                    VariantBody::Newtype => tries.push_str(&format!(
+                        "if let ::std::result::Result::Ok(inner) = ::serde::Deserialize::from_json_value(v) {{\n\
+                             return ::std::result::Result::Ok({name}::{vname}(inner));\n\
+                         }}\n"
+                    )),
+                    _ => panic!(
+                        "serde_derive shim: untagged enum {name} supports only newtype variants"
+                    ),
+                }
+            }
+            format!(
+                "fn from_json_value(v: &::serde::Value) -> ::std::result::Result<Self, ::std::string::String> {{\n\
+                     {tries}\
+                     ::std::result::Result::Err(format!(\"{name}: no variant matched {{}}\", v.kind_name()))\n\
+                 }}"
+            )
+        }
+        Kind::Enum(variants) if item.attrs.tag.is_some() => {
+            let tag = item.attrs.tag.as_deref().expect("checked");
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                let ren = rename(vname, item.attrs.rename_all.as_deref());
+                match &v.body {
+                    VariantBody::Unit => arms.push_str(&format!(
+                        "\"{ren}\" => ::std::result::Result::Ok({name}::{vname}),\n"
+                    )),
+                    VariantBody::Struct(fields) => {
+                        let container = format!("{name}::{vname}");
+                        let extracts: String =
+                            fields.iter().map(|f| field_expr(&container, f)).collect();
+                        arms.push_str(&format!(
+                            "\"{ren}\" => ::std::result::Result::Ok({name}::{vname} {{\n{extracts}}}),\n"
+                        ));
+                    }
+                    VariantBody::Newtype => panic!(
+                        "serde_derive shim: tagged newtype variant {name}::{vname} unsupported"
+                    ),
+                }
+            }
+            format!(
+                "fn from_json_value(v: &::serde::Value) -> ::std::result::Result<Self, ::std::string::String> {{\n\
+                     let obj = v.as_object().ok_or_else(|| format!(\"{name}: expected object, got {{}}\", v.kind_name()))?;\n\
+                     let tag = ::serde::__field(obj, \"{tag}\")\n\
+                         .and_then(|t| t.as_str())\n\
+                         .ok_or_else(|| \"{name}: missing or non-string tag `{tag}`\".to_string())?;\n\
+                     match tag {{\n\
+                         {arms}\
+                         other => ::std::result::Result::Err(format!(\"{name}: unknown tag {{other:?}}\")),\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Kind::Enum(variants) => {
+            // Externally tagged; only unit variants (serialized as strings).
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.body {
+                    VariantBody::Unit => {
+                        let ren = rename(vname, item.attrs.rename_all.as_deref());
+                        arms.push_str(&format!(
+                            "\"{ren}\" => ::std::result::Result::Ok({name}::{vname}),\n"
+                        ));
+                    }
+                    _ => panic!(
+                        "serde_derive shim: externally tagged data-carrying variant {name}::{vname} unsupported (use #[serde(tag)] or #[serde(untagged)])"
+                    ),
+                }
+            }
+            format!(
+                "fn from_json_value(v: &::serde::Value) -> ::std::result::Result<Self, ::std::string::String> {{\n\
+                     let s = v.as_str().ok_or_else(|| format!(\"{name}: expected string, got {{}}\", v.kind_name()))?;\n\
+                     match s {{\n\
+                         {arms}\
+                         other => ::std::result::Result::Err(format!(\"{name}: unknown variant {{other:?}}\")),\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    wrap(name, "Deserialize", &body)
+}

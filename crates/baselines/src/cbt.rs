@@ -289,7 +289,9 @@ mod tests {
     const G: GroupId = GroupId(1);
 
     fn engine(core: NodeId) -> Engine<CbtRouter> {
-        Engine::new(fig5(), move |me, _, _| CbtRouter::new(me, CbtConfig { core }))
+        Engine::new(fig5(), move |me, _, _| {
+            CbtRouter::new(me, CbtConfig { core })
+        })
     }
 
     #[test]

@@ -102,7 +102,10 @@ impl DvmrpRouter {
         ctx: &mut Ctx<'_, DvmrpMsg>,
     ) {
         let now = ctx.now();
-        self.sources_seen.entry(pkt.group).or_default().insert(source);
+        self.sources_seen
+            .entry(pkt.group)
+            .or_default()
+            .insert(source);
         if self.members.has(pkt.group) {
             ctx.deliver_local(pkt);
         }
@@ -145,12 +148,27 @@ impl DvmrpRouter {
         self.flood(Some(from), &pkt, source, ctx);
     }
 
-    fn handle_prune(&mut self, from: NodeId, group: GroupId, source: NodeId, ctx: &mut Ctx<'_, DvmrpMsg>) {
+    fn handle_prune(
+        &mut self,
+        from: NodeId,
+        group: GroupId,
+        source: NodeId,
+        ctx: &mut Ctx<'_, DvmrpMsg>,
+    ) {
         let expiry = ctx.now() + self.config.prune_timeout;
-        self.pruned.entry((group, source)).or_default().insert(from, expiry);
+        self.pruned
+            .entry((group, source))
+            .or_default()
+            .insert(from, expiry);
     }
 
-    fn handle_graft(&mut self, from: NodeId, group: GroupId, source: NodeId, ctx: &mut Ctx<'_, DvmrpMsg>) {
+    fn handle_graft(
+        &mut self,
+        from: NodeId,
+        group: GroupId,
+        source: NodeId,
+        ctx: &mut Ctx<'_, DvmrpMsg>,
+    ) {
         if let Some(m) = self.pruned.get_mut(&(group, source)) {
             m.remove(&from);
         }
@@ -223,7 +241,12 @@ mod tests {
 
     fn engine(timeout: u64) -> Engine<DvmrpRouter> {
         Engine::new(fig5(), move |me, _, _| {
-            DvmrpRouter::new(me, DvmrpConfig { prune_timeout: timeout })
+            DvmrpRouter::new(
+                me,
+                DvmrpConfig {
+                    prune_timeout: timeout,
+                },
+            )
         })
     }
 
@@ -284,7 +307,11 @@ mod tests {
         e.schedule_app(500_000, NodeId(5), AppEvent::Join(G));
         e.schedule_app(600_000, NodeId(0), AppEvent::Send { group: G, tag: 2 });
         e.run_to_quiescence();
-        assert_eq!(e.stats().delivery_count(G, 2, NodeId(5)), 1, "grafted member");
+        assert_eq!(
+            e.stats().delivery_count(G, 2, NodeId(5)),
+            1,
+            "grafted member"
+        );
         assert_eq!(e.stats().delivery_count(G, 2, NodeId(4)), 1);
     }
 

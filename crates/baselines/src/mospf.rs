@@ -99,7 +99,14 @@ impl MospfRouter {
             if Some(n) != exclude {
                 ctx.send(
                     n,
-                    Packet::control(group, MospfMsg::Lsa { origin, member, seq }),
+                    Packet::control(
+                        group,
+                        MospfMsg::Lsa {
+                            origin,
+                            member,
+                            seq,
+                        },
+                    ),
                 );
             }
         }
@@ -160,7 +167,12 @@ impl MospfRouter {
         (targets, on_path)
     }
 
-    fn handle_data(&mut self, from: Option<NodeId>, pkt: Packet<MospfMsg>, ctx: &mut Ctx<'_, MospfMsg>) {
+    fn handle_data(
+        &mut self,
+        from: Option<NodeId>,
+        pkt: Packet<MospfMsg>,
+        ctx: &mut Ctx<'_, MospfMsg>,
+    ) {
         let MospfMsg::Data { source } = pkt.body else {
             unreachable!()
         };
@@ -192,7 +204,11 @@ impl Router for MospfRouter {
 
     fn on_packet(&mut self, from: NodeId, pkt: Packet<MospfMsg>, ctx: &mut Ctx<'_, MospfMsg>) {
         match pkt.body {
-            MospfMsg::Lsa { origin, member, seq } => {
+            MospfMsg::Lsa {
+                origin,
+                member,
+                seq,
+            } => {
                 let last = self.lsa_seen.get(&origin).copied().unwrap_or(0);
                 if seq <= last {
                     ctx.drop_packet();
@@ -297,7 +313,10 @@ mod tests {
         e.schedule_app(10_000, NodeId(4), AppEvent::Leave(G));
         e.run_to_quiescence();
         for v in 0..6u32 {
-            assert!(e.router(NodeId(v)).known_members(G).is_empty(), "router {v}");
+            assert!(
+                e.router(NodeId(v)).known_members(G).is_empty(),
+                "router {v}"
+            );
         }
         // Data now goes nowhere.
         e.schedule_app(200_000, NodeId(0), AppEvent::Send { group: G, tag: 3 });

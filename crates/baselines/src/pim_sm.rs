@@ -234,7 +234,9 @@ mod tests {
     const G: GroupId = GroupId(1);
 
     fn engine(rp: NodeId) -> Engine<PimSmRouter> {
-        Engine::new(fig5(), move |me, _, _| PimSmRouter::new(me, PimConfig { rp }))
+        Engine::new(fig5(), move |me, _, _| {
+            PimSmRouter::new(me, PimConfig { rp })
+        })
     }
 
     #[test]

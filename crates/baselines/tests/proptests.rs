@@ -42,7 +42,10 @@ fn drive<R: Router>(e: &mut Engine<R>, members: &[NodeId], source: NodeId, packe
         e.schedule_app(
             t + 400_000 + k * 50_000,
             source,
-            AppEvent::Send { group: G, tag: k + 1 },
+            AppEvent::Send {
+                group: G,
+                tag: k + 1,
+            },
         );
     }
     e.run_to_quiescence();

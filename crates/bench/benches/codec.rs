@@ -25,7 +25,10 @@ fn star(n: usize) -> MulticastTree {
 
 fn bench_codec(c: &mut Criterion) {
     let mut g = c.benchmark_group("tree_packet");
-    for (shape, make) in [("chain", chain as fn(usize) -> MulticastTree), ("star", star)] {
+    for (shape, make) in [
+        ("chain", chain as fn(usize) -> MulticastTree),
+        ("star", star),
+    ] {
         for &n in &[16usize, 128, 512] {
             let tree = make(n);
             let pkt = TreePacket::from_tree(&tree, NodeId(0));

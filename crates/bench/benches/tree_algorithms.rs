@@ -29,21 +29,29 @@ fn bench_construction(c: &mut Criterion) {
     let mut g = c.benchmark_group("tree_construction");
     for &(n, gs) in &[(50usize, 20usize), (100, 50), (200, 80)] {
         let (topo, paths, members) = setup(n, gs);
-        g.bench_with_input(BenchmarkId::new("dcdm", format!("n{n}_g{gs}")), &(), |b, _| {
-            b.iter(|| {
-                let mut d = Dcdm::new(&topo, &paths, NodeId(0), DelayBound::Dynamic);
-                for &m in &members {
-                    d.join(m);
-                }
-                d.into_tree().tree_cost(&topo)
-            })
-        });
-        g.bench_with_input(BenchmarkId::new("kmb", format!("n{n}_g{gs}")), &(), |b, _| {
-            b.iter(|| kmb_tree(&topo, &paths, NodeId(0), &members).tree_cost(&topo))
-        });
-        g.bench_with_input(BenchmarkId::new("spt", format!("n{n}_g{gs}")), &(), |b, _| {
-            b.iter(|| spt_tree(&topo, &paths, NodeId(0), &members).tree_cost(&topo))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("dcdm", format!("n{n}_g{gs}")),
+            &(),
+            |b, _| {
+                b.iter(|| {
+                    let mut d = Dcdm::new(&topo, &paths, NodeId(0), DelayBound::Dynamic);
+                    for &m in &members {
+                        d.join(m);
+                    }
+                    d.into_tree().tree_cost(&topo)
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("kmb", format!("n{n}_g{gs}")),
+            &(),
+            |b, _| b.iter(|| kmb_tree(&topo, &paths, NodeId(0), &members).tree_cost(&topo)),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("spt", format!("n{n}_g{gs}")),
+            &(),
+            |b, _| b.iter(|| spt_tree(&topo, &paths, NodeId(0), &members).tree_cost(&topo)),
+        );
     }
     g.finish();
 }

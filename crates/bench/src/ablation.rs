@@ -10,14 +10,13 @@
 
 use crate::netperf::{self, Protocol, TopologyKind};
 use rand::seq::SliceRandom;
-use scmp_core::router::{ScmpConfig, ScmpDomain, ScmpRouter};
+use scmp_core::router::ScmpConfig;
 use scmp_net::rng::rng_for;
 use scmp_net::topology::{waxman, WaxmanConfig};
 use scmp_net::{AllPairsPaths, Metric, NodeId};
-use scmp_sim::Engine;
+use scmp_protocols::build_scmp_engine;
 use scmp_tree::{Dcdm, DelayBound};
 use serde::Serialize;
-use std::sync::Arc;
 
 /// BRANCH-ablation data point.
 #[derive(Clone, Debug, Serialize)]
@@ -41,11 +40,7 @@ pub fn run_branch(seeds: u64) -> Vec<BranchPoint> {
             for (flag, acc) in [(false, &mut with_branch), (true, &mut tree_only)] {
                 let mut cfg = ScmpConfig::new(sc.center);
                 cfg.tree_packets_only = flag;
-                let domain = ScmpDomain::new(sc.topo.clone(), cfg);
-                let mut e = Engine::new(sc.topo.clone(), {
-                    let domain = Arc::clone(&domain);
-                    move |me, _, _| ScmpRouter::new(me, Arc::clone(&domain))
-                });
+                let mut e = build_scmp_engine(sc.topo.clone(), cfg);
                 let mut t = 0;
                 for &m in &sc.members {
                     e.schedule_app(t, m, scmp_sim::AppEvent::Join(scmp_sim::GroupId(1)));

@@ -26,7 +26,13 @@ fn main() {
     report::print_table(
         "DCDM candidate set ablation (Waxman n=100, dynamic bound)",
         &[
-            "group", "cost_both", "cost_lc", "cost_sl", "delay_both", "delay_lc", "delay_sl",
+            "group",
+            "cost_both",
+            "cost_lc",
+            "cost_sl",
+            "delay_both",
+            "delay_lc",
+            "delay_sl",
         ],
         &rows,
     );

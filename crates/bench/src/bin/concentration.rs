@@ -24,7 +24,14 @@ fn main() {
         .collect();
     report::print_table(
         "Traffic concentration at the tree root (burst load)",
-        &["root", "sources", "queue_drops", "max_queue_wait", "max_e2e", "delivery_rate"],
+        &[
+            "root",
+            "sources",
+            "queue_drops",
+            "max_queue_wait",
+            "max_e2e",
+            "delivery_rate",
+        ],
         &rows,
     );
     report::write_json("concentration", &points);

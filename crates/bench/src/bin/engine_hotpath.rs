@@ -1,0 +1,34 @@
+//! Engine hot-path microbenchmark (see `scmp_bench::hotpath`).
+//!
+//! Usage: `engine_hotpath [sends] [reps]` — defaults 5000 payloads,
+//! 3 repetitions. Writes `bench_results/engine_hotpath.json`.
+
+use scmp_bench::{hotpath, report};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let sends: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(5_000);
+    let reps: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(3);
+    let result = hotpath::run(sends, reps);
+    let rows: Vec<Vec<String>> = result
+        .runs
+        .iter()
+        .map(|r| {
+            vec![
+                r.events.to_string(),
+                format!("{:.1}", r.wall_ms),
+                format!("{:.0}", r.events_per_sec),
+            ]
+        })
+        .collect();
+    report::print_table(
+        "Engine hot path: dedup flood on random50-deg5",
+        &["events", "wall_ms", "events/sec"],
+        &rows,
+    );
+    println!(
+        "peak queue depth {}  best {:.0} events/sec",
+        result.peak_queue_depth, result.best_events_per_sec
+    );
+    report::write_json("engine_hotpath", &result);
+}

@@ -23,7 +23,13 @@ fn main() {
         .collect();
     report::print_table(
         "Shared-tree trio on random50-deg3 (30 pkts, off-tree source)",
-        &["protocol", "group", "data_overhead", "protocol_overhead", "max_e2e"],
+        &[
+            "protocol",
+            "group",
+            "data_overhead",
+            "protocol_overhead",
+            "max_e2e",
+        ],
         &rows,
     );
     report::write_json("extra_pimsm", &points);

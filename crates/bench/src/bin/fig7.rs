@@ -33,8 +33,15 @@ fn main() {
         report::print_table(
             &format!("Fig 7 — delay constraint: {level}"),
             &[
-                "group", "spt_delay", "kmb_delay", "dcdm_delay", "greedy_delay", "spt_cost",
-                "kmb_cost", "dcdm_cost", "greedy_cost",
+                "group",
+                "spt_delay",
+                "kmb_delay",
+                "dcdm_delay",
+                "greedy_delay",
+                "spt_cost",
+                "kmb_cost",
+                "dcdm_cost",
+                "greedy_cost",
             ],
             &rows,
         );

@@ -11,14 +11,11 @@ fn main() {
         .unwrap_or(10);
     let points = netperf::run_suite(seeds);
     for kind in netperf::TopologyKind::ALL {
-        for (metric, pick) in [
-            ("data overhead", 0usize),
-            ("protocol overhead", 1),
-        ] {
+        for (metric, pick) in [("data overhead", 0usize), ("protocol overhead", 1)] {
             let mut rows = Vec::new();
             for gs in kind.group_sizes() {
                 let mut row = vec![gs.to_string()];
-                for proto in netperf::Protocol::ALL {
+                for proto in netperf::Protocol::FIG_8_9 {
                     let p = points
                         .iter()
                         .find(|p| {

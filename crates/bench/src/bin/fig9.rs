@@ -13,7 +13,7 @@ fn main() {
         let mut rows = Vec::new();
         for gs in kind.group_sizes() {
             let mut row = vec![gs.to_string()];
-            for proto in netperf::Protocol::ALL {
+            for proto in netperf::Protocol::FIG_8_9 {
                 let p = points
                     .iter()
                     .find(|p| {

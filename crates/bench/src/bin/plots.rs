@@ -72,7 +72,11 @@ fn main() {
                             .collect(),
                     })
                     .collect();
-                let fig = if metric == "max_e2e_delay" { "fig9" } else { "fig8" };
+                let fig = if metric == "max_e2e_delay" {
+                    "fig9"
+                } else {
+                    "fig8"
+                };
                 let svg = render(
                     &ChartConfig {
                         title: format!("{label} — {topo}"),

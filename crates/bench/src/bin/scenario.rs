@@ -17,7 +17,10 @@ fn main() {
     };
     match run_scenario(&json) {
         Ok(result) => {
-            println!("{}", serde_json::to_string_pretty(&result).expect("serialisable"));
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&result).expect("serialisable")
+            );
         }
         Err(e) => {
             eprintln!("scenario error: {e}");

@@ -15,13 +15,13 @@
 //! an *m-router* root (fast fabric ports). Measured: congestion drops,
 //! queueing delay and end-to-end delay.
 
-use scmp_core::router::{ScmpConfig, ScmpDomain, ScmpRouter};
+use scmp_core::router::ScmpConfig;
 use scmp_net::graph::LinkWeight;
 use scmp_net::topology::regular::star;
 use scmp_net::NodeId;
-use scmp_sim::{AppEvent, CapacityModel, Engine, GroupId, SimStats};
+use scmp_protocols::build_scmp_engine;
+use scmp_sim::{AppEvent, CapacityModel, GroupId, SimStats};
 use serde::Serialize;
-use std::sync::Arc;
 
 const G: GroupId = GroupId(1);
 /// Per-packet serialisation time on an ordinary line card.
@@ -62,10 +62,7 @@ fn run_once(sources: usize, fast_root: bool, seed: u64) -> SimStats {
     let n = 1 + MEMBERS + sources.max(1);
     let topo = star(n, LinkWeight::new(50, 10));
     let center = NodeId(0);
-    let domain = ScmpDomain::new(topo.clone(), ScmpConfig::new(center));
-    let mut e = Engine::new(topo.clone(), move |me, _, _| {
-        ScmpRouter::new(me, Arc::clone(&domain))
-    });
+    let mut e = build_scmp_engine(topo.clone(), ScmpConfig::new(center));
     let mut cap = CapacityModel::uniform(ORDINARY_TX, QUEUE_LIMIT);
     if fast_root {
         cap = cap.with_node_tx(center, MROUTER_TX);
@@ -110,7 +107,12 @@ pub fn run(seeds: u64) -> Vec<ConcentrationPoint> {
                 rate.push(stats.distinct_deliveries() as f64 / expected);
             }
             out.push(ConcentrationPoint {
-                root_kind: if fast_root { "m-router" } else { "ordinary-core" }.to_string(),
+                root_kind: if fast_root {
+                    "m-router"
+                } else {
+                    "ordinary-core"
+                }
+                .to_string(),
                 sources,
                 queue_drops: crate::report::mean(&drops),
                 max_queueing_delay: crate::report::mean(&qd),
@@ -161,6 +163,9 @@ mod tests {
             .filter(|p| p.root_kind == "m-router")
             .map(|p| p.queue_drops)
             .fold(0.0f64, f64::max);
-        assert!(worst_m <= worst_ord, "m-router {worst_m} > ordinary {worst_ord}");
+        assert!(
+            worst_m <= worst_ord,
+            "m-router {worst_m} > ordinary {worst_ord}"
+        );
     }
 }

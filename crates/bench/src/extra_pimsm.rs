@@ -8,11 +8,9 @@
 //! overhead, CBT sits between.
 
 use crate::netperf::{scenario, TopologyKind, PACKETS, SECOND};
-use scmp_baselines::{CbtConfig, CbtRouter, PimConfig, PimSmRouter};
-use scmp_core::router::{ScmpConfig, ScmpDomain, ScmpRouter};
-use scmp_sim::{AppEvent, Engine, GroupId, Router, SimStats};
+use scmp_protocols::{build_engine, ProtocolKind, ProtocolParams};
+use scmp_sim::{AppEvent, EngineRunner, GroupId, SimStats};
 use serde::Serialize;
-use std::sync::Arc;
 
 /// One averaged data point.
 #[derive(Clone, Debug, Serialize)]
@@ -26,7 +24,7 @@ pub struct PimPoint {
 
 const G: GroupId = GroupId(1);
 
-fn drive<R: Router>(e: &mut Engine<R>, sc: &crate::netperf::Scenario) {
+fn drive(e: &mut dyn EngineRunner, sc: &crate::netperf::Scenario) {
     let mut t = 0;
     for &m in &sc.members {
         e.schedule_app(t, m, AppEvent::Join(G));
@@ -34,47 +32,31 @@ fn drive<R: Router>(e: &mut Engine<R>, sc: &crate::netperf::Scenario) {
     }
     let start = t + 4 * SECOND;
     for k in 0..PACKETS {
-        e.schedule_app(start + k * SECOND, sc.source, AppEvent::Send { group: G, tag: k + 1 });
+        e.schedule_app(
+            start + k * SECOND,
+            sc.source,
+            AppEvent::Send {
+                group: G,
+                tag: k + 1,
+            },
+        );
     }
     e.run_to_quiescence();
 }
 
 fn run_cell(proto: &str, gs: usize, seed: u64) -> SimStats {
     let sc = scenario(TopologyKind::Random50Deg3, gs, seed);
-    match proto {
-        "scmp" => {
-            let domain = ScmpDomain::new(sc.topo.clone(), ScmpConfig::new(sc.center));
-            let mut e = Engine::new(sc.topo.clone(), move |me, _, _| {
-                ScmpRouter::new(me, Arc::clone(&domain))
-            });
-            drive(&mut e, &sc);
-            e.stats().clone()
-        }
-        "cbt" => {
-            let core = sc.center;
-            let mut e = Engine::new(sc.topo.clone(), move |me, _, _| {
-                CbtRouter::new(me, CbtConfig { core })
-            });
-            drive(&mut e, &sc);
-            e.stats().clone()
-        }
-        "pim-sm" => {
-            let rp = sc.center;
-            let mut e = Engine::new(sc.topo.clone(), move |me, _, _| {
-                PimSmRouter::new(me, PimConfig { rp })
-            });
-            drive(&mut e, &sc);
-            e.stats().clone()
-        }
-        _ => unreachable!(),
-    }
+    let kind = ProtocolKind::parse(proto).expect("registered protocol");
+    let mut e = build_engine(kind, &sc.topo, &ProtocolParams::new(sc.center));
+    drive(e.as_mut(), &sc);
+    e.stats().clone()
 }
 
 /// Sweep the shared-tree trio over group sizes on the degree-3 topology.
 pub fn run(seeds: u64) -> Vec<PimPoint> {
     let mut out = Vec::new();
     for gs in TopologyKind::Random50Deg3.group_sizes() {
-        for proto in ["scmp", "cbt", "pim-sm"] {
+        for proto in ProtocolKind::SHARED_TREE.map(ProtocolKind::label) {
             let mut data = Vec::new();
             let mut ctrl = Vec::new();
             let mut e2e = Vec::new();
@@ -117,7 +99,10 @@ mod tests {
         let (scmp_d, _) = sums["scmp"];
         let (cbt_d, cbt_c) = sums["cbt"];
         let (pim_d, pim_c) = sums["pim-sm"];
-        assert!(pim_c < cbt_c, "single-pass join beats join+ack: {pim_c} vs {cbt_c}");
+        assert!(
+            pim_c < cbt_c,
+            "single-pass join beats join+ack: {pim_c} vs {cbt_c}"
+        );
         assert!(scmp_d <= cbt_d, "DCDM tree beats CBT SPT tree on data");
         // With an off-tree source next to the center, all three pay the
         // same detour, so PIM's penalty only shows for member sources;

@@ -10,7 +10,9 @@ use rand::seq::SliceRandom;
 use scmp_net::rng::rng_for;
 use scmp_net::topology::{waxman, WaxmanConfig};
 use scmp_net::{AllPairsPaths, NodeId};
-use scmp_tree::{delay_bound, kmb_tree, spt_tree, ConstraintLevel, Dcdm, DelayBound, GreedySteiner};
+use scmp_tree::{
+    delay_bound, kmb_tree, spt_tree, ConstraintLevel, Dcdm, DelayBound, GreedySteiner,
+};
 use serde::Serialize;
 
 /// One averaged data point of the figure.

@@ -1,0 +1,175 @@
+//! Engine hot-path microbenchmark: raw event throughput of the
+//! discrete-event core, independent of any protocol logic.
+//!
+//! A dedup-flood protocol (the cheapest state machine that still
+//! exercises `send`/`deliver_local` fan-out) floods a 50-node
+//! average-degree-5 GT-ITM topology with a burst of payloads. Every
+//! flood packet crosses every live link once in each direction, so the
+//! event count is dominated by queue push/pop — exactly the path the
+//! arena-backed [`scmp_sim::Engine`] queue optimises. The binary writes
+//! events/sec and peak queue depth to `bench_results/engine_hotpath.json`;
+//! EXPERIMENTS.md tracks the numbers across engine changes.
+
+use scmp_net::rng::rng_for;
+use scmp_net::topology::{gt_itm_flat, GtItmConfig};
+use scmp_net::NodeId;
+use scmp_sim::{AppEvent, Ctx, Engine, GroupId, Packet, Router};
+use serde::Serialize;
+use std::collections::HashSet;
+use std::time::Instant;
+
+/// Dedup-flood: forward every unseen payload to all neighbours except
+/// the one it came from.
+struct Flood {
+    me: NodeId,
+    seen: HashSet<u64>,
+}
+
+#[derive(Clone, Debug)]
+struct Payload;
+
+impl Router for Flood {
+    type Msg = Payload;
+
+    fn on_packet(&mut self, from: NodeId, pkt: Packet<Payload>, ctx: &mut Ctx<'_, Payload>) {
+        if !self.seen.insert(pkt.tag) {
+            ctx.drop_packet();
+            return;
+        }
+        ctx.deliver_local(&pkt);
+        let me = self.me;
+        let neighbors: Vec<NodeId> = ctx.topo().neighbors(me).iter().map(|e| e.to).collect();
+        for n in neighbors {
+            if n != from {
+                ctx.send(n, pkt.clone());
+            }
+        }
+    }
+
+    fn on_app(&mut self, ev: AppEvent, ctx: &mut Ctx<'_, Payload>) {
+        if let AppEvent::Send { group, tag } = ev {
+            self.seen.insert(tag);
+            let pkt = Packet::data(group, tag, ctx.now(), Payload);
+            ctx.deliver_local(&pkt);
+            let me = self.me;
+            let neighbors: Vec<NodeId> = ctx.topo().neighbors(me).iter().map(|e| e.to).collect();
+            for n in neighbors {
+                ctx.send(n, pkt.clone());
+            }
+        }
+    }
+}
+
+/// One timed repetition.
+#[derive(Clone, Debug, Serialize)]
+pub struct HotpathRun {
+    /// Events dispatched by the engine.
+    pub events: u64,
+    /// Wall-clock milliseconds for the run.
+    pub wall_ms: f64,
+    /// Throughput of this repetition.
+    pub events_per_sec: f64,
+}
+
+/// The benchmark's JSON artefact.
+#[derive(Clone, Debug, Serialize)]
+pub struct HotpathResult {
+    /// Topology label.
+    pub topology: String,
+    /// Node count.
+    pub nodes: usize,
+    /// Undirected edge count.
+    pub edges: usize,
+    /// Flood payloads injected.
+    pub sends: u64,
+    /// Events dispatched per repetition (identical across reps — the
+    /// engine is deterministic).
+    pub events: u64,
+    /// Deepest the event queue got (same every rep).
+    pub peak_queue_depth: usize,
+    /// Best observed throughput (the least-noisy estimate).
+    pub best_events_per_sec: f64,
+    /// Every timed repetition.
+    pub runs: Vec<HotpathRun>,
+}
+
+fn build_engine() -> Engine<Flood> {
+    let topo = gt_itm_flat(&GtItmConfig::paper(5.0), &mut rng_for("engine-hotpath", 0));
+    Engine::new(topo, |me, _, _| Flood {
+        me,
+        seen: HashSet::new(),
+    })
+}
+
+/// Run the flood benchmark: `sends` payloads injected in bursts of 50
+/// (one per node), repeated `reps` times on a fresh engine each rep.
+pub fn run(sends: u64, reps: u64) -> HotpathResult {
+    let probe = build_engine();
+    let nodes = probe.topo().node_count();
+    let edges = probe.topo().edge_count();
+    let mut runs = Vec::new();
+    let mut events = 0;
+    let mut peak = 0;
+    for _ in 0..reps.max(1) {
+        let mut e = build_engine();
+        // Inject in per-tick bursts (one send per node) so the queue
+        // carries many concurrent floods — a deep, realistic heap.
+        for tag in 0..sends {
+            let node = NodeId((tag % nodes as u64) as u32);
+            let time = (tag / nodes as u64) * 10;
+            e.schedule_app(
+                time,
+                node,
+                AppEvent::Send {
+                    group: GroupId(1),
+                    tag,
+                },
+            );
+        }
+        let t0 = Instant::now();
+        let n = e.run_to_quiescence();
+        let wall = t0.elapsed();
+        events = n;
+        peak = e.peak_queue_depth();
+        let wall_ms = wall.as_secs_f64() * 1e3;
+        runs.push(HotpathRun {
+            events: n,
+            wall_ms,
+            events_per_sec: n as f64 / wall.as_secs_f64().max(1e-9),
+        });
+    }
+    let best = runs
+        .iter()
+        .map(|r| r.events_per_sec)
+        .fold(0.0_f64, f64::max);
+    HotpathResult {
+        topology: "random50-deg5".to_string(),
+        nodes,
+        edges,
+        sends,
+        events,
+        peak_queue_depth: peak,
+        best_events_per_sec: best,
+        runs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flood_benchmark_is_deterministic_and_busy() {
+        let a = run(200, 1);
+        let b = run(200, 1);
+        assert_eq!(a.events, b.events, "event count must not vary across runs");
+        assert_eq!(a.peak_queue_depth, b.peak_queue_depth);
+        // 200 floods over ~125 edges: well over 10k events.
+        assert!(a.events > 10_000, "only {} events", a.events);
+        assert!(
+            a.peak_queue_depth > 50,
+            "queue never got deep: {}",
+            a.peak_queue_depth
+        );
+    }
+}

@@ -19,6 +19,7 @@ pub mod ablation;
 pub mod concentration;
 pub mod extra_pimsm;
 pub mod fig7;
+pub mod hotpath;
 pub mod netperf;
 pub mod placement_exp;
 pub mod plot;

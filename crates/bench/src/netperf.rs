@@ -11,15 +11,18 @@
 
 use rand::seq::SliceRandom;
 use rand::Rng;
-use scmp_baselines::{CbtConfig, CbtRouter, DvmrpConfig, DvmrpRouter, MospfRouter};
 use scmp_core::placement;
-use scmp_core::router::{ScmpConfig, ScmpDomain, ScmpRouter};
 use scmp_net::rng::rng_for;
 use scmp_net::topology::{arpanet, gt_itm_flat, GtItmConfig};
 use scmp_net::{AllPairsPaths, NodeId, Topology};
-use scmp_sim::{AppEvent, Engine, GroupId, Router, SimStats};
+use scmp_protocols::{build_engine, ProtocolParams};
+use scmp_sim::{AppEvent, EngineRunner, GroupId, SimStats};
 use serde::Serialize;
-use std::sync::Arc;
+
+/// The protocol registry's kind enum, re-exported under the name this
+/// harness has always used. The Fig. 8/9 sweeps iterate
+/// [`Protocol::FIG_8_9`]; [`Protocol::ALL`] additionally covers PIM-SM.
+pub use scmp_protocols::ProtocolKind as Protocol;
 
 /// One simulated "second" in engine ticks.
 pub const SECOND: u64 = 50_000;
@@ -69,35 +72,6 @@ impl TopologyKind {
         match self {
             TopologyKind::Arpanet => vec![2, 4, 6, 8, 10, 12, 14, 16, 18],
             _ => vec![5, 10, 15, 20, 25, 30, 35, 40],
-        }
-    }
-}
-
-/// The four protocols of Fig. 8/9.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
-pub enum Protocol {
-    Scmp,
-    Cbt,
-    Dvmrp,
-    Mospf,
-}
-
-impl Protocol {
-    /// All four, in the paper's order of discussion.
-    pub const ALL: [Protocol; 4] = [
-        Protocol::Scmp,
-        Protocol::Cbt,
-        Protocol::Dvmrp,
-        Protocol::Mospf,
-    ];
-
-    /// Output label.
-    pub fn label(self) -> &'static str {
-        match self {
-            Protocol::Scmp => "scmp",
-            Protocol::Cbt => "cbt",
-            Protocol::Dvmrp => "dvmrp",
-            Protocol::Mospf => "mospf",
         }
     }
 }
@@ -183,7 +157,7 @@ const GROUP: GroupId = GroupId(1);
 
 /// Drive a scenario on any protocol's engine: staggered joins, a settle
 /// gap, then the 30-packet data phase.
-fn drive<R: Router>(e: &mut Engine<R>, sc: &Scenario) {
+fn drive(e: &mut dyn EngineRunner, sc: &Scenario) {
     let mut t = 0;
     for &m in &sc.members {
         e.schedule_app(t, m, AppEvent::Join(GROUP));
@@ -204,50 +178,27 @@ fn drive<R: Router>(e: &mut Engine<R>, sc: &Scenario) {
 }
 
 fn check_delivery(stats: &SimStats, sc: &Scenario) -> bool {
-    sc.members.iter().all(|&m| {
-        (1..=PACKETS).all(|tag| stats.delivery_count(GROUP, tag, m) == 1)
-    })
+    sc.members
+        .iter()
+        .all(|&m| (1..=PACKETS).all(|tag| stats.delivery_count(GROUP, tag, m) == 1))
 }
 
-/// Run one (topology, protocol, group size, seed) cell.
+/// Run one (topology, protocol, group size, seed) cell. Construction is
+/// delegated to the protocol registry; this harness only drives.
 pub fn run_one(kind: TopologyKind, proto: Protocol, group_size: usize, seed: u64) -> RunMetrics {
     let sc = scenario(kind, group_size, seed);
-    let stats = match proto {
-        Protocol::Scmp => {
-            let domain = ScmpDomain::new(sc.topo.clone(), ScmpConfig::new(sc.center));
-            let mut e = Engine::new(sc.topo.clone(), move |me, _, _| {
-                ScmpRouter::new(me, Arc::clone(&domain))
-            });
-            drive(&mut e, &sc);
-            e.stats().clone()
-        }
-        Protocol::Cbt => {
-            let core = sc.center;
-            let mut e = Engine::new(sc.topo.clone(), move |me, _, _| {
-                CbtRouter::new(me, CbtConfig { core })
-            });
-            drive(&mut e, &sc);
-            e.stats().clone()
-        }
-        Protocol::Dvmrp => {
-            let cfg = DvmrpConfig {
-                prune_timeout: 10 * SECOND,
-            };
-            let mut e = Engine::new(sc.topo.clone(), move |me, _, _| DvmrpRouter::new(me, cfg));
-            drive(&mut e, &sc);
-            e.stats().clone()
-        }
-        Protocol::Mospf => {
-            let mut e = Engine::new(sc.topo.clone(), |me, _, _| MospfRouter::new(me));
-            drive(&mut e, &sc);
-            e.stats().clone()
-        }
+    let params = ProtocolParams {
+        center: sc.center,
+        dvmrp_prune_timeout: 10 * SECOND,
     };
+    let mut e = build_engine(proto, &sc.topo, &params);
+    drive(e.as_mut(), &sc);
+    let stats = e.stats();
     RunMetrics {
         data_overhead: stats.data_overhead,
         protocol_overhead: stats.protocol_overhead,
         max_e2e_delay: stats.max_end_to_end_delay,
-        all_delivered: check_delivery(&stats, &sc),
+        all_delivered: check_delivery(stats, &sc),
     }
 }
 
@@ -258,7 +209,7 @@ pub fn run_suite(seeds: u64) -> Vec<NetPoint> {
     let mut out = Vec::new();
     for kind in TopologyKind::ALL {
         for gs in kind.group_sizes() {
-            for proto in Protocol::ALL {
+            for proto in Protocol::FIG_8_9 {
                 let metrics: Vec<RunMetrics> = std::thread::scope(|s| {
                     let handles: Vec<_> = (0..seeds)
                         .map(|seed| s.spawn(move || run_one(kind, proto, gs, seed)))
@@ -270,7 +221,10 @@ pub fn run_suite(seeds: u64) -> Vec<NetPoint> {
                     protocol: proto.label().to_string(),
                     group_size: gs,
                     data_overhead: crate::report::mean(
-                        &metrics.iter().map(|m| m.data_overhead as f64).collect::<Vec<_>>(),
+                        &metrics
+                            .iter()
+                            .map(|m| m.data_overhead as f64)
+                            .collect::<Vec<_>>(),
                     ),
                     protocol_overhead: crate::report::mean(
                         &metrics
@@ -279,7 +233,10 @@ pub fn run_suite(seeds: u64) -> Vec<NetPoint> {
                             .collect::<Vec<_>>(),
                     ),
                     max_e2e_delay: crate::report::mean(
-                        &metrics.iter().map(|m| m.max_e2e_delay as f64).collect::<Vec<_>>(),
+                        &metrics
+                            .iter()
+                            .map(|m| m.max_e2e_delay as f64)
+                            .collect::<Vec<_>>(),
                     ),
                     delivery_ok: crate::report::mean(
                         &metrics
@@ -312,7 +269,10 @@ mod tests {
         let dvmrp = run_one(TopologyKind::Arpanet, Protocol::Dvmrp, 4, 1);
         let scmp = run_one(TopologyKind::Arpanet, Protocol::Scmp, 4, 1);
         let cbt = run_one(TopologyKind::Arpanet, Protocol::Cbt, 4, 1);
-        assert!(dvmrp.data_overhead > scmp.data_overhead, "{dvmrp:?} vs {scmp:?}");
+        assert!(
+            dvmrp.data_overhead > scmp.data_overhead,
+            "{dvmrp:?} vs {scmp:?}"
+        );
         assert!(dvmrp.data_overhead > cbt.data_overhead);
     }
 
@@ -330,7 +290,10 @@ mod tests {
         // SCMP/CBT detour via the center; MOSPF delivers source-rooted.
         let mospf = run_one(TopologyKind::Random50Deg3, Protocol::Mospf, 10, 3);
         let scmp = run_one(TopologyKind::Random50Deg3, Protocol::Scmp, 10, 3);
-        assert!(mospf.max_e2e_delay <= scmp.max_e2e_delay, "{mospf:?} vs {scmp:?}");
+        assert!(
+            mospf.max_e2e_delay <= scmp.max_e2e_delay,
+            "{mospf:?} vs {scmp:?}"
+        );
     }
 
     #[test]

@@ -192,7 +192,9 @@ pub fn render(cfg: &ChartConfig, series: &[Series]) -> String {
 }
 
 fn esc(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 fn fmt_num(v: f64) -> String {

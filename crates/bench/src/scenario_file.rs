@@ -19,13 +19,13 @@
 //! ```
 
 use scmp_core::placement;
-use scmp_core::router::{ScmpConfig, ScmpDomain, ScmpRouter};
+use scmp_core::router::ScmpConfig;
 use scmp_net::rng::rng_for;
 use scmp_net::topology::{arpanet, gt_itm_flat, waxman, GtItmConfig, WaxmanConfig};
 use scmp_net::{AllPairsPaths, NodeId, Topology};
-use scmp_sim::{AppEvent, CapacityModel, Engine, FaultPlan, FaultSpec, GroupId, SimStats};
+use scmp_protocols::build_scmp_engine;
+use scmp_sim::{AppEvent, CapacityModel, FaultPlan, FaultSpec, GroupId, SimStats};
 use serde::{Deserialize, Serialize};
-use std::sync::Arc;
 
 /// Topology selection.
 #[derive(Clone, Debug, Deserialize, Serialize)]
@@ -288,10 +288,7 @@ pub fn run_scenario(json: &str) -> Result<ScenarioResult, String> {
         perpetual_timers = config.repair_interval > 0 || config.heartbeat_interval > 0;
     }
 
-    let domain = ScmpDomain::new(topo.clone(), config);
-    let mut engine = Engine::new(topo.clone(), move |me, _, _| {
-        ScmpRouter::new(me, Arc::clone(&domain))
-    });
+    let mut engine = build_scmp_engine(topo.clone(), config);
     if let Some(cap) = &spec.capacity {
         let mut model = CapacityModel::uniform(cap.link_tx, cap.queue_limit);
         if let Some(tx) = cap.m_router_tx {
@@ -451,11 +448,15 @@ mod tests {
     fn errors_are_reported() {
         assert!(run_scenario("{").is_err());
         let bad_node = BASIC.replace("\"node\": 4", "\"node\": 99");
-        assert!(run_scenario(&bad_node).unwrap_err().contains("out of range"));
+        assert!(run_scenario(&bad_node)
+            .unwrap_err()
+            .contains("out of range"));
         let bad_op = BASIC.replace("\"op\": \"send\"", "\"op\": \"explode\"");
         assert!(run_scenario(&bad_op).unwrap_err().contains("unknown op"));
         let bad_rule = BASIC.replace("\"rule1\"", "\"rule9\"");
-        assert!(run_scenario(&bad_rule).unwrap_err().contains("placement rule"));
+        assert!(run_scenario(&bad_rule)
+            .unwrap_err()
+            .contains("placement rule"));
     }
 
     #[test]
@@ -517,9 +518,16 @@ mod tests {
         assert_eq!(r.faults_injected, 1);
         assert!(r.repairs >= 1, "repair scan must fire after the cut");
         // Both sends reach all three members thanks to the repair.
-        assert!((r.delivery_ratio - 1.0).abs() < 1e-9, "ratio {}", r.delivery_ratio);
+        assert!(
+            (r.delivery_ratio - 1.0).abs() < 1e-9,
+            "ratio {}",
+            r.delivery_ratio
+        );
         assert!(r.max_repair_latency <= 4_000);
-        assert!(r.data_overhead_during_failure > 0, "post-cut send is charged");
+        assert!(
+            r.data_overhead_during_failure > 0,
+            "post-cut send is charged"
+        );
     }
 
     #[test]
@@ -531,18 +539,26 @@ mod tests {
         assert_eq!(r.repairs, 0);
         // tag 1 reaches everyone, tag 2 only node 4 of the three
         // members: 4 of 6 expected triples.
-        assert!((r.delivery_ratio - 4.0 / 6.0).abs() < 1e-9, "ratio {}", r.delivery_ratio);
+        assert!(
+            (r.delivery_ratio - 4.0 / 6.0).abs() < 1e-9,
+            "ratio {}",
+            r.delivery_ratio
+        );
     }
 
     #[test]
     fn fault_validation_errors() {
         let bad_link = FAULTY.replace("\"a\": 0, \"b\": 2", "\"a\": 0, \"b\": 5");
-        assert!(run_scenario(&bad_link).unwrap_err().contains("does not exist"));
+        assert!(run_scenario(&bad_link)
+            .unwrap_err()
+            .contains("does not exist"));
         let bad_node = FAULTY.replace(
             "{ \"kind\": \"link_down\", \"a\": 0, \"b\": 2 }",
             "{ \"kind\": \"router_crash\", \"node\": 77 }",
         );
-        assert!(run_scenario(&bad_node).unwrap_err().contains("out of range"));
+        assert!(run_scenario(&bad_node)
+            .unwrap_err()
+            .contains("out of range"));
     }
 
     #[test]

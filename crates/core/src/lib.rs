@@ -11,11 +11,12 @@
 //!   Fig. 6 example byte-for-byte, plus the BRANCH packet.
 //! * [`igmp`] — the host/subnet-facing IGMPv2-like model of §II-C
 //!   (queries, reports with suppression, leaves, DR election).
-//! * [`router`] — the [`ScmpRouter`] state machine: i-router forwarding
-//!   (§III-F), member joining/leaving (§III-B/C), TREE/BRANCH processing
-//!   (§III-E), and the m-router (§III-D: centralized DCDM tree
-//!   construction, membership database, accounting log, hot-standby
-//!   mirroring).
+//! * [`router`] — the [`ScmpRouter`] state machine, a module tree split
+//!   by role: DR duties (§III-B/C/F) in `dr`, the m-router (§III-D:
+//!   centralized DCDM tree construction, membership database,
+//!   accounting log) in `mrouter`, hot-standby mirroring and takeover
+//!   in `standby`, with the shared domain view and configuration in
+//!   `domain`/`config`.
 //! * [`placement`] — the three §IV-A heuristics for locating the
 //!   m-router.
 //! * [`session`] — multicast session and group-address management

@@ -77,16 +77,31 @@ mod tests {
     #[test]
     fn labels_cover_all_variants() {
         let msgs = [
-            ScmpMsg::Join { requester: NodeId(1) },
-            ScmpMsg::Leave { requester: NodeId(1) },
+            ScmpMsg::Join {
+                requester: NodeId(1),
+            },
+            ScmpMsg::Leave {
+                requester: NodeId(1),
+            },
             ScmpMsg::Prune,
-            ScmpMsg::Tree { gen: 1, packet: TreePacket::leaf() },
-            ScmpMsg::Branch { gen: 1, packet: BranchPacket { path: vec![NodeId(1)] } },
+            ScmpMsg::Tree {
+                gen: 1,
+                packet: TreePacket::leaf(),
+            },
+            ScmpMsg::Branch {
+                gen: 1,
+                packet: BranchPacket {
+                    path: vec![NodeId(1)],
+                },
+            },
             ScmpMsg::Flush { gen: 1 },
             ScmpMsg::Data,
             ScmpMsg::EncapData,
             ScmpMsg::Heartbeat { seq: 0 },
-            ScmpMsg::StandbySync { member: NodeId(1), joined: true },
+            ScmpMsg::StandbySync {
+                member: NodeId(1),
+                joined: true,
+            },
             ScmpMsg::NewMRouter { address: NodeId(2) },
             ScmpMsg::LeaveAck,
         ];

@@ -117,8 +117,8 @@ pub fn place(rule: PlacementRule, topo: &Topology, paths: &AllPairsPaths) -> Nod
 mod tests {
     use super::*;
     use scmp_net::graph::LinkWeight;
-    use scmp_net::topology::regular::{line, star};
     use scmp_net::topology::examples::fig5;
+    use scmp_net::topology::regular::{line, star};
 
     #[test]
     fn rule1_picks_center_of_line() {
@@ -178,8 +178,7 @@ mod tests {
                 .sum();
             s as f64 / (topo.node_count() - 1) as f64
         };
-        let mean_all: f64 =
-            topo.nodes().map(avg_of).sum::<f64>() / topo.node_count() as f64;
+        let mean_all: f64 = topo.nodes().map(avg_of).sum::<f64>() / topo.node_count() as f64;
         assert!(avg_of(r1) < mean_all, "rule 1 must beat the average node");
     }
 

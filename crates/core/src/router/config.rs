@@ -1,0 +1,77 @@
+//! Domain-wide protocol configuration (§III-A: "provisioned in every
+//! router's configuration file").
+
+use scmp_net::NodeId;
+use scmp_tree::DelayBound;
+
+/// Domain-wide SCMP configuration, shared by every router.
+#[derive(Clone, Debug)]
+pub struct ScmpConfig {
+    /// The (primary) m-router's address, provisioned in every router's
+    /// configuration file (§III-A).
+    pub m_router: NodeId,
+    /// Additional m-routers for the §II-A extension ("an ISP may own
+    /// more than one m-routers ... our approach can be easily extended
+    /// to multiple m-routers per domain"). Groups are assigned
+    /// round-robin by group id across `[m_router] ∪ extra_m_routers`.
+    /// Mutually exclusive with `standby` (hot-standby failover is
+    /// implemented for the single-m-router configuration).
+    pub extra_m_routers: Vec<NodeId>,
+    /// Optional hot-standby m-router.
+    pub standby: Option<NodeId>,
+    /// Delay-bound regime handed to DCDM.
+    pub bound: DelayBound,
+    /// Primary→standby heartbeat period (0 disables failover machinery).
+    pub heartbeat_interval: u64,
+    /// After a takeover, wait this long before pushing rebuilt TREE
+    /// packets (lets the NewMRouter announcements land first).
+    pub takeover_rebuild_delay: u64,
+    /// Ablation switch: always distribute full TREE packets, never
+    /// BRANCH packets (§III-E motivates BRANCH as the cheap path; the
+    /// `ablation_branch` bench quantifies it).
+    pub tree_packets_only: bool,
+    /// Tear down a session after its group has been memberless this long
+    /// (§II-C: "tear down an expired multicast session" and "revoke a
+    /// multicast address from an abandoned multicast group").
+    /// 0 disables expiry.
+    pub session_expiry: u64,
+    /// Retransmit a JOIN if the tree has not reached this DR after this
+    /// long — protects membership against congestion-dropped JOIN or
+    /// TREE/BRANCH packets when the link-capacity model is active.
+    /// Retries back off exponentially (`join_retry << attempt`, capped)
+    /// and give up after [`MAX_RETRIES`](super::MAX_RETRIES). 0 disables
+    /// retries.
+    pub join_retry: u64,
+    /// Retransmit an unacknowledged LEAVE after this long, with the same
+    /// backoff/give-up policy as `join_retry`. LEAVE is the one §III
+    /// message whose loss silently strands membership (and billing)
+    /// state at the m-router, so the m-router acks it with LEAVE-ACK
+    /// and the DR retries until acked. 0 disables retries.
+    pub leave_retry: u64,
+    /// m-router repair-scan period: every interval, check each mirrored
+    /// tree against the domain's liveness view (the IGP's link-state
+    /// database) and re-run DCDM over the surviving topology when the
+    /// tree is damaged or a logged member is reachable but off-tree.
+    /// 0 disables the scan. Note: a non-zero interval re-arms forever,
+    /// so drive such simulations with `run_until`, not quiescence.
+    pub repair_interval: u64,
+}
+
+impl ScmpConfig {
+    /// Plain configuration: given m-router, dynamic bound, no standby.
+    pub fn new(m_router: NodeId) -> Self {
+        ScmpConfig {
+            m_router,
+            extra_m_routers: Vec::new(),
+            standby: None,
+            bound: DelayBound::Dynamic,
+            heartbeat_interval: 0,
+            takeover_rebuild_delay: 1_000,
+            tree_packets_only: false,
+            session_expiry: 0,
+            join_retry: 500_000,
+            leave_retry: 500_000,
+            repair_interval: 0,
+        }
+    }
+}

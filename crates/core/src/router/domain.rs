@@ -1,0 +1,39 @@
+//! The immutable per-domain context shared by every router.
+
+use super::ScmpConfig;
+use scmp_net::{AllPairsPaths, Topology};
+use std::sync::Arc;
+
+/// Immutable domain context shared by all routers (the m-router's global
+/// knowledge; i-routers only use the topology for neighbour checks).
+#[derive(Debug)]
+pub struct ScmpDomain {
+    /// The domain topology.
+    pub topo: Topology,
+    /// Precomputed `P_sl`/`P_lc` tables (link-state database).
+    pub paths: AllPairsPaths,
+    /// Protocol configuration.
+    pub config: ScmpConfig,
+    /// Failover view: the topology with the primary m-router's links
+    /// removed, plus its path tables. Precomputed when a standby is
+    /// configured so the takeover plans trees around the dead primary.
+    pub failover: Option<(Topology, AllPairsPaths)>,
+}
+
+impl ScmpDomain {
+    /// Build the shared context (computes the path tables).
+    pub fn new(topo: Topology, config: ScmpConfig) -> Arc<Self> {
+        let paths = AllPairsPaths::compute(&topo);
+        let failover = config.standby.map(|_| {
+            let ft = topo.without_node(config.m_router);
+            let fp = AllPairsPaths::compute(&ft);
+            (ft, fp)
+        });
+        Arc::new(ScmpDomain {
+            topo,
+            paths,
+            config,
+            failover,
+        })
+    }
+}

@@ -1,0 +1,332 @@
+//! The designated-router side of the state machine: host membership
+//! (§III-B, §III-C), the data plane (§III-F) and TREE/BRANCH/PRUNE
+//! processing (§III-E). Everything here runs on every router; the
+//! m-router-only logic lives in the sibling `mrouter` module.
+
+use super::{ScmpRouter, BACKOFF_CAP, MAX_RETRIES, TIMER_JOIN_RETRY_BASE, TIMER_LEAVE_RETRY_BASE};
+use crate::igmp::{HostId, MembershipEdge};
+use crate::message::ScmpMsg;
+use crate::tree_packet::{BranchPacket, TreePacket};
+use scmp_net::NodeId;
+use scmp_sim::{Ctx, GroupId, Packet};
+
+impl ScmpRouter {
+    // ------------------------------------------------------------------
+    // Member joining / leaving (§III-B, §III-C)
+    // ------------------------------------------------------------------
+
+    pub(super) fn handle_host_join(&mut self, group: GroupId, ctx: &mut Ctx<'_, ScmpMsg>) {
+        let host = HostId(self.next_host);
+        self.next_host += 1;
+        let edge = self.subnet.host_join(host, group);
+        self.joined_hosts.entry(group).or_default().push(host);
+        if edge != MembershipEdge::FirstJoined(group) {
+            return;
+        }
+        if let Some(entry) = self.entries.get_mut(&group) {
+            // Already on the tree: just open the interface; the JOIN is
+            // still sent "for possible accounting and billing purposes".
+            entry.local_interface = true;
+        } else {
+            self.pending_interfaces.insert(group);
+            let retry = self.domain.config.join_retry;
+            if retry > 0 {
+                self.join_attempts.insert(group, 0);
+                ctx.set_timer(retry, TIMER_JOIN_RETRY_BASE + group.0 as u64);
+            }
+        }
+        let m = self.m_router_for(group);
+        let me = self.me;
+        ctx.unicast(m, Packet::control(group, ScmpMsg::Join { requester: me }));
+    }
+
+    /// JOIN retry: if the subnet still wants the group but no tree state
+    /// arrived (the JOIN or its TREE/BRANCH answer was lost), resend with
+    /// exponential backoff, giving up after [`MAX_RETRIES`].
+    pub(super) fn retry_join_if_unanswered(&mut self, group: GroupId, ctx: &mut Ctx<'_, ScmpMsg>) {
+        let wants = self.subnet.has_members(group);
+        let answered = self
+            .entries
+            .get(&group)
+            .is_some_and(|e| e.local_interface || !wants);
+        if !wants || answered || self.is_m_router() {
+            self.join_attempts.remove(&group);
+            return;
+        }
+        let attempt = self.join_attempts.entry(group).or_insert(0);
+        *attempt += 1;
+        if *attempt > MAX_RETRIES {
+            self.join_attempts.remove(&group);
+            return;
+        }
+        let backoff = self.domain.config.join_retry << (*attempt).min(BACKOFF_CAP);
+        self.pending_interfaces.insert(group);
+        let m = self.m_router_for(group);
+        let me = self.me;
+        ctx.unicast(m, Packet::control(group, ScmpMsg::Join { requester: me }));
+        if self.domain.config.join_retry > 0 {
+            ctx.set_timer(backoff, TIMER_JOIN_RETRY_BASE + group.0 as u64);
+        }
+    }
+
+    /// LEAVE retry: the m-router never acked, so either the LEAVE or the
+    /// LEAVE-ACK was lost; resend with backoff until acked or exhausted.
+    pub(super) fn retry_leave_if_unacked(&mut self, group: GroupId, ctx: &mut Ctx<'_, ScmpMsg>) {
+        let Some(attempt) = self.pending_leaves.get_mut(&group) else {
+            return; // acked in the meantime
+        };
+        *attempt += 1;
+        let attempt = *attempt;
+        if attempt > MAX_RETRIES {
+            self.pending_leaves.remove(&group);
+            return;
+        }
+        let backoff = self.domain.config.leave_retry << attempt.min(BACKOFF_CAP);
+        let m = self.m_router_for(group);
+        let me = self.me;
+        ctx.unicast(m, Packet::control(group, ScmpMsg::Leave { requester: me }));
+        ctx.set_timer(backoff, TIMER_LEAVE_RETRY_BASE + group.0 as u64);
+    }
+
+    pub(super) fn handle_host_leave(&mut self, group: GroupId, ctx: &mut Ctx<'_, ScmpMsg>) {
+        let Some(host) = self.joined_hosts.get_mut(&group).and_then(|v| v.pop()) else {
+            return; // no joined host to leave
+        };
+        let edge = self.subnet.host_leave(host, group);
+        if edge != MembershipEdge::LastLeft(group) {
+            return;
+        }
+        self.pending_interfaces.remove(&group);
+        let mut send_leave = false;
+        if let Some(entry) = self.entries.get_mut(&group) {
+            entry.local_interface = false;
+            if entry.is_prunable() {
+                // Became a leaf: PRUNE upstream and forget the entry.
+                if let Some(up) = entry.upstream {
+                    ctx.send(up, Packet::control(group, ScmpMsg::Prune));
+                }
+                self.entries.remove(&group);
+                send_leave = true;
+            } else if !entry.downstream_routers.is_empty() {
+                // Still forwarding for children: LEAVE for accounting only.
+                send_leave = true;
+            }
+        } else {
+            // Leave raced ahead of the BRANCH/TREE install.
+            send_leave = true;
+        }
+        if send_leave {
+            let m = self.m_router_for(group);
+            let me = self.me;
+            ctx.unicast(m, Packet::control(group, ScmpMsg::Leave { requester: me }));
+            let retry = self.domain.config.leave_retry;
+            if retry > 0 {
+                self.pending_leaves.insert(group, 0);
+                ctx.set_timer(retry, TIMER_LEAVE_RETRY_BASE + group.0 as u64);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Data plane (§III-F)
+    // ------------------------------------------------------------------
+
+    pub(super) fn handle_host_send(
+        &mut self,
+        group: GroupId,
+        tag: u64,
+        ctx: &mut Ctx<'_, ScmpMsg>,
+    ) {
+        if let Some(entry) = self.entries.get(&group) {
+            let pkt = Packet::data(group, tag, ctx.now(), ScmpMsg::Data);
+            if entry.local_interface {
+                ctx.deliver_local(&pkt);
+            }
+            for to in entry.forwarding_set() {
+                ctx.send(to, pkt.clone());
+            }
+        } else {
+            // Off-tree source: encapsulate toward the m-router (§III-F).
+            let m = self.m_router_for(group);
+            let pkt = Packet::data(group, tag, ctx.now(), ScmpMsg::EncapData);
+            ctx.unicast(m, pkt);
+        }
+    }
+
+    pub(super) fn forward_on_tree(
+        &mut self,
+        from: NodeId,
+        pkt: Packet<ScmpMsg>,
+        ctx: &mut Ctx<'_, ScmpMsg>,
+    ) {
+        let Some(entry) = self.entries.get(&pkt.group) else {
+            ctx.drop_packet();
+            return;
+        };
+        let f = entry.forwarding_set();
+        if !f.contains(&from) {
+            // §III-F: packets from routers outside F are dropped.
+            ctx.drop_packet();
+            return;
+        }
+        if entry.local_interface {
+            ctx.deliver_local(&pkt);
+        }
+        for to in f {
+            if to != from {
+                ctx.send(to, pkt.clone());
+            }
+        }
+    }
+
+    pub(super) fn handle_encap_data(&mut self, pkt: Packet<ScmpMsg>, ctx: &mut Ctx<'_, ScmpMsg>) {
+        if !self.is_m_router() {
+            // Stale sender configuration (e.g. right after a takeover):
+            // relay toward the address we believe in, unless that's us.
+            let m = self.m_router_for(pkt.group);
+            if m != self.me {
+                ctx.unicast(m, pkt);
+            } else {
+                ctx.drop_packet();
+            }
+            return;
+        }
+        // Decapsulate and push down the tree (§III-F).
+        let data = Packet {
+            body: ScmpMsg::Data,
+            ..pkt
+        };
+        if let Some(entry) = self.entries.get(&data.group) {
+            if entry.local_interface {
+                ctx.deliver_local(&data);
+            }
+            for to in entry.downstream_routers.clone() {
+                ctx.send(to, data.clone());
+            }
+        }
+        // No entry: empty group, payload evaporates at the root.
+    }
+
+    // ------------------------------------------------------------------
+    // Tree distribution (§III-E)
+    // ------------------------------------------------------------------
+
+    /// A TREE/BRANCH packet is stale when an equal-or-newer generation
+    /// has already been installed or flushed.
+    pub(super) fn is_stale(&self, group: GroupId, gen: u64) -> bool {
+        if self.flushed.get(&group).is_some_and(|&fg| gen <= fg) {
+            return true;
+        }
+        self.entries.get(&group).is_some_and(|e| gen <= e.gen)
+    }
+
+    pub(super) fn install_tree_packet(
+        &mut self,
+        from: NodeId,
+        group: GroupId,
+        gen: u64,
+        tp: TreePacket,
+        ctx: &mut Ctx<'_, ScmpMsg>,
+    ) {
+        if self.is_stale(group, gen) {
+            ctx.drop_packet();
+            return;
+        }
+        // The DR's subnet is the ground truth for the local interface:
+        // a concurrent restructure may have flushed an entry (losing the
+        // flag) while this router's own JOIN was still in flight.
+        self.pending_interfaces.remove(&group);
+        self.join_attempts.remove(&group);
+        let local = self.subnet.has_members(group);
+        let entry = self.entries.entry(group).or_default();
+        let old_upstream = entry.upstream;
+        entry.upstream = Some(from);
+        entry.downstream_routers = tp.downstream_routers().into_iter().collect();
+        entry.gen = gen;
+        entry.local_interface = local;
+        // Moving under a new parent: tell the old one to stop forwarding
+        // to us, or it would keep a stale child pointer forever.
+        if let Some(old) = old_upstream {
+            if old != from {
+                ctx.send(old, Packet::control(group, ScmpMsg::Prune));
+            }
+        }
+        for (child, sub) in tp.split() {
+            ctx.send(
+                child,
+                Packet::control(group, ScmpMsg::Tree { gen, packet: sub }),
+            );
+        }
+        self.prune_if_orphaned(group, ctx);
+    }
+
+    pub(super) fn install_branch_packet(
+        &mut self,
+        from: NodeId,
+        group: GroupId,
+        gen: u64,
+        bp: BranchPacket,
+        ctx: &mut Ctx<'_, ScmpMsg>,
+    ) {
+        if self.is_stale(group, gen) {
+            // A newer TREE refresh already encodes this (or a newer)
+            // tree; the stale branch must not resurrect old edges.
+            ctx.drop_packet();
+            return;
+        }
+        let (next, rest) = bp.advance(self.me);
+        self.pending_interfaces.remove(&group);
+        self.join_attempts.remove(&group);
+        let local = self.subnet.has_members(group);
+        let entry = self.entries.entry(group).or_default();
+        let old_upstream = entry.upstream;
+        entry.upstream = Some(from);
+        entry.gen = gen;
+        entry.local_interface = local;
+        if let Some(old) = old_upstream {
+            if old != from {
+                ctx.send(old, Packet::control(group, ScmpMsg::Prune));
+            }
+        }
+        if let Some(next) = next {
+            entry.downstream_routers.insert(next);
+            ctx.send(
+                next,
+                Packet::control(group, ScmpMsg::Branch { gen, packet: rest }),
+            );
+        } else {
+            self.prune_if_orphaned(group, ctx);
+        }
+    }
+
+    /// A just-installed leaf entry with no local members (the join was
+    /// cancelled by a leave racing past it) prunes itself immediately.
+    fn prune_if_orphaned(&mut self, group: GroupId, ctx: &mut Ctx<'_, ScmpMsg>) {
+        if self.is_m_router() {
+            return;
+        }
+        if let Some(entry) = self.entries.get(&group) {
+            if entry.is_prunable() {
+                if let Some(up) = entry.upstream {
+                    ctx.send(up, Packet::control(group, ScmpMsg::Prune));
+                }
+                self.entries.remove(&group);
+            }
+        }
+    }
+
+    pub(super) fn handle_prune(
+        &mut self,
+        from: NodeId,
+        group: GroupId,
+        ctx: &mut Ctx<'_, ScmpMsg>,
+    ) {
+        let Some(entry) = self.entries.get_mut(&group) else {
+            return;
+        };
+        entry.downstream_routers.remove(&from);
+        if !self.is_m_router() {
+            self.prune_if_orphaned(group, ctx);
+        }
+    }
+}

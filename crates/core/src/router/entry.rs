@@ -1,0 +1,39 @@
+//! The multicast routing entry — the paper's *(gid, upstream,
+//! downstream)* triple.
+
+use scmp_net::NodeId;
+use std::collections::BTreeSet;
+
+/// One multicast routing entry: the paper's *(gid, upstream, downstream)*
+/// triple; `downstream` splits into child routers and the local subnet
+/// interface.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RoutingEntry {
+    /// Parent router on the tree (`None` at the m-router).
+    pub upstream: Option<NodeId>,
+    /// Child routers on the tree.
+    pub downstream_routers: BTreeSet<NodeId>,
+    /// True when the local subnet has at least one member host.
+    pub local_interface: bool,
+    /// Tree generation this entry was last written at. TREE/BRANCH/FLUSH
+    /// packets carrying an older generation are ignored, so a stale
+    /// BRANCH overtaken by a restructure's TREE refresh cannot corrupt
+    /// the installed state.
+    pub gen: u64,
+}
+
+impl RoutingEntry {
+    /// The forwarding set `F` of §III-F: upstream ∪ downstream routers.
+    pub fn forwarding_set(&self) -> Vec<NodeId> {
+        let mut f: Vec<NodeId> = self.downstream_routers.iter().copied().collect();
+        if let Some(u) = self.upstream {
+            f.push(u);
+        }
+        f
+    }
+
+    /// A leaf entry with no local members can be discarded.
+    pub fn is_prunable(&self) -> bool {
+        self.downstream_routers.is_empty() && !self.local_interface
+    }
+}

@@ -1,0 +1,329 @@
+//! The SCMP router state machine (§II–III).
+//!
+//! Every node in the domain runs one [`ScmpRouter`]. Most are i-routers:
+//! they keep one multicast routing entry per group — the paper's triple
+//! *(group id, upstream, downstream)* — and perform only forwarding,
+//! TREE/BRANCH processing and PRUNE propagation. One node is the
+//! m-router: it owns the membership database, runs the DCDM algorithm on
+//! every JOIN/LEAVE, emits TREE/BRANCH packets, keeps the accounting log
+//! and (optionally) mirrors state to a hot-standby peer (§V item 4).
+//!
+//! Packet walk (Fig. 4): IGMP report → DR sends JOIN (unicast to
+//! m-router) → m-router updates the tree (DCDM) → BRANCH packet (simple
+//! graft) or TREE packets (restructure) install routing entries → data
+//! flows on the bidirectional shared tree, with off-tree sources
+//! encapsulating to the m-router.
+//!
+//! The state machine is split by role: this module holds the
+//! [`ScmpRouter`] shell (fields, role dispatch, the [`Router`] impl);
+//! [`config`]/[`domain`]/[`entry`] hold the shared plain data types;
+//! the designated-router side (membership, data plane, TREE/BRANCH
+//! install) lives in `dr`; the m-router side (DCDM, sessions, fabric,
+//! repair scans) in `mrouter`; and the hot-standby failover machinery
+//! in `standby`.
+
+mod config;
+mod domain;
+mod dr;
+mod entry;
+mod mrouter;
+mod standby;
+#[cfg(test)]
+mod tests;
+
+pub use config::ScmpConfig;
+pub use domain::ScmpDomain;
+pub use entry::RoutingEntry;
+pub use mrouter::MRouterState;
+pub use standby::StandbyState;
+
+use crate::igmp::{HostId, Subnet};
+use crate::message::ScmpMsg;
+use crate::session::SessionDb;
+use scmp_net::NodeId;
+use scmp_sim::{AppEvent, Ctx, GroupId, Packet, Router};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+/// Timer tokens.
+const TIMER_HEARTBEAT: u64 = 1;
+const TIMER_REBUILD: u64 = 3;
+/// Periodic m-router repair scan (robustness extension): check every
+/// mirrored tree against the IGP liveness view and re-run DCDM over the
+/// surviving topology when a tree is damaged.
+const TIMER_REPAIR: u64 = 4;
+/// Watchdog tokens are generation-stamped: `TIMER_WATCHDOG_BASE + gen`.
+/// Every heartbeat bumps the generation, so only the deadman timer armed
+/// after the *last* heartbeat can trigger a takeover.
+const TIMER_WATCHDOG_BASE: u64 = 1_000;
+/// Session-expiry tokens: `TIMER_EXPIRY_BASE + gid`. Must stay above
+/// every watchdog token; group ids are small in practice, and the bases
+/// are far enough apart that overlap would need 2^63 heartbeats.
+const TIMER_EXPIRY_BASE: u64 = 1 << 63;
+/// JOIN-retry tokens: `TIMER_JOIN_RETRY_BASE + gid`.
+const TIMER_JOIN_RETRY_BASE: u64 = 1 << 62;
+/// LEAVE-retry tokens: `TIMER_LEAVE_RETRY_BASE + gid`.
+const TIMER_LEAVE_RETRY_BASE: u64 = 1 << 61;
+/// Give up a JOIN/LEAVE retransmission series after this many attempts
+/// (the m-router is gone for good; a takeover or operator intervenes).
+const MAX_RETRIES: u32 = 8;
+/// Exponential-backoff shift cap: delay = base << min(attempt, cap).
+const BACKOFF_CAP: u32 = 6;
+
+/// Role of a node in the SCMP domain.
+#[derive(Debug)]
+pub enum Role {
+    /// Ordinary intermediate multicast router.
+    IRouter,
+    /// The active master multicast router (boxed: the state is two
+    /// orders of magnitude larger than the other variants).
+    MRouter(Box<MRouterState>),
+    /// Hot standby mirroring the primary.
+    Standby(StandbyState),
+}
+
+/// The per-node SCMP state machine. Implements [`scmp_sim::Router`].
+pub struct ScmpRouter {
+    me: NodeId,
+    domain: Arc<ScmpDomain>,
+    /// Current believed m-router address (changes after a takeover).
+    m_router: NodeId,
+    role: Role,
+    /// Multicast routing table: one entry per group.
+    entries: BTreeMap<GroupId, RoutingEntry>,
+    /// Groups whose local interface is marked pending a TREE/BRANCH
+    /// packet (§III-B: "the interface ... is marked so that it will be
+    /// added to the downstream ... when the DR receives the TREE packet
+    /// later").
+    pending_interfaces: BTreeSet<GroupId>,
+    /// Flush tombstones: highest generation at which this router was
+    /// told to discard a group's state; older TREE/BRANCH are ignored.
+    flushed: BTreeMap<GroupId, u64>,
+    /// IGMP subnet model.
+    pub subnet: Subnet,
+    /// Sequential host ids for app-injected join/leave events.
+    next_host: u32,
+    /// Host stack per group so Leave events pop a real joined host.
+    joined_hosts: BTreeMap<GroupId, Vec<HostId>>,
+    /// JOIN retransmissions already made per group (backoff exponent).
+    join_attempts: BTreeMap<GroupId, u32>,
+    /// LEAVEs awaiting a LEAVE-ACK, with retransmission count.
+    pending_leaves: BTreeMap<GroupId, u32>,
+}
+
+impl ScmpRouter {
+    /// Create the state machine for node `me`.
+    pub fn new(me: NodeId, domain: Arc<ScmpDomain>) -> Self {
+        let cfg = &domain.config;
+        assert!(
+            cfg.extra_m_routers.is_empty() || cfg.standby.is_none(),
+            "hot standby is only supported with a single m-router"
+        );
+        let role = if me == cfg.m_router || cfg.extra_m_routers.contains(&me) {
+            Role::MRouter(Box::new(MRouterState::new()))
+        } else if Some(me) == cfg.standby {
+            Role::Standby(StandbyState {
+                membership: SessionDb::new(),
+                watchdog_gen: 0,
+            })
+        } else {
+            Role::IRouter
+        };
+        ScmpRouter {
+            me,
+            m_router: cfg.m_router,
+            domain,
+            role,
+            entries: BTreeMap::new(),
+            pending_interfaces: BTreeSet::new(),
+            flushed: BTreeMap::new(),
+            subnet: Subnet::new(),
+            next_host: 0,
+            joined_hosts: BTreeMap::new(),
+            join_attempts: BTreeMap::new(),
+            pending_leaves: BTreeMap::new(),
+        }
+    }
+
+    /// The node's routing entry for `group` (None when off-tree).
+    pub fn entry(&self, group: GroupId) -> Option<&RoutingEntry> {
+        self.entries.get(&group)
+    }
+
+    /// Current believed m-router address (of the primary; per-group
+    /// addresses come from [`Self::m_router_for`]).
+    pub fn m_router_address(&self) -> NodeId {
+        self.m_router
+    }
+
+    /// The m-router serving `group`: round-robin over the configured
+    /// m-router set, or the (possibly failed-over) single m-router.
+    pub fn m_router_for(&self, group: GroupId) -> NodeId {
+        let extra = &self.domain.config.extra_m_routers;
+        if extra.is_empty() {
+            return self.m_router;
+        }
+        let idx = group.0 as usize % (1 + extra.len());
+        if idx == 0 {
+            self.domain.config.m_router
+        } else {
+            extra[idx - 1]
+        }
+    }
+
+    /// True while this node acts as the m-router.
+    pub fn is_m_router(&self) -> bool {
+        matches!(self.role, Role::MRouter(_))
+    }
+
+    /// m-router state, if this node is (currently) the m-router.
+    pub fn m_state(&self) -> Option<&MRouterState> {
+        match &self.role {
+            Role::MRouter(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl Router for ScmpRouter {
+    type Msg = ScmpMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, ScmpMsg>) {
+        let cfg = &self.domain.config;
+        if cfg.repair_interval > 0 && self.is_m_router() {
+            ctx.set_timer(cfg.repair_interval, TIMER_REPAIR);
+        }
+        if cfg.heartbeat_interval == 0 {
+            return;
+        }
+        match self.role {
+            Role::MRouter(_) if cfg.standby.is_some() => {
+                ctx.set_timer(cfg.heartbeat_interval, TIMER_HEARTBEAT);
+            }
+            Role::Standby(_) => {
+                // Generous first deadline: the primary may be several
+                // propagation delays away.
+                ctx.set_timer(cfg.heartbeat_interval * 8, TIMER_WATCHDOG_BASE);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_packet(&mut self, from: NodeId, pkt: Packet<ScmpMsg>, ctx: &mut Ctx<'_, ScmpMsg>) {
+        let group = pkt.group;
+        match pkt.body.clone() {
+            ScmpMsg::Join { requester } => self.m_handle_join(group, requester, ctx),
+            ScmpMsg::Leave { requester } => self.m_handle_leave(group, requester, ctx),
+            ScmpMsg::Prune => self.handle_prune(from, group, ctx),
+            ScmpMsg::Tree { gen, packet } => {
+                self.install_tree_packet(from, group, gen, packet, ctx)
+            }
+            ScmpMsg::Branch { gen, packet } => {
+                self.install_branch_packet(from, group, gen, packet, ctx)
+            }
+            ScmpMsg::Flush { gen } => {
+                let tomb = self.flushed.entry(group).or_insert(0);
+                if gen > *tomb {
+                    *tomb = gen;
+                }
+                // Only state at or below the flushed generation dies; a
+                // newer BRANCH/TREE may have legitimately re-added us
+                // while the flush was in flight.
+                if self.entries.get(&group).is_some_and(|e| e.gen <= gen) {
+                    self.entries.remove(&group);
+                }
+            }
+            ScmpMsg::Data => self.forward_on_tree(from, pkt, ctx),
+            ScmpMsg::EncapData => self.handle_encap_data(pkt, ctx),
+            ScmpMsg::Heartbeat { .. } => {
+                let interval = self.domain.config.heartbeat_interval;
+                if let Role::Standby(s) = &mut self.role {
+                    // Re-arm the deadman timer: takeover only when no
+                    // heartbeat lands for 4 intervals.
+                    s.watchdog_gen += 1;
+                    let gen = s.watchdog_gen;
+                    ctx.set_timer(interval * 4, TIMER_WATCHDOG_BASE + gen);
+                }
+            }
+            ScmpMsg::StandbySync { member, joined } => {
+                if let Role::Standby(s) = &mut self.role {
+                    s.membership.register_group(group);
+                    s.membership.record(ctx.now(), group, member, joined);
+                }
+            }
+            ScmpMsg::LeaveAck => {
+                self.pending_leaves.remove(&group);
+            }
+            ScmpMsg::NewMRouter { address } => {
+                // The old trees are rooted at the dead primary: drop all
+                // forwarding state. The new m-router pushes fresh TREE
+                // packets after `takeover_rebuild_delay`; until they
+                // arrive, sources fall back to unicast encapsulation.
+                // Subnets that still have members re-mark their interface
+                // as pending so the rebuilt tree re-opens it on arrival.
+                self.m_router = address;
+                self.entries.clear();
+                self.flushed.clear();
+                self.pending_interfaces = self.subnet.active_groups().into_iter().collect();
+                // Restart the JOIN retry series toward the new address:
+                // the rebuilt TREE push may miss a DR whose original JOIN
+                // died with the primary.
+                let retry = self.domain.config.join_retry;
+                if retry > 0 {
+                    for &g in &self.pending_interfaces {
+                        self.join_attempts.insert(g, 0);
+                        ctx.set_timer(retry, TIMER_JOIN_RETRY_BASE + g.0 as u64);
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut Ctx<'_, ScmpMsg>) {
+        match token {
+            TIMER_HEARTBEAT => {
+                let cfg = self.domain.config.clone();
+                if let Role::MRouter(state) = &mut self.role {
+                    state.heartbeat_seq += 1;
+                    let seq = state.heartbeat_seq;
+                    if let Some(standby) = cfg.standby {
+                        ctx.unicast(
+                            standby,
+                            Packet::control(GroupId(0), ScmpMsg::Heartbeat { seq }),
+                        );
+                    }
+                    ctx.set_timer(cfg.heartbeat_interval, TIMER_HEARTBEAT);
+                }
+            }
+            TIMER_REBUILD => self.rebuild_after_takeover(ctx),
+            TIMER_REPAIR => self.m_repair_scan(ctx),
+            token if token >= TIMER_EXPIRY_BASE => {
+                self.expire_session_if_empty(GroupId((token - TIMER_EXPIRY_BASE) as u32));
+            }
+            token if token >= TIMER_JOIN_RETRY_BASE => {
+                self.retry_join_if_unanswered(GroupId((token - TIMER_JOIN_RETRY_BASE) as u32), ctx);
+            }
+            token if token >= TIMER_LEAVE_RETRY_BASE => {
+                self.retry_leave_if_unacked(GroupId((token - TIMER_LEAVE_RETRY_BASE) as u32), ctx);
+            }
+            token if token >= TIMER_WATCHDOG_BASE => {
+                let take_over = match &self.role {
+                    Role::Standby(s) => token - TIMER_WATCHDOG_BASE == s.watchdog_gen,
+                    _ => false,
+                };
+                if take_over {
+                    self.standby_takeover(ctx);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_app(&mut self, ev: AppEvent, ctx: &mut Ctx<'_, ScmpMsg>) {
+        match ev {
+            AppEvent::Join(g) => self.handle_host_join(g, ctx),
+            AppEvent::Leave(g) => self.handle_host_leave(g, ctx),
+            AppEvent::Send { group, tag } => self.handle_host_send(group, tag, ctx),
+        }
+    }
+}

@@ -1,0 +1,400 @@
+//! The m-router side of the state machine: centralized DCDM tree
+//! construction on JOIN/LEAVE (§III-D), the session/accounting database,
+//! the switching-fabric configuration (§II-B) and the periodic tree
+//! repair scan (robustness extension).
+
+use super::{Role, ScmpRouter, TIMER_EXPIRY_BASE, TIMER_REPAIR};
+use crate::message::ScmpMsg;
+use crate::session::SessionDb;
+use crate::tree_packet::{BranchPacket, TreePacket};
+use scmp_fabric::{GroupRequest, SandwichFabric};
+use scmp_net::{AllPairsPaths, NodeId};
+use scmp_sim::{Ctx, GroupId, Packet};
+use scmp_tree::{Dcdm, MulticastTree};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+/// m-router-only state.
+#[derive(Debug)]
+pub struct MRouterState {
+    /// One mirrored multicast tree per group (§III-D: "the multicast
+    /// tree is constructed in the m-router before it is physically
+    /// formed in the domain").
+    pub(super) trees: BTreeMap<GroupId, MulticastTree>,
+    /// Group/session database with the accounting log.
+    pub sessions: SessionDb,
+    /// Output-port assignment per group in the switching fabric.
+    fabric_ports: BTreeMap<GroupId, usize>,
+    /// The configured sandwich fabric (rebuilt when the group set
+    /// changes); `None` until the first group appears.
+    fabric: Option<SandwichFabric>,
+    /// Fabric port count (power of two ≥ 2 × expected groups).
+    fabric_size: usize,
+    /// Per-group tree generation, bumped on every membership change.
+    gens: BTreeMap<GroupId, u64>,
+    pub(super) heartbeat_seq: u64,
+}
+
+impl MRouterState {
+    pub(super) fn new() -> Self {
+        MRouterState {
+            trees: BTreeMap::new(),
+            sessions: SessionDb::new(),
+            fabric_ports: BTreeMap::new(),
+            fabric: None,
+            fabric_size: 64,
+            gens: BTreeMap::new(),
+            heartbeat_seq: 0,
+        }
+    }
+
+    /// Bump and return the tree generation for `group`.
+    pub(super) fn next_gen(&mut self, group: GroupId) -> u64 {
+        let g = self.gens.entry(group).or_insert(0);
+        *g += 1;
+        *g
+    }
+
+    /// The mirrored tree for `group`, if the group has been seen.
+    pub fn tree(&self, group: GroupId) -> Option<&MulticastTree> {
+        self.trees.get(&group)
+    }
+
+    /// The fabric output port assigned to `group`.
+    pub fn fabric_port(&self, group: GroupId) -> Option<usize> {
+        self.fabric_ports.get(&group).copied()
+    }
+
+    /// Reconfigure the sandwich fabric for the current group set: one
+    /// input port per group (the line from the domain) merging onto the
+    /// group's assigned output port. In a deployed m-router the sources
+    /// of a group would occupy several input ports; the per-group
+    /// input-port set here is the minimal one that keeps the
+    /// configuration live and checked.
+    fn reconfigure_fabric(&mut self) {
+        let groups: Vec<GroupRequest> = self
+            .fabric_ports
+            .iter()
+            .enumerate()
+            .map(|(idx, (_, &port))| GroupRequest {
+                sources: vec![idx],
+                output: port,
+            })
+            .collect();
+        if groups.is_empty() {
+            self.fabric = None;
+            return;
+        }
+        self.fabric = Some(
+            SandwichFabric::configure(self.fabric_size, &groups)
+                .expect("port assignment is collision-free"),
+        );
+    }
+
+    pub(super) fn assign_fabric_port(&mut self, group: GroupId) {
+        if self.fabric_ports.contains_key(&group) {
+            return;
+        }
+        // Grow the fabric when the group count approaches the port count
+        // (half the ports serve as source lines, half as group outputs —
+        // a bigger switching fabric is exactly the §II-B scaling story).
+        while self.fabric_ports.len() + 1 > self.fabric_size / 2 {
+            self.fabric_size *= 2;
+        }
+        // Deterministic first-free assignment from the top of the port
+        // range (low ports serve as source lines).
+        let used: BTreeSet<usize> = self.fabric_ports.values().copied().collect();
+        let port = (0..self.fabric_size)
+            .rev()
+            .find(|p| !used.contains(p))
+            .expect("fabric has free ports");
+        self.fabric_ports.insert(group, port);
+        self.reconfigure_fabric();
+    }
+}
+
+impl ScmpRouter {
+    // ------------------------------------------------------------------
+    // m-router: centralized tree construction (§III-D)
+    // ------------------------------------------------------------------
+
+    pub(super) fn m_handle_join(
+        &mut self,
+        group: GroupId,
+        requester: NodeId,
+        ctx: &mut Ctx<'_, ScmpMsg>,
+    ) {
+        let domain = Arc::clone(&self.domain);
+        let me = self.me;
+        let Role::MRouter(state) = &mut self.role else {
+            return; // JOIN addressed to a node that is not the m-router
+        };
+        state.sessions.register_group(group);
+        state.sessions.record(ctx.now(), group, requester, true);
+        state.assign_fabric_port(group);
+        let gen = state.next_gen(group);
+        let tree = state
+            .trees
+            .remove(&group)
+            .unwrap_or_else(|| MulticastTree::new(domain.topo.node_count(), me));
+        let mut dcdm = Dcdm::with_tree(&domain.topo, &domain.paths, tree, domain.config.bound);
+        let outcome = dcdm.join(requester);
+        let tree = dcdm.into_tree();
+
+        // Refresh the m-router's own routing entry from the mirror.
+        let entry = self.entries.entry(group).or_default();
+        entry.upstream = None;
+        entry.downstream_routers = tree.children(me).iter().copied().collect();
+        if requester == me {
+            self.pending_interfaces.remove(&group);
+            entry.local_interface = true;
+        }
+
+        // Physically form the change in the domain.
+        if requester != me {
+            if outcome.path.len() == 1 {
+                // Requester was already on the tree — but its entry may
+                // be gone (crash-recovered DR, TREE/BRANCH lost to
+                // congestion), so re-send a BRANCH refresh along its root
+                // path instead of distributing nothing. This makes a
+                // repeated JOIN an idempotent state-repair primitive.
+                if let Some(path) = tree.path_from_root(requester) {
+                    if path.len() > 1 {
+                        let bp = BranchPacket::from_root_path(&path);
+                        let first = bp.path[0];
+                        ctx.send(
+                            first,
+                            Packet::control(group, ScmpMsg::Branch { gen, packet: bp }),
+                        );
+                    }
+                }
+            } else if outcome.is_simple_graft() && !domain.config.tree_packets_only {
+                let path = tree.path_from_root(requester).expect("member on tree");
+                let bp = BranchPacket::from_root_path(&path);
+                let first = bp.path[0];
+                ctx.send(
+                    first,
+                    Packet::control(group, ScmpMsg::Branch { gen, packet: bp }),
+                );
+            } else {
+                // Restructured (or ablation): full TREE refresh, plus
+                // explicit flushes for routers pruned off the tree.
+                for &child in tree.children(me) {
+                    let tp = TreePacket::from_tree(&tree, child);
+                    ctx.send(
+                        child,
+                        Packet::control(group, ScmpMsg::Tree { gen, packet: tp }),
+                    );
+                }
+                for &gone in &outcome.pruned {
+                    ctx.unicast(gone, Packet::control(group, ScmpMsg::Flush { gen }));
+                }
+            }
+        }
+
+        let Role::MRouter(state) = &mut self.role else {
+            unreachable!()
+        };
+        state.trees.insert(group, tree);
+        if let Some(standby) = domain.config.standby {
+            if standby != me {
+                ctx.unicast(
+                    standby,
+                    Packet::control(
+                        group,
+                        ScmpMsg::StandbySync {
+                            member: requester,
+                            joined: true,
+                        },
+                    ),
+                );
+            }
+        }
+    }
+
+    pub(super) fn m_handle_leave(
+        &mut self,
+        group: GroupId,
+        requester: NodeId,
+        ctx: &mut Ctx<'_, ScmpMsg>,
+    ) {
+        let domain = Arc::clone(&self.domain);
+        let me = self.me;
+        let Role::MRouter(state) = &mut self.role else {
+            return;
+        };
+        // Ack first: the DR retransmits until acked, and processing below
+        // is made idempotent so a duplicate LEAVE (lost ack) is harmless.
+        // Membership ground truth is the accounting log, not the mirrored
+        // tree — a repair rebuild may have dropped an unreachable member
+        // from the tree while its join is still on the books.
+        ctx.unicast(requester, Packet::control(group, ScmpMsg::LeaveAck));
+        if !state.sessions.members_from_log(group).contains(&requester) {
+            return; // duplicate of an already-processed LEAVE
+        }
+        state.sessions.record(ctx.now(), group, requester, false);
+        state.next_gen(group);
+        let Some(tree) = state.trees.remove(&group) else {
+            return;
+        };
+        let mut dcdm = Dcdm::with_tree(&domain.topo, &domain.paths, tree, domain.config.bound);
+        dcdm.leave(requester);
+        let tree = dcdm.into_tree();
+        // The physical prune travels hop-by-hop from the leaving DR
+        // (§III-D: "the real prune operation is accomplished by the
+        // leaving member sending the PRUNE message upstream hop by
+        // hop") — the m-router only refreshes its mirror and entry.
+        let entry = self.entries.entry(group).or_default();
+        entry.downstream_routers = tree.children(me).iter().copied().collect();
+        if requester == me {
+            entry.local_interface = false;
+        }
+        let emptied = tree.member_count() == 0;
+        let Role::MRouter(state) = &mut self.role else {
+            unreachable!()
+        };
+        state.trees.insert(group, tree);
+        if emptied && domain.config.session_expiry > 0 {
+            ctx.set_timer(
+                domain.config.session_expiry,
+                TIMER_EXPIRY_BASE + group.0 as u64,
+            );
+        }
+        if let Some(standby) = domain.config.standby {
+            if standby != me {
+                ctx.unicast(
+                    standby,
+                    Packet::control(
+                        group,
+                        ScmpMsg::StandbySync {
+                            member: requester,
+                            joined: false,
+                        },
+                    ),
+                );
+            }
+        }
+    }
+
+    /// Expiry timer fired for a group: if it is still memberless, tear
+    /// down the session — revoke the address, free the fabric port and
+    /// drop the tree state.
+    pub(super) fn expire_session_if_empty(&mut self, group: GroupId) {
+        let Role::MRouter(state) = &mut self.role else {
+            return;
+        };
+        let still_empty = state
+            .trees
+            .get(&group)
+            .is_none_or(|t| t.member_count() == 0);
+        if !still_empty {
+            return;
+        }
+        state.trees.remove(&group);
+        state.gens.remove(&group);
+        state.sessions.expire_group(group);
+        if state.fabric_ports.remove(&group).is_some() {
+            state.reconfigure_fabric();
+        }
+        self.entries.remove(&group);
+    }
+
+    // ------------------------------------------------------------------
+    // m-router: periodic tree repair (robustness extension)
+    // ------------------------------------------------------------------
+
+    /// Periodic repair scan. The m-router already owns the domain's
+    /// link-state database (§II-D), so it learns about dead links and
+    /// routers from the IGP; here that view is the simulator's liveness
+    /// state. Every mirrored tree is assessed against it, and a damaged
+    /// tree — or a tree missing a reachable logged member, e.g. after a
+    /// partition heals — is rebuilt by re-running DCDM over the
+    /// surviving topology. Pruned-off routers get explicit flushes so
+    /// stale entries cannot black-hole later traffic.
+    pub(super) fn m_repair_scan(&mut self, ctx: &mut Ctx<'_, ScmpMsg>) {
+        let domain = Arc::clone(&self.domain);
+        let me = self.me;
+        if !self.is_m_router() {
+            return; // role changed since the timer was armed
+        }
+        let interval = domain.config.repair_interval;
+        if interval > 0 {
+            // Re-arm first so a scan can never silence itself.
+            ctx.set_timer(interval, TIMER_REPAIR);
+        }
+        let surviving = ctx.surviving_topology();
+        let reachable = scmp_net::metrics::reachable_set(&surviving, me);
+        // Phase 1 (read-only): which groups need surgery?
+        let mut damaged: Vec<GroupId> = Vec::new();
+        {
+            let Role::MRouter(state) = &self.role else {
+                unreachable!()
+            };
+            for (&group, tree) in &state.trees {
+                let damage =
+                    scmp_tree::repair::assess(tree, |v| ctx.node_up(v), |a, b| ctx.link_up(a, b));
+                let readopt = state
+                    .sessions
+                    .members_from_log(group)
+                    .into_iter()
+                    .any(|m| !tree.is_member(m) && reachable[m.index()]);
+                if !damage.is_intact() || readopt {
+                    damaged.push(group);
+                }
+            }
+        }
+        if damaged.is_empty() {
+            return;
+        }
+        let paths = AllPairsPaths::compute(&surviving);
+        for group in damaged {
+            let Role::MRouter(state) = &mut self.role else {
+                unreachable!()
+            };
+            // Members partitioned away stay off the tree until a later
+            // scan sees them reachable again (the readopt check above).
+            let members: Vec<NodeId> = state
+                .sessions
+                .members_from_log(group)
+                .into_iter()
+                .filter(|&m| paths.unicast_delay(m, me).is_some())
+                .collect();
+            let old_nodes = state
+                .trees
+                .get(&group)
+                .map(|t| t.on_tree_nodes())
+                .unwrap_or_default();
+            let gen = state.next_gen(group);
+            let mut dcdm = Dcdm::new(&surviving, &paths, me, domain.config.bound);
+            for &m in &members {
+                dcdm.join(m);
+            }
+            let tree = dcdm.into_tree();
+            let entry = self.entries.entry(group).or_default();
+            entry.upstream = None;
+            entry.downstream_routers = tree.children(me).iter().copied().collect();
+            entry.local_interface = self.subnet.has_members(group);
+            entry.gen = gen;
+            for &child in tree.children(me) {
+                let tp = TreePacket::from_tree(&tree, child);
+                ctx.send(
+                    child,
+                    Packet::control(group, ScmpMsg::Tree { gen, packet: tp }),
+                );
+            }
+            // Flush reachable routers that fell off the tree; partitioned
+            // ones keep stale state, which generation stamps and the
+            // §III-F forwarding-set check neutralise.
+            for v in old_nodes {
+                if v != me && !tree.contains(v) && reachable[v.index()] {
+                    ctx.unicast(v, Packet::control(group, ScmpMsg::Flush { gen }));
+                }
+            }
+            let Role::MRouter(state) = &mut self.role else {
+                unreachable!()
+            };
+            state.trees.insert(group, tree);
+        }
+        ctx.record_repair();
+    }
+}

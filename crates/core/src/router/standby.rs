@@ -1,0 +1,103 @@
+//! Hot-standby failover (§V item 4): the standby mirrors membership via
+//! StandbySync, watches the primary's heartbeats, and on watchdog expiry
+//! promotes itself — announcing the new m-router address and rebuilding
+//! every tree around the dead primary.
+
+use super::{MRouterState, Role, ScmpRouter, TIMER_REBUILD};
+use crate::message::ScmpMsg;
+use crate::session::SessionDb;
+use crate::tree_packet::TreePacket;
+use scmp_net::NodeId;
+use scmp_sim::{Ctx, GroupId, Packet};
+use scmp_tree::Dcdm;
+use std::sync::Arc;
+
+/// Standby-only state: the mirrored membership plus the deadman
+/// generation counter.
+#[derive(Debug)]
+pub struct StandbyState {
+    pub(super) membership: SessionDb,
+    /// Bumped on every heartbeat; stale watchdog timers are ignored.
+    pub(super) watchdog_gen: u64,
+}
+
+impl ScmpRouter {
+    pub(super) fn standby_takeover(&mut self, ctx: &mut Ctx<'_, ScmpMsg>) {
+        let domain = Arc::clone(&self.domain);
+        let me = self.me;
+        let Role::Standby(standby) = std::mem::replace(&mut self.role, Role::IRouter) else {
+            return;
+        };
+        let mut state = Box::new(MRouterState::new());
+        state.sessions = standby.membership;
+        // Announce the new address to every router first; the rebuilt
+        // TREE packets follow after `takeover_rebuild_delay`.
+        for v in domain.topo.nodes() {
+            if v != me {
+                ctx.unicast(
+                    v,
+                    Packet::control(GroupId(0), ScmpMsg::NewMRouter { address: me }),
+                );
+            }
+        }
+        self.m_router = me;
+        self.role = Role::MRouter(state);
+        ctx.set_timer(domain.config.takeover_rebuild_delay, TIMER_REBUILD);
+    }
+
+    pub(super) fn rebuild_after_takeover(&mut self, ctx: &mut Ctx<'_, ScmpMsg>) {
+        let domain = Arc::clone(&self.domain);
+        let me = self.me;
+        // Plan around the failed primary: its links are unusable.
+        let (topo, paths) = match &domain.failover {
+            Some((t, p)) => (t, p),
+            None => (&domain.topo, &domain.paths),
+        };
+        let Role::MRouter(state) = &mut self.role else {
+            return;
+        };
+        let groups: Vec<GroupId> = state.sessions.active_groups();
+        let mut rebuilt = Vec::new();
+        for group in groups {
+            // Members partitioned away by the primary's failure cannot be
+            // served until the operator restores connectivity; skip them.
+            let members: Vec<NodeId> = state
+                .sessions
+                .members_from_log(group)
+                .into_iter()
+                .filter(|&m| paths.unicast_delay(m, me).is_some())
+                .collect();
+            if members.is_empty() {
+                continue;
+            }
+            state.assign_fabric_port(group);
+            let mut dcdm = Dcdm::new(topo, paths, me, domain.config.bound);
+            for m in &members {
+                dcdm.join(*m);
+            }
+            rebuilt.push((group, dcdm.into_tree()));
+        }
+        for (group, tree) in rebuilt {
+            let Role::MRouter(state) = &mut self.role else {
+                unreachable!()
+            };
+            let gen = state.next_gen(group);
+            let entry = self.entries.entry(group).or_default();
+            entry.upstream = None;
+            entry.downstream_routers = tree.children(me).iter().copied().collect();
+            entry.local_interface = tree.is_member(me);
+            entry.gen = gen;
+            for &child in tree.children(me) {
+                let tp = TreePacket::from_tree(&tree, child);
+                ctx.send(
+                    child,
+                    Packet::control(group, ScmpMsg::Tree { gen, packet: tp }),
+                );
+            }
+            let Role::MRouter(state) = &mut self.role else {
+                unreachable!()
+            };
+            state.trees.insert(group, tree);
+        }
+    }
+}

@@ -177,7 +177,11 @@ impl BranchPacket {
     /// # Panics
     /// If the head is not `me` (mis-routed packet).
     pub fn advance(mut self, me: NodeId) -> (Option<NodeId>, BranchPacket) {
-        assert_eq!(self.path.first(), Some(&me), "BRANCH not addressed to {me:?}");
+        assert_eq!(
+            self.path.first(),
+            Some(&me),
+            "BRANCH not addressed to {me:?}"
+        );
         self.path.remove(0);
         (self.path.first().copied(), self)
     }

@@ -245,18 +245,32 @@ mod tests {
     #[test]
     fn all_control_variants_roundtrip() {
         let bodies = [
-            ScmpMsg::Join { requester: NodeId(7) },
-            ScmpMsg::Leave { requester: NodeId(9) },
+            ScmpMsg::Join {
+                requester: NodeId(7),
+            },
+            ScmpMsg::Leave {
+                requester: NodeId(9),
+            },
             ScmpMsg::Prune,
             ScmpMsg::Flush { gen: 42 },
             ScmpMsg::Heartbeat { seq: u64::MAX },
-            ScmpMsg::StandbySync { member: NodeId(3), joined: true },
-            ScmpMsg::StandbySync { member: NodeId(3), joined: false },
-            ScmpMsg::NewMRouter { address: NodeId(11) },
+            ScmpMsg::StandbySync {
+                member: NodeId(3),
+                joined: true,
+            },
+            ScmpMsg::StandbySync {
+                member: NodeId(3),
+                joined: false,
+            },
+            ScmpMsg::NewMRouter {
+                address: NodeId(11),
+            },
             ScmpMsg::LeaveAck,
             ScmpMsg::Branch {
                 gen: 5,
-                packet: BranchPacket { path: vec![NodeId(2), NodeId(4), NodeId(10)] },
+                packet: BranchPacket {
+                    path: vec![NodeId(2), NodeId(4), NodeId(10)],
+                },
             },
         ];
         for body in bodies {
@@ -279,7 +293,13 @@ mod tests {
             t.attach(p, c);
         }
         let tp = TreePacket::from_tree(&t, NodeId(2));
-        roundtrip(Packet::control(GroupId(8), ScmpMsg::Tree { gen: 17, packet: tp }));
+        roundtrip(Packet::control(
+            GroupId(8),
+            ScmpMsg::Tree {
+                gen: 17,
+                packet: tp,
+            },
+        ));
     }
 
     #[test]
@@ -300,10 +320,16 @@ mod tests {
         assert_eq!(decode(Bytes::from(v)).unwrap_err(), WireError::BadMagic);
         let mut v = good.to_vec();
         v[2] = 99;
-        assert_eq!(decode(Bytes::from(v)).unwrap_err(), WireError::BadVersion(99));
+        assert_eq!(
+            decode(Bytes::from(v)).unwrap_err(),
+            WireError::BadVersion(99)
+        );
         let mut v = good.to_vec();
         v[3] = 200;
-        assert_eq!(decode(Bytes::from(v)).unwrap_err(), WireError::UnknownType(200));
+        assert_eq!(
+            decode(Bytes::from(v)).unwrap_err(),
+            WireError::UnknownType(200)
+        );
     }
 
     #[test]
@@ -312,7 +338,9 @@ mod tests {
             GroupId(4),
             ScmpMsg::Branch {
                 gen: 9,
-                packet: BranchPacket { path: vec![NodeId(1), NodeId(2)] },
+                packet: BranchPacket {
+                    path: vec![NodeId(1), NodeId(2)],
+                },
             },
         );
         let bytes = encode(&pkt);
@@ -326,6 +354,9 @@ mod tests {
     fn rejects_trailing_bytes() {
         let mut v = encode(&Packet::control(GroupId(1), ScmpMsg::Prune)).to_vec();
         v.push(0);
-        assert_eq!(decode(Bytes::from(v)).unwrap_err(), WireError::TrailingBytes);
+        assert_eq!(
+            decode(Bytes::from(v)).unwrap_err(),
+            WireError::TrailingBytes
+        );
     }
 }

@@ -63,7 +63,10 @@ impl Benes {
     /// permutation.
     pub fn route(perm: &[usize]) -> Benes {
         let n = perm.len();
-        assert!(n >= 2 && n.is_power_of_two(), "size must be a power of two ≥ 2");
+        assert!(
+            n >= 2 && n.is_power_of_two(),
+            "size must be a power of two ≥ 2"
+        );
         let mut seen = vec![false; n];
         for &p in perm {
             assert!(p < n && !seen[p], "not a permutation");
@@ -251,7 +254,7 @@ mod tests {
         let b = Benes::route(&(0..16).collect::<Vec<_>>());
         assert_eq!(b.size(), 16);
         assert_eq!(b.depth(), 2 * 4 - 1); // 2 log2(16) - 1 = 7
-        // N/2 switches per column × depth columns: 8 × 7 = 56.
+                                          // N/2 switches per column × depth columns: 8 × 7 = 56.
         assert_eq!(b.switch_count(), 56);
     }
 

@@ -142,8 +142,8 @@ mod tests {
 
     #[test]
     fn depth_is_log_of_longest_run() {
-        let c = ConnectionComponentNetwork::configure(16, &[vec![0, 1, 2, 3, 4], vec![8, 9]])
-            .unwrap();
+        let c =
+            ConnectionComponentNetwork::configure(16, &[vec![0, 1, 2, 3, 4], vec![8, 9]]).unwrap();
         assert_eq!(c.depth(), 3); // ⌈log2 5⌉
         let solo = ConnectionComponentNetwork::configure(4, &[vec![2]]).unwrap();
         assert_eq!(solo.depth(), 0);

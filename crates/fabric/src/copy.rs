@@ -45,7 +45,10 @@ impl CopyNetwork {
     /// # Panics
     /// If `n` is not a power of two ≥ 2.
     pub fn new(n: usize) -> Self {
-        assert!(n >= 2 && n.is_power_of_two(), "size must be a power of two ≥ 2");
+        assert!(
+            n >= 2 && n.is_power_of_two(),
+            "size must be a power of two ≥ 2"
+        );
         CopyNetwork {
             n,
             stages: n.trailing_zeros() as usize,
@@ -146,7 +149,11 @@ mod tests {
         for input in [0usize, 7, 31] {
             for (lo, hi) in [(0, 0), (3, 17), (5, 5), (16, 31), (1, 30)] {
                 let (outs, _) = cn.route(input, lo, hi);
-                assert_eq!(outs, (lo..=hi).collect::<Vec<_>>(), "{input} -> [{lo},{hi}]");
+                assert_eq!(
+                    outs,
+                    (lo..=hi).collect::<Vec<_>>(),
+                    "{input} -> [{lo},{hi}]"
+                );
             }
         }
     }

@@ -26,11 +26,11 @@
 //! switching fabric".
 
 pub mod benes;
-pub mod copy;
 pub mod ccn;
+pub mod copy;
 pub mod sandwich;
 
 pub use benes::Benes;
-pub use copy::CopyNetwork;
 pub use ccn::ConnectionComponentNetwork;
+pub use copy::CopyNetwork;
 pub use sandwich::{FabricError, GroupRequest, SandwichFabric};

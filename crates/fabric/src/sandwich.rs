@@ -106,8 +106,8 @@ impl SandwichFabric {
         let pn = Benes::route(&pn_perm);
 
         // CCN: merge each run to its first line.
-        let ccn =
-            ConnectionComponentNetwork::configure(n, &runs).expect("runs are contiguous by construction");
+        let ccn = ConnectionComponentNetwork::configure(n, &runs)
+            .expect("runs are contiguous by construction");
 
         // DN: root lines go to assigned outputs; all remaining lines take
         // the remaining outputs in ascending order.
@@ -195,7 +195,10 @@ mod tests {
         // Idle inputs must not land on any group output.
         for idle in [1usize, 4] {
             let out = f.eval(idle);
-            assert!(![7, 1, 0].contains(&out), "idle {idle} hit group output {out}");
+            assert!(
+                ![7, 1, 0].contains(&out),
+                "idle {idle} hit group output {out}"
+            );
         }
     }
 

@@ -22,8 +22,14 @@ pub struct AllPairsPaths {
 impl AllPairsPaths {
     /// Precompute both tables for `topo` (2n Dijkstra runs).
     pub fn compute(topo: &Topology) -> Self {
-        let by_delay = topo.nodes().map(|s| dijkstra(topo, s, Metric::Delay)).collect();
-        let by_cost = topo.nodes().map(|s| dijkstra(topo, s, Metric::Cost)).collect();
+        let by_delay = topo
+            .nodes()
+            .map(|s| dijkstra(topo, s, Metric::Delay))
+            .collect();
+        let by_cost = topo
+            .nodes()
+            .map(|s| dijkstra(topo, s, Metric::Cost))
+            .collect();
         AllPairsPaths { by_delay, by_cost }
     }
 

@@ -95,7 +95,11 @@ mod tests {
             for dst in t.nodes() {
                 let route = rt.route(src, dst).expect("connected");
                 let w = t.path_weight(&route).expect("valid path");
-                assert_eq!(Some(w.delay), ap.unicast_delay(src, dst), "{src:?}->{dst:?}");
+                assert_eq!(
+                    Some(w.delay),
+                    ap.unicast_delay(src, dst),
+                    "{src:?}->{dst:?}"
+                );
             }
         }
     }

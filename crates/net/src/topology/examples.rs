@@ -62,10 +62,16 @@ mod tests {
         let spt = dijkstra(&t, NodeId(0), Metric::Delay);
         // ul(g1)=12 via 0-1-4, ul(g2)=2 direct, ul(g3)=11 via 0-2-5.
         assert_eq!(spt.distance(NodeId(4)), Some(12));
-        assert_eq!(spt.path_to(NodeId(4)).unwrap(), vec![NodeId(0), NodeId(1), NodeId(4)]);
+        assert_eq!(
+            spt.path_to(NodeId(4)).unwrap(),
+            vec![NodeId(0), NodeId(1), NodeId(4)]
+        );
         assert_eq!(spt.distance(NodeId(3)), Some(2));
         assert_eq!(spt.distance(NodeId(5)), Some(11));
-        assert_eq!(spt.path_to(NodeId(5)).unwrap(), vec![NodeId(0), NodeId(2), NodeId(5)]);
+        assert_eq!(
+            spt.path_to(NodeId(5)).unwrap(),
+            vec![NodeId(0), NodeId(2), NodeId(5)]
+        );
     }
 
     #[test]

@@ -51,7 +51,10 @@ impl Default for WaxmanConfig {
 /// coordinate stream aligned with the seed.
 pub fn waxman(cfg: &WaxmanConfig, rng: &mut impl Rng) -> Topology {
     assert!(cfg.n >= 1, "need at least one node");
-    assert!(cfg.alpha > 0.0 && cfg.beta > 0.0, "alpha/beta must be positive");
+    assert!(
+        cfg.alpha > 0.0 && cfg.beta > 0.0,
+        "alpha/beta must be positive"
+    );
     let coords: Vec<(i64, i64)> = (0..cfg.n)
         .map(|_| (rng.gen_range(0..=cfg.grid), rng.gen_range(0..=cfg.grid)))
         .collect();
@@ -72,7 +75,9 @@ pub fn waxman(cfg: &WaxmanConfig, rng: &mut impl Rng) -> Topology {
             }
         }
     }
-    let b = super::connect_components(b, &coords, |d| draw_weight(d as u64, cfg.min_delay_one, rng));
+    let b = super::connect_components(b, &coords, |d| {
+        draw_weight(d as u64, cfg.min_delay_one, rng)
+    });
     b.build()
 }
 

@@ -1,0 +1,327 @@
+//! The simulation engine proper: the event loop, fault application,
+//! IGP reconvergence and tracing.
+
+use super::queue::{EventKind, EventQueue};
+use super::transport::{CapacityModel, Transport};
+use super::{AppEvent, Ctx, Router, SimTime, TraceKind, TraceRecord};
+use crate::fault::{FaultEvent, FaultPlan};
+use crate::stats::SimStats;
+use scmp_net::{NodeId, RoutingTables, Topology};
+
+/// The router factory signature: constructs one node's protocol state.
+type RouterFactory<R> = Box<dyn FnMut(NodeId, &Topology, &RoutingTables) -> R>;
+
+/// The simulation engine: owns the topology, routing tables, per-node
+/// protocol state, the transport condition and the event queue.
+pub struct Engine<R: Router> {
+    topo: Topology,
+    routes: RoutingTables,
+    routers: Vec<R>,
+    /// The router factory, kept so a crashed router can be cold-restarted
+    /// with factory-fresh state (see [`FaultEvent::RouterCrash`]).
+    make: RouterFactory<R>,
+    queue: EventQueue<R::Msg>,
+    now: SimTime,
+    stats: SimStats,
+    transport: Transport,
+    started: bool,
+    event_limit: u64,
+    events_processed: u64,
+    peak_queue: usize,
+    trace: Option<Vec<TraceRecord>>,
+}
+
+impl<R: Router> Engine<R> {
+    /// Build an engine; `make` constructs the protocol state for each
+    /// router (it receives the topology and unicast tables so protocols
+    /// can precompute). The factory is retained: a
+    /// [`FaultEvent::RouterCrash`] wipes the node's state and a later
+    /// recovery rebuilds it through the same factory.
+    pub fn new(
+        topo: Topology,
+        mut make: impl FnMut(NodeId, &Topology, &RoutingTables) -> R + 'static,
+    ) -> Self {
+        let routes = RoutingTables::compute(&topo);
+        let routers = topo.nodes().map(|v| make(v, &topo, &routes)).collect();
+        let n = topo.node_count();
+        Engine {
+            topo,
+            routes,
+            routers,
+            make: Box::new(make),
+            queue: EventQueue::new(),
+            now: 0,
+            stats: SimStats::default(),
+            transport: Transport::new(n),
+            started: false,
+            event_limit: 50_000_000,
+            events_processed: 0,
+            peak_queue: 0,
+            trace: None,
+        }
+    }
+
+    /// Enable the finite link-capacity model (default: infinite
+    /// bandwidth, zero queueing).
+    pub fn set_capacity(&mut self, model: CapacityModel) {
+        self.transport.set_capacity(model);
+    }
+
+    /// Enable event tracing (disabled by default; the trace grows with
+    /// every dispatched event, so enable it only for small scenarios or
+    /// debugging sessions).
+    pub fn enable_trace(&mut self) {
+        self.trace = Some(Vec::new());
+    }
+
+    /// The recorded trace (empty slice when tracing is disabled).
+    pub fn trace(&self) -> &[TraceRecord] {
+        self.trace.as_deref().unwrap_or(&[])
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The topology being simulated.
+    pub fn topo(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Collected statistics.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// Read a router's protocol state (for assertions and reporting).
+    pub fn router(&self, node: NodeId) -> &R {
+        &self.routers[node.index()]
+    }
+
+    /// Override the runaway-protection event limit (default 50M).
+    pub fn set_event_limit(&mut self, limit: u64) {
+        self.event_limit = limit;
+    }
+
+    /// Deepest the event queue has been, sampled once per dispatched
+    /// event (the hot-path benchmark's memory-pressure proxy).
+    pub fn peak_queue_depth(&self) -> usize {
+        self.peak_queue
+    }
+
+    /// Inject an application event at absolute time `time`.
+    pub fn schedule_app(&mut self, time: SimTime, node: NodeId, ev: AppEvent) {
+        assert!(time >= self.now, "cannot schedule in the past");
+        self.queue.push(time, node, EventKind::App(ev));
+    }
+
+    /// Mark a node up/down. Packets, timers and app events addressed to a
+    /// down node are discarded when they fire. The unicast routing
+    /// tables reconverge immediately (modelling the domain's link-state
+    /// IGP reacting to the failure).
+    pub fn set_node_down(&mut self, node: NodeId, down: bool) {
+        self.transport.set_node_down(node, down);
+        self.reconverge_routes();
+    }
+
+    /// True while any node or link is out of service — the failure
+    /// window for the during-failure overhead counters.
+    pub fn degraded(&self) -> bool {
+        self.transport.degraded()
+    }
+
+    /// Schedule a fault at absolute time `time`. Faults share the event
+    /// queue with packets and timers, so a seeded scenario replays
+    /// identically. Link faults must name an existing link.
+    pub fn schedule_fault(&mut self, time: SimTime, fault: FaultEvent) {
+        assert!(time >= self.now, "cannot schedule in the past");
+        match fault {
+            FaultEvent::LinkDown { a, b } | FaultEvent::LinkUp { a, b } => {
+                assert!(self.topo.has_link(a, b), "no such link {a:?}-{b:?}");
+            }
+            FaultEvent::RouterCrash { node } | FaultEvent::RouterRecover { node } => {
+                assert!(
+                    node.index() < self.topo.node_count(),
+                    "no such node {node:?}"
+                );
+            }
+        }
+        self.queue
+            .push(time, fault.primary_node(), EventKind::Fault(fault));
+    }
+
+    /// Schedule every fault of a [`FaultPlan`].
+    ///
+    /// # Panics
+    /// If the plan does not validate against the engine's topology; call
+    /// [`FaultPlan::validate`] first for a `Result`.
+    pub fn schedule_fault_plan(&mut self, plan: &FaultPlan) {
+        for spec in &plan.faults {
+            self.schedule_fault(spec.time, spec.to_event());
+        }
+    }
+
+    /// Apply a fault that fired: flip liveness, reconverge the IGP, and
+    /// cold-restart crashed routers. Recovery re-runs `on_start` on the
+    /// rebuilt state machine.
+    fn apply_fault(&mut self, fault: FaultEvent) {
+        if fault.is_failure() {
+            self.stats.note_fault(self.now);
+        }
+        match fault {
+            FaultEvent::LinkDown { a, b } => self.set_link_down(a, b, true),
+            FaultEvent::LinkUp { a, b } => self.set_link_down(a, b, false),
+            FaultEvent::RouterCrash { node } => {
+                // Wipe the protocol state now; the node stays down (all
+                // events addressed to it are discarded) until recovery.
+                self.routers[node.index()] = (self.make)(node, &self.topo, &self.routes);
+                self.set_node_down(node, true);
+            }
+            FaultEvent::RouterRecover { node } => {
+                self.set_node_down(node, false);
+                let degraded = self.transport.degraded();
+                let mut ctx = Ctx {
+                    now: self.now,
+                    node,
+                    topo: &self.topo,
+                    routes: &self.routes,
+                    queue: &mut self.queue,
+                    stats: &mut self.stats,
+                    transport: &mut self.transport,
+                    trace: &mut self.trace,
+                    degraded,
+                };
+                self.routers[node.index()].on_start(&mut ctx);
+            }
+        }
+    }
+
+    /// Mark a link up/down (both directions); the unicast routing tables
+    /// reconverge immediately.
+    pub fn set_link_down(&mut self, a: NodeId, b: NodeId, down: bool) {
+        assert!(self.topo.has_link(a, b), "no such link {a:?}-{b:?}");
+        self.transport.set_link_down(a, b, down);
+        self.reconverge_routes();
+    }
+
+    /// Recompute the unicast next-hop tables over the surviving links.
+    fn reconverge_routes(&mut self) {
+        use scmp_net::graph::TopologyBuilder;
+        let mut b = TopologyBuilder::new(self.topo.node_count());
+        for &(a, bb, w) in self.topo.edges() {
+            if self.transport.link_alive(a, bb) {
+                b.add_link(a, bb, w);
+            }
+        }
+        self.routes = RoutingTables::compute(&b.build());
+    }
+
+    fn start_if_needed(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        let degraded = self.transport.degraded();
+        for i in 0..self.routers.len() {
+            let node = NodeId(i as u32);
+            let mut ctx = Ctx {
+                now: self.now,
+                node,
+                topo: &self.topo,
+                routes: &self.routes,
+                queue: &mut self.queue,
+                stats: &mut self.stats,
+                transport: &mut self.transport,
+                trace: &mut self.trace,
+                degraded,
+            };
+            self.routers[i].on_start(&mut ctx);
+        }
+    }
+
+    /// Run until the queue drains or the next event is later than
+    /// `deadline`. Returns the number of events processed.
+    pub fn run_until(&mut self, deadline: SimTime) -> u64 {
+        self.start_if_needed();
+        let mut processed = 0;
+        while let Some(top) = self.queue.peek_time() {
+            if top > deadline {
+                break;
+            }
+            self.peak_queue = self.peak_queue.max(self.queue.len());
+            let (time, node, kind) = self.queue.pop().expect("peeked");
+            debug_assert!(time >= self.now, "time went backwards");
+            self.now = time;
+            self.events_processed += 1;
+            processed += 1;
+            assert!(
+                self.events_processed <= self.event_limit,
+                "event limit exceeded: protocol livelock?"
+            );
+            // Faults are infrastructure events: they fire regardless of
+            // the target's liveness (a crashed node can still recover).
+            if let EventKind::Fault(fault) = kind {
+                if let Some(trace) = &mut self.trace {
+                    trace.push(TraceRecord {
+                        time: self.now,
+                        node,
+                        kind: TraceKind::Fault(fault),
+                    });
+                }
+                self.apply_fault(fault);
+                continue;
+            }
+            if !self.transport.node_up(node) {
+                if matches!(kind, EventKind::Deliver { .. }) {
+                    self.stats.drops += 1;
+                }
+                continue;
+            }
+            if let Some(trace) = &mut self.trace {
+                let record = match &kind {
+                    EventKind::Deliver { from, pkt } => TraceKind::Deliver {
+                        from: *from,
+                        class: pkt.class,
+                        group: pkt.group,
+                        tag: pkt.tag,
+                    },
+                    EventKind::Timer { token } => TraceKind::Timer { token: *token },
+                    EventKind::App(app) => TraceKind::App(app.clone()),
+                    EventKind::Fault(_) => unreachable!("handled above"),
+                };
+                trace.push(TraceRecord {
+                    time: self.now,
+                    node,
+                    kind: record,
+                });
+            }
+            let degraded = self.transport.degraded();
+            let mut ctx = Ctx {
+                now: self.now,
+                node,
+                topo: &self.topo,
+                routes: &self.routes,
+                queue: &mut self.queue,
+                stats: &mut self.stats,
+                transport: &mut self.transport,
+                trace: &mut self.trace,
+                degraded,
+            };
+            match kind {
+                EventKind::Deliver { from, pkt } => {
+                    self.routers[node.index()].on_packet(from, pkt, &mut ctx)
+                }
+                EventKind::Timer { token } => self.routers[node.index()].on_timer(token, &mut ctx),
+                EventKind::App(app) => self.routers[node.index()].on_app(app, &mut ctx),
+                EventKind::Fault(_) => unreachable!("handled above"),
+            }
+        }
+        processed
+    }
+
+    /// Run until the event queue is completely drained.
+    pub fn run_to_quiescence(&mut self) -> u64 {
+        self.run_until(SimTime::MAX)
+    }
+}

@@ -1,0 +1,224 @@
+//! The per-dispatch context handed to [`Router`](super::Router)
+//! callbacks: the only way protocols interact with the network.
+
+use super::queue::{EventKind, EventQueue};
+use super::transport::Transport;
+use super::{SimTime, TraceKind, TraceRecord};
+use crate::packet::{Packet, PacketClass};
+use crate::stats::SimStats;
+use scmp_net::{NodeId, RoutingTables, Topology};
+use std::fmt;
+
+/// The per-dispatch context handed to [`Router`](super::Router)
+/// callbacks.
+pub struct Ctx<'a, M> {
+    pub(super) now: SimTime,
+    pub(super) node: NodeId,
+    pub(super) topo: &'a Topology,
+    pub(super) routes: &'a RoutingTables,
+    pub(super) queue: &'a mut EventQueue<M>,
+    pub(super) stats: &'a mut SimStats,
+    pub(super) transport: &'a mut Transport,
+    pub(super) trace: &'a mut Option<Vec<TraceRecord>>,
+    /// True while any link or node is down: overhead charged in this
+    /// window also accumulates into the during-failure counters.
+    pub(super) degraded: bool,
+}
+
+impl<'a, M: Clone + fmt::Debug> Ctx<'a, M> {
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The router being executed.
+    pub fn me(&self) -> NodeId {
+        self.node
+    }
+
+    /// The topology (read-only).
+    pub fn topo(&self) -> &Topology {
+        self.topo
+    }
+
+    /// The domain's unicast routing tables (read-only).
+    pub fn routes(&self) -> &RoutingTables {
+        self.routes
+    }
+
+    fn push(&mut self, time: SimTime, node: NodeId, kind: EventKind<M>) {
+        self.queue.push(time, node, kind);
+    }
+
+    /// Is the link `a`–`b` (and both endpoints) currently in service?
+    /// Models the domain's link-state IGP view, which every router —
+    /// and in particular the m-router's repair scan — can consult.
+    pub fn link_up(&self, a: NodeId, b: NodeId) -> bool {
+        self.transport.link_alive(a, b)
+    }
+
+    /// Is router `v` currently in service (per the IGP view)?
+    pub fn node_up(&self, v: NodeId) -> bool {
+        self.transport.node_up(v)
+    }
+
+    /// The topology restricted to live nodes and links — what a repair
+    /// algorithm should plan over. Node ids are preserved.
+    pub fn surviving_topology(&self) -> Topology {
+        self.topo.subtopology(
+            |v| self.transport.node_up(v),
+            |a, b| !self.transport.link_cut(a, b),
+        )
+    }
+
+    /// Record a completed tree repair: the elapsed time since the most
+    /// recent fault becomes a repair-latency sample.
+    pub fn record_repair(&mut self) {
+        let now = self.now;
+        self.stats.record_repair(now);
+    }
+
+    /// Send `pkt` to the directly-connected neighbour `to`. Charges the
+    /// link cost against the packet's overhead class and delivers after
+    /// the link delay. Dead links/nodes drop the packet.
+    ///
+    /// Sending to a router that is not a neighbour is a protocol bug in
+    /// a static topology, but a repair scan can legitimately race a
+    /// topology change — so release builds count and trace the drop
+    /// instead of tearing the simulation down (debug builds still
+    /// assert).
+    pub fn send(&mut self, to: NodeId, pkt: Packet<M>) {
+        let Some(w) = self.topo.link(self.node, to) else {
+            debug_assert!(false, "{:?} is not a neighbour of {:?}", to, self.node);
+            self.stats.drops += 1;
+            if let Some(trace) = self.trace.as_mut() {
+                trace.push(TraceRecord {
+                    time: self.now,
+                    node: self.node,
+                    kind: TraceKind::NonNeighbourDrop { to },
+                });
+            }
+            return;
+        };
+        if !self.transport.link_alive(self.node, to) {
+            self.stats.drops += 1;
+            return;
+        }
+        let Some(depart) = self.reserve_link(self.node, to, self.now) else {
+            // Queue overflow: the congestion loss of §I.
+            self.stats.drops += 1;
+            self.stats.queue_drops += 1;
+            return;
+        };
+        self.charge(pkt.class, w.cost);
+        let t = depart + w.delay;
+        self.push(
+            t,
+            to,
+            EventKind::Deliver {
+                from: self.node,
+                pkt,
+            },
+        );
+    }
+
+    /// Reserve the directed link `a -> b` through the transport and
+    /// charge any queueing wait to the statistics. Returns the
+    /// serialisation-complete time, or `None` when the queue is full.
+    fn reserve_link(&mut self, a: NodeId, b: NodeId, ready: SimTime) -> Option<SimTime> {
+        let slot = self.transport.reserve_link(a, b, ready)?;
+        self.stats.queueing_delay_total += slot.waited;
+        self.stats.max_queueing_delay = self.stats.max_queueing_delay.max(slot.waited);
+        Some(slot.depart)
+    }
+
+    /// Send `pkt` to an arbitrary router via the domain's unicast routing
+    /// (hop-by-hop along shortest-delay paths, every hop charged). This
+    /// models IP tunnelling: intermediate routers forward without the
+    /// multicast protocol seeing the packet. The receiver observes
+    /// `from` = the last hop on the path.
+    ///
+    /// The packet is dropped (and partially charged, like a real packet
+    /// making it partway) if the path crosses a dead link or node.
+    pub fn unicast(&mut self, dst: NodeId, pkt: Packet<M>) {
+        if dst == self.node {
+            let t = self.now;
+            self.push(
+                t,
+                dst,
+                EventKind::Deliver {
+                    from: self.node,
+                    pkt,
+                },
+            );
+            return;
+        }
+        let Some(route) = self.routes.route(self.node, dst) else {
+            self.stats.drops += 1;
+            return;
+        };
+        let mut at = self.now;
+        for hop in route.windows(2) {
+            let (a, b) = (hop[0], hop[1]);
+            if !self.transport.link_alive(a, b) {
+                self.stats.drops += 1;
+                return;
+            }
+            let Some(depart) = self.reserve_link(a, b, at) else {
+                self.stats.drops += 1;
+                self.stats.queue_drops += 1;
+                return;
+            };
+            let w = self.topo.link(a, b).expect("route follows links");
+            self.charge(pkt.class, w.cost);
+            at = depart + w.delay;
+        }
+        let from = route[route.len() - 2];
+        self.push(at, dst, EventKind::Deliver { from, pkt });
+    }
+
+    /// Arm a timer that fires `delay` ticks from now with `token`.
+    pub fn set_timer(&mut self, delay: SimTime, token: u64) {
+        let t = self.now + delay;
+        let node = self.node;
+        self.push(t, node, EventKind::Timer { token });
+    }
+
+    /// Record delivery of a data payload to the member hosts attached to
+    /// this router (the end of the multicast path).
+    pub fn deliver_local(&mut self, pkt: &Packet<M>) {
+        debug_assert_eq!(
+            pkt.class,
+            PacketClass::Data,
+            "only data is delivered to hosts"
+        );
+        let delay = self.now.saturating_sub(pkt.created_at);
+        self.stats
+            .record_delivery(pkt.group, pkt.tag, self.node, delay);
+    }
+
+    /// Record a protocol-decision drop (e.g. a packet arriving from a
+    /// router outside the forwarding set, §III-F).
+    pub fn drop_packet(&mut self) {
+        self.stats.drops += 1;
+    }
+
+    fn charge(&mut self, class: PacketClass, cost: u64) {
+        match class {
+            PacketClass::Data => {
+                self.stats.data_overhead += cost;
+                self.stats.data_hops += 1;
+                if self.degraded {
+                    self.stats.data_overhead_during_failure += cost;
+                }
+            }
+            PacketClass::Control => {
+                self.stats.protocol_overhead += cost;
+                self.stats.control_hops += 1;
+                if self.degraded {
+                    self.stats.control_overhead_during_failure += cost;
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Object-safe erasure of [`Engine`]: drive any protocol's engine
+//! through one vtable.
+//!
+//! `Engine<R>` is generic over the protocol, so heterogeneous scenario
+//! drivers (the bench harness, the protocol registry) cannot hold a
+//! collection of them directly. [`EngineRunner`] erases the protocol
+//! type behind the driving surface every experiment uses: scheduling,
+//! capacity, tracing, running and statistics. Protocol-specific state
+//! inspection stays on the concrete `Engine<R>`.
+
+use super::core::Engine;
+use super::transport::CapacityModel;
+use super::{AppEvent, Router, SimTime, TraceRecord};
+use crate::fault::{FaultEvent, FaultPlan};
+use crate::stats::SimStats;
+use scmp_net::{NodeId, Topology};
+
+/// The protocol-agnostic driving surface of an [`Engine`].
+pub trait EngineRunner {
+    /// Inject an application event at absolute time `time`.
+    fn schedule_app(&mut self, time: SimTime, node: NodeId, ev: AppEvent);
+    /// Schedule a single fault.
+    fn schedule_fault(&mut self, time: SimTime, fault: FaultEvent);
+    /// Schedule every fault of a plan.
+    fn schedule_fault_plan(&mut self, plan: &FaultPlan);
+    /// Enable the finite link-capacity model.
+    fn set_capacity(&mut self, model: CapacityModel);
+    /// Override the runaway-protection event limit.
+    fn set_event_limit(&mut self, limit: u64);
+    /// Enable event tracing.
+    fn enable_trace(&mut self);
+    /// The recorded trace (empty when tracing is disabled).
+    fn trace(&self) -> &[TraceRecord];
+    /// Current simulation time.
+    fn now(&self) -> SimTime;
+    /// The topology being simulated.
+    fn topo(&self) -> &Topology;
+    /// Collected statistics.
+    fn stats(&self) -> &SimStats;
+    /// Deepest the event queue has been.
+    fn peak_queue_depth(&self) -> usize;
+    /// Run until the queue drains or the next event is past `deadline`.
+    fn run_until(&mut self, deadline: SimTime) -> u64;
+    /// Run until the event queue is completely drained.
+    fn run_to_quiescence(&mut self) -> u64;
+}
+
+impl<R: Router> EngineRunner for Engine<R> {
+    fn schedule_app(&mut self, time: SimTime, node: NodeId, ev: AppEvent) {
+        Engine::schedule_app(self, time, node, ev);
+    }
+    fn schedule_fault(&mut self, time: SimTime, fault: FaultEvent) {
+        Engine::schedule_fault(self, time, fault);
+    }
+    fn schedule_fault_plan(&mut self, plan: &FaultPlan) {
+        Engine::schedule_fault_plan(self, plan);
+    }
+    fn set_capacity(&mut self, model: CapacityModel) {
+        Engine::set_capacity(self, model);
+    }
+    fn set_event_limit(&mut self, limit: u64) {
+        Engine::set_event_limit(self, limit);
+    }
+    fn enable_trace(&mut self) {
+        Engine::enable_trace(self);
+    }
+    fn trace(&self) -> &[TraceRecord] {
+        Engine::trace(self)
+    }
+    fn now(&self) -> SimTime {
+        Engine::now(self)
+    }
+    fn topo(&self) -> &Topology {
+        Engine::topo(self)
+    }
+    fn stats(&self) -> &SimStats {
+        Engine::stats(self)
+    }
+    fn peak_queue_depth(&self) -> usize {
+        Engine::peak_queue_depth(self)
+    }
+    fn run_until(&mut self, deadline: SimTime) -> u64 {
+        Engine::run_until(self, deadline)
+    }
+    fn run_to_quiescence(&mut self) -> u64 {
+        Engine::run_to_quiescence(self)
+    }
+}

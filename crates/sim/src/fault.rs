@@ -241,11 +241,20 @@ mod tests {
         assert!(good.validate(&topo).is_ok());
 
         let no_such_link = FaultPlan::new().at(0, FaultKind::LinkDown { a: 0, b: 3 });
-        assert!(no_such_link.validate(&topo).unwrap_err().contains("does not exist"));
+        assert!(no_such_link
+            .validate(&topo)
+            .unwrap_err()
+            .contains("does not exist"));
         let bad_node = FaultPlan::new().at(0, FaultKind::RouterCrash { node: 9 });
-        assert!(bad_node.validate(&topo).unwrap_err().contains("out of range"));
+        assert!(bad_node
+            .validate(&topo)
+            .unwrap_err()
+            .contains("out of range"));
         let bad_endpoint = FaultPlan::new().at(0, FaultKind::LinkUp { a: 0, b: 99 });
-        assert!(bad_endpoint.validate(&topo).unwrap_err().contains("out of range"));
+        assert!(bad_endpoint
+            .validate(&topo)
+            .unwrap_err()
+            .contains("out of range"));
     }
 
     #[test]

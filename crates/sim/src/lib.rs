@@ -21,13 +21,24 @@
 //! Determinism: events are ordered by `(time, sequence-number)`, and no
 //! wall-clock or unseeded randomness exists anywhere in the engine, so a
 //! scenario replays identically across runs and machines.
+//!
+//! The engine is layered (see [`engine`]): an arena-backed event queue
+//! (`engine::queue`) keeps heap entries small, the link-liveness and
+//! capacity arithmetic lives in [`Transport`] (`engine::transport`,
+//! unit-testable without an engine), protocols talk to the network
+//! through [`Ctx`] (`engine::ctx`), and the event loop itself is
+//! `engine::core`. [`EngineRunner`] erases `Engine<R>` so heterogeneous
+//! scenario drivers can hold any protocol's engine behind one vtable.
 
 pub mod engine;
 pub mod fault;
 pub mod packet;
 pub mod stats;
 
-pub use engine::{AppEvent, CapacityModel, Ctx, Engine, Router, SimTime, TraceKind, TraceRecord};
+pub use engine::{
+    AppEvent, CapacityModel, Ctx, Engine, EngineRunner, LinkSlot, Router, SimTime, TraceKind,
+    TraceRecord, Transport,
+};
 pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultSpec};
 pub use packet::{GroupId, Packet, PacketClass};
 pub use stats::SimStats;

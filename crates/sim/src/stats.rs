@@ -52,7 +52,10 @@ pub struct SimStats {
 impl SimStats {
     /// Record a data payload reaching a member host.
     pub fn record_delivery(&mut self, group: GroupId, tag: u64, node: NodeId, delay: u64) {
-        let entry = self.deliveries.entry((group, tag, node)).or_insert((0, delay));
+        let entry = self
+            .deliveries
+            .entry((group, tag, node))
+            .or_insert((0, delay));
         entry.0 += 1;
         if entry.0 == 1 {
             entry.1 = delay;

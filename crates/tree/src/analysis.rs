@@ -50,11 +50,7 @@ pub fn analyze(topo: &Topology, paths: &AllPairsPaths, tree: &MulticastTree) -> 
     for m in tree.members() {
         let ml = tree.multicast_delay(topo, m).expect("member on tree");
         let ul = paths.unicast_delay(root, m).expect("connected");
-        let stretch = if ul == 0 {
-            1.0
-        } else {
-            ml as f64 / ul as f64
-        };
+        let stretch = if ul == 0 { 1.0 } else { ml as f64 / ul as f64 };
         stretch_sum += stretch;
         max_stretch = max_stretch.max(stretch);
         member_delays.push(MemberDelay {
@@ -71,7 +67,11 @@ pub fn analyze(topo: &Topology, paths: &AllPairsPaths, tree: &MulticastTree) -> 
         members: count,
         routers: tree.on_tree_count(),
         member_delays,
-        mean_stretch: if count == 0 { 0.0 } else { stretch_sum / count as f64 },
+        mean_stretch: if count == 0 {
+            0.0
+        } else {
+            stretch_sum / count as f64
+        },
         max_stretch,
     }
 }

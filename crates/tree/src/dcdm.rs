@@ -111,7 +111,11 @@ impl<'a> Dcdm<'a> {
         tree: MulticastTree,
         bound: DelayBound,
     ) -> Self {
-        assert_eq!(tree.node_capacity(), topo.node_count(), "tree/topology mismatch");
+        assert_eq!(
+            tree.node_capacity(),
+            topo.node_count(),
+            "tree/topology mismatch"
+        );
         Dcdm {
             topo,
             paths,
@@ -168,9 +172,7 @@ impl<'a> Dcdm<'a> {
 
         let (path_to_graft, violated) = if force_shortest {
             (
-                self.paths
-                    .path(s, root, Metric::Delay)
-                    .expect("connected"),
+                self.paths.path(s, root, Metric::Delay).expect("connected"),
                 false,
             )
         } else {
@@ -179,9 +181,7 @@ impl<'a> Dcdm<'a> {
                 None => (
                     // No feasible graft under a fixed bound tighter than
                     // ul(s): fall back to the best achievable delay.
-                    self.paths
-                        .path(s, root, Metric::Delay)
-                        .expect("connected"),
+                    self.paths.path(s, root, Metric::Delay).expect("connected"),
                     true,
                 ),
             }
@@ -457,9 +457,9 @@ mod tests {
             .max()
             .unwrap();
         assert!(d.tree().tree_delay(&topo) >= max_ul); // tree delay is at least the diameter member
-        // Every join kept the invariant: delay grows only when a
-        // larger-ul member arrives, so the final delay is bounded by the
-        // max unicast delay plus nothing.
+                                                       // Every join kept the invariant: delay grows only when a
+                                                       // larger-ul member arrives, so the final delay is bounded by the
+                                                       // max unicast delay plus nothing.
         assert_eq!(d.tree().tree_delay(&topo), max_ul);
     }
 }

@@ -63,9 +63,9 @@ impl<'a> GreedySteiner<'a> {
             .expect("tree contains at least the root");
         let mut path = self.paths.path(s, best.1, Metric::Cost).expect("connected");
         path.reverse(); // graft -> … -> s
-        // The least-cost path to the *nearest* on-tree node cannot cross
-        // another on-tree node (that node would be nearer), so plain
-        // attachment suffices — no loop elimination needed.
+                        // The least-cost path to the *nearest* on-tree node cannot cross
+                        // another on-tree node (that node would be nearer), so plain
+                        // attachment suffices — no loop elimination needed.
         let mut prev = path[0];
         for &v in &path[1..] {
             debug_assert!(!self.tree.contains(v), "nearest-node property violated");

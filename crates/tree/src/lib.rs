@@ -36,8 +36,8 @@ pub mod tree;
 
 pub use constraint::{delay_bound, ConstraintLevel};
 pub use dcdm::{Dcdm, DelayBound, JoinOutcome};
-pub use repair::{assess, TreeDamage};
 pub use greedy::GreedySteiner;
 pub use kmb::kmb_tree;
+pub use repair::{assess, TreeDamage};
 pub use spt::spt_tree;
 pub use tree::MulticastTree;

@@ -85,11 +85,7 @@ mod tests {
 
     #[test]
     fn deterministic_under_ties() {
-        let edges = vec![
-            (n(0), n(1), 5),
-            (n(0), n(2), 5),
-            (n(1), n(2), 5),
-        ];
+        let edges = vec![(n(0), n(1), 5), (n(0), n(2), 5), (n(1), n(2), 5)];
         let a = prim_mst(n(0), &edges);
         let b = prim_mst(n(0), &edges);
         assert_eq!(a, b);

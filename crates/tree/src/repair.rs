@@ -152,9 +152,11 @@ mod tests {
 
     #[test]
     fn deep_break_only_detaches_below() {
-        let d = assess(&sample(), |_| true, |a, b| {
-            !(a.0.min(b.0) == 5 && a.0.max(b.0) == 6)
-        });
+        let d = assess(
+            &sample(),
+            |_| true,
+            |a, b| !(a.0.min(b.0) == 5 && a.0.max(b.0) == 6),
+        );
         assert_eq!(d.broken_edges, vec![(NodeId(5), NodeId(6))]);
         assert_eq!(d.detached, [NodeId(6)].into_iter().collect());
         assert_eq!(d.orphaned_members, vec![NodeId(6)]);

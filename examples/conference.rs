@@ -51,12 +51,18 @@ fn main() {
         engine.schedule_app(
             talk_start + i as u64 * 100_000,
             p,
-            AppEvent::Send { group: G, tag: i as u64 + 1 },
+            AppEvent::Send {
+                group: G,
+                tag: i as u64 + 1,
+            },
         );
     }
     engine.run_to_quiescence();
 
-    println!("\nconference of {} participants, each spoke once:", participants.len());
+    println!(
+        "\nconference of {} participants, each spoke once:",
+        participants.len()
+    );
     for (i, &p) in participants.iter().enumerate() {
         let tag = i as u64 + 1;
         let heard_by = participants
@@ -86,7 +92,11 @@ fn main() {
         }],
     )
     .expect("valid many-to-many request");
-    println!("\nm-router sandwich fabric ({} ports, depth {} crossbar columns):", fabric.size(), fabric.depth());
+    println!(
+        "\nm-router sandwich fabric ({} ports, depth {} crossbar columns):",
+        fabric.size(),
+        fabric.depth()
+    );
     for line in 0..4 {
         println!("  speaker line {line} -> output port {}", fabric.eval(line));
         assert_eq!(fabric.eval(line), 7);

@@ -34,7 +34,10 @@ fn main() {
     // --- Connection component network -----------------------------------
     println!("== Connection component network (CCN) ==");
     let ccn = ConnectionComponentNetwork::configure(8, &[vec![0, 1, 2], vec![4, 5]]).unwrap();
-    println!("two merge components over 8 lines, merge depth {}", ccn.depth());
+    println!(
+        "two merge components over 8 lines, merge depth {}",
+        ccn.depth()
+    );
     for line in 0..8 {
         println!(
             "  line {line} -> line {} {}",
@@ -49,9 +52,18 @@ fn main() {
     // --- The sandwich: simultaneous many-to-many sessions ----------------
     println!("\n== PN-CCN-DN sandwich: three concurrent conferences ==");
     let sessions = [
-        GroupRequest { sources: vec![0, 9, 4], output: 15 }, // video conf
-        GroupRequest { sources: vec![2, 11], output: 3 },    // e-learning
-        GroupRequest { sources: vec![6], output: 8 },        // software push
+        GroupRequest {
+            sources: vec![0, 9, 4],
+            output: 15,
+        }, // video conf
+        GroupRequest {
+            sources: vec![2, 11],
+            output: 3,
+        }, // e-learning
+        GroupRequest {
+            sources: vec![6],
+            output: 8,
+        }, // software push
     ];
     let fabric = SandwichFabric::configure(16, &sessions).unwrap();
     println!(

@@ -71,7 +71,10 @@ fn main() {
         .iter()
         .filter(|&&m| engine.stats().delivery_count(G, 2, m) == 0)
         .count();
-    println!("t=720_000  : packet 2 sent during outage; lost at {lost}/{} members", members.len());
+    println!(
+        "t=720_000  : packet 2 sent during outage; lost at {lost}/{} members",
+        members.len()
+    );
     assert!(
         engine.router(standby).is_m_router(),
         "standby must have taken over"

@@ -80,7 +80,10 @@ fn main() {
     println!("\nrobustness report:");
     println!("  faults injected            {}", s.faults_injected);
     println!("  tree repairs               {}", s.repairs);
-    println!("  mean repair latency        {:.0}", s.mean_repair_latency());
+    println!(
+        "  mean repair latency        {:.0}",
+        s.mean_repair_latency()
+    );
     println!("  max repair latency         {}", s.max_repair_latency);
     println!(
         "  delivery ratio             {:.3}",
@@ -102,5 +105,8 @@ fn main() {
     assert!(s.repairs >= 1, "repair scan never fired");
     let ratio = s.delivery_ratio(expected.iter().copied());
     assert!(ratio >= 11.0 / 12.0, "delivery ratio {ratio} too low");
-    println!("\nsurvived: {} repairs, delivery ratio {:.3}", s.repairs, ratio);
+    println!(
+        "\nsurvived: {} repairs, delivery ratio {:.3}",
+        s.repairs, ratio
+    );
 }

@@ -52,8 +52,22 @@ fn main() {
         engine.schedule_app(t, m, AppEvent::Join(audio));
         t += 3_000;
     }
-    engine.schedule_app(600_000, NodeId(9), AppEvent::Send { group: video, tag: 1 });
-    engine.schedule_app(600_000, NodeId(9), AppEvent::Send { group: audio, tag: 2 });
+    engine.schedule_app(
+        600_000,
+        NodeId(9),
+        AppEvent::Send {
+            group: video,
+            tag: 1,
+        },
+    );
+    engine.schedule_app(
+        600_000,
+        NodeId(9),
+        AppEvent::Send {
+            group: audio,
+            tag: 2,
+        },
+    );
     engine.run_to_quiescence();
 
     for (label, m_router, group, members, tag) in [

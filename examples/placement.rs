@@ -28,7 +28,10 @@ fn main() {
     pool.shuffle(&mut rng);
     let members: Vec<NodeId> = pool.into_iter().take(30).collect();
 
-    println!("{:<18} {:>8} {:>10} {:>10}", "strategy", "m-router", "tree cost", "tree delay");
+    println!(
+        "{:<18} {:>8} {:>10} {:>10}",
+        "strategy", "m-router", "tree cost", "tree delay"
+    );
     for rule in PlacementRule::ALL {
         let root = placement::place(rule, &topo, &paths);
         let group: Vec<NodeId> = members.iter().copied().filter(|&m| m != root).collect();

@@ -52,6 +52,9 @@ fn main() {
             }
             TraceKind::Timer { token } => format!("timer {token} fires"),
             TraceKind::Fault(f) => format!("fault injected: {}", f.label()),
+            TraceKind::NonNeighbourDrop { to } => {
+                format!("drops a send to non-neighbour n{}", to.0)
+            }
         };
         println!("{:>6}  n{:<5} {}", rec.time, rec.node.0, what);
     }

@@ -16,6 +16,11 @@ test-offline:
 build:
     cargo build --release
 
+# Style gate: formatting and clippy, warnings as errors.
+lint:
+    cargo fmt --check
+    cargo clippy --workspace -- -D warnings
+
 # Fault-injection demo: link cuts + router crash against Fig. 5.
 failstorm:
     cargo run --example failstorm

@@ -5,5 +5,7 @@
 set -eu
 cd "$(dirname "$0")/.."
 export CARGO_NET_OFFLINE=true
+cargo fmt --check
+cargo clippy --workspace -- -D warnings
 cargo build --release
 cargo test -q

@@ -1,12 +1,12 @@
 //! Shared helpers for the cross-crate integration tests.
 
 use rand::seq::SliceRandom;
-use scmp_core::router::{ScmpConfig, ScmpDomain, ScmpRouter};
+use scmp_core::router::{ScmpConfig, ScmpRouter};
 use scmp_net::rng::rng_for;
 use scmp_net::topology::{waxman, WaxmanConfig};
 use scmp_net::{NodeId, Topology};
+use scmp_protocols::build_scmp_engine;
 use scmp_sim::{AppEvent, Engine, GroupId};
-use std::sync::Arc;
 
 /// The group id used throughout the integration tests.
 pub const G: GroupId = GroupId(1);
@@ -48,8 +48,7 @@ pub fn scenario(seed: u64, n: usize, group: usize) -> TestScenario {
 
 /// Build an SCMP engine with the m-router at node 0.
 pub fn scmp_engine(topo: Topology) -> Engine<ScmpRouter> {
-    let domain = ScmpDomain::new(topo.clone(), ScmpConfig::new(NodeId(0)));
-    Engine::new(topo, move |me, _, _| ScmpRouter::new(me, Arc::clone(&domain)))
+    build_scmp_engine(topo, ScmpConfig::new(NodeId(0)))
 }
 
 /// Schedule staggered joins followed by `packets` sends from `source`.
@@ -66,7 +65,14 @@ pub fn drive_joins_then_sends(
     }
     let start = t + 500_000;
     for k in 0..packets {
-        e.schedule_app(start + k * 50_000, source, AppEvent::Send { group: G, tag: k + 1 });
+        e.schedule_app(
+            start + k * 50_000,
+            source,
+            AppEvent::Send {
+                group: G,
+                tag: k + 1,
+            },
+        );
     }
     e.run_to_quiescence();
 }

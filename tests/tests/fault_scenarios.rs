@@ -6,13 +6,13 @@
 //! 0-1-4, 0-2, 2-3, 2-5 — so cutting 0-2 severs the limb feeding 3 and
 //! 5, while 1-2 carries no tree traffic at all.
 
-use scmp_core::router::{ScmpConfig, ScmpDomain, ScmpRouter};
+use scmp_core::router::{ScmpConfig, ScmpRouter};
 use scmp_integration::G;
 use scmp_net::topology::examples::fig5;
 use scmp_net::{AllPairsPaths, NodeId};
+use scmp_protocols::build_scmp_engine;
 use scmp_sim::{AppEvent, Engine, FaultKind, FaultPlan};
 use scmp_tree::constraint::{delay_bound, ConstraintLevel};
-use std::sync::Arc;
 
 const MEMBERS: [u32; 3] = [4, 3, 5];
 const REPAIR_INTERVAL: u64 = 2_000;
@@ -20,11 +20,7 @@ const REPAIR_INTERVAL: u64 = 2_000;
 /// Fig. 5 engine with the robustness knobs enabled and the standard
 /// member set joined at t = 0, 1000, 2000.
 fn engine_with(config: ScmpConfig) -> Engine<ScmpRouter> {
-    let topo = fig5();
-    let domain = ScmpDomain::new(topo.clone(), config);
-    let mut e = Engine::new(topo, move |me, _, _| {
-        ScmpRouter::new(me, Arc::clone(&domain))
-    });
+    let mut e = build_scmp_engine(fig5(), config);
     for (k, m) in MEMBERS.iter().enumerate() {
         e.schedule_app(k as u64 * 1_000, NodeId(*m), AppEvent::Join(G));
     }
@@ -41,10 +37,7 @@ fn robust_config() -> ScmpConfig {
 
 /// Schedule `tags` sends from node 1 at the given times and return the
 /// expected (group, tag, member) delivery triples.
-fn sends(
-    e: &mut Engine<ScmpRouter>,
-    times: &[u64],
-) -> Vec<(scmp_sim::GroupId, u64, NodeId)> {
+fn sends(e: &mut Engine<ScmpRouter>, times: &[u64]) -> Vec<(scmp_sim::GroupId, u64, NodeId)> {
     let mut expected = Vec::new();
     for (k, &t) in times.iter().enumerate() {
         let tag = k as u64 + 1;

@@ -11,12 +11,12 @@
 //!
 //! and review the diff like any other code change.
 
-use scmp_core::router::{ScmpConfig, ScmpDomain, ScmpRouter};
+use scmp_core::router::ScmpConfig;
 use scmp_integration::G;
 use scmp_net::topology::examples::fig5;
 use scmp_net::NodeId;
-use scmp_sim::{AppEvent, Engine, FaultKind, FaultPlan};
-use std::sync::Arc;
+use scmp_protocols::build_scmp_engine;
+use scmp_sim::{AppEvent, FaultKind, FaultPlan};
 
 const GOLDEN: &str = include_str!("../golden/failstorm_trace.txt");
 
@@ -24,15 +24,11 @@ const GOLDEN: &str = include_str!("../golden/failstorm_trace.txt");
 /// the tree, a router crash/recover cycle, and data packets landing
 /// before, during and after the failures.
 fn run_pinned_scenario() -> Vec<String> {
-    let topo = fig5();
     let mut cfg = ScmpConfig::new(NodeId(0));
     cfg.repair_interval = 2_000;
     cfg.join_retry = 5_000;
     cfg.leave_retry = 5_000;
-    let domain = ScmpDomain::new(topo.clone(), cfg);
-    let mut e = Engine::new(topo, move |me, _, _| {
-        ScmpRouter::new(me, Arc::clone(&domain))
-    });
+    let mut e = build_scmp_engine(fig5(), cfg);
     e.enable_trace();
 
     for (t, n) in [(0u64, 4u32), (1_000, 3), (2_000, 5)] {
@@ -69,10 +65,7 @@ fn pinned_scenario_is_deterministic() {
 fn pinned_scenario_matches_golden_trace() {
     let got = run_pinned_scenario();
     if std::env::var_os("UPDATE_GOLDEN").is_some() {
-        let path = concat!(
-            env!("CARGO_MANIFEST_DIR"),
-            "/golden/failstorm_trace.txt"
-        );
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/golden/failstorm_trace.txt");
         let mut out = got.join("\n");
         out.push('\n');
         std::fs::write(path, out).expect("write golden file");

@@ -2,19 +2,16 @@
 //! groups (the paper's m-router "integrates multiple routers, each of
 //! which can serve more than one multicast groups", §II-A).
 
+use scmp_core::router::ScmpConfig;
 use scmp_integration::scenario;
-use scmp_core::router::{ScmpConfig, ScmpDomain, ScmpRouter};
 use scmp_net::NodeId;
-use scmp_sim::{AppEvent, Engine, GroupId};
-use std::sync::Arc;
+use scmp_protocols::build_scmp_engine;
+use scmp_sim::{AppEvent, GroupId};
 
 #[test]
 fn m_router_serves_one_hundred_groups() {
     let sc = scenario(31, 30, 0);
-    let domain = ScmpDomain::new(sc.topo.clone(), ScmpConfig::new(NodeId(0)));
-    let mut e = Engine::new(sc.topo.clone(), move |me, _, _| {
-        ScmpRouter::new(me, Arc::clone(&domain))
-    });
+    let mut e = build_scmp_engine(sc.topo.clone(), ScmpConfig::new(NodeId(0)));
     let nodes: Vec<NodeId> = sc.topo.nodes().filter(|v| v.0 != 0).collect();
     // 100 groups, each with two members chosen round-robin.
     let mut t = 0;
@@ -29,10 +26,14 @@ fn m_router_serves_one_hundred_groups() {
     let start = t + 1_000_000;
     for g in 1..=100u32 {
         let src = nodes[(g as usize * 7) % nodes.len()];
-        e.schedule_app(start + g as u64 * 10_000, src, AppEvent::Send {
-            group: GroupId(g),
-            tag: g as u64,
-        });
+        e.schedule_app(
+            start + g as u64 * 10_000,
+            src,
+            AppEvent::Send {
+                group: GroupId(g),
+                tag: g as u64,
+            },
+        );
     }
     e.run_to_quiescence();
 
@@ -40,7 +41,10 @@ fn m_router_serves_one_hundred_groups() {
     for g in 1..=100u32 {
         let group = GroupId(g);
         assert!(m.tree(group).is_some(), "group {g} has a tree");
-        assert!(m.fabric_port(group).is_some(), "group {g} has a fabric port");
+        assert!(
+            m.fabric_port(group).is_some(),
+            "group {g} has a fabric port"
+        );
         let a = nodes[(g as usize * 2) % nodes.len()];
         let b = nodes[(g as usize * 2 + 1) % nodes.len()];
         let src = nodes[(g as usize * 7) % nodes.len()];

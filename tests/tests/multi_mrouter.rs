@@ -6,20 +6,17 @@
 //! Groups are assigned round-robin over the configured m-router set;
 //! each m-router owns its groups' trees, membership and accounting.
 
+use scmp_core::router::{ScmpConfig, ScmpRouter};
 use scmp_integration::scenario;
-use scmp_core::router::{ScmpConfig, ScmpDomain, ScmpRouter};
 use scmp_net::NodeId;
+use scmp_protocols::build_scmp_engine;
 use scmp_sim::{AppEvent, Engine, GroupId};
-use std::sync::Arc;
 
 fn engine_with_two_mrouters(seed: u64) -> (Engine<ScmpRouter>, Vec<NodeId>) {
     let sc = scenario(seed, 25, 0);
     let mut cfg = ScmpConfig::new(NodeId(0));
     cfg.extra_m_routers = vec![NodeId(1)];
-    let domain = ScmpDomain::new(sc.topo.clone(), cfg);
-    let e = Engine::new(sc.topo.clone(), move |me, _, _| {
-        ScmpRouter::new(me, Arc::clone(&domain))
-    });
+    let e = build_scmp_engine(sc.topo.clone(), cfg);
     let pool: Vec<NodeId> = sc.topo.nodes().filter(|v| v.0 >= 2).collect();
     (e, pool)
 }
@@ -34,8 +31,14 @@ fn groups_are_partitioned_across_m_routers() {
     e.schedule_app(0, pool[1], AppEvent::Join(g_odd));
     e.run_to_quiescence();
 
-    let m0 = e.router(NodeId(0)).m_state().expect("node 0 is an m-router");
-    let m1 = e.router(NodeId(1)).m_state().expect("node 1 is an m-router");
+    let m0 = e
+        .router(NodeId(0))
+        .m_state()
+        .expect("node 0 is an m-router");
+    let m1 = e
+        .router(NodeId(1))
+        .m_state()
+        .expect("node 1 is an m-router");
     assert!(m0.tree(g_even).is_some(), "even group served by m-router 0");
     assert!(m0.tree(g_odd).is_none(), "odd group not at m-router 0");
     assert!(m1.tree(g_odd).is_some(), "odd group served by m-router 1");
@@ -62,8 +65,22 @@ fn both_m_routers_deliver_their_groups() {
         t += 1_000;
     }
     let src = pool[10];
-    e.schedule_app(t + 500_000, src, AppEvent::Send { group: g_even, tag: 1 });
-    e.schedule_app(t + 500_000, src, AppEvent::Send { group: g_odd, tag: 2 });
+    e.schedule_app(
+        t + 500_000,
+        src,
+        AppEvent::Send {
+            group: g_even,
+            tag: 1,
+        },
+    );
+    e.schedule_app(
+        t + 500_000,
+        src,
+        AppEvent::Send {
+            group: g_odd,
+            tag: 2,
+        },
+    );
     e.run_to_quiescence();
 
     for &m in &members_even {
@@ -109,8 +126,5 @@ fn standby_plus_multi_mrouter_rejected() {
     let mut cfg = ScmpConfig::new(NodeId(0));
     cfg.extra_m_routers = vec![NodeId(1)];
     cfg.standby = Some(NodeId(2));
-    let domain = ScmpDomain::new(sc.topo.clone(), cfg);
-    let _e: Engine<ScmpRouter> = Engine::new(sc.topo.clone(), move |me, _, _| {
-        ScmpRouter::new(me, Arc::clone(&domain))
-    });
+    let _e = build_scmp_engine(sc.topo.clone(), cfg);
 }

@@ -1,13 +1,11 @@
 //! Cross-protocol comparisons: the §IV-B claims as executable
 //! assertions, over topologies the unit tests don't cover.
 
-use scmp_baselines::{CbtConfig, CbtRouter, DvmrpConfig, DvmrpRouter, MospfRouter};
-use scmp_integration::{scenario, G};
 use scmp_core::placement;
-use scmp_core::router::{ScmpConfig, ScmpDomain, ScmpRouter};
+use scmp_integration::{scenario, G};
 use scmp_net::{AllPairsPaths, NodeId, Topology};
-use scmp_sim::{AppEvent, Engine, Router, SimStats};
-use std::sync::Arc;
+use scmp_protocols::{build_engine, ProtocolKind, ProtocolParams};
+use scmp_sim::{AppEvent, EngineRunner, SimStats};
 
 // The paper's §IV-B data phase: 30 packets at one per "second", with a
 // DVMRP prune lifetime of a few seconds so the flood-prune cycle repeats
@@ -16,7 +14,7 @@ use std::sync::Arc;
 const PACKETS: u64 = 30;
 const PRUNE_TIMEOUT: u64 = 150_000; // 3 data periods
 
-fn drive<R: Router>(e: &mut Engine<R>, members: &[NodeId], source: NodeId) {
+fn drive(e: &mut dyn EngineRunner, members: &[NodeId], source: NodeId) {
     let mut t = 0;
     for &m in members {
         e.schedule_app(t, m, AppEvent::Join(G));
@@ -24,7 +22,14 @@ fn drive<R: Router>(e: &mut Engine<R>, members: &[NodeId], source: NodeId) {
     }
     let start = t + 500_000;
     for k in 0..PACKETS {
-        e.schedule_app(start + k * 50_000, source, AppEvent::Send { group: G, tag: k + 1 });
+        e.schedule_app(
+            start + k * 50_000,
+            source,
+            AppEvent::Send {
+                group: G,
+                tag: k + 1,
+            },
+        );
     }
     e.run_to_quiescence();
 }
@@ -33,34 +38,15 @@ fn run_all(topo: &Topology, members: &[NodeId], source: NodeId) -> [SimStats; 4]
     // The shared-tree protocols get a sensibly placed center (the
     // paper's rule 1), as in the Fig. 8/9 harness.
     let center = placement::min_average_delay(topo, &AllPairsPaths::compute(topo));
-    let scmp = {
-        let domain = ScmpDomain::new(topo.clone(), ScmpConfig::new(center));
-        let mut e = Engine::new(topo.clone(), move |me, _, _| {
-            ScmpRouter::new(me, Arc::clone(&domain))
-        });
-        drive(&mut e, members, source);
-        e.stats().clone()
+    let params = ProtocolParams {
+        center,
+        dvmrp_prune_timeout: PRUNE_TIMEOUT,
     };
-    let cbt = {
-        let mut e = Engine::new(topo.clone(), move |me, _, _| {
-            CbtRouter::new(me, CbtConfig { core: center })
-        });
-        drive(&mut e, members, source);
+    ProtocolKind::FIG_8_9.map(|kind| {
+        let mut e = build_engine(kind, topo, &params);
+        drive(e.as_mut(), members, source);
         e.stats().clone()
-    };
-    let dvmrp = {
-        let mut e = Engine::new(topo.clone(), |me, _, _| {
-            DvmrpRouter::new(me, DvmrpConfig { prune_timeout: PRUNE_TIMEOUT })
-        });
-        drive(&mut e, members, source);
-        e.stats().clone()
-    };
-    let mospf = {
-        let mut e = Engine::new(topo.clone(), |me, _, _| MospfRouter::new(me));
-        drive(&mut e, members, source);
-        e.stats().clone()
-    };
-    [scmp, cbt, dvmrp, mospf]
+    })
 }
 
 fn assert_full_delivery(stats: &SimStats, members: &[NodeId], label: &str) {

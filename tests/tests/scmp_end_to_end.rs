@@ -1,12 +1,12 @@
 //! End-to-end SCMP scenarios across random topologies and the ARPANET.
 
+use scmp_core::router::ScmpConfig;
 use scmp_integration::{drive_joins_then_sends, scenario, scmp_engine, G};
-use scmp_core::router::{ScmpConfig, ScmpDomain, ScmpRouter};
 use scmp_net::rng::rng_for;
 use scmp_net::topology::arpanet;
 use scmp_net::NodeId;
-use scmp_sim::{AppEvent, Engine, GroupId};
-use std::sync::Arc;
+use scmp_protocols::build_scmp_engine;
+use scmp_sim::{AppEvent, GroupId};
 
 #[test]
 fn random_topologies_deliver_every_packet_exactly_once() {
@@ -83,7 +83,10 @@ fn m_router_mirror_matches_physical_entries() {
                 }
                 (false, None) => {}
                 (on, entry) => {
-                    panic!("seed {seed}: {v:?} mirror={on} physical={}", entry.is_some())
+                    panic!(
+                        "seed {seed}: {v:?} mirror={on} physical={}",
+                        entry.is_some()
+                    )
                 }
             }
         }
@@ -174,11 +177,13 @@ fn failover_mid_session_on_random_topology() {
     cfg.standby = Some(NodeId(1));
     cfg.heartbeat_interval = 10_000;
     cfg.takeover_rebuild_delay = 20_000;
-    let domain = ScmpDomain::new(sc.topo.clone(), cfg);
-    let mut e = Engine::new(sc.topo.clone(), move |me, _, _| {
-        ScmpRouter::new(me, Arc::clone(&domain))
-    });
-    let members: Vec<NodeId> = sc.members.iter().copied().filter(|&m| m != NodeId(1)).collect();
+    let mut e = build_scmp_engine(sc.topo.clone(), cfg);
+    let members: Vec<NodeId> = sc
+        .members
+        .iter()
+        .copied()
+        .filter(|&m| m != NodeId(1))
+        .collect();
     let mut t = 0;
     for &m in &members {
         e.schedule_app(t, m, AppEvent::Join(G));
@@ -198,7 +203,11 @@ fn failover_mid_session_on_random_topology() {
         e.run_to_quiescence();
         for &m in &members {
             let expect = u64::from(reachable.unicast_delay(m, NodeId(1)).is_some());
-            assert_eq!(e.stats().delivery_count(G, 9, m), expect, "{m:?} post-failover");
+            assert_eq!(
+                e.stats().delivery_count(G, 9, m),
+                expect,
+                "{m:?} post-failover"
+            );
         }
     }
 }

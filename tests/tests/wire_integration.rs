@@ -7,9 +7,9 @@
 //! messages) doubles as an exhaustive codec conformance test on
 //! realistic traffic.
 
-use scmp_integration::{scenario, G};
 use scmp_core::router::{ScmpConfig, ScmpDomain, ScmpRouter};
 use scmp_core::{wire, ScmpMsg};
+use scmp_integration::{scenario, G};
 use scmp_net::NodeId;
 use scmp_sim::{AppEvent, Ctx, Engine, Packet, Router};
 use std::sync::atomic::{AtomicU64, Ordering};

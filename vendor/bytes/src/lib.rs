@@ -54,7 +54,10 @@ impl Bytes {
     /// # Panics
     /// If the range is out of bounds.
     pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
-        assert!(range.start <= range.end && range.end <= self.len(), "slice out of bounds");
+        assert!(
+            range.start <= range.end && range.end <= self.len(),
+            "slice out of bounds"
+        );
         Bytes {
             buf: Arc::clone(&self.buf),
             start: self.start + range.start,
@@ -70,7 +73,11 @@ impl Bytes {
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
         let end = v.len();
-        Bytes { buf: Arc::new(v), start: 0, end }
+        Bytes {
+            buf: Arc::new(v),
+            start: 0,
+            end,
+        }
     }
 }
 
@@ -107,7 +114,9 @@ impl BytesMut {
 
     /// An empty buffer with `cap` bytes preallocated.
     pub fn with_capacity(cap: usize) -> Self {
-        BytesMut { vec: Vec::with_capacity(cap) }
+        BytesMut {
+            vec: Vec::with_capacity(cap),
+        }
     }
 
     /// Current length.

@@ -20,7 +20,10 @@ pub struct Criterion {
 impl Criterion {
     /// Start a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { name: name.into(), _parent: self }
+        BenchmarkGroup {
+            name: name.into(),
+            _parent: self,
+        }
     }
 }
 

@@ -22,13 +22,17 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 #[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let item = parse(input);
-    gen_serialize(&item).parse().expect("generated Serialize impl parses")
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
 }
 
 #[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let item = parse(input);
-    gen_deserialize(&item).parse().expect("generated Deserialize impl parses")
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
 }
 
 // ---------------------------------------------------------------- model
@@ -83,7 +87,10 @@ struct Cursor {
 
 impl Cursor {
     fn new(ts: TokenStream) -> Self {
-        Cursor { toks: ts.into_iter().collect(), pos: 0 }
+        Cursor {
+            toks: ts.into_iter().collect(),
+            pos: 0,
+        }
     }
 
     fn peek(&self) -> Option<&TokenTree> {
@@ -250,7 +257,10 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
             Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
             other => panic!("serde_derive shim: expected `:` after field {name}, got {other:?}"),
         }
-        fields.push(Field { name, default: attrs.default });
+        fields.push(Field {
+            name,
+            default: attrs.default,
+        });
         if !c.skip_type_to_comma() {
             break;
         }

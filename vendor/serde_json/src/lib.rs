@@ -49,7 +49,10 @@ struct Parser<'a> {
 }
 
 fn parse_value(s: &str) -> Result<Value, Error> {
-    let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
     let v = p.value()?;
     p.skip_ws();
     if p.pos != p.bytes.len() {
@@ -228,11 +231,17 @@ impl<'a> Parser<'a> {
         let text = std::str::from_utf8(&self.bytes[start..self.pos])
             .map_err(|_| self.err("bad number"))?;
         if float {
-            text.parse::<f64>().map(Value::F64).map_err(|_| self.err("bad number"))
+            text.parse::<f64>()
+                .map(Value::F64)
+                .map_err(|_| self.err("bad number"))
         } else if text.starts_with('-') {
-            text.parse::<i64>().map(Value::I64).map_err(|_| self.err("bad number"))
+            text.parse::<i64>()
+                .map(Value::I64)
+                .map_err(|_| self.err("bad number"))
         } else {
-            text.parse::<u64>().map(Value::U64).map_err(|_| self.err("bad number"))
+            text.parse::<u64>()
+                .map(Value::U64)
+                .map_err(|_| self.err("bad number"))
         }
     }
 }
@@ -301,7 +310,7 @@ fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize)
 fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
     if let Some(w) = indent {
         out.push('\n');
-        out.extend(std::iter::repeat(' ').take(w * depth));
+        out.extend(std::iter::repeat_n(' ', w * depth));
     }
 }
 
@@ -327,7 +336,16 @@ mod tests {
 
     #[test]
     fn scalar_roundtrips() {
-        for doc in ["0", "123", "-7", "1.5", "true", "false", "null", "\"hi\\n\""] {
+        for doc in [
+            "0",
+            "123",
+            "-7",
+            "1.5",
+            "true",
+            "false",
+            "null",
+            "\"hi\\n\"",
+        ] {
             let v: Value = from_str(doc).unwrap();
             let back = to_string(&v).unwrap();
             let v2: Value = from_str(&back).unwrap();
@@ -350,8 +368,7 @@ mod tests {
 
     #[test]
     fn typed_from_str() {
-        let pairs: Vec<(u32, String)> =
-            from_str(r#"[[1, "a"], [2, "b"]]"#).unwrap();
+        let pairs: Vec<(u32, String)> = from_str(r#"[[1, "a"], [2, "b"]]"#).unwrap();
         assert_eq!(pairs, vec![(1, "a".to_string()), (2, "b".to_string())]);
         assert!(from_str::<Vec<u32>>("[1, -2]").is_err());
         assert!(from_str::<u32>("{").is_err());

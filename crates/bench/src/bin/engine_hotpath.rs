@@ -1,8 +1,11 @@
 //! Engine hot-path microbenchmark (see `scmp_bench::hotpath`).
 //!
 //! Usage: `engine_hotpath [sends] [reps]` — defaults 5000 payloads,
-//! 3 repetitions. Writes `bench_results/engine_hotpath.json`.
+//! 3 repetitions. Writes `bench_results/engine_hotpath.json` (the
+//! telemetry-off baseline) and `bench_results/telemetry_overhead.json`
+//! (off vs ring vs jsonl sink comparison).
 
+use scmp_bench::hotpath::SinkMode;
 use scmp_bench::{hotpath, report};
 
 fn main() {
@@ -31,4 +34,28 @@ fn main() {
         result.peak_queue_depth, result.best_events_per_sec
     );
     report::write_json("engine_hotpath", &result);
+
+    // Telemetry overhead: the same flood with each sink installed. The
+    // off-mode result is reused from above so the comparison is free of
+    // an extra baseline run.
+    let ring = hotpath::run_with_sink(sends, reps, SinkMode::Ring);
+    let jsonl = hotpath::run_with_sink(sends, reps, SinkMode::Jsonl);
+    let baseline = result.best_events_per_sec;
+    let all = [&result, &ring, &jsonl];
+    let rows: Vec<Vec<String>> = all
+        .iter()
+        .map(|r| {
+            vec![
+                r.sink.clone(),
+                format!("{:.0}", r.best_events_per_sec),
+                format!("{:.1}%", 100.0 * (1.0 - r.best_events_per_sec / baseline)),
+            ]
+        })
+        .collect();
+    report::print_table(
+        "Telemetry overhead (best of reps)",
+        &["sink", "events/sec", "slowdown"],
+        &rows,
+    );
+    report::write_json("telemetry_overhead", &vec![result, ring, jsonl]);
 }

@@ -22,12 +22,18 @@ fn main() {
                             && p.group_size == gs
                     })
                     .expect("full sweep");
-                row.push(format!("{:.0}", p.max_e2e_delay));
+                row.push(format!(
+                    "{:.0}/{:.0}/{:.0}",
+                    p.p50_e2e_delay, p.p99_e2e_delay, p.max_e2e_delay
+                ));
             }
             rows.push(row);
         }
         report::print_table(
-            &format!("Fig 9 — max end-to-end delay (ticks) on {}", kind.label()),
+            &format!(
+                "Fig 9 — end-to-end delay p50/p99/max (ticks) on {}",
+                kind.label()
+            ),
             &["group", "scmp", "cbt", "dvmrp", "mospf"],
             &rows,
         );

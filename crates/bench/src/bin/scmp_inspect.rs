@@ -1,0 +1,145 @@
+//! `scmp-inspect` — query a JSONL telemetry trace.
+//!
+//! ```text
+//! scmp-inspect <trace.jsonl> [FLAGS]
+//!
+//!   (no flags)       one-screen summary: span, event counts, groups
+//!   --convergence    per-group convergence timeline (every group, or
+//!                    only the one named by --group)
+//!   --hist           recomputed e2e-delay / repair-latency histograms
+//!   --audit          delivery audit; exits 1 on duplicate delivery or
+//!                    unaccounted loss
+//!   --gauges         the per-tick gauge time series
+//!   --group N        restrict --convergence to group N
+//!   --node N         dump the events that fired at node N
+//! ```
+//!
+//! Flags compose: `scmp-inspect t.jsonl --hist --audit` prints both and
+//! still exits non-zero when the audit fails.
+
+use scmp_telemetry::Trace;
+use std::process::ExitCode;
+
+struct Args {
+    path: String,
+    convergence: bool,
+    hist: bool,
+    audit: bool,
+    gauges: bool,
+    group: Option<u32>,
+    node: Option<u32>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        path: String::new(),
+        convergence: false,
+        hist: false,
+        audit: false,
+        gauges: false,
+        group: None,
+        node: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--convergence" => args.convergence = true,
+            "--hist" => args.hist = true,
+            "--audit" => args.audit = true,
+            "--gauges" => args.gauges = true,
+            "--group" => {
+                let v = it.next().ok_or("--group needs a value")?;
+                args.group = Some(v.parse().map_err(|_| format!("bad group {v:?}"))?);
+            }
+            "--node" => {
+                let v = it.next().ok_or("--node needs a value")?;
+                args.node = Some(v.parse().map_err(|_| format!("bad node {v:?}"))?);
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag {flag:?}")),
+            path if args.path.is_empty() => args.path = path.to_string(),
+            extra => return Err(format!("unexpected argument {extra:?}")),
+        }
+    }
+    if args.path.is_empty() {
+        return Err(
+            "usage: scmp-inspect <trace.jsonl> [--convergence] [--hist] \
+                    [--audit] [--gauges] [--group N] [--node N]"
+                .to_string(),
+        );
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("scmp-inspect: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let text = match std::fs::read_to_string(&args.path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("scmp-inspect: {}: {e}", args.path);
+            return ExitCode::FAILURE;
+        }
+    };
+    let trace = match Trace::parse(&text) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("scmp-inspect: {}: {e}", args.path);
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let any_query =
+        args.convergence || args.hist || args.audit || args.gauges || args.node.is_some();
+    if !any_query {
+        print!("{}", trace.summary());
+        return ExitCode::SUCCESS;
+    }
+
+    if let Some(node) = args.node {
+        let evs = trace.node_events(node);
+        println!("node {node}: {} events", evs.len());
+        for ev in evs {
+            println!("  {}", scmp_telemetry::encode_events(&[ev]).trim_end());
+        }
+    }
+
+    if args.convergence {
+        let groups: Vec<u32> = match args.group {
+            Some(g) => vec![g],
+            None => trace.groups(),
+        };
+        for g in groups {
+            print!("{}", trace.convergence(g).report());
+        }
+    }
+
+    if args.hist {
+        let h = trace.histograms();
+        print!("{}", h.e2e_delay.dump("e2e delay (ticks)"));
+        print!("{}", h.repair.dump("repair latency (ticks)"));
+    }
+
+    if args.gauges {
+        println!("time      queue  down_links  down_nodes  deliveries");
+        for g in trace.gauges() {
+            println!(
+                "{:<9} {:<6} {:<11} {:<11} {}",
+                g.time, g.queue_depth, g.down_links, g.down_nodes, g.deliveries
+            );
+        }
+    }
+
+    if args.audit {
+        let audit = trace.audit();
+        print!("{}", audit.report());
+        if !audit.passed() {
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -13,7 +13,7 @@
 use scmp_net::rng::rng_for;
 use scmp_net::topology::{gt_itm_flat, GtItmConfig};
 use scmp_net::NodeId;
-use scmp_sim::{AppEvent, Ctx, Engine, GroupId, Packet, Router};
+use scmp_sim::{AppEvent, Ctx, Engine, GroupId, JsonlSink, Packet, RingSink, Router};
 use serde::Serialize;
 use std::collections::HashSet;
 use std::time::Instant;
@@ -60,6 +60,33 @@ impl Router for Flood {
     }
 }
 
+/// Which telemetry sink the benchmark installs — the overhead
+/// comparison of EXPERIMENTS.md.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SinkMode {
+    /// Default `NullSink`: the zero-cost-when-disabled baseline.
+    Off,
+    /// Bounded in-memory ring (64k events).
+    Ring,
+    /// JSONL encoding streamed to `io::sink()` — measures the encoding
+    /// cost without filesystem noise.
+    Jsonl,
+}
+
+impl SinkMode {
+    /// All modes, in report order.
+    pub const ALL: [SinkMode; 3] = [SinkMode::Off, SinkMode::Ring, SinkMode::Jsonl];
+
+    /// Label used in tables and JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            SinkMode::Off => "off",
+            SinkMode::Ring => "ring",
+            SinkMode::Jsonl => "jsonl",
+        }
+    }
+}
+
 /// One timed repetition.
 #[derive(Clone, Debug, Serialize)]
 pub struct HotpathRun {
@@ -76,6 +103,8 @@ pub struct HotpathRun {
 pub struct HotpathResult {
     /// Topology label.
     pub topology: String,
+    /// Telemetry sink installed during the run.
+    pub sink: String,
     /// Node count.
     pub nodes: usize,
     /// Undirected edge count.
@@ -103,7 +132,14 @@ fn build_engine() -> Engine<Flood> {
 
 /// Run the flood benchmark: `sends` payloads injected in bursts of 50
 /// (one per node), repeated `reps` times on a fresh engine each rep.
+/// Telemetry stays at the default `NullSink`.
 pub fn run(sends: u64, reps: u64) -> HotpathResult {
+    run_with_sink(sends, reps, SinkMode::Off)
+}
+
+/// Like [`run`], with an explicit telemetry sink installed — the
+/// telemetry-overhead comparison.
+pub fn run_with_sink(sends: u64, reps: u64, mode: SinkMode) -> HotpathResult {
     let probe = build_engine();
     let nodes = probe.topo().node_count();
     let edges = probe.topo().edge_count();
@@ -112,6 +148,11 @@ pub fn run(sends: u64, reps: u64) -> HotpathResult {
     let mut peak = 0;
     for _ in 0..reps.max(1) {
         let mut e = build_engine();
+        match mode {
+            SinkMode::Off => {}
+            SinkMode::Ring => e.set_sink(Box::new(RingSink::new(1 << 16))),
+            SinkMode::Jsonl => e.set_sink(Box::new(JsonlSink::new(std::io::sink()))),
+        }
         // Inject in per-tick bursts (one send per node) so the queue
         // carries many concurrent floods — a deep, realistic heap.
         for tag in 0..sends {
@@ -144,6 +185,7 @@ pub fn run(sends: u64, reps: u64) -> HotpathResult {
         .fold(0.0_f64, f64::max);
     HotpathResult {
         topology: "random50-deg5".to_string(),
+        sink: mode.label().to_string(),
         nodes,
         edges,
         sends,
@@ -171,5 +213,20 @@ mod tests {
             "queue never got deep: {}",
             a.peak_queue_depth
         );
+    }
+
+    #[test]
+    fn sink_modes_dispatch_identical_event_counts() {
+        // Telemetry must observe, never steer: every sink mode processes
+        // exactly the same event stream.
+        let off = run_with_sink(100, 1, SinkMode::Off);
+        let ring = run_with_sink(100, 1, SinkMode::Ring);
+        let jsonl = run_with_sink(100, 1, SinkMode::Jsonl);
+        assert_eq!(off.events, ring.events);
+        assert_eq!(off.events, jsonl.events);
+        assert_eq!(off.peak_queue_depth, ring.peak_queue_depth);
+        assert_eq!(off.sink, "off");
+        assert_eq!(ring.sink, "ring");
+        assert_eq!(jsonl.sink, "jsonl");
     }
 }

@@ -83,6 +83,10 @@ pub struct RunMetrics {
     pub data_overhead: u64,
     /// Σ link-cost of control packet hops.
     pub protocol_overhead: u64,
+    /// Median end-to-end delay over first deliveries (ticks).
+    pub p50_e2e_delay: u64,
+    /// 99th-percentile end-to-end delay (ticks).
+    pub p99_e2e_delay: u64,
     /// Max end-to-end delay over all deliveries (ticks).
     pub max_e2e_delay: u64,
     /// Every member received every packet exactly once.
@@ -97,6 +101,8 @@ pub struct NetPoint {
     pub group_size: usize,
     pub data_overhead: f64,
     pub protocol_overhead: f64,
+    pub p50_e2e_delay: f64,
+    pub p99_e2e_delay: f64,
     pub max_e2e_delay: f64,
     /// Fraction of seeds with perfect delivery (should be 1.0).
     pub delivery_ok: f64,
@@ -197,6 +203,8 @@ pub fn run_one(kind: TopologyKind, proto: Protocol, group_size: usize, seed: u64
     RunMetrics {
         data_overhead: stats.data_overhead,
         protocol_overhead: stats.protocol_overhead,
+        p50_e2e_delay: stats.e2e_delay_hist.p50(),
+        p99_e2e_delay: stats.e2e_delay_hist.p99(),
         max_e2e_delay: stats.max_end_to_end_delay,
         all_delivered: check_delivery(stats, &sc),
     }
@@ -230,6 +238,18 @@ pub fn run_suite(seeds: u64) -> Vec<NetPoint> {
                         &metrics
                             .iter()
                             .map(|m| m.protocol_overhead as f64)
+                            .collect::<Vec<_>>(),
+                    ),
+                    p50_e2e_delay: crate::report::mean(
+                        &metrics
+                            .iter()
+                            .map(|m| m.p50_e2e_delay as f64)
+                            .collect::<Vec<_>>(),
+                    ),
+                    p99_e2e_delay: crate::report::mean(
+                        &metrics
+                            .iter()
+                            .map(|m| m.p99_e2e_delay as f64)
                             .collect::<Vec<_>>(),
                     ),
                     max_e2e_delay: crate::report::mean(
@@ -294,6 +314,14 @@ mod tests {
             mospf.max_e2e_delay <= scmp.max_e2e_delay,
             "{mospf:?} vs {scmp:?}"
         );
+    }
+
+    #[test]
+    fn percentiles_are_ordered() {
+        let m = run_one(TopologyKind::Arpanet, Protocol::Scmp, 6, 0);
+        assert!(m.p50_e2e_delay > 0, "deliveries must yield a median");
+        assert!(m.p50_e2e_delay <= m.p99_e2e_delay);
+        assert!(m.p99_e2e_delay <= m.max_e2e_delay);
     }
 
     #[test]

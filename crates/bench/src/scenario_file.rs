@@ -24,7 +24,7 @@ use scmp_net::rng::rng_for;
 use scmp_net::topology::{arpanet, gt_itm_flat, waxman, GtItmConfig, WaxmanConfig};
 use scmp_net::{AllPairsPaths, NodeId, Topology};
 use scmp_protocols::build_scmp_engine;
-use scmp_sim::{AppEvent, CapacityModel, FaultPlan, FaultSpec, GroupId, SimStats};
+use scmp_sim::{AppEvent, CapacityModel, FaultPlan, FaultSpec, GroupId, JsonlSink, SimStats};
 use serde::{Deserialize, Serialize};
 
 /// Topology selection.
@@ -181,6 +181,18 @@ pub struct RobustnessSpec {
     pub takeover_rebuild_delay: Option<u64>,
 }
 
+/// Telemetry knobs: gauge sampling and structured-event export.
+#[derive(Clone, Debug, Default, Deserialize, Serialize)]
+pub struct TelemetrySpec {
+    /// Per-tick gauge sampling interval (0 / absent = off).
+    #[serde(default)]
+    pub gauge_interval: Option<u64>,
+    /// Stream the structured event trace to this JSONL file. Feed the
+    /// result to `scmp-inspect` for convergence/audit/histogram queries.
+    #[serde(default)]
+    pub jsonl: Option<String>,
+}
+
 /// A complete scenario file.
 #[derive(Clone, Debug, Deserialize, Serialize)]
 pub struct ScenarioFile {
@@ -200,6 +212,9 @@ pub struct ScenarioFile {
     /// Robustness configuration (repair scan, retries, hot standby).
     #[serde(default)]
     pub robustness: Option<RobustnessSpec>,
+    /// Telemetry: gauge sampling interval and JSONL trace export.
+    #[serde(default)]
+    pub telemetry: Option<TelemetrySpec>,
     /// Explicit simulation horizon. Required semantics: periodic timers
     /// (repair scan, heartbeat) re-arm forever, so such runs stop here
     /// instead of at quiescence. Defaults to the last event/fault time
@@ -217,6 +232,9 @@ pub struct ScenarioResult {
     pub data_overhead: u64,
     pub protocol_overhead: u64,
     pub max_end_to_end_delay: u64,
+    /// End-to-end delay percentiles (log-bucket upper-bound estimates).
+    pub p50_end_to_end_delay: u64,
+    pub p99_end_to_end_delay: u64,
     pub drops: u64,
     pub queue_drops: u64,
     /// Robustness metrics (all zero / 1.0 on fault-free runs).
@@ -231,6 +249,8 @@ pub struct ScenarioResult {
     /// Overhead accrued while any node/link was down.
     pub data_overhead_during_failure: u64,
     pub control_overhead_during_failure: u64,
+    /// Gauge samples captured (0 unless `telemetry.gauge_interval` set).
+    pub gauge_samples: u64,
     /// Per (group, tag): how many routers' subnets received it.
     pub deliveries: Vec<DeliveryLine>,
 }
@@ -297,6 +317,16 @@ pub fn run_scenario(json: &str) -> Result<ScenarioResult, String> {
         engine.set_capacity(model);
     }
     engine.schedule_fault_plan(&fault_plan);
+    if let Some(tele) = &spec.telemetry {
+        if let Some(path) = &tele.jsonl {
+            let file = std::fs::File::create(path)
+                .map_err(|e| format!("telemetry jsonl {path:?}: {e}"))?;
+            engine.set_sink(Box::new(JsonlSink::new(std::io::BufWriter::new(file))));
+        }
+        if let Some(iv) = tele.gauge_interval {
+            engine.set_gauge_interval(iv);
+        }
+    }
 
     // Membership timeline (time-ordered, stable on ties) for the
     // expected-delivery set: a send is expected at every DR whose subnet
@@ -360,6 +390,8 @@ pub fn run_scenario(json: &str) -> Result<ScenarioResult, String> {
         }
     }
 
+    engine.flush_telemetry();
+    let gauge_samples = engine.gauges().len() as u64;
     let stats: &SimStats = engine.stats();
     let delivery_ratio = stats.delivery_ratio(expected.iter().copied());
     let deliveries = sent
@@ -378,6 +410,8 @@ pub fn run_scenario(json: &str) -> Result<ScenarioResult, String> {
         data_overhead: stats.data_overhead,
         protocol_overhead: stats.protocol_overhead,
         max_end_to_end_delay: stats.max_end_to_end_delay,
+        p50_end_to_end_delay: stats.e2e_delay_hist.p50(),
+        p99_end_to_end_delay: stats.e2e_delay_hist.p99(),
         drops: stats.drops,
         queue_drops: stats.queue_drops,
         faults_injected: stats.faults_injected,
@@ -386,6 +420,7 @@ pub fn run_scenario(json: &str) -> Result<ScenarioResult, String> {
         max_repair_latency: stats.max_repair_latency,
         data_overhead_during_failure: stats.data_overhead_during_failure,
         control_overhead_during_failure: stats.control_overhead_during_failure,
+        gauge_samples,
         deliveries,
     })
 }
@@ -559,6 +594,28 @@ mod tests {
         assert!(run_scenario(&bad_node)
             .unwrap_err()
             .contains("out of range"));
+    }
+
+    #[test]
+    fn telemetry_section_samples_gauges_and_exports_jsonl() {
+        let path = std::env::temp_dir().join("scmp_scenario_tele_test.jsonl");
+        let json = BASIC.replace(
+            "\"m_router\": \"rule1\",",
+            &format!(
+                "\"m_router\": \"rule1\",\n  \"telemetry\": {{ \"gauge_interval\": 1000, \"jsonl\": {:?} }},",
+                path.to_str().unwrap()
+            ),
+        );
+        let r = run_scenario(&json).unwrap();
+        assert!(r.gauge_samples > 0, "gauges were sampled");
+        assert!(r.p50_end_to_end_delay > 0);
+        assert!(r.p50_end_to_end_delay <= r.p99_end_to_end_delay);
+        assert!(r.p99_end_to_end_delay <= r.max_end_to_end_delay.next_power_of_two());
+        let trace = scmp_telemetry::Trace::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        let audit = trace.audit();
+        assert!(audit.passed(), "scenario trace audits clean");
+        assert_eq!(audit.deliveries, 2, "both members heard tag 1");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

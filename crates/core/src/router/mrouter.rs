@@ -312,6 +312,7 @@ impl ScmpRouter {
     /// surviving topology. Pruned-off routers get explicit flushes so
     /// stale entries cannot black-hole later traffic.
     pub(super) fn m_repair_scan(&mut self, ctx: &mut Ctx<'_, ScmpMsg>) {
+        let _span = scmp_telemetry::TimedScope::new(scmp_telemetry::Span::RepairScan);
         let domain = Arc::clone(&self.domain);
         let me = self.me;
         if !self.is_m_router() {

@@ -2,11 +2,17 @@
 //! IGP reconvergence and tracing.
 
 use super::queue::{EventKind, EventQueue};
+use super::telemetry::Telemetry;
 use super::transport::{CapacityModel, Transport};
 use super::{AppEvent, Ctx, Router, SimTime, TraceKind, TraceRecord};
 use crate::fault::{FaultEvent, FaultPlan};
+use crate::packet::{GroupId, PacketClass};
 use crate::stats::SimStats;
 use scmp_net::{NodeId, RoutingTables, Topology};
+use scmp_telemetry::{
+    DropReason, Event, EventKind as TeleKind, GaugeSample, RingSink, Sink, Span, TimedScope,
+    TrafficClass,
+};
 
 /// The router factory signature: constructs one node's protocol state.
 type RouterFactory<R> = Box<dyn FnMut(NodeId, &Topology, &RoutingTables) -> R>;
@@ -28,7 +34,68 @@ pub struct Engine<R: Router> {
     event_limit: u64,
     events_processed: u64,
     peak_queue: usize,
-    trace: Option<Vec<TraceRecord>>,
+    tele: Telemetry,
+}
+
+/// Map a structured telemetry event back onto the legacy trace
+/// vocabulary. Kinds the old trace never carried (local deliveries,
+/// non-legacy drops, repairs, gauges) map to `None`, which keeps
+/// pre-telemetry golden traces byte-identical.
+fn legacy_record(ev: &Event) -> Option<TraceRecord> {
+    let node = NodeId(ev.node);
+    let kind = match ev.kind {
+        TeleKind::Join { group } => TraceKind::App(AppEvent::Join(GroupId(group))),
+        TeleKind::Leave { group } => TraceKind::App(AppEvent::Leave(GroupId(group))),
+        TeleKind::Send { group, tag } => TraceKind::App(AppEvent::Send {
+            group: GroupId(group),
+            tag,
+        }),
+        TeleKind::Deliver {
+            from,
+            class,
+            group,
+            tag,
+        } => TraceKind::Deliver {
+            from: NodeId(from),
+            class: match class {
+                TrafficClass::Data => PacketClass::Data,
+                TrafficClass::Control => PacketClass::Control,
+            },
+            group: GroupId(group),
+            tag,
+        },
+        TeleKind::Timer { token } => TraceKind::Timer { token },
+        TeleKind::LinkDown { a, b } => TraceKind::Fault(FaultEvent::LinkDown {
+            a: NodeId(a),
+            b: NodeId(b),
+        }),
+        TeleKind::LinkUp { a, b } => TraceKind::Fault(FaultEvent::LinkUp {
+            a: NodeId(a),
+            b: NodeId(b),
+        }),
+        TeleKind::RouterCrash => TraceKind::Fault(FaultEvent::RouterCrash { node }),
+        TeleKind::RouterRecover => TraceKind::Fault(FaultEvent::RouterRecover { node }),
+        TeleKind::Drop {
+            reason: DropReason::NonNeighbour,
+            to: Some(to),
+        } => TraceKind::NonNeighbourDrop { to: NodeId(to) },
+        _ => return None,
+    };
+    Some(TraceRecord {
+        time: ev.time,
+        node,
+        kind,
+    })
+}
+
+/// The structured form of a scheduled fault.
+fn fault_event_kind(fault: &FaultEvent) -> TeleKind {
+    match *fault {
+        FaultEvent::LinkDown { a, b } => TeleKind::LinkDown { a: a.0, b: b.0 },
+        FaultEvent::LinkUp { a, b } => TeleKind::LinkUp { a: a.0, b: b.0 },
+        FaultEvent::RouterCrash { .. } => TeleKind::RouterCrash,
+        FaultEvent::RouterRecover { .. } => TeleKind::RouterRecover,
+    }
 }
 
 impl<R: Router> Engine<R> {
@@ -57,7 +124,7 @@ impl<R: Router> Engine<R> {
             event_limit: 50_000_000,
             events_processed: 0,
             peak_queue: 0,
-            trace: None,
+            tele: Telemetry::new(),
         }
     }
 
@@ -67,16 +134,53 @@ impl<R: Router> Engine<R> {
         self.transport.set_capacity(model);
     }
 
-    /// Enable event tracing (disabled by default; the trace grows with
-    /// every dispatched event, so enable it only for small scenarios or
-    /// debugging sessions).
+    /// Enable event tracing into a bounded in-memory ring (disabled by
+    /// default). This is the compatibility shim over [`Engine::set_sink`]:
+    /// it installs a [`RingSink`] large enough for every debugging-scale
+    /// scenario, and [`Engine::trace`] projects its events back onto the
+    /// legacy [`TraceRecord`] vocabulary.
     pub fn enable_trace(&mut self) {
-        self.trace = Some(Vec::new());
+        self.set_sink(Box::new(RingSink::new(1 << 20)));
     }
 
-    /// The recorded trace (empty slice when tracing is disabled).
-    pub fn trace(&self) -> &[TraceRecord] {
-        self.trace.as_deref().unwrap_or(&[])
+    /// Install a telemetry sink. The sink's enable flag is cached, so a
+    /// [`scmp_telemetry::NullSink`] keeps the hot path at one branch per
+    /// would-be event.
+    pub fn set_sink(&mut self, sink: Box<dyn Sink>) {
+        self.tele.set_sink(sink);
+    }
+
+    /// Sample the engine gauges (queue depth, down links/nodes,
+    /// cumulative deliveries) every `interval` ticks; `0` disables.
+    pub fn set_gauge_interval(&mut self, interval: SimTime) {
+        self.tele.set_gauge_interval(interval);
+    }
+
+    /// The gauge time series sampled so far.
+    pub fn gauges(&self) -> &[GaugeSample] {
+        self.tele.gauges()
+    }
+
+    /// The sink's in-memory event snapshot (empty for the default
+    /// [`scmp_telemetry::NullSink`] and for streaming sinks, whose
+    /// events already left the process).
+    pub fn events(&self) -> Vec<Event> {
+        self.tele.snapshot_events()
+    }
+
+    /// Flush the telemetry sink (streaming sinks buffer).
+    pub fn flush_telemetry(&mut self) {
+        self.tele.flush();
+    }
+
+    /// The recorded trace in the legacy vocabulary (empty when tracing
+    /// is disabled). Telemetry-only event kinds are omitted.
+    pub fn trace(&self) -> Vec<TraceRecord> {
+        self.tele
+            .snapshot_events()
+            .iter()
+            .filter_map(legacy_record)
+            .collect()
     }
 
     /// Current simulation time.
@@ -189,7 +293,7 @@ impl<R: Router> Engine<R> {
                     queue: &mut self.queue,
                     stats: &mut self.stats,
                     transport: &mut self.transport,
-                    trace: &mut self.trace,
+                    tele: &mut self.tele,
                     degraded,
                 };
                 self.routers[node.index()].on_start(&mut ctx);
@@ -233,7 +337,7 @@ impl<R: Router> Engine<R> {
                 queue: &mut self.queue,
                 stats: &mut self.stats,
                 transport: &mut self.transport,
-                trace: &mut self.trace,
+                tele: &mut self.tele,
                 degraded,
             };
             self.routers[i].on_start(&mut ctx);
@@ -244,6 +348,7 @@ impl<R: Router> Engine<R> {
     /// `deadline`. Returns the number of events processed.
     pub fn run_until(&mut self, deadline: SimTime) -> u64 {
         self.start_if_needed();
+        let _batch = TimedScope::new(Span::DispatchBatch);
         let mut processed = 0;
         while let Some(top) = self.queue.peek_time() {
             if top > deadline {
@@ -259,15 +364,17 @@ impl<R: Router> Engine<R> {
                 self.events_processed <= self.event_limit,
                 "event limit exceeded: protocol livelock?"
             );
+            self.tele.maybe_sample(
+                self.now,
+                self.queue.len(),
+                &self.transport,
+                self.stats.distinct_deliveries() as u64,
+            );
             // Faults are infrastructure events: they fire regardless of
             // the target's liveness (a crashed node can still recover).
             if let EventKind::Fault(fault) = kind {
-                if let Some(trace) = &mut self.trace {
-                    trace.push(TraceRecord {
-                        time: self.now,
-                        node,
-                        kind: TraceKind::Fault(fault),
-                    });
+                if self.tele.on() {
+                    self.tele.emit(self.now, node, fault_event_kind(&fault));
                 }
                 self.apply_fault(fault);
                 continue;
@@ -275,26 +382,40 @@ impl<R: Router> Engine<R> {
             if !self.transport.node_up(node) {
                 if matches!(kind, EventKind::Deliver { .. }) {
                     self.stats.drops += 1;
+                    if self.tele.on() {
+                        self.tele.emit(
+                            self.now,
+                            node,
+                            TeleKind::Drop {
+                                reason: DropReason::DeadNode,
+                                to: None,
+                            },
+                        );
+                    }
                 }
                 continue;
             }
-            if let Some(trace) = &mut self.trace {
-                let record = match &kind {
-                    EventKind::Deliver { from, pkt } => TraceKind::Deliver {
-                        from: *from,
-                        class: pkt.class,
-                        group: pkt.group,
+            if self.tele.on() {
+                let tk = match &kind {
+                    EventKind::Deliver { from, pkt } => TeleKind::Deliver {
+                        from: from.0,
+                        class: match pkt.class {
+                            PacketClass::Data => TrafficClass::Data,
+                            PacketClass::Control => TrafficClass::Control,
+                        },
+                        group: pkt.group.0,
                         tag: pkt.tag,
                     },
-                    EventKind::Timer { token } => TraceKind::Timer { token: *token },
-                    EventKind::App(app) => TraceKind::App(app.clone()),
+                    EventKind::Timer { token } => TeleKind::Timer { token: *token },
+                    EventKind::App(AppEvent::Join(g)) => TeleKind::Join { group: g.0 },
+                    EventKind::App(AppEvent::Leave(g)) => TeleKind::Leave { group: g.0 },
+                    EventKind::App(AppEvent::Send { group, tag }) => TeleKind::Send {
+                        group: group.0,
+                        tag: *tag,
+                    },
                     EventKind::Fault(_) => unreachable!("handled above"),
                 };
-                trace.push(TraceRecord {
-                    time: self.now,
-                    node,
-                    kind: record,
-                });
+                self.tele.emit(self.now, node, tk);
             }
             let degraded = self.transport.degraded();
             let mut ctx = Ctx {
@@ -305,7 +426,7 @@ impl<R: Router> Engine<R> {
                 queue: &mut self.queue,
                 stats: &mut self.stats,
                 transport: &mut self.transport,
-                trace: &mut self.trace,
+                tele: &mut self.tele,
                 degraded,
             };
             match kind {

@@ -2,11 +2,13 @@
 //! callbacks: the only way protocols interact with the network.
 
 use super::queue::{EventKind, EventQueue};
+use super::telemetry::Telemetry;
 use super::transport::Transport;
-use super::{SimTime, TraceKind, TraceRecord};
+use super::SimTime;
 use crate::packet::{Packet, PacketClass};
 use crate::stats::SimStats;
 use scmp_net::{NodeId, RoutingTables, Topology};
+use scmp_telemetry::{DropReason, EventKind as TeleKind};
 use std::fmt;
 
 /// The per-dispatch context handed to [`Router`](super::Router)
@@ -19,7 +21,7 @@ pub struct Ctx<'a, M> {
     pub(super) queue: &'a mut EventQueue<M>,
     pub(super) stats: &'a mut SimStats,
     pub(super) transport: &'a mut Transport,
-    pub(super) trace: &'a mut Option<Vec<TraceRecord>>,
+    pub(super) tele: &'a mut Telemetry,
     /// True while any link or node is down: overhead charged in this
     /// window also accumulates into the during-failure counters.
     pub(super) degraded: bool,
@@ -75,7 +77,27 @@ impl<'a, M: Clone + fmt::Debug> Ctx<'a, M> {
     /// recent fault becomes a repair-latency sample.
     pub fn record_repair(&mut self) {
         let now = self.now;
-        self.stats.record_repair(now);
+        let latency = self.stats.record_repair(now);
+        if self.tele.on() {
+            if let Some(latency) = latency {
+                self.tele
+                    .emit(self.now, self.node, TeleKind::Repair { latency });
+            }
+        }
+    }
+
+    /// Emit a drop event with its reason (telemetry-enabled runs only).
+    fn trace_drop(&mut self, reason: DropReason, to: Option<NodeId>) {
+        if self.tele.on() {
+            self.tele.emit(
+                self.now,
+                self.node,
+                TeleKind::Drop {
+                    reason,
+                    to: to.map(|n| n.0),
+                },
+            );
+        }
     }
 
     /// Send `pkt` to the directly-connected neighbour `to`. Charges the
@@ -91,23 +113,19 @@ impl<'a, M: Clone + fmt::Debug> Ctx<'a, M> {
         let Some(w) = self.topo.link(self.node, to) else {
             debug_assert!(false, "{:?} is not a neighbour of {:?}", to, self.node);
             self.stats.drops += 1;
-            if let Some(trace) = self.trace.as_mut() {
-                trace.push(TraceRecord {
-                    time: self.now,
-                    node: self.node,
-                    kind: TraceKind::NonNeighbourDrop { to },
-                });
-            }
+            self.trace_drop(DropReason::NonNeighbour, Some(to));
             return;
         };
         if !self.transport.link_alive(self.node, to) {
             self.stats.drops += 1;
+            self.trace_drop(DropReason::DeadLink, None);
             return;
         }
         let Some(depart) = self.reserve_link(self.node, to, self.now) else {
             // Queue overflow: the congestion loss of §I.
             self.stats.drops += 1;
             self.stats.queue_drops += 1;
+            self.trace_drop(DropReason::QueueFull, None);
             return;
         };
         self.charge(pkt.class, w.cost);
@@ -127,8 +145,7 @@ impl<'a, M: Clone + fmt::Debug> Ctx<'a, M> {
     /// serialisation-complete time, or `None` when the queue is full.
     fn reserve_link(&mut self, a: NodeId, b: NodeId, ready: SimTime) -> Option<SimTime> {
         let slot = self.transport.reserve_link(a, b, ready)?;
-        self.stats.queueing_delay_total += slot.waited;
-        self.stats.max_queueing_delay = self.stats.max_queueing_delay.max(slot.waited);
+        self.stats.record_queue_wait(slot.waited);
         Some(slot.depart)
     }
 
@@ -155,6 +172,7 @@ impl<'a, M: Clone + fmt::Debug> Ctx<'a, M> {
         }
         let Some(route) = self.routes.route(self.node, dst) else {
             self.stats.drops += 1;
+            self.trace_drop(DropReason::NoRoute, None);
             return;
         };
         let mut at = self.now;
@@ -162,11 +180,13 @@ impl<'a, M: Clone + fmt::Debug> Ctx<'a, M> {
             let (a, b) = (hop[0], hop[1]);
             if !self.transport.link_alive(a, b) {
                 self.stats.drops += 1;
+                self.trace_drop(DropReason::DeadLink, None);
                 return;
             }
             let Some(depart) = self.reserve_link(a, b, at) else {
                 self.stats.drops += 1;
                 self.stats.queue_drops += 1;
+                self.trace_drop(DropReason::QueueFull, None);
                 return;
             };
             let w = self.topo.link(a, b).expect("route follows links");
@@ -195,12 +215,24 @@ impl<'a, M: Clone + fmt::Debug> Ctx<'a, M> {
         let delay = self.now.saturating_sub(pkt.created_at);
         self.stats
             .record_delivery(pkt.group, pkt.tag, self.node, delay);
+        if self.tele.on() {
+            self.tele.emit(
+                self.now,
+                self.node,
+                TeleKind::DeliverLocal {
+                    group: pkt.group.0,
+                    tag: pkt.tag,
+                    delay,
+                },
+            );
+        }
     }
 
     /// Record a protocol-decision drop (e.g. a packet arriving from a
     /// router outside the forwarding set, §III-F).
     pub fn drop_packet(&mut self) {
         self.stats.drops += 1;
+        self.trace_drop(DropReason::Protocol, None);
     }
 
     fn charge(&mut self, class: PacketClass, cost: u64) {

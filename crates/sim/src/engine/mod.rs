@@ -11,6 +11,8 @@
 //!   reconvergence, tracing.
 //! * [`runner`] — [`EngineRunner`], the object-safe erasure of
 //!   `Engine<R>` used by the protocol registry and scenario drivers.
+//! * `telemetry` — the engine's seam to `scmp-telemetry`: the owned
+//!   event [`scmp_telemetry::Sink`] plus the periodic gauge sampler.
 //!
 //! This module keeps the shared vocabulary: simulation time, the
 //! [`Router`] trait, application events and trace records.
@@ -19,6 +21,7 @@ pub mod core;
 pub mod ctx;
 pub mod queue;
 pub mod runner;
+pub(crate) mod telemetry;
 pub mod transport;
 
 #[cfg(test)]

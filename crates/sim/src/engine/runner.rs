@@ -14,6 +14,7 @@ use super::{AppEvent, Router, SimTime, TraceRecord};
 use crate::fault::{FaultEvent, FaultPlan};
 use crate::stats::SimStats;
 use scmp_net::{NodeId, Topology};
+use scmp_telemetry::{Event, GaugeSample, Sink};
 
 /// The protocol-agnostic driving surface of an [`Engine`].
 pub trait EngineRunner {
@@ -27,10 +28,21 @@ pub trait EngineRunner {
     fn set_capacity(&mut self, model: CapacityModel);
     /// Override the runaway-protection event limit.
     fn set_event_limit(&mut self, limit: u64);
-    /// Enable event tracing.
+    /// Enable event tracing into the default bounded in-memory ring.
     fn enable_trace(&mut self);
-    /// The recorded trace (empty when tracing is disabled).
-    fn trace(&self) -> &[TraceRecord];
+    /// Install a telemetry sink.
+    fn set_sink(&mut self, sink: Box<dyn Sink>);
+    /// Sample engine gauges every `interval` ticks (`0` disables).
+    fn set_gauge_interval(&mut self, interval: SimTime);
+    /// The gauge time series sampled so far.
+    fn gauges(&self) -> &[GaugeSample];
+    /// The sink's in-memory event snapshot.
+    fn events(&self) -> Vec<Event>;
+    /// Flush the telemetry sink.
+    fn flush_telemetry(&mut self);
+    /// The recorded trace in the legacy vocabulary (empty when tracing
+    /// is disabled).
+    fn trace(&self) -> Vec<TraceRecord>;
     /// Current simulation time.
     fn now(&self) -> SimTime;
     /// The topology being simulated.
@@ -64,7 +76,22 @@ impl<R: Router> EngineRunner for Engine<R> {
     fn enable_trace(&mut self) {
         Engine::enable_trace(self);
     }
-    fn trace(&self) -> &[TraceRecord] {
+    fn set_sink(&mut self, sink: Box<dyn Sink>) {
+        Engine::set_sink(self, sink);
+    }
+    fn set_gauge_interval(&mut self, interval: SimTime) {
+        Engine::set_gauge_interval(self, interval);
+    }
+    fn gauges(&self) -> &[GaugeSample] {
+        Engine::gauges(self)
+    }
+    fn events(&self) -> Vec<Event> {
+        Engine::events(self)
+    }
+    fn flush_telemetry(&mut self) {
+        Engine::flush_telemetry(self);
+    }
+    fn trace(&self) -> Vec<TraceRecord> {
         Engine::trace(self)
     }
     fn now(&self) -> SimTime {

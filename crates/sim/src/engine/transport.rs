@@ -147,6 +147,16 @@ impl Transport {
         self.down_nodes > 0 || !self.link_down.is_empty()
     }
 
+    /// Number of links currently administratively down (gauge metric).
+    pub fn down_link_count(&self) -> usize {
+        self.link_down.len()
+    }
+
+    /// Number of routers currently down (gauge metric).
+    pub fn down_node_count(&self) -> usize {
+        self.down_nodes
+    }
+
     /// Reserve transmission time on the directed link `a -> b` starting
     /// no earlier than `ready`. Returns the slot (serialisation-complete
     /// time plus the queueing wait), or `None` when the bounded queue is

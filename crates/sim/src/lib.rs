@@ -42,3 +42,11 @@ pub use engine::{
 pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultSpec};
 pub use packet::{GroupId, Packet, PacketClass};
 pub use stats::SimStats;
+
+// Re-export the telemetry vocabulary protocols and drivers interact
+// with, so downstream crates need no direct `scmp-telemetry` dependency
+// just to install a sink or read events back.
+pub use scmp_telemetry::{
+    Event as TelemetryEvent, EventKind as TelemetryEventKind, GaugeSample, Histogram, JsonlSink,
+    NullSink, RingSink, Sink,
+};

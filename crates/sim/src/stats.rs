@@ -3,7 +3,9 @@
 
 use crate::packet::GroupId;
 use scmp_net::NodeId;
+use scmp_telemetry::Histogram;
 use std::collections::HashMap;
+use std::fmt::Write as _;
 
 /// Aggregated statistics of one simulation run.
 #[derive(Clone, Debug, Default)]
@@ -47,6 +49,12 @@ pub struct SimStats {
     pub repair_latency_total: u64,
     /// Largest single repair latency observed.
     pub max_repair_latency: u64,
+    /// Distribution of first-delivery end-to-end delays.
+    pub e2e_delay_hist: Histogram,
+    /// Distribution of per-reservation link-queue waits.
+    pub queueing_hist: Histogram,
+    /// Distribution of repair latencies.
+    pub repair_hist: Histogram,
 }
 
 impl SimStats {
@@ -60,7 +68,15 @@ impl SimStats {
         if entry.0 == 1 {
             entry.1 = delay;
             self.max_end_to_end_delay = self.max_end_to_end_delay.max(delay);
+            self.e2e_delay_hist.record(delay);
         }
+    }
+
+    /// Record one link-queue wait (engine-internal).
+    pub fn record_queue_wait(&mut self, waited: u64) {
+        self.queueing_delay_total += waited;
+        self.max_queueing_delay = self.max_queueing_delay.max(waited);
+        self.queueing_hist.record(waited);
     }
 
     /// How many times `(group, tag)` was delivered to `node`.
@@ -96,14 +112,16 @@ impl SimStats {
     }
 
     /// Record a completed tree repair; latency is measured against the
-    /// most recent injected failure.
-    pub fn record_repair(&mut self, now: u64) {
+    /// most recent injected failure. Returns the latency sample, `None`
+    /// when no failure was ever injected.
+    pub fn record_repair(&mut self, now: u64) -> Option<u64> {
         self.repairs += 1;
-        if let Some(t0) = self.last_fault_at {
-            let latency = now.saturating_sub(t0);
-            self.repair_latency_total += latency;
-            self.max_repair_latency = self.max_repair_latency.max(latency);
-        }
+        let t0 = self.last_fault_at?;
+        let latency = now.saturating_sub(t0);
+        self.repair_latency_total += latency;
+        self.max_repair_latency = self.max_repair_latency.max(latency);
+        self.repair_hist.record(latency);
+        Some(latency)
     }
 
     /// Mean repair latency over all repairs, or 0.0 when none happened.
@@ -135,6 +153,58 @@ impl SimStats {
         } else {
             delivered as f64 / total as f64
         }
+    }
+
+    /// A deterministic text report of the run: counters, latency
+    /// quantiles, and the delivery map sorted by `(group, tag, node)` so
+    /// two identical runs produce byte-identical reports regardless of
+    /// `HashMap` iteration order.
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "overhead: data={} ({} hops) protocol={} ({} hops) total={}",
+            self.data_overhead,
+            self.data_hops,
+            self.protocol_overhead,
+            self.control_hops,
+            self.total_overhead()
+        );
+        let _ = writeln!(
+            out,
+            "drops: total={} queue={} | faults={} repairs={} max_repair_latency={}",
+            self.drops,
+            self.queue_drops,
+            self.faults_injected,
+            self.repairs,
+            self.max_repair_latency
+        );
+        let _ = writeln!(
+            out,
+            "e2e delay: p50={} p90={} p99={} max={}",
+            self.e2e_delay_hist.p50(),
+            self.e2e_delay_hist.p90(),
+            self.e2e_delay_hist.p99(),
+            self.max_end_to_end_delay
+        );
+        let _ = writeln!(
+            out,
+            "queueing: total={} p99={} max={}",
+            self.queueing_delay_total,
+            self.queueing_hist.p99(),
+            self.max_queueing_delay
+        );
+        let mut keys: Vec<_> = self.deliveries.iter().collect();
+        keys.sort_by_key(|&(&(g, tag, n), _)| (g.0, tag, n.0));
+        let _ = writeln!(out, "deliveries: {} distinct", keys.len());
+        for (&(g, tag, n), &(count, delay)) in keys {
+            let _ = writeln!(
+                out,
+                "  g{} tag {} -> n{}: x{count} delay={delay}",
+                g.0, tag, n.0
+            );
+        }
+        out
     }
 }
 
@@ -199,6 +269,47 @@ mod tests {
         assert!((r - 2.0 / 3.0).abs() < 1e-9);
         // Nothing expected → perfect ratio by convention.
         assert_eq!(s.delivery_ratio(std::iter::empty()), 1.0);
+    }
+
+    #[test]
+    fn repair_returns_latency_and_feeds_histogram() {
+        let mut s = SimStats::default();
+        assert_eq!(s.record_repair(500), None, "no fault injected yet");
+        assert_eq!(s.repairs, 1);
+        s.note_fault(1_000);
+        assert_eq!(s.record_repair(1_800), Some(800));
+        assert_eq!(s.repair_hist.count(), 1);
+        assert_eq!(s.repair_hist.max(), 800);
+    }
+
+    #[test]
+    fn histograms_follow_the_counters() {
+        let mut s = SimStats::default();
+        s.record_delivery(GroupId(1), 1, NodeId(2), 30);
+        s.record_delivery(GroupId(1), 1, NodeId(2), 90); // duplicate: not re-recorded
+        s.record_queue_wait(0);
+        s.record_queue_wait(12);
+        assert_eq!(s.e2e_delay_hist.count(), 1);
+        assert_eq!(s.e2e_delay_hist.max(), 30);
+        assert_eq!(s.queueing_hist.count(), 2);
+        assert_eq!(s.queueing_delay_total, 12);
+        assert_eq!(s.max_queueing_delay, 12);
+    }
+
+    #[test]
+    fn report_is_sorted_and_deterministic() {
+        let mut s = SimStats::default();
+        // Inserted out of order on purpose: the report must sort.
+        s.record_delivery(GroupId(2), 1, NodeId(5), 10);
+        s.record_delivery(GroupId(1), 9, NodeId(3), 20);
+        s.record_delivery(GroupId(1), 2, NodeId(4), 30);
+        let r = s.report();
+        assert_eq!(r, s.report());
+        let a = r.find("g1 tag 2 -> n4").expect("first key");
+        let b = r.find("g1 tag 9 -> n3").expect("second key");
+        let c = r.find("g2 tag 1 -> n5").expect("third key");
+        assert!(a < b && b < c, "delivery map sorted by (group, tag, node)");
+        assert!(r.contains("e2e delay: p50="));
     }
 
     #[test]

@@ -1,0 +1,501 @@
+//! The structured event vocabulary and its JSONL wire form.
+//!
+//! One [`Event`] describes one observable occurrence inside a simulation
+//! run: a dispatch (packet/timer/app), a fault firing, a drop with its
+//! reason, a local delivery with its end-to-end delay, a completed tree
+//! repair, or a periodic gauge sample. Events are protocol-agnostic —
+//! node and group identifiers are plain integers so this crate depends
+//! on nothing else in the workspace.
+//!
+//! The JSONL form is one object per line with a fixed key order, so a
+//! trace file diffs cleanly and can serve as a golden snapshot:
+//!
+//! ```text
+//! {"t":10000,"node":1,"kind":"send","group":1,"tag":1}
+//! {"t":10003,"node":0,"kind":"deliver","from":1,"class":"data","group":1,"tag":1}
+//! ```
+
+use serde::Deserialize;
+use std::fmt::Write as _;
+
+/// Overhead class of a delivered packet, mirroring the simulator's
+/// data/control split without depending on it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TrafficClass {
+    /// Multicast payload.
+    Data,
+    /// Protocol traffic (JOIN/LEAVE, TREE/BRANCH, acks, ...).
+    Control,
+}
+
+impl TrafficClass {
+    fn label(self) -> &'static str {
+        match self {
+            TrafficClass::Data => "data",
+            TrafficClass::Control => "control",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Self> {
+        match s {
+            "data" => Some(TrafficClass::Data),
+            "control" => Some(TrafficClass::Control),
+            _ => None,
+        }
+    }
+}
+
+/// Why a packet was dropped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DropReason {
+    /// The link (or an endpoint) was out of service.
+    DeadLink,
+    /// The destination node was down when the event fired.
+    DeadNode,
+    /// The bounded link queue overflowed (congestion loss).
+    QueueFull,
+    /// No unicast route existed (partitioned topology).
+    NoRoute,
+    /// A send to a router that is not a neighbour (repair scan racing a
+    /// topology change).
+    NonNeighbour,
+    /// A protocol decision (e.g. packet from outside the forwarding set).
+    Protocol,
+}
+
+impl DropReason {
+    /// Stable string used in the JSONL form and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            DropReason::DeadLink => "dead_link",
+            DropReason::DeadNode => "dead_node",
+            DropReason::QueueFull => "queue_full",
+            DropReason::NoRoute => "no_route",
+            DropReason::NonNeighbour => "non_neighbour",
+            DropReason::Protocol => "protocol",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Self> {
+        match s {
+            "dead_link" => Some(DropReason::DeadLink),
+            "dead_node" => Some(DropReason::DeadNode),
+            "queue_full" => Some(DropReason::QueueFull),
+            "no_route" => Some(DropReason::NoRoute),
+            "non_neighbour" => Some(DropReason::NonNeighbour),
+            "protocol" => Some(DropReason::Protocol),
+            _ => None,
+        }
+    }
+}
+
+/// What happened.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A host on the node's subnet joined `group`.
+    Join { group: u32 },
+    /// The last host on the node's subnet left `group`.
+    Leave { group: u32 },
+    /// A local host injected payload `tag` for `group`.
+    Send { group: u32, tag: u64 },
+    /// A packet was handed to the node's router.
+    Deliver {
+        from: u32,
+        class: TrafficClass,
+        group: u32,
+        tag: u64,
+    },
+    /// A data payload reached the member hosts attached to the node,
+    /// `delay` ticks after its source injected it.
+    DeliverLocal { group: u32, tag: u64, delay: u64 },
+    /// A protocol timer fired.
+    Timer { token: u64 },
+    /// The link `a`–`b` went out of service.
+    LinkDown { a: u32, b: u32 },
+    /// The link `a`–`b` was restored.
+    LinkUp { a: u32, b: u32 },
+    /// The node crashed (state wiped).
+    RouterCrash,
+    /// The node recovered with factory-fresh state.
+    RouterRecover,
+    /// A packet was dropped at the node. `to` is the intended next hop
+    /// for [`DropReason::NonNeighbour`] drops (`None` otherwise).
+    Drop { reason: DropReason, to: Option<u32> },
+    /// The m-router's repair scan completed a tree repair, `latency`
+    /// ticks after the most recent injected failure.
+    Repair { latency: u64 },
+    /// A periodic gauge sample (the node id is not meaningful).
+    Gauge {
+        queue_depth: u64,
+        down_links: u64,
+        down_nodes: u64,
+        deliveries: u64,
+    },
+}
+
+/// One structured trace event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Simulation time the event fired.
+    pub time: u64,
+    /// The router it fired at (0 and not meaningful for gauges).
+    pub node: u32,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// Append the event's JSONL line (no trailing newline) to `out`.
+    /// Keys are emitted in a fixed order so traces are diffable.
+    pub fn encode(&self, out: &mut String) {
+        let _ = write!(out, "{{\"t\":{},\"node\":{}", self.time, self.node);
+        match self.kind {
+            EventKind::Join { group } => {
+                let _ = write!(out, ",\"kind\":\"join\",\"group\":{group}");
+            }
+            EventKind::Leave { group } => {
+                let _ = write!(out, ",\"kind\":\"leave\",\"group\":{group}");
+            }
+            EventKind::Send { group, tag } => {
+                let _ = write!(out, ",\"kind\":\"send\",\"group\":{group},\"tag\":{tag}");
+            }
+            EventKind::Deliver {
+                from,
+                class,
+                group,
+                tag,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"kind\":\"deliver\",\"from\":{from},\"class\":\"{}\",\"group\":{group},\"tag\":{tag}",
+                    class.label()
+                );
+            }
+            EventKind::DeliverLocal { group, tag, delay } => {
+                let _ = write!(
+                    out,
+                    ",\"kind\":\"deliver_local\",\"group\":{group},\"tag\":{tag},\"delay\":{delay}"
+                );
+            }
+            EventKind::Timer { token } => {
+                let _ = write!(out, ",\"kind\":\"timer\",\"token\":{token}");
+            }
+            EventKind::LinkDown { a, b } => {
+                let _ = write!(out, ",\"kind\":\"link_down\",\"a\":{a},\"b\":{b}");
+            }
+            EventKind::LinkUp { a, b } => {
+                let _ = write!(out, ",\"kind\":\"link_up\",\"a\":{a},\"b\":{b}");
+            }
+            EventKind::RouterCrash => {
+                let _ = write!(out, ",\"kind\":\"crash\"");
+            }
+            EventKind::RouterRecover => {
+                let _ = write!(out, ",\"kind\":\"recover\"");
+            }
+            EventKind::Drop { reason, to } => {
+                let _ = write!(out, ",\"kind\":\"drop\",\"reason\":\"{}\"", reason.label());
+                if let Some(to) = to {
+                    let _ = write!(out, ",\"to\":{to}");
+                }
+            }
+            EventKind::Repair { latency } => {
+                let _ = write!(out, ",\"kind\":\"repair\",\"latency\":{latency}");
+            }
+            EventKind::Gauge {
+                queue_depth,
+                down_links,
+                down_nodes,
+                deliveries,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"kind\":\"gauge\",\"queue_depth\":{queue_depth},\"down_links\":{down_links},\"down_nodes\":{down_nodes},\"deliveries\":{deliveries}"
+                );
+            }
+        }
+        out.push('}');
+    }
+
+    /// The event's JSONL line as an owned string.
+    pub fn to_jsonl(&self) -> String {
+        let mut s = String::with_capacity(96);
+        self.encode(&mut s);
+        s
+    }
+
+    /// Parse one JSONL line.
+    pub fn decode(line: &str) -> Result<Event, String> {
+        let raw: RawEvent = serde_json::from_str(line).map_err(|e| e.to_string())?;
+        raw.into_event()
+    }
+}
+
+/// Encode a slice of events as a complete JSONL document (one line per
+/// event, trailing newline).
+pub fn encode_events(events: &[Event]) -> String {
+    let mut out = String::with_capacity(events.len() * 96);
+    for ev in events {
+        ev.encode(&mut out);
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse a JSONL document (blank lines ignored) back into events.
+pub fn decode_events(jsonl: &str) -> Result<Vec<Event>, String> {
+    let mut out = Vec::new();
+    for (i, line) in jsonl.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let ev = Event::decode(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        out.push(ev);
+    }
+    Ok(out)
+}
+
+/// The permissive parse-side shape: every per-kind field optional.
+#[derive(Deserialize)]
+struct RawEvent {
+    t: u64,
+    node: u32,
+    kind: String,
+    group: Option<u32>,
+    tag: Option<u64>,
+    from: Option<u32>,
+    class: Option<String>,
+    token: Option<u64>,
+    a: Option<u32>,
+    b: Option<u32>,
+    to: Option<u32>,
+    reason: Option<String>,
+    delay: Option<u64>,
+    latency: Option<u64>,
+    queue_depth: Option<u64>,
+    down_links: Option<u64>,
+    down_nodes: Option<u64>,
+    deliveries: Option<u64>,
+}
+
+impl RawEvent {
+    fn into_event(self) -> Result<Event, String> {
+        fn need<T>(v: Option<T>, field: &str, kind: &str) -> Result<T, String> {
+            v.ok_or_else(|| format!("{kind} event missing field {field:?}"))
+        }
+        let kind = match self.kind.as_str() {
+            "join" => EventKind::Join {
+                group: need(self.group, "group", "join")?,
+            },
+            "leave" => EventKind::Leave {
+                group: need(self.group, "group", "leave")?,
+            },
+            "send" => EventKind::Send {
+                group: need(self.group, "group", "send")?,
+                tag: need(self.tag, "tag", "send")?,
+            },
+            "deliver" => EventKind::Deliver {
+                from: need(self.from, "from", "deliver")?,
+                class: need(
+                    self.class.as_deref().and_then(TrafficClass::parse),
+                    "class",
+                    "deliver",
+                )?,
+                group: need(self.group, "group", "deliver")?,
+                tag: need(self.tag, "tag", "deliver")?,
+            },
+            "deliver_local" => EventKind::DeliverLocal {
+                group: need(self.group, "group", "deliver_local")?,
+                tag: need(self.tag, "tag", "deliver_local")?,
+                delay: need(self.delay, "delay", "deliver_local")?,
+            },
+            "timer" => EventKind::Timer {
+                token: need(self.token, "token", "timer")?,
+            },
+            "link_down" => EventKind::LinkDown {
+                a: need(self.a, "a", "link_down")?,
+                b: need(self.b, "b", "link_down")?,
+            },
+            "link_up" => EventKind::LinkUp {
+                a: need(self.a, "a", "link_up")?,
+                b: need(self.b, "b", "link_up")?,
+            },
+            "crash" => EventKind::RouterCrash,
+            "recover" => EventKind::RouterRecover,
+            "drop" => EventKind::Drop {
+                reason: need(
+                    self.reason.as_deref().and_then(DropReason::parse),
+                    "reason",
+                    "drop",
+                )?,
+                to: self.to,
+            },
+            "repair" => EventKind::Repair {
+                latency: need(self.latency, "latency", "repair")?,
+            },
+            "gauge" => EventKind::Gauge {
+                queue_depth: need(self.queue_depth, "queue_depth", "gauge")?,
+                down_links: need(self.down_links, "down_links", "gauge")?,
+                down_nodes: need(self.down_nodes, "down_nodes", "gauge")?,
+                deliveries: need(self.deliveries, "deliveries", "gauge")?,
+            },
+            other => return Err(format!("unknown event kind {other:?}")),
+        };
+        Ok(Event {
+            time: self.t,
+            node: self.node,
+            kind,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_kinds() -> Vec<Event> {
+        vec![
+            Event {
+                time: 0,
+                node: 4,
+                kind: EventKind::Join { group: 1 },
+            },
+            Event {
+                time: 1,
+                node: 4,
+                kind: EventKind::Leave { group: 1 },
+            },
+            Event {
+                time: 2,
+                node: 1,
+                kind: EventKind::Send { group: 1, tag: 9 },
+            },
+            Event {
+                time: 3,
+                node: 0,
+                kind: EventKind::Deliver {
+                    from: 1,
+                    class: TrafficClass::Data,
+                    group: 1,
+                    tag: 9,
+                },
+            },
+            Event {
+                time: 4,
+                node: 0,
+                kind: EventKind::Deliver {
+                    from: 1,
+                    class: TrafficClass::Control,
+                    group: 1,
+                    tag: 0,
+                },
+            },
+            Event {
+                time: 5,
+                node: 3,
+                kind: EventKind::DeliverLocal {
+                    group: 1,
+                    tag: 9,
+                    delay: 42,
+                },
+            },
+            Event {
+                time: 6,
+                node: 2,
+                kind: EventKind::Timer { token: 7 },
+            },
+            Event {
+                time: 7,
+                node: 0,
+                kind: EventKind::LinkDown { a: 0, b: 2 },
+            },
+            Event {
+                time: 8,
+                node: 0,
+                kind: EventKind::LinkUp { a: 0, b: 2 },
+            },
+            Event {
+                time: 9,
+                node: 4,
+                kind: EventKind::RouterCrash,
+            },
+            Event {
+                time: 10,
+                node: 4,
+                kind: EventKind::RouterRecover,
+            },
+            Event {
+                time: 11,
+                node: 5,
+                kind: EventKind::Drop {
+                    reason: DropReason::NonNeighbour,
+                    to: Some(3),
+                },
+            },
+            Event {
+                time: 12,
+                node: 5,
+                kind: EventKind::Drop {
+                    reason: DropReason::QueueFull,
+                    to: None,
+                },
+            },
+            Event {
+                time: 13,
+                node: 0,
+                kind: EventKind::Repair { latency: 1200 },
+            },
+            Event {
+                time: 14,
+                node: 0,
+                kind: EventKind::Gauge {
+                    queue_depth: 17,
+                    down_links: 1,
+                    down_nodes: 0,
+                    deliveries: 6,
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn every_kind_roundtrips() {
+        for ev in all_kinds() {
+            let line = ev.to_jsonl();
+            let back = Event::decode(&line).unwrap_or_else(|e| panic!("{line}: {e}"));
+            assert_eq!(back, ev, "roundtrip of {line}");
+        }
+    }
+
+    #[test]
+    fn document_roundtrip_and_blank_lines() {
+        let events = all_kinds();
+        let mut doc = encode_events(&events);
+        doc.push('\n'); // extra blank line must be ignored
+        assert_eq!(decode_events(&doc).unwrap(), events);
+    }
+
+    #[test]
+    fn encoding_is_stable() {
+        let ev = Event {
+            time: 10_000,
+            node: 1,
+            kind: EventKind::Send { group: 1, tag: 1 },
+        };
+        assert_eq!(
+            ev.to_jsonl(),
+            r#"{"t":10000,"node":1,"kind":"send","group":1,"tag":1}"#
+        );
+    }
+
+    #[test]
+    fn errors_name_the_problem() {
+        assert!(Event::decode("{").is_err());
+        let missing = r#"{"t":1,"node":2,"kind":"send","group":1}"#;
+        assert!(Event::decode(missing).unwrap_err().contains("tag"));
+        let unknown = r#"{"t":1,"node":2,"kind":"warp"}"#;
+        assert!(Event::decode(unknown).unwrap_err().contains("warp"));
+        let doc = format!("{missing}\n");
+        assert!(decode_events(&doc).unwrap_err().starts_with("line 1"));
+    }
+}

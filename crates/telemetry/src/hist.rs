@@ -1,0 +1,256 @@
+//! Log-bucketed histograms for latency-style metrics.
+//!
+//! The paper's §IV-B tables report only maxima; protocol comparisons
+//! need the distribution (Helmy et al., *Systematic Performance
+//! Evaluation of Multipoint Protocols*). [`Histogram`] trades exactness
+//! for O(1) recording and O(65) memory: bucket 0 holds zeros and bucket
+//! `k` holds `[2^(k-1), 2^k)`, so quantiles are resolved to a power-of-
+//! two bracket, which is plenty for p50/p90/p99 on tick-valued delays.
+
+/// Number of buckets covering the full `u64` range (zero + 64 octaves).
+pub const BUCKET_COUNT: usize = 65;
+
+/// A log-bucketed histogram over `u64` samples.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Histogram {
+    /// `counts[0]` = zeros; `counts[k]` = samples in `[2^(k-1), 2^k)`.
+    /// Grown on demand so an empty histogram allocates nothing.
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+/// The bucket a value lands in.
+pub fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        (64 - v.leading_zeros()) as usize
+    }
+}
+
+/// The inclusive `(low, high)` bounds of bucket `i`.
+pub fn bucket_bounds(i: usize) -> (u64, u64) {
+    assert!(i < BUCKET_COUNT, "bucket {i} out of range");
+    if i == 0 {
+        (0, 0)
+    } else if i == 64 {
+        (1 << 63, u64::MAX)
+    } else {
+        (1 << (i - 1), (1 << i) - 1)
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, v: u64) {
+        let i = bucket_index(v);
+        if i >= self.counts.len() {
+            self.counts.resize(i + 1, 0);
+        }
+        self.counts[i] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest sample, 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean, 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Estimate the `q`-quantile (`0.0 < q <= 1.0`): the upper bound of
+    /// the first bucket whose cumulative count reaches rank
+    /// `ceil(q * count)`, clamped to the observed maximum. 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_bounds(i).1.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median estimate.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th-percentile estimate.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Fold another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.counts.len() > self.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (a, &b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Non-empty buckets as `(low, high, count)`, low to high.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| {
+                let (lo, hi) = bucket_bounds(i);
+                (lo, hi, c)
+            })
+    }
+
+    /// A fixed-format dump: one `[lo, hi] count` line per non-empty
+    /// bucket plus a quantile summary line. Deterministic for golden
+    /// diffs.
+    pub fn dump(&self, label: &str) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{label}: n={} mean={:.1} p50={} p90={} p99={} max={}",
+            self.count,
+            self.mean(),
+            self.p50(),
+            self.p90(),
+            self.p99(),
+            self.max
+        );
+        for (lo, hi, c) in self.buckets() {
+            let _ = writeln!(out, "  [{lo:>12}, {hi:>12}]  {c}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        // Zero is its own bucket.
+        assert_eq!(bucket_index(0), 0);
+        // Each octave [2^(k-1), 2^k) maps to bucket k; both edges land
+        // inside, the next power of two lands one bucket up.
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(7), 3);
+        assert_eq!(bucket_index(8), 4);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        for i in 0..BUCKET_COUNT {
+            let (lo, hi) = bucket_bounds(i);
+            assert!(lo <= hi);
+            assert_eq!(bucket_index(lo), i, "low bound of bucket {i}");
+            assert_eq!(bucket_index(hi), i, "high bound of bucket {i}");
+        }
+        // Bounds tile the u64 range without gaps.
+        for i in 1..BUCKET_COUNT {
+            assert_eq!(bucket_bounds(i - 1).1 + 1, bucket_bounds(i).0);
+        }
+    }
+
+    #[test]
+    fn quantiles_bracket_the_samples() {
+        let mut h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.sum(), 5050);
+        assert_eq!(h.max(), 100);
+        // p50 of 1..=100 is 50; the bucket estimate returns the bucket's
+        // upper bound, which must bracket the true value within 2x.
+        let p50 = h.p50();
+        assert!((50..=63).contains(&p50), "p50 estimate {p50}");
+        let p99 = h.p99();
+        assert!((99..=100).contains(&p99), "p99 estimate {p99}");
+        // The maximum is exact, and quantiles never exceed it.
+        assert_eq!(h.quantile(1.0), 100);
+    }
+
+    #[test]
+    fn zeros_and_empty() {
+        let mut h = Histogram::new();
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.mean(), 0.0);
+        h.record(0);
+        h.record(0);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.p99(), 0);
+        assert_eq!(h.buckets().collect::<Vec<_>>(), vec![(0, 0, 2)]);
+    }
+
+    #[test]
+    fn merge_equals_recording_everything() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut all = Histogram::new();
+        for v in [0, 1, 5, 900, 70_000] {
+            a.record(v);
+            all.record(v);
+        }
+        for v in [3, 3, 1_000_000] {
+            b.record(v);
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+    }
+
+    #[test]
+    fn dump_is_deterministic() {
+        let mut h = Histogram::new();
+        for v in [12, 13, 900] {
+            h.record(v);
+        }
+        assert_eq!(h.dump("delay"), h.dump("delay"));
+        assert!(h.dump("delay").starts_with("delay: n=3"));
+    }
+}

@@ -1,0 +1,512 @@
+//! Trace inspection: load a JSONL trace and answer questions about it.
+//!
+//! [`Trace`] wraps a decoded event stream and derives the views the
+//! `scmp-inspect` CLI exposes: per-group convergence timelines, per-node
+//! event filters, recomputed latency histograms, and a delivery audit
+//! that flags duplicate or unexplained-missing deliveries.
+
+use crate::event::{decode_events, encode_events, Event, EventKind};
+use crate::hist::Histogram;
+use crate::series::GaugeSample;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+
+/// A decoded trace, events in recorded (time) order.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    events: Vec<Event>,
+}
+
+/// Histograms recomputed purely from trace events.
+#[derive(Clone, Debug, Default)]
+pub struct TraceHistograms {
+    /// End-to-end delay of each distinct local delivery.
+    pub e2e_delay: Histogram,
+    /// Latency of each completed tree repair.
+    pub repair: Histogram,
+}
+
+/// The fate of one multicast send within a group's timeline.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConvergencePoint {
+    /// Payload tag of the send.
+    pub tag: u64,
+    /// When and where it was injected.
+    pub sent_at: u64,
+    /// The injecting node.
+    pub source: u32,
+    /// Group members at send time (sorted).
+    pub members_at_send: Vec<u32>,
+    /// Distinct `(node, time)` local deliveries for this tag (sorted by
+    /// node).
+    pub delivered: Vec<(u32, u64)>,
+    /// Time the last expected member delivered, when all of them did.
+    pub converged_at: Option<u64>,
+}
+
+/// A group's convergence timeline: one point per send, in send order.
+#[derive(Clone, Debug, Default)]
+pub struct Convergence {
+    /// The group inspected.
+    pub group: u32,
+    /// One entry per send to the group.
+    pub points: Vec<ConvergencePoint>,
+}
+
+/// The delivery audit over a whole trace.
+#[derive(Clone, Debug, Default)]
+pub struct Audit {
+    /// Sends observed.
+    pub sends: u64,
+    /// Distinct local deliveries observed.
+    pub deliveries: u64,
+    /// `(group, tag, node)` delivered more than once — always a failure.
+    pub duplicates: Vec<(u32, u64, u32)>,
+    /// Drop counts by reason label.
+    pub drops: BTreeMap<&'static str, u64>,
+    /// Fault events (link down/up, crash, recover) observed.
+    pub faults: u64,
+    /// `(group, tag, node)` expected at send time but never delivered.
+    pub missing: Vec<(u32, u64, u32)>,
+    /// Missing deliveries with no drop and no fault anywhere in the
+    /// trace to explain them — always a failure.
+    pub unaccounted: Vec<(u32, u64, u32)>,
+}
+
+impl Audit {
+    /// True when the trace shows no duplicate and no unexplained-missing
+    /// delivery.
+    pub fn passed(&self) -> bool {
+        self.duplicates.is_empty() && self.unaccounted.is_empty()
+    }
+
+    /// Human-readable audit report.
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "audit: sends={} deliveries={} faults={} verdict={}",
+            self.sends,
+            self.deliveries,
+            self.faults,
+            if self.passed() { "PASS" } else { "FAIL" }
+        );
+        for (reason, n) in &self.drops {
+            let _ = writeln!(out, "  drop[{reason}] = {n}");
+        }
+        for &(g, t, n) in &self.duplicates {
+            let _ = writeln!(out, "  DUPLICATE delivery: group {g} tag {t} node {n}");
+        }
+        for &(g, t, n) in &self.missing {
+            let explained = !self.unaccounted.contains(&(g, t, n));
+            let _ = writeln!(
+                out,
+                "  missing delivery: group {g} tag {t} node {n}{}",
+                if explained {
+                    " (explained by drops/faults)"
+                } else {
+                    " UNACCOUNTED"
+                }
+            );
+        }
+        out
+    }
+}
+
+impl Trace {
+    /// Wrap an already-decoded event stream.
+    pub fn from_events(events: Vec<Event>) -> Trace {
+        Trace { events }
+    }
+
+    /// Decode a JSONL document.
+    pub fn parse(jsonl: &str) -> Result<Trace, String> {
+        Ok(Trace {
+            events: decode_events(jsonl)?,
+        })
+    }
+
+    /// The raw events, in recorded order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when the trace holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Re-encode as JSONL.
+    pub fn to_jsonl(&self) -> String {
+        encode_events(&self.events)
+    }
+
+    /// Distinct groups mentioned anywhere, sorted.
+    pub fn groups(&self) -> Vec<u32> {
+        let mut set = BTreeSet::new();
+        for ev in &self.events {
+            match ev.kind {
+                EventKind::Join { group }
+                | EventKind::Leave { group }
+                | EventKind::Send { group, .. }
+                | EventKind::Deliver { group, .. }
+                | EventKind::DeliverLocal { group, .. } => {
+                    set.insert(group);
+                }
+                _ => {}
+            }
+        }
+        set.into_iter().collect()
+    }
+
+    /// Events that fired at `node` (gauge samples excluded — their node
+    /// id is not meaningful).
+    pub fn node_events(&self, node: u32) -> Vec<Event> {
+        self.events
+            .iter()
+            .filter(|ev| ev.node == node && !matches!(ev.kind, EventKind::Gauge { .. }))
+            .copied()
+            .collect()
+    }
+
+    /// The gauge time series embedded in the trace.
+    pub fn gauges(&self) -> Vec<GaugeSample> {
+        self.events
+            .iter()
+            .filter_map(GaugeSample::from_event)
+            .collect()
+    }
+
+    /// Recompute latency histograms from the events. End-to-end delay
+    /// counts each `(group, tag, node)` once (first delivery), matching
+    /// the engine's own statistics.
+    pub fn histograms(&self) -> TraceHistograms {
+        let mut out = TraceHistograms::default();
+        let mut seen = BTreeSet::new();
+        for ev in &self.events {
+            match ev.kind {
+                EventKind::DeliverLocal { group, tag, delay }
+                    if seen.insert((group, tag, ev.node)) =>
+                {
+                    out.e2e_delay.record(delay);
+                }
+                EventKind::Repair { latency } => out.repair.record(latency),
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// The convergence timeline of `group`: membership is replayed from
+    /// join/leave events (a router crash wipes its membership until an
+    /// explicit re-join), and each send is tracked until every member
+    /// known at send time has delivered its payload.
+    pub fn convergence(&self, group: u32) -> Convergence {
+        let mut members: BTreeSet<u32> = BTreeSet::new();
+        let mut points: Vec<ConvergencePoint> = Vec::new();
+        for ev in &self.events {
+            match ev.kind {
+                EventKind::Join { group: g } if g == group => {
+                    members.insert(ev.node);
+                }
+                EventKind::Leave { group: g } if g == group => {
+                    members.remove(&ev.node);
+                }
+                EventKind::RouterCrash => {
+                    members.remove(&ev.node);
+                }
+                EventKind::Send { group: g, tag } if g == group => {
+                    points.push(ConvergencePoint {
+                        tag,
+                        sent_at: ev.time,
+                        source: ev.node,
+                        members_at_send: members.iter().copied().collect(),
+                        delivered: Vec::new(),
+                        converged_at: None,
+                    });
+                }
+                EventKind::DeliverLocal { group: g, tag, .. } if g == group => {
+                    if let Some(p) = points.iter_mut().rev().find(|p| p.tag == tag) {
+                        if !p.delivered.iter().any(|&(n, _)| n == ev.node) {
+                            p.delivered.push((ev.node, ev.time));
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        for p in &mut points {
+            p.delivered.sort_unstable();
+            let all = p
+                .members_at_send
+                .iter()
+                .all(|m| p.delivered.iter().any(|&(n, _)| n == *m));
+            if all && !p.members_at_send.is_empty() {
+                p.converged_at = p.delivered.iter().map(|&(_, t)| t).max();
+            }
+        }
+        Convergence { group, points }
+    }
+
+    /// Audit the trace for delivery correctness. A duplicate local
+    /// delivery always fails the audit. A missing delivery fails only
+    /// when the trace shows no drop and no fault at all — loss without
+    /// any recorded cause means the trace (or the protocol) lost a
+    /// packet silently.
+    pub fn audit(&self) -> Audit {
+        let mut audit = Audit::default();
+        let mut delivered: BTreeSet<(u32, u64, u32)> = BTreeSet::new();
+        for ev in &self.events {
+            match ev.kind {
+                EventKind::Send { .. } => audit.sends += 1,
+                EventKind::DeliverLocal { group, tag, .. } => {
+                    if delivered.insert((group, tag, ev.node)) {
+                        audit.deliveries += 1;
+                    } else {
+                        audit.duplicates.push((group, tag, ev.node));
+                    }
+                }
+                EventKind::Drop { reason, .. } => {
+                    *audit.drops.entry(reason.label()).or_insert(0) += 1;
+                }
+                EventKind::LinkDown { .. }
+                | EventKind::LinkUp { .. }
+                | EventKind::RouterCrash
+                | EventKind::RouterRecover => audit.faults += 1,
+                _ => {}
+            }
+        }
+        for group in self.groups() {
+            for p in self.convergence(group).points {
+                for m in &p.members_at_send {
+                    if !delivered.contains(&(group, p.tag, *m)) {
+                        audit.missing.push((group, p.tag, *m));
+                    }
+                }
+            }
+        }
+        let loss_explained = audit.faults > 0 || audit.drops.values().any(|&n| n > 0);
+        if !loss_explained {
+            audit.unaccounted = audit.missing.clone();
+        }
+        audit
+    }
+
+    /// A one-screen summary: time span, event counts by kind, groups.
+    pub fn summary(&self) -> String {
+        let mut by_kind: BTreeMap<&'static str, u64> = BTreeMap::new();
+        for ev in &self.events {
+            let name = match ev.kind {
+                EventKind::Join { .. } => "join",
+                EventKind::Leave { .. } => "leave",
+                EventKind::Send { .. } => "send",
+                EventKind::Deliver { .. } => "deliver",
+                EventKind::DeliverLocal { .. } => "deliver_local",
+                EventKind::Timer { .. } => "timer",
+                EventKind::LinkDown { .. } => "link_down",
+                EventKind::LinkUp { .. } => "link_up",
+                EventKind::RouterCrash => "crash",
+                EventKind::RouterRecover => "recover",
+                EventKind::Drop { .. } => "drop",
+                EventKind::Repair { .. } => "repair",
+                EventKind::Gauge { .. } => "gauge",
+            };
+            *by_kind.entry(name).or_insert(0) += 1;
+        }
+        let span = match (self.events.first(), self.events.last()) {
+            (Some(a), Some(b)) => format!("t={}..{}", a.time, b.time),
+            _ => "empty".to_string(),
+        };
+        let mut out = String::new();
+        let _ = writeln!(out, "trace: {} events, {span}", self.events.len());
+        for (k, n) in &by_kind {
+            let _ = writeln!(out, "  {k:<14} {n}");
+        }
+        let groups = self.groups();
+        if !groups.is_empty() {
+            let _ = writeln!(out, "  groups: {groups:?}");
+        }
+        out
+    }
+}
+
+impl Convergence {
+    /// Human-readable timeline.
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "group {} convergence:", self.group);
+        for p in &self.points {
+            let _ = writeln!(
+                out,
+                "  tag {} sent t={} by n{} -> {}/{} members{}",
+                p.tag,
+                p.sent_at,
+                p.source,
+                p.delivered.len(),
+                p.members_at_send.len(),
+                match p.converged_at {
+                    Some(t) => format!(", converged t={t}"),
+                    None => ", NOT converged".to_string(),
+                }
+            );
+            for &(n, t) in &p.delivered {
+                let _ = writeln!(out, "    n{n} delivered t={t} (+{})", t - p.sent_at);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::DropReason;
+
+    fn ev(time: u64, node: u32, kind: EventKind) -> Event {
+        Event { time, node, kind }
+    }
+
+    fn happy_trace() -> Trace {
+        Trace::from_events(vec![
+            ev(0, 3, EventKind::Join { group: 1 }),
+            ev(0, 4, EventKind::Join { group: 1 }),
+            ev(100, 1, EventKind::Send { group: 1, tag: 7 }),
+            ev(
+                103,
+                3,
+                EventKind::DeliverLocal {
+                    group: 1,
+                    tag: 7,
+                    delay: 3,
+                },
+            ),
+            ev(
+                105,
+                4,
+                EventKind::DeliverLocal {
+                    group: 1,
+                    tag: 7,
+                    delay: 5,
+                },
+            ),
+        ])
+    }
+
+    #[test]
+    fn convergence_tracks_members_at_send_time() {
+        let c = happy_trace().convergence(1);
+        assert_eq!(c.points.len(), 1);
+        let p = &c.points[0];
+        assert_eq!(p.members_at_send, vec![3, 4]);
+        assert_eq!(p.delivered, vec![(3, 103), (4, 105)]);
+        assert_eq!(p.converged_at, Some(105));
+        assert!(c.report().contains("converged t=105"));
+    }
+
+    #[test]
+    fn crash_wipes_membership() {
+        let t = Trace::from_events(vec![
+            ev(0, 3, EventKind::Join { group: 1 }),
+            ev(0, 4, EventKind::Join { group: 1 }),
+            ev(50, 4, EventKind::RouterCrash),
+            ev(100, 1, EventKind::Send { group: 1, tag: 7 }),
+            ev(
+                103,
+                3,
+                EventKind::DeliverLocal {
+                    group: 1,
+                    tag: 7,
+                    delay: 3,
+                },
+            ),
+        ]);
+        let p = &t.convergence(1).points[0];
+        assert_eq!(p.members_at_send, vec![3]);
+        assert_eq!(p.converged_at, Some(103));
+        assert!(t.audit().passed());
+    }
+
+    #[test]
+    fn audit_flags_duplicates_and_silent_loss() {
+        // Duplicate delivery is always a failure.
+        let mut events = happy_trace().events().to_vec();
+        events.push(ev(
+            110,
+            4,
+            EventKind::DeliverLocal {
+                group: 1,
+                tag: 7,
+                delay: 10,
+            },
+        ));
+        let a = Trace::from_events(events).audit();
+        assert!(!a.passed());
+        assert_eq!(a.duplicates, vec![(1, 7, 4)]);
+
+        // A missing delivery with no drop/fault anywhere is unaccounted.
+        let t = Trace::from_events(vec![
+            ev(0, 3, EventKind::Join { group: 1 }),
+            ev(100, 1, EventKind::Send { group: 1, tag: 7 }),
+        ]);
+        let a = t.audit();
+        assert!(!a.passed());
+        assert_eq!(a.unaccounted, vec![(1, 7, 3)]);
+        assert!(a.report().contains("UNACCOUNTED"));
+
+        // The same loss with a recorded drop is explained.
+        let t = Trace::from_events(vec![
+            ev(0, 3, EventKind::Join { group: 1 }),
+            ev(100, 1, EventKind::Send { group: 1, tag: 7 }),
+            ev(
+                101,
+                2,
+                EventKind::Drop {
+                    reason: DropReason::QueueFull,
+                    to: None,
+                },
+            ),
+        ]);
+        let a = t.audit();
+        assert!(a.passed());
+        assert_eq!(a.missing, vec![(1, 7, 3)]);
+        assert!(a.unaccounted.is_empty());
+    }
+
+    #[test]
+    fn histograms_dedup_first_delivery() {
+        let mut events = happy_trace().events().to_vec();
+        events.push(ev(
+            110,
+            4,
+            EventKind::DeliverLocal {
+                group: 1,
+                tag: 7,
+                delay: 10,
+            },
+        ));
+        events.push(ev(120, 0, EventKind::Repair { latency: 1200 }));
+        let h = Trace::from_events(events).histograms();
+        assert_eq!(h.e2e_delay.count(), 2, "duplicate delivery not recounted");
+        assert_eq!(h.e2e_delay.max(), 5);
+        assert_eq!(h.repair.count(), 1);
+        assert_eq!(h.repair.max(), 1200);
+    }
+
+    #[test]
+    fn summary_and_filters() {
+        let t = happy_trace();
+        let s = t.summary();
+        assert!(s.contains("5 events"));
+        assert!(s.contains("deliver_local  2"));
+        assert_eq!(t.groups(), vec![1]);
+        assert_eq!(t.node_events(3).len(), 2);
+        assert_eq!(t.node_events(9).len(), 0);
+        let back = Trace::parse(&t.to_jsonl()).unwrap();
+        assert_eq!(back.events(), t.events());
+    }
+}

@@ -1,0 +1,37 @@
+//! # scmp-telemetry
+//!
+//! Observability primitives for the SCMP reproduction: structured trace
+//! events with a stable JSONL wire form, pluggable event sinks that cost
+//! one branch when disabled, log-bucketed latency histograms, per-tick
+//! gauge time series, span-style wall-clock profiling, and a trace
+//! inspector that answers convergence/audit queries offline.
+//!
+//! The crate is deliberately protocol-agnostic: node and group ids are
+//! plain integers, so it sits below every other workspace crate and can
+//! be reused by the simulator, the benches and the `scmp-inspect` CLI
+//! without dependency cycles.
+//!
+//! Layer map:
+//!
+//! | module      | provides |
+//! |-------------|----------|
+//! | [`event`]   | [`Event`]/[`EventKind`] vocabulary + JSONL encode/decode |
+//! | [`sink`]    | [`Sink`] trait, [`NullSink`], [`RingSink`], [`JsonlSink`] |
+//! | [`hist`]    | [`Histogram`] (log buckets, p50/p90/p99) |
+//! | [`series`]  | [`GaugeSample`] periodic gauge samples |
+//! | [`profile`] | [`Span`]/[`TimedScope`] RAII profiling, per-thread table |
+//! | [`inspect`] | [`Trace`] loader + convergence/audit/histogram queries |
+
+pub mod event;
+pub mod hist;
+pub mod inspect;
+pub mod profile;
+pub mod series;
+pub mod sink;
+
+pub use event::{decode_events, encode_events, DropReason, Event, EventKind, TrafficClass};
+pub use hist::{bucket_bounds, bucket_index, Histogram, BUCKET_COUNT};
+pub use inspect::{Audit, Convergence, ConvergencePoint, Trace, TraceHistograms};
+pub use profile::{Profile, Span, SpanStats, TimedScope};
+pub use series::GaugeSample;
+pub use sink::{JsonlSink, NullSink, RingSink, Sink};

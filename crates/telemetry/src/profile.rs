@@ -1,0 +1,194 @@
+//! Span-style wall-clock profiling: RAII scopes accounted into a
+//! per-thread profile table.
+//!
+//! Simulation runs are single-threaded and the bench harness fans seeds
+//! out one run per thread, so a thread-local table needs no locking and
+//! attributes every span to the run that produced it. Wall-clock numbers
+//! never feed back into the simulation, so determinism is untouched.
+//!
+//! ```
+//! use scmp_telemetry::profile::{self, Span, TimedScope};
+//! profile::reset();
+//! {
+//!     let _t = TimedScope::new(Span::DcdmBuild);
+//!     // ... build a tree ...
+//! }
+//! let p = profile::snapshot();
+//! assert_eq!(p.get(Span::DcdmBuild).count, 1);
+//! ```
+
+use std::cell::RefCell;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// The instrumented operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Span {
+    /// One DCDM tree mutation (join or leave) at the m-router's mirror.
+    DcdmBuild,
+    /// One pass of the m-router's periodic repair scan.
+    RepairScan,
+    /// One `Engine::run_until` dispatch batch.
+    DispatchBatch,
+}
+
+impl Span {
+    /// All spans, in report order.
+    pub const ALL: [Span; 3] = [Span::DcdmBuild, Span::RepairScan, Span::DispatchBatch];
+
+    /// Stable label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Span::DcdmBuild => "dcdm_build",
+            Span::RepairScan => "repair_scan",
+            Span::DispatchBatch => "dispatch_batch",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Span::DcdmBuild => 0,
+            Span::RepairScan => 1,
+            Span::DispatchBatch => 2,
+        }
+    }
+}
+
+/// Accumulated timing of one span kind.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SpanStats {
+    /// Completed scopes.
+    pub count: u64,
+    /// Total wall time in nanoseconds.
+    pub total_ns: u64,
+    /// Longest single scope in nanoseconds.
+    pub max_ns: u64,
+}
+
+impl SpanStats {
+    /// Mean scope duration in nanoseconds, 0.0 when empty.
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_ns as f64 / self.count as f64
+        }
+    }
+}
+
+/// The per-run profile table.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Profile {
+    spans: [SpanStats; 3],
+}
+
+impl Profile {
+    /// Stats for one span kind.
+    pub fn get(&self, span: Span) -> SpanStats {
+        self.spans[span.index()]
+    }
+
+    fn record(&mut self, span: Span, ns: u64) {
+        let s = &mut self.spans[span.index()];
+        s.count += 1;
+        s.total_ns = s.total_ns.saturating_add(ns);
+        s.max_ns = s.max_ns.max(ns);
+    }
+
+    /// An aligned text table (spans with zero scopes omitted).
+    pub fn report(&self) -> String {
+        let mut out =
+            String::from("span            count     total_ms      mean_us       max_us\n");
+        for span in Span::ALL {
+            let s = self.get(span);
+            if s.count == 0 {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "{:<14} {:>6} {:>12.2} {:>12.1} {:>12.1}",
+                span.label(),
+                s.count,
+                s.total_ns as f64 / 1e6,
+                s.mean_ns() / 1e3,
+                s.max_ns as f64 / 1e3,
+            );
+        }
+        out
+    }
+}
+
+thread_local! {
+    static PROFILE: RefCell<Profile> = RefCell::new(Profile::default());
+}
+
+/// Clear this thread's profile table (call before a timed run).
+pub fn reset() {
+    PROFILE.with(|p| *p.borrow_mut() = Profile::default());
+}
+
+/// A copy of this thread's profile table.
+pub fn snapshot() -> Profile {
+    PROFILE.with(|p| p.borrow().clone())
+}
+
+/// RAII timing scope: measures from construction to drop and accounts
+/// the elapsed wall time into the thread's profile table.
+pub struct TimedScope {
+    span: Span,
+    start: Instant,
+}
+
+impl TimedScope {
+    /// Start timing `span`.
+    pub fn new(span: Span) -> Self {
+        TimedScope {
+            span,
+            start: Instant::now(),
+        }
+    }
+}
+
+impl Drop for TimedScope {
+    fn drop(&mut self) {
+        let ns = self.start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        PROFILE.with(|p| p.borrow_mut().record(self.span, ns));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scopes_accumulate_per_thread() {
+        reset();
+        {
+            let _a = TimedScope::new(Span::DcdmBuild);
+            let _b = TimedScope::new(Span::DcdmBuild);
+        }
+        {
+            let _c = TimedScope::new(Span::RepairScan);
+        }
+        let p = snapshot();
+        assert_eq!(p.get(Span::DcdmBuild).count, 2);
+        assert_eq!(p.get(Span::RepairScan).count, 1);
+        assert_eq!(p.get(Span::DispatchBatch).count, 0);
+        let report = p.report();
+        assert!(report.contains("dcdm_build"));
+        assert!(!report.contains("dispatch_batch"), "empty spans omitted");
+        reset();
+        assert_eq!(snapshot().get(Span::DcdmBuild).count, 0);
+    }
+
+    #[test]
+    fn other_threads_do_not_leak_in() {
+        reset();
+        std::thread::spawn(|| {
+            let _t = TimedScope::new(Span::DispatchBatch);
+        })
+        .join()
+        .unwrap();
+        assert_eq!(snapshot().get(Span::DispatchBatch).count, 0);
+    }
+}

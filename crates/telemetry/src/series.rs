@@ -1,0 +1,94 @@
+//! Per-tick time-series gauges sampled at a configurable interval.
+
+use crate::event::{Event, EventKind};
+
+/// One periodic sample of simulator-wide gauges.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GaugeSample {
+    /// Simulation time of the sample.
+    pub time: u64,
+    /// Events waiting in the engine's queue at sample time.
+    pub queue_depth: u64,
+    /// Links currently administratively down.
+    pub down_links: u64,
+    /// Routers currently crashed.
+    pub down_nodes: u64,
+    /// Cumulative distinct local deliveries so far.
+    pub deliveries: u64,
+}
+
+impl GaugeSample {
+    /// The sample as a structured event (node 0, not meaningful).
+    pub fn to_event(self) -> Event {
+        Event {
+            time: self.time,
+            node: 0,
+            kind: EventKind::Gauge {
+                queue_depth: self.queue_depth,
+                down_links: self.down_links,
+                down_nodes: self.down_nodes,
+                deliveries: self.deliveries,
+            },
+        }
+    }
+
+    /// Recover a sample from a gauge event (`None` for other kinds).
+    pub fn from_event(ev: &Event) -> Option<GaugeSample> {
+        match ev.kind {
+            EventKind::Gauge {
+                queue_depth,
+                down_links,
+                down_nodes,
+                deliveries,
+            } => Some(GaugeSample {
+                time: ev.time,
+                queue_depth,
+                down_links,
+                down_nodes,
+                deliveries,
+            }),
+            _ => None,
+        }
+    }
+
+    /// Delivery rate between `prev` and `self` in deliveries per 1000
+    /// ticks (0.0 when no time elapsed).
+    pub fn delivery_rate_since(&self, prev: &GaugeSample) -> f64 {
+        let dt = self.time.saturating_sub(prev.time);
+        if dt == 0 {
+            return 0.0;
+        }
+        let dd = self.deliveries.saturating_sub(prev.deliveries);
+        dd as f64 * 1000.0 / dt as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_roundtrip_and_rate() {
+        let a = GaugeSample {
+            time: 1000,
+            queue_depth: 5,
+            down_links: 1,
+            down_nodes: 0,
+            deliveries: 10,
+        };
+        let b = GaugeSample {
+            time: 3000,
+            deliveries: 30,
+            ..a
+        };
+        assert_eq!(GaugeSample::from_event(&a.to_event()), Some(a));
+        assert_eq!(b.delivery_rate_since(&a), 10.0);
+        assert_eq!(a.delivery_rate_since(&a), 0.0);
+        let other = Event {
+            time: 0,
+            node: 1,
+            kind: EventKind::Timer { token: 1 },
+        };
+        assert_eq!(GaugeSample::from_event(&other), None);
+    }
+}

@@ -1,0 +1,205 @@
+//! Event sinks: where structured events go.
+//!
+//! The engine holds a `Box<dyn Sink>` and caches [`Sink::enabled`] so a
+//! disabled sink costs one predictable branch per dispatch — no event is
+//! even constructed. [`RingSink`] keeps the last `capacity` events in
+//! memory for interactive inspection; [`JsonlSink`] streams every event
+//! as one JSON line to any writer for offline analysis with
+//! `scmp-inspect`.
+
+use crate::event::Event;
+use std::collections::VecDeque;
+use std::io;
+
+/// A destination for structured events.
+pub trait Sink {
+    /// Whether the producer should bother constructing events at all.
+    /// The engine caches this at install time.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Record one event.
+    fn record(&mut self, ev: &Event);
+
+    /// Flush buffered output (streaming sinks).
+    fn flush(&mut self) {}
+
+    /// In-memory snapshot of recorded events, oldest first. Streaming
+    /// sinks return an empty vec — their events already left.
+    fn snapshot(&self) -> Vec<Event> {
+        Vec::new()
+    }
+}
+
+/// The disabled sink: records nothing, costs nothing.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullSink;
+
+impl Sink for NullSink {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn record(&mut self, _ev: &Event) {}
+}
+
+/// A bounded in-memory ring: keeps the most recent `capacity` events and
+/// counts what it had to evict.
+#[derive(Clone, Debug)]
+pub struct RingSink {
+    buf: VecDeque<Event>,
+    capacity: usize,
+    evicted: u64,
+}
+
+impl RingSink {
+    /// A ring holding at most `capacity` events (at least 1).
+    pub fn new(capacity: usize) -> Self {
+        RingSink {
+            buf: VecDeque::new(),
+            capacity: capacity.max(1),
+            evicted: 0,
+        }
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been recorded (or everything evicted).
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+impl Sink for RingSink {
+    fn record(&mut self, ev: &Event) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.evicted += 1;
+        }
+        self.buf.push_back(*ev);
+    }
+
+    fn snapshot(&self) -> Vec<Event> {
+        self.buf.iter().copied().collect()
+    }
+}
+
+/// Streams each event as one JSON line to a writer.
+pub struct JsonlSink<W: io::Write> {
+    w: W,
+    line: String,
+    written: u64,
+    error: Option<io::Error>,
+}
+
+impl<W: io::Write> JsonlSink<W> {
+    /// Stream events to `w` (wrap files in a `BufWriter`).
+    pub fn new(w: W) -> Self {
+        JsonlSink {
+            w,
+            line: String::with_capacity(128),
+            written: 0,
+            error: None,
+        }
+    }
+
+    /// Lines successfully written.
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// The first write error, if any occurred (later events after an
+    /// error are silently skipped rather than panicking mid-simulation).
+    pub fn error(&self) -> Option<&io::Error> {
+        self.error.as_ref()
+    }
+
+    /// Flush and return the underlying writer.
+    pub fn into_inner(mut self) -> W {
+        let _ = self.w.flush();
+        self.w
+    }
+}
+
+impl<W: io::Write> Sink for JsonlSink<W> {
+    fn record(&mut self, ev: &Event) {
+        if self.error.is_some() {
+            return;
+        }
+        self.line.clear();
+        ev.encode(&mut self.line);
+        self.line.push('\n');
+        match self.w.write_all(self.line.as_bytes()) {
+            Ok(()) => self.written += 1,
+            Err(e) => self.error = Some(e),
+        }
+    }
+
+    fn flush(&mut self) {
+        if let Err(e) = self.w.flush() {
+            if self.error.is_none() {
+                self.error = Some(e);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    fn ev(time: u64) -> Event {
+        Event {
+            time,
+            node: 1,
+            kind: EventKind::Timer { token: time },
+        }
+    }
+
+    #[test]
+    fn null_sink_is_disabled() {
+        let mut s = NullSink;
+        assert!(!s.enabled());
+        s.record(&ev(1));
+        assert!(s.snapshot().is_empty());
+    }
+
+    #[test]
+    fn ring_keeps_the_most_recent() {
+        let mut s = RingSink::new(3);
+        assert!(s.is_empty());
+        for t in 0..5 {
+            s.record(&ev(t));
+        }
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.evicted(), 2);
+        let times: Vec<u64> = s.snapshot().iter().map(|e| e.time).collect();
+        assert_eq!(times, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn jsonl_streams_lines() {
+        let mut s = JsonlSink::new(Vec::new());
+        for t in 0..3 {
+            s.record(&ev(t));
+        }
+        s.flush();
+        assert_eq!(s.written(), 3);
+        assert!(s.error().is_none());
+        let buf = s.into_inner();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.lines().count(), 3);
+        let back = crate::event::decode_events(&text).unwrap();
+        assert_eq!(back, vec![ev(0), ev(1), ev(2)]);
+    }
+}

@@ -142,6 +142,7 @@ impl<'a> Dcdm<'a> {
 
     /// Join member `s`, returning what changed.
     pub fn join(&mut self, s: NodeId) -> JoinOutcome {
+        let _span = scmp_telemetry::TimedScope::new(scmp_telemetry::Span::DcdmBuild);
         if self.tree.contains(s) {
             // Already a forwarder (or the root itself): just mark it.
             self.tree.add_member(s);
@@ -200,6 +201,7 @@ impl<'a> Dcdm<'a> {
     /// Member `s` leaves: unmark and prune its branch. Returns the pruned
     /// routers (empty when `s` stays as a forwarder).
     pub fn leave(&mut self, s: NodeId) -> Vec<NodeId> {
+        let _span = scmp_telemetry::TimedScope::new(scmp_telemetry::Span::DcdmBuild);
         if !self.tree.remove_member(s) {
             return Vec::new();
         }

@@ -14,7 +14,8 @@
 use scmp_core::router::{ScmpConfig, ScmpDomain, ScmpRouter};
 use scmp_net::topology::examples::fig5;
 use scmp_net::NodeId;
-use scmp_sim::{AppEvent, Engine, FaultKind, FaultPlan, GroupId};
+use scmp_sim::{AppEvent, Engine, FaultKind, FaultPlan, GroupId, RingSink};
+use scmp_telemetry::{encode_events, EventKind, Trace};
 use std::sync::Arc;
 
 const G: GroupId = GroupId(1);
@@ -33,7 +34,8 @@ fn main() {
     let mut engine = Engine::new(topo, move |me, _, _| {
         ScmpRouter::new(me, Arc::clone(&domain))
     });
-    engine.enable_trace();
+    engine.set_sink(Box::new(RingSink::new(1 << 18)));
+    engine.set_gauge_interval(5_000);
 
     // Session setup: receivers at 3, 4, 5; source at 1.
     engine.schedule_app(0, NodeId(4), AppEvent::Join(G));
@@ -70,10 +72,31 @@ fn main() {
     engine.run_until(120_000);
 
     println!("fault storm timeline:");
-    for rec in engine.trace() {
-        if let scmp_sim::TraceKind::Fault(f) = &rec.kind {
-            println!("  t={:>6}  n{}  {}", rec.time, rec.node.0, f.label());
-        }
+    let events = engine.events();
+    for ev in &events {
+        let what = match ev.kind {
+            EventKind::LinkDown { a, b } => format!("link {a}-{b} down"),
+            EventKind::LinkUp { a, b } => format!("link {a}-{b} up"),
+            EventKind::RouterCrash => "router crash".to_string(),
+            EventKind::RouterRecover => "router recover".to_string(),
+            EventKind::Repair { latency } => format!("tree repaired (+{latency} ticks)"),
+            _ => continue,
+        };
+        println!("  t={:>6}  n{}  {}", ev.time, ev.node, what);
+    }
+
+    // Export the full structured trace; `scmp-inspect` (or the
+    // telemetry_tour example) can replay histograms, convergence and the
+    // delivery audit from this file alone.
+    let trace_path = std::path::Path::new("bench_results").join("failstorm_trace.jsonl");
+    if std::fs::create_dir_all("bench_results").is_ok()
+        && std::fs::write(&trace_path, encode_events(&events)).is_ok()
+    {
+        println!(
+            "\ntrace: {} events -> {}",
+            events.len(),
+            trace_path.display()
+        );
     }
 
     let s = engine.stats();
@@ -97,6 +120,13 @@ fn main() {
         "  data overhead (faulty)     {} / {} total",
         s.data_overhead_during_failure, s.data_overhead
     );
+    print!("\n{}", s.repair_hist.dump("repair latency (ticks)"));
+
+    // The inspector recomputes the same histogram purely from the
+    // exported events — the trace is a faithful record.
+    let replay = Trace::from_events(events).histograms();
+    assert_eq!(replay.repair.count(), s.repair_hist.count());
+    assert_eq!(replay.repair.max(), s.repair_hist.max());
 
     // The storm was survivable: the repair scan rerouted around the cut
     // within two scan periods and node 4's post-recovery re-join

@@ -1,16 +1,18 @@
 //! The paper's Fig. 4 walkthrough as a live event trace.
 //!
-//! Runs the Fig. 5 topology with the simulator's tracer enabled and
-//! prints the complete protocol conversation — IGMP-triggered JOIN,
+//! Runs the Fig. 5 topology with a telemetry sink installed and prints
+//! the complete protocol conversation — IGMP-triggered JOIN,
 //! BRANCH/TREE distribution, PRUNE on leave, encapsulated data — one
-//! line per event, as a teaching aid for how SCMP actually talks.
+//! line per structured [`Event`](scmp_telemetry::Event), as a teaching
+//! aid for how SCMP actually talks.
 //!
 //! Run with: `cargo run --example protocol_trace`
 
 use scmp_core::router::{ScmpConfig, ScmpDomain, ScmpRouter};
 use scmp_net::topology::examples::fig5;
 use scmp_net::NodeId;
-use scmp_sim::{AppEvent, Engine, GroupId, PacketClass, TraceKind};
+use scmp_sim::{AppEvent, Engine, GroupId, RingSink};
+use scmp_telemetry::{EventKind, TrafficClass};
 use std::sync::Arc;
 
 const G: GroupId = GroupId(1);
@@ -21,7 +23,7 @@ fn main() {
     let mut engine = Engine::new(topo, move |me, _, _| {
         ScmpRouter::new(me, Arc::clone(&domain))
     });
-    engine.enable_trace();
+    engine.set_sink(Box::new(RingSink::new(1 << 16)));
 
     engine.schedule_app(0, NodeId(4), AppEvent::Join(G)); // g1
     engine.schedule_app(100, NodeId(3), AppEvent::Join(G)); // g2
@@ -31,38 +33,49 @@ fn main() {
     engine.run_to_quiescence();
 
     println!("{:>6}  {:<6} event", "time", "node");
-    for rec in engine.trace() {
-        let what = match &rec.kind {
-            TraceKind::App(AppEvent::Join(g)) => format!("host joins {g:?}"),
-            TraceKind::App(AppEvent::Leave(g)) => format!("host leaves {g:?}"),
-            TraceKind::App(AppEvent::Send { group, tag }) => {
-                format!("host sends payload #{tag} to {group:?}")
+    for ev in engine.events() {
+        let what = match ev.kind {
+            EventKind::Join { group } => format!("host joins g{group}"),
+            EventKind::Leave { group } => format!("host leaves g{group}"),
+            EventKind::Send { group, tag } => {
+                format!("host sends payload #{tag} to g{group}")
             }
-            TraceKind::Deliver {
+            EventKind::Deliver {
                 from,
                 class,
                 group,
                 tag,
             } => {
                 let kind = match class {
-                    PacketClass::Data => format!("DATA #{tag}"),
-                    PacketClass::Control => "control".to_string(),
+                    TrafficClass::Data => format!("DATA #{tag}"),
+                    TrafficClass::Control => "control".to_string(),
                 };
-                format!("receives {kind} for {group:?} from {from}")
+                format!("receives {kind} for g{group} from n{from}")
             }
-            TraceKind::Timer { token } => format!("timer {token} fires"),
-            TraceKind::Fault(f) => format!("fault injected: {}", f.label()),
-            TraceKind::NonNeighbourDrop { to } => {
-                format!("drops a send to non-neighbour n{}", to.0)
+            EventKind::DeliverLocal { group, tag, delay } => {
+                format!("delivers #{tag} to g{group}'s member hosts (+{delay} ticks)")
             }
+            EventKind::Timer { token } => format!("timer {token} fires"),
+            EventKind::LinkDown { a, b } => format!("fault injected: link {a}-{b} down"),
+            EventKind::LinkUp { a, b } => format!("fault injected: link {a}-{b} up"),
+            EventKind::RouterCrash => "fault injected: router crash".to_string(),
+            EventKind::RouterRecover => "fault injected: router recover".to_string(),
+            EventKind::Drop { reason, to } => match to {
+                Some(to) => format!("drops a send to n{to} ({})", reason.label()),
+                None => format!("drops a packet ({})", reason.label()),
+            },
+            EventKind::Repair { latency } => {
+                format!("completes a tree repair ({latency} ticks after the fault)")
+            }
+            EventKind::Gauge { .. } => continue,
         };
-        println!("{:>6}  n{:<5} {}", rec.time, rec.node.0, what);
+        println!("{:>6}  n{:<5} {}", ev.time, ev.node, what);
     }
 
     let s = engine.stats();
     println!(
         "\n{} events; data overhead {} / protocol overhead {} cost units",
-        engine.trace().len(),
+        engine.events().len(),
         s.data_overhead,
         s.protocol_overhead
     );

@@ -25,7 +25,18 @@ lint:
 failstorm:
     cargo run --example failstorm
 
-# Refresh the committed golden trace after an intentional protocol
-# change; review the diff like code.
+# Query a JSONL telemetry trace, e.g.:
+#   just inspect bench_results/failstorm_trace.jsonl --audit
+inspect +args:
+    cargo run -q -p scmp-bench --bin scmp-inspect -- {{args}}
+
+# End-to-end telemetry walkthrough: sinks, gauges, histograms, spans,
+# inspector round trip.
+telemetry-tour:
+    cargo run --example telemetry_tour
+
+# Refresh the committed golden traces (legacy text + structured JSONL)
+# after an intentional protocol change; review the diff like code.
 golden-update:
     UPDATE_GOLDEN=1 cargo test -p scmp-integration --test golden_trace
+    UPDATE_GOLDEN=1 cargo test -p scmp-integration --test telemetry

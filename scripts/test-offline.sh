@@ -9,3 +9,7 @@ cargo fmt --check
 cargo clippy --workspace -- -D warnings
 cargo build --release
 cargo test -q
+# Delivery audit over the committed golden trace: scmp-inspect exits
+# non-zero on any duplicate delivery or unaccounted drop.
+cargo run -q --release -p scmp-bench --bin scmp-inspect -- \
+    tests/golden/failstorm_events.jsonl --audit

@@ -1,0 +1,151 @@
+//! Telemetry integration: golden JSONL snapshot, sink-parity, and the
+//! inspector replaying engine statistics from a trace file alone.
+//!
+//! The golden file pins the *structured* event stream of the same
+//! fault-storm scenario `golden_trace.rs` pins in legacy form — with
+//! gauge sampling on, so the schema of every event kind is exercised.
+//! Refresh after an intentional change with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p scmp-integration --test telemetry
+//! ```
+
+use scmp_core::router::{ScmpConfig, ScmpRouter};
+use scmp_integration::G;
+use scmp_net::topology::examples::fig5;
+use scmp_net::NodeId;
+use scmp_protocols::build_scmp_engine;
+use scmp_sim::{AppEvent, Engine, FaultKind, FaultPlan, NullSink, RingSink};
+use scmp_telemetry::{encode_events, Trace};
+
+const GOLDEN: &str = include_str!("../golden/failstorm_events.jsonl");
+
+enum Sink {
+    Default,
+    Null,
+    Ring,
+}
+
+/// The pinned fault-storm scenario (same timeline as `golden_trace.rs`)
+/// with the chosen sink installed and the gauge sampler on.
+fn run_pinned_scenario(sink: Sink) -> Engine<ScmpRouter> {
+    let mut cfg = ScmpConfig::new(NodeId(0));
+    cfg.repair_interval = 2_000;
+    cfg.join_retry = 5_000;
+    cfg.leave_retry = 5_000;
+    let mut e = build_scmp_engine(fig5(), cfg);
+    match sink {
+        Sink::Default => {}
+        Sink::Null => e.set_sink(Box::new(NullSink)),
+        Sink::Ring => e.set_sink(Box::new(RingSink::new(1 << 16))),
+    }
+    e.set_gauge_interval(10_000);
+
+    for (t, n) in [(0u64, 4u32), (1_000, 3), (2_000, 5)] {
+        e.schedule_app(t, NodeId(n), AppEvent::Join(G));
+    }
+    let plan = FaultPlan::new()
+        .at(20_000, FaultKind::LinkDown { a: 0, b: 2 })
+        .at(40_000, FaultKind::RouterCrash { node: 4 })
+        .at(50_000, FaultKind::RouterRecover { node: 4 })
+        .at(60_000, FaultKind::LinkUp { a: 0, b: 2 });
+    e.schedule_fault_plan(&plan);
+    e.schedule_app(51_000, NodeId(4), AppEvent::Join(G));
+    for (tag, t) in [(1u64, 10_000u64), (2, 30_000), (3, 55_000), (4, 70_000)] {
+        e.schedule_app(t, NodeId(1), AppEvent::Send { group: G, tag });
+    }
+    e.run_until(80_000);
+    e
+}
+
+#[test]
+fn pinned_scenario_matches_golden_jsonl() {
+    let mut e = run_pinned_scenario(Sink::Ring);
+    e.flush_telemetry();
+    let got = encode_events(&e.events());
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/golden/failstorm_events.jsonl");
+        std::fs::write(path, &got).expect("write golden file");
+        return;
+    }
+    for (i, (g, w)) in got.lines().zip(GOLDEN.lines()).enumerate() {
+        assert_eq!(
+            g,
+            w,
+            "JSONL trace diverges at line {} (UPDATE_GOLDEN=1 to refresh)",
+            i + 1
+        );
+    }
+    assert_eq!(
+        got.lines().count(),
+        GOLDEN.lines().count(),
+        "trace length changed"
+    );
+}
+
+/// Telemetry observes, never steers: the default (telemetry off), an
+/// explicit `NullSink`, and a recording `RingSink` all leave the
+/// simulation itself bit-identical.
+#[test]
+fn sinks_do_not_perturb_the_simulation() {
+    let base = run_pinned_scenario(Sink::Default);
+    let null = run_pinned_scenario(Sink::Null);
+    let ring = run_pinned_scenario(Sink::Ring);
+    for other in [&null, &ring] {
+        let (a, b) = (base.stats(), other.stats());
+        assert_eq!(a.data_overhead, b.data_overhead);
+        assert_eq!(a.protocol_overhead, b.protocol_overhead);
+        assert_eq!(a.max_end_to_end_delay, b.max_end_to_end_delay);
+        assert_eq!(a.drops, b.drops);
+        assert_eq!(a.repairs, b.repairs);
+        assert_eq!(a.max_repair_latency, b.max_repair_latency);
+        assert_eq!(a.report(), b.report());
+    }
+    // The disabled paths record nothing; the ring records everything.
+    assert!(base.events().is_empty());
+    assert!(null.events().is_empty());
+    assert!(!ring.events().is_empty());
+}
+
+/// The inspector recomputes the engine's own histograms and delivery
+/// picture purely from the exported event stream.
+#[test]
+fn inspector_replays_engine_statistics_from_the_trace() {
+    let e = run_pinned_scenario(Sink::Ring);
+    let trace = Trace::from_events(e.events());
+    let stats = e.stats();
+
+    let hists = trace.histograms();
+    assert_eq!(hists.e2e_delay.count(), stats.e2e_delay_hist.count());
+    assert_eq!(hists.e2e_delay.max(), stats.e2e_delay_hist.max());
+    assert_eq!(hists.e2e_delay.p50(), stats.e2e_delay_hist.p50());
+    assert_eq!(hists.e2e_delay.p99(), stats.e2e_delay_hist.p99());
+    assert_eq!(hists.repair.count(), stats.repair_hist.count());
+    assert_eq!(hists.repair.max(), stats.repair_hist.max());
+    assert_eq!(hists.repair.max(), stats.max_repair_latency);
+
+    // Convergence: every send reached the members alive at send time.
+    let conv = trace.convergence(G.0);
+    assert_eq!(conv.points.len(), 4);
+    for p in &conv.points {
+        assert!(
+            p.converged_at.is_some(),
+            "tag {} never converged: {:?}",
+            p.tag,
+            p
+        );
+    }
+}
+
+/// The committed golden trace itself audits clean: no duplicate
+/// delivery, and all loss is explained by recorded drops/faults.
+#[test]
+fn golden_trace_audits_clean() {
+    let trace = Trace::parse(GOLDEN).expect("golden JSONL parses");
+    let audit = trace.audit();
+    assert!(audit.passed(), "golden audit failed:\n{}", audit.report());
+    assert_eq!(audit.sends, 4);
+    assert!(audit.faults >= 4, "all four injected faults recorded");
+    // Gauge samples survived the round trip.
+    assert!(!trace.gauges().is_empty());
+}

@@ -1,17 +1,18 @@
 //! Regenerate Fig. 7: tree delay and tree cost vs group size for SPT,
 //! KMB and DCDM under the three delay-constraint levels.
 
-use scmp_bench::{fig7, report};
+use scmp_bench::{fig7, report, sweep};
 
 fn main() {
-    let seeds: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(10);
-    let points = fig7::run(&fig7::Fig7Config {
-        seeds,
-        ..Default::default()
-    });
+    let (args, jobs) = sweep::take_jobs_arg(std::env::args().skip(1).collect());
+    let seeds: u64 = args.first().and_then(|s| s.parse().ok()).unwrap_or(10);
+    let points = fig7::run_jobs(
+        &fig7::Fig7Config {
+            seeds,
+            ..Default::default()
+        },
+        sweep::resolve_jobs(jobs),
+    );
     for level in ["tightest", "moderate", "loosest"] {
         let rows: Vec<Vec<String>> = points
             .iter()

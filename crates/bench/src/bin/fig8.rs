@@ -2,14 +2,12 @@
 //! vs group size for SCMP, CBT, DVMRP and MOSPF on the three §IV-B
 //! topologies.
 
-use scmp_bench::{netperf, report};
+use scmp_bench::{netperf, report, sweep};
 
 fn main() {
-    let seeds: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(10);
-    let points = netperf::run_suite(seeds);
+    let (args, jobs) = sweep::take_jobs_arg(std::env::args().skip(1).collect());
+    let seeds: u64 = args.first().and_then(|s| s.parse().ok()).unwrap_or(10);
+    let points = netperf::run_suite_jobs(seeds, sweep::resolve_jobs(jobs), false).points;
     for kind in netperf::TopologyKind::ALL {
         for (metric, pick) in [("data overhead", 0usize), ("protocol overhead", 1)] {
             let mut rows = Vec::new();

@@ -1,14 +1,12 @@
 //! §IV-A placement heuristics study: rules 1–3 vs random m-router
 //! placement.
 
-use scmp_bench::{placement_exp, report};
+use scmp_bench::{placement_exp, report, sweep};
 
 fn main() {
-    let seeds: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(10);
-    let points = placement_exp::run(seeds);
+    let (args, jobs) = sweep::take_jobs_arg(std::env::args().skip(1).collect());
+    let seeds: u64 = args.first().and_then(|s| s.parse().ok()).unwrap_or(10);
+    let points = placement_exp::run_jobs(seeds, sweep::resolve_jobs(jobs));
     let mut rows = Vec::new();
     for p in &points {
         rows.push(vec![

@@ -1,30 +1,76 @@
-//! Run a JSON scenario file on the full SCMP protocol:
-//! `cargo run -p scmp-bench --bin scenario -- path/to/scenario.json`
+//! Run JSON scenario files on the full SCMP protocol:
+//! `cargo run -p scmp-bench --bin scenario -- a.json [b.json ...] [--jobs N]`
+//!
+//! One file behaves as before (the file's `telemetry.jsonl` path streams
+//! straight to disk). Several files fan out over the sweep worker pool;
+//! results print in argument order and are byte-identical to `--jobs 1`,
+//! and each scenario's `telemetry.jsonl` file — if requested — is
+//! written from its captured in-memory trace after the run, so workers
+//! never share file handles.
 
-use scmp_bench::scenario_file::run_scenario;
+use scmp_bench::scenario_file::{run_batch, run_scenario, ScenarioFile};
+use scmp_bench::sweep;
 
 fn main() {
-    let Some(path) = std::env::args().nth(1) else {
-        eprintln!("usage: scenario <file.json>");
+    let (paths, jobs) = sweep::take_jobs_arg(std::env::args().skip(1).collect());
+    if paths.is_empty() {
+        eprintln!("usage: scenario <file.json> [more.json ...] [--jobs N]");
         std::process::exit(2);
-    };
-    let json = match std::fs::read_to_string(&path) {
-        Ok(j) => j,
-        Err(e) => {
-            eprintln!("cannot read {path}: {e}");
-            std::process::exit(2);
-        }
-    };
-    match run_scenario(&json) {
-        Ok(result) => {
-            println!(
+    }
+    let jsons: Vec<String> = paths
+        .iter()
+        .map(|path| match std::fs::read_to_string(path) {
+            Ok(j) => j,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                std::process::exit(2);
+            }
+        })
+        .collect();
+
+    if jsons.len() == 1 {
+        match run_scenario(&jsons[0]) {
+            Ok(result) => println!(
                 "{}",
                 serde_json::to_string_pretty(&result).expect("serialisable")
-            );
+            ),
+            Err(e) => {
+                eprintln!("scenario error: {e}");
+                std::process::exit(1);
+            }
         }
-        Err(e) => {
-            eprintln!("scenario error: {e}");
-            std::process::exit(1);
+        return;
+    }
+
+    let outcomes = run_batch(&jsons, sweep::resolve_jobs(jobs));
+    let mut failed = false;
+    for ((path, json), outcome) in paths.iter().zip(&jsons).zip(outcomes) {
+        match outcome {
+            Ok((result, trace)) => {
+                if let Some(dest) = jsonl_path(json) {
+                    if let Err(e) = std::fs::write(&dest, &trace) {
+                        eprintln!("{path}: telemetry jsonl {dest:?}: {e}");
+                        failed = true;
+                    }
+                }
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&result).expect("serialisable")
+                );
+            }
+            Err(e) => {
+                eprintln!("{path}: scenario error: {e}");
+                failed = true;
+            }
         }
     }
+    if failed {
+        std::process::exit(1);
+    }
+}
+
+/// The `telemetry.jsonl` export path a scenario asks for, if any.
+fn jsonl_path(json: &str) -> Option<String> {
+    let spec: ScenarioFile = serde_json::from_str(json).ok()?;
+    spec.telemetry.and_then(|t| t.jsonl)
 }

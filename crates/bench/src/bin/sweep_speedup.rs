@@ -1,0 +1,86 @@
+//! Measure sweep-executor scaling on the Fig. 8/9 network suite: run
+//! the same cell matrix serially and on a worker pool, check the merged
+//! output (points and concatenated JSONL trace) is byte-identical, and
+//! record wall-clock times in `bench_results/sweep_speedup.json`.
+//!
+//! `cargo run --release -p scmp-bench --bin sweep_speedup -- [seeds] [--jobs N]`
+
+use scmp_bench::{netperf, report, sweep};
+use serde::Serialize;
+use std::time::Instant;
+
+/// Persisted scaling record. `speedup` is serial/parallel wall clock;
+/// on a single-core host it hovers near 1.0 by construction, so `cores`
+/// is recorded to make the number interpretable.
+#[derive(Serialize)]
+struct SpeedupReport {
+    /// (topology, protocol, group size, seed) cells in the matrix.
+    cells: usize,
+    seeds: u64,
+    /// Cores visible to the process when the measurement ran.
+    cores: usize,
+    jobs: usize,
+    serial_ms: f64,
+    parallel_ms: f64,
+    speedup: f64,
+    points_identical: bool,
+    jsonl_identical: bool,
+}
+
+fn main() {
+    let (args, jobs) = sweep::take_jobs_arg(std::env::args().skip(1).collect());
+    let seeds: u64 = args.first().and_then(|s| s.parse().ok()).unwrap_or(3);
+    let jobs = jobs.unwrap_or(4).max(2);
+    let cells = netperf::suite_cells(seeds).len();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let t0 = Instant::now();
+    let serial = netperf::run_suite_jobs(seeds, 1, true);
+    let serial_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let t1 = Instant::now();
+    let parallel = netperf::run_suite_jobs(seeds, jobs, true);
+    let parallel_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+    let points_identical = serde_json::to_string(&serial.points).expect("serialisable")
+        == serde_json::to_string(&parallel.points).expect("serialisable");
+    let jsonl_identical = serial.jsonl == parallel.jsonl;
+
+    let rec = SpeedupReport {
+        cells,
+        seeds,
+        cores,
+        jobs,
+        serial_ms,
+        parallel_ms,
+        speedup: serial_ms / parallel_ms.max(1e-9),
+        points_identical,
+        jsonl_identical,
+    };
+    report::print_table(
+        "sweep executor scaling (Fig. 8/9 suite)",
+        &[
+            "cells",
+            "cores",
+            "jobs",
+            "serial_ms",
+            "parallel_ms",
+            "speedup",
+            "identical",
+        ],
+        &[vec![
+            rec.cells.to_string(),
+            rec.cores.to_string(),
+            rec.jobs.to_string(),
+            format!("{:.0}", rec.serial_ms),
+            format!("{:.0}", rec.parallel_ms),
+            format!("{:.2}", rec.speedup),
+            (points_identical && jsonl_identical).to_string(),
+        ]],
+    );
+    report::write_json("sweep_speedup", &rec);
+    if !points_identical || !jsonl_identical {
+        eprintln!("error: parallel output diverged from serial");
+        std::process::exit(1);
+    }
+}

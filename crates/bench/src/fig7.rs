@@ -60,34 +60,55 @@ impl Default for Fig7Config {
     }
 }
 
-/// Run the full Fig. 7 sweep.
+/// Run the full Fig. 7 sweep with the default worker pool
+/// (`SCMP_JOBS` / core count).
 pub fn run(cfg: &Fig7Config) -> Vec<Fig7Point> {
-    let mut out = Vec::new();
+    run_jobs(cfg, crate::sweep::resolve_jobs(None))
+}
+
+/// Run the full Fig. 7 sweep on `jobs` workers. Each
+/// `(level, group size, seed)` cell is independent — it derives its
+/// topology and member draw from `rng_for("fig7", seed)` — so the
+/// fan-out merges in fixed cell order and any `jobs` value yields the
+/// same points as the serial loop.
+pub fn run_jobs(cfg: &Fig7Config, jobs: usize) -> Vec<Fig7Point> {
     let sizes: Vec<usize> = (cfg.min_group..=cfg.max_group)
         .step_by(cfg.group_step)
         .collect();
+    let mut cells: Vec<(ConstraintLevel, usize, u64)> = Vec::new();
     for level in ConstraintLevel::ALL {
         for &gs in &sizes {
-            let mut acc: [Vec<f64>; 8] = Default::default();
             for seed in 0..cfg.seeds {
-                let sample = run_one(cfg, level, gs, seed);
-                for (slot, v) in acc.iter_mut().zip(sample) {
-                    slot.push(v);
-                }
+                cells.push((level, gs, seed));
             }
-            out.push(Fig7Point {
-                level: level.label().to_string(),
-                group_size: gs,
-                spt_delay: crate::report::mean(&acc[0]),
-                kmb_delay: crate::report::mean(&acc[1]),
-                dcdm_delay: crate::report::mean(&acc[2]),
-                greedy_delay: crate::report::mean(&acc[3]),
-                spt_cost: crate::report::mean(&acc[4]),
-                kmb_cost: crate::report::mean(&acc[5]),
-                dcdm_cost: crate::report::mean(&acc[6]),
-                greedy_cost: crate::report::mean(&acc[7]),
-            });
         }
+    }
+    let samples = crate::sweep::SweepRunner::new(jobs).run(&cells, |_, &(level, gs, seed)| {
+        run_one(cfg, level, gs, seed)
+    });
+
+    let mut out = Vec::new();
+    let per_point = cfg.seeds.max(1) as usize;
+    for (chunk_idx, group) in samples.chunks(per_point).enumerate() {
+        let (level, gs, _) = cells[chunk_idx * per_point];
+        let mut acc: [Vec<f64>; 8] = Default::default();
+        for sample in group {
+            for (slot, v) in acc.iter_mut().zip(sample) {
+                slot.push(*v);
+            }
+        }
+        out.push(Fig7Point {
+            level: level.label().to_string(),
+            group_size: gs,
+            spt_delay: crate::report::mean(&acc[0]),
+            kmb_delay: crate::report::mean(&acc[1]),
+            dcdm_delay: crate::report::mean(&acc[2]),
+            greedy_delay: crate::report::mean(&acc[3]),
+            spt_cost: crate::report::mean(&acc[4]),
+            kmb_cost: crate::report::mean(&acc[5]),
+            dcdm_cost: crate::report::mean(&acc[6]),
+            greedy_cost: crate::report::mean(&acc[7]),
+        });
     }
     out
 }
@@ -173,6 +194,14 @@ mod tests {
                 "loose DCDM should not exceed SPT cost materially: {p:?}"
             );
         }
+    }
+
+    #[test]
+    fn parallel_jobs_match_serial() {
+        let cfg = small();
+        let serial = serde_json::to_string(&run_jobs(&cfg, 1)).unwrap();
+        let parallel = serde_json::to_string(&run_jobs(&cfg, 4)).unwrap();
+        assert_eq!(serial, parallel, "fig7 points must not depend on jobs");
     }
 
     #[test]

@@ -25,3 +25,4 @@ pub mod placement_exp;
 pub mod plot;
 pub mod report;
 pub mod scenario_file;
+pub mod sweep;

@@ -9,6 +9,7 @@
 //! the paper's observation that shared-tree protocols pay a detour for
 //! off-tree sources.
 
+use crate::sweep::{resolve_jobs, SweepRunner};
 use rand::seq::SliceRandom;
 use rand::Rng;
 use scmp_core::placement;
@@ -17,6 +18,7 @@ use scmp_net::topology::{arpanet, gt_itm_flat, GtItmConfig};
 use scmp_net::{AllPairsPaths, NodeId, Topology};
 use scmp_protocols::{build_engine, ProtocolParams};
 use scmp_sim::{AppEvent, EngineRunner, GroupId, SimStats};
+use scmp_telemetry::{Histogram, JsonlSink, SharedBuf};
 use serde::Serialize;
 
 /// The protocol registry's kind enum, re-exported under the name this
@@ -189,86 +191,160 @@ fn check_delivery(stats: &SimStats, sc: &Scenario) -> bool {
         .all(|&m| (1..=PACKETS).all(|tag| stats.delivery_count(GROUP, tag, m) == 1))
 }
 
-/// Run one (topology, protocol, group size, seed) cell. Construction is
-/// delegated to the protocol registry; this harness only drives.
-pub fn run_one(kind: TopologyKind, proto: Protocol, group_size: usize, seed: u64) -> RunMetrics {
-    let sc = scenario(kind, group_size, seed);
+/// One fully independent sweep cell of the Fig. 8/9 matrix. Everything
+/// a cell touches — topology, member draw, engine — derives from these
+/// four fields via `rng_for(label, seed)` streams, which is what lets
+/// the [`SweepRunner`] execute cells in any interleaving and still
+/// merge byte-identical output.
+#[derive(Clone, Copy, Debug)]
+pub struct Cell {
+    pub kind: TopologyKind,
+    pub proto: Protocol,
+    pub group_size: usize,
+    pub seed: u64,
+}
+
+/// The full Fig. 8/9 matrix in its fixed fold order:
+/// topology → group size → protocol → seed.
+pub fn suite_cells(seeds: u64) -> Vec<Cell> {
+    let mut cells = Vec::new();
+    for kind in TopologyKind::ALL {
+        for group_size in kind.group_sizes() {
+            for proto in Protocol::FIG_8_9 {
+                for seed in 0..seeds {
+                    cells.push(Cell {
+                        kind,
+                        proto,
+                        group_size,
+                        seed,
+                    });
+                }
+            }
+        }
+    }
+    cells
+}
+
+/// Everything one cell produces: the scalar metrics, the cell's own
+/// end-to-end delay histogram (merged across seeds by the fold instead
+/// of re-bucketed), and — when tracing — the cell's JSONL fragment.
+pub struct CellOutcome {
+    pub metrics: RunMetrics,
+    pub e2e_hist: Histogram,
+    pub jsonl: String,
+}
+
+/// Run one cell in isolation. Construction is delegated to the
+/// protocol registry; this harness only drives. With `trace` set, the
+/// engine streams its structured events into an in-memory JSONL buffer
+/// returned alongside the metrics (one buffer per cell — workers never
+/// share a writer).
+pub fn run_cell(cell: Cell, trace: bool) -> CellOutcome {
+    let sc = scenario(cell.kind, cell.group_size, cell.seed);
     let params = ProtocolParams {
         center: sc.center,
         dvmrp_prune_timeout: 10 * SECOND,
     };
-    let mut e = build_engine(proto, &sc.topo, &params);
+    let mut e = build_engine(cell.proto, &sc.topo, &params);
+    let buf = trace.then(SharedBuf::new);
+    if let Some(buf) = &buf {
+        e.set_sink(Box::new(JsonlSink::new(buf.clone())));
+    }
     drive(e.as_mut(), &sc);
+    e.flush_telemetry();
     let stats = e.stats();
-    RunMetrics {
+    let metrics = RunMetrics {
         data_overhead: stats.data_overhead,
         protocol_overhead: stats.protocol_overhead,
         p50_e2e_delay: stats.e2e_delay_hist.p50(),
         p99_e2e_delay: stats.e2e_delay_hist.p99(),
         max_e2e_delay: stats.max_end_to_end_delay,
         all_delivered: check_delivery(stats, &sc),
+    };
+    CellOutcome {
+        metrics,
+        e2e_hist: stats.e2e_delay_hist.clone(),
+        jsonl: buf.map(|b| b.take_string()).unwrap_or_default(),
     }
 }
 
-/// Full sweep: every topology × protocol × group size, averaged over
-/// `seeds` seeds. Seeds fan out across threads (the engine is fully
-/// deterministic per seed, so parallelism does not affect results).
-pub fn run_suite(seeds: u64) -> Vec<NetPoint> {
-    let mut out = Vec::new();
-    for kind in TopologyKind::ALL {
-        for gs in kind.group_sizes() {
-            for proto in Protocol::FIG_8_9 {
-                let metrics: Vec<RunMetrics> = std::thread::scope(|s| {
-                    let handles: Vec<_> = (0..seeds)
-                        .map(|seed| s.spawn(move || run_one(kind, proto, gs, seed)))
-                        .collect();
-                    handles.into_iter().map(|h| h.join().unwrap()).collect()
-                });
-                out.push(NetPoint {
-                    topology: kind.label().to_string(),
-                    protocol: proto.label().to_string(),
-                    group_size: gs,
-                    data_overhead: crate::report::mean(
-                        &metrics
-                            .iter()
-                            .map(|m| m.data_overhead as f64)
-                            .collect::<Vec<_>>(),
-                    ),
-                    protocol_overhead: crate::report::mean(
-                        &metrics
-                            .iter()
-                            .map(|m| m.protocol_overhead as f64)
-                            .collect::<Vec<_>>(),
-                    ),
-                    p50_e2e_delay: crate::report::mean(
-                        &metrics
-                            .iter()
-                            .map(|m| m.p50_e2e_delay as f64)
-                            .collect::<Vec<_>>(),
-                    ),
-                    p99_e2e_delay: crate::report::mean(
-                        &metrics
-                            .iter()
-                            .map(|m| m.p99_e2e_delay as f64)
-                            .collect::<Vec<_>>(),
-                    ),
-                    max_e2e_delay: crate::report::mean(
-                        &metrics
-                            .iter()
-                            .map(|m| m.max_e2e_delay as f64)
-                            .collect::<Vec<_>>(),
-                    ),
-                    delivery_ok: crate::report::mean(
-                        &metrics
-                            .iter()
-                            .map(|m| if m.all_delivered { 1.0 } else { 0.0 })
-                            .collect::<Vec<_>>(),
-                    ),
-                });
-            }
+/// Run one (topology, protocol, group size, seed) cell and return its
+/// scalar metrics.
+pub fn run_one(kind: TopologyKind, proto: Protocol, group_size: usize, seed: u64) -> RunMetrics {
+    run_cell(
+        Cell {
+            kind,
+            proto,
+            group_size,
+            seed,
+        },
+        false,
+    )
+    .metrics
+}
+
+/// A full suite's output: the averaged figure points plus, when traced,
+/// every cell's JSONL fragment concatenated in cell order.
+pub struct SuiteOutput {
+    pub points: Vec<NetPoint>,
+    pub jsonl: String,
+}
+
+/// Full sweep on an explicit worker count: every topology × group size
+/// × protocol × seed cell fans out to the pool, and the fold walks the
+/// results in the fixed cell order — so any `jobs` value produces
+/// byte-identical points (and, with `trace`, a byte-identical
+/// concatenated JSONL document) to `jobs = 1`.
+///
+/// Per-point aggregation: overheads and the per-run delay maximum are
+/// seed means (the paper's Fig. 8/9 statistics); p50/p99 come from the
+/// seed histograms folded with [`Histogram::merge`] — pooling the
+/// actual delivery samples instead of averaging per-seed quantile
+/// estimates.
+pub fn run_suite_jobs(seeds: u64, jobs: usize, trace: bool) -> SuiteOutput {
+    let cells = suite_cells(seeds);
+    let runner = SweepRunner::new(jobs);
+    let outcomes = runner.run(&cells, |_, &cell| run_cell(cell, trace));
+
+    let mut points = Vec::new();
+    let mut jsonl = String::new();
+    for group in outcomes.chunks(seeds.max(1) as usize) {
+        let cell = {
+            // chunks() follows suite_cells' fixed order: one chunk per
+            // (kind, group size, protocol), `seeds` cells each.
+            let first = points.len() * seeds.max(1) as usize;
+            cells[first]
+        };
+        let metrics: Vec<&RunMetrics> = group.iter().map(|o| &o.metrics).collect();
+        let mut pooled = Histogram::new();
+        for o in group {
+            pooled.merge(&o.e2e_hist);
         }
+        for o in group {
+            jsonl.push_str(&o.jsonl);
+        }
+        let mean_of = |f: &dyn Fn(&RunMetrics) -> f64| {
+            crate::report::mean(&metrics.iter().map(|m| f(m)).collect::<Vec<_>>())
+        };
+        points.push(NetPoint {
+            topology: cell.kind.label().to_string(),
+            protocol: cell.proto.label().to_string(),
+            group_size: cell.group_size,
+            data_overhead: mean_of(&|m| m.data_overhead as f64),
+            protocol_overhead: mean_of(&|m| m.protocol_overhead as f64),
+            p50_e2e_delay: pooled.p50() as f64,
+            p99_e2e_delay: pooled.p99() as f64,
+            max_e2e_delay: mean_of(&|m| m.max_e2e_delay as f64),
+            delivery_ok: mean_of(&|m| if m.all_delivered { 1.0 } else { 0.0 }),
+        });
     }
-    out
+    SuiteOutput { points, jsonl }
+}
+
+/// Full sweep with the worker count taken from `SCMP_JOBS` / the
+/// machine's core count (see [`resolve_jobs`]).
+pub fn run_suite(seeds: u64) -> Vec<NetPoint> {
+    run_suite_jobs(seeds, resolve_jobs(None), false).points
 }
 
 #[cfg(test)]

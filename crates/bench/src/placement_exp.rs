@@ -24,44 +24,66 @@ pub struct PlacementPoint {
     pub tree_delay: f64,
 }
 
-/// Run the study: Waxman n=100, group sizes 10..=90, `seeds` seeds.
+/// One `(strategy, group size, seed)` cell: build the seed's topology,
+/// place the root, draw the group, grow the DCDM tree. Fully
+/// self-contained — the cell re-derives its RNG stream, so sweep
+/// workers can run cells in any order.
+fn run_one(rule: Option<PlacementRule>, gs: usize, seed: u64) -> (f64, f64) {
+    let mut rng = rng_for("placement", seed);
+    let topo = waxman(&WaxmanConfig::default(), &mut rng);
+    let paths = AllPairsPaths::compute(&topo);
+    let root = match rule {
+        Some(r) => placement::place(r, &topo, &paths),
+        None => NodeId(rng.gen_range(0..topo.node_count() as u32)),
+    };
+    let mut pool: Vec<NodeId> = topo.nodes().filter(|&v| v != root).collect();
+    pool.shuffle(&mut rng);
+    let members: Vec<NodeId> = pool.into_iter().take(gs).collect();
+    let mut dcdm = Dcdm::new(&topo, &paths, root, DelayBound::Dynamic);
+    for &m in &members {
+        dcdm.join(m);
+    }
+    let tree = dcdm.into_tree();
+    (tree.tree_cost(&topo) as f64, tree.tree_delay(&topo) as f64)
+}
+
+/// Run the study: Waxman n=100, group sizes 10..=90, `seeds` seeds,
+/// with the default worker pool (`SCMP_JOBS` / core count).
 pub fn run(seeds: u64) -> Vec<PlacementPoint> {
+    run_jobs(seeds, crate::sweep::resolve_jobs(None))
+}
+
+/// Run the study on `jobs` workers; results are independent of `jobs`.
+pub fn run_jobs(seeds: u64, jobs: usize) -> Vec<PlacementPoint> {
     let strategies: Vec<(String, Option<PlacementRule>)> = PlacementRule::ALL
         .iter()
         .map(|&r| (r.label().to_string(), Some(r)))
         .chain(std::iter::once(("random".to_string(), None)))
         .collect();
-    let mut out = Vec::new();
+    let mut cells: Vec<(usize, usize, u64)> = Vec::new();
     for gs in (10..=90).step_by(20) {
-        for (label, rule) in &strategies {
-            let mut costs = Vec::new();
-            let mut delays = Vec::new();
+        for (si, _) in strategies.iter().enumerate() {
             for seed in 0..seeds {
-                let mut rng = rng_for("placement", seed);
-                let topo = waxman(&WaxmanConfig::default(), &mut rng);
-                let paths = AllPairsPaths::compute(&topo);
-                let root = match rule {
-                    Some(r) => placement::place(*r, &topo, &paths),
-                    None => NodeId(rng.gen_range(0..topo.node_count() as u32)),
-                };
-                let mut pool: Vec<NodeId> = topo.nodes().filter(|&v| v != root).collect();
-                pool.shuffle(&mut rng);
-                let members: Vec<NodeId> = pool.into_iter().take(gs).collect();
-                let mut dcdm = Dcdm::new(&topo, &paths, root, DelayBound::Dynamic);
-                for &m in &members {
-                    dcdm.join(m);
-                }
-                let tree = dcdm.into_tree();
-                costs.push(tree.tree_cost(&topo) as f64);
-                delays.push(tree.tree_delay(&topo) as f64);
+                cells.push((gs, si, seed));
             }
-            out.push(PlacementPoint {
-                strategy: label.clone(),
-                group_size: gs,
-                tree_cost: crate::report::mean(&costs),
-                tree_delay: crate::report::mean(&delays),
-            });
         }
+    }
+    let samples = crate::sweep::SweepRunner::new(jobs).run(&cells, |_, &(gs, si, seed)| {
+        run_one(strategies[si].1, gs, seed)
+    });
+
+    let mut out = Vec::new();
+    let per_point = seeds.max(1) as usize;
+    for (chunk_idx, group) in samples.chunks(per_point).enumerate() {
+        let (gs, si, _) = cells[chunk_idx * per_point];
+        let costs: Vec<f64> = group.iter().map(|&(c, _)| c).collect();
+        let delays: Vec<f64> = group.iter().map(|&(_, d)| d).collect();
+        out.push(PlacementPoint {
+            strategy: strategies[si].0.clone(),
+            group_size: gs,
+            tree_cost: crate::report::mean(&costs),
+            tree_delay: crate::report::mean(&delays),
+        });
     }
     out
 }

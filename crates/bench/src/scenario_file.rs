@@ -25,6 +25,7 @@ use scmp_net::topology::{arpanet, gt_itm_flat, waxman, GtItmConfig, WaxmanConfig
 use scmp_net::{AllPairsPaths, NodeId, Topology};
 use scmp_protocols::build_scmp_engine;
 use scmp_sim::{AppEvent, CapacityModel, FaultPlan, FaultSpec, GroupId, JsonlSink, SimStats};
+use scmp_telemetry::SharedBuf;
 use serde::{Deserialize, Serialize};
 
 /// Topology selection.
@@ -263,8 +264,133 @@ pub struct DeliveryLine {
     pub receivers: usize,
 }
 
-/// Parse and run a scenario, returning the summary.
+/// Per-section key allowlists. The vendored serde derive has no
+/// `deny_unknown_fields`, so a misspelt knob (`"gauge_intervall"`)
+/// would otherwise deserialise to the default and silently disable the
+/// feature the author asked for. This pre-pass walks the raw JSON tree
+/// and rejects any key the schema does not define, naming it.
+mod schema {
+    pub const TOP: &[&str] = &[
+        "topology",
+        "m_router",
+        "events",
+        "capacity",
+        "faults",
+        "robustness",
+        "telemetry",
+        "run_until",
+    ];
+    pub const TELEMETRY: &[&str] = &["gauge_interval", "jsonl"];
+    pub const ROBUSTNESS: &[&str] = &[
+        "repair_interval",
+        "join_retry",
+        "leave_retry",
+        "heartbeat_interval",
+        "standby",
+        "takeover_rebuild_delay",
+    ];
+    pub const CAPACITY: &[&str] = &["link_tx", "queue_limit", "m_router_tx"];
+    pub const EVENT: &[&str] = &["time", "node", "op", "group", "tag"];
+    pub const TOPOLOGY: &[&str] = &["kind", "n", "seed", "degree", "nodes", "links"];
+    pub const FAULT_ENTRY: &[&str] = &["time", "fault"];
+    pub const FAULT_KIND: &[&str] = &["kind", "a", "b", "node"];
+}
+
+fn check_keys(value: &serde_json::Value, allowed: &[&str], section: &str) -> Result<(), String> {
+    let Some(fields) = value.as_object() else {
+        return Ok(()); // shape errors are serde's job; this pass only names keys
+    };
+    for (key, _) in fields {
+        if !allowed.contains(&key.as_str()) {
+            return Err(format!(
+                "unknown key {key:?} in {section} (expected one of: {})",
+                allowed.join(", ")
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn check_each(
+    value: &serde_json::Value,
+    allowed: &[&str],
+    section: &str,
+    nested: Option<(&str, &[&str], &str)>,
+) -> Result<(), String> {
+    let Some(items) = value.as_array() else {
+        return Ok(());
+    };
+    for (i, item) in items.iter().enumerate() {
+        check_keys(item, allowed, &format!("{section}[{i}]"))?;
+        if let Some((field, inner_allowed, inner_name)) = nested {
+            if let Some(obj) = item.as_object() {
+                if let Some((_, inner)) = obj.iter().find(|(k, _)| k == field) {
+                    check_keys(
+                        inner,
+                        inner_allowed,
+                        &format!("{section}[{i}].{inner_name}"),
+                    )?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Reject unknown keys anywhere in the scenario schema, reporting the
+/// offending key and where it appeared.
+pub fn check_unknown_keys(json: &str) -> Result<(), String> {
+    let tree: serde_json::Value = serde_json::from_str(json).map_err(|e| e.to_string())?;
+    check_keys(&tree, schema::TOP, "scenario top level")?;
+    let Some(fields) = tree.as_object() else {
+        return Ok(());
+    };
+    for (key, value) in fields {
+        match key.as_str() {
+            "topology" => check_keys(value, schema::TOPOLOGY, "topology section")?,
+            "telemetry" => check_keys(value, schema::TELEMETRY, "telemetry section")?,
+            "robustness" => check_keys(value, schema::ROBUSTNESS, "robustness section")?,
+            "capacity" => check_keys(value, schema::CAPACITY, "capacity section")?,
+            "events" => check_each(value, schema::EVENT, "events", None)?,
+            "faults" => check_each(
+                value,
+                schema::FAULT_ENTRY,
+                "faults",
+                Some(("fault", schema::FAULT_KIND, "fault")),
+            )?,
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+/// Parse and run a scenario, returning the summary. A `telemetry.jsonl`
+/// path in the file streams the trace to disk.
 pub fn run_scenario(json: &str) -> Result<ScenarioResult, String> {
+    run_scenario_inner(json, None)
+}
+
+/// Like [`run_scenario`], but the full structured event trace is
+/// captured in memory and returned alongside the summary — regardless
+/// of whether the file asks for a `telemetry.jsonl` path (the path, if
+/// any, is ignored in this mode so batch workers never contend on
+/// files). This is the building block for parallel batch execution.
+pub fn run_scenario_captured(json: &str) -> Result<(ScenarioResult, String), String> {
+    let buf = SharedBuf::new();
+    let result = run_scenario_inner(json, Some(&buf))?;
+    Ok((result, buf.take_string()))
+}
+
+/// Run many scenarios on `jobs` workers. Output order matches input
+/// order and every entry (summary and captured JSONL trace) is
+/// byte-identical to a `jobs = 1` run: each scenario is an isolated
+/// cell with its own engine, RNG streams, and trace buffer.
+pub fn run_batch(jsons: &[String], jobs: usize) -> Vec<Result<(ScenarioResult, String), String>> {
+    crate::sweep::SweepRunner::new(jobs).run(jsons, |_, json| run_scenario_captured(json))
+}
+
+fn run_scenario_inner(json: &str, capture: Option<&SharedBuf>) -> Result<ScenarioResult, String> {
+    check_unknown_keys(json)?;
     let spec: ScenarioFile = serde_json::from_str(json).map_err(|e| e.to_string())?;
     let topo = spec.topology.build();
     let paths = AllPairsPaths::compute(&topo);
@@ -317,12 +443,16 @@ pub fn run_scenario(json: &str) -> Result<ScenarioResult, String> {
         engine.set_capacity(model);
     }
     engine.schedule_fault_plan(&fault_plan);
-    if let Some(tele) = &spec.telemetry {
+    if let Some(buf) = capture {
+        engine.set_sink(Box::new(JsonlSink::new(buf.clone())));
+    } else if let Some(tele) = &spec.telemetry {
         if let Some(path) = &tele.jsonl {
             let file = std::fs::File::create(path)
                 .map_err(|e| format!("telemetry jsonl {path:?}: {e}"))?;
             engine.set_sink(Box::new(JsonlSink::new(std::io::BufWriter::new(file))));
         }
+    }
+    if let Some(tele) = &spec.telemetry {
         if let Some(iv) = tele.gauge_interval {
             engine.set_gauge_interval(iv);
         }
@@ -616,6 +746,94 @@ mod tests {
         assert!(audit.passed(), "scenario trace audits clean");
         assert_eq!(audit.deliveries, 2, "both members heard tag 1");
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn unknown_keys_are_rejected_by_name() {
+        // The motivating bug: a typo'd telemetry knob used to silently
+        // deserialise to the default and disable gauge sampling.
+        let typo = BASIC.replace(
+            "\"m_router\": \"rule1\",",
+            "\"m_router\": \"rule1\",\n  \"telemetry\": { \"gauge_intervall\": 1000 },",
+        );
+        let err = run_scenario(&typo).unwrap_err();
+        assert!(
+            err.contains("gauge_intervall") && err.contains("telemetry"),
+            "error must name the bad key and its section: {err}"
+        );
+
+        let top = BASIC.replace("\"m_router\"", "\"m_routter\"");
+        let err = run_scenario(&top).unwrap_err();
+        assert!(err.contains("m_routter"), "top-level typo named: {err}");
+
+        let event = BASIC.replace("\"tag\": 1", "\"tagg\": 1");
+        let err = run_scenario(&event).unwrap_err();
+        assert!(
+            err.contains("tagg") && err.contains("events[2]"),
+            "event typo located: {err}"
+        );
+
+        let fault = FAULTY.replace("\"time\": 20000, \"fault\"", "\"when\": 20000, \"fault\"");
+        let err = run_scenario(&fault).unwrap_err();
+        assert!(
+            err.contains("\"when\"") && err.contains("faults[0]"),
+            "fault typo located: {err}"
+        );
+
+        let kind = FAULTY.replace("\"a\": 0, \"b\": 2", "\"a\": 0, \"dst\": 2");
+        let err = run_scenario(&kind).unwrap_err();
+        assert!(
+            err.contains("dst") && err.contains("faults[0].fault"),
+            "fault-kind typo located: {err}"
+        );
+
+        let topo = BASIC.replace("\"seed\": 1", "\"sed\": 1");
+        let err = run_scenario(&topo).unwrap_err();
+        assert!(err.contains("\"sed\""), "topology typo named: {err}");
+    }
+
+    #[test]
+    fn captured_run_matches_plain_run_and_traces() {
+        let (r, trace) = run_scenario_captured(FAULTY).unwrap();
+        let plain = run_scenario(FAULTY).unwrap();
+        assert_eq!(
+            serde_json::to_string(&r).unwrap(),
+            serde_json::to_string(&plain).unwrap(),
+            "capture must not perturb the simulation"
+        );
+        assert!(!trace.is_empty(), "capture mode always records the trace");
+        let parsed = scmp_telemetry::Trace::parse(&trace).unwrap();
+        assert!(parsed.audit().passed(), "captured trace audits clean");
+    }
+
+    #[test]
+    fn batch_is_order_stable_and_jobs_invariant() {
+        let jsons: Vec<String> = vec![
+            BASIC.to_string(),
+            FAULTY.to_string(),
+            "{ \"nonsense\": true }".to_string(),
+            BASIC.to_string(),
+        ];
+        let serial = run_batch(&jsons, 1);
+        let parallel = run_batch(&jsons, 4);
+        assert_eq!(serial.len(), 4);
+        assert!(
+            serial[2].is_err(),
+            "bad file fails without sinking the batch"
+        );
+        for (s, p) in serial.iter().zip(&parallel) {
+            match (s, p) {
+                (Ok((sr, st)), Ok((pr, pt))) => {
+                    assert_eq!(
+                        serde_json::to_string(sr).unwrap(),
+                        serde_json::to_string(pr).unwrap()
+                    );
+                    assert_eq!(st, pt, "traces byte-identical across jobs");
+                }
+                (Err(se), Err(pe)) => assert_eq!(se, pe),
+                other => panic!("jobs changed an outcome: {other:?}"),
+            }
+        }
     }
 
     #[test]

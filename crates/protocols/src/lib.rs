@@ -111,12 +111,13 @@ pub fn build_scmp_engine(topo: Topology, config: ScmpConfig) -> Engine<ScmpRoute
 
 /// The registry: construct an engine for any protocol, erased behind
 /// [`EngineRunner`]. This is the only place in the workspace that
-/// matches on a protocol to build one.
+/// matches on a protocol to build one. The box is `Send` so sweep
+/// harnesses can fan independent cells out to worker threads.
 pub fn build_engine(
     kind: ProtocolKind,
     topo: &Topology,
     params: &ProtocolParams,
-) -> Box<dyn EngineRunner> {
+) -> Box<dyn EngineRunner + Send> {
     match kind {
         ProtocolKind::Scmp => Box::new(build_scmp_engine(
             topo.clone(),
@@ -153,6 +154,16 @@ mod tests {
     use scmp_sim::{AppEvent, GroupId};
 
     const G: GroupId = GroupId(1);
+
+    #[test]
+    fn engines_and_stats_are_send() {
+        // Compile-time guarantee the sweep executor relies on: a built
+        // engine (and its stats) can move to a worker thread.
+        fn assert_send<T: Send>() {}
+        assert_send::<Box<dyn EngineRunner + Send>>();
+        assert_send::<Engine<ScmpRouter>>();
+        assert_send::<scmp_sim::SimStats>();
+    }
 
     #[test]
     fn labels_round_trip() {

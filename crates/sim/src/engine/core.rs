@@ -15,7 +15,8 @@ use scmp_telemetry::{
 };
 
 /// The router factory signature: constructs one node's protocol state.
-type RouterFactory<R> = Box<dyn FnMut(NodeId, &Topology, &RoutingTables) -> R>;
+/// `Send` so a whole engine can be handed to a sweep worker thread.
+type RouterFactory<R> = Box<dyn FnMut(NodeId, &Topology, &RoutingTables) -> R + Send>;
 
 /// The simulation engine: owns the topology, routing tables, per-node
 /// protocol state, the transport condition and the event queue.
@@ -106,7 +107,7 @@ impl<R: Router> Engine<R> {
     /// recovery rebuilds it through the same factory.
     pub fn new(
         topo: Topology,
-        mut make: impl FnMut(NodeId, &Topology, &RoutingTables) -> R + 'static,
+        mut make: impl FnMut(NodeId, &Topology, &RoutingTables) -> R + Send + 'static,
     ) -> Self {
         let routes = RoutingTables::compute(&topo);
         let routers = topo.nodes().map(|v| make(v, &topo, &routes)).collect();
@@ -146,7 +147,7 @@ impl<R: Router> Engine<R> {
     /// Install a telemetry sink. The sink's enable flag is cached, so a
     /// [`scmp_telemetry::NullSink`] keeps the hot path at one branch per
     /// would-be event.
-    pub fn set_sink(&mut self, sink: Box<dyn Sink>) {
+    pub fn set_sink(&mut self, sink: Box<dyn Sink + Send>) {
         self.tele.set_sink(sink);
     }
 

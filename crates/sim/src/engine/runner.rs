@@ -31,7 +31,7 @@ pub trait EngineRunner {
     /// Enable event tracing into the default bounded in-memory ring.
     fn enable_trace(&mut self);
     /// Install a telemetry sink.
-    fn set_sink(&mut self, sink: Box<dyn Sink>);
+    fn set_sink(&mut self, sink: Box<dyn Sink + Send>);
     /// Sample engine gauges every `interval` ticks (`0` disables).
     fn set_gauge_interval(&mut self, interval: SimTime);
     /// The gauge time series sampled so far.
@@ -76,7 +76,7 @@ impl<R: Router> EngineRunner for Engine<R> {
     fn enable_trace(&mut self) {
         Engine::enable_trace(self);
     }
-    fn set_sink(&mut self, sink: Box<dyn Sink>) {
+    fn set_sink(&mut self, sink: Box<dyn Sink + Send>) {
         Engine::set_sink(self, sink);
     }
     fn set_gauge_interval(&mut self, interval: SimTime) {

@@ -15,7 +15,7 @@ use scmp_telemetry::{Event, EventKind, GaugeSample, NullSink, Sink};
 /// The engine's telemetry state: sink, cached enable flag, gauge
 /// sampling schedule and the collected gauge series.
 pub(super) struct Telemetry {
-    sink: Box<dyn Sink>,
+    sink: Box<dyn Sink + Send>,
     enabled: bool,
     gauge_interval: Option<SimTime>,
     next_sample: SimTime,
@@ -35,7 +35,7 @@ impl Telemetry {
     }
 
     /// Install a sink, caching its enable flag.
-    pub(super) fn set_sink(&mut self, sink: Box<dyn Sink>) {
+    pub(super) fn set_sink(&mut self, sink: Box<dyn Sink + Send>) {
         self.enabled = sink.enabled();
         self.sink = sink;
     }

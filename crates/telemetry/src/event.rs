@@ -133,6 +133,40 @@ pub enum EventKind {
     },
 }
 
+/// Append `s` to `out` as a JSON string literal (surrounding quotes
+/// included), escaping `"`, `\` and every control character so the
+/// result is always one parseable JSON token — a label like `node "a"`
+/// or an embedded newline can never split or corrupt a JSONL line.
+///
+/// Every string the fixed-key-order codec emits goes through this
+/// helper. `&str` input is valid UTF-8 by construction; byte-oriented
+/// callers sanitise first with [`sanitize_label`].
+pub fn encode_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Sanitise possibly-invalid UTF-8 into a string the codec can carry:
+/// invalid sequences are replaced with U+FFFD rather than rejected, so
+/// hostile input degrades to a visible marker instead of unparseable
+/// output.
+pub fn sanitize_label(bytes: &[u8]) -> std::borrow::Cow<'_, str> {
+    String::from_utf8_lossy(bytes)
+}
+
 /// One structured trace event.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Event {
@@ -165,11 +199,9 @@ impl Event {
                 group,
                 tag,
             } => {
-                let _ = write!(
-                    out,
-                    ",\"kind\":\"deliver\",\"from\":{from},\"class\":\"{}\",\"group\":{group},\"tag\":{tag}",
-                    class.label()
-                );
+                let _ = write!(out, ",\"kind\":\"deliver\",\"from\":{from},\"class\":");
+                encode_json_string(class.label(), out);
+                let _ = write!(out, ",\"group\":{group},\"tag\":{tag}");
             }
             EventKind::DeliverLocal { group, tag, delay } => {
                 let _ = write!(
@@ -193,7 +225,8 @@ impl Event {
                 let _ = write!(out, ",\"kind\":\"recover\"");
             }
             EventKind::Drop { reason, to } => {
-                let _ = write!(out, ",\"kind\":\"drop\",\"reason\":\"{}\"", reason.label());
+                out.push_str(",\"kind\":\"drop\",\"reason\":");
+                encode_json_string(reason.label(), out);
                 if let Some(to) = to {
                     let _ = write!(out, ",\"to\":{to}");
                 }
@@ -486,6 +519,53 @@ mod tests {
             ev.to_jsonl(),
             r#"{"t":10000,"node":1,"kind":"send","group":1,"tag":1}"#
         );
+    }
+
+    #[test]
+    fn hostile_strings_round_trip_through_the_codec() {
+        // The codec must never emit an unparseable line, whatever the
+        // string content: quotes, backslashes, control characters,
+        // newlines (which would split a JSONL record), and non-ASCII.
+        let hostile = [
+            "node \"a\"",
+            "back\\slash",
+            "line\nbreak\r\n",
+            "tab\there",
+            "nul\u{0}byte",
+            "\u{1}\u{2}\u{1f}",
+            "quote-end\"",
+            "ünïcödé 漢字 🚀",
+            "",
+            "already\\\"escaped\\\"",
+        ];
+        for s in hostile {
+            let mut line = String::from("{\"label\":");
+            encode_json_string(s, &mut line);
+            line.push('}');
+            assert!(
+                !line[1..line.len() - 1].contains('\n'),
+                "escaped form must stay on one line: {line:?}"
+            );
+            let v: serde_json::Value =
+                serde_json::from_str(&line).unwrap_or_else(|e| panic!("{line:?}: {e}"));
+            let obj = v.as_object().expect("object");
+            let (key, val) = &obj[0];
+            assert_eq!(key, "label");
+            match val {
+                serde_json::Value::Str(back) => assert_eq!(back, s, "round trip of {s:?}"),
+                other => panic!("expected string, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_utf8_is_sanitised_not_propagated() {
+        let bad = [0x66, 0x6f, 0x6f, 0xff, 0xfe, 0x62, 0x61, 0x72];
+        let label = sanitize_label(&bad);
+        assert_eq!(label, "foo\u{fffd}\u{fffd}bar");
+        let mut out = String::new();
+        encode_json_string(&label, &mut out);
+        assert!(serde_json::from_str::<serde_json::Value>(&out).is_ok());
     }
 
     #[test]

@@ -65,7 +65,12 @@ impl Histogram {
         self.count
     }
 
-    /// Sum of all samples (saturating).
+    /// Sum of all samples. **Saturates at `u64::MAX`**: once the
+    /// running total clips, it stays clipped (and [`Histogram::mean`]
+    /// under-reports, since it divides the clipped sum by the true
+    /// count). Tick-valued delays never get close in practice; callers
+    /// feeding adversarial magnitudes should treat `sum() == u64::MAX`
+    /// as "at least this much".
     pub fn sum(&self) -> u64 {
         self.sum
     }
@@ -75,7 +80,9 @@ impl Histogram {
         self.max
     }
 
-    /// Arithmetic mean, 0.0 when empty.
+    /// Arithmetic mean, 0.0 when empty. Computed from the saturating
+    /// [`Histogram::sum`], so it under-reports once the sum has clipped
+    /// at `u64::MAX` (see there).
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
             0.0
@@ -84,14 +91,30 @@ impl Histogram {
         }
     }
 
-    /// Estimate the `q`-quantile (`0.0 < q <= 1.0`): the upper bound of
-    /// the first bucket whose cumulative count reaches rank
-    /// `ceil(q * count)`, clamped to the observed maximum. 0 when empty.
+    /// Estimate the `q`-quantile: the upper bound of the first bucket
+    /// whose cumulative count reaches rank `ceil(q * count)`, clamped
+    /// to the observed maximum. 0 when empty.
+    ///
+    /// `q` outside `(0.0, 1.0]` is defined explicitly rather than left
+    /// to float-cast behaviour: `q <= 0.0` and `NaN` resolve to rank 1
+    /// (the smallest recorded sample's bucket), `q >= 1.0` (including
+    /// `+inf`) to rank `count` (the maximum). No input panics and no
+    /// input produces an out-of-range rank.
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
         }
-        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        // Branch before the float maths: `NaN.ceil() as u64` is a
+        // saturating cast to 0 and a negative product likewise clips,
+        // which would silently alias "garbage q" onto rank 1 — make the
+        // contract explicit instead of an accident of `as`.
+        let rank = if q.is_nan() || q <= 0.0 {
+            1
+        } else if q >= 1.0 {
+            self.count
+        } else {
+            ((q * self.count as f64).ceil() as u64).clamp(1, self.count)
+        };
         let mut seen = 0u64;
         for (i, &c) in self.counts.iter().enumerate() {
             seen += c;
@@ -225,6 +248,41 @@ mod tests {
         assert_eq!(h.count(), 2);
         assert_eq!(h.p99(), 0);
         assert_eq!(h.buckets().collect::<Vec<_>>(), vec![(0, 0, 2)]);
+    }
+
+    #[test]
+    fn quantile_is_total_over_hostile_q() {
+        let mut h = Histogram::new();
+        for v in [3u64, 17, 900] {
+            h.record(v);
+        }
+        let lowest = h.quantile(1e-12);
+        // NaN, zero and negatives resolve to rank 1 — same as the
+        // smallest positive q.
+        for q in [f64::NAN, 0.0, -0.0, -1.0, f64::NEG_INFINITY] {
+            assert_eq!(h.quantile(q), lowest, "q={q}");
+        }
+        // One and above resolve to the maximum.
+        for q in [1.0, 1.5, 1e300, f64::INFINITY] {
+            assert_eq!(h.quantile(q), h.max(), "q={q}");
+        }
+        // Empty histograms stay at 0 whatever q is.
+        let empty = Histogram::new();
+        for q in [f64::NAN, -1.0, 0.5, 2.0] {
+            assert_eq!(empty.quantile(q), 0);
+        }
+    }
+
+    #[test]
+    fn sum_saturates_and_mean_under_reports() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.sum(), u64::MAX, "sum clips instead of wrapping");
+        // Documented consequence: the mean divides the clipped sum by
+        // the true count, so it under-reports the true average.
+        assert!(h.mean() < u64::MAX as f64);
+        assert_eq!(h.max(), u64::MAX);
     }
 
     #[test]

@@ -29,9 +29,12 @@ pub mod profile;
 pub mod series;
 pub mod sink;
 
-pub use event::{decode_events, encode_events, DropReason, Event, EventKind, TrafficClass};
+pub use event::{
+    decode_events, encode_events, encode_json_string, sanitize_label, DropReason, Event, EventKind,
+    TrafficClass,
+};
 pub use hist::{bucket_bounds, bucket_index, Histogram, BUCKET_COUNT};
 pub use inspect::{Audit, Convergence, ConvergencePoint, Trace, TraceHistograms};
 pub use profile::{Profile, Span, SpanStats, TimedScope};
 pub use series::GaugeSample;
-pub use sink::{JsonlSink, NullSink, RingSink, Sink};
+pub use sink::{JsonlSink, NullSink, RingSink, SharedBuf, Sink};

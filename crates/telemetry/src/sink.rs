@@ -153,6 +153,58 @@ impl<W: io::Write> Sink for JsonlSink<W> {
     }
 }
 
+/// A clonable in-memory byte buffer implementing [`io::Write`].
+///
+/// The sweep executor's JSONL capture seam: an engine owns a
+/// `JsonlSink<SharedBuf>` while the sweep cell keeps a clone of the same
+/// buffer, so after `flush_telemetry` the cell can take the bytes back
+/// out and hand them to the merge step — one buffer per cell,
+/// concatenated in cell order, no shared file handles between workers.
+#[derive(Clone, Debug, Default)]
+pub struct SharedBuf(std::sync::Arc<std::sync::Mutex<Vec<u8>>>);
+
+impl SharedBuf {
+    /// A fresh, empty buffer.
+    pub fn new() -> Self {
+        SharedBuf::default()
+    }
+
+    /// Take the accumulated bytes, leaving the buffer empty.
+    pub fn take(&self) -> Vec<u8> {
+        std::mem::take(&mut *self.0.lock().expect("SharedBuf poisoned"))
+    }
+
+    /// Take the accumulated bytes as UTF-8 text (JSONL output is always
+    /// valid UTF-8), leaving the buffer empty.
+    pub fn take_string(&self) -> String {
+        String::from_utf8(self.take()).expect("JSONL output is UTF-8")
+    }
+
+    /// Bytes accumulated so far.
+    pub fn len(&self) -> usize {
+        self.0.lock().expect("SharedBuf poisoned").len()
+    }
+
+    /// True when nothing has been written (or everything taken).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl io::Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.0
+            .lock()
+            .expect("SharedBuf poisoned")
+            .extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -185,6 +237,21 @@ mod tests {
         assert_eq!(s.evicted(), 2);
         let times: Vec<u64> = s.snapshot().iter().map(|e| e.time).collect();
         assert_eq!(times, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn shared_buf_captures_jsonl() {
+        let buf = SharedBuf::new();
+        let mut s = JsonlSink::new(buf.clone());
+        for t in 0..3 {
+            s.record(&ev(t));
+        }
+        s.flush();
+        let text = buf.take_string();
+        assert_eq!(text.lines().count(), 3);
+        assert!(buf.is_empty(), "take drains the buffer");
+        let back = crate::event::decode_events(&text).unwrap();
+        assert_eq!(back, vec![ev(0), ev(1), ev(2)]);
     }
 
     #[test]

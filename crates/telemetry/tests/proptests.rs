@@ -1,0 +1,133 @@
+//! Property-based tests for the telemetry primitives: the histogram's
+//! quantile contract under hostile `q`, sum saturation, merge algebra,
+//! and the JSONL string codec under arbitrary content.
+
+use proptest::prelude::*;
+use scmp_telemetry::{bucket_index, encode_json_string, Histogram};
+
+/// Build a histogram from a sample vector.
+fn hist_of(samples: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in samples {
+        h.record(v);
+    }
+    h
+}
+
+/// Map an arbitrary pair into an interesting `q`, covering NaN,
+/// infinities, negatives, zero, in-range fractions and >1 overshoot.
+fn hostile_q(selector: u8, frac: f64) -> f64 {
+    match selector % 8 {
+        0 => f64::NAN,
+        1 => f64::NEG_INFINITY,
+        2 => -frac,
+        3 => 0.0,
+        4 => frac, // (0,1)
+        5 => 1.0,
+        6 => 1.0 + frac, // overshoot
+        _ => f64::INFINITY,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `quantile` never panics, never exceeds the observed maximum, and
+    /// always lands on a bucket bound at or above the smallest sample's
+    /// bucket — whatever `q` is.
+    #[test]
+    fn quantile_is_total_and_bounded(
+        samples in prop::collection::vec(0u64..1_000_000_000, 1..64),
+        selector in 0u8..8,
+        frac in 0.0001f64..0.9999,
+    ) {
+        let h = hist_of(&samples);
+        let q = hostile_q(selector, frac);
+        let v = h.quantile(q);
+        prop_assert!(v <= h.max(), "quantile {v} above max {} for q={q}", h.max());
+        let lo = *samples.iter().min().unwrap();
+        // Rank 1 resolves to the smallest sample's bucket: the estimate
+        // can never fall below that bucket's lower bound.
+        prop_assert!(
+            bucket_index(v) >= bucket_index(lo) || v == h.max(),
+            "quantile {v} below the smallest sample {lo} for q={q}"
+        );
+    }
+
+    /// Quantiles are monotone in `q`, including across the hostile
+    /// boundary values (NaN and q<=0 pin to the low end, q>=1 to max).
+    #[test]
+    fn quantile_is_monotone_in_q(
+        samples in prop::collection::vec(0u64..1_000_000_000, 1..64),
+        a in 0.0f64..1.0,
+        b in 0.0f64..1.0,
+    ) {
+        let h = hist_of(&samples);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(h.quantile(lo) <= h.quantile(hi));
+        prop_assert!(h.quantile(f64::NAN) <= h.quantile(hi));
+        prop_assert!(h.quantile(-1.0) <= h.quantile(lo.max(1e-12)));
+        prop_assert_eq!(h.quantile(2.0), h.max());
+    }
+
+    /// `sum` saturates instead of wrapping: it equals the true sum when
+    /// that fits in u64, and pins to `u64::MAX` when it doesn't (so the
+    /// documented mean under-report is the worst that can happen).
+    #[test]
+    fn sum_saturates_exactly(
+        samples in prop::collection::vec(0u64..=u64::MAX, 1..16),
+    ) {
+        let h = hist_of(&samples);
+        let true_sum = samples.iter().fold(0u128, |acc, &v| acc + v as u128);
+        if true_sum <= u64::MAX as u128 {
+            prop_assert_eq!(h.sum(), true_sum as u64);
+        } else {
+            prop_assert_eq!(h.sum(), u64::MAX);
+            prop_assert!(h.mean() <= h.max() as f64);
+        }
+    }
+
+    /// Merging two histograms equals recording every sample into one,
+    /// and quantiles of the merge stay within the combined range.
+    #[test]
+    fn merge_matches_recording_all(
+        xs in prop::collection::vec(0u64..1_000_000, 0..32),
+        ys in prop::collection::vec(0u64..1_000_000, 0..32),
+    ) {
+        let mut a = hist_of(&xs);
+        let b = hist_of(&ys);
+        let mut all = Vec::new();
+        all.extend_from_slice(&xs);
+        all.extend_from_slice(&ys);
+        let direct = hist_of(&all);
+        a.merge(&b);
+        prop_assert_eq!(&a, &direct);
+        for q in [0.5, 0.9, 0.99, 1.0] {
+            prop_assert_eq!(a.quantile(q), direct.quantile(q));
+        }
+    }
+
+    /// Arbitrary strings round-trip through the JSON string codec.
+    /// (The vendored proptest has no `Arbitrary for String`; build one
+    /// from raw codepoints, skipping the surrogate gap.)
+    #[test]
+    fn json_string_codec_round_trips(
+        points in prop::collection::vec(0u32..0x11_0000, 0..64),
+    ) {
+        let s: String = points
+            .iter()
+            .filter_map(|&p| char::from_u32(p))
+            .collect();
+        let mut doc = String::from("{\"label\":");
+        encode_json_string(&s, &mut doc);
+        doc.push('}');
+        prop_assert!(!doc[1..doc.len() - 1].contains('\n'));
+        let v: serde_json::Value = serde_json::from_str(&doc)
+            .map_err(|e| TestCaseError::fail(format!("{doc:?}: {e}")))?;
+        let obj = v.as_object().expect("object");
+        match &obj[0].1 {
+            serde_json::Value::Str(back) => prop_assert_eq!(back, &s),
+            other => prop_assert!(false, "expected string, got {:?}", other),
+        }
+    }
+}

@@ -25,6 +25,27 @@ lint:
 failstorm:
     cargo run --example failstorm
 
+# Regenerate the Fig. 7/8/9 and placement figures on the sweep worker
+# pool (all cores; pass e.g. `seeds=10` for the paper's averaging).
+sweep seeds="10":
+    cargo run --release -p scmp-bench --bin fig7 -- {{seeds}}
+    cargo run --release -p scmp-bench --bin fig8 -- {{seeds}}
+    cargo run --release -p scmp-bench --bin fig9 -- {{seeds}}
+    cargo run --release -p scmp-bench --bin placement -- {{seeds}}
+
+# Same figures pinned to one worker — byte-identical output to `sweep`,
+# for determinism triage.
+sweep-serial seeds="10":
+    cargo run --release -p scmp-bench --bin fig7 -- {{seeds}} --jobs 1
+    cargo run --release -p scmp-bench --bin fig8 -- {{seeds}} --jobs 1
+    cargo run --release -p scmp-bench --bin fig9 -- {{seeds}} --jobs 1
+    cargo run --release -p scmp-bench --bin placement -- {{seeds}} --jobs 1
+
+# Scaling check: serial vs parallel wall clock + byte-identity on the
+# Fig. 8/9 suite; writes bench_results/sweep_speedup.json.
+sweep-speedup seeds="3" jobs="4":
+    cargo run --release -p scmp-bench --bin sweep_speedup -- {{seeds}} --jobs {{jobs}}
+
 # Query a JSONL telemetry trace, e.g.:
 #   just inspect bench_results/failstorm_trace.jsonl --audit
 inspect +args:

@@ -9,6 +9,10 @@ cargo fmt --check
 cargo clippy --workspace -- -D warnings
 cargo build --release
 cargo test -q
+# Re-run the determinism guard with the sweep executor forced onto a
+# multi-worker pool: parallel fan-out must reproduce serial output byte
+# for byte even on single-core CI hosts.
+SCMP_JOBS=2 cargo test -q -p scmp-integration --test determinism
 # Delivery audit over the committed golden trace: scmp-inspect exits
 # non-zero on any duplicate delivery or unaccounted drop.
 cargo run -q --release -p scmp-bench --bin scmp-inspect -- \

@@ -73,6 +73,52 @@ fn run_failstorm() -> Vec<String> {
         .collect()
 }
 
+/// The sweep executor's contract: the merged report and the
+/// concatenated per-cell JSONL trace of the Fig. 8/9 matrix must be
+/// byte-identical whatever the worker count.
+#[test]
+fn parallel_netperf_sweep_is_byte_identical_to_serial() {
+    let serial = scmp_bench::netperf::run_suite_jobs(1, 1, true);
+    let parallel = scmp_bench::netperf::run_suite_jobs(1, 4, true);
+    assert_eq!(
+        serde_json::to_string(&serial.points).unwrap(),
+        serde_json::to_string(&parallel.points).unwrap(),
+        "report JSON must not depend on --jobs"
+    );
+    assert!(!serial.jsonl.is_empty(), "traced suite captures events");
+    assert_eq!(
+        serial.jsonl, parallel.jsonl,
+        "concatenated JSONL must not depend on --jobs"
+    );
+}
+
+/// Same contract for scenario batches: several copies of the repo's
+/// failstorm scenario, fanned over 4 workers, must reproduce the serial
+/// summaries and traces byte for byte.
+#[test]
+fn parallel_failstorm_batch_is_byte_identical_to_serial() {
+    let json = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../examples/scenarios/failstorm.json"
+    ))
+    .expect("failstorm scenario present");
+    let jsons = vec![json.clone(), json.clone(), json];
+    let serial = scmp_bench::scenario_file::run_batch(&jsons, 1);
+    let parallel = scmp_bench::scenario_file::run_batch(&jsons, 4);
+    assert_eq!(serial.len(), parallel.len());
+    for (s, p) in serial.iter().zip(&parallel) {
+        let (sr, st) = s.as_ref().expect("failstorm runs clean");
+        let (pr, pt) = p.as_ref().expect("failstorm runs clean");
+        assert_eq!(
+            serde_json::to_string(sr).unwrap(),
+            serde_json::to_string(pr).unwrap(),
+            "scenario summary must not depend on jobs"
+        );
+        assert!(!st.is_empty(), "captured trace is non-empty");
+        assert_eq!(st, pt, "captured JSONL must not depend on jobs");
+    }
+}
+
 #[test]
 fn failstorm_trace_is_byte_identical_across_runs() {
     let first = run_failstorm();

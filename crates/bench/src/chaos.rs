@@ -1,0 +1,271 @@
+//! Chaos sweep: protocol invariants and delivery degradation under
+//! seeded uniform packet loss.
+//!
+//! PR 1's fault experiments cut links cleanly; this sweep stresses the
+//! control plane the other way — every link stays up but drops each
+//! packet with probability `loss`. The hardened protocol (JOIN/LEAVE
+//! retransmission, TREE/BRANCH ACKs, heartbeat loss tolerance,
+//! receiver-side dedup) must keep its safety invariants at every loss
+//! rate while delivery degrades gracefully:
+//!
+//! 1. **No duplicate delivery** — channel duplication plus control
+//!    retransmission must never hand a `(group, tag)` payload to the
+//!    same member twice (checked by the telemetry delivery audit).
+//! 2. **Eventual tree convergence** — every member's JOIN eventually
+//!    grafts it onto the tree despite lost control packets, observed as
+//!    every member hearing at least one of the post-convergence
+//!    payloads (at the sweep's loss rates).
+//! 3. **No spurious takeover** — the scenarios crash nobody, so the
+//!    standby must never promote itself: its loss tolerance (12
+//!    consecutive heartbeats on a one-hop heartbeat path) puts a false
+//!    promotion far below the takeover threshold at every loss rate.
+//! 4. **Lossless baseline is perfect** — at `loss = 0` the channel
+//!    model is inert: full delivery, zero channel drops, zero
+//!    retransmissions.
+//!
+//! Cells run on [`run_batch`], so the whole sweep is byte-identical
+//! across `--jobs 1` and `--jobs N` (the `chaos` binary re-checks this
+//! whenever it runs parallel).
+
+use crate::scenario_file::run_batch;
+use scmp_telemetry::{EventKind, Trace};
+use serde::Serialize;
+use std::collections::BTreeSet;
+
+/// Uniform per-link drop probabilities swept.
+pub const LOSS_RATES: &[f64] = &[0.0, 0.05, 0.10, 0.15, 0.20];
+
+/// Member DRs joining group 1 — ARPANET nodes that stay within three
+/// hops of the m-router (node 10) for every weight seed, so a bounded
+/// retry budget genuinely guarantees convergence (a 15% per-link loss
+/// compounds to ~86% per packet on the 12-hop paths a random Waxman
+/// throws up — no bounded ARQ survives that).
+const MEMBERS: &[u32] = &[3, 6, 7, 8, 9, 14, 15, 17];
+
+/// Off-tree source DR (exercises the encapsulation path).
+const SOURCE: u32 = 13;
+
+/// Payloads sent after the convergence window. Data has no ARQ, so the
+/// convergence proxy (every member hears ≥ 1 payload) needs enough
+/// independent tries to be sound at the swept loss rates.
+const SENDS: u64 = 20;
+
+/// One sweep cell: a `(loss, seed)` realisation on the fig-scale
+/// ARPANET topology.
+#[derive(Clone, Debug, Serialize)]
+pub struct ChaosCell {
+    /// Uniform drop probability on every link.
+    pub loss: f64,
+    /// Channel + topology seed for this realisation.
+    pub seed: u64,
+    /// Fraction of expected `(tag, member)` deliveries that arrived.
+    pub delivery_ratio: f64,
+    /// Members that heard at least one payload (tree-convergence proxy).
+    pub members_reached: usize,
+    /// Packets the channel ate.
+    pub channel_dropped: u64,
+    /// Control packets retransmitted to get through.
+    pub retransmissions: u64,
+    /// Tree repairs performed by the m-router scan.
+    pub repairs: u64,
+    /// Standby promotions (must stay 0 — nobody crashes).
+    pub takeovers: u64,
+    /// Duplicate `(group, tag, member)` deliveries (must stay 0).
+    pub duplicate_deliveries: usize,
+}
+
+/// Per-loss-rate aggregate over seeds — the degradation curve.
+#[derive(Clone, Debug, Serialize)]
+pub struct ChaosPoint {
+    /// Uniform drop probability.
+    pub loss: f64,
+    /// Mean delivery ratio across seeds.
+    pub mean_delivery_ratio: f64,
+    /// Worst-seed delivery ratio.
+    pub min_delivery_ratio: f64,
+    /// Mean retransmissions across seeds.
+    pub mean_retransmissions: f64,
+    /// Total takeovers across seeds (invariant: 0).
+    pub takeovers: u64,
+}
+
+/// The full sweep result persisted to `bench_results/chaos.json`.
+#[derive(Clone, Debug, Serialize)]
+pub struct ChaosReport {
+    /// Seeds per loss rate.
+    pub seeds: u64,
+    /// Degradation curve, one point per loss rate.
+    pub points: Vec<ChaosPoint>,
+    /// Every raw cell.
+    pub cells: Vec<ChaosCell>,
+}
+
+/// The sweep scenario: the paper's ARPANET map (seeded weights), eight
+/// members joining early, twenty payloads sent long after the control
+/// plane converged, full robustness suite on (repair scan,
+/// JOIN/LEAVE/TREE retry, hot standby with a loss-tolerant watchdog),
+/// uniform loss on every link.
+pub fn scenario_json(loss: f64, seed: u64) -> String {
+    let mut events = String::new();
+    for (i, m) in MEMBERS.iter().enumerate() {
+        events.push_str(&format!(
+            "    {{ \"time\": {}, \"node\": {m}, \"op\": \"join\", \"group\": 1 }},\n",
+            i as u64 * 500
+        ));
+    }
+    for k in 0..SENDS {
+        events.push_str(&format!(
+            "    {{ \"time\": {}, \"node\": {SOURCE}, \"op\": \"send\", \"group\": 1, \"tag\": {} }}{}",
+            150_000 + k * 2_000,
+            k + 1,
+            if k + 1 == SENDS { "\n" } else { ",\n" }
+        ));
+    }
+    // Timescales follow the topology: ARPANET one-way delays stay under
+    // ~100 ticks, so a 500-tick retry base comfortably exceeds the
+    // worst JOIN→TREE round trip (a lossless run must never retransmit)
+    // while the exponential backoff budget — eight retries, factor
+    // capped at 64 — exhausts within ~100k ticks, well before the first
+    // payload. The standby (node 11) sits one hop from the m-router
+    // (node 10), so twelve consecutive heartbeat losses at 20% per link
+    // is a ~4e-9 event: any takeover the sweep observes is a bug.
+    format!(
+        r#"{{
+  "topology": {{ "kind": "arpanet", "seed": {seed} }},
+  "m_router": 10,
+  "robustness": {{
+    "repair_interval": 2000,
+    "join_retry": 500,
+    "leave_retry": 500,
+    "tree_retry": 500,
+    "heartbeat_interval": 1000,
+    "standby": 11,
+    "heartbeat_loss_tolerance": 12
+  }},
+  "channel": {{ "seed": {seed}, "default": {{ "drop": {loss} }} }},
+  "events": [
+{events}  ],
+  "run_until": 250000
+}}"#
+    )
+}
+
+/// Run the sweep: `LOSS_RATES` × `seeds` cells on `jobs` workers.
+///
+/// # Panics
+/// When any invariant listed in the module docs is violated.
+pub fn run(seeds: u64, jobs: usize) -> ChaosReport {
+    let grid: Vec<(f64, u64)> = LOSS_RATES
+        .iter()
+        .flat_map(|&loss| (0..seeds).map(move |s| (loss, s)))
+        .collect();
+    let jsons: Vec<String> = grid
+        .iter()
+        .map(|&(loss, seed)| scenario_json(loss, seed))
+        .collect();
+    let outcomes = run_batch(&jsons, jobs);
+
+    let mut cells = Vec::with_capacity(grid.len());
+    for (&(loss, seed), outcome) in grid.iter().zip(&outcomes) {
+        let (r, trace) = outcome
+            .as_ref()
+            .unwrap_or_else(|e| panic!("chaos cell (loss={loss}, seed={seed}) failed: {e}"));
+        let t = Trace::parse(trace)
+            .unwrap_or_else(|e| panic!("chaos cell (loss={loss}, seed={seed}) trace: {e}"));
+        let audit = t.audit();
+        let reached: BTreeSet<u32> = t
+            .events()
+            .iter()
+            .filter(|ev| matches!(ev.kind, EventKind::DeliverLocal { .. }))
+            .map(|ev| ev.node)
+            .collect();
+        let cell = ChaosCell {
+            loss,
+            seed,
+            delivery_ratio: r.delivery_ratio,
+            members_reached: reached.len(),
+            channel_dropped: r.channel_dropped,
+            retransmissions: r.retransmissions,
+            repairs: r.repairs,
+            takeovers: r.takeovers,
+            duplicate_deliveries: audit.duplicates.len(),
+        };
+        let tag = format!("(loss={loss}, seed={seed})");
+        assert!(
+            audit.duplicates.is_empty(),
+            "{tag}: duplicate deliveries {:?}",
+            audit.duplicates
+        );
+        assert!(
+            audit.unaccounted.is_empty(),
+            "{tag}: {} deliveries lost without any recorded drop",
+            audit.unaccounted.len()
+        );
+        assert_eq!(cell.takeovers, 0, "{tag}: spurious standby takeover");
+        if loss <= 0.15 {
+            assert_eq!(
+                cell.members_reached,
+                MEMBERS.len(),
+                "{tag}: tree never converged for some member"
+            );
+        }
+        if loss == 0.0 {
+            assert_eq!(cell.delivery_ratio, 1.0, "{tag}: lossless run not perfect");
+            assert_eq!(cell.channel_dropped, 0, "{tag}: inert channel dropped");
+            assert_eq!(cell.retransmissions, 0, "{tag}: lossless run retried");
+        } else {
+            assert!(cell.channel_dropped > 0, "{tag}: channel never dropped");
+        }
+        cells.push(cell);
+    }
+
+    let points = LOSS_RATES
+        .iter()
+        .map(|&loss| {
+            let mine: Vec<&ChaosCell> = cells.iter().filter(|c| c.loss == loss).collect();
+            let n = mine.len().max(1) as f64;
+            ChaosPoint {
+                loss,
+                mean_delivery_ratio: mine.iter().map(|c| c.delivery_ratio).sum::<f64>() / n,
+                min_delivery_ratio: mine
+                    .iter()
+                    .map(|c| c.delivery_ratio)
+                    .fold(f64::INFINITY, f64::min),
+                mean_retransmissions: mine.iter().map(|c| c.retransmissions as f64).sum::<f64>()
+                    / n,
+                takeovers: mine.iter().map(|c| c.takeovers).sum(),
+            }
+        })
+        .collect();
+
+    ChaosReport {
+        seeds,
+        points,
+        cells,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_holds_invariants_and_is_jobs_invariant() {
+        // One seed keeps the test fast; `run` itself asserts the
+        // protocol invariants for every cell.
+        let serial = run(1, 1);
+        let parallel = run(1, 2);
+        assert_eq!(
+            serde_json::to_string(&serial).unwrap(),
+            serde_json::to_string(&parallel).unwrap(),
+            "chaos sweep must be byte-identical across worker counts"
+        );
+        assert_eq!(serial.points.len(), LOSS_RATES.len());
+        assert_eq!(serial.points[0].mean_delivery_ratio, 1.0);
+        let lossy = &serial.points[LOSS_RATES.len() - 1];
+        assert!(
+            lossy.mean_retransmissions > 0.0,
+            "20% loss must force control retries"
+        );
+    }
+}

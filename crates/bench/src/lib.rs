@@ -16,6 +16,7 @@
 //! | `extra_pimsm` | Beyond the paper: PIM-SM vs CBT vs SCMP (shared-tree trio) |
 
 pub mod ablation;
+pub mod chaos;
 pub mod concentration;
 pub mod extra_pimsm;
 pub mod fig7;

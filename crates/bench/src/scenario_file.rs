@@ -24,7 +24,10 @@ use scmp_net::rng::rng_for;
 use scmp_net::topology::{arpanet, gt_itm_flat, waxman, GtItmConfig, WaxmanConfig};
 use scmp_net::{AllPairsPaths, NodeId, Topology};
 use scmp_protocols::build_scmp_engine;
-use scmp_sim::{AppEvent, CapacityModel, FaultPlan, FaultSpec, GroupId, JsonlSink, SimStats};
+use scmp_sim::{
+    AppEvent, CapacityModel, ChannelModel, ChannelPlan, FaultPlan, FaultSpec, GroupId, JsonlSink,
+    SimStats,
+};
 use scmp_telemetry::SharedBuf;
 use serde::{Deserialize, Serialize};
 
@@ -180,6 +183,14 @@ pub struct RobustnessSpec {
     /// Delay between takeover and the rebuilt TREE push.
     #[serde(default)]
     pub takeover_rebuild_delay: Option<u64>,
+    /// TREE/BRANCH retransmission base delay (0 = off). Enables
+    /// TREE-ACKs from receivers.
+    #[serde(default)]
+    pub tree_retry: Option<u64>,
+    /// Consecutive lost heartbeats the standby tolerates before taking
+    /// over (default 4).
+    #[serde(default)]
+    pub heartbeat_loss_tolerance: Option<u32>,
 }
 
 /// Telemetry knobs: gauge sampling and structured-event export.
@@ -213,6 +224,12 @@ pub struct ScenarioFile {
     /// Robustness configuration (repair scan, retries, hot standby).
     #[serde(default)]
     pub robustness: Option<RobustnessSpec>,
+    /// Seeded per-link channel impairments (drop / duplicate / corrupt
+    /// probabilities, reorder jitter), validated against the topology.
+    /// Absent — or present with all-zero probabilities — the run is
+    /// byte-identical to a channel-free one.
+    #[serde(default)]
+    pub channel: Option<ChannelPlan>,
     /// Telemetry: gauge sampling interval and JSONL trace export.
     #[serde(default)]
     pub telemetry: Option<TelemetrySpec>,
@@ -250,6 +267,14 @@ pub struct ScenarioResult {
     /// Overhead accrued while any node/link was down.
     pub data_overhead_during_failure: u64,
     pub control_overhead_during_failure: u64,
+    /// Channel-impairment counters (all zero without a `channel` section).
+    pub channel_dropped: u64,
+    pub channel_duplicated: u64,
+    pub channel_reordered: u64,
+    pub channel_corrupted: u64,
+    /// Control-plane hardening counters.
+    pub retransmissions: u64,
+    pub takeovers: u64,
     /// Gauge samples captured (0 unless `telemetry.gauge_interval` set).
     pub gauge_samples: u64,
     /// Per (group, tag): how many routers' subnets received it.
@@ -277,6 +302,7 @@ mod schema {
         "capacity",
         "faults",
         "robustness",
+        "channel",
         "telemetry",
         "run_until",
     ];
@@ -288,7 +314,12 @@ mod schema {
         "heartbeat_interval",
         "standby",
         "takeover_rebuild_delay",
+        "tree_retry",
+        "heartbeat_loss_tolerance",
     ];
+    pub const CHANNEL: &[&str] = &["seed", "default", "links"];
+    pub const CHANNEL_SPEC: &[&str] = &["drop", "duplicate", "corrupt", "reorder_window"];
+    pub const CHANNEL_LINK: &[&str] = &["a", "b", "drop", "duplicate", "corrupt", "reorder_window"];
     pub const CAPACITY: &[&str] = &["link_tx", "queue_limit", "m_router_tx"];
     pub const EVENT: &[&str] = &["time", "node", "op", "group", "tag"];
     pub const TOPOLOGY: &[&str] = &["kind", "n", "seed", "degree", "nodes", "links"];
@@ -350,6 +381,17 @@ pub fn check_unknown_keys(json: &str) -> Result<(), String> {
             "topology" => check_keys(value, schema::TOPOLOGY, "topology section")?,
             "telemetry" => check_keys(value, schema::TELEMETRY, "telemetry section")?,
             "robustness" => check_keys(value, schema::ROBUSTNESS, "robustness section")?,
+            "channel" => {
+                check_keys(value, schema::CHANNEL, "channel section")?;
+                if let Some(obj) = value.as_object() {
+                    if let Some((_, default)) = obj.iter().find(|(k, _)| k == "default") {
+                        check_keys(default, schema::CHANNEL_SPEC, "channel.default")?;
+                    }
+                    if let Some((_, links)) = obj.iter().find(|(k, _)| k == "links") {
+                        check_each(links, schema::CHANNEL_LINK, "channel.links", None)?;
+                    }
+                }
+            }
             "capacity" => check_keys(value, schema::CAPACITY, "capacity section")?,
             "events" => check_each(value, schema::EVENT, "events", None)?,
             "faults" => check_each(
@@ -406,6 +448,9 @@ fn run_scenario_inner(json: &str, capture: Option<&SharedBuf>) -> Result<Scenari
 
     let fault_plan = FaultPlan::from(spec.faults.clone());
     fault_plan.validate(&topo)?;
+    if let Some(chan) = &spec.channel {
+        chan.validate(&topo)?;
+    }
 
     let mut config = ScmpConfig::new(m_router);
     let mut perpetual_timers = false;
@@ -431,6 +476,12 @@ fn run_scenario_inner(json: &str, capture: Option<&SharedBuf>) -> Result<Scenari
         if let Some(v) = rob.takeover_rebuild_delay {
             config.takeover_rebuild_delay = v;
         }
+        if let Some(v) = rob.tree_retry {
+            config.tree_retry = v;
+        }
+        if let Some(v) = rob.heartbeat_loss_tolerance {
+            config.heartbeat_loss_tolerance = v;
+        }
         perpetual_timers = config.repair_interval > 0 || config.heartbeat_interval > 0;
     }
 
@@ -443,6 +494,9 @@ fn run_scenario_inner(json: &str, capture: Option<&SharedBuf>) -> Result<Scenari
         engine.set_capacity(model);
     }
     engine.schedule_fault_plan(&fault_plan);
+    if let Some(model) = spec.channel.as_ref().and_then(ChannelModel::from_plan) {
+        engine.set_channel(model);
+    }
     if let Some(buf) = capture {
         engine.set_sink(Box::new(JsonlSink::new(buf.clone())));
     } else if let Some(tele) = &spec.telemetry {
@@ -550,6 +604,12 @@ fn run_scenario_inner(json: &str, capture: Option<&SharedBuf>) -> Result<Scenari
         max_repair_latency: stats.max_repair_latency,
         data_overhead_during_failure: stats.data_overhead_during_failure,
         control_overhead_during_failure: stats.control_overhead_during_failure,
+        channel_dropped: stats.channel_dropped,
+        channel_duplicated: stats.channel_duplicated,
+        channel_reordered: stats.channel_reordered,
+        channel_corrupted: stats.channel_corrupted,
+        retransmissions: stats.retransmissions,
+        takeovers: stats.takeovers,
         gauge_samples,
         deliveries,
     })
@@ -714,9 +774,11 @@ mod tests {
     #[test]
     fn fault_validation_errors() {
         let bad_link = FAULTY.replace("\"a\": 0, \"b\": 2", "\"a\": 0, \"b\": 5");
-        assert!(run_scenario(&bad_link)
-            .unwrap_err()
-            .contains("does not exist"));
+        let err = run_scenario(&bad_link).unwrap_err();
+        assert!(
+            err.contains("fault[0]") && err.contains("not in topology"),
+            "{err}"
+        );
         let bad_node = FAULTY.replace(
             "{ \"kind\": \"link_down\", \"a\": 0, \"b\": 2 }",
             "{ \"kind\": \"router_crash\", \"node\": 77 }",
@@ -844,5 +906,80 @@ mod tests {
         assert_eq!(a.repairs, b.repairs);
         assert_eq!(a.max_repair_latency, b.max_repair_latency);
         assert_eq!(a.delivery_ratio, b.delivery_ratio);
+    }
+
+    #[test]
+    fn channel_section_impairs_and_replays() {
+        let json = BASIC.replace(
+            "\"m_router\": \"rule1\",",
+            "\"m_router\": \"rule1\",\n  \
+             \"robustness\": { \"join_retry\": 3000, \"tree_retry\": 3000 },\n  \
+             \"channel\": { \"seed\": 5, \"default\": { \"drop\": 0.2, \"duplicate\": 0.05 } },",
+        );
+        let (a, trace_a) = run_scenario_captured(&json).unwrap();
+        assert!(a.channel_dropped > 0, "a 20% channel must drop something");
+        assert!(
+            a.retransmissions > 0,
+            "dropped control traffic must trigger retries"
+        );
+        let (b, trace_b) = run_scenario_captured(&json).unwrap();
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap(),
+            "lossy runs replay bit-for-bit"
+        );
+        assert_eq!(trace_a, trace_b, "lossy traces byte-identical");
+    }
+
+    #[test]
+    fn all_zero_channel_is_byte_identical_to_no_channel() {
+        let with = BASIC.replace(
+            "\"m_router\": \"rule1\",",
+            "\"m_router\": \"rule1\",\n  \
+             \"channel\": { \"seed\": 9, \"default\": { \"drop\": 0.0 }, \
+             \"links\": [ { \"a\": 0, \"b\": 1 } ] },",
+        );
+        let (r0, t0) = run_scenario_captured(BASIC).unwrap();
+        let (r1, t1) = run_scenario_captured(&with).unwrap();
+        assert_eq!(
+            serde_json::to_string(&r0).unwrap(),
+            serde_json::to_string(&r1).unwrap(),
+            "all-zero channel must not perturb the summary"
+        );
+        assert_eq!(
+            t0, t1,
+            "all-zero channel must leave the trace byte-identical"
+        );
+    }
+
+    #[test]
+    fn channel_validation_errors_surface() {
+        let bad = BASIC.replace(
+            "\"m_router\": \"rule1\",",
+            "\"m_router\": \"rule1\",\n  \
+             \"channel\": { \"links\": [ { \"a\": 0, \"b\": 99, \"drop\": 0.1 } ] },",
+        );
+        let err = run_scenario(&bad).unwrap_err();
+        assert!(
+            err.contains("channel.links[0]") && err.contains("out of range"),
+            "{err}"
+        );
+
+        let typo = BASIC.replace(
+            "\"m_router\": \"rule1\",",
+            "\"m_router\": \"rule1\",\n  \"channel\": { \"default\": { \"dropp\": 0.1 } },",
+        );
+        let err = run_scenario(&typo).unwrap_err();
+        assert!(
+            err.contains("dropp") && err.contains("channel.default"),
+            "{err}"
+        );
+
+        let prob = BASIC.replace(
+            "\"m_router\": \"rule1\",",
+            "\"m_router\": \"rule1\",\n  \"channel\": { \"default\": { \"drop\": 1.5 } },",
+        );
+        let err = run_scenario(&prob).unwrap_err();
+        assert!(err.contains("not in [0, 1]"), "{err}");
     }
 }

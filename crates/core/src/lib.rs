@@ -22,13 +22,17 @@
 //! * [`session`] — multicast session and group-address management
 //!   (§II-C), including the accounting/billing event log.
 //! * [`wire`] — a byte-level codec for complete SCMP packets (header +
-//!   per-type body), total and fuzz-tested.
+//!   per-type body + trailing checksum), total and fuzz-tested.
+//! * [`dedup`] — receiver-side duplicate suppression: sliding-window
+//!   control-sequence dedup and the bounded recent-set routers use to
+//!   keep channel-duplicated data packets away from member hosts.
 //!
 //! The m-router's switching fabric lives in [`scmp_fabric`]; the
 //! [`router::MRouterState`] assigns an output port per active group and
 //! keeps a configured [`scmp_fabric::SandwichFabric`] in sync with the
 //! group set.
 
+pub mod dedup;
 pub mod igmp;
 pub mod message;
 pub mod placement;

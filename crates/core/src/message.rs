@@ -48,6 +48,12 @@ pub enum ScmpMsg {
     /// in the paper; under failure injection a lost LEAVE would strand
     /// membership state, so DRs retransmit with backoff until acked.
     LeaveAck,
+    /// Receiver → m-router acknowledgement of a TREE or BRANCH packet
+    /// carrying generation `gen`. Only emitted when the domain enables
+    /// tree retransmission (`tree_retry > 0`): lossy channels can eat a
+    /// TREE packet, and without an ack the m-router would believe the
+    /// subtree installed.
+    TreeAck { gen: u64 },
 }
 
 impl ScmpMsg {
@@ -66,6 +72,7 @@ impl ScmpMsg {
             ScmpMsg::StandbySync { .. } => "SYNC",
             ScmpMsg::NewMRouter { .. } => "NEW-MROUTER",
             ScmpMsg::LeaveAck => "LEAVE-ACK",
+            ScmpMsg::TreeAck { .. } => "TREE-ACK",
         }
     }
 }
@@ -104,6 +111,7 @@ mod tests {
             },
             ScmpMsg::NewMRouter { address: NodeId(2) },
             ScmpMsg::LeaveAck,
+            ScmpMsg::TreeAck { gen: 1 },
         ];
         let labels: std::collections::BTreeSet<&str> = msgs.iter().map(|m| m.label()).collect();
         assert_eq!(labels.len(), msgs.len(), "labels must be distinct");

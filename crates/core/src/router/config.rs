@@ -48,6 +48,22 @@ pub struct ScmpConfig {
     /// state at the m-router, so the m-router acks it with LEAVE-ACK
     /// and the DR retries until acked. 0 disables retries.
     pub leave_retry: u64,
+    /// Retransmit an unacknowledged TREE or BRANCH packet to a direct
+    /// child after this long, with the same backoff/give-up policy as
+    /// `join_retry`. The ARQ runs hop by hop: the m-router *and* every
+    /// DR relaying tree state to its children track their own
+    /// transmissions, and receivers acknowledge each packet to the
+    /// parent it came from with TREE-ACK (even stale ones, so a raced
+    /// retransmission cannot retry forever). 0 disables the ARQ and
+    /// suppresses the acks — the default, because on a loss-free
+    /// channel the acks are pure overhead.
+    pub tree_retry: u64,
+    /// How many consecutive lost heartbeats the standby tolerates before
+    /// taking over. The watchdog deadline is `tolerance ×
+    /// heartbeat_interval` past the last heartbeat (and twice that at
+    /// start-up, when the primary may be several propagation delays
+    /// away). Values below 1 are treated as 1.
+    pub heartbeat_loss_tolerance: u32,
     /// m-router repair-scan period: every interval, check each mirrored
     /// tree against the domain's liveness view (the IGP's link-state
     /// database) and re-run DCDM over the surviving topology when the
@@ -71,6 +87,8 @@ impl ScmpConfig {
             session_expiry: 0,
             join_retry: 500_000,
             leave_retry: 500_000,
+            tree_retry: 0,
+            heartbeat_loss_tolerance: 4,
             repair_interval: 0,
         }
     }

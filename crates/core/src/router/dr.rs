@@ -3,7 +3,10 @@
 //! processing (§III-E). Everything here runs on every router; the
 //! m-router-only logic lives in the sibling `mrouter` module.
 
-use super::{ScmpRouter, BACKOFF_CAP, MAX_RETRIES, TIMER_JOIN_RETRY_BASE, TIMER_LEAVE_RETRY_BASE};
+use super::{
+    PendingTree, ScmpRouter, BACKOFF_CAP, MAX_RETRIES, TIMER_JOIN_RETRY_BASE,
+    TIMER_LEAVE_RETRY_BASE,
+};
 use crate::igmp::{HostId, MembershipEdge};
 use crate::message::ScmpMsg;
 use crate::tree_packet::{BranchPacket, TreePacket};
@@ -169,6 +172,12 @@ impl ScmpRouter {
             ctx.drop_packet();
             return;
         }
+        if !self.recent_data.insert((pkt.group.0, pkt.tag, false)) {
+            // A channel-duplicated copy already forwarded: suppress it,
+            // or every member below would receive the payload twice.
+            ctx.drop_packet();
+            return;
+        }
         if entry.local_interface {
             ctx.deliver_local(&pkt);
         }
@@ -189,6 +198,12 @@ impl ScmpRouter {
             } else {
                 ctx.drop_packet();
             }
+            return;
+        }
+        if !self.recent_data.insert((pkt.group.0, pkt.tag, true)) {
+            // Channel-duplicated encapsulation: decapsulating it again
+            // would push a second copy down the whole tree.
+            ctx.drop_packet();
             return;
         }
         // Decapsulate and push down the tree (§III-F).
@@ -228,6 +243,7 @@ impl ScmpRouter {
         tp: TreePacket,
         ctx: &mut Ctx<'_, ScmpMsg>,
     ) {
+        self.ack_tree_packet(from, group, gen, ctx);
         if self.is_stale(group, gen) {
             ctx.drop_packet();
             return;
@@ -252,10 +268,8 @@ impl ScmpRouter {
             }
         }
         for (child, sub) in tp.split() {
-            ctx.send(
-                child,
-                Packet::control(group, ScmpMsg::Tree { gen, packet: sub }),
-            );
+            let pkt = Packet::control(group, ScmpMsg::Tree { gen, packet: sub });
+            self.send_tree_tracked(group, child, gen, pkt, ctx);
         }
         self.prune_if_orphaned(group, ctx);
     }
@@ -268,6 +282,7 @@ impl ScmpRouter {
         bp: BranchPacket,
         ctx: &mut Ctx<'_, ScmpMsg>,
     ) {
+        self.ack_tree_packet(from, group, gen, ctx);
         if self.is_stale(group, gen) {
             // A newer TREE refresh already encodes this (or a newer)
             // tree; the stale branch must not resurrect old edges.
@@ -290,12 +305,109 @@ impl ScmpRouter {
         }
         if let Some(next) = next {
             entry.downstream_routers.insert(next);
-            ctx.send(
-                next,
-                Packet::control(group, ScmpMsg::Branch { gen, packet: rest }),
-            );
+            let pkt = Packet::control(group, ScmpMsg::Branch { gen, packet: rest });
+            self.send_tree_tracked(group, next, gen, pkt, ctx);
         } else {
             self.prune_if_orphaned(group, ctx);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Hop-by-hop TREE/BRANCH ARQ (robustness extension)
+    // ------------------------------------------------------------------
+    // Tree distribution is relayed parent → child along tree edges, so
+    // a single unprotected hop would cap the end-to-end install
+    // probability at the worst link's delivery rate. Instead *every*
+    // sender — the m-router and each relaying DR — tracks its own
+    // transmissions to direct children and retransmits until TREE-ACKed
+    // (bounded by [`MAX_RETRIES`]). A JOIN retried by the member remains
+    // the end-to-end backstop once the hop budget is exhausted.
+
+    /// Send a TREE/BRANCH packet to a direct child, registering it for
+    /// retransmission until TREE-ACKed when `tree_retry > 0`.
+    pub(super) fn send_tree_tracked(
+        &mut self,
+        group: GroupId,
+        child: NodeId,
+        gen: u64,
+        pkt: Packet<ScmpMsg>,
+        ctx: &mut Ctx<'_, ScmpMsg>,
+    ) {
+        let retry = self.domain.config.tree_retry;
+        if retry == 0 {
+            ctx.send(child, pkt);
+            return;
+        }
+        ctx.send(child, pkt.clone());
+        let deadline = ctx.now() + retry;
+        self.pending_trees.insert(
+            (group, child),
+            PendingTree {
+                gen,
+                attempts: 0,
+                pkt,
+                deadline,
+            },
+        );
+        ctx.set_timer(retry, super::tree_retry_token(group, child));
+    }
+
+    /// TREE-retry timer fired: resend the pending packet with backoff,
+    /// giving up after [`MAX_RETRIES`].
+    pub(super) fn retry_tree_if_unacked(
+        &mut self,
+        group: GroupId,
+        child: NodeId,
+        ctx: &mut Ctx<'_, ScmpMsg>,
+    ) {
+        let retry = self.domain.config.tree_retry;
+        let now = ctx.now();
+        let Some(p) = self.pending_trees.get_mut(&(group, child)) else {
+            return; // acked in the meantime
+        };
+        if now < p.deadline {
+            return; // stale timer from a superseded arming
+        }
+        p.attempts += 1;
+        if p.attempts > MAX_RETRIES {
+            self.pending_trees.remove(&(group, child));
+            return;
+        }
+        let attempt = p.attempts;
+        let pkt = p.pkt.clone();
+        let delay = retry << attempt.min(BACKOFF_CAP);
+        p.deadline = now + delay;
+        ctx.send(child, pkt);
+        ctx.record_retransmit(group.0, child, attempt);
+        ctx.set_timer(delay, super::tree_retry_token(group, child));
+    }
+
+    /// TREE-ACK from a direct child: clear the pending transmission,
+    /// unless the ack is for an older generation than the one in flight.
+    pub(super) fn handle_tree_ack(&mut self, group: GroupId, from: NodeId, gen: u64) {
+        if self
+            .pending_trees
+            .get(&(group, from))
+            .is_some_and(|p| gen >= p.gen)
+        {
+            self.pending_trees.remove(&(group, from));
+        }
+    }
+
+    /// Acknowledge a TREE/BRANCH packet to the parent that relayed it,
+    /// when the domain runs the tree ARQ (`tree_retry > 0`). Stale
+    /// packets are acked too: the parent's retransmission must stop once
+    /// *any* copy got through, even if a newer generation overtook it in
+    /// flight.
+    fn ack_tree_packet(
+        &mut self,
+        from: NodeId,
+        group: GroupId,
+        gen: u64,
+        ctx: &mut Ctx<'_, ScmpMsg>,
+    ) {
+        if self.domain.config.tree_retry > 0 {
+            ctx.send(from, Packet::control(group, ScmpMsg::TreeAck { gen }));
         }
     }
 

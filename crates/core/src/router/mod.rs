@@ -37,9 +37,9 @@ pub use entry::RoutingEntry;
 pub use mrouter::MRouterState;
 pub use standby::StandbyState;
 
+use crate::dedup::RecentSet;
 use crate::igmp::{HostId, Subnet};
 use crate::message::ScmpMsg;
-use crate::session::SessionDb;
 use scmp_net::NodeId;
 use scmp_sim::{AppEvent, Ctx, GroupId, Packet, Router};
 use std::collections::{BTreeMap, BTreeSet};
@@ -64,11 +64,41 @@ const TIMER_EXPIRY_BASE: u64 = 1 << 63;
 const TIMER_JOIN_RETRY_BASE: u64 = 1 << 62;
 /// LEAVE-retry tokens: `TIMER_LEAVE_RETRY_BASE + gid`.
 const TIMER_LEAVE_RETRY_BASE: u64 = 1 << 61;
+/// TREE-retry tokens: `TIMER_TREE_RETRY_BASE + (gid << 24) + child`.
+/// Node ids fit 24 bits in any simulated domain and group ids stay far
+/// below 2^36, so the token never reaches [`TIMER_LEAVE_RETRY_BASE`].
+const TIMER_TREE_RETRY_BASE: u64 = 1 << 60;
+
+/// Encode one parent → child tree-ARQ slot as a timer token.
+pub(super) fn tree_retry_token(group: GroupId, child: NodeId) -> u64 {
+    TIMER_TREE_RETRY_BASE + ((group.0 as u64) << 24) + child.0 as u64
+}
 /// Give up a JOIN/LEAVE retransmission series after this many attempts
 /// (the m-router is gone for good; a takeover or operator intervenes).
 const MAX_RETRIES: u32 = 8;
 /// Exponential-backoff shift cap: delay = base << min(attempt, cap).
 const BACKOFF_CAP: u32 = 6;
+/// Tree generations carry a takeover epoch in their upper bits: a
+/// promoted standby starts numbering at the next epoch above every
+/// generation it has observed, so its TREE/BRANCH packets always beat
+/// the deposed primary's — even when that primary is alive (spurious
+/// promotion) and kept bumping its own generations right up to the
+/// handover.
+const GEN_EPOCH_SHIFT: u32 = 32;
+
+/// One unacknowledged TREE/BRANCH transmission awaiting TREE-ACK from a
+/// direct child (hop-by-hop tree ARQ, `tree_retry > 0`).
+#[derive(Debug)]
+struct PendingTree {
+    gen: u64,
+    attempts: u32,
+    pkt: Packet<ScmpMsg>,
+    /// Earliest time a retry timer may act. Retry timers are keyed by
+    /// `(group, child)` only, so when a newer TREE replaces a pending
+    /// entry, the older arming's timer is still in flight — it must not
+    /// retransmit the new packet early.
+    deadline: scmp_sim::SimTime,
+}
 
 /// Role of a node in the SCMP domain.
 #[derive(Debug)]
@@ -109,7 +139,26 @@ pub struct ScmpRouter {
     join_attempts: BTreeMap<GroupId, u32>,
     /// LEAVEs awaiting a LEAVE-ACK, with retransmission count.
     pending_leaves: BTreeMap<GroupId, u32>,
+    /// TREE/BRANCH packets this node sent to a direct child and not yet
+    /// TREE-ACKed, keyed by `(group, child)`. Lives on every router, not
+    /// just the m-router: tree distribution is relayed hop by hop, and
+    /// each relay hop runs its own ARQ when `tree_retry > 0`.
+    pending_trees: BTreeMap<(GroupId, NodeId), PendingTree>,
+    /// Highest tree generation observed in any TREE/BRANCH/FLUSH packet.
+    /// Seeds the generation epoch on a standby takeover (see
+    /// [`GEN_EPOCH_SHIFT`]).
+    gen_high_water: u64,
+    /// Recently forwarded data-packet keys `(group, tag, encapsulated)`,
+    /// for suppressing channel-duplicated payloads. The encapsulated
+    /// flag keeps an EncapData and its decapsulated Data twin (same
+    /// group and tag) from shadowing each other at the m-router.
+    recent_data: RecentSet<(u32, u64, bool)>,
 }
+
+/// How many data-packet keys each router remembers for duplicate
+/// suppression. Channel duplicates arrive within a reorder window of
+/// the original, so a small recent-set is ample.
+const RECENT_DATA_CAP: usize = 64;
 
 impl ScmpRouter {
     /// Create the state machine for node `me`.
@@ -122,10 +171,7 @@ impl ScmpRouter {
         let role = if me == cfg.m_router || cfg.extra_m_routers.contains(&me) {
             Role::MRouter(Box::new(MRouterState::new()))
         } else if Some(me) == cfg.standby {
-            Role::Standby(StandbyState {
-                membership: SessionDb::new(),
-                watchdog_gen: 0,
-            })
+            Role::Standby(StandbyState::new())
         } else {
             Role::IRouter
         };
@@ -142,6 +188,9 @@ impl ScmpRouter {
             joined_hosts: BTreeMap::new(),
             join_attempts: BTreeMap::new(),
             pending_leaves: BTreeMap::new(),
+            pending_trees: BTreeMap::new(),
+            gen_high_water: 0,
+            recent_data: RecentSet::new(RECENT_DATA_CAP),
         }
     }
 
@@ -196,14 +245,17 @@ impl Router for ScmpRouter {
         if cfg.heartbeat_interval == 0 {
             return;
         }
-        match self.role {
+        let horizon = cfg.heartbeat_interval * 2 * u64::from(cfg.heartbeat_loss_tolerance.max(1));
+        match &mut self.role {
             Role::MRouter(_) if cfg.standby.is_some() => {
                 ctx.set_timer(cfg.heartbeat_interval, TIMER_HEARTBEAT);
             }
-            Role::Standby(_) => {
-                // Generous first deadline: the primary may be several
-                // propagation delays away.
-                ctx.set_timer(cfg.heartbeat_interval * 8, TIMER_WATCHDOG_BASE);
+            Role::Standby(s) => {
+                // Generous first deadline (twice the steady-state
+                // tolerance): the primary may be several propagation
+                // delays away.
+                s.deadline = ctx.now() + horizon;
+                ctx.set_timer(horizon, TIMER_WATCHDOG_BASE);
             }
             _ => {}
         }
@@ -216,12 +268,15 @@ impl Router for ScmpRouter {
             ScmpMsg::Leave { requester } => self.m_handle_leave(group, requester, ctx),
             ScmpMsg::Prune => self.handle_prune(from, group, ctx),
             ScmpMsg::Tree { gen, packet } => {
+                self.gen_high_water = self.gen_high_water.max(gen);
                 self.install_tree_packet(from, group, gen, packet, ctx)
             }
             ScmpMsg::Branch { gen, packet } => {
+                self.gen_high_water = self.gen_high_water.max(gen);
                 self.install_branch_packet(from, group, gen, packet, ctx)
             }
             ScmpMsg::Flush { gen } => {
+                self.gen_high_water = self.gen_high_water.max(gen);
                 let tomb = self.flushed.entry(group).or_insert(0);
                 if gen > *tomb {
                     *tomb = gen;
@@ -236,13 +291,43 @@ impl Router for ScmpRouter {
             ScmpMsg::Data => self.forward_on_tree(from, pkt, ctx),
             ScmpMsg::EncapData => self.handle_encap_data(pkt, ctx),
             ScmpMsg::Heartbeat { .. } => {
-                let interval = self.domain.config.heartbeat_interval;
-                if let Role::Standby(s) = &mut self.role {
-                    // Re-arm the deadman timer: takeover only when no
-                    // heartbeat lands for 4 intervals.
-                    s.watchdog_gen += 1;
-                    let gen = s.watchdog_gen;
-                    ctx.set_timer(interval * 4, TIMER_WATCHDOG_BASE + gen);
+                let cfg = &self.domain.config;
+                let interval = cfg.heartbeat_interval;
+                let grace = interval * u64::from(cfg.heartbeat_loss_tolerance.max(1));
+                let promoted = Some(self.me) == cfg.standby;
+                let me = self.me;
+                match &mut self.role {
+                    Role::Standby(s) => {
+                        // Re-arm the deadman timer: takeover only when no
+                        // heartbeat lands for `heartbeat_loss_tolerance`
+                        // intervals. The deadline backs up the generation
+                        // stamp — a stale timer whose token happens to
+                        // match a reset generation still cannot promote
+                        // before the last heartbeat's grace runs out.
+                        s.watchdog_gen += 1;
+                        s.deadline = ctx.now() + grace;
+                        let gen = s.watchdog_gen;
+                        ctx.set_timer(grace, TIMER_WATCHDOG_BASE + gen);
+                    }
+                    Role::MRouter(state) if promoted => {
+                        // A heartbeat reaching a *promoted* standby means
+                        // the old primary survived (the promotion was
+                        // spurious, caused by heartbeat loss). Repeat the
+                        // announcement until it steps down, and start
+                        // mirroring/heartbeating back so the pair is
+                        // symmetric again.
+                        ctx.unicast(
+                            from,
+                            Packet::control(GroupId(0), ScmpMsg::NewMRouter { address: me }),
+                        );
+                        if !state.peer_alive {
+                            state.peer_alive = true;
+                            if interval > 0 {
+                                ctx.set_timer(interval, TIMER_HEARTBEAT);
+                            }
+                        }
+                    }
+                    _ => {}
                 }
             }
             ScmpMsg::StandbySync { member, joined } => {
@@ -254,28 +339,8 @@ impl Router for ScmpRouter {
             ScmpMsg::LeaveAck => {
                 self.pending_leaves.remove(&group);
             }
-            ScmpMsg::NewMRouter { address } => {
-                // The old trees are rooted at the dead primary: drop all
-                // forwarding state. The new m-router pushes fresh TREE
-                // packets after `takeover_rebuild_delay`; until they
-                // arrive, sources fall back to unicast encapsulation.
-                // Subnets that still have members re-mark their interface
-                // as pending so the rebuilt tree re-opens it on arrival.
-                self.m_router = address;
-                self.entries.clear();
-                self.flushed.clear();
-                self.pending_interfaces = self.subnet.active_groups().into_iter().collect();
-                // Restart the JOIN retry series toward the new address:
-                // the rebuilt TREE push may miss a DR whose original JOIN
-                // died with the primary.
-                let retry = self.domain.config.join_retry;
-                if retry > 0 {
-                    for &g in &self.pending_interfaces {
-                        self.join_attempts.insert(g, 0);
-                        ctx.set_timer(retry, TIMER_JOIN_RETRY_BASE + g.0 as u64);
-                    }
-                }
-            }
+            ScmpMsg::NewMRouter { address } => self.handle_new_mrouter(address, ctx),
+            ScmpMsg::TreeAck { gen } => self.handle_tree_ack(group, from, gen),
         }
     }
 
@@ -283,12 +348,21 @@ impl Router for ScmpRouter {
         match token {
             TIMER_HEARTBEAT => {
                 let cfg = self.domain.config.clone();
+                let me = self.me;
                 if let Role::MRouter(state) = &mut self.role {
                     state.heartbeat_seq += 1;
                     let seq = state.heartbeat_seq;
-                    if let Some(standby) = cfg.standby {
+                    // A promoted standby beacons back to the deposed
+                    // primary (its new standby); the primary beacons to
+                    // the configured standby as always.
+                    let peer = if Some(me) == cfg.standby {
+                        Some(cfg.m_router)
+                    } else {
+                        cfg.standby
+                    };
+                    if let Some(peer) = peer {
                         ctx.unicast(
-                            standby,
+                            peer,
                             Packet::control(GroupId(0), ScmpMsg::Heartbeat { seq }),
                         );
                     }
@@ -306,9 +380,21 @@ impl Router for ScmpRouter {
             token if token >= TIMER_LEAVE_RETRY_BASE => {
                 self.retry_leave_if_unacked(GroupId((token - TIMER_LEAVE_RETRY_BASE) as u32), ctx);
             }
+            token if token >= TIMER_TREE_RETRY_BASE => {
+                let slot = token - TIMER_TREE_RETRY_BASE;
+                let group = GroupId((slot >> 24) as u32);
+                let child = NodeId((slot & 0x00FF_FFFF) as u32);
+                self.retry_tree_if_unacked(group, child, ctx);
+            }
             token if token >= TIMER_WATCHDOG_BASE => {
                 let take_over = match &self.role {
-                    Role::Standby(s) => token - TIMER_WATCHDOG_BASE == s.watchdog_gen,
+                    // Both guards must agree: the generation stamp kills
+                    // timers superseded by a later heartbeat, and the
+                    // deadline kills stale timers whose token matches a
+                    // reset generation (e.g. right after a demotion).
+                    Role::Standby(s) => {
+                        token - TIMER_WATCHDOG_BASE == s.watchdog_gen && ctx.now() >= s.deadline
+                    }
                     _ => false,
                 };
                 if take_over {

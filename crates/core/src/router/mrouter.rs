@@ -32,7 +32,17 @@ pub struct MRouterState {
     fabric_size: usize,
     /// Per-group tree generation, bumped on every membership change.
     gens: BTreeMap<GroupId, u64>,
+    /// Added to every generation this m-router issues. Zero on the
+    /// configured primary; a promoted standby starts at the epoch above
+    /// everything it has seen, so its generations outrank the deposed
+    /// primary's (see [`super::GEN_EPOCH_SHIFT`]).
+    pub(super) gen_epoch: u64,
     pub(super) heartbeat_seq: u64,
+    /// Set on a promoted standby once the deposed primary has proven
+    /// itself alive (its heartbeat reached us after our takeover): from
+    /// then on the promoted node heartbeats and mirrors membership back,
+    /// making the survivor pair symmetric again.
+    pub(super) peer_alive: bool,
 }
 
 impl MRouterState {
@@ -44,15 +54,18 @@ impl MRouterState {
             fabric: None,
             fabric_size: 64,
             gens: BTreeMap::new(),
+            gen_epoch: 0,
             heartbeat_seq: 0,
+            peer_alive: false,
         }
     }
 
-    /// Bump and return the tree generation for `group`.
+    /// Bump and return the tree generation for `group` (offset into this
+    /// m-router's takeover epoch).
     pub(super) fn next_gen(&mut self, group: GroupId) -> u64 {
         let g = self.gens.entry(group).or_insert(0);
         *g += 1;
-        *g
+        self.gen_epoch + *g
     }
 
     /// The mirrored tree for `group`, if the group has been seen.
@@ -114,6 +127,21 @@ impl MRouterState {
 }
 
 impl ScmpRouter {
+    /// Where membership mirror updates go: the configured standby for
+    /// the primary, or — on a promoted standby — back to the deposed
+    /// primary once it has proven itself alive.
+    pub(super) fn sync_peer(&self) -> Option<NodeId> {
+        let cfg = &self.domain.config;
+        let standby = cfg.standby?;
+        if self.me != standby {
+            return Some(standby);
+        }
+        match &self.role {
+            Role::MRouter(state) if state.peer_alive => Some(cfg.m_router),
+            _ => None,
+        }
+    }
+
     // ------------------------------------------------------------------
     // m-router: centralized tree construction (§III-D)
     // ------------------------------------------------------------------
@@ -162,29 +190,23 @@ impl ScmpRouter {
                     if path.len() > 1 {
                         let bp = BranchPacket::from_root_path(&path);
                         let first = bp.path[0];
-                        ctx.send(
-                            first,
-                            Packet::control(group, ScmpMsg::Branch { gen, packet: bp }),
-                        );
+                        let pkt = Packet::control(group, ScmpMsg::Branch { gen, packet: bp });
+                        self.send_tree_tracked(group, first, gen, pkt, ctx);
                     }
                 }
             } else if outcome.is_simple_graft() && !domain.config.tree_packets_only {
                 let path = tree.path_from_root(requester).expect("member on tree");
                 let bp = BranchPacket::from_root_path(&path);
                 let first = bp.path[0];
-                ctx.send(
-                    first,
-                    Packet::control(group, ScmpMsg::Branch { gen, packet: bp }),
-                );
+                let pkt = Packet::control(group, ScmpMsg::Branch { gen, packet: bp });
+                self.send_tree_tracked(group, first, gen, pkt, ctx);
             } else {
                 // Restructured (or ablation): full TREE refresh, plus
                 // explicit flushes for routers pruned off the tree.
                 for &child in tree.children(me) {
                     let tp = TreePacket::from_tree(&tree, child);
-                    ctx.send(
-                        child,
-                        Packet::control(group, ScmpMsg::Tree { gen, packet: tp }),
-                    );
+                    let pkt = Packet::control(group, ScmpMsg::Tree { gen, packet: tp });
+                    self.send_tree_tracked(group, child, gen, pkt, ctx);
                 }
                 for &gone in &outcome.pruned {
                     ctx.unicast(gone, Packet::control(group, ScmpMsg::Flush { gen }));
@@ -196,19 +218,17 @@ impl ScmpRouter {
             unreachable!()
         };
         state.trees.insert(group, tree);
-        if let Some(standby) = domain.config.standby {
-            if standby != me {
-                ctx.unicast(
-                    standby,
-                    Packet::control(
-                        group,
-                        ScmpMsg::StandbySync {
-                            member: requester,
-                            joined: true,
-                        },
-                    ),
-                );
-            }
+        if let Some(peer) = self.sync_peer() {
+            ctx.unicast(
+                peer,
+                Packet::control(
+                    group,
+                    ScmpMsg::StandbySync {
+                        member: requester,
+                        joined: true,
+                    },
+                ),
+            );
         }
     }
 
@@ -260,19 +280,17 @@ impl ScmpRouter {
                 TIMER_EXPIRY_BASE + group.0 as u64,
             );
         }
-        if let Some(standby) = domain.config.standby {
-            if standby != me {
-                ctx.unicast(
-                    standby,
-                    Packet::control(
-                        group,
-                        ScmpMsg::StandbySync {
-                            member: requester,
-                            joined: false,
-                        },
-                    ),
-                );
-            }
+        if let Some(peer) = self.sync_peer() {
+            ctx.unicast(
+                peer,
+                Packet::control(
+                    group,
+                    ScmpMsg::StandbySync {
+                        member: requester,
+                        joined: false,
+                    },
+                ),
+            );
         }
     }
 
@@ -378,10 +396,8 @@ impl ScmpRouter {
             entry.gen = gen;
             for &child in tree.children(me) {
                 let tp = TreePacket::from_tree(&tree, child);
-                ctx.send(
-                    child,
-                    Packet::control(group, ScmpMsg::Tree { gen, packet: tp }),
-                );
+                let pkt = Packet::control(group, ScmpMsg::Tree { gen, packet: tp });
+                self.send_tree_tracked(group, child, gen, pkt, ctx);
             }
             // Flush reachable routers that fell off the tree; partitioned
             // ones keep stale state, which generation stamps and the

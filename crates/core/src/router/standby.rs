@@ -3,12 +3,12 @@
 //! promotes itself — announcing the new m-router address and rebuilding
 //! every tree around the dead primary.
 
-use super::{MRouterState, Role, ScmpRouter, TIMER_REBUILD};
+use super::{MRouterState, Role, ScmpRouter, TIMER_REBUILD, TIMER_WATCHDOG_BASE};
 use crate::message::ScmpMsg;
 use crate::session::SessionDb;
 use crate::tree_packet::TreePacket;
 use scmp_net::NodeId;
-use scmp_sim::{Ctx, GroupId, Packet};
+use scmp_sim::{Ctx, GroupId, Packet, SimTime};
 use scmp_tree::Dcdm;
 use std::sync::Arc;
 
@@ -19,6 +19,23 @@ pub struct StandbyState {
     pub(super) membership: SessionDb,
     /// Bumped on every heartbeat; stale watchdog timers are ignored.
     pub(super) watchdog_gen: u64,
+    /// Earliest time a watchdog expiry may promote this standby. Every
+    /// heartbeat pushes it `heartbeat_loss_tolerance` intervals into the
+    /// future; a watchdog timer that fires before it (a stale timer
+    /// whose generation happens to match, e.g. after a demotion reset
+    /// the counter) is ignored instead of causing a spurious takeover.
+    pub(super) deadline: SimTime,
+}
+
+impl StandbyState {
+    /// Fresh standby state with nothing mirrored and no deadline.
+    pub(super) fn new() -> Self {
+        StandbyState {
+            membership: SessionDb::new(),
+            watchdog_gen: 0,
+            deadline: 0,
+        }
+    }
 }
 
 impl ScmpRouter {
@@ -30,6 +47,11 @@ impl ScmpRouter {
         };
         let mut state = Box::new(MRouterState::new());
         state.sessions = standby.membership;
+        // Outrank every generation the domain has seen: the old primary
+        // may still be alive (spurious promotion) and pushing trees of
+        // its own, and ours must win the staleness race everywhere.
+        state.gen_epoch =
+            ((self.gen_high_water >> super::GEN_EPOCH_SHIFT) + 1) << super::GEN_EPOCH_SHIFT;
         // Announce the new address to every router first; the rebuilt
         // TREE packets follow after `takeover_rebuild_delay`.
         for v in domain.topo.nodes() {
@@ -42,7 +64,58 @@ impl ScmpRouter {
         }
         self.m_router = me;
         self.role = Role::MRouter(state);
+        ctx.record_takeover();
         ctx.set_timer(domain.config.takeover_rebuild_delay, TIMER_REBUILD);
+    }
+
+    /// NewMRouter announcement processing, shared by every role.
+    ///
+    /// Besides the common re-pointing (believed address, forwarding
+    /// state, JOIN retry restart), a still-alive primary that hears
+    /// another node announce itself as m-router steps down: heartbeat
+    /// loss can promote the standby while the primary is healthy, and a
+    /// domain with two active m-routers would partition membership. The
+    /// deposed primary keeps its membership database as the new mirror,
+    /// arms its own watchdog, and rejoins as an ordinary DR.
+    pub(super) fn handle_new_mrouter(&mut self, address: NodeId, ctx: &mut Ctx<'_, ScmpMsg>) {
+        if address == self.me {
+            return; // our own (unicast-echoed) announcement
+        }
+        if self.is_m_router() {
+            let cfg = self.domain.config.clone();
+            let Role::MRouter(state) = std::mem::replace(&mut self.role, Role::IRouter) else {
+                unreachable!()
+            };
+            let mut standby = StandbyState::new();
+            standby.membership = state.sessions;
+            if cfg.heartbeat_interval > 0 {
+                let horizon =
+                    cfg.heartbeat_interval * 2 * u64::from(cfg.heartbeat_loss_tolerance.max(1));
+                standby.deadline = ctx.now() + horizon;
+                ctx.set_timer(horizon, TIMER_WATCHDOG_BASE);
+            }
+            self.role = Role::Standby(standby);
+        }
+        // The old trees are rooted at the previous primary: drop all
+        // forwarding state. The new m-router pushes rebuilt TREE packets
+        // after `takeover_rebuild_delay`; until they arrive, sources
+        // fall back to unicast encapsulation. Subnets that still have
+        // members re-mark their interface as pending so the rebuilt
+        // tree re-opens it on arrival.
+        self.m_router = address;
+        self.entries.clear();
+        self.flushed.clear();
+        self.pending_interfaces = self.subnet.active_groups().into_iter().collect();
+        // Restart the JOIN retry series toward the new address: the
+        // rebuilt TREE push may miss a DR whose original JOIN died with
+        // the primary.
+        let retry = self.domain.config.join_retry;
+        if retry > 0 {
+            for &g in &self.pending_interfaces {
+                self.join_attempts.insert(g, 0);
+                ctx.set_timer(retry, super::TIMER_JOIN_RETRY_BASE + g.0 as u64);
+            }
+        }
     }
 
     pub(super) fn rebuild_after_takeover(&mut self, ctx: &mut Ctx<'_, ScmpMsg>) {
@@ -89,10 +162,8 @@ impl ScmpRouter {
             entry.gen = gen;
             for &child in tree.children(me) {
                 let tp = TreePacket::from_tree(&tree, child);
-                ctx.send(
-                    child,
-                    Packet::control(group, ScmpMsg::Tree { gen, packet: tp }),
-                );
+                let pkt = Packet::control(group, ScmpMsg::Tree { gen, packet: tp });
+                self.send_tree_tracked(group, child, gen, pkt, ctx);
             }
             let Role::MRouter(state) = &mut self.role else {
                 unreachable!()

@@ -5,6 +5,7 @@ use super::queue::{EventKind, EventQueue};
 use super::telemetry::Telemetry;
 use super::transport::{CapacityModel, Transport};
 use super::{AppEvent, Ctx, Router, SimTime, TraceKind, TraceRecord};
+use crate::channel::ChannelModel;
 use crate::fault::{FaultEvent, FaultPlan};
 use crate::packet::{GroupId, PacketClass};
 use crate::stats::SimStats;
@@ -133,6 +134,11 @@ impl<R: Router> Engine<R> {
     /// bandwidth, zero queueing).
     pub fn set_capacity(&mut self, model: CapacityModel) {
         self.transport.set_capacity(model);
+    }
+
+    /// Install a channel impairment model (default: perfect channels).
+    pub fn set_channel(&mut self, model: ChannelModel) {
+        self.transport.set_channel(model);
     }
 
     /// Enable event tracing into a bounded in-memory ring (disabled by
@@ -396,9 +402,29 @@ impl<R: Router> Engine<R> {
                 }
                 continue;
             }
+            // A corrupted arrival fails the receiver's checksum: counted
+            // and traced as a drop, never dispatched to the protocol.
+            if let EventKind::Deliver {
+                corrupted: true, ..
+            } = kind
+            {
+                self.stats.drops += 1;
+                self.stats.channel_corrupted += 1;
+                if self.tele.on() {
+                    self.tele.emit(
+                        self.now,
+                        node,
+                        TeleKind::Drop {
+                            reason: DropReason::Corrupt,
+                            to: None,
+                        },
+                    );
+                }
+                continue;
+            }
             if self.tele.on() {
                 let tk = match &kind {
-                    EventKind::Deliver { from, pkt } => TeleKind::Deliver {
+                    EventKind::Deliver { from, pkt, .. } => TeleKind::Deliver {
                         from: from.0,
                         class: match pkt.class {
                             PacketClass::Data => TrafficClass::Data,
@@ -431,7 +457,7 @@ impl<R: Router> Engine<R> {
                 degraded,
             };
             match kind {
-                EventKind::Deliver { from, pkt } => {
+                EventKind::Deliver { from, pkt, .. } => {
                     self.routers[node.index()].on_packet(from, pkt, &mut ctx)
                 }
                 EventKind::Timer { token } => self.routers[node.index()].on_timer(token, &mut ctx),

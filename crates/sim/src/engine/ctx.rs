@@ -86,6 +86,33 @@ impl<'a, M: Clone + fmt::Debug> Ctx<'a, M> {
         }
     }
 
+    /// Record a control-plane retransmission (JOIN/LEAVE/TREE/BRANCH
+    /// retry): counted in the stats and, when telemetry is on, emitted
+    /// with the destination and attempt number.
+    pub fn record_retransmit(&mut self, group: u32, to: NodeId, attempt: u32) {
+        self.stats.retransmissions += 1;
+        if self.tele.on() {
+            self.tele.emit(
+                self.now,
+                self.node,
+                TeleKind::Retransmit {
+                    group,
+                    to: to.0,
+                    attempt,
+                },
+            );
+        }
+    }
+
+    /// Record a standby promotion to m-router (real or spurious — the
+    /// chaos invariants distinguish them by whether the primary was up).
+    pub fn record_takeover(&mut self) {
+        self.stats.takeovers += 1;
+        if self.tele.on() {
+            self.tele.emit(self.now, self.node, TeleKind::Takeover);
+        }
+    }
+
     /// Emit a drop event with its reason (telemetry-enabled runs only).
     fn trace_drop(&mut self, reason: DropReason, to: Option<NodeId>) {
         if self.tele.on() {
@@ -129,15 +156,64 @@ impl<'a, M: Clone + fmt::Debug> Ctx<'a, M> {
             return;
         };
         self.charge(pkt.class, w.cost);
-        let t = depart + w.delay;
+        // The channel rolls after the sender has paid for the
+        // transmission: bandwidth is spent whether or not the wire
+        // delivers.
+        let roll = self.transport.channel_roll(self.node, to);
+        if roll.drop {
+            self.stats.drops += 1;
+            self.stats.channel_dropped += 1;
+            self.trace_drop(DropReason::ChannelLoss, Some(to));
+            return;
+        }
+        let t = depart + w.delay + self.note_jitter(roll.jitter, to);
+        let dup = roll.duplicate.then(|| pkt.clone());
         self.push(
             t,
             to,
             EventKind::Deliver {
                 from: self.node,
+                corrupted: roll.corrupt,
                 pkt,
             },
         );
+        if let Some(pkt) = dup {
+            self.note_duplicate(to);
+            self.push(
+                t,
+                to,
+                EventKind::Deliver {
+                    from: self.node,
+                    corrupted: roll.corrupt,
+                    pkt,
+                },
+            );
+        }
+    }
+
+    /// Account a nonzero reorder jitter; returns it for the arrival-time
+    /// sum.
+    fn note_jitter(&mut self, jitter: SimTime, to: NodeId) -> SimTime {
+        if jitter > 0 {
+            self.stats.channel_reordered += 1;
+            if self.tele.on() {
+                self.tele.emit(
+                    self.now,
+                    self.node,
+                    TeleKind::ChannelReorder { to: to.0, jitter },
+                );
+            }
+        }
+        jitter
+    }
+
+    /// Account a channel duplication (the copy is pushed by the caller).
+    fn note_duplicate(&mut self, to: NodeId) {
+        self.stats.channel_duplicated += 1;
+        if self.tele.on() {
+            self.tele
+                .emit(self.now, self.node, TeleKind::ChannelDuplicate { to: to.0 });
+        }
     }
 
     /// Reserve the directed link `a -> b` through the transport and
@@ -165,6 +241,7 @@ impl<'a, M: Clone + fmt::Debug> Ctx<'a, M> {
                 dst,
                 EventKind::Deliver {
                     from: self.node,
+                    corrupted: false,
                     pkt,
                 },
             );
@@ -176,6 +253,14 @@ impl<'a, M: Clone + fmt::Debug> Ctx<'a, M> {
             return;
         };
         let mut at = self.now;
+        // Channel impairments accumulate across the tunnel's hops: a
+        // drop anywhere loses the packet (partially charged); corruption
+        // and duplication stick to the final delivery (a mid-path copy
+        // would fork the tunnel, which hop-by-hop forwarding without
+        // protocol visibility cannot model — the copy's later hops go
+        // uncharged, a documented approximation); jitter adds up.
+        let mut corrupted = false;
+        let mut duplicate = false;
         for hop in route.windows(2) {
             let (a, b) = (hop[0], hop[1]);
             if !self.transport.link_alive(a, b) {
@@ -191,10 +276,40 @@ impl<'a, M: Clone + fmt::Debug> Ctx<'a, M> {
             };
             let w = self.topo.link(a, b).expect("route follows links");
             self.charge(pkt.class, w.cost);
-            at = depart + w.delay;
+            let roll = self.transport.channel_roll(a, b);
+            if roll.drop {
+                self.stats.drops += 1;
+                self.stats.channel_dropped += 1;
+                self.trace_drop(DropReason::ChannelLoss, Some(b));
+                return;
+            }
+            corrupted |= roll.corrupt;
+            duplicate |= roll.duplicate;
+            at = depart + w.delay + self.note_jitter(roll.jitter, b);
         }
         let from = route[route.len() - 2];
-        self.push(at, dst, EventKind::Deliver { from, pkt });
+        let dup = duplicate.then(|| pkt.clone());
+        self.push(
+            at,
+            dst,
+            EventKind::Deliver {
+                from,
+                corrupted,
+                pkt,
+            },
+        );
+        if let Some(pkt) = dup {
+            self.note_duplicate(dst);
+            self.push(
+                at,
+                dst,
+                EventKind::Deliver {
+                    from,
+                    corrupted,
+                    pkt,
+                },
+            );
+        }
     }
 
     /// Arm a timer that fires `delay` ticks from now with `token`.

@@ -19,8 +19,16 @@ use std::collections::BinaryHeap;
 
 /// What a queued event does when it fires.
 pub(crate) enum EventKind<M> {
-    Deliver { from: NodeId, pkt: Packet<M> },
-    Timer { token: u64 },
+    Deliver {
+        from: NodeId,
+        /// Flipped by the channel model: the receiver's checksum will
+        /// reject the packet (a counted drop, never dispatched).
+        corrupted: bool,
+        pkt: Packet<M>,
+    },
+    Timer {
+        token: u64,
+    },
     App(AppEvent),
     Fault(FaultEvent),
 }

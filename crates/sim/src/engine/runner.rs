@@ -11,6 +11,7 @@
 use super::core::Engine;
 use super::transport::CapacityModel;
 use super::{AppEvent, Router, SimTime, TraceRecord};
+use crate::channel::ChannelModel;
 use crate::fault::{FaultEvent, FaultPlan};
 use crate::stats::SimStats;
 use scmp_net::{NodeId, Topology};
@@ -26,6 +27,8 @@ pub trait EngineRunner {
     fn schedule_fault_plan(&mut self, plan: &FaultPlan);
     /// Enable the finite link-capacity model.
     fn set_capacity(&mut self, model: CapacityModel);
+    /// Install a channel impairment model.
+    fn set_channel(&mut self, model: ChannelModel);
     /// Override the runaway-protection event limit.
     fn set_event_limit(&mut self, limit: u64);
     /// Enable event tracing into the default bounded in-memory ring.
@@ -69,6 +72,9 @@ impl<R: Router> EngineRunner for Engine<R> {
     }
     fn set_capacity(&mut self, model: CapacityModel) {
         Engine::set_capacity(self, model);
+    }
+    fn set_channel(&mut self, model: ChannelModel) {
+        Engine::set_channel(self, model);
     }
     fn set_event_limit(&mut self, limit: u64) {
         Engine::set_event_limit(self, limit);

@@ -8,6 +8,7 @@
 //! unit-testable in isolation (see the tests at the bottom).
 
 use super::SimTime;
+use crate::channel::{ChannelModel, ChannelOutcome};
 use scmp_net::NodeId;
 use std::collections::{HashMap, HashSet};
 
@@ -74,6 +75,7 @@ pub struct Transport {
     down_nodes: usize,
     link_down: HashSet<(NodeId, NodeId)>,
     capacity: Option<CapacityModel>,
+    channel: Option<ChannelModel>,
     link_busy: HashMap<(NodeId, NodeId), SimTime>,
 }
 
@@ -85,6 +87,7 @@ impl Transport {
             down_nodes: 0,
             link_down: HashSet::new(),
             capacity: None,
+            channel: None,
             link_busy: HashMap::new(),
         }
     }
@@ -93,6 +96,21 @@ impl Transport {
     /// bandwidth, zero queueing).
     pub fn set_capacity(&mut self, model: CapacityModel) {
         self.capacity = Some(model);
+    }
+
+    /// Install a channel impairment model (default: perfect channels).
+    pub fn set_channel(&mut self, model: ChannelModel) {
+        self.channel = Some(model);
+    }
+
+    /// Roll the channel for one packet on the directed link `a -> b`.
+    /// Without a model (or for a link whose spec is a no-op) this is the
+    /// perfect-channel outcome and costs no RNG draws.
+    pub fn channel_roll(&mut self, a: NodeId, b: NodeId) -> ChannelOutcome {
+        match &mut self.channel {
+            Some(ch) => ch.roll(a, b),
+            None => ChannelOutcome::default(),
+        }
     }
 
     fn key(a: NodeId, b: NodeId) -> (NodeId, NodeId) {

@@ -171,22 +171,28 @@ impl FaultPlan {
     }
 
     /// Check every fault against `topo`: link faults must name existing
-    /// links, router faults existing nodes.
+    /// links, router faults existing nodes. Errors name the offending
+    /// entry by index (`fault[2]: link 7-9 not in topology`) so a typo
+    /// in a long scenario schedule is found without bisecting the file.
     pub fn validate(&self, topo: &Topology) -> Result<(), String> {
         let n = topo.node_count();
-        for spec in &self.faults {
+        for (i, spec) in self.faults.iter().enumerate() {
             match spec.fault {
                 FaultKind::LinkDown { a, b } | FaultKind::LinkUp { a, b } => {
                     if a as usize >= n || b as usize >= n {
-                        return Err(format!("fault link {a}-{b}: node out of range"));
+                        return Err(format!(
+                            "fault[{i}]: link {a}-{b} names a node out of range (topology has {n} nodes)"
+                        ));
                     }
                     if !topo.has_link(NodeId(a), NodeId(b)) {
-                        return Err(format!("fault link {a}-{b} does not exist"));
+                        return Err(format!("fault[{i}]: link {a}-{b} not in topology"));
                     }
                 }
                 FaultKind::RouterCrash { node } | FaultKind::RouterRecover { node } => {
                     if node as usize >= n {
-                        return Err(format!("fault node {node} out of range"));
+                        return Err(format!(
+                            "fault[{i}]: node {node} out of range (topology has {n} nodes)"
+                        ));
                     }
                 }
             }
@@ -240,21 +246,24 @@ mod tests {
         assert_eq!(good.faults.len(), 3);
         assert!(good.validate(&topo).is_ok());
 
-        let no_such_link = FaultPlan::new().at(0, FaultKind::LinkDown { a: 0, b: 3 });
-        assert!(no_such_link
-            .validate(&topo)
-            .unwrap_err()
-            .contains("does not exist"));
+        let no_such_link = FaultPlan::new()
+            .at(0, FaultKind::RouterCrash { node: 3 })
+            .at(0, FaultKind::LinkDown { a: 0, b: 3 });
+        assert_eq!(
+            no_such_link.validate(&topo).unwrap_err(),
+            "fault[1]: link 0-3 not in topology",
+            "the error names the offending entry by index"
+        );
         let bad_node = FaultPlan::new().at(0, FaultKind::RouterCrash { node: 9 });
-        assert!(bad_node
-            .validate(&topo)
-            .unwrap_err()
-            .contains("out of range"));
+        assert_eq!(
+            bad_node.validate(&topo).unwrap_err(),
+            "fault[0]: node 9 out of range (topology has 4 nodes)"
+        );
         let bad_endpoint = FaultPlan::new().at(0, FaultKind::LinkUp { a: 0, b: 99 });
-        assert!(bad_endpoint
-            .validate(&topo)
-            .unwrap_err()
-            .contains("out of range"));
+        assert_eq!(
+            bad_endpoint.validate(&topo).unwrap_err(),
+            "fault[0]: link 0-99 names a node out of range (topology has 4 nodes)"
+        );
     }
 
     #[test]

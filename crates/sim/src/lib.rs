@@ -30,11 +30,13 @@
 //! `engine::core`. [`EngineRunner`] erases `Engine<R>` so heterogeneous
 //! scenario drivers can hold any protocol's engine behind one vtable.
 
+pub mod channel;
 pub mod engine;
 pub mod fault;
 pub mod packet;
 pub mod stats;
 
+pub use channel::{ChannelLinkSpec, ChannelModel, ChannelOutcome, ChannelPlan, ChannelSpec};
 pub use engine::{
     AppEvent, CapacityModel, Ctx, Engine, EngineRunner, LinkSlot, Router, SimTime, TraceKind,
     TraceRecord, Transport,

@@ -24,6 +24,19 @@ pub struct SimStats {
     pub drops: u64,
     /// Subset of `drops` caused by link-queue overflow (congestion).
     pub queue_drops: u64,
+    /// Subset of `drops` lost by the channel model on the wire.
+    pub channel_dropped: u64,
+    /// Packets the channel model delivered twice.
+    pub channel_duplicated: u64,
+    /// Packets the channel model delayed by a reorder jitter.
+    pub channel_reordered: u64,
+    /// Subset of `drops` that arrived corrupted and failed the
+    /// receiver's checksum.
+    pub channel_corrupted: u64,
+    /// Control-plane retransmissions (JOIN/LEAVE/TREE/BRANCH retries).
+    pub retransmissions: u64,
+    /// Standby promotions to m-router (spurious ones included).
+    pub takeovers: u64,
     /// Total ticks packets spent waiting in link queues.
     pub queueing_delay_total: u64,
     /// Largest single queueing wait observed.
@@ -178,6 +191,16 @@ impl SimStats {
             self.faults_injected,
             self.repairs,
             self.max_repair_latency
+        );
+        let _ = writeln!(
+            out,
+            "channel: dropped={} duplicated={} reordered={} corrupted={} | retransmissions={} takeovers={}",
+            self.channel_dropped,
+            self.channel_duplicated,
+            self.channel_reordered,
+            self.channel_corrupted,
+            self.retransmissions,
+            self.takeovers
         );
         let _ = writeln!(
             out,

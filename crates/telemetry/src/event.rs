@@ -61,6 +61,10 @@ pub enum DropReason {
     NonNeighbour,
     /// A protocol decision (e.g. packet from outside the forwarding set).
     Protocol,
+    /// The channel model lost the packet on the wire.
+    ChannelLoss,
+    /// The packet arrived corrupted and failed the receiver's checksum.
+    Corrupt,
 }
 
 impl DropReason {
@@ -73,6 +77,8 @@ impl DropReason {
             DropReason::NoRoute => "no_route",
             DropReason::NonNeighbour => "non_neighbour",
             DropReason::Protocol => "protocol",
+            DropReason::ChannelLoss => "channel_loss",
+            DropReason::Corrupt => "corrupt",
         }
     }
 
@@ -84,6 +90,8 @@ impl DropReason {
             "no_route" => Some(DropReason::NoRoute),
             "non_neighbour" => Some(DropReason::NonNeighbour),
             "protocol" => Some(DropReason::Protocol),
+            "channel_loss" => Some(DropReason::ChannelLoss),
+            "corrupt" => Some(DropReason::Corrupt),
             _ => None,
         }
     }
@@ -131,6 +139,16 @@ pub enum EventKind {
         down_nodes: u64,
         deliveries: u64,
     },
+    /// The channel model delivered a second copy of a packet to `to`.
+    ChannelDuplicate { to: u32 },
+    /// The channel model delayed a packet to `to` by `jitter` extra
+    /// ticks (later packets can overtake it).
+    ChannelReorder { to: u32, jitter: u64 },
+    /// The node retransmitted a control message to `to` (attempt
+    /// numbers start at 1).
+    Retransmit { group: u32, to: u32, attempt: u32 },
+    /// A standby promoted itself to m-router.
+    Takeover,
 }
 
 /// Append `s` to `out` as a JSON string literal (surrounding quotes
@@ -245,6 +263,24 @@ impl Event {
                     ",\"kind\":\"gauge\",\"queue_depth\":{queue_depth},\"down_links\":{down_links},\"down_nodes\":{down_nodes},\"deliveries\":{deliveries}"
                 );
             }
+            EventKind::ChannelDuplicate { to } => {
+                let _ = write!(out, ",\"kind\":\"channel_duplicate\",\"to\":{to}");
+            }
+            EventKind::ChannelReorder { to, jitter } => {
+                let _ = write!(
+                    out,
+                    ",\"kind\":\"channel_reorder\",\"to\":{to},\"jitter\":{jitter}"
+                );
+            }
+            EventKind::Retransmit { group, to, attempt } => {
+                let _ = write!(
+                    out,
+                    ",\"kind\":\"retransmit\",\"group\":{group},\"to\":{to},\"attempt\":{attempt}"
+                );
+            }
+            EventKind::Takeover => {
+                let _ = write!(out, ",\"kind\":\"takeover\"");
+            }
         }
         out.push('}');
     }
@@ -309,6 +345,8 @@ struct RawEvent {
     down_links: Option<u64>,
     down_nodes: Option<u64>,
     deliveries: Option<u64>,
+    jitter: Option<u64>,
+    attempt: Option<u32>,
 }
 
 impl RawEvent {
@@ -372,6 +410,19 @@ impl RawEvent {
                 down_nodes: need(self.down_nodes, "down_nodes", "gauge")?,
                 deliveries: need(self.deliveries, "deliveries", "gauge")?,
             },
+            "channel_duplicate" => EventKind::ChannelDuplicate {
+                to: need(self.to, "to", "channel_duplicate")?,
+            },
+            "channel_reorder" => EventKind::ChannelReorder {
+                to: need(self.to, "to", "channel_reorder")?,
+                jitter: need(self.jitter, "jitter", "channel_reorder")?,
+            },
+            "retransmit" => EventKind::Retransmit {
+                group: need(self.group, "group", "retransmit")?,
+                to: need(self.to, "to", "retransmit")?,
+                attempt: need(self.attempt, "attempt", "retransmit")?,
+            },
+            "takeover" => EventKind::Takeover,
             other => return Err(format!("unknown event kind {other:?}")),
         };
         Ok(Event {
@@ -487,6 +538,46 @@ mod tests {
                     down_nodes: 0,
                     deliveries: 6,
                 },
+            },
+            Event {
+                time: 15,
+                node: 2,
+                kind: EventKind::Drop {
+                    reason: DropReason::ChannelLoss,
+                    to: Some(4),
+                },
+            },
+            Event {
+                time: 16,
+                node: 2,
+                kind: EventKind::Drop {
+                    reason: DropReason::Corrupt,
+                    to: None,
+                },
+            },
+            Event {
+                time: 17,
+                node: 2,
+                kind: EventKind::ChannelDuplicate { to: 4 },
+            },
+            Event {
+                time: 18,
+                node: 2,
+                kind: EventKind::ChannelReorder { to: 4, jitter: 11 },
+            },
+            Event {
+                time: 19,
+                node: 2,
+                kind: EventKind::Retransmit {
+                    group: 1,
+                    to: 0,
+                    attempt: 2,
+                },
+            },
+            Event {
+                time: 20,
+                node: 6,
+                kind: EventKind::Takeover,
             },
         ]
     }

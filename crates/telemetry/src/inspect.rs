@@ -315,6 +315,10 @@ impl Trace {
                 EventKind::Drop { .. } => "drop",
                 EventKind::Repair { .. } => "repair",
                 EventKind::Gauge { .. } => "gauge",
+                EventKind::ChannelDuplicate { .. } => "channel_duplicate",
+                EventKind::ChannelReorder { .. } => "channel_reorder",
+                EventKind::Retransmit { .. } => "retransmit",
+                EventKind::Takeover => "takeover",
             };
             *by_kind.entry(name).or_insert(0) += 1;
         }

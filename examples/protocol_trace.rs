@@ -67,6 +67,14 @@ fn main() {
             EventKind::Repair { latency } => {
                 format!("completes a tree repair ({latency} ticks after the fault)")
             }
+            EventKind::ChannelDuplicate { to } => format!("channel duplicates a send to n{to}"),
+            EventKind::ChannelReorder { to, jitter } => {
+                format!("channel delays a send to n{to} by {jitter} ticks")
+            }
+            EventKind::Retransmit { group, to, attempt } => {
+                format!("retransmits g{group} tree state to n{to} (attempt {attempt})")
+            }
+            EventKind::Takeover => "standby promotes itself to m-router".to_string(),
             EventKind::Gauge { .. } => continue,
         };
         println!("{:>6}  n{:<5} {}", ev.time, ev.node, what);

@@ -46,6 +46,13 @@ sweep-serial seeds="10":
 sweep-speedup seeds="3" jobs="4":
     cargo run --release -p scmp-bench --bin sweep_speedup -- {{seeds}} --jobs {{jobs}}
 
+# Adversarial-channel degradation sweep: delivery ratio and overhead
+# across loss rates on the ARPANET topology, invariants asserted per
+# cell; writes bench_results/chaos.json. Parallel runs re-check byte
+# identity against a serial pass.
+chaos seeds="3":
+    cargo run --release -p scmp-bench --bin chaos -- {{seeds}}
+
 # Query a JSONL telemetry trace, e.g.:
 #   just inspect bench_results/failstorm_trace.jsonl --audit
 inspect +args:
@@ -61,3 +68,4 @@ telemetry-tour:
 golden-update:
     UPDATE_GOLDEN=1 cargo test -p scmp-integration --test golden_trace
     UPDATE_GOLDEN=1 cargo test -p scmp-integration --test telemetry
+    UPDATE_GOLDEN=1 cargo test -p scmp-integration --test lossy_control_plane

@@ -9,10 +9,16 @@ cargo fmt --check
 cargo clippy --workspace -- -D warnings
 cargo build --release
 cargo test -q
-# Re-run the determinism guard with the sweep executor forced onto a
+# Re-run the determinism guards with the sweep executor forced onto a
 # multi-worker pool: parallel fan-out must reproduce serial output byte
-# for byte even on single-core CI hosts.
+# for byte even on single-core CI hosts. The chaos sweep covers the
+# seeded channel model: impaired runs must also replay identically.
 SCMP_JOBS=2 cargo test -q -p scmp-integration --test determinism
+SCMP_JOBS=2 cargo test -q --release -p scmp-bench --lib chaos::
+# Fast loss-invariant scenario: 5% and 15% control-plane loss on the
+# fig-scale topology — eventual grafting, no duplicate delivery, no
+# spurious takeover.
+cargo test -q -p scmp-integration --test lossy_control_plane
 # Delivery audit over the committed golden trace: scmp-inspect exits
 # non-zero on any duplicate delivery or unaccounted drop.
 cargo run -q --release -p scmp-bench --bin scmp-inspect -- \

@@ -1,0 +1,274 @@
+//! Control-plane robustness under an adversarial channel: standby
+//! takeover behaviour with lossy heartbeats, and the loss-invariant
+//! suite on the fig-scale topology.
+//!
+//! Every scenario is seeded and deterministic: the channel model draws
+//! from per-link RNG streams, so a run that passes here replays
+//! bit-for-bit forever.
+
+use scmp_core::router::{ScmpConfig, ScmpRouter};
+use scmp_integration::G;
+use scmp_net::topology::examples::fig5;
+use scmp_net::NodeId;
+use scmp_protocols::build_scmp_engine;
+use scmp_sim::{
+    AppEvent, ChannelLinkSpec, ChannelModel, ChannelPlan, ChannelSpec, Engine, FaultKind,
+    FaultPlan, RingSink,
+};
+use scmp_telemetry::{encode_events, Trace};
+
+const MEMBERS: [u32; 3] = [4, 3, 5];
+
+const GOLDEN: &str = include_str!("../golden/lossy_events.jsonl");
+
+/// Fig. 5 engine with the full robustness suite on — hot standby at
+/// node 2, fast heartbeats, and every retry knob scaled to the
+/// topology's tick-scale delays — plus the standard member set.
+fn engine_with_standby(tolerance: u32) -> Engine<ScmpRouter> {
+    let mut cfg = ScmpConfig::new(NodeId(0));
+    cfg.standby = Some(NodeId(2));
+    cfg.heartbeat_interval = 500;
+    cfg.heartbeat_loss_tolerance = tolerance;
+    cfg.takeover_rebuild_delay = 500;
+    cfg.join_retry = 500;
+    cfg.leave_retry = 500;
+    cfg.tree_retry = 500;
+    let mut e = build_scmp_engine(fig5(), cfg);
+    for (k, m) in MEMBERS.iter().enumerate() {
+        e.schedule_app(k as u64 * 1_000, NodeId(*m), AppEvent::Join(G));
+    }
+    e
+}
+
+fn assert_members_grafted(e: &Engine<ScmpRouter>) {
+    for m in MEMBERS {
+        let entry = e.router(NodeId(m)).entry(G);
+        assert!(
+            entry.is_some_and(|en| en.local_interface),
+            "member {m} never grafted onto the tree"
+        );
+    }
+}
+
+/// Invariant 3 of the chaos suite, isolated: heartbeats cross the lossy
+/// 0–2 link and a third of them die, but runs of `tolerance`
+/// consecutive losses never happen at this seed — so the standby must
+/// sit tight. (A takeover here would be the false-fire the
+/// generation-stamped, deadline-guarded watchdog exists to prevent.)
+#[test]
+fn no_false_takeover_below_heartbeat_loss_threshold() {
+    let mut e = engine_with_standby(8);
+    let plan = ChannelPlan {
+        seed: 1,
+        default: None,
+        links: vec![ChannelLinkSpec {
+            a: 0,
+            b: 2,
+            drop: 0.3,
+            duplicate: 0.0,
+            corrupt: 0.0,
+            reorder_window: 0,
+        }],
+    };
+    plan.validate(e.topo()).unwrap();
+    e.set_channel(ChannelModel::from_plan(&plan).unwrap());
+    for (tag, t) in [(1u64, 60_000u64), (2, 80_000)] {
+        e.schedule_app(t, NodeId(1), AppEvent::Send { group: G, tag });
+    }
+    e.run_until(100_000);
+
+    let s = e.stats();
+    assert!(s.channel_dropped > 0, "the lossy link never dropped");
+    assert_eq!(s.takeovers, 0, "standby promoted below the loss threshold");
+    assert!(
+        e.router(NodeId(0)).is_m_router() && !e.router(NodeId(2)).is_m_router(),
+        "roles drifted without a takeover"
+    );
+    assert_members_grafted(&e);
+    assert!(!s.has_duplicate_deliveries());
+}
+
+/// A real crash must still promote the standby even when the channel is
+/// eating a tenth of every packet — and the hop-by-hop tree ARQ plus
+/// JOIN retries must re-graft every member under the new root.
+#[test]
+fn takeover_after_real_crash_survives_channel_loss() {
+    let mut e = engine_with_standby(6);
+    e.set_channel(ChannelModel::uniform_loss(0.10, 3));
+    let plan = FaultPlan::new().at(20_000, FaultKind::RouterCrash { node: 0 });
+    plan.validate(e.topo()).unwrap();
+    e.schedule_fault_plan(&plan);
+    e.run_until(150_000);
+
+    let s = e.stats();
+    assert_eq!(
+        s.takeovers, 1,
+        "crash must promote the standby exactly once"
+    );
+    assert!(
+        e.router(NodeId(2)).is_m_router(),
+        "standby never promoted itself after the crash"
+    );
+    assert_members_grafted(&e);
+    assert!(!s.has_duplicate_deliveries());
+}
+
+/// Spurious promotion and recovery: isolating the primary (every one of
+/// node 0's links down — a single cut won't do, the IGP reconverges
+/// unicast routes around it) silences its heartbeats without killing
+/// it, so the standby promotes while the primary is alive. When the
+/// partition heals, the primary's next heartbeat reaches the promoted
+/// standby, which repeats its NewMRouter announcement until the old
+/// primary steps down — one m-router, no split brain, and the takeover
+/// generation epoch lets the new root's trees outrank everything the
+/// old primary installed.
+#[test]
+fn old_primary_rejoining_after_spurious_promotion_steps_down() {
+    let mut e = engine_with_standby(6);
+    let plan = FaultPlan::new()
+        .at(20_000, FaultKind::LinkDown { a: 0, b: 1 })
+        .at(20_000, FaultKind::LinkDown { a: 0, b: 2 })
+        .at(20_000, FaultKind::LinkDown { a: 0, b: 3 })
+        .at(60_000, FaultKind::LinkUp { a: 0, b: 1 })
+        .at(60_000, FaultKind::LinkUp { a: 0, b: 2 })
+        .at(60_000, FaultKind::LinkUp { a: 0, b: 3 });
+    plan.validate(e.topo()).unwrap();
+    e.schedule_fault_plan(&plan);
+    // One payload per phase: intact, partitioned (the promoted standby
+    // serves it), and healed (the demoted primary must not black-hole).
+    let mut expected = Vec::new();
+    for (tag, t) in [(1u64, 10_000u64), (2, 45_000), (3, 100_000)] {
+        e.schedule_app(t, NodeId(1), AppEvent::Send { group: G, tag });
+        for m in MEMBERS {
+            expected.push((G, tag, NodeId(m)));
+        }
+    }
+    e.run_until(150_000);
+
+    let s = e.stats();
+    assert_eq!(s.takeovers, 1, "heartbeat silence must promote the standby");
+    assert!(
+        e.router(NodeId(2)).is_m_router(),
+        "promoted standby must stay the m-router"
+    );
+    assert!(
+        !e.router(NodeId(0)).is_m_router(),
+        "old primary must step down after hearing the announcement"
+    );
+    for n in [1u32, 3, 4, 5] {
+        assert_eq!(
+            e.router(NodeId(n)).m_router_address(),
+            NodeId(2),
+            "node {n} still believes in the deposed primary"
+        );
+    }
+    assert_eq!(
+        s.delivery_ratio(expected.iter().copied()),
+        1.0,
+        "every phase's payload must reach every member"
+    );
+    assert_members_grafted(&e);
+    assert!(!s.has_duplicate_deliveries());
+}
+
+/// The pinned lossy scenario: every impairment class enabled at once
+/// (drop, duplicate, corrupt, reorder) on a fixed seed, captured as
+/// structured telemetry. Pins the channel model's RNG stream layout and
+/// the hardened control plane's reaction, line by line. Refresh after
+/// an intentional change with:
+///
+/// ```text
+/// UPDATE_GOLDEN=1 cargo test -p scmp-integration --test lossy_control_plane
+/// ```
+fn run_pinned_lossy_scenario() -> Engine<ScmpRouter> {
+    let mut e = engine_with_standby(8);
+    e.set_sink(Box::new(RingSink::new(1 << 16)));
+    let plan = ChannelPlan {
+        seed: 42,
+        default: Some(ChannelSpec {
+            drop: 0.15,
+            duplicate: 0.05,
+            corrupt: 0.05,
+            reorder_window: 3,
+        }),
+        links: Vec::new(),
+    };
+    e.set_channel(ChannelModel::from_plan(&plan).unwrap());
+    for (tag, t) in [(1u64, 20_000u64), (2, 30_000), (3, 40_000), (4, 50_000)] {
+        e.schedule_app(t, NodeId(1), AppEvent::Send { group: G, tag });
+    }
+    e.run_until(60_000);
+    e
+}
+
+#[test]
+fn pinned_lossy_scenario_matches_golden_jsonl() {
+    let mut e = run_pinned_lossy_scenario();
+    e.flush_telemetry();
+    let got = encode_events(&e.events());
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/golden/lossy_events.jsonl");
+        std::fs::write(path, &got).expect("write golden file");
+        return;
+    }
+    for (i, (g, w)) in got.lines().zip(GOLDEN.lines()).enumerate() {
+        assert_eq!(
+            g,
+            w,
+            "lossy JSONL trace diverges at line {} (UPDATE_GOLDEN=1 to refresh)",
+            i + 1
+        );
+    }
+    assert_eq!(
+        got.lines().count(),
+        GOLDEN.lines().count(),
+        "trace length changed"
+    );
+}
+
+/// The committed lossy golden itself audits clean: impairments recorded,
+/// no duplicate delivery reaches any member, and every missing delivery
+/// is explained by a recorded drop.
+#[test]
+fn lossy_golden_trace_audits_clean() {
+    let trace = Trace::parse(GOLDEN).expect("golden JSONL parses");
+    let audit = trace.audit();
+    assert!(audit.passed(), "lossy audit failed:\n{}", audit.report());
+    assert_eq!(audit.sends, 4);
+    assert!(!audit.drops.is_empty(), "channel drops must be recorded");
+}
+
+/// The acceptance-criteria invariant suite on the fig-scale topology:
+/// at 5% and 15% uniform control-plane loss, every member is eventually
+/// grafted, no member hears a payload twice, and the standby never
+/// promotes while the primary is alive.
+#[test]
+fn fig_scale_invariants_hold_at_5_and_15_percent_loss() {
+    for loss in [0.05f64, 0.15] {
+        for seed in 0..3u64 {
+            let mut e = engine_with_standby(12);
+            e.set_channel(ChannelModel::uniform_loss(loss, seed));
+            for tag in 1..=10u64 {
+                e.schedule_app(
+                    100_000 + tag * 2_000,
+                    NodeId(1),
+                    AppEvent::Send { group: G, tag },
+                );
+            }
+            e.run_until(150_000);
+
+            let s = e.stats();
+            let tag = format!("(loss={loss}, seed={seed})");
+            assert!(s.channel_dropped > 0, "{tag}: channel never dropped");
+            assert_eq!(s.takeovers, 0, "{tag}: spurious takeover");
+            assert_members_grafted(&e);
+            assert!(!s.has_duplicate_deliveries(), "{tag}: duplicate delivery");
+            // Ten payloads, three members, ≤ 2 lossy hops each: every
+            // member hears at least one even at 15% loss.
+            for m in MEMBERS {
+                let heard = (1..=10u64).any(|t| s.delivery_ratio([(G, t, NodeId(m))]) == 1.0);
+                assert!(heard, "{tag}: member {m} heard no payload at all");
+            }
+        }
+    }
+}

@@ -135,6 +135,12 @@ impl BytesMut {
     }
 }
 
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.vec
+    }
+}
+
 /// Read cursor over a byte buffer (big-endian accessors).
 pub trait Buf {
     /// Bytes left to read.

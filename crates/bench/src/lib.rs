@@ -26,4 +26,5 @@ pub mod placement_exp;
 pub mod plot;
 pub mod report;
 pub mod scenario_file;
+pub mod stress;
 pub mod sweep;

@@ -241,6 +241,48 @@ pub struct ScenarioFile {
     pub run_until: Option<u64>,
 }
 
+/// The tagged sends of a timeline, in time order.
+pub type SentList = Vec<(GroupId, u64)>;
+/// Every `(group, tag, receiver)` triple a correct protocol must
+/// satisfy for a timeline.
+pub type ExpectedList = Vec<(GroupId, u64, NodeId)>;
+
+/// The delivery expectations a scenario's timeline implies: the sends
+/// in time order and, for each, every `(group, tag, receiver)` triple a
+/// correct protocol must satisfy — a send is expected at every DR whose
+/// subnet had joined the group (net of leaves) strictly before it. The
+/// runner scores `delivery_ratio` against exactly this set; the stress
+/// oracle reuses it to name the members a failing run stranded.
+pub fn expected_deliveries(spec: &ScenarioFile) -> (SentList, ExpectedList) {
+    let mut ordered: Vec<&EventSpec> = spec.events.iter().collect();
+    ordered.sort_by_key(|ev| ev.time);
+    let mut membership: std::collections::BTreeMap<(u32, u32), i64> =
+        std::collections::BTreeMap::new();
+    let mut expected: Vec<(GroupId, u64, NodeId)> = Vec::new();
+    let mut sent: Vec<(GroupId, u64)> = Vec::new();
+    let mut auto_tag = 0u64;
+    for ev in &ordered {
+        match ev.op.as_str() {
+            "join" => *membership.entry((ev.group, ev.node)).or_insert(0) += 1,
+            "leave" => *membership.entry((ev.group, ev.node)).or_insert(0) -= 1,
+            "send" => {
+                let tag = ev.tag.unwrap_or_else(|| {
+                    auto_tag += 1;
+                    auto_tag | 1 << 32 // auto tags never collide with explicit small tags
+                });
+                sent.push((GroupId(ev.group), tag));
+                for (&(g, node), &count) in &membership {
+                    if g == ev.group && count > 0 {
+                        expected.push((GroupId(ev.group), tag, NodeId(node)));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    (sent, expected)
+}
+
 /// Result summary the runner prints as JSON.
 #[derive(Clone, Debug, Serialize)]
 pub struct ScenarioResult {
@@ -260,6 +302,8 @@ pub struct ScenarioResult {
     /// Fraction of membership-expected `(group, tag, receiver)` triples
     /// actually delivered.
     pub delivery_ratio: f64,
+    /// Size of that expected set (0 ⇒ the ratio is vacuously 1.0).
+    pub expected_deliveries: u64,
     /// Tree repairs completed by the m-router scan.
     pub repairs: u64,
     /// Worst failure→repair latency observed.
@@ -277,6 +321,10 @@ pub struct ScenarioResult {
     pub takeovers: u64,
     /// Gauge samples captured (0 unless `telemetry.gauge_interval` set).
     pub gauge_samples: u64,
+    /// Every *live* router claiming the m-router role when the run
+    /// ended, in node order. More than one entry is a split brain; an
+    /// empty list means the (sole) m-router died and nothing took over.
+    pub m_routers_at_end: Vec<u32>,
     /// Per (group, tag): how many routers' subnets received it.
     pub deliveries: Vec<DeliveryLine>,
 }
@@ -512,39 +560,21 @@ fn run_scenario_inner(json: &str, capture: Option<&SharedBuf>) -> Result<Scenari
         }
     }
 
-    // Membership timeline (time-ordered, stable on ties) for the
-    // expected-delivery set: a send is expected at every DR whose subnet
-    // had joined the group (net of leaves) strictly before the send.
+    // Delivery expectations from the membership timeline (time-ordered,
+    // stable on ties), then the schedule itself — sends consume their
+    // tags from `sent` so the two passes can never disagree.
+    let (sent, expected) = expected_deliveries(&spec);
     let mut ordered: Vec<&EventSpec> = spec.events.iter().collect();
     ordered.sort_by_key(|ev| ev.time);
-    let mut membership: std::collections::BTreeMap<(u32, u32), i64> =
-        std::collections::BTreeMap::new();
-    let mut expected: Vec<(GroupId, u64, NodeId)> = Vec::new();
-
-    let mut auto_tag = 0u64;
-    let mut sent: Vec<(GroupId, u64)> = Vec::new();
+    let mut next_send = sent.iter();
     for ev in &ordered {
         let group = GroupId(ev.group);
         let app = match ev.op.as_str() {
-            "join" => {
-                *membership.entry((ev.group, ev.node)).or_insert(0) += 1;
-                AppEvent::Join(group)
-            }
-            "leave" => {
-                *membership.entry((ev.group, ev.node)).or_insert(0) -= 1;
-                AppEvent::Leave(group)
-            }
+            "join" => AppEvent::Join(group),
+            "leave" => AppEvent::Leave(group),
             "send" => {
-                let tag = ev.tag.unwrap_or_else(|| {
-                    auto_tag += 1;
-                    auto_tag | 1 << 32 // auto tags never collide with explicit small tags
-                });
-                sent.push((group, tag));
-                for (&(g, node), &count) in &membership {
-                    if g == ev.group && count > 0 {
-                        expected.push((group, tag, NodeId(node)));
-                    }
-                }
+                let &(g, tag) = next_send.next().expect("one sent entry per send event");
+                debug_assert_eq!(g, group);
                 AppEvent::Send { group, tag }
             }
             _ => unreachable!("validated above"),
@@ -576,6 +606,11 @@ fn run_scenario_inner(json: &str, capture: Option<&SharedBuf>) -> Result<Scenari
 
     engine.flush_telemetry();
     let gauge_samples = engine.gauges().len() as u64;
+    let m_routers_at_end: Vec<u32> = topo
+        .nodes()
+        .filter(|&v| engine.node_is_up(v) && engine.router(v).is_m_router())
+        .map(|v| v.0)
+        .collect();
     let stats: &SimStats = engine.stats();
     let delivery_ratio = stats.delivery_ratio(expected.iter().copied());
     let deliveries = sent
@@ -600,6 +635,7 @@ fn run_scenario_inner(json: &str, capture: Option<&SharedBuf>) -> Result<Scenari
         queue_drops: stats.queue_drops,
         faults_injected: stats.faults_injected,
         delivery_ratio,
+        expected_deliveries: expected.len() as u64,
         repairs: stats.repairs,
         max_repair_latency: stats.max_repair_latency,
         data_overhead_during_failure: stats.data_overhead_during_failure,
@@ -611,6 +647,7 @@ fn run_scenario_inner(json: &str, capture: Option<&SharedBuf>) -> Result<Scenari
         retransmissions: stats.retransmissions,
         takeovers: stats.takeovers,
         gauge_samples,
+        m_routers_at_end,
         deliveries,
     })
 }
@@ -706,6 +743,27 @@ mod tests {
         // because the source is a member and every tree edge carries the
         // packet exactly once.
         assert_eq!(r.data_overhead, 17);
+    }
+
+    #[test]
+    fn expectations_and_role_probe_surface_in_result() {
+        let r = run_scenario(BASIC).unwrap();
+        assert_eq!(
+            r.expected_deliveries, 2,
+            "two members joined before the send"
+        );
+        assert_eq!(
+            r.m_routers_at_end,
+            vec![r.m_router],
+            "exactly the resolved m-router holds the role on a healthy run"
+        );
+        let spec: ScenarioFile = serde_json::from_str(BASIC).unwrap();
+        let (sent, expected) = expected_deliveries(&spec);
+        assert_eq!(sent, vec![(GroupId(1), 1)]);
+        assert_eq!(
+            expected,
+            vec![(GroupId(1), 1, NodeId(4)), (GroupId(1), 1, NodeId(9))]
+        );
     }
 
     #[test]

@@ -210,6 +210,15 @@ impl<R: Router> Engine<R> {
         &self.routers[node.index()]
     }
 
+    /// True while `node` is in service (not crashed / marked down).
+    /// [`Engine::router`] still answers for a down node — a crash wipes
+    /// its state to factory-fresh, which for a configured m-router
+    /// *claims the role* — so post-run probes (the stress oracle's
+    /// split-brain check among them) must filter on liveness.
+    pub fn node_is_up(&self, node: NodeId) -> bool {
+        self.transport.node_up(node)
+    }
+
     /// Override the runaway-protection event limit (default 50M).
     pub fn set_event_limit(&mut self, limit: u64) {
         self.event_limit = limit;

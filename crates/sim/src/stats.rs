@@ -113,6 +113,33 @@ impl SimStats {
         self.deliveries.values().any(|e| e.0 > 1)
     }
 
+    /// Every `(group, tag, node)` delivered more than once, sorted so
+    /// two identical runs report duplicates in the same order. The
+    /// stress oracle pins these in failure signatures.
+    pub fn duplicate_deliveries(&self) -> Vec<(GroupId, u64, NodeId)> {
+        let mut dups: Vec<(GroupId, u64, NodeId)> = self
+            .deliveries
+            .iter()
+            .filter(|(_, e)| e.0 > 1)
+            .map(|(&k, _)| k)
+            .collect();
+        dups.sort_unstable_by_key(|&(g, t, v)| (g.0, t, v.0));
+        dups
+    }
+
+    /// Every `expected` `(group, tag, receiver)` triple that never
+    /// arrived, in the expectation's own order — the oracle-facing
+    /// complement of [`SimStats::delivery_ratio`].
+    pub fn undelivered<I>(&self, expected: I) -> Vec<(GroupId, u64, NodeId)>
+    where
+        I: IntoIterator<Item = (GroupId, u64, NodeId)>,
+    {
+        expected
+            .into_iter()
+            .filter(|key| self.deliveries.get(key).is_none_or(|e| e.0 == 0))
+            .collect()
+    }
+
     /// Total overhead (data + protocol).
     pub fn total_overhead(&self) -> u64 {
         self.data_overhead + self.protocol_overhead

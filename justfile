@@ -53,6 +53,19 @@ sweep-speedup seeds="3" jobs="4":
 chaos seeds="3":
     cargo run --release -p scmp-bench --bin chaos -- {{seeds}}
 
+# Full STRESS boundary-point search: random warm-up, coordinate
+# descent to the failure envelope, ddmin minimization; writes
+# bench_results/stress.json and pins new reproducers under
+# tests/scenarios/corpus/. Parallel runs re-check byte identity
+# against a serial pass.
+stress:
+    cargo run --release -p scmp-bench --bin stress
+
+# Reduced STRESS search for CI: fig5 profile only, no corpus writes,
+# serial-vs-parallel byte-identity guard still armed via --jobs.
+stress-smoke:
+    cargo run --release -p scmp-bench --bin stress -- --smoke --no-pin --jobs 2
+
 # Query a JSONL telemetry trace, e.g.:
 #   just inspect bench_results/failstorm_trace.jsonl --audit
 inspect +args:

@@ -15,6 +15,11 @@ cargo test -q
 # seeded channel model: impaired runs must also replay identically.
 SCMP_JOBS=2 cargo test -q -p scmp-integration --test determinism
 SCMP_JOBS=2 cargo test -q --release -p scmp-bench --lib chaos::
+# STRESS explorer smoke: a reduced seeded boundary search; --jobs 2
+# arms the bin's built-in serial-vs-parallel byte-identity guard, and
+# --no-pin keeps CI from mutating the pinned corpus. The corpus itself
+# replays under `cargo test` (corpus_replay.rs) above.
+SCMP_JOBS=2 cargo run -q --release -p scmp-bench --bin stress -- --smoke --no-pin
 # Fast loss-invariant scenario: 5% and 15% control-plane loss on the
 # fig-scale topology — eventual grafting, no duplicate delivery, no
 # spurious takeover.

@@ -1,0 +1,68 @@
+//! Replay the pinned regression corpus: every scenario under
+//! `tests/scenarios/corpus/` is run through the STRESS oracle and held
+//! to the verdict pinned in its `expect` block — hard/boundary
+//! signatures exactly, metric checks as written.
+//!
+//! The corpus has two kinds of entries, distinguished by file name:
+//!
+//! * hand-ported scenarios (from the former inline fault/lossy tests) —
+//!   human-chosen points with tight metric pins;
+//! * `stress-*` entries — minimized boundary-point reproducers emitted
+//!   by the `stress` explorer (`cargo run -p scmp-bench --bin stress`).
+//!
+//! New search runs append; nothing here is ever edited by hand except
+//! to retire a scenario together with the protocol change that
+//! invalidated it.
+
+use scmp_bench::stress::CorpusEntry;
+use std::path::PathBuf;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/scenarios/corpus"))
+}
+
+fn corpus_files() -> Vec<PathBuf> {
+    let dir = corpus_dir();
+    let mut files: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("corpus dir {}: {e}", dir.display()))
+        .map(|entry| entry.expect("read corpus dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    files.sort();
+    assert!(!files.is_empty(), "regression corpus must not be empty");
+    files
+}
+
+#[test]
+fn every_corpus_entry_replays_to_its_pinned_verdict() {
+    for path in corpus_files() {
+        let body =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let entry = CorpusEntry::parse(&body).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let stem = path.file_stem().unwrap().to_string_lossy();
+        assert_eq!(
+            entry.name,
+            stem,
+            "{}: entry name must match the file stem",
+            path.display()
+        );
+        entry
+            .replay()
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+    }
+}
+
+/// The explorer must have contributed at least one minimized
+/// boundary-point reproducer (the tentpole's acceptance pin) — the
+/// corpus is not only hand-ported history.
+#[test]
+fn corpus_contains_a_search_found_boundary_point() {
+    let found = corpus_files().iter().any(|p| {
+        p.file_stem()
+            .is_some_and(|s| s.to_string_lossy().starts_with("stress-"))
+    });
+    assert!(
+        found,
+        "no stress-* entry in the corpus: run `cargo run -p scmp-bench --bin stress` to pin one"
+    );
+}

@@ -1,6 +1,18 @@
-//! STRESS-style fault scenarios: each test is a declarative [`FaultPlan`]
-//! against the Fig. 5 domain, asserting graceful degradation numbers
-//! (delivery ratio, repair latency) rather than mere survival.
+//! STRESS-style fault scenarios against the Fig. 5 domain — the parts
+//! the pinned regression corpus cannot express.
+//!
+//! The delivery-ratio / repair-count / takeover verdicts these tests
+//! used to assert inline now live as pinned corpus entries replayed by
+//! `corpus_replay.rs`:
+//!
+//! * `tests/scenarios/corpus/fig5-tree-cut-repair.json`
+//! * `tests/scenarios/corpus/fig5-offtree-cut.json`
+//! * `tests/scenarios/corpus/fig5-crash-standby.json`
+//! * `tests/scenarios/corpus/fig5-flapping-link.json`
+//!
+//! What stays here is the engine-internal structure the corpus checks
+//! cannot see: the shape of the repaired tree, the paper's delay
+//! constraint on the converged tree, and failure-window accounting.
 //!
 //! The Fig. 5d tree for members {3, 4, 5} rooted at the m-router 0 is
 //! 0-1-4, 0-2, 2-3, 2-5 — so cutting 0-2 severs the limb feeding 3 and
@@ -35,49 +47,27 @@ fn robust_config() -> ScmpConfig {
     cfg
 }
 
-/// Schedule `tags` sends from node 1 at the given times and return the
-/// expected (group, tag, member) delivery triples.
-fn sends(e: &mut Engine<ScmpRouter>, times: &[u64]) -> Vec<(scmp_sim::GroupId, u64, NodeId)> {
-    let mut expected = Vec::new();
+/// Schedule `tags` sends from node 1 at the given times.
+fn sends(e: &mut Engine<ScmpRouter>, times: &[u64]) {
     for (k, &t) in times.iter().enumerate() {
         let tag = k as u64 + 1;
         e.schedule_app(t, NodeId(1), AppEvent::Send { group: G, tag });
-        for m in MEMBERS {
-            expected.push((G, tag, NodeId(m)));
-        }
     }
-    expected
 }
 
+/// After the repair scan reroutes around a cut on-tree link, the
+/// rebuilt tree must be well-formed and must not reference the dead
+/// link. (Delivery and latency pins: `fig5-tree-cut-repair.json`.)
 #[test]
-fn link_cut_on_tree_is_repaired_within_latency_bound() {
+fn repaired_tree_avoids_the_dead_link() {
     let mut e = engine_with(robust_config());
     let plan = FaultPlan::new().at(20_000, FaultKind::LinkDown { a: 0, b: 2 });
     plan.validate(e.topo()).unwrap();
     e.schedule_fault_plan(&plan);
-    // One packet on the intact tree, one after the cut (the repair scan
-    // must reroute before it can reach 3 and 5), one long after.
-    let expected = sends(&mut e, &[10_000, 30_000, 80_000]);
+    sends(&mut e, &[10_000, 30_000, 80_000]);
     e.run_until(120_000);
 
-    let s = e.stats();
-    assert_eq!(s.faults_injected, 1);
-    assert!(s.repairs >= 1, "repair scan never fired");
-    assert_eq!(
-        s.delivery_ratio(expected.iter().copied()),
-        1.0,
-        "repair must restore full delivery"
-    );
-    assert!(!s.has_duplicate_deliveries());
-    // The scan period bounds detection; one extra period covers rebuild
-    // propagation.
-    assert!(
-        s.max_repair_latency <= 2 * REPAIR_INTERVAL,
-        "repair latency {} exceeds bound {}",
-        s.max_repair_latency,
-        2 * REPAIR_INTERVAL
-    );
-    // The repaired tree must not reference the dead link.
+    assert!(e.stats().repairs >= 1, "repair scan never fired");
     let tree = e.router(NodeId(0)).m_state().unwrap().tree(G).unwrap();
     assert_eq!(tree.validate(None), Ok(()));
     for (p, c) in tree.edges() {
@@ -88,62 +78,35 @@ fn link_cut_on_tree_is_repaired_within_latency_bound() {
     }
 }
 
+/// Takeover machinery internals the corpus's end-state probe cannot
+/// see: the new root's address propagates to plain members, and the
+/// control traffic spent while node 0 is down is attributed to the
+/// failure window. (Delivery and takeover-count pins:
+/// `fig5-crash-standby.json`.)
 #[test]
-fn link_cut_off_tree_costs_nothing() {
-    let mut e = engine_with(robust_config());
-    // 1-2 carries no branch of the Fig. 5d tree.
-    let plan = FaultPlan::new().at(20_000, FaultKind::LinkDown { a: 1, b: 2 });
-    plan.validate(e.topo()).unwrap();
-    e.schedule_fault_plan(&plan);
-    let expected = sends(&mut e, &[10_000, 30_000, 60_000]);
-    e.run_until(100_000);
-
-    let s = e.stats();
-    assert_eq!(s.faults_injected, 1);
-    assert_eq!(
-        s.delivery_ratio(expected.iter().copied()),
-        1.0,
-        "off-tree cut must not disturb delivery"
-    );
-    assert_eq!(s.repairs, 0, "nothing to repair, scan must stay idle");
-    assert!(!s.has_duplicate_deliveries());
-}
-
-#[test]
-fn m_router_crash_with_standby_restores_delivery() {
+fn takeover_propagates_address_and_attributes_failure_overhead() {
     let mut cfg = ScmpConfig::new(NodeId(0));
     cfg.standby = Some(NodeId(2));
     cfg.heartbeat_interval = 500;
     cfg.takeover_rebuild_delay = 500;
     let mut e = engine_with(cfg);
-    // Crash the primary m-router mid-session via the fault plan (not
-    // set_node_down) so the crash is part of the reproducible schedule.
     let plan = FaultPlan::new().at(20_000, FaultKind::RouterCrash { node: 0 });
     plan.validate(e.topo()).unwrap();
     e.schedule_fault_plan(&plan);
-    // Tag 1 pre-crash; tags 2 and 3 only deliver if the standby takes
-    // over and rebuilds the tree rooted at itself.
-    let expected = sends(&mut e, &[10_000, 60_000, 90_000]);
+    sends(&mut e, &[10_000, 60_000, 90_000]);
     e.run_until(150_000);
 
-    let s = e.stats();
-    assert_eq!(s.faults_injected, 1);
     assert!(
         e.router(NodeId(2)).is_m_router(),
         "standby must have promoted itself"
     );
     assert_eq!(e.router(NodeId(4)).m_router_address(), NodeId(2));
-    assert_eq!(
-        s.delivery_ratio(expected.iter().copied()),
-        1.0,
-        "takeover must restore full delivery"
-    );
-    assert!(!s.has_duplicate_deliveries());
-    // Failure-window accounting is live: the takeover machinery's
-    // traffic while node 0 is down must be attributed to the window.
-    assert!(s.control_overhead_during_failure > 0);
+    assert!(e.stats().control_overhead_during_failure > 0);
 }
 
+/// After a flapping link heals for good, the converged tree satisfies
+/// the paper's delay constraint on the healed topology. (Delivery
+/// pins: `fig5-flapping-link.json`.)
 #[test]
 fn flapping_link_converges_to_constraint_satisfying_tree() {
     let mut e = engine_with(robust_config());
@@ -156,22 +119,9 @@ fn flapping_link_converges_to_constraint_satisfying_tree() {
     }
     plan.validate(e.topo()).unwrap();
     e.schedule_fault_plan(&plan);
-    // A send per stable window plus one well after the final heal.
-    let expected = sends(&mut e, &[10_000, 27_000, 37_000, 80_000]);
+    sends(&mut e, &[10_000, 27_000, 37_000, 80_000]);
     e.run_until(150_000);
 
-    let s = e.stats();
-    assert_eq!(s.faults_injected, 3, "only the down transitions count");
-    assert_eq!(
-        s.delivery_ratio(expected.iter().copied()),
-        1.0,
-        "all sends landed in stable windows"
-    );
-    // Flapping must never double-deliver: each rebuild flushes stale
-    // entries before the next generation forwards.
-    assert!(!s.has_duplicate_deliveries());
-    // The converged tree satisfies the paper's delay constraint on the
-    // healed topology.
     let topo = fig5();
     let tree = e.router(NodeId(0)).m_state().unwrap().tree(G).unwrap();
     assert_eq!(tree.validate(Some(&topo)), Ok(()));

@@ -1,6 +1,16 @@
-//! Control-plane robustness under an adversarial channel: standby
-//! takeover behaviour with lossy heartbeats, and the loss-invariant
-//! suite on the fig-scale topology.
+//! Control-plane robustness under an adversarial channel — the parts
+//! the pinned regression corpus cannot express.
+//!
+//! The takeover/delivery verdicts formerly asserted inline here now
+//! live as corpus entries replayed by `corpus_replay.rs`:
+//!
+//! * `tests/scenarios/corpus/lossy-no-false-takeover.json`
+//! * `tests/scenarios/corpus/lossy-crash-takeover.json`
+//! * `tests/scenarios/corpus/lossy-spurious-stepdown.json`
+//!
+//! What stays here: router-internal state after a spurious promotion
+//! heals (who each node believes the m-router is, graft flags), the
+//! pinned golden JSONL trace, and the fig-scale loss-invariant loop.
 //!
 //! Every scenario is seeded and deterministic: the channel model draws
 //! from per-link RNG streams, so a run that passes here replays
@@ -12,8 +22,7 @@ use scmp_net::topology::examples::fig5;
 use scmp_net::NodeId;
 use scmp_protocols::build_scmp_engine;
 use scmp_sim::{
-    AppEvent, ChannelLinkSpec, ChannelModel, ChannelPlan, ChannelSpec, Engine, FaultKind,
-    FaultPlan, RingSink,
+    AppEvent, ChannelModel, ChannelPlan, ChannelSpec, Engine, FaultKind, FaultPlan, RingSink,
 };
 use scmp_telemetry::{encode_events, Trace};
 
@@ -50,78 +59,15 @@ fn assert_members_grafted(e: &Engine<ScmpRouter>) {
     }
 }
 
-/// Invariant 3 of the chaos suite, isolated: heartbeats cross the lossy
-/// 0–2 link and a third of them die, but runs of `tolerance`
-/// consecutive losses never happen at this seed — so the standby must
-/// sit tight. (A takeover here would be the false-fire the
-/// generation-stamped, deadline-guarded watchdog exists to prevent.)
-#[test]
-fn no_false_takeover_below_heartbeat_loss_threshold() {
-    let mut e = engine_with_standby(8);
-    let plan = ChannelPlan {
-        seed: 1,
-        default: None,
-        links: vec![ChannelLinkSpec {
-            a: 0,
-            b: 2,
-            drop: 0.3,
-            duplicate: 0.0,
-            corrupt: 0.0,
-            reorder_window: 0,
-        }],
-    };
-    plan.validate(e.topo()).unwrap();
-    e.set_channel(ChannelModel::from_plan(&plan).unwrap());
-    for (tag, t) in [(1u64, 60_000u64), (2, 80_000)] {
-        e.schedule_app(t, NodeId(1), AppEvent::Send { group: G, tag });
-    }
-    e.run_until(100_000);
-
-    let s = e.stats();
-    assert!(s.channel_dropped > 0, "the lossy link never dropped");
-    assert_eq!(s.takeovers, 0, "standby promoted below the loss threshold");
-    assert!(
-        e.router(NodeId(0)).is_m_router() && !e.router(NodeId(2)).is_m_router(),
-        "roles drifted without a takeover"
-    );
-    assert_members_grafted(&e);
-    assert!(!s.has_duplicate_deliveries());
-}
-
-/// A real crash must still promote the standby even when the channel is
-/// eating a tenth of every packet — and the hop-by-hop tree ARQ plus
-/// JOIN retries must re-graft every member under the new root.
-#[test]
-fn takeover_after_real_crash_survives_channel_loss() {
-    let mut e = engine_with_standby(6);
-    e.set_channel(ChannelModel::uniform_loss(0.10, 3));
-    let plan = FaultPlan::new().at(20_000, FaultKind::RouterCrash { node: 0 });
-    plan.validate(e.topo()).unwrap();
-    e.schedule_fault_plan(&plan);
-    e.run_until(150_000);
-
-    let s = e.stats();
-    assert_eq!(
-        s.takeovers, 1,
-        "crash must promote the standby exactly once"
-    );
-    assert!(
-        e.router(NodeId(2)).is_m_router(),
-        "standby never promoted itself after the crash"
-    );
-    assert_members_grafted(&e);
-    assert!(!s.has_duplicate_deliveries());
-}
-
 /// Spurious promotion and recovery: isolating the primary (every one of
 /// node 0's links down — a single cut won't do, the IGP reconverges
 /// unicast routes around it) silences its heartbeats without killing
 /// it, so the standby promotes while the primary is alive. When the
 /// partition heals, the primary's next heartbeat reaches the promoted
 /// standby, which repeats its NewMRouter announcement until the old
-/// primary steps down — one m-router, no split brain, and the takeover
-/// generation epoch lets the new root's trees outrank everything the
-/// old primary installed.
+/// primary steps down. The per-node beliefs asserted here are invisible
+/// to the corpus oracle; the takeover count and delivery ratio for the
+/// same schedule are pinned by `lossy-spurious-stepdown.json`.
 #[test]
 fn old_primary_rejoining_after_spurious_promotion_steps_down() {
     let mut e = engine_with_standby(6);
@@ -134,19 +80,11 @@ fn old_primary_rejoining_after_spurious_promotion_steps_down() {
         .at(60_000, FaultKind::LinkUp { a: 0, b: 3 });
     plan.validate(e.topo()).unwrap();
     e.schedule_fault_plan(&plan);
-    // One payload per phase: intact, partitioned (the promoted standby
-    // serves it), and healed (the demoted primary must not black-hole).
-    let mut expected = Vec::new();
     for (tag, t) in [(1u64, 10_000u64), (2, 45_000), (3, 100_000)] {
         e.schedule_app(t, NodeId(1), AppEvent::Send { group: G, tag });
-        for m in MEMBERS {
-            expected.push((G, tag, NodeId(m)));
-        }
     }
     e.run_until(150_000);
 
-    let s = e.stats();
-    assert_eq!(s.takeovers, 1, "heartbeat silence must promote the standby");
     assert!(
         e.router(NodeId(2)).is_m_router(),
         "promoted standby must stay the m-router"
@@ -162,13 +100,7 @@ fn old_primary_rejoining_after_spurious_promotion_steps_down() {
             "node {n} still believes in the deposed primary"
         );
     }
-    assert_eq!(
-        s.delivery_ratio(expected.iter().copied()),
-        1.0,
-        "every phase's payload must reach every member"
-    );
     assert_members_grafted(&e);
-    assert!(!s.has_duplicate_deliveries());
 }
 
 /// The pinned lossy scenario: every impairment class enabled at once

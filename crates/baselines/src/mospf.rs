@@ -14,11 +14,17 @@
 //! contain members. Because every router computes over identical data
 //! with identical tie-breaking, the distributed decisions agree and each
 //! member receives exactly one copy at unicast delay.
+//!
+//! All routers of one domain share an `Arc<dyn PathProvider>` — the
+//! simulation-level analogue of "every router computes over the same
+//! link-state database": one memoized Dijkstra per source serves the
+//! whole domain instead of one per (router, packet).
 
 use crate::common::LocalMembers;
-use scmp_net::{dijkstra, Metric, NodeId};
+use scmp_net::{Metric, NodeId, PathProvider};
 use scmp_sim::{AppEvent, Ctx, GroupId, Packet, Router};
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 /// MOSPF wire messages.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -37,6 +43,8 @@ pub enum MospfMsg {
 /// The MOSPF router state machine.
 pub struct MospfRouter {
     me: NodeId,
+    /// Shared source-tree provider (the link-state database's SPTs).
+    paths: Arc<dyn PathProvider>,
     members: LocalMembers,
     /// Domain-wide membership database: group -> DRs with members.
     group_db: BTreeMap<GroupId, BTreeSet<NodeId>>,
@@ -52,10 +60,13 @@ pub struct MospfRouter {
 }
 
 impl MospfRouter {
-    /// State machine for node `me`.
-    pub fn new(me: NodeId) -> Self {
+    /// State machine for node `me`. `paths` is the domain-shared
+    /// source-tree provider; pass one `Arc` clone per router (see
+    /// [`scmp_net::shared_provider_for`]).
+    pub fn new(me: NodeId, paths: Arc<dyn PathProvider>) -> Self {
         MospfRouter {
             me,
+            paths,
             members: LocalMembers::new(),
             group_db: BTreeMap::new(),
             lsa_seen: BTreeMap::new(),
@@ -135,7 +146,7 @@ impl MospfRouter {
                 return (targets.clone(), *on_path);
             }
         }
-        let spt = dijkstra(ctx.topo(), source, Metric::Delay);
+        let spt = self.paths.tree(source, Metric::Delay);
         // Mark every node on a source->member path.
         let mut needed = vec![false; ctx.topo().node_count()];
         if let Some(members) = self.group_db.get(&group) {
@@ -180,10 +191,8 @@ impl MospfRouter {
             // Accept only from the SPT parent (consistent databases make
             // this the only sender in practice; the check guards against
             // transients while LSAs are in flight).
-            let spt_parent_ok = {
-                let spt = dijkstra(ctx.topo(), source, Metric::Delay);
-                spt.predecessor(self.me) == Some(from)
-            };
+            let spt_parent_ok =
+                self.paths.tree(source, Metric::Delay).predecessor(self.me) == Some(from);
             if !spt_parent_ok {
                 ctx.drop_packet();
                 return;
@@ -253,7 +262,11 @@ mod tests {
     const G: GroupId = GroupId(1);
 
     fn engine() -> Engine<MospfRouter> {
-        Engine::new(fig5(), |me, _, _| MospfRouter::new(me))
+        let topo = fig5();
+        let paths = scmp_net::shared_provider_for(&topo);
+        Engine::new(topo, move |me, _, _| {
+            MospfRouter::new(me, Arc::clone(&paths))
+        })
     }
 
     #[test]

@@ -13,7 +13,7 @@ use rand::seq::SliceRandom;
 use scmp_core::router::ScmpConfig;
 use scmp_net::rng::rng_for;
 use scmp_net::topology::{waxman, WaxmanConfig};
-use scmp_net::{AllPairsPaths, Metric, NodeId};
+use scmp_net::{provider_for, Metric, NodeId};
 use scmp_protocols::build_scmp_engine;
 use scmp_tree::{Dcdm, DelayBound};
 use serde::Serialize;
@@ -85,7 +85,7 @@ pub fn run_paths(seeds: u64) -> Vec<PathSetPoint> {
         for seed in 0..seeds {
             let mut rng = rng_for("ablation-paths", seed);
             let topo = waxman(&WaxmanConfig::default(), &mut rng);
-            let paths = AllPairsPaths::compute(&topo);
+            let paths = provider_for(&topo);
             let root = NodeId(0);
             let mut pool: Vec<NodeId> = topo.nodes().filter(|&v| v != root).collect();
             pool.shuffle(&mut rng);

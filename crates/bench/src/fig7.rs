@@ -9,7 +9,7 @@
 use rand::seq::SliceRandom;
 use scmp_net::rng::rng_for;
 use scmp_net::topology::{waxman, WaxmanConfig};
-use scmp_net::{AllPairsPaths, NodeId};
+use scmp_net::{provider_for, NodeId};
 use scmp_tree::{
     delay_bound, kmb_tree, spt_tree, ConstraintLevel, Dcdm, DelayBound, GreedySteiner,
 };
@@ -125,7 +125,7 @@ fn run_one(cfg: &Fig7Config, level: ConstraintLevel, group_size: usize, seed: u6
         },
         &mut rng,
     );
-    let paths = AllPairsPaths::compute(&topo);
+    let paths = provider_for(&topo);
     let root = NodeId(0);
     let mut candidates: Vec<NodeId> = topo.nodes().filter(|&v| v != root).collect();
     candidates.shuffle(&mut rng);

@@ -14,6 +14,7 @@
 //! | `ablation_paths` | DCDM candidate set: P_lc ∪ P_sl vs P_lc-only vs P_sl-only |
 //! | `concentration` | §I/§V traffic-concentration study: ordinary core vs powerful m-router under burst load |
 //! | `extra_pimsm` | Beyond the paper: PIM-SM vs CBT vs SCMP (shared-tree trio) |
+//! | `scale` | Beyond the paper: path-layer memory/latency curves at 1k–10k nodes, fig8/fig9-shaped run at 5k |
 
 pub mod ablation;
 pub mod chaos;
@@ -25,6 +26,7 @@ pub mod netperf;
 pub mod placement_exp;
 pub mod plot;
 pub mod report;
+pub mod scale;
 pub mod scenario_file;
 pub mod stress;
 pub mod sweep;

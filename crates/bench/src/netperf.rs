@@ -15,7 +15,7 @@ use rand::Rng;
 use scmp_core::placement;
 use scmp_net::rng::rng_for;
 use scmp_net::topology::{arpanet, gt_itm_flat, GtItmConfig};
-use scmp_net::{AllPairsPaths, NodeId, Topology};
+use scmp_net::{provider_for, NodeId, Topology};
 use scmp_protocols::{build_engine, ProtocolParams};
 use scmp_sim::{AppEvent, EngineRunner, GroupId, SimStats};
 use scmp_telemetry::{Histogram, JsonlSink, SharedBuf};
@@ -130,7 +130,7 @@ pub struct Scenario {
 /// strongly correlated to the multicast tree cost".
 pub fn scenario(kind: TopologyKind, group_size: usize, seed: u64) -> Scenario {
     let topo = kind.build(seed);
-    let paths = AllPairsPaths::compute(&topo);
+    let paths = provider_for(&topo);
     let center = placement::min_average_delay(&topo, &paths);
     let mut rng = rng_for("netperf-members", seed ^ (group_size as u64) << 32);
     let mut pool: Vec<NodeId> = topo.nodes().filter(|&v| v != center).collect();

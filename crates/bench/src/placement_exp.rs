@@ -10,7 +10,7 @@ use rand::Rng;
 use scmp_core::placement::{self, PlacementRule};
 use scmp_net::rng::rng_for;
 use scmp_net::topology::{waxman, WaxmanConfig};
-use scmp_net::{AllPairsPaths, NodeId};
+use scmp_net::{provider_for, NodeId};
 use scmp_tree::{Dcdm, DelayBound};
 use serde::Serialize;
 
@@ -31,7 +31,7 @@ pub struct PlacementPoint {
 fn run_one(rule: Option<PlacementRule>, gs: usize, seed: u64) -> (f64, f64) {
     let mut rng = rng_for("placement", seed);
     let topo = waxman(&WaxmanConfig::default(), &mut rng);
-    let paths = AllPairsPaths::compute(&topo);
+    let paths = provider_for(&topo);
     let root = match rule {
         Some(r) => placement::place(r, &topo, &paths),
         None => NodeId(rng.gen_range(0..topo.node_count() as u32)),

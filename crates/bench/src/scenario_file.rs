@@ -22,7 +22,7 @@ use scmp_core::placement;
 use scmp_core::router::ScmpConfig;
 use scmp_net::rng::rng_for;
 use scmp_net::topology::{arpanet, gt_itm_flat, waxman, GtItmConfig, WaxmanConfig};
-use scmp_net::{AllPairsPaths, NodeId, Topology};
+use scmp_net::{provider_for, NodeId, PathProvider, Topology};
 use scmp_protocols::build_scmp_engine;
 use scmp_sim::{
     AppEvent, CapacityModel, ChannelModel, ChannelPlan, FaultPlan, FaultSpec, GroupId, JsonlSink,
@@ -113,7 +113,7 @@ pub enum MRouterSpec {
 
 impl MRouterSpec {
     /// Resolve to a node.
-    pub fn resolve(&self, topo: &Topology, paths: &AllPairsPaths) -> Result<NodeId, String> {
+    pub fn resolve(&self, topo: &Topology, paths: &dyn PathProvider) -> Result<NodeId, String> {
         match self {
             MRouterSpec::Node(v) => {
                 let id = NodeId(*v);
@@ -483,7 +483,7 @@ fn run_scenario_inner(json: &str, capture: Option<&SharedBuf>) -> Result<Scenari
     check_unknown_keys(json)?;
     let spec: ScenarioFile = serde_json::from_str(json).map_err(|e| e.to_string())?;
     let topo = spec.topology.build();
-    let paths = AllPairsPaths::compute(&topo);
+    let paths = provider_for(&topo);
     let m_router = spec.m_router.resolve(&topo, &paths)?;
     for ev in &spec.events {
         if ev.node as usize >= topo.node_count() {

@@ -11,7 +11,7 @@
 //! * **Rule 3**: choose the node lying on the path whose delay is equal
 //!   to the diameter of the graph."
 
-use scmp_net::{AllPairsPaths, Metric, NodeId, Topology};
+use scmp_net::{Metric, NodeId, PathProvider, Topology};
 
 /// The three placement heuristics.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -43,7 +43,7 @@ impl PlacementRule {
 }
 
 /// Sum of shortest delays from `v` to every other node.
-fn delay_sum(paths: &AllPairsPaths, topo: &Topology, v: NodeId) -> u64 {
+fn delay_sum(paths: &dyn PathProvider, topo: &Topology, v: NodeId) -> u64 {
     topo.nodes()
         .filter(|&u| u != v)
         .map(|u| paths.unicast_delay(v, u).unwrap_or(u64::MAX / 2))
@@ -52,7 +52,7 @@ fn delay_sum(paths: &AllPairsPaths, topo: &Topology, v: NodeId) -> u64 {
 
 /// Rule 1: the node with the smallest average shortest-delay distance to
 /// every other node (ties to the lower id).
-pub fn min_average_delay(topo: &Topology, paths: &AllPairsPaths) -> NodeId {
+pub fn min_average_delay(topo: &Topology, paths: &dyn PathProvider) -> NodeId {
     topo.nodes()
         .min_by_key(|&v| (delay_sum(paths, topo, v), v))
         .expect("non-empty topology")
@@ -67,7 +67,7 @@ pub fn max_degree(topo: &Topology) -> NodeId {
 
 /// The delay diameter: the endpoints realising the largest pairwise
 /// shortest delay, and that delay.
-pub fn delay_diameter(topo: &Topology, paths: &AllPairsPaths) -> (NodeId, NodeId, u64) {
+pub fn delay_diameter(topo: &Topology, paths: &dyn PathProvider) -> (NodeId, NodeId, u64) {
     let mut best = (NodeId(0), NodeId(0), 0);
     for a in topo.nodes() {
         for b in topo.nodes() {
@@ -85,7 +85,7 @@ pub fn delay_diameter(topo: &Topology, paths: &AllPairsPaths) -> (NodeId, NodeId
 
 /// Rule 3: the node on a delay-diameter path whose distance to both
 /// endpoints is most balanced (the path's delay midpoint).
-pub fn diameter_midpoint(topo: &Topology, paths: &AllPairsPaths) -> NodeId {
+pub fn diameter_midpoint(topo: &Topology, paths: &dyn PathProvider) -> NodeId {
     let (a, b, total) = delay_diameter(topo, paths);
     let path = paths.path(a, b, Metric::Delay).expect("connected");
     let mut acc = 0u64;
@@ -105,7 +105,7 @@ pub fn diameter_midpoint(topo: &Topology, paths: &AllPairsPaths) -> NodeId {
 }
 
 /// Apply a placement rule.
-pub fn place(rule: PlacementRule, topo: &Topology, paths: &AllPairsPaths) -> NodeId {
+pub fn place(rule: PlacementRule, topo: &Topology, paths: &dyn PathProvider) -> NodeId {
     match rule {
         PlacementRule::MinAverageDelay => min_average_delay(topo, paths),
         PlacementRule::MaxDegree => max_degree(topo),
@@ -119,6 +119,7 @@ mod tests {
     use scmp_net::graph::LinkWeight;
     use scmp_net::topology::examples::fig5;
     use scmp_net::topology::regular::{line, star};
+    use scmp_net::AllPairsPaths;
 
     #[test]
     fn rule1_picks_center_of_line() {

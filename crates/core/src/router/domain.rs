@@ -1,7 +1,7 @@
 //! The immutable per-domain context shared by every router.
 
 use super::ScmpConfig;
-use scmp_net::{AllPairsPaths, Topology};
+use scmp_net::{provider_for, PathProvider, Topology};
 use std::sync::Arc;
 
 /// Immutable domain context shared by all routers (the m-router's global
@@ -10,23 +10,25 @@ use std::sync::Arc;
 pub struct ScmpDomain {
     /// The domain topology.
     pub topo: Topology,
-    /// Precomputed `P_sl`/`P_lc` tables (link-state database).
-    pub paths: AllPairsPaths,
+    /// `P_sl`/`P_lc` path tables (link-state database) — eager all-pairs
+    /// at paper scale, on-demand memoized source trees for large domains.
+    pub paths: Box<dyn PathProvider>,
     /// Protocol configuration.
     pub config: ScmpConfig,
     /// Failover view: the topology with the primary m-router's links
     /// removed, plus its path tables. Precomputed when a standby is
     /// configured so the takeover plans trees around the dead primary.
-    pub failover: Option<(Topology, AllPairsPaths)>,
+    pub failover: Option<(Topology, Box<dyn PathProvider>)>,
 }
 
 impl ScmpDomain {
-    /// Build the shared context (computes the path tables).
+    /// Build the shared context (the path provider is chosen by domain
+    /// size; see [`provider_for`]).
     pub fn new(topo: Topology, config: ScmpConfig) -> Arc<Self> {
-        let paths = AllPairsPaths::compute(&topo);
+        let paths = provider_for(&topo);
         let failover = config.standby.map(|_| {
             let ft = topo.without_node(config.m_router);
-            let fp = AllPairsPaths::compute(&ft);
+            let fp = provider_for(&ft);
             (ft, fp)
         });
         Arc::new(ScmpDomain {

@@ -8,7 +8,7 @@ use crate::message::ScmpMsg;
 use crate::session::SessionDb;
 use crate::tree_packet::{BranchPacket, TreePacket};
 use scmp_fabric::{GroupRequest, SandwichFabric};
-use scmp_net::{AllPairsPaths, NodeId};
+use scmp_net::{NodeId, OnDemandPaths, PathProvider};
 use scmp_sim::{Ctx, GroupId, Packet};
 use scmp_tree::{Dcdm, MulticastTree};
 use std::collections::{BTreeMap, BTreeSet};
@@ -165,7 +165,7 @@ impl ScmpRouter {
             .trees
             .remove(&group)
             .unwrap_or_else(|| MulticastTree::new(domain.topo.node_count(), me));
-        let mut dcdm = Dcdm::with_tree(&domain.topo, &domain.paths, tree, domain.config.bound);
+        let mut dcdm = Dcdm::with_tree(&domain.topo, &*domain.paths, tree, domain.config.bound);
         let outcome = dcdm.join(requester);
         let tree = dcdm.into_tree();
 
@@ -257,7 +257,7 @@ impl ScmpRouter {
         let Some(tree) = state.trees.remove(&group) else {
             return;
         };
-        let mut dcdm = Dcdm::with_tree(&domain.topo, &domain.paths, tree, domain.config.bound);
+        let mut dcdm = Dcdm::with_tree(&domain.topo, &*domain.paths, tree, domain.config.bound);
         dcdm.leave(requester);
         let tree = dcdm.into_tree();
         // The physical prune travels hop-by-hop from the leaving DR
@@ -365,7 +365,10 @@ impl ScmpRouter {
         if damaged.is_empty() {
             return;
         }
-        let paths = AllPairsPaths::compute(&surviving);
+        // On-demand over the surviving view: only the trees rooted at
+        // the reachable members and the m-router are computed, not all
+        // 2n — repair touches a handful of sources even in big domains.
+        let paths = OnDemandPaths::from_topology(&surviving);
         for group in damaged {
             let Role::MRouter(state) = &mut self.role else {
                 unreachable!()

@@ -144,7 +144,7 @@ impl ScmpRouter {
                 continue;
             }
             state.assign_fabric_port(group);
-            let mut dcdm = Dcdm::new(topo, paths, me, domain.config.bound);
+            let mut dcdm = Dcdm::new(topo, &**paths, me, domain.config.bound);
             for m in &members {
                 dcdm.join(*m);
             }

@@ -81,18 +81,84 @@ impl ShortestPathTree {
         path.reverse();
         Some(path)
     }
+
+    /// Heap footprint of the tree's distance and predecessor arrays —
+    /// what one cached source tree costs a [`crate::OnDemandPaths`].
+    pub fn resident_bytes(&self) -> usize {
+        self.dist.len() * std::mem::size_of::<u64>()
+            + self.pred.len() * std::mem::size_of::<Option<NodeId>>()
+    }
+}
+
+/// Reusable working memory for [`dijkstra_with`].
+///
+/// A Dijkstra run needs four growable buffers: the heap, the visited
+/// set, and the output `dist`/`pred` arrays. The first two are pure
+/// scratch and are reused across runs directly; the output arrays must
+/// be owned by the returned [`ShortestPathTree`], so the scratch keeps a
+/// recycle pool fed by [`DijkstraScratch::recycle`] (the on-demand path
+/// provider returns evicted trees here). With a warm scratch a run
+/// allocates nothing.
+#[derive(Clone, Debug, Default)]
+pub struct DijkstraScratch {
+    heap: BinaryHeap<Reverse<(u64, NodeId)>>,
+    done: Vec<bool>,
+    dist_pool: Vec<Vec<u64>>,
+    pred_pool: Vec<Vec<Option<NodeId>>>,
+}
+
+impl DijkstraScratch {
+    /// Empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        DijkstraScratch::default()
+    }
+
+    /// Return a no-longer-needed tree's buffers to the recycle pool so
+    /// the next [`dijkstra_with`] run can reuse them.
+    pub fn recycle(&mut self, tree: ShortestPathTree) {
+        self.dist_pool.push(tree.dist);
+        self.pred_pool.push(tree.pred);
+    }
+
+    /// Take (or allocate) an output buffer pair sized and reset for `n`
+    /// nodes.
+    fn take_bufs(&mut self, n: usize) -> (Vec<u64>, Vec<Option<NodeId>>) {
+        let mut dist = self.dist_pool.pop().unwrap_or_default();
+        dist.clear();
+        dist.resize(n, u64::MAX);
+        let mut pred = self.pred_pool.pop().unwrap_or_default();
+        pred.clear();
+        pred.resize(n, None);
+        (dist, pred)
+    }
 }
 
 /// Dijkstra from `source` over `topo`, minimising `metric`.
 ///
 /// Runs in `O(m log n)`; zero-weight links are allowed (the Waxman model
-/// can draw delay 0).
+/// can draw delay 0). Allocates fresh working memory per call — hot
+/// paths (the on-demand path provider, [`crate::RoutingTables`]) use
+/// [`dijkstra_with`] and a shared [`DijkstraScratch`] instead.
 pub fn dijkstra(topo: &Topology, source: NodeId, metric: Metric) -> ShortestPathTree {
+    dijkstra_with(topo, source, metric, &mut DijkstraScratch::new())
+}
+
+/// [`dijkstra`] with caller-provided working memory. Byte-identical
+/// results to the allocating version — the scratch only changes where
+/// the intermediate state lives.
+pub fn dijkstra_with(
+    topo: &Topology,
+    source: NodeId,
+    metric: Metric,
+    scratch: &mut DijkstraScratch,
+) -> ShortestPathTree {
     let n = topo.node_count();
-    let mut dist = vec![u64::MAX; n];
-    let mut pred: Vec<Option<NodeId>> = vec![None; n];
-    let mut done = vec![false; n];
-    let mut heap: BinaryHeap<Reverse<(u64, NodeId)>> = BinaryHeap::new();
+    let (mut dist, mut pred) = scratch.take_bufs(n);
+    let done = &mut scratch.done;
+    done.clear();
+    done.resize(n, false);
+    let heap = &mut scratch.heap;
+    heap.clear();
     dist[source.index()] = 0;
     heap.push(Reverse((0, source)));
     while let Some(Reverse((d, v))) = heap.pop() {

@@ -75,9 +75,21 @@ pub struct EdgeRef {
 /// The structure is immutable once built (via [`TopologyBuilder`]); all
 /// algorithms in the workspace treat it as read-only shared state, which
 /// lets the benchmark harness fan seeds out across threads without locks.
+///
+/// Adjacency is stored in CSR (compressed sparse row) form — one flat
+/// offset array plus one flat half-edge array — instead of a `Vec` per
+/// node. At the paper's 50-node scale the difference is noise; at the
+/// 10k-node scenarios of the `scale` bench it removes `n` separate heap
+/// allocations and their per-`Vec` capacity overhead, and keeps each
+/// node's neighbour slice contiguous for the Dijkstra scans that
+/// dominate the path layer.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct Topology {
-    adj: Vec<Vec<EdgeRef>>,
+    /// CSR offsets: node `v`'s half-edges live at
+    /// `adj_edges[adj_off[v] .. adj_off[v + 1]]`. Length `n + 1`.
+    adj_off: Vec<u32>,
+    /// CSR half-edge array, sorted by neighbour id within each node.
+    adj_edges: Vec<EdgeRef>,
     /// Canonical edge list with `a < b`, in insertion order.
     edges: Vec<(NodeId, NodeId, LinkWeight)>,
     /// Optional planar coordinates (set by the Waxman / GT-ITM generators,
@@ -89,7 +101,7 @@ impl Topology {
     /// Number of nodes.
     #[inline]
     pub fn node_count(&self) -> usize {
-        self.adj.len()
+        self.adj_off.len() - 1
     }
 
     /// Number of undirected links.
@@ -100,27 +112,42 @@ impl Topology {
 
     /// Iterator over all node ids, `0..n`.
     pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
-        (0..self.adj.len() as u32).map(NodeId)
+        (0..self.node_count() as u32).map(NodeId)
     }
 
-    /// Neighbours (with weights) of `node`.
+    /// Neighbours (with weights) of `node`, sorted by neighbour id.
     #[inline]
     pub fn neighbors(&self, node: NodeId) -> &[EdgeRef] {
-        &self.adj[node.index()]
+        let lo = self.adj_off[node.index()] as usize;
+        let hi = self.adj_off[node.index() + 1] as usize;
+        &self.adj_edges[lo..hi]
     }
 
     /// Degree of `node`.
     #[inline]
     pub fn degree(&self, node: NodeId) -> usize {
-        self.adj[node.index()].len()
+        (self.adj_off[node.index() + 1] - self.adj_off[node.index()]) as usize
     }
 
     /// Average node degree `2m / n`.
     pub fn average_degree(&self) -> f64 {
-        if self.adj.is_empty() {
+        if self.node_count() == 0 {
             return 0.0;
         }
-        2.0 * self.edges.len() as f64 / self.adj.len() as f64
+        2.0 * self.edges.len() as f64 / self.node_count() as f64
+    }
+
+    /// Approximate heap footprint of the topology itself (CSR arrays,
+    /// edge list, coordinates) — the denominator of the `scale` bench's
+    /// path-state accounting.
+    pub fn resident_bytes(&self) -> usize {
+        self.adj_off.len() * std::mem::size_of::<u32>()
+            + self.adj_edges.len() * std::mem::size_of::<EdgeRef>()
+            + self.edges.len() * std::mem::size_of::<(NodeId, NodeId, LinkWeight)>()
+            + self
+                .coords
+                .as_ref()
+                .map_or(0, |c| c.len() * std::mem::size_of::<(i64, i64)>())
     }
 
     /// Canonical undirected edge list (`a < b`).
@@ -129,12 +156,13 @@ impl Topology {
         &self.edges
     }
 
-    /// Weight of the link `a—b`, if the link exists.
+    /// Weight of the link `a—b`, if the link exists. Binary search over
+    /// the sorted neighbour slice — `O(log deg)`.
     pub fn link(&self, a: NodeId, b: NodeId) -> Option<LinkWeight> {
-        self.adj[a.index()]
-            .iter()
-            .find(|e| e.to == b)
-            .map(|e| e.weight)
+        let ns = self.neighbors(a);
+        ns.binary_search_by_key(&b, |e| e.to)
+            .ok()
+            .map(|i| ns[i].weight)
     }
 
     /// True iff nodes `a` and `b` are directly linked.
@@ -310,14 +338,20 @@ impl TopologyBuilder {
 
     /// Finish building. Adjacency lists are sorted by neighbour id so that
     /// every algorithm downstream is deterministic regardless of insertion
-    /// order.
+    /// order, then flattened into the CSR arrays.
     pub fn build(mut self) -> Topology {
+        let mut adj_off = Vec::with_capacity(self.adj.len() + 1);
+        let mut adj_edges = Vec::with_capacity(2 * self.edges.len());
+        adj_off.push(0u32);
         for l in &mut self.adj {
             l.sort_unstable_by_key(|e| e.to);
+            adj_edges.extend_from_slice(l);
+            adj_off.push(adj_edges.len() as u32);
         }
         self.edges.sort_unstable_by_key(|&(a, b, _)| (a, b));
         Topology {
-            adj: self.adj,
+            adj_off,
+            adj_edges,
             edges: self.edges,
             coords: self.coords,
         }

@@ -8,13 +8,18 @@
 //!   paper (§III-A: "each link has two parameters: link delay and link
 //!   cost ... links are symmetric").
 //! * [`mod@dijkstra`] — single-source shortest paths under either metric.
-//! * [`AllPairsPaths`] — the precomputed `P_sl` (shortest-delay) and
-//!   `P_lc` (least-cost) path tables the DCDM tree algorithm consults
-//!   ("for each router on the tree, there are two paths, P_lc and P_sl,
-//!   ... which were computed in advance").
+//! * [`PathProvider`] — the path-table abstraction the tree algorithms
+//!   consume. [`AllPairsPaths`] is the paper's eager `P_sl`/`P_lc`
+//!   precomputation ("for each router on the tree, there are two paths,
+//!   P_lc and P_sl, ... which were computed in advance");
+//!   [`OnDemandPaths`] computes source trees lazily behind a bounded LRU
+//!   so 10k-node domains don't pay `O(n²)` memory. [`provider_for`]
+//!   picks by size.
 //! * [`RoutingTables`] — per-node unicast next-hop tables derived from the
 //!   shortest-delay paths; the link-state unicast routing protocol the
-//!   paper assumes is running in the domain.
+//!   paper assumes is running in the domain. Dense matrix at paper
+//!   scale, lazy per-destination rows beyond
+//!   [`routing::DENSE_MAX_NODES`].
 //! * [`topology`] — generators: the paper's Waxman model (§IV-A), a
 //!   GT-ITM-like flat random model with target average degree (§IV-B),
 //!   a transit–stub model, the classic ARPANET map, and regular test
@@ -25,11 +30,13 @@ pub mod export;
 pub mod graph;
 pub mod metrics;
 pub mod paths;
+pub mod provider;
 pub mod rng;
 pub mod routing;
 pub mod topology;
 
-pub use dijkstra::{dijkstra, Metric, ShortestPathTree};
+pub use dijkstra::{dijkstra, dijkstra_with, DijkstraScratch, Metric, ShortestPathTree};
 pub use graph::{EdgeRef, LinkWeight, NodeId, Topology, TopologyBuilder};
 pub use paths::AllPairsPaths;
+pub use provider::{provider_for, shared_provider_for, CacheStats, OnDemandPaths, PathProvider};
 pub use routing::RoutingTables;

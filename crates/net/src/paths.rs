@@ -6,29 +6,35 @@
 //! (it has the full link-state database) and the DCDM algorithm then
 //! evaluates candidate grafts in `O(1)` per path.
 
-use crate::dijkstra::{dijkstra, Metric, ShortestPathTree};
+use crate::dijkstra::{dijkstra_with, DijkstraScratch, Metric, ShortestPathTree};
 use crate::graph::{NodeId, Topology};
+use crate::provider::PathProvider;
+use std::sync::Arc;
 
 /// All-pairs shortest-delay and least-cost path tables.
 ///
 /// Stores one [`ShortestPathTree`] per (source, metric); memory is
 /// `O(n²)` which is trivial at the paper's scales (n ≤ a few hundred).
+/// For larger graphs use [`crate::OnDemandPaths`] — both implement
+/// [`PathProvider`] and return identical answers.
 #[derive(Clone, Debug)]
 pub struct AllPairsPaths {
-    by_delay: Vec<ShortestPathTree>,
-    by_cost: Vec<ShortestPathTree>,
+    by_delay: Vec<Arc<ShortestPathTree>>,
+    by_cost: Vec<Arc<ShortestPathTree>>,
 }
 
 impl AllPairsPaths {
-    /// Precompute both tables for `topo` (2n Dijkstra runs).
+    /// Precompute both tables for `topo` (2n Dijkstra runs sharing one
+    /// scratch).
     pub fn compute(topo: &Topology) -> Self {
+        let mut scratch = DijkstraScratch::new();
         let by_delay = topo
             .nodes()
-            .map(|s| dijkstra(topo, s, Metric::Delay))
+            .map(|s| Arc::new(dijkstra_with(topo, s, Metric::Delay, &mut scratch)))
             .collect();
         let by_cost = topo
             .nodes()
-            .map(|s| dijkstra(topo, s, Metric::Cost))
+            .map(|s| Arc::new(dijkstra_with(topo, s, Metric::Cost, &mut scratch)))
             .collect();
         AllPairsPaths { by_delay, by_cost }
     }
@@ -82,9 +88,36 @@ impl AllPairsPaths {
     }
 }
 
+impl PathProvider for AllPairsPaths {
+    fn node_count(&self) -> usize {
+        AllPairsPaths::node_count(self)
+    }
+
+    fn tree(&self, src: NodeId, metric: Metric) -> Arc<ShortestPathTree> {
+        let arc = match metric {
+            Metric::Delay => &self.by_delay[src.index()],
+            Metric::Cost => &self.by_cost[src.index()],
+        };
+        Arc::clone(arc)
+    }
+
+    // invalidate(): default no-op — the tables are a snapshot of the
+    // topology they were computed from and are rebuilt wholesale on
+    // reconvergence.
+
+    fn resident_path_bytes(&self) -> usize {
+        self.by_delay
+            .iter()
+            .chain(self.by_cost.iter())
+            .map(|t| t.resident_bytes())
+            .sum()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::dijkstra::dijkstra;
     use crate::graph::{LinkWeight, TopologyBuilder};
     use crate::topology::examples::fig5;
 

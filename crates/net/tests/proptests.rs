@@ -2,8 +2,10 @@
 
 use proptest::prelude::*;
 use scmp_net::rng::rng_for;
-use scmp_net::topology::{gt_itm_flat, waxman, GtItmConfig, WaxmanConfig};
-use scmp_net::{dijkstra, AllPairsPaths, Metric, NodeId, RoutingTables};
+use scmp_net::topology::{gt_itm_flat, transit_stub, waxman, GtItmConfig, WaxmanConfig};
+use scmp_net::{
+    dijkstra, AllPairsPaths, Metric, NodeId, OnDemandPaths, PathProvider, RoutingTables,
+};
 
 fn small_waxman(seed: u64, n: usize) -> scmp_net::Topology {
     let cfg = WaxmanConfig {
@@ -94,5 +96,67 @@ proptest! {
         let t = gt_itm_flat(&cfg, &mut rng_for("prop-gtitm", seed));
         prop_assert!(t.is_connected());
         prop_assert_eq!(t.node_count(), n);
+    }
+}
+
+/// A small transit–stub instance (node count is quantised by the
+/// generator's `t·(1 + s·k)` shape).
+fn small_transit_stub(seed: u64, stub_size: usize) -> scmp_net::Topology {
+    transit_stub(3, 2, stub_size, 1000, &mut rng_for("prop-ts", seed))
+}
+
+/// The on-demand provider must be observationally identical to the
+/// eager tables: same trees, distances, paths, and next hops — with a
+/// tiny cache so eviction-and-recompute is exercised, and again after
+/// an explicit `invalidate`.
+fn assert_provider_matches(topo: &scmp_net::Topology) -> Result<(), TestCaseError> {
+    let ap = AllPairsPaths::compute(topo);
+    let od = OnDemandPaths::with_capacity(std::sync::Arc::new(topo.clone()), 2);
+    for round in 0..2 {
+        if round == 1 {
+            PathProvider::invalidate(&od);
+        }
+        for src in topo.nodes() {
+            for m in [Metric::Delay, Metric::Cost] {
+                let et = PathProvider::tree(&ap, src, m);
+                let lt = od.tree(src, m);
+                for v in topo.nodes() {
+                    prop_assert_eq!(et.distance(v), lt.distance(v));
+                    prop_assert_eq!(et.predecessor(v), lt.predecessor(v));
+                }
+            }
+            for dst in topo.nodes() {
+                for m in [Metric::Delay, Metric::Cost] {
+                    prop_assert_eq!(ap.distance(src, dst, m), od.distance(src, dst, m));
+                    prop_assert_eq!(ap.path(src, dst, m), od.path(src, dst, m));
+                }
+                prop_assert_eq!(
+                    ap.next_hop_by_delay(src, dst),
+                    od.next_hop_by_delay(src, dst)
+                );
+            }
+        }
+    }
+    let stats = od.stats();
+    prop_assert!(stats.evictions > 0 || topo.node_count() <= 1);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// On-demand ≡ all-pairs on Waxman graphs, across evictions and an
+    /// invalidate-and-requery cycle.
+    #[test]
+    fn on_demand_matches_all_pairs_waxman(seed in 0u64..500, n in 2usize..20) {
+        let t = small_waxman(seed, n);
+        assert_provider_matches(&t)?;
+    }
+
+    /// Same equivalence on hierarchical transit–stub graphs.
+    #[test]
+    fn on_demand_matches_all_pairs_transit_stub(seed in 0u64..500, stub in 1usize..4) {
+        let t = small_transit_stub(seed, stub);
+        assert_provider_matches(&t)?;
     }
 }

@@ -137,7 +137,12 @@ pub fn build_engine(
                 DvmrpRouter::new(me, cfg)
             }))
         }
-        ProtocolKind::Mospf => Box::new(Engine::new(topo.clone(), |me, _, _| MospfRouter::new(me))),
+        ProtocolKind::Mospf => {
+            let paths = scmp_net::shared_provider_for(topo);
+            Box::new(Engine::new(topo.clone(), move |me, _, _| {
+                MospfRouter::new(me, std::sync::Arc::clone(&paths))
+            }))
+        }
         ProtocolKind::PimSm => {
             let rp = params.center;
             Box::new(Engine::new(topo.clone(), move |me, _, _| {

@@ -8,7 +8,7 @@
 //! member relative to its unicast optimum. This module computes both.
 
 use crate::tree::MulticastTree;
-use scmp_net::{AllPairsPaths, NodeId, Topology};
+use scmp_net::{NodeId, PathProvider, Topology};
 use serde::Serialize;
 
 /// Per-member delay record.
@@ -42,7 +42,7 @@ pub struct TreeReport {
 }
 
 /// Analyse `tree` against `topo`/`paths`.
-pub fn analyze(topo: &Topology, paths: &AllPairsPaths, tree: &MulticastTree) -> TreeReport {
+pub fn analyze(topo: &Topology, paths: &dyn PathProvider, tree: &MulticastTree) -> TreeReport {
     let root = tree.root();
     let mut member_delays = Vec::new();
     let mut stretch_sum = 0.0;
@@ -96,6 +96,7 @@ mod tests {
     use crate::dcdm::{Dcdm, DelayBound};
     use crate::spt::spt_tree;
     use scmp_net::topology::examples::fig5;
+    use scmp_net::AllPairsPaths;
 
     #[test]
     fn spt_has_unit_stretch() {

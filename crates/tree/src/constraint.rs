@@ -12,7 +12,7 @@
 //! SPT achieves exactly that. Loosest is unbounded; moderate sits halfway
 //! (we use `1.5 × tightest`, recorded in EXPERIMENTS.md).
 
-use scmp_net::{AllPairsPaths, NodeId};
+use scmp_net::{NodeId, PathProvider};
 
 /// Fig. 7's three delay-constraint levels.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -49,7 +49,7 @@ impl ConstraintLevel {
 /// member sets (no constraint can bind).
 pub fn delay_bound(
     level: ConstraintLevel,
-    paths: &AllPairsPaths,
+    paths: &dyn PathProvider,
     root: NodeId,
     members: &[NodeId],
 ) -> u64 {
@@ -71,6 +71,7 @@ pub fn delay_bound(
 mod tests {
     use super::*;
     use scmp_net::topology::examples::fig5;
+    use scmp_net::AllPairsPaths;
 
     #[test]
     fn bounds_ordered() {

@@ -18,7 +18,7 @@
 //!   a branching router is reached.
 
 use crate::tree::MulticastTree;
-use scmp_net::{AllPairsPaths, Metric, NodeId, Topology};
+use scmp_net::{Metric, NodeId, PathProvider, Topology};
 use std::collections::BTreeSet;
 
 /// The delay bound regime for DCDM.
@@ -62,7 +62,7 @@ impl JoinOutcome {
 #[derive(Clone, Debug)]
 pub struct Dcdm<'a> {
     topo: &'a Topology,
-    paths: &'a AllPairsPaths,
+    paths: &'a dyn PathProvider,
     tree: MulticastTree,
     bound: DelayBound,
     /// Which precomputed path families feed the candidate search.
@@ -76,7 +76,7 @@ impl<'a> Dcdm<'a> {
     /// Start with an empty tree rooted at the m-router.
     pub fn new(
         topo: &'a Topology,
-        paths: &'a AllPairsPaths,
+        paths: &'a dyn PathProvider,
         root: NodeId,
         bound: DelayBound,
     ) -> Self {
@@ -107,7 +107,7 @@ impl<'a> Dcdm<'a> {
     /// If the tree's node capacity does not match the topology.
     pub fn with_tree(
         topo: &'a Topology,
-        paths: &'a AllPairsPaths,
+        paths: &'a dyn PathProvider,
         tree: MulticastTree,
         bound: DelayBound,
     ) -> Self {
@@ -294,6 +294,7 @@ impl<'a> Dcdm<'a> {
 mod tests {
     use super::*;
     use scmp_net::topology::examples::fig5;
+    use scmp_net::AllPairsPaths;
 
     fn setup(topo: &Topology) -> AllPairsPaths {
         AllPairsPaths::compute(topo)

@@ -9,20 +9,20 @@
 //! the opposite side to the SPT: cheaper trees, unbounded delay.
 
 use crate::tree::MulticastTree;
-use scmp_net::{AllPairsPaths, Metric, NodeId, Topology};
+use scmp_net::{Metric, NodeId, PathProvider, Topology};
 use std::collections::BTreeSet;
 
 /// Incremental greedy Steiner builder.
 #[derive(Clone, Debug)]
 pub struct GreedySteiner<'a> {
     topo: &'a Topology,
-    paths: &'a AllPairsPaths,
+    paths: &'a dyn PathProvider,
     tree: MulticastTree,
 }
 
 impl<'a> GreedySteiner<'a> {
     /// Empty tree rooted at `root`.
-    pub fn new(topo: &'a Topology, paths: &'a AllPairsPaths, root: NodeId) -> Self {
+    pub fn new(topo: &'a Topology, paths: &'a dyn PathProvider, root: NodeId) -> Self {
         GreedySteiner {
             topo,
             paths,
@@ -90,6 +90,7 @@ mod tests {
     use crate::kmb::kmb_tree;
     use crate::spt::spt_tree;
     use scmp_net::topology::examples::fig5;
+    use scmp_net::AllPairsPaths;
 
     #[test]
     fn grafts_cheapest_paths_on_fig5() {

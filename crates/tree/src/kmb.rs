@@ -16,7 +16,7 @@
 
 use crate::mst::prim_mst;
 use crate::tree::MulticastTree;
-use scmp_net::{AllPairsPaths, Metric, NodeId, Topology};
+use scmp_net::{Metric, NodeId, PathProvider, Topology};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Build a KMB Steiner tree rooted at `root` spanning `members`.
@@ -25,7 +25,7 @@ use std::collections::{BTreeMap, BTreeSet};
 /// root-only tree). Duplicate members are tolerated.
 pub fn kmb_tree(
     topo: &Topology,
-    paths: &AllPairsPaths,
+    paths: &dyn PathProvider,
     root: NodeId,
     members: &[NodeId],
 ) -> MulticastTree {
@@ -126,6 +126,7 @@ mod tests {
     use super::*;
     use scmp_net::graph::{LinkWeight, TopologyBuilder};
     use scmp_net::topology::examples::fig5;
+    use scmp_net::AllPairsPaths;
 
     #[test]
     fn spans_all_members() {

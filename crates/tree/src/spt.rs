@@ -9,12 +9,12 @@
 //! so the union is trivially loop-free.
 
 use crate::tree::MulticastTree;
-use scmp_net::{AllPairsPaths, Metric, NodeId, Topology};
+use scmp_net::{Metric, NodeId, PathProvider, Topology};
 
 /// Build the shortest-delay-path tree rooted at `root` spanning `members`.
 pub fn spt_tree(
     topo: &Topology,
-    paths: &AllPairsPaths,
+    paths: &dyn PathProvider,
     root: NodeId,
     members: &[NodeId],
 ) -> MulticastTree {
@@ -37,6 +37,7 @@ pub fn spt_tree(
 mod tests {
     use super::*;
     use scmp_net::topology::examples::fig5;
+    use scmp_net::AllPairsPaths;
 
     #[test]
     fn members_get_their_unicast_delay() {

@@ -66,6 +66,20 @@ stress:
 stress-smoke:
     cargo run --release -p scmp-bench --bin stress -- --smoke --no-pin --jobs 2
 
+# Path-layer scaling study: on-demand provider + CSR topology at
+# 1k–10k nodes (memory / events-per-sec / tree-build-latency curves,
+# plus a fig8/fig9-shaped run at 5k); writes bench_results/scale.json.
+# Parallel runs re-check the deterministic portion against a serial
+# pass byte for byte.
+scale:
+    cargo run --release -p scmp-bench --bin scale
+
+# Reduced scaling study for CI: curve capped at 1k nodes, no 5k fig
+# cells, no scale.json write, serial-vs-parallel byte-identity guard
+# armed via --jobs.
+scale-smoke:
+    cargo run --release -p scmp-bench --bin scale -- --smoke --jobs 2
+
 # Query a JSONL telemetry trace, e.g.:
 #   just inspect bench_results/failstorm_trace.jsonl --audit
 inspect +args:

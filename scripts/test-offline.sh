@@ -20,6 +20,11 @@ SCMP_JOBS=2 cargo test -q --release -p scmp-bench --lib chaos::
 # --no-pin keeps CI from mutating the pinned corpus. The corpus itself
 # replays under `cargo test` (corpus_replay.rs) above.
 SCMP_JOBS=2 cargo run -q --release -p scmp-bench --bin stress -- --smoke --no-pin
+# Scaling-study smoke: the on-demand path provider driven on sub-1k
+# transit-stub and Waxman graphs; --jobs 2 arms the bin's built-in
+# guard that the deterministic report is byte-identical to a serial
+# re-run (timing rows exempt).
+SCMP_JOBS=2 cargo run -q --release -p scmp-bench --bin scale -- --smoke --jobs 2
 # Fast loss-invariant scenario: 5% and 15% control-plane loss on the
 # fig-scale topology — eventual grafting, no duplicate delivery, no
 # spurious takeover.

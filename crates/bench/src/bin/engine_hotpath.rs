@@ -5,14 +5,16 @@
 //! telemetry-off baseline) and `bench_results/telemetry_overhead.json`
 //! (off vs ring vs jsonl sink comparison).
 
-use scmp_bench::hotpath::SinkMode;
 use scmp_bench::{hotpath, report};
 
 fn main() {
     let mut args = std::env::args().skip(1);
     let sends: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(5_000);
     let reps: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(3);
-    let result = hotpath::run(sends, reps);
+    // One interleaved pass measures all three sink modes; the off-mode
+    // result doubles as the plain hot-path baseline.
+    let all = hotpath::run_overhead(sends, reps);
+    let result = all[0].clone();
     let rows: Vec<Vec<String>> = result
         .runs
         .iter()
@@ -35,27 +37,20 @@ fn main() {
     );
     report::write_json("engine_hotpath", &result);
 
-    // Telemetry overhead: the same flood with each sink installed. The
-    // off-mode result is reused from above so the comparison is free of
-    // an extra baseline run.
-    let ring = hotpath::run_with_sink(sends, reps, SinkMode::Ring);
-    let jsonl = hotpath::run_with_sink(sends, reps, SinkMode::Jsonl);
-    let baseline = result.best_events_per_sec;
-    let all = [&result, &ring, &jsonl];
     let rows: Vec<Vec<String>> = all
         .iter()
         .map(|r| {
             vec![
                 r.sink.clone(),
                 format!("{:.0}", r.best_events_per_sec),
-                format!("{:.1}%", 100.0 * (1.0 - r.best_events_per_sec / baseline)),
+                format!("{:.1}%", 100.0 * hotpath::paired_overhead(&result, r)),
             ]
         })
         .collect();
     report::print_table(
-        "Telemetry overhead (best of reps)",
+        "Telemetry overhead (paired best-ratio over interleaved reps)",
         &["sink", "events/sec", "slowdown"],
         &rows,
     );
-    report::write_json("telemetry_overhead", &vec![result, ring, jsonl]);
+    report::write_json("telemetry_overhead", &all);
 }

@@ -1,0 +1,178 @@
+//! `regress` — the perf-regression gate (see `scmp_bench::regress`).
+//!
+//! ```text
+//! regress [--smoke] [--inject F] [--jobs N] [--reps N]
+//!
+//!   --smoke      CI mode: 3 timed reps per sink, no regress.json write
+//!   --inject F   divide measured throughput by F (gate self-test:
+//!                --inject 2 must exit non-zero)
+//!   --jobs N     worker count for the scenario-corpus byte-identity
+//!                guard (default SCMP_JOBS / core count)
+//!   --reps N     timed repetitions per sink in full mode (default 3)
+//! ```
+//!
+//! Re-runs the engine hot-path benches at the committed workload size
+//! and compares against `bench_results/engine_hotpath.json` and
+//! `bench_results/telemetry_overhead.json` under the per-metric
+//! tolerance model. Before timing anything it replays the pinned
+//! scenario corpus serially and on a worker pool and requires byte-
+//! identical results and traces — a perf number is only comparable if
+//! the simulation underneath is still deterministic. Full mode writes
+//! the verdict to `bench_results/regress.json`. Exits non-zero on any
+//! failed check or guard mismatch.
+
+use scmp_bench::sweep::resolve_jobs;
+use scmp_bench::{regress, report, scenario_file};
+use std::path::Path;
+use std::process::ExitCode;
+
+struct Args {
+    smoke: bool,
+    inject: f64,
+    jobs: Option<usize>,
+    reps: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        smoke: false,
+        inject: 1.0,
+        jobs: None,
+        reps: 3,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => args.smoke = true,
+            "--inject" => {
+                let v = it.next().ok_or("--inject needs a factor")?;
+                args.inject = v.parse().map_err(|_| format!("bad factor {v:?}"))?;
+                if args.inject <= 0.0 {
+                    return Err("--inject factor must be positive".to_string());
+                }
+            }
+            "--jobs" => {
+                let v = it.next().ok_or("--jobs needs a count")?;
+                args.jobs = Some(v.parse().map_err(|_| format!("bad count {v:?}"))?);
+            }
+            "--reps" => {
+                let v = it.next().ok_or("--reps needs a count")?;
+                args.reps = v.parse().map_err(|_| format!("bad count {v:?}"))?;
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+/// Replay the pinned scenario corpus serially and on `jobs` workers;
+/// any difference in results or traces means the simulation drifted
+/// from determinism and perf numbers are meaningless.
+fn corpus_byte_identity(jobs: usize) -> Result<usize, String> {
+    let dir = Path::new("tests/scenarios/corpus");
+    let mut paths: Vec<_> = std::fs::read_dir(dir)
+        .map_err(|e| format!("{}: {e}", dir.display()))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    paths.sort();
+    let jsons: Vec<String> = paths
+        .iter()
+        .map(|p| std::fs::read_to_string(p).map_err(|e| format!("{}: {e}", p.display())))
+        .collect::<Result<_, _>>()?;
+    if jsons.is_empty() {
+        return Err(format!("{}: no corpus scenarios", dir.display()));
+    }
+    let serial = scenario_file::run_batch(&jsons, 1);
+    let parallel = scenario_file::run_batch(&jsons, jobs.max(2));
+    for ((s, p), path) in serial.iter().zip(&parallel).zip(&paths) {
+        let identical = match (s, p) {
+            (Ok((sr, st)), Ok((pr, pt))) => {
+                serde_json::to_string(sr) == serde_json::to_string(pr) && st == pt
+            }
+            (Err(se), Err(pe)) => se == pe,
+            _ => false,
+        };
+        if !identical {
+            return Err(format!(
+                "{}: serial and parallel replay diverged",
+                path.display()
+            ));
+        }
+    }
+    Ok(jsons.len())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("regress: {e}");
+            eprintln!("usage: regress [--smoke] [--inject F] [--jobs N] [--reps N]");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let jobs = resolve_jobs(args.jobs);
+    match corpus_byte_identity(jobs) {
+        Ok(n) => println!("corpus guard: {n} scenarios byte-identical at jobs=1 and jobs={jobs}"),
+        Err(e) => {
+            eprintln!("regress: corpus guard: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let baseline = match regress::load_baseline(Path::new("bench_results/engine_hotpath.json")) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("regress: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let overhead_baseline =
+        match regress::load_overhead_baseline(Path::new("bench_results/telemetry_overhead.json")) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("regress: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+
+    // The paired overhead estimator needs several interleaved pairs to
+    // dodge load spikes, so even smoke mode runs 3 reps per sink.
+    let reps = if args.smoke { 3 } else { args.reps.max(1) };
+    let tol = regress::Tolerances::default();
+    if args.inject != 1.0 {
+        println!(
+            "(self-test: dividing measured throughput by {})",
+            args.inject
+        );
+    }
+    let verdict = match regress::run_gate(&baseline, &overhead_baseline, reps, tol, args.inject) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("regress: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    report::print_table(
+        &format!(
+            "Perf-regression gate ({} sends, {} rep{})",
+            verdict.sends,
+            reps,
+            if reps == 1 { "" } else { "s" }
+        ),
+        &["metric", "baseline", "measured", "band", "verdict"],
+        &verdict.rows(),
+    );
+    println!("verdict: {}", if verdict.passed { "PASS" } else { "FAIL" });
+    if !args.smoke {
+        report::write_json("regress", &verdict);
+    }
+    if verdict.passed {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

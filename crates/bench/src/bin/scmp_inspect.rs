@@ -7,9 +7,16 @@
 //!   --convergence    per-group convergence timeline (every group, or
 //!                    only the one named by --group)
 //!   --hist           recomputed e2e-delay / repair-latency histograms
-//!   --audit          delivery audit; exits 1 on duplicate delivery or
-//!                    unaccounted loss
+//!   --audit          delivery audit; exits 1 on ANY hard violation:
+//!                    duplicate delivery, unaccounted loss, phantom
+//!                    delivery, disordered timestamps
 //!   --gauges         the per-tick gauge time series
+//!   --journey G:TAG  hop-by-hop journey of one packet/transaction
+//!   --journey G      every journey in group G (data tags first)
+//!   --joins G        JOIN → BRANCH/TREE → ACK → first-delivery causal
+//!                    chains for group G
+//!   --health         per-group tree-health samples (cost, depth,
+//!                    members, stretch, delay variation)
 //!   --group N        restrict --convergence to group N
 //!   --node N         dump the events that fired at node N
 //! ```
@@ -26,8 +33,24 @@ struct Args {
     hist: bool,
     audit: bool,
     gauges: bool,
+    health: bool,
+    /// `(group, Some(tag))` for one journey, `(group, None)` for all.
+    journey: Option<(u32, Option<u64>)>,
+    joins: Option<u32>,
     group: Option<u32>,
     node: Option<u32>,
+}
+
+/// Parse a `--journey` operand: `G` or `G:TAG`.
+fn parse_journey(v: &str) -> Result<(u32, Option<u64>), String> {
+    match v.split_once(':') {
+        None => Ok((v.parse().map_err(|_| format!("bad group {v:?}"))?, None)),
+        Some((g, t)) => {
+            let g = g.parse().map_err(|_| format!("bad group {g:?}"))?;
+            let t = t.parse().map_err(|_| format!("bad tag {t:?}"))?;
+            Ok((g, Some(t)))
+        }
+    }
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -37,6 +60,9 @@ fn parse_args() -> Result<Args, String> {
         hist: false,
         audit: false,
         gauges: false,
+        health: false,
+        journey: None,
+        joins: None,
         group: None,
         node: None,
     };
@@ -47,6 +73,15 @@ fn parse_args() -> Result<Args, String> {
             "--hist" => args.hist = true,
             "--audit" => args.audit = true,
             "--gauges" => args.gauges = true,
+            "--health" => args.health = true,
+            "--journey" => {
+                let v = it.next().ok_or("--journey needs G or G:TAG")?;
+                args.journey = Some(parse_journey(&v)?);
+            }
+            "--joins" => {
+                let v = it.next().ok_or("--joins needs a group")?;
+                args.joins = Some(v.parse().map_err(|_| format!("bad group {v:?}"))?);
+            }
             "--group" => {
                 let v = it.next().ok_or("--group needs a value")?;
                 args.group = Some(v.parse().map_err(|_| format!("bad group {v:?}"))?);
@@ -63,7 +98,8 @@ fn parse_args() -> Result<Args, String> {
     if args.path.is_empty() {
         return Err(
             "usage: scmp-inspect <trace.jsonl> [--convergence] [--hist] \
-                    [--audit] [--gauges] [--group N] [--node N]"
+                    [--audit] [--gauges] [--health] [--journey G[:TAG]] \
+                    [--joins G] [--group N] [--node N]"
                 .to_string(),
         );
     }
@@ -93,8 +129,14 @@ fn main() -> ExitCode {
         }
     };
 
-    let any_query =
-        args.convergence || args.hist || args.audit || args.gauges || args.node.is_some();
+    let any_query = args.convergence
+        || args.hist
+        || args.audit
+        || args.gauges
+        || args.health
+        || args.journey.is_some()
+        || args.joins.is_some()
+        || args.node.is_some();
     if !any_query {
         print!("{}", trace.summary());
         return ExitCode::SUCCESS;
@@ -122,6 +164,32 @@ fn main() -> ExitCode {
         let h = trace.histograms();
         print!("{}", h.e2e_delay.dump("e2e delay (ticks)"));
         print!("{}", h.repair.dump("repair latency (ticks)"));
+    }
+
+    if let Some((group, tag)) = args.journey {
+        let tags = match tag {
+            Some(t) => vec![t],
+            None => trace.journey_tags(group),
+        };
+        if tags.is_empty() {
+            println!("group {group}: no journeys in trace");
+        }
+        for t in tags {
+            let j = trace.journey(group, t);
+            if j.is_empty() {
+                println!("journey g{group} tag {t}: no events in trace");
+            } else {
+                print!("{}", j.report());
+            }
+        }
+    }
+
+    if let Some(group) = args.joins {
+        print!("{}", trace.joins_report(group));
+    }
+
+    if args.health {
+        print!("{}", trace.health_report());
     }
 
     if args.gauges {

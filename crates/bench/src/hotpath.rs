@@ -14,7 +14,7 @@ use scmp_net::rng::rng_for;
 use scmp_net::topology::{gt_itm_flat, GtItmConfig};
 use scmp_net::NodeId;
 use scmp_sim::{AppEvent, Ctx, Engine, GroupId, JsonlSink, Packet, RingSink, Router};
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 use std::time::Instant;
 
@@ -88,7 +88,7 @@ impl SinkMode {
 }
 
 /// One timed repetition.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct HotpathRun {
     /// Events dispatched by the engine.
     pub events: u64,
@@ -99,7 +99,7 @@ pub struct HotpathRun {
 }
 
 /// The benchmark's JSON artefact.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct HotpathResult {
     /// Topology label.
     pub topology: String,
@@ -140,45 +140,112 @@ pub fn run(sends: u64, reps: u64) -> HotpathResult {
 /// Like [`run`], with an explicit telemetry sink installed — the
 /// telemetry-overhead comparison.
 pub fn run_with_sink(sends: u64, reps: u64, mode: SinkMode) -> HotpathResult {
-    let probe = build_engine();
-    let nodes = probe.topo().node_count();
-    let edges = probe.topo().edge_count();
     let mut runs = Vec::new();
     let mut events = 0;
     let mut peak = 0;
     for _ in 0..reps.max(1) {
-        let mut e = build_engine();
-        match mode {
-            SinkMode::Off => {}
-            SinkMode::Ring => e.set_sink(Box::new(RingSink::new(1 << 16))),
-            SinkMode::Jsonl => e.set_sink(Box::new(JsonlSink::new(std::io::sink()))),
-        }
-        // Inject in per-tick bursts (one send per node) so the queue
-        // carries many concurrent floods — a deep, realistic heap.
-        for tag in 0..sends {
-            let node = NodeId((tag % nodes as u64) as u32);
-            let time = (tag / nodes as u64) * 10;
-            e.schedule_app(
-                time,
-                node,
-                AppEvent::Send {
-                    group: GroupId(1),
-                    tag,
-                },
-            );
-        }
-        let t0 = Instant::now();
-        let n = e.run_to_quiescence();
-        let wall = t0.elapsed();
-        events = n;
-        peak = e.peak_queue_depth();
-        let wall_ms = wall.as_secs_f64() * 1e3;
-        runs.push(HotpathRun {
-            events: n,
-            wall_ms,
-            events_per_sec: n as f64 / wall.as_secs_f64().max(1e-9),
-        });
+        let run = one_rep(sends, mode);
+        events = run.0.events;
+        peak = run.1;
+        runs.push(run.0);
     }
+    assemble(mode, sends, events, peak, runs)
+}
+
+/// All three sink modes measured with their repetitions interleaved
+/// round-robin (off, ring, jsonl, off, ring, …), so slow drift in
+/// machine load hits every mode equally — sequential per-mode phases
+/// were observed to fake double-digit overheads on a busy single-core
+/// host. Returns results in [`SinkMode::ALL`] order.
+pub fn run_overhead(sends: u64, reps: u64) -> Vec<HotpathResult> {
+    let mut per_mode: Vec<Vec<HotpathRun>> = vec![Vec::new(); SinkMode::ALL.len()];
+    let mut events = 0;
+    let mut peak = 0;
+    for _ in 0..reps.max(1) {
+        for (i, mode) in SinkMode::ALL.into_iter().enumerate() {
+            let run = one_rep(sends, mode);
+            events = run.0.events;
+            peak = run.1;
+            per_mode[i].push(run.0);
+        }
+    }
+    SinkMode::ALL
+        .into_iter()
+        .zip(per_mode)
+        .map(|(mode, runs)| assemble(mode, sends, events, peak, runs))
+        .collect()
+}
+
+/// Fractional slowdown of `sinked` relative to `off` (0.05 = 5%),
+/// estimated from paired repetitions.
+///
+/// Both results must come from the same interleaved [`run_overhead`]
+/// pass: rep `i` of each mode ran adjacent in time, so the ratio
+/// within a pair is clean even when machine load drifts across the
+/// pass. External noise only ever slows a rep down, so the pair whose
+/// ratio is *highest* is the least contaminated — the same reasoning
+/// that makes best-of-reps the throughput estimate. Falls back to the
+/// ratio of bests when the rep counts differ (foreign baselines).
+pub fn paired_overhead(off: &HotpathResult, sinked: &HotpathResult) -> f64 {
+    let best_ratio = if off.runs.len() == sinked.runs.len() && !off.runs.is_empty() {
+        off.runs
+            .iter()
+            .zip(&sinked.runs)
+            .map(|(o, s)| s.events_per_sec / o.events_per_sec)
+            .fold(f64::MIN, f64::max)
+    } else {
+        sinked.best_events_per_sec / off.best_events_per_sec
+    };
+    // A lucky pair can push the ratio past 1 (noise hit the off rep);
+    // true overhead is never negative, so clamp.
+    (1.0 - best_ratio).max(0.0)
+}
+
+/// One timed flood on a fresh engine; returns the run and the peak
+/// queue depth.
+fn one_rep(sends: u64, mode: SinkMode) -> (HotpathRun, usize) {
+    let mut e = build_engine();
+    let nodes = e.topo().node_count();
+    match mode {
+        SinkMode::Off => {}
+        SinkMode::Ring => e.set_sink(Box::new(RingSink::new(1 << 16))),
+        SinkMode::Jsonl => e.set_sink(Box::new(JsonlSink::new(std::io::sink()))),
+    }
+    // Inject in per-tick bursts (one send per node) so the queue
+    // carries many concurrent floods — a deep, realistic heap.
+    for tag in 0..sends {
+        let node = NodeId((tag % nodes as u64) as u32);
+        let time = (tag / nodes as u64) * 10;
+        e.schedule_app(
+            time,
+            node,
+            AppEvent::Send {
+                group: GroupId(1),
+                tag,
+            },
+        );
+    }
+    let t0 = Instant::now();
+    let n = e.run_to_quiescence();
+    let wall = t0.elapsed();
+    (
+        HotpathRun {
+            events: n,
+            wall_ms: wall.as_secs_f64() * 1e3,
+            events_per_sec: n as f64 / wall.as_secs_f64().max(1e-9),
+        },
+        e.peak_queue_depth(),
+    )
+}
+
+fn assemble(
+    mode: SinkMode,
+    sends: u64,
+    events: u64,
+    peak: usize,
+    runs: Vec<HotpathRun>,
+) -> HotpathResult {
+    let probe = build_engine();
     let best = runs
         .iter()
         .map(|r| r.events_per_sec)
@@ -186,8 +253,8 @@ pub fn run_with_sink(sends: u64, reps: u64, mode: SinkMode) -> HotpathResult {
     HotpathResult {
         topology: "random50-deg5".to_string(),
         sink: mode.label().to_string(),
-        nodes,
-        edges,
+        nodes: probe.topo().node_count(),
+        edges: probe.topo().edge_count(),
         sends,
         events,
         peak_queue_depth: peak,

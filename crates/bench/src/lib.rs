@@ -25,6 +25,7 @@ pub mod hotpath;
 pub mod netperf;
 pub mod placement_exp;
 pub mod plot;
+pub mod regress;
 pub mod report;
 pub mod scale;
 pub mod scenario_file;

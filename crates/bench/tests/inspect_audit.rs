@@ -1,0 +1,109 @@
+//! `scmp-inspect --audit` exit-code contract: the process must exit
+//! non-zero on EVERY hard violation class — duplicate delivery,
+//! phantom delivery, unaccounted loss, disordered timestamps — and
+//! zero on a clean trace. CI pipes the audit straight into shell `&&`
+//! chains, so the exit code *is* the API.
+
+use scmp_telemetry::{encode_events, Event, EventKind};
+use std::process::Command;
+
+fn run_audit(name: &str, events: &[Event]) -> (bool, String) {
+    let dir = std::env::temp_dir().join("scmp-inspect-audit-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("{name}.jsonl"));
+    std::fs::write(&path, encode_events(events)).unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_scmp-inspect"))
+        .arg(&path)
+        .arg("--audit")
+        .output()
+        .expect("run scmp-inspect");
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    (out.status.success(), text)
+}
+
+fn ev(time: u64, node: u32, kind: EventKind) -> Event {
+    Event { time, node, kind }
+}
+
+const G: u32 = 1;
+
+/// A member that joins, a payload that reaches it: the audit baseline.
+fn clean() -> Vec<Event> {
+    vec![
+        ev(0, 4, EventKind::Join { group: G }),
+        ev(10, 1, EventKind::Send { group: G, tag: 7 }),
+        ev(
+            15,
+            4,
+            EventKind::DeliverLocal {
+                group: G,
+                tag: 7,
+                delay: 5,
+            },
+        ),
+    ]
+}
+
+#[test]
+fn clean_trace_exits_zero() {
+    let (ok, report) = run_audit("clean", &clean());
+    assert!(ok, "clean trace must pass: {report}");
+    assert!(report.contains("verdict=PASS"), "{report}");
+}
+
+#[test]
+fn duplicate_delivery_exits_nonzero() {
+    let mut events = clean();
+    events.push(ev(
+        16,
+        4,
+        EventKind::DeliverLocal {
+            group: G,
+            tag: 7,
+            delay: 6,
+        },
+    ));
+    let (ok, report) = run_audit("duplicate", &events);
+    assert!(!ok, "duplicate delivery must fail the audit: {report}");
+    assert!(report.contains("DUPLICATE"), "{report}");
+}
+
+#[test]
+fn phantom_delivery_exits_nonzero() {
+    let mut events = clean();
+    events.push(ev(
+        20,
+        4,
+        EventKind::DeliverLocal {
+            group: G,
+            tag: 99, // never sent
+            delay: 1,
+        },
+    ));
+    let (ok, report) = run_audit("phantom", &events);
+    assert!(!ok, "phantom delivery must fail the audit: {report}");
+    assert!(report.contains("PHANTOM"), "{report}");
+}
+
+#[test]
+fn unaccounted_loss_exits_nonzero() {
+    // The member never hears the payload, and there is no drop and no
+    // fault anywhere in the trace to explain the loss.
+    let events = vec![
+        ev(0, 4, EventKind::Join { group: G }),
+        ev(10, 1, EventKind::Send { group: G, tag: 7 }),
+    ];
+    let (ok, report) = run_audit("unaccounted", &events);
+    assert!(!ok, "unaccounted loss must fail the audit: {report}");
+    assert!(report.contains("UNACCOUNTED"), "{report}");
+}
+
+#[test]
+fn disordered_timestamps_exit_nonzero() {
+    let mut events = clean();
+    // A fourth event earlier than the third: time ran backwards.
+    events.push(ev(3, 2, EventKind::Timer { token: 1 }));
+    let (ok, report) = run_audit("disordered", &events);
+    assert!(!ok, "disordered timestamps must fail the audit: {report}");
+    assert!(report.contains("DISORDERED"), "{report}");
+}

@@ -38,9 +38,28 @@ impl ScmpRouter {
                 ctx.set_timer(retry, TIMER_JOIN_RETRY_BASE + group.0 as u64);
             }
         }
+        let txn = self.fresh_txn();
+        self.join_txns.insert(group, txn);
         let m = self.m_router_for(group);
         let me = self.me;
-        ctx.unicast(m, Packet::control(group, ScmpMsg::Join { requester: me }));
+        ctx.unicast(
+            m,
+            Packet::control_keyed(group, txn, ScmpMsg::Join { requester: me }),
+        );
+    }
+
+    /// The trace key of the group's in-flight JOIN series, minting one
+    /// when the series started before keys existed (e.g. restarted
+    /// toward a new m-router after a takeover).
+    fn join_txn(&mut self, group: GroupId) -> u64 {
+        match self.join_txns.get(&group) {
+            Some(&t) => t,
+            None => {
+                let t = self.fresh_txn();
+                self.join_txns.insert(group, t);
+                t
+            }
+        }
     }
 
     /// JOIN retry: if the subnet still wants the group but no tree state
@@ -54,19 +73,25 @@ impl ScmpRouter {
             .is_some_and(|e| e.local_interface || !wants);
         if !wants || answered || self.is_m_router() {
             self.join_attempts.remove(&group);
+            self.join_txns.remove(&group);
             return;
         }
         let attempt = self.join_attempts.entry(group).or_insert(0);
         *attempt += 1;
         if *attempt > MAX_RETRIES {
             self.join_attempts.remove(&group);
+            self.join_txns.remove(&group);
             return;
         }
         let backoff = self.domain.config.join_retry << (*attempt).min(BACKOFF_CAP);
         self.pending_interfaces.insert(group);
+        let txn = self.join_txn(group);
         let m = self.m_router_for(group);
         let me = self.me;
-        ctx.unicast(m, Packet::control(group, ScmpMsg::Join { requester: me }));
+        ctx.unicast(
+            m,
+            Packet::control_keyed(group, txn, ScmpMsg::Join { requester: me }),
+        );
         if self.domain.config.join_retry > 0 {
             ctx.set_timer(backoff, TIMER_JOIN_RETRY_BASE + group.0 as u64);
         }
@@ -82,12 +107,24 @@ impl ScmpRouter {
         let attempt = *attempt;
         if attempt > MAX_RETRIES {
             self.pending_leaves.remove(&group);
+            self.leave_txns.remove(&group);
             return;
         }
         let backoff = self.domain.config.leave_retry << attempt.min(BACKOFF_CAP);
+        let txn = match self.leave_txns.get(&group) {
+            Some(&t) => t,
+            None => {
+                let t = self.fresh_txn();
+                self.leave_txns.insert(group, t);
+                t
+            }
+        };
         let m = self.m_router_for(group);
         let me = self.me;
-        ctx.unicast(m, Packet::control(group, ScmpMsg::Leave { requester: me }));
+        ctx.unicast(
+            m,
+            Packet::control_keyed(group, txn, ScmpMsg::Leave { requester: me }),
+        );
         ctx.set_timer(backoff, TIMER_LEAVE_RETRY_BASE + group.0 as u64);
     }
 
@@ -100,13 +137,16 @@ impl ScmpRouter {
             return;
         }
         self.pending_interfaces.remove(&group);
+        // One transaction covers the whole departure: the hop-by-hop
+        // PRUNE and the LEAVE/LEAVE-ACK exchange share the key.
+        let txn = self.fresh_txn();
         let mut send_leave = false;
         if let Some(entry) = self.entries.get_mut(&group) {
             entry.local_interface = false;
             if entry.is_prunable() {
                 // Became a leaf: PRUNE upstream and forget the entry.
                 if let Some(up) = entry.upstream {
-                    ctx.send(up, Packet::control(group, ScmpMsg::Prune));
+                    ctx.send(up, Packet::control_keyed(group, txn, ScmpMsg::Prune));
                 }
                 self.entries.remove(&group);
                 send_leave = true;
@@ -119,9 +159,13 @@ impl ScmpRouter {
             send_leave = true;
         }
         if send_leave {
+            self.leave_txns.insert(group, txn);
             let m = self.m_router_for(group);
             let me = self.me;
-            ctx.unicast(m, Packet::control(group, ScmpMsg::Leave { requester: me }));
+            ctx.unicast(
+                m,
+                Packet::control_keyed(group, txn, ScmpMsg::Leave { requester: me }),
+            );
             let retry = self.domain.config.leave_retry;
             if retry > 0 {
                 self.pending_leaves.insert(group, 0);
@@ -241,11 +285,12 @@ impl ScmpRouter {
         group: GroupId,
         gen: u64,
         tp: TreePacket,
+        txn: u64,
         ctx: &mut Ctx<'_, ScmpMsg>,
     ) {
-        self.ack_tree_packet(from, group, gen, ctx);
+        self.ack_tree_packet(from, group, gen, txn, ctx);
         if self.is_stale(group, gen) {
-            ctx.drop_packet();
+            ctx.drop_packet_keyed(group, txn);
             return;
         }
         // The DR's subnet is the ground truth for the local interface:
@@ -253,6 +298,7 @@ impl ScmpRouter {
         // flag) while this router's own JOIN was still in flight.
         self.pending_interfaces.remove(&group);
         self.join_attempts.remove(&group);
+        self.join_txns.remove(&group);
         let local = self.subnet.has_members(group);
         let entry = self.entries.entry(group).or_default();
         let old_upstream = entry.upstream;
@@ -264,14 +310,14 @@ impl ScmpRouter {
         // to us, or it would keep a stale child pointer forever.
         if let Some(old) = old_upstream {
             if old != from {
-                ctx.send(old, Packet::control(group, ScmpMsg::Prune));
+                ctx.send(old, Packet::control_keyed(group, txn, ScmpMsg::Prune));
             }
         }
         for (child, sub) in tp.split() {
-            let pkt = Packet::control(group, ScmpMsg::Tree { gen, packet: sub });
+            let pkt = Packet::control_keyed(group, txn, ScmpMsg::Tree { gen, packet: sub });
             self.send_tree_tracked(group, child, gen, pkt, ctx);
         }
-        self.prune_if_orphaned(group, ctx);
+        self.prune_if_orphaned(group, txn, ctx);
     }
 
     pub(super) fn install_branch_packet(
@@ -280,18 +326,20 @@ impl ScmpRouter {
         group: GroupId,
         gen: u64,
         bp: BranchPacket,
+        txn: u64,
         ctx: &mut Ctx<'_, ScmpMsg>,
     ) {
-        self.ack_tree_packet(from, group, gen, ctx);
+        self.ack_tree_packet(from, group, gen, txn, ctx);
         if self.is_stale(group, gen) {
             // A newer TREE refresh already encodes this (or a newer)
             // tree; the stale branch must not resurrect old edges.
-            ctx.drop_packet();
+            ctx.drop_packet_keyed(group, txn);
             return;
         }
         let (next, rest) = bp.advance(self.me);
         self.pending_interfaces.remove(&group);
         self.join_attempts.remove(&group);
+        self.join_txns.remove(&group);
         let local = self.subnet.has_members(group);
         let entry = self.entries.entry(group).or_default();
         let old_upstream = entry.upstream;
@@ -300,15 +348,15 @@ impl ScmpRouter {
         entry.local_interface = local;
         if let Some(old) = old_upstream {
             if old != from {
-                ctx.send(old, Packet::control(group, ScmpMsg::Prune));
+                ctx.send(old, Packet::control_keyed(group, txn, ScmpMsg::Prune));
             }
         }
         if let Some(next) = next {
             entry.downstream_routers.insert(next);
-            let pkt = Packet::control(group, ScmpMsg::Branch { gen, packet: rest });
+            let pkt = Packet::control_keyed(group, txn, ScmpMsg::Branch { gen, packet: rest });
             self.send_tree_tracked(group, next, gen, pkt, ctx);
         } else {
-            self.prune_if_orphaned(group, ctx);
+            self.prune_if_orphaned(group, txn, ctx);
         }
     }
 
@@ -375,10 +423,11 @@ impl ScmpRouter {
         }
         let attempt = p.attempts;
         let pkt = p.pkt.clone();
+        let tag = pkt.tag;
         let delay = retry << attempt.min(BACKOFF_CAP);
         p.deadline = now + delay;
         ctx.send(child, pkt);
-        ctx.record_retransmit(group.0, child, attempt);
+        ctx.record_retransmit(group.0, child, attempt, tag);
         ctx.set_timer(delay, super::tree_retry_token(group, child));
     }
 
@@ -404,23 +453,28 @@ impl ScmpRouter {
         from: NodeId,
         group: GroupId,
         gen: u64,
+        txn: u64,
         ctx: &mut Ctx<'_, ScmpMsg>,
     ) {
         if self.domain.config.tree_retry > 0 {
-            ctx.send(from, Packet::control(group, ScmpMsg::TreeAck { gen }));
+            ctx.send(
+                from,
+                Packet::control_keyed(group, txn, ScmpMsg::TreeAck { gen }),
+            );
         }
     }
 
     /// A just-installed leaf entry with no local members (the join was
-    /// cancelled by a leave racing past it) prunes itself immediately.
-    fn prune_if_orphaned(&mut self, group: GroupId, ctx: &mut Ctx<'_, ScmpMsg>) {
+    /// cancelled by a leave racing past it) prunes itself immediately,
+    /// inheriting the transaction key of whatever triggered the check.
+    fn prune_if_orphaned(&mut self, group: GroupId, txn: u64, ctx: &mut Ctx<'_, ScmpMsg>) {
         if self.is_m_router() {
             return;
         }
         if let Some(entry) = self.entries.get(&group) {
             if entry.is_prunable() {
                 if let Some(up) = entry.upstream {
-                    ctx.send(up, Packet::control(group, ScmpMsg::Prune));
+                    ctx.send(up, Packet::control_keyed(group, txn, ScmpMsg::Prune));
                 }
                 self.entries.remove(&group);
             }
@@ -431,6 +485,7 @@ impl ScmpRouter {
         &mut self,
         from: NodeId,
         group: GroupId,
+        txn: u64,
         ctx: &mut Ctx<'_, ScmpMsg>,
     ) {
         let Some(entry) = self.entries.get_mut(&group) else {
@@ -438,7 +493,7 @@ impl ScmpRouter {
         };
         entry.downstream_routers.remove(&from);
         if !self.is_m_router() {
-            self.prune_if_orphaned(group, ctx);
+            self.prune_if_orphaned(group, txn, ctx);
         }
     }
 }

@@ -153,6 +153,14 @@ pub struct ScmpRouter {
     /// flag keeps an EncapData and its decapsulated Data twin (same
     /// group and tag) from shadowing each other at the m-router.
     recent_data: RecentSet<(u32, u64, bool)>,
+    /// Sequence counter behind [`ScmpRouter::fresh_txn`]: every control
+    /// transaction this node originates gets a distinct causal trace key.
+    next_txn: u32,
+    /// The trace key of the in-flight JOIN series per group: retries
+    /// reuse it so the whole series correlates as one transaction.
+    join_txns: BTreeMap<GroupId, u64>,
+    /// The trace key of the in-flight LEAVE series per group.
+    leave_txns: BTreeMap<GroupId, u64>,
 }
 
 /// How many data-packet keys each router remembers for duplicate
@@ -191,7 +199,21 @@ impl ScmpRouter {
             pending_trees: BTreeMap::new(),
             gen_high_water: 0,
             recent_data: RecentSet::new(RECENT_DATA_CAP),
+            next_txn: 0,
+            join_txns: BTreeMap::new(),
+            leave_txns: BTreeMap::new(),
         }
+    }
+
+    /// Allocate a fresh causal transaction tag: a packed
+    /// [`scmp_telemetry::TraceKey`] `(origin=me, seq)` whose high bit
+    /// keeps it disjoint from every data tag. Stamped on the control
+    /// packet that opens a transaction and inherited by the whole
+    /// cascade it triggers, so `scmp-inspect --journey` can reconstruct
+    /// JOIN → BRANCH → ACK chains end to end.
+    pub(super) fn fresh_txn(&mut self) -> u64 {
+        self.next_txn += 1;
+        scmp_telemetry::pack_ctl_tag(self.me.0, self.next_txn)
     }
 
     /// The node's routing entry for `group` (None when off-tree).
@@ -261,19 +283,39 @@ impl Router for ScmpRouter {
         }
     }
 
+    fn classify(msg: &ScmpMsg) -> Option<scmp_telemetry::CtlKind> {
+        use scmp_telemetry::CtlKind;
+        Some(match msg {
+            ScmpMsg::Join { .. } => CtlKind::Join,
+            ScmpMsg::Leave { .. } => CtlKind::Leave,
+            ScmpMsg::Prune => CtlKind::Prune,
+            ScmpMsg::Tree { .. } => CtlKind::Tree,
+            ScmpMsg::Branch { .. } => CtlKind::Branch,
+            ScmpMsg::Flush { .. } => CtlKind::Flush,
+            ScmpMsg::Data => CtlKind::Data,
+            ScmpMsg::EncapData => CtlKind::EncapData,
+            ScmpMsg::Heartbeat { .. } => CtlKind::Heartbeat,
+            ScmpMsg::StandbySync { .. } => CtlKind::StandbySync,
+            ScmpMsg::NewMRouter { .. } => CtlKind::NewMRouter,
+            ScmpMsg::LeaveAck => CtlKind::LeaveAck,
+            ScmpMsg::TreeAck { .. } => CtlKind::TreeAck,
+        })
+    }
+
     fn on_packet(&mut self, from: NodeId, pkt: Packet<ScmpMsg>, ctx: &mut Ctx<'_, ScmpMsg>) {
         let group = pkt.group;
+        let tag = pkt.tag;
         match pkt.body.clone() {
-            ScmpMsg::Join { requester } => self.m_handle_join(group, requester, ctx),
-            ScmpMsg::Leave { requester } => self.m_handle_leave(group, requester, ctx),
-            ScmpMsg::Prune => self.handle_prune(from, group, ctx),
+            ScmpMsg::Join { requester } => self.m_handle_join(group, requester, tag, ctx),
+            ScmpMsg::Leave { requester } => self.m_handle_leave(group, requester, tag, ctx),
+            ScmpMsg::Prune => self.handle_prune(from, group, tag, ctx),
             ScmpMsg::Tree { gen, packet } => {
                 self.gen_high_water = self.gen_high_water.max(gen);
-                self.install_tree_packet(from, group, gen, packet, ctx)
+                self.install_tree_packet(from, group, gen, packet, tag, ctx)
             }
             ScmpMsg::Branch { gen, packet } => {
                 self.gen_high_water = self.gen_high_water.max(gen);
-                self.install_branch_packet(from, group, gen, packet, ctx)
+                self.install_branch_packet(from, group, gen, packet, tag, ctx)
             }
             ScmpMsg::Flush { gen } => {
                 self.gen_high_water = self.gen_high_water.max(gen);
@@ -338,6 +380,7 @@ impl Router for ScmpRouter {
             }
             ScmpMsg::LeaveAck => {
                 self.pending_leaves.remove(&group);
+                self.leave_txns.remove(&group);
             }
             ScmpMsg::NewMRouter { address } => self.handle_new_mrouter(address, ctx),
             ScmpMsg::TreeAck { gen } => self.handle_tree_ack(group, from, gen),

@@ -8,11 +8,39 @@ use crate::message::ScmpMsg;
 use crate::session::SessionDb;
 use crate::tree_packet::{BranchPacket, TreePacket};
 use scmp_fabric::{GroupRequest, SandwichFabric};
-use scmp_net::{NodeId, OnDemandPaths, PathProvider};
+use scmp_net::{NodeId, OnDemandPaths, PathProvider, Topology};
 use scmp_sim::{Ctx, GroupId, Packet};
+use scmp_telemetry::HealthTrigger;
 use scmp_tree::{Dcdm, MulticastTree};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
+
+/// Sample the tree-health metrics (cost, depth, members, stretch, delay
+/// variation) and record them on the telemetry stream. The metric
+/// computation walks the whole tree, so it is gated on telemetry being
+/// enabled: sink-off runs pay nothing and behave identically.
+pub(super) fn record_tree_health(
+    group: GroupId,
+    trigger: HealthTrigger,
+    topo: &Topology,
+    paths: &dyn PathProvider,
+    tree: &MulticastTree,
+    ctx: &mut Ctx<'_, ScmpMsg>,
+) {
+    if !ctx.telemetry_on() {
+        return;
+    }
+    let h = scmp_tree::health(topo, paths, tree);
+    ctx.record_tree_health(
+        group,
+        trigger,
+        h.members,
+        h.depth,
+        h.cost,
+        h.stretch_milli,
+        h.delay_var,
+    );
+}
 
 /// m-router-only state.
 #[derive(Debug)]
@@ -150,6 +178,7 @@ impl ScmpRouter {
         &mut self,
         group: GroupId,
         requester: NodeId,
+        txn: u64,
         ctx: &mut Ctx<'_, ScmpMsg>,
     ) {
         let domain = Arc::clone(&self.domain);
@@ -190,7 +219,8 @@ impl ScmpRouter {
                     if path.len() > 1 {
                         let bp = BranchPacket::from_root_path(&path);
                         let first = bp.path[0];
-                        let pkt = Packet::control(group, ScmpMsg::Branch { gen, packet: bp });
+                        let pkt =
+                            Packet::control_keyed(group, txn, ScmpMsg::Branch { gen, packet: bp });
                         self.send_tree_tracked(group, first, gen, pkt, ctx);
                     }
                 }
@@ -198,22 +228,33 @@ impl ScmpRouter {
                 let path = tree.path_from_root(requester).expect("member on tree");
                 let bp = BranchPacket::from_root_path(&path);
                 let first = bp.path[0];
-                let pkt = Packet::control(group, ScmpMsg::Branch { gen, packet: bp });
+                let pkt = Packet::control_keyed(group, txn, ScmpMsg::Branch { gen, packet: bp });
                 self.send_tree_tracked(group, first, gen, pkt, ctx);
             } else {
                 // Restructured (or ablation): full TREE refresh, plus
                 // explicit flushes for routers pruned off the tree.
                 for &child in tree.children(me) {
                     let tp = TreePacket::from_tree(&tree, child);
-                    let pkt = Packet::control(group, ScmpMsg::Tree { gen, packet: tp });
+                    let pkt = Packet::control_keyed(group, txn, ScmpMsg::Tree { gen, packet: tp });
                     self.send_tree_tracked(group, child, gen, pkt, ctx);
                 }
                 for &gone in &outcome.pruned {
-                    ctx.unicast(gone, Packet::control(group, ScmpMsg::Flush { gen }));
+                    ctx.unicast(
+                        gone,
+                        Packet::control_keyed(group, txn, ScmpMsg::Flush { gen }),
+                    );
                 }
             }
         }
 
+        record_tree_health(
+            group,
+            HealthTrigger::Join,
+            &domain.topo,
+            &*domain.paths,
+            &tree,
+            ctx,
+        );
         let Role::MRouter(state) = &mut self.role else {
             unreachable!()
         };
@@ -221,8 +262,9 @@ impl ScmpRouter {
         if let Some(peer) = self.sync_peer() {
             ctx.unicast(
                 peer,
-                Packet::control(
+                Packet::control_keyed(
                     group,
+                    txn,
                     ScmpMsg::StandbySync {
                         member: requester,
                         joined: true,
@@ -236,6 +278,7 @@ impl ScmpRouter {
         &mut self,
         group: GroupId,
         requester: NodeId,
+        txn: u64,
         ctx: &mut Ctx<'_, ScmpMsg>,
     ) {
         let domain = Arc::clone(&self.domain);
@@ -248,7 +291,10 @@ impl ScmpRouter {
         // Membership ground truth is the accounting log, not the mirrored
         // tree — a repair rebuild may have dropped an unreachable member
         // from the tree while its join is still on the books.
-        ctx.unicast(requester, Packet::control(group, ScmpMsg::LeaveAck));
+        ctx.unicast(
+            requester,
+            Packet::control_keyed(group, txn, ScmpMsg::LeaveAck),
+        );
         if !state.sessions.members_from_log(group).contains(&requester) {
             return; // duplicate of an already-processed LEAVE
         }
@@ -270,6 +316,14 @@ impl ScmpRouter {
             entry.local_interface = false;
         }
         let emptied = tree.member_count() == 0;
+        record_tree_health(
+            group,
+            HealthTrigger::Leave,
+            &domain.topo,
+            &*domain.paths,
+            &tree,
+            ctx,
+        );
         let Role::MRouter(state) = &mut self.role else {
             unreachable!()
         };
@@ -283,8 +337,9 @@ impl ScmpRouter {
         if let Some(peer) = self.sync_peer() {
             ctx.unicast(
                 peer,
-                Packet::control(
+                Packet::control_keyed(
                     group,
+                    txn,
                     ScmpMsg::StandbySync {
                         member: requester,
                         joined: false,
@@ -370,6 +425,9 @@ impl ScmpRouter {
         // 2n — repair touches a handful of sources even in big domains.
         let paths = OnDemandPaths::from_topology(&surviving);
         for group in damaged {
+            // The scan originates its own causal transaction per group,
+            // so repair cascades correlate like join/leave cascades do.
+            let txn = self.fresh_txn();
             let Role::MRouter(state) = &mut self.role else {
                 unreachable!()
             };
@@ -399,7 +457,7 @@ impl ScmpRouter {
             entry.gen = gen;
             for &child in tree.children(me) {
                 let tp = TreePacket::from_tree(&tree, child);
-                let pkt = Packet::control(group, ScmpMsg::Tree { gen, packet: tp });
+                let pkt = Packet::control_keyed(group, txn, ScmpMsg::Tree { gen, packet: tp });
                 self.send_tree_tracked(group, child, gen, pkt, ctx);
             }
             // Flush reachable routers that fell off the tree; partitioned
@@ -407,9 +465,10 @@ impl ScmpRouter {
             // §III-F forwarding-set check neutralise.
             for v in old_nodes {
                 if v != me && !tree.contains(v) && reachable[v.index()] {
-                    ctx.unicast(v, Packet::control(group, ScmpMsg::Flush { gen }));
+                    ctx.unicast(v, Packet::control_keyed(group, txn, ScmpMsg::Flush { gen }));
                 }
             }
+            record_tree_health(group, HealthTrigger::Repair, &surviving, &paths, &tree, ctx);
             let Role::MRouter(state) = &mut self.role else {
                 unreachable!()
             };

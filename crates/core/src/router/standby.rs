@@ -52,18 +52,20 @@ impl ScmpRouter {
         // its own, and ours must win the staleness race everywhere.
         state.gen_epoch =
             ((self.gen_high_water >> super::GEN_EPOCH_SHIFT) + 1) << super::GEN_EPOCH_SHIFT;
+        self.role = Role::MRouter(state);
         // Announce the new address to every router first; the rebuilt
-        // TREE packets follow after `takeover_rebuild_delay`.
+        // TREE packets follow after `takeover_rebuild_delay`. One
+        // transaction key covers the whole announcement wave.
+        let txn = self.fresh_txn();
         for v in domain.topo.nodes() {
             if v != me {
                 ctx.unicast(
                     v,
-                    Packet::control(GroupId(0), ScmpMsg::NewMRouter { address: me }),
+                    Packet::control_keyed(GroupId(0), txn, ScmpMsg::NewMRouter { address: me }),
                 );
             }
         }
         self.m_router = me;
-        self.role = Role::MRouter(state);
         ctx.record_takeover();
         ctx.set_timer(domain.config.takeover_rebuild_delay, TIMER_REBUILD);
     }
@@ -105,6 +107,10 @@ impl ScmpRouter {
         self.m_router = address;
         self.entries.clear();
         self.flushed.clear();
+        // The old transaction series died with the old primary; JOINs
+        // toward the new address open fresh ones.
+        self.join_txns.clear();
+        self.leave_txns.clear();
         self.pending_interfaces = self.subnet.active_groups().into_iter().collect();
         // Restart the JOIN retry series toward the new address: the
         // rebuilt TREE push may miss a DR whose original JOIN died with
@@ -151,6 +157,7 @@ impl ScmpRouter {
             rebuilt.push((group, dcdm.into_tree()));
         }
         for (group, tree) in rebuilt {
+            let txn = self.fresh_txn();
             let Role::MRouter(state) = &mut self.role else {
                 unreachable!()
             };
@@ -162,9 +169,17 @@ impl ScmpRouter {
             entry.gen = gen;
             for &child in tree.children(me) {
                 let tp = TreePacket::from_tree(&tree, child);
-                let pkt = Packet::control(group, ScmpMsg::Tree { gen, packet: tp });
+                let pkt = Packet::control_keyed(group, txn, ScmpMsg::Tree { gen, packet: tp });
                 self.send_tree_tracked(group, child, gen, pkt, ctx);
             }
+            super::mrouter::record_tree_health(
+                group,
+                scmp_telemetry::HealthTrigger::Takeover,
+                topo,
+                &**paths,
+                &tree,
+                ctx,
+            );
             let Role::MRouter(state) = &mut self.role else {
                 unreachable!()
             };

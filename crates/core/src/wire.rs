@@ -2,23 +2,26 @@
 //!
 //! The simulator passes [`ScmpMsg`] values by value, but a deployable
 //! SCMP needs a byte format. This module defines one: a fixed header
-//! (magic, version, message type, sequence number, group, tag, creation
-//! timestamp) followed by a per-type body and a trailing checksum; the
-//! recursive TREE payload reuses the §III-E word encoding from
-//! [`crate::tree_packet`].
+//! (magic, version, message type, sequence number, group, origin, tag,
+//! creation timestamp) followed by a per-type body and a trailing
+//! checksum; the recursive TREE payload reuses the §III-E word encoding
+//! from [`crate::tree_packet`].
 //!
 //! ```text
-//! 0      2   3    4      8        12           20           28
-//! +------+---+----+------+--------+------------+------------+----....----+------+
-//! | magic|ver|type| seq  | group  |    tag     | created_at | body       | csum |
-//! +------+---+----+------+--------+------------+------------+----....----+------+
+//! 0      2   3    4      8        12       16           24           32
+//! +------+---+----+------+--------+--------+------------+------------+----....----+------+
+//! | magic|ver|type| seq  | group  | origin |    tag     | created_at | body       | csum |
+//! +------+---+----+------+--------+--------+------------+------------+----....----+------+
 //! ```
 //!
 //! All integers big-endian. Version 2 added the per-sender control
 //! sequence number `seq` (receivers dedup retransmitted control
 //! messages on it, see [`crate::dedup`]) and the trailing FNV-1a
 //! checksum over every preceding byte, so a corrupted packet decodes to
-//! [`WireError::BadChecksum`] instead of being trusted. The codec is
+//! [`WireError::BadChecksum`] instead of being trusted. Version 3 added
+//! `origin`: the node that first transmitted the packet, preserved
+//! across relays so the (group, origin, tag) causal trace key (see
+//! [`scmp_telemetry::trace_key`]) survives the whole path. The codec is
 //! total: `decode(encode(p)) == p` for every representable packet
 //! (checked by property tests), and every truncation or corruption
 //! decodes to a typed error, never a panic.
@@ -31,8 +34,8 @@ use scmp_sim::{GroupId, Packet, PacketClass};
 
 /// Protocol magic: "SC".
 pub const MAGIC: u16 = 0x5343;
-/// Wire format version (2: sequence number + trailing checksum).
-pub const VERSION: u8 = 2;
+/// Wire format version (3: origin node id in the header).
+pub const VERSION: u8 = 3;
 
 /// Message-type discriminants on the wire.
 #[repr(u8)]
@@ -99,6 +102,7 @@ pub fn encode_seq(pkt: &Packet<ScmpMsg>, seq: u32) -> Bytes {
     b.put_u8(type_of(&pkt.body) as u8);
     b.put_u32(seq);
     b.put_u32(pkt.group.0);
+    b.put_u32(pkt.origin.0);
     b.put_u64(pkt.tag);
     b.put_u64(pkt.created_at);
     match &pkt.body {
@@ -185,7 +189,7 @@ pub fn decode(bytes: Bytes) -> Result<Packet<ScmpMsg>, WireError> {
 /// [`WireError::BadChecksum`].
 pub fn decode_seq(mut bytes: Bytes) -> Result<(Packet<ScmpMsg>, u32), WireError> {
     let whole = bytes.clone();
-    need!(bytes, 2 + 1 + 1 + 4 + 4 + 8 + 8);
+    need!(bytes, 2 + 1 + 1 + 4 + 4 + 4 + 8 + 8);
     if bytes.get_u16() != MAGIC {
         return Err(WireError::BadMagic);
     }
@@ -196,6 +200,7 @@ pub fn decode_seq(mut bytes: Bytes) -> Result<(Packet<ScmpMsg>, u32), WireError>
     let ty = bytes.get_u8();
     let seq = bytes.get_u32();
     let group = GroupId(bytes.get_u32());
+    let origin = NodeId(bytes.get_u32());
     let tag = bytes.get_u64();
     let created_at = bytes.get_u64();
     let body = match ty {
@@ -283,6 +288,7 @@ pub fn decode_seq(mut bytes: Bytes) -> Result<(Packet<ScmpMsg>, u32), WireError>
             group,
             tag,
             created_at,
+            origin,
             body,
         },
         seq,
@@ -300,7 +306,17 @@ mod tests {
         assert_eq!(back.group, pkt.group);
         assert_eq!(back.tag, pkt.tag);
         assert_eq!(back.created_at, pkt.created_at);
+        assert_eq!(back.origin, pkt.origin);
         assert_eq!(back.body, pkt.body);
+    }
+
+    #[test]
+    fn origin_rides_the_header() {
+        let mut pkt = Packet::data(GroupId(2), 5, 77, ScmpMsg::Data);
+        pkt.origin = NodeId(31);
+        let back = decode(encode(&pkt)).expect("decodes");
+        assert_eq!(back.origin, NodeId(31));
+        roundtrip(pkt);
     }
 
     #[test]

@@ -109,6 +109,7 @@ proptest! {
         group in any::<u32>(),
         tag in any::<u64>(),
         created in any::<u64>(),
+        origin in any::<u32>(),
         gen in any::<u64>(),
         variant in 0usize..12,
     ) {
@@ -136,6 +137,7 @@ proptest! {
             group: GroupId(group),
             tag,
             created_at: created,
+            origin: NodeId(origin),
             body,
         };
         let back = wire::decode(wire::encode(&pkt)).unwrap();
@@ -143,6 +145,7 @@ proptest! {
         prop_assert_eq!(back.group, pkt.group);
         prop_assert_eq!(back.tag, pkt.tag);
         prop_assert_eq!(back.created_at, pkt.created_at);
+        prop_assert_eq!(back.origin, pkt.origin);
     }
 
     /// Arbitrary byte soup never panics the decoder.

@@ -57,6 +57,7 @@ fn legacy_record(ev: &Event) -> Option<TraceRecord> {
             class,
             group,
             tag,
+            ..
         } => TraceKind::Deliver {
             from: NodeId(from),
             class: match class {
@@ -80,6 +81,7 @@ fn legacy_record(ev: &Event) -> Option<TraceRecord> {
         TeleKind::Drop {
             reason: DropReason::NonNeighbour,
             to: Some(to),
+            ..
         } => TraceKind::NonNeighbourDrop { to: NodeId(to) },
         _ => return None,
     };
@@ -166,6 +168,12 @@ impl<R: Router> Engine<R> {
     /// The gauge time series sampled so far.
     pub fn gauges(&self) -> &[GaugeSample] {
         self.tele.gauges()
+    }
+
+    /// The tree-health samples recorded so far (empty unless a sink is
+    /// enabled — health probes are gated on telemetry being on).
+    pub fn health_events(&self) -> &[Event] {
+        self.tele.health()
     }
 
     /// The sink's in-memory event snapshot (empty for the default
@@ -396,7 +404,7 @@ impl<R: Router> Engine<R> {
                 continue;
             }
             if !self.transport.node_up(node) {
-                if matches!(kind, EventKind::Deliver { .. }) {
+                if let EventKind::Deliver { pkt, .. } = &kind {
                     self.stats.drops += 1;
                     if self.tele.on() {
                         self.tele.emit(
@@ -405,6 +413,8 @@ impl<R: Router> Engine<R> {
                             TeleKind::Drop {
                                 reason: DropReason::DeadNode,
                                 to: None,
+                                group: Some(pkt.group.0),
+                                tag: Some(pkt.tag),
                             },
                         );
                     }
@@ -414,7 +424,9 @@ impl<R: Router> Engine<R> {
             // A corrupted arrival fails the receiver's checksum: counted
             // and traced as a drop, never dispatched to the protocol.
             if let EventKind::Deliver {
-                corrupted: true, ..
+                corrupted: true,
+                ref pkt,
+                ..
             } = kind
             {
                 self.stats.drops += 1;
@@ -426,6 +438,8 @@ impl<R: Router> Engine<R> {
                         TeleKind::Drop {
                             reason: DropReason::Corrupt,
                             to: None,
+                            group: Some(pkt.group.0),
+                            tag: Some(pkt.tag),
                         },
                     );
                 }
@@ -441,6 +455,7 @@ impl<R: Router> Engine<R> {
                         },
                         group: pkt.group.0,
                         tag: pkt.tag,
+                        ctl: R::classify(&pkt.body),
                     },
                     EventKind::Timer { token } => TeleKind::Timer { token: *token },
                     EventKind::App(AppEvent::Join(g)) => TeleKind::Join { group: g.0 },

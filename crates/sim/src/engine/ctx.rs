@@ -5,10 +5,10 @@ use super::queue::{EventKind, EventQueue};
 use super::telemetry::Telemetry;
 use super::transport::Transport;
 use super::SimTime;
-use crate::packet::{Packet, PacketClass};
+use crate::packet::{GroupId, Packet, PacketClass, ORIGIN_UNSET};
 use crate::stats::SimStats;
 use scmp_net::{NodeId, RoutingTables, Topology};
-use scmp_telemetry::{DropReason, EventKind as TeleKind};
+use scmp_telemetry::{DropReason, EventKind as TeleKind, HealthTrigger};
 use std::fmt;
 
 /// The per-dispatch context handed to [`Router`](super::Router)
@@ -88,8 +88,9 @@ impl<'a, M: Clone + fmt::Debug> Ctx<'a, M> {
 
     /// Record a control-plane retransmission (JOIN/LEAVE/TREE/BRANCH
     /// retry): counted in the stats and, when telemetry is on, emitted
-    /// with the destination and attempt number.
-    pub fn record_retransmit(&mut self, group: u32, to: NodeId, attempt: u32) {
+    /// with the destination, attempt number, and the transaction's
+    /// causal trace key (`tag`).
+    pub fn record_retransmit(&mut self, group: u32, to: NodeId, attempt: u32, tag: u64) {
         self.stats.retransmissions += 1;
         if self.tele.on() {
             self.tele.emit(
@@ -99,9 +100,48 @@ impl<'a, M: Clone + fmt::Debug> Ctx<'a, M> {
                     group,
                     to: to.0,
                     attempt,
+                    tag,
                 },
             );
         }
+    }
+
+    /// Whether the installed telemetry sink is live — expensive
+    /// observability probes (tree-health sampling) are gated on this so
+    /// sink-off runs pay nothing.
+    pub fn telemetry_on(&self) -> bool {
+        self.tele.on()
+    }
+
+    /// Record a per-group tree-health sample (taken by the m-router
+    /// after a tree build/repair): member count, max hop depth, total
+    /// edge cost, mean delay stretch vs unicast (×1000), and
+    /// inter-member delay variation (max − min, ticks). Stored in the
+    /// engine's health registry and emitted as a telemetry event.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_tree_health(
+        &mut self,
+        group: GroupId,
+        trigger: HealthTrigger,
+        members: u32,
+        depth: u32,
+        cost: u64,
+        stretch_milli: u64,
+        delay_var: u64,
+    ) {
+        self.tele.record_health(
+            self.now,
+            self.node,
+            TeleKind::TreeHealth {
+                group: group.0,
+                trigger,
+                members,
+                depth,
+                cost,
+                stretch_milli,
+                delay_var,
+            },
+        );
     }
 
     /// Record a standby promotion to m-router (real or spurious — the
@@ -113,8 +153,11 @@ impl<'a, M: Clone + fmt::Debug> Ctx<'a, M> {
         }
     }
 
-    /// Emit a drop event with its reason (telemetry-enabled runs only).
-    fn trace_drop(&mut self, reason: DropReason, to: Option<NodeId>) {
+    /// Emit a drop event with its reason and — when the drop point still
+    /// had the packet in hand — its (group, tag) correlation key, so
+    /// journeys can show where a packet died (telemetry-enabled runs
+    /// only).
+    fn trace_drop(&mut self, reason: DropReason, to: Option<NodeId>, key: Option<(u32, u64)>) {
         if self.tele.on() {
             self.tele.emit(
                 self.now,
@@ -122,6 +165,8 @@ impl<'a, M: Clone + fmt::Debug> Ctx<'a, M> {
                 TeleKind::Drop {
                     reason,
                     to: to.map(|n| n.0),
+                    group: key.map(|(g, _)| g),
+                    tag: key.map(|(_, t)| t),
                 },
             );
         }
@@ -136,23 +181,27 @@ impl<'a, M: Clone + fmt::Debug> Ctx<'a, M> {
     /// topology change — so release builds count and trace the drop
     /// instead of tearing the simulation down (debug builds still
     /// assert).
-    pub fn send(&mut self, to: NodeId, pkt: Packet<M>) {
+    pub fn send(&mut self, to: NodeId, mut pkt: Packet<M>) {
+        if pkt.origin == ORIGIN_UNSET {
+            pkt.origin = self.node;
+        }
+        let key = (pkt.group.0, pkt.tag);
         let Some(w) = self.topo.link(self.node, to) else {
             debug_assert!(false, "{:?} is not a neighbour of {:?}", to, self.node);
             self.stats.drops += 1;
-            self.trace_drop(DropReason::NonNeighbour, Some(to));
+            self.trace_drop(DropReason::NonNeighbour, Some(to), Some(key));
             return;
         };
         if !self.transport.link_alive(self.node, to) {
             self.stats.drops += 1;
-            self.trace_drop(DropReason::DeadLink, None);
+            self.trace_drop(DropReason::DeadLink, None, Some(key));
             return;
         }
         let Some(depart) = self.reserve_link(self.node, to, self.now) else {
             // Queue overflow: the congestion loss of §I.
             self.stats.drops += 1;
             self.stats.queue_drops += 1;
-            self.trace_drop(DropReason::QueueFull, None);
+            self.trace_drop(DropReason::QueueFull, None, Some(key));
             return;
         };
         self.charge(pkt.class, w.cost);
@@ -163,10 +212,10 @@ impl<'a, M: Clone + fmt::Debug> Ctx<'a, M> {
         if roll.drop {
             self.stats.drops += 1;
             self.stats.channel_dropped += 1;
-            self.trace_drop(DropReason::ChannelLoss, Some(to));
+            self.trace_drop(DropReason::ChannelLoss, Some(to), Some(key));
             return;
         }
-        let t = depart + w.delay + self.note_jitter(roll.jitter, to);
+        let t = depart + w.delay + self.note_jitter(roll.jitter, to, key);
         let dup = roll.duplicate.then(|| pkt.clone());
         self.push(
             t,
@@ -178,7 +227,7 @@ impl<'a, M: Clone + fmt::Debug> Ctx<'a, M> {
             },
         );
         if let Some(pkt) = dup {
-            self.note_duplicate(to);
+            self.note_duplicate(to, key);
             self.push(
                 t,
                 to,
@@ -193,14 +242,19 @@ impl<'a, M: Clone + fmt::Debug> Ctx<'a, M> {
 
     /// Account a nonzero reorder jitter; returns it for the arrival-time
     /// sum.
-    fn note_jitter(&mut self, jitter: SimTime, to: NodeId) -> SimTime {
+    fn note_jitter(&mut self, jitter: SimTime, to: NodeId, key: (u32, u64)) -> SimTime {
         if jitter > 0 {
             self.stats.channel_reordered += 1;
             if self.tele.on() {
                 self.tele.emit(
                     self.now,
                     self.node,
-                    TeleKind::ChannelReorder { to: to.0, jitter },
+                    TeleKind::ChannelReorder {
+                        to: to.0,
+                        jitter,
+                        group: key.0,
+                        tag: key.1,
+                    },
                 );
             }
         }
@@ -208,11 +262,18 @@ impl<'a, M: Clone + fmt::Debug> Ctx<'a, M> {
     }
 
     /// Account a channel duplication (the copy is pushed by the caller).
-    fn note_duplicate(&mut self, to: NodeId) {
+    fn note_duplicate(&mut self, to: NodeId, key: (u32, u64)) {
         self.stats.channel_duplicated += 1;
         if self.tele.on() {
-            self.tele
-                .emit(self.now, self.node, TeleKind::ChannelDuplicate { to: to.0 });
+            self.tele.emit(
+                self.now,
+                self.node,
+                TeleKind::ChannelDuplicate {
+                    to: to.0,
+                    group: key.0,
+                    tag: key.1,
+                },
+            );
         }
     }
 
@@ -233,7 +294,11 @@ impl<'a, M: Clone + fmt::Debug> Ctx<'a, M> {
     ///
     /// The packet is dropped (and partially charged, like a real packet
     /// making it partway) if the path crosses a dead link or node.
-    pub fn unicast(&mut self, dst: NodeId, pkt: Packet<M>) {
+    pub fn unicast(&mut self, dst: NodeId, mut pkt: Packet<M>) {
+        if pkt.origin == ORIGIN_UNSET {
+            pkt.origin = self.node;
+        }
+        let key = (pkt.group.0, pkt.tag);
         if dst == self.node {
             let t = self.now;
             self.push(
@@ -249,7 +314,7 @@ impl<'a, M: Clone + fmt::Debug> Ctx<'a, M> {
         }
         let Some(route) = self.routes.route(self.node, dst) else {
             self.stats.drops += 1;
-            self.trace_drop(DropReason::NoRoute, None);
+            self.trace_drop(DropReason::NoRoute, None, Some(key));
             return;
         };
         let mut at = self.now;
@@ -265,13 +330,13 @@ impl<'a, M: Clone + fmt::Debug> Ctx<'a, M> {
             let (a, b) = (hop[0], hop[1]);
             if !self.transport.link_alive(a, b) {
                 self.stats.drops += 1;
-                self.trace_drop(DropReason::DeadLink, None);
+                self.trace_drop(DropReason::DeadLink, None, Some(key));
                 return;
             }
             let Some(depart) = self.reserve_link(a, b, at) else {
                 self.stats.drops += 1;
                 self.stats.queue_drops += 1;
-                self.trace_drop(DropReason::QueueFull, None);
+                self.trace_drop(DropReason::QueueFull, None, Some(key));
                 return;
             };
             let w = self.topo.link(a, b).expect("route follows links");
@@ -280,12 +345,12 @@ impl<'a, M: Clone + fmt::Debug> Ctx<'a, M> {
             if roll.drop {
                 self.stats.drops += 1;
                 self.stats.channel_dropped += 1;
-                self.trace_drop(DropReason::ChannelLoss, Some(b));
+                self.trace_drop(DropReason::ChannelLoss, Some(b), Some(key));
                 return;
             }
             corrupted |= roll.corrupt;
             duplicate |= roll.duplicate;
-            at = depart + w.delay + self.note_jitter(roll.jitter, b);
+            at = depart + w.delay + self.note_jitter(roll.jitter, b, key);
         }
         let from = route[route.len() - 2];
         let dup = duplicate.then(|| pkt.clone());
@@ -299,7 +364,7 @@ impl<'a, M: Clone + fmt::Debug> Ctx<'a, M> {
             },
         );
         if let Some(pkt) = dup {
-            self.note_duplicate(dst);
+            self.note_duplicate(dst, key);
             self.push(
                 at,
                 dst,
@@ -344,10 +409,19 @@ impl<'a, M: Clone + fmt::Debug> Ctx<'a, M> {
     }
 
     /// Record a protocol-decision drop (e.g. a packet arriving from a
-    /// router outside the forwarding set, §III-F).
+    /// router outside the forwarding set, §III-F) with no correlation
+    /// key. Prefer [`Ctx::drop_packet_keyed`] when the packet is still
+    /// in hand.
     pub fn drop_packet(&mut self) {
         self.stats.drops += 1;
-        self.trace_drop(DropReason::Protocol, None);
+        self.trace_drop(DropReason::Protocol, None, None);
+    }
+
+    /// Record a protocol-decision drop of an identified packet, keeping
+    /// its (group, tag) correlation key visible in journeys.
+    pub fn drop_packet_keyed(&mut self, group: GroupId, tag: u64) {
+        self.stats.drops += 1;
+        self.trace_drop(DropReason::Protocol, None, Some((group.0, tag)));
     }
 
     fn charge(&mut self, class: PacketClass, cost: u64) {

@@ -109,6 +109,15 @@ pub trait Router {
     /// Protocol message body carried by [`crate::packet::Packet`].
     type Msg: Clone + fmt::Debug;
 
+    /// Classify a message body for telemetry: which control verb (or
+    /// data variant) it carries. The engine stamps the result on
+    /// [`scmp_telemetry::EventKind::Deliver`] events so the inspector
+    /// can reconstruct control causality chains. The default (`None`)
+    /// keeps protocols that don't care fully working.
+    fn classify(_msg: &Self::Msg) -> Option<scmp_telemetry::CtlKind> {
+        None
+    }
+
     /// Called once before the first event fires.
     fn on_start(&mut self, ctx: &mut Ctx<'_, Self::Msg>) {
         let _ = ctx;

@@ -1,7 +1,12 @@
 //! The simulator's packet model.
 
+use scmp_net::NodeId;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+
+/// Sentinel origin for a packet not yet stamped by the transport: the
+/// first [`Ctx::send`](crate::Ctx::send)/unicast sets the real origin.
+pub const ORIGIN_UNSET: NodeId = NodeId(u32::MAX);
 
 /// Multicast group identifier (the paper's `gid`).
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -36,11 +41,18 @@ pub struct Packet<M> {
     pub class: PacketClass,
     /// Group this packet belongs to.
     pub group: GroupId,
-    /// Data-packet sequence tag (unique per injected payload); control
-    /// packets use 0. Used to track deliveries and end-to-end delay.
+    /// Correlation tag: a data payload's sequence number (unique per
+    /// injected payload), or a packed control-transaction trace key
+    /// ([`scmp_telemetry::trace_key`] — high bit set). Plain control
+    /// packets outside any tracked transaction use 0.
     pub tag: u64,
     /// Simulation time the payload entered the network at its source.
     pub created_at: u64,
+    /// The node that first transmitted the packet. Stamped by the
+    /// transport on first send ([`ORIGIN_UNSET`] until then) and
+    /// preserved across relays/decapsulation, so the (group, origin,
+    /// tag) correlation key survives the whole path.
+    pub origin: NodeId,
     /// Protocol-specific body.
     pub body: M,
 }
@@ -53,6 +65,21 @@ impl<M> Packet<M> {
             group,
             tag: 0,
             created_at: 0,
+            origin: ORIGIN_UNSET,
+            body,
+        }
+    }
+
+    /// Construct a control packet stamped with a causal transaction
+    /// `tag` (a packed trace key, or an inherited upstream tag) so the
+    /// whole control cascade correlates in telemetry.
+    pub fn control_keyed(group: GroupId, tag: u64, body: M) -> Self {
+        Packet {
+            class: PacketClass::Control,
+            group,
+            tag,
+            created_at: 0,
+            origin: ORIGIN_UNSET,
             body,
         }
     }
@@ -64,6 +91,7 @@ impl<M> Packet<M> {
             group,
             tag,
             created_at: now,
+            origin: ORIGIN_UNSET,
             body,
         }
     }
@@ -78,10 +106,15 @@ mod tests {
         let c: Packet<&str> = Packet::control(GroupId(1), "join");
         assert_eq!(c.class, PacketClass::Control);
         assert_eq!(c.tag, 0);
+        assert_eq!(c.origin, ORIGIN_UNSET);
+        let k: Packet<&str> = Packet::control_keyed(GroupId(1), 42, "join");
+        assert_eq!(k.class, PacketClass::Control);
+        assert_eq!(k.tag, 42);
         let d: Packet<&str> = Packet::data(GroupId(1), 7, 100, "payload");
         assert_eq!(d.class, PacketClass::Data);
         assert_eq!(d.created_at, 100);
         assert_eq!(d.tag, 7);
+        assert_eq!(d.origin, ORIGIN_UNSET);
     }
 
     #[test]

@@ -29,7 +29,8 @@ pub enum TrafficClass {
 }
 
 impl TrafficClass {
-    fn label(self) -> &'static str {
+    /// Stable string used in the JSONL form and reports.
+    pub fn label(self) -> &'static str {
         match self {
             TrafficClass::Data => "data",
             TrafficClass::Control => "control",
@@ -97,6 +98,114 @@ impl DropReason {
     }
 }
 
+/// Control-plane message kind on a delivered packet, mirroring the SCMP
+/// wire vocabulary without depending on it. Protocols that don't
+/// classify their messages simply omit it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CtlKind {
+    /// Membership request toward the m-router.
+    Join,
+    /// Membership withdrawal toward the m-router.
+    Leave,
+    /// Upstream branch teardown.
+    Prune,
+    /// Full tree-state install from the m-router.
+    Tree,
+    /// Incremental graft install.
+    Branch,
+    /// Stale-state flush after a restructure.
+    Flush,
+    /// Multicast payload on the tree.
+    Data,
+    /// Payload tunnelled to the m-router by an off-tree DR.
+    EncapData,
+    /// m-router liveness beacon.
+    Heartbeat,
+    /// Primary→standby membership mirror.
+    StandbySync,
+    /// Takeover announcement from a promoted standby.
+    NewMRouter,
+    /// m-router acknowledgement of a LEAVE.
+    LeaveAck,
+    /// Hop-by-hop acknowledgement of a TREE/BRANCH install.
+    TreeAck,
+}
+
+impl CtlKind {
+    /// Stable string used in the JSONL form and journey reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            CtlKind::Join => "join",
+            CtlKind::Leave => "leave",
+            CtlKind::Prune => "prune",
+            CtlKind::Tree => "tree",
+            CtlKind::Branch => "branch",
+            CtlKind::Flush => "flush",
+            CtlKind::Data => "data",
+            CtlKind::EncapData => "encap",
+            CtlKind::Heartbeat => "heartbeat",
+            CtlKind::StandbySync => "sync",
+            CtlKind::NewMRouter => "new_mrouter",
+            CtlKind::LeaveAck => "leave_ack",
+            CtlKind::TreeAck => "tree_ack",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Self> {
+        match s {
+            "join" => Some(CtlKind::Join),
+            "leave" => Some(CtlKind::Leave),
+            "prune" => Some(CtlKind::Prune),
+            "tree" => Some(CtlKind::Tree),
+            "branch" => Some(CtlKind::Branch),
+            "flush" => Some(CtlKind::Flush),
+            "data" => Some(CtlKind::Data),
+            "encap" => Some(CtlKind::EncapData),
+            "heartbeat" => Some(CtlKind::Heartbeat),
+            "sync" => Some(CtlKind::StandbySync),
+            "new_mrouter" => Some(CtlKind::NewMRouter),
+            "leave_ack" => Some(CtlKind::LeaveAck),
+            "tree_ack" => Some(CtlKind::TreeAck),
+            _ => None,
+        }
+    }
+}
+
+/// What caused a tree-health sample to be taken.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HealthTrigger {
+    /// A member join (re)built or grafted the tree.
+    Join,
+    /// A member leave pruned the tree.
+    Leave,
+    /// The repair scan rebuilt the tree on the surviving topology.
+    Repair,
+    /// A promoted standby rebuilt the tree after takeover.
+    Takeover,
+}
+
+impl HealthTrigger {
+    /// Stable string used in the JSONL form and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            HealthTrigger::Join => "join",
+            HealthTrigger::Leave => "leave",
+            HealthTrigger::Repair => "repair",
+            HealthTrigger::Takeover => "takeover",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Self> {
+        match s {
+            "join" => Some(HealthTrigger::Join),
+            "leave" => Some(HealthTrigger::Leave),
+            "repair" => Some(HealthTrigger::Repair),
+            "takeover" => Some(HealthTrigger::Takeover),
+            _ => None,
+        }
+    }
+}
+
 /// What happened.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum EventKind {
@@ -106,12 +215,15 @@ pub enum EventKind {
     Leave { group: u32 },
     /// A local host injected payload `tag` for `group`.
     Send { group: u32, tag: u64 },
-    /// A packet was handed to the node's router.
+    /// A packet was handed to the node's router. `ctl` is the
+    /// protocol-level message kind when the router classifies its
+    /// messages (`None` for protocols that don't).
     Deliver {
         from: u32,
         class: TrafficClass,
         group: u32,
         tag: u64,
+        ctl: Option<CtlKind>,
     },
     /// A data payload reached the member hosts attached to the node,
     /// `delay` ticks after its source injected it.
@@ -127,8 +239,16 @@ pub enum EventKind {
     /// The node recovered with factory-fresh state.
     RouterRecover,
     /// A packet was dropped at the node. `to` is the intended next hop
-    /// for [`DropReason::NonNeighbour`] drops (`None` otherwise).
-    Drop { reason: DropReason, to: Option<u32> },
+    /// when one was known at the drop point (`None` otherwise);
+    /// `group`/`tag` carry the dropped packet's correlation key when the
+    /// drop point still had the packet in hand, so journeys can show
+    /// where a transaction died.
+    Drop {
+        reason: DropReason,
+        to: Option<u32>,
+        group: Option<u32>,
+        tag: Option<u64>,
+    },
     /// The m-router's repair scan completed a tree repair, `latency`
     /// ticks after the most recent injected failure.
     Repair { latency: u64 },
@@ -140,15 +260,38 @@ pub enum EventKind {
         deliveries: u64,
     },
     /// The channel model delivered a second copy of a packet to `to`.
-    ChannelDuplicate { to: u32 },
+    ChannelDuplicate { to: u32, group: u32, tag: u64 },
     /// The channel model delayed a packet to `to` by `jitter` extra
     /// ticks (later packets can overtake it).
-    ChannelReorder { to: u32, jitter: u64 },
+    ChannelReorder {
+        to: u32,
+        jitter: u64,
+        group: u32,
+        tag: u64,
+    },
     /// The node retransmitted a control message to `to` (attempt
-    /// numbers start at 1).
-    Retransmit { group: u32, to: u32, attempt: u32 },
+    /// numbers start at 1). `tag` is the transaction's trace key.
+    Retransmit {
+        group: u32,
+        to: u32,
+        attempt: u32,
+        tag: u64,
+    },
     /// A standby promoted itself to m-router.
     Takeover,
+    /// A tree-health sample taken after a tree build/repair at the
+    /// m-router: member count, max hop depth, total edge cost, mean
+    /// delay stretch vs unicast (×1000), and inter-member delay
+    /// variation (max − min delivery delay, in ticks).
+    TreeHealth {
+        group: u32,
+        trigger: HealthTrigger,
+        members: u32,
+        depth: u32,
+        cost: u64,
+        stretch_milli: u64,
+        delay_var: u64,
+    },
 }
 
 /// Append `s` to `out` as a JSON string literal (surrounding quotes
@@ -216,10 +359,15 @@ impl Event {
                 class,
                 group,
                 tag,
+                ctl,
             } => {
                 let _ = write!(out, ",\"kind\":\"deliver\",\"from\":{from},\"class\":");
                 encode_json_string(class.label(), out);
                 let _ = write!(out, ",\"group\":{group},\"tag\":{tag}");
+                if let Some(ctl) = ctl {
+                    out.push_str(",\"ctl\":");
+                    encode_json_string(ctl.label(), out);
+                }
             }
             EventKind::DeliverLocal { group, tag, delay } => {
                 let _ = write!(
@@ -242,11 +390,22 @@ impl Event {
             EventKind::RouterRecover => {
                 let _ = write!(out, ",\"kind\":\"recover\"");
             }
-            EventKind::Drop { reason, to } => {
+            EventKind::Drop {
+                reason,
+                to,
+                group,
+                tag,
+            } => {
                 out.push_str(",\"kind\":\"drop\",\"reason\":");
                 encode_json_string(reason.label(), out);
                 if let Some(to) = to {
                     let _ = write!(out, ",\"to\":{to}");
+                }
+                if let Some(group) = group {
+                    let _ = write!(out, ",\"group\":{group}");
+                }
+                if let Some(tag) = tag {
+                    let _ = write!(out, ",\"tag\":{tag}");
                 }
             }
             EventKind::Repair { latency } => {
@@ -263,23 +422,55 @@ impl Event {
                     ",\"kind\":\"gauge\",\"queue_depth\":{queue_depth},\"down_links\":{down_links},\"down_nodes\":{down_nodes},\"deliveries\":{deliveries}"
                 );
             }
-            EventKind::ChannelDuplicate { to } => {
-                let _ = write!(out, ",\"kind\":\"channel_duplicate\",\"to\":{to}");
-            }
-            EventKind::ChannelReorder { to, jitter } => {
+            EventKind::ChannelDuplicate { to, group, tag } => {
                 let _ = write!(
                     out,
-                    ",\"kind\":\"channel_reorder\",\"to\":{to},\"jitter\":{jitter}"
+                    ",\"kind\":\"channel_duplicate\",\"to\":{to},\"group\":{group},\"tag\":{tag}"
                 );
             }
-            EventKind::Retransmit { group, to, attempt } => {
+            EventKind::ChannelReorder {
+                to,
+                jitter,
+                group,
+                tag,
+            } => {
                 let _ = write!(
                     out,
-                    ",\"kind\":\"retransmit\",\"group\":{group},\"to\":{to},\"attempt\":{attempt}"
+                    ",\"kind\":\"channel_reorder\",\"to\":{to},\"jitter\":{jitter},\"group\":{group},\"tag\":{tag}"
+                );
+            }
+            EventKind::Retransmit {
+                group,
+                to,
+                attempt,
+                tag,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"kind\":\"retransmit\",\"group\":{group},\"to\":{to},\"attempt\":{attempt},\"tag\":{tag}"
                 );
             }
             EventKind::Takeover => {
                 let _ = write!(out, ",\"kind\":\"takeover\"");
+            }
+            EventKind::TreeHealth {
+                group,
+                trigger,
+                members,
+                depth,
+                cost,
+                stretch_milli,
+                delay_var,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"kind\":\"tree_health\",\"group\":{group},\"trigger\":"
+                );
+                encode_json_string(trigger.label(), out);
+                let _ = write!(
+                    out,
+                    ",\"members\":{members},\"depth\":{depth},\"cost\":{cost},\"stretch_milli\":{stretch_milli},\"delay_var\":{delay_var}"
+                );
             }
         }
         out.push('}');
@@ -347,6 +538,13 @@ struct RawEvent {
     deliveries: Option<u64>,
     jitter: Option<u64>,
     attempt: Option<u32>,
+    ctl: Option<String>,
+    trigger: Option<String>,
+    members: Option<u32>,
+    depth: Option<u32>,
+    cost: Option<u64>,
+    stretch_milli: Option<u64>,
+    delay_var: Option<u64>,
 }
 
 impl RawEvent {
@@ -374,6 +572,10 @@ impl RawEvent {
                 )?,
                 group: need(self.group, "group", "deliver")?,
                 tag: need(self.tag, "tag", "deliver")?,
+                ctl: match self.ctl.as_deref() {
+                    None => None,
+                    Some(s) => Some(need(CtlKind::parse(s), "ctl", "deliver")?),
+                },
             },
             "deliver_local" => EventKind::DeliverLocal {
                 group: need(self.group, "group", "deliver_local")?,
@@ -400,6 +602,8 @@ impl RawEvent {
                     "drop",
                 )?,
                 to: self.to,
+                group: self.group,
+                tag: self.tag,
             },
             "repair" => EventKind::Repair {
                 latency: need(self.latency, "latency", "repair")?,
@@ -412,17 +616,35 @@ impl RawEvent {
             },
             "channel_duplicate" => EventKind::ChannelDuplicate {
                 to: need(self.to, "to", "channel_duplicate")?,
+                group: need(self.group, "group", "channel_duplicate")?,
+                tag: need(self.tag, "tag", "channel_duplicate")?,
             },
             "channel_reorder" => EventKind::ChannelReorder {
                 to: need(self.to, "to", "channel_reorder")?,
                 jitter: need(self.jitter, "jitter", "channel_reorder")?,
+                group: need(self.group, "group", "channel_reorder")?,
+                tag: need(self.tag, "tag", "channel_reorder")?,
             },
             "retransmit" => EventKind::Retransmit {
                 group: need(self.group, "group", "retransmit")?,
                 to: need(self.to, "to", "retransmit")?,
                 attempt: need(self.attempt, "attempt", "retransmit")?,
+                tag: need(self.tag, "tag", "retransmit")?,
             },
             "takeover" => EventKind::Takeover,
+            "tree_health" => EventKind::TreeHealth {
+                group: need(self.group, "group", "tree_health")?,
+                trigger: need(
+                    self.trigger.as_deref().and_then(HealthTrigger::parse),
+                    "trigger",
+                    "tree_health",
+                )?,
+                members: need(self.members, "members", "tree_health")?,
+                depth: need(self.depth, "depth", "tree_health")?,
+                cost: need(self.cost, "cost", "tree_health")?,
+                stretch_milli: need(self.stretch_milli, "stretch_milli", "tree_health")?,
+                delay_var: need(self.delay_var, "delay_var", "tree_health")?,
+            },
             other => return Err(format!("unknown event kind {other:?}")),
         };
         Ok(Event {
@@ -462,6 +684,7 @@ mod tests {
                     class: TrafficClass::Data,
                     group: 1,
                     tag: 9,
+                    ctl: None,
                 },
             },
             Event {
@@ -471,7 +694,8 @@ mod tests {
                     from: 1,
                     class: TrafficClass::Control,
                     group: 1,
-                    tag: 0,
+                    tag: crate::trace_key::pack_ctl_tag(4, 1),
+                    ctl: Some(CtlKind::Join),
                 },
             },
             Event {
@@ -514,6 +738,8 @@ mod tests {
                 kind: EventKind::Drop {
                     reason: DropReason::NonNeighbour,
                     to: Some(3),
+                    group: Some(1),
+                    tag: Some(9),
                 },
             },
             Event {
@@ -522,6 +748,8 @@ mod tests {
                 kind: EventKind::Drop {
                     reason: DropReason::QueueFull,
                     to: None,
+                    group: None,
+                    tag: None,
                 },
             },
             Event {
@@ -545,6 +773,8 @@ mod tests {
                 kind: EventKind::Drop {
                     reason: DropReason::ChannelLoss,
                     to: Some(4),
+                    group: Some(1),
+                    tag: Some(crate::trace_key::pack_ctl_tag(2, 3)),
                 },
             },
             Event {
@@ -553,17 +783,28 @@ mod tests {
                 kind: EventKind::Drop {
                     reason: DropReason::Corrupt,
                     to: None,
+                    group: None,
+                    tag: None,
                 },
             },
             Event {
                 time: 17,
                 node: 2,
-                kind: EventKind::ChannelDuplicate { to: 4 },
+                kind: EventKind::ChannelDuplicate {
+                    to: 4,
+                    group: 1,
+                    tag: 9,
+                },
             },
             Event {
                 time: 18,
                 node: 2,
-                kind: EventKind::ChannelReorder { to: 4, jitter: 11 },
+                kind: EventKind::ChannelReorder {
+                    to: 4,
+                    jitter: 11,
+                    group: 1,
+                    tag: 9,
+                },
             },
             Event {
                 time: 19,
@@ -572,12 +813,26 @@ mod tests {
                     group: 1,
                     to: 0,
                     attempt: 2,
+                    tag: crate::trace_key::pack_ctl_tag(2, 1),
                 },
             },
             Event {
                 time: 20,
                 node: 6,
                 kind: EventKind::Takeover,
+            },
+            Event {
+                time: 21,
+                node: 0,
+                kind: EventKind::TreeHealth {
+                    group: 1,
+                    trigger: HealthTrigger::Repair,
+                    members: 3,
+                    depth: 2,
+                    cost: 14,
+                    stretch_milli: 1250,
+                    delay_var: 6,
+                },
             },
         ]
     }
@@ -666,6 +921,8 @@ mod tests {
         assert!(Event::decode(missing).unwrap_err().contains("tag"));
         let unknown = r#"{"t":1,"node":2,"kind":"warp"}"#;
         assert!(Event::decode(unknown).unwrap_err().contains("warp"));
+        let bad_ctl = r#"{"t":1,"node":2,"kind":"deliver","from":1,"class":"control","group":1,"tag":5,"ctl":"warp"}"#;
+        assert!(Event::decode(bad_ctl).unwrap_err().contains("ctl"));
         let doc = format!("{missing}\n");
         assert!(decode_events(&doc).unwrap_err().starts_with("line 1"));
     }

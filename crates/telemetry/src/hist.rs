@@ -18,6 +18,7 @@ pub struct Histogram {
     counts: Vec<u64>,
     count: u64,
     sum: u64,
+    sumsq: u128,
     max: u64,
 }
 
@@ -57,6 +58,7 @@ impl Histogram {
         self.counts[i] += 1;
         self.count += 1;
         self.sum = self.sum.saturating_add(v);
+        self.sumsq = self.sumsq.saturating_add((v as u128) * (v as u128));
         self.max = self.max.max(v);
     }
 
@@ -89,6 +91,28 @@ impl Histogram {
         } else {
             self.sum as f64 / self.count as f64
         }
+    }
+
+    /// Population variance, 0.0 when empty.
+    ///
+    /// Accumulated as an exact `u128` sum of squares (saturating — a
+    /// single `u64::MAX` sample squared is within range, so saturation
+    /// needs ~2^64 such samples) and combined with the mean in f64 at
+    /// query time, clamped at 0 against rounding. Like the mean, it
+    /// under-reports once either running total has clipped.
+    pub fn variance(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let n = self.count as f64;
+        let mean = self.mean();
+        (self.sumsq as f64 / n - mean * mean).max(0.0)
+    }
+
+    /// Population standard deviation, 0.0 when empty. The delay-variation
+    /// metric placement experiments report (VNS RP-management lineage).
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
     }
 
     /// Estimate the `q`-quantile: the upper bound of the first bucket
@@ -150,6 +174,7 @@ impl Histogram {
         }
         self.count += other.count;
         self.sum = self.sum.saturating_add(other.sum);
+        self.sumsq = self.sumsq.saturating_add(other.sumsq);
         self.max = self.max.max(other.max);
     }
 
@@ -271,6 +296,38 @@ mod tests {
         for q in [f64::NAN, -1.0, 0.5, 2.0] {
             assert_eq!(empty.quantile(q), 0);
         }
+    }
+
+    #[test]
+    fn variance_matches_the_textbook_formula() {
+        let mut h = Histogram::new();
+        assert_eq!(h.variance(), 0.0);
+        assert_eq!(h.stddev(), 0.0);
+        for v in [2u64, 4, 4, 4, 5, 5, 7, 9] {
+            h.record(v);
+        }
+        // Classic example: mean 5, population variance 4, stddev 2.
+        assert_eq!(h.mean(), 5.0);
+        assert!((h.variance() - 4.0).abs() < 1e-9, "{}", h.variance());
+        assert!((h.stddev() - 2.0).abs() < 1e-9);
+        // Constant samples have zero spread.
+        let mut c = Histogram::new();
+        for _ in 0..10 {
+            c.record(42);
+        }
+        assert_eq!(c.variance(), 0.0);
+    }
+
+    #[test]
+    fn variance_survives_extreme_samples() {
+        // u64::MAX squared fits u128, so one huge sample is exact, and
+        // the f64 combination must stay finite and non-negative.
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(0);
+        assert!(h.variance().is_finite());
+        assert!(h.variance() >= 0.0);
+        assert!(h.stddev().is_finite());
     }
 
     #[test]

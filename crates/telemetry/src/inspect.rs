@@ -2,12 +2,15 @@
 //!
 //! [`Trace`] wraps a decoded event stream and derives the views the
 //! `scmp-inspect` CLI exposes: per-group convergence timelines, per-node
-//! event filters, recomputed latency histograms, and a delivery audit
-//! that flags duplicate or unexplained-missing deliveries.
+//! event filters, recomputed latency histograms, causal packet
+//! journeys keyed by the (group, origin, seq) trace keys, per-group
+//! tree-health summaries, and a delivery audit that flags duplicate,
+//! phantom, or unexplained-missing deliveries.
 
-use crate::event::{decode_events, encode_events, Event, EventKind};
+use crate::event::{decode_events, encode_events, CtlKind, Event, EventKind};
 use crate::hist::Histogram;
 use crate::series::GaugeSample;
+use crate::trace_key::{is_ctl_tag, TraceKey};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
 
@@ -71,13 +74,24 @@ pub struct Audit {
     /// Missing deliveries with no drop and no fault anywhere in the
     /// trace to explain them — always a failure.
     pub unaccounted: Vec<(u32, u64, u32)>,
+    /// `(group, tag, node)` delivered locally without any preceding send
+    /// of that payload — always a failure (a trace that conjures data).
+    pub phantom: Vec<(u32, u64, u32)>,
+    /// Events whose timestamp ran backwards relative to the previous
+    /// event — always a failure (the engine emits in dispatch order).
+    pub disordered: u64,
 }
 
 impl Audit {
-    /// True when the trace shows no duplicate and no unexplained-missing
-    /// delivery.
+    /// True when the trace shows none of the hard violation classes:
+    /// duplicate delivery, unexplained-missing delivery, phantom
+    /// delivery, or out-of-order timestamps. Every one of these sets the
+    /// `scmp-inspect --audit` exit code.
     pub fn passed(&self) -> bool {
-        self.duplicates.is_empty() && self.unaccounted.is_empty()
+        self.duplicates.is_empty()
+            && self.unaccounted.is_empty()
+            && self.phantom.is_empty()
+            && self.disordered == 0
     }
 
     /// Human-readable audit report.
@@ -97,6 +111,12 @@ impl Audit {
         for &(g, t, n) in &self.duplicates {
             let _ = writeln!(out, "  DUPLICATE delivery: group {g} tag {t} node {n}");
         }
+        for &(g, t, n) in &self.phantom {
+            let _ = writeln!(out, "  PHANTOM delivery: group {g} tag {t} node {n}");
+        }
+        if self.disordered > 0 {
+            let _ = writeln!(out, "  DISORDERED timestamps: {} events", self.disordered);
+        }
         for &(g, t, n) in &self.missing {
             let explained = !self.unaccounted.contains(&(g, t, n));
             let _ = writeln!(
@@ -108,6 +128,144 @@ impl Audit {
                     " UNACCOUNTED"
                 }
             );
+        }
+        out
+    }
+}
+
+/// One packet's — or one control transaction's — reconstructed journey:
+/// every event in the trace stamped with the same (group, tag)
+/// correlation key, in dispatch order.
+#[derive(Clone, Debug)]
+pub struct Journey {
+    /// The group inspected.
+    pub group: u32,
+    /// The correlation tag: a data payload tag, or a packed control tag.
+    pub tag: u64,
+    /// The decoded (group, origin, seq) key for control transactions,
+    /// `None` for data journeys.
+    pub key: Option<TraceKey>,
+    /// Every stamped event, in trace order: sends, per-hop delivers
+    /// (with their control kind), local deliveries, keyed drops,
+    /// retransmissions, channel duplicates/reorders.
+    pub steps: Vec<Event>,
+    /// For control transactions: the origin node's first data delivery
+    /// at or after the transaction started — the JOIN → … → first
+    /// delivery closure.
+    pub first_delivery: Option<Event>,
+}
+
+impl Journey {
+    /// True when the trace holds no event with this key.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// The rendered step label for one event (dispatch metadata only).
+    fn step_label(kind: &EventKind) -> String {
+        match *kind {
+            EventKind::Send { .. } => "send".to_string(),
+            EventKind::Deliver {
+                from, class, ctl, ..
+            } => {
+                let what = match ctl {
+                    Some(c) => c.label(),
+                    None => class.label(),
+                };
+                format!("deliver from n{from} [{what}]")
+            }
+            EventKind::DeliverLocal { delay, .. } => format!("deliver_local (+{delay})"),
+            EventKind::Drop { reason, to, .. } => match to {
+                Some(to) => format!("DROP [{}] -> n{to}", reason.label()),
+                None => format!("DROP [{}]", reason.label()),
+            },
+            EventKind::Retransmit { to, attempt, .. } => {
+                format!("retransmit -> n{to} (attempt {attempt})")
+            }
+            EventKind::ChannelDuplicate { to, .. } => format!("channel duplicate -> n{to}"),
+            EventKind::ChannelReorder { to, jitter, .. } => {
+                format!("channel reorder -> n{to} (+{jitter})")
+            }
+            _ => "?".to_string(),
+        }
+    }
+
+    /// The compressed causality chain: each step's one-word stage, with
+    /// consecutive repeats collapsed (`join -> branch -> tree_ack ->
+    /// delivered`).
+    pub fn chain(&self) -> Vec<&'static str> {
+        let mut out: Vec<&'static str> = Vec::new();
+        for ev in &self.steps {
+            let stage = match ev.kind {
+                EventKind::Send { .. } => "send",
+                EventKind::Deliver { class, ctl, .. } => match ctl {
+                    Some(c) => c.label(),
+                    None => class.label(),
+                },
+                EventKind::DeliverLocal { .. } => "delivered",
+                EventKind::Drop { .. } => "drop",
+                EventKind::Retransmit { .. } => "retransmit",
+                EventKind::ChannelDuplicate { .. } => "dup",
+                EventKind::ChannelReorder { .. } => "reorder",
+                _ => continue,
+            };
+            if out.last() != Some(&stage) {
+                out.push(stage);
+            }
+        }
+        if self.first_delivery.is_some() {
+            out.push("first_delivery");
+        }
+        out
+    }
+
+    /// Deterministic human-readable timeline, byte-stable for goldens.
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        match self.key {
+            Some(k) => {
+                let _ = writeln!(out, "journey {k} (control txn, origin n{}):", k.origin);
+            }
+            None => {
+                let _ = writeln!(out, "journey g{} tag {} (data):", self.group, self.tag);
+            }
+        }
+        if self.steps.is_empty() {
+            let _ = writeln!(out, "  (no events with this key)");
+            return out;
+        }
+        for ev in &self.steps {
+            let _ = writeln!(
+                out,
+                "  t={:<8} n{:<4} {}",
+                ev.time,
+                ev.node,
+                Journey::step_label(&ev.kind)
+            );
+        }
+        let _ = writeln!(out, "  chain: {}", self.chain().join(" -> "));
+        let (mut drops, mut retx, mut locals, mut hops) = (0u64, 0u64, 0u64, 0u64);
+        for ev in &self.steps {
+            match ev.kind {
+                EventKind::Deliver { .. } => hops += 1,
+                EventKind::DeliverLocal { .. } => locals += 1,
+                EventKind::Drop { .. } => drops += 1,
+                EventKind::Retransmit { .. } => retx += 1,
+                _ => {}
+            }
+        }
+        let _ = writeln!(
+            out,
+            "  summary: {hops} hops, {locals} local deliveries, {drops} drops, {retx} retransmits"
+        );
+        if let Some(fd) = self.first_delivery {
+            if let EventKind::DeliverLocal { tag, delay, .. } = fd.kind {
+                let _ = writeln!(
+                    out,
+                    "  first data at origin: t={} tag {tag} (+{delay})",
+                    fd.time
+                );
+            }
         }
         out
     }
@@ -182,6 +340,148 @@ impl Trace {
             .collect()
     }
 
+    /// Every distinct correlation tag stamped on `group`'s events,
+    /// sorted — data tags first (small integers), then packed control
+    /// tags (high bit set).
+    pub fn journey_tags(&self, group: u32) -> Vec<u64> {
+        let mut set = BTreeSet::new();
+        for ev in &self.events {
+            if let Some((g, t)) = journey_key(ev) {
+                if g == group {
+                    set.insert(t);
+                }
+            }
+        }
+        set.into_iter().collect()
+    }
+
+    /// Reconstruct the journey of one (group, tag) key: every stamped
+    /// event in trace order, plus — for control transactions — the
+    /// origin's first data delivery after the transaction began.
+    pub fn journey(&self, group: u32, tag: u64) -> Journey {
+        let steps: Vec<Event> = self
+            .events
+            .iter()
+            .filter(|ev| journey_key(ev) == Some((group, tag)))
+            .copied()
+            .collect();
+        let key = TraceKey::from_tag(group, tag);
+        let first_delivery = key.and_then(|k| {
+            let start = steps.first()?.time;
+            self.events
+                .iter()
+                .find(|ev| {
+                    ev.node == k.origin
+                        && ev.time >= start
+                        && matches!(ev.kind, EventKind::DeliverLocal { group: g, .. } if g == group)
+                })
+                .copied()
+        });
+        Journey {
+            group,
+            tag,
+            key,
+            steps,
+            first_delivery,
+        }
+    }
+
+    /// The control transactions in `group` that start with a JOIN —
+    /// one journey each, in tag (origin, seq) order.
+    pub fn join_journeys(&self, group: u32) -> Vec<Journey> {
+        self.journey_tags(group)
+            .into_iter()
+            .filter(|&t| is_ctl_tag(t))
+            .map(|t| self.journey(group, t))
+            .filter(|j| {
+                j.steps.iter().any(|ev| {
+                    matches!(
+                        ev.kind,
+                        EventKind::Deliver {
+                            ctl: Some(CtlKind::Join),
+                            ..
+                        }
+                    )
+                })
+            })
+            .collect()
+    }
+
+    /// Render every JOIN transaction in `group` (the causality chain
+    /// JOIN → TREE/BRANCH → ack → first delivery), byte-stable.
+    pub fn joins_report(&self, group: u32) -> String {
+        let journeys = self.join_journeys(group);
+        let mut out = String::new();
+        let _ = writeln!(out, "group {group}: {} join transaction(s)", journeys.len());
+        for j in &journeys {
+            out.push_str(&j.report());
+        }
+        out
+    }
+
+    /// The tree-health samples embedded in the trace, in trace order,
+    /// optionally restricted to one group.
+    pub fn tree_health(&self, group: Option<u32>) -> Vec<Event> {
+        self.events
+            .iter()
+            .filter(|ev| match ev.kind {
+                EventKind::TreeHealth { group: g, .. } => group.is_none() || group == Some(g),
+                _ => false,
+            })
+            .copied()
+            .collect()
+    }
+
+    /// Summarize per-group tree health: every sample plus a per-group
+    /// trailer with the latest state and the spread over time.
+    pub fn health_report(&self) -> String {
+        let mut by_group: BTreeMap<u32, Vec<Event>> = BTreeMap::new();
+        for ev in self.tree_health(None) {
+            if let EventKind::TreeHealth { group, .. } = ev.kind {
+                by_group.entry(group).or_default().push(ev);
+            }
+        }
+        let mut out = String::new();
+        if by_group.is_empty() {
+            let _ = writeln!(out, "tree health: no samples in trace");
+            return out;
+        }
+        for (g, samples) in &by_group {
+            let _ = writeln!(out, "group {g} tree health ({} samples):", samples.len());
+            let mut costs = Histogram::new();
+            for ev in samples {
+                if let EventKind::TreeHealth {
+                    trigger,
+                    members,
+                    depth,
+                    cost,
+                    stretch_milli,
+                    delay_var,
+                    ..
+                } = ev.kind
+                {
+                    let _ = writeln!(
+                        out,
+                        "  t={:<8} [{}] members={members} depth={depth} cost={cost} stretch={}.{:03} delay_var={delay_var}",
+                        ev.time,
+                        trigger.label(),
+                        stretch_milli / 1000,
+                        stretch_milli % 1000,
+                    );
+                    costs.record(cost);
+                }
+            }
+            let _ = writeln!(
+                out,
+                "  cost over time: mean={:.1} max={} stddev={:.1}",
+                costs.mean(),
+                costs.max(),
+                costs.stddev()
+            );
+        }
+        out
+    }
+
     /// Recompute latency histograms from the events. End-to-end delay
     /// counts each `(group, tag, node)` once (first delivery), matching
     /// the engine's own statistics.
@@ -253,18 +553,30 @@ impl Trace {
         Convergence { group, points }
     }
 
-    /// Audit the trace for delivery correctness. A duplicate local
-    /// delivery always fails the audit. A missing delivery fails only
-    /// when the trace shows no drop and no fault at all — loss without
-    /// any recorded cause means the trace (or the protocol) lost a
-    /// packet silently.
+    /// Audit the trace for delivery correctness. Hard violations —
+    /// duplicate local delivery, a delivery whose payload was never
+    /// sent (phantom), timestamps running backwards, or a missing
+    /// delivery with no drop and no fault anywhere to explain it — all
+    /// fail the audit (and set the `scmp-inspect --audit` exit code).
     pub fn audit(&self) -> Audit {
         let mut audit = Audit::default();
         let mut delivered: BTreeSet<(u32, u64, u32)> = BTreeSet::new();
+        let mut sent: BTreeSet<(u32, u64)> = BTreeSet::new();
+        let mut last_time = 0u64;
         for ev in &self.events {
+            if ev.time < last_time {
+                audit.disordered += 1;
+            }
+            last_time = last_time.max(ev.time);
             match ev.kind {
-                EventKind::Send { .. } => audit.sends += 1,
+                EventKind::Send { group, tag } => {
+                    audit.sends += 1;
+                    sent.insert((group, tag));
+                }
                 EventKind::DeliverLocal { group, tag, .. } => {
+                    if !sent.contains(&(group, tag)) {
+                        audit.phantom.push((group, tag, ev.node));
+                    }
                     if delivered.insert((group, tag, ev.node)) {
                         audit.deliveries += 1;
                     } else {
@@ -319,6 +631,7 @@ impl Trace {
                 EventKind::ChannelReorder { .. } => "channel_reorder",
                 EventKind::Retransmit { .. } => "retransmit",
                 EventKind::Takeover => "takeover",
+                EventKind::TreeHealth { .. } => "tree_health",
             };
             *by_kind.entry(name).or_insert(0) += 1;
         }
@@ -336,6 +649,25 @@ impl Trace {
             let _ = writeln!(out, "  groups: {groups:?}");
         }
         out
+    }
+}
+
+/// The (group, tag) correlation key an event is stamped with, when it
+/// participates in journeys at all.
+fn journey_key(ev: &Event) -> Option<(u32, u64)> {
+    match ev.kind {
+        EventKind::Send { group, tag }
+        | EventKind::Deliver { group, tag, .. }
+        | EventKind::DeliverLocal { group, tag, .. }
+        | EventKind::Retransmit { group, tag, .. }
+        | EventKind::ChannelDuplicate { group, tag, .. }
+        | EventKind::ChannelReorder { group, tag, .. } => Some((group, tag)),
+        EventKind::Drop {
+            group: Some(g),
+            tag: Some(t),
+            ..
+        } => Some((g, t)),
+        _ => None,
     }
 }
 
@@ -472,6 +804,8 @@ mod tests {
                 EventKind::Drop {
                     reason: DropReason::QueueFull,
                     to: None,
+                    group: Some(1),
+                    tag: Some(7),
                 },
             ),
         ]);
@@ -479,6 +813,39 @@ mod tests {
         assert!(a.passed());
         assert_eq!(a.missing, vec![(1, 7, 3)]);
         assert!(a.unaccounted.is_empty());
+    }
+
+    #[test]
+    fn audit_flags_phantom_deliveries() {
+        // A delivery whose payload was never sent is a hard violation.
+        let t = Trace::from_events(vec![
+            ev(0, 3, EventKind::Join { group: 1 }),
+            ev(
+                50,
+                3,
+                EventKind::DeliverLocal {
+                    group: 1,
+                    tag: 99,
+                    delay: 5,
+                },
+            ),
+        ]);
+        let a = t.audit();
+        assert!(!a.passed());
+        assert_eq!(a.phantom, vec![(1, 99, 3)]);
+        assert!(a.report().contains("PHANTOM"));
+    }
+
+    #[test]
+    fn audit_flags_disordered_timestamps() {
+        let t = Trace::from_events(vec![
+            ev(100, 1, EventKind::Send { group: 1, tag: 7 }),
+            ev(90, 1, EventKind::Timer { token: 1 }),
+        ]);
+        let a = t.audit();
+        assert!(!a.passed());
+        assert_eq!(a.disordered, 1);
+        assert!(a.report().contains("DISORDERED"));
     }
 
     #[test]
@@ -499,6 +866,146 @@ mod tests {
         assert_eq!(h.e2e_delay.max(), 5);
         assert_eq!(h.repair.count(), 1);
         assert_eq!(h.repair.max(), 1200);
+    }
+
+    #[test]
+    fn data_journey_reconstructs_hops_and_drops() {
+        let t = Trace::from_events(vec![
+            ev(100, 1, EventKind::Send { group: 1, tag: 7 }),
+            ev(
+                103,
+                0,
+                EventKind::Deliver {
+                    from: 1,
+                    class: crate::event::TrafficClass::Data,
+                    group: 1,
+                    tag: 7,
+                    ctl: Some(CtlKind::Data),
+                },
+            ),
+            ev(
+                104,
+                0,
+                EventKind::Drop {
+                    reason: DropReason::ChannelLoss,
+                    to: Some(4),
+                    group: Some(1),
+                    tag: Some(7),
+                },
+            ),
+            ev(
+                106,
+                3,
+                EventKind::DeliverLocal {
+                    group: 1,
+                    tag: 7,
+                    delay: 6,
+                },
+            ),
+            // A different tag must stay out of the journey.
+            ev(200, 1, EventKind::Send { group: 1, tag: 8 }),
+        ]);
+        let j = t.journey(1, 7);
+        assert_eq!(j.key, None, "tag 7 is a data tag");
+        assert_eq!(j.steps.len(), 4);
+        assert_eq!(j.chain(), vec!["send", "data", "drop", "delivered"]);
+        let r = j.report();
+        assert!(r.contains("journey g1 tag 7 (data):"), "{r}");
+        assert!(r.contains("DROP [channel_loss] -> n4"), "{r}");
+        assert_eq!(r, t.journey(1, 7).report(), "byte-stable");
+        assert_eq!(t.journey_tags(1), vec![7, 8]);
+    }
+
+    #[test]
+    fn join_journey_chains_to_first_delivery() {
+        let tag = TraceKey::new(1, 4, 1).tag();
+        let t = Trace::from_events(vec![
+            ev(0, 4, EventKind::Join { group: 1 }),
+            ev(
+                3,
+                0,
+                EventKind::Deliver {
+                    from: 4,
+                    class: crate::event::TrafficClass::Control,
+                    group: 1,
+                    tag,
+                    ctl: Some(CtlKind::Join),
+                },
+            ),
+            ev(
+                6,
+                4,
+                EventKind::Deliver {
+                    from: 0,
+                    class: crate::event::TrafficClass::Control,
+                    group: 1,
+                    tag,
+                    ctl: Some(CtlKind::Branch),
+                },
+            ),
+            ev(
+                9,
+                0,
+                EventKind::Deliver {
+                    from: 4,
+                    class: crate::event::TrafficClass::Control,
+                    group: 1,
+                    tag,
+                    ctl: Some(CtlKind::TreeAck),
+                },
+            ),
+            ev(100, 1, EventKind::Send { group: 1, tag: 5 }),
+            ev(
+                104,
+                4,
+                EventKind::DeliverLocal {
+                    group: 1,
+                    tag: 5,
+                    delay: 4,
+                },
+            ),
+        ]);
+        let joins = t.join_journeys(1);
+        assert_eq!(joins.len(), 1);
+        let j = &joins[0];
+        assert_eq!(j.key, Some(TraceKey::new(1, 4, 1)));
+        assert_eq!(
+            j.chain(),
+            vec!["join", "branch", "tree_ack", "first_delivery"]
+        );
+        let fd = j.first_delivery.expect("origin delivered after join");
+        assert_eq!((fd.time, fd.node), (104, 4));
+        let report = t.joins_report(1);
+        assert!(report.contains("1 join transaction(s)"), "{report}");
+        assert!(
+            report.contains("first data at origin: t=104 tag 5"),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn health_report_summarizes_samples() {
+        let t = Trace::from_events(vec![ev(
+            2_000,
+            0,
+            EventKind::TreeHealth {
+                group: 1,
+                trigger: crate::event::HealthTrigger::Join,
+                members: 3,
+                depth: 2,
+                cost: 14,
+                stretch_milli: 1250,
+                delay_var: 6,
+            },
+        )]);
+        assert_eq!(t.tree_health(Some(1)).len(), 1);
+        assert!(t.tree_health(Some(2)).is_empty());
+        let r = t.health_report();
+        assert!(r.contains("group 1 tree health (1 samples):"), "{r}");
+        assert!(r.contains("stretch=1.250"), "{r}");
+        assert!(r.contains("delay_var=6"), "{r}");
+        let none = Trace::from_events(vec![]).health_report();
+        assert!(none.contains("no samples"));
     }
 
     #[test]

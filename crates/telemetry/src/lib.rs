@@ -20,7 +20,8 @@
 //! | [`hist`]    | [`Histogram`] (log buckets, p50/p90/p99) |
 //! | [`series`]  | [`GaugeSample`] periodic gauge samples |
 //! | [`profile`] | [`Span`]/[`TimedScope`] RAII profiling, per-thread table |
-//! | [`inspect`] | [`Trace`] loader + convergence/audit/histogram queries |
+//! | [`inspect`] | [`Trace`] loader + convergence/audit/journey/histogram queries |
+//! | [`trace_key`] | [`TraceKey`] (group, origin, seq) causal correlation keys |
 
 pub mod event;
 pub mod hist;
@@ -28,13 +29,15 @@ pub mod inspect;
 pub mod profile;
 pub mod series;
 pub mod sink;
+pub mod trace_key;
 
 pub use event::{
-    decode_events, encode_events, encode_json_string, sanitize_label, DropReason, Event, EventKind,
-    TrafficClass,
+    decode_events, encode_events, encode_json_string, sanitize_label, CtlKind, DropReason, Event,
+    EventKind, HealthTrigger, TrafficClass,
 };
 pub use hist::{bucket_bounds, bucket_index, Histogram, BUCKET_COUNT};
-pub use inspect::{Audit, Convergence, ConvergencePoint, Trace, TraceHistograms};
+pub use inspect::{Audit, Convergence, ConvergencePoint, Journey, Trace, TraceHistograms};
 pub use profile::{Profile, Span, SpanStats, TimedScope};
 pub use series::GaugeSample;
-pub use sink::{JsonlSink, NullSink, RingSink, SharedBuf, Sink};
+pub use sink::{JsonlSink, NullSink, RingSink, SharedBuf, Sink, JSONL_FLUSH_BYTES};
+pub use trace_key::{is_ctl_tag, pack_ctl_tag, unpack_ctl_tag, TraceKey, CTL_TAG_BIT};

@@ -1,0 +1,115 @@
+//! Causal trace keys: the (group, origin, seq) correlation identity.
+//!
+//! Every control transaction in the simulator — a JOIN and the
+//! TREE/BRANCH/ack cascade it causes, a LEAVE and its ack, a repair
+//! rebuild — is stamped with one compact key so the inspector can
+//! reconstruct the whole causality chain from a flat JSONL trace.
+//!
+//! The key rides the existing per-packet `tag` field (and the wire
+//! header's tag slot), packed so it can never collide with a data
+//! payload tag:
+//!
+//! ```text
+//!   bit 63        bits 62..32        bits 31..0
+//!   ┌────┬──────────────────────┬──────────────────┐
+//!   │ 1  │  origin node (31 b)  │  txn seq (32 b)  │
+//!   └────┴──────────────────────┴──────────────────┘
+//! ```
+//!
+//! Data tags are small application-chosen integers with bit 63 clear, so
+//! `is_ctl_tag` splits the two spaces exactly. Origins above `2^31 - 1`
+//! are masked — simulated topologies top out orders of magnitude below
+//! that (10k nodes in the scale study).
+
+/// The high bit marking a packed control-transaction tag.
+pub const CTL_TAG_BIT: u64 = 1 << 63;
+
+/// The (group, origin, seq) identity of one control transaction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TraceKey {
+    /// Multicast group the transaction concerns.
+    pub group: u32,
+    /// Node that originated the transaction (allocated the seq).
+    pub origin: u32,
+    /// Per-origin transaction counter, starting at 1.
+    pub seq: u32,
+}
+
+impl TraceKey {
+    /// Build a key. `origin` is masked to 31 bits (see module docs).
+    pub fn new(group: u32, origin: u32, seq: u32) -> Self {
+        TraceKey {
+            group,
+            origin: origin & 0x7fff_ffff,
+            seq,
+        }
+    }
+
+    /// The packed tag carried in packet headers and telemetry events.
+    pub fn tag(self) -> u64 {
+        pack_ctl_tag(self.origin, self.seq)
+    }
+
+    /// Recover the key from a `(group, tag)` pair; `None` when `tag` is
+    /// a plain data tag (high bit clear).
+    pub fn from_tag(group: u32, tag: u64) -> Option<TraceKey> {
+        let (origin, seq) = unpack_ctl_tag(tag)?;
+        Some(TraceKey { group, origin, seq })
+    }
+}
+
+impl std::fmt::Display for TraceKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "g{}:n{}#{}", self.group, self.origin, self.seq)
+    }
+}
+
+/// Pack an (origin, seq) pair into a control tag. Injective for origins
+/// below `2^31`; larger origins are masked.
+pub fn pack_ctl_tag(origin: u32, seq: u32) -> u64 {
+    CTL_TAG_BIT | ((origin as u64 & 0x7fff_ffff) << 32) | seq as u64
+}
+
+/// Split a control tag back into (origin, seq); `None` for data tags.
+pub fn unpack_ctl_tag(tag: u64) -> Option<(u32, u32)> {
+    if tag & CTL_TAG_BIT == 0 {
+        return None;
+    }
+    Some((((tag >> 32) & 0x7fff_ffff) as u32, tag as u32))
+}
+
+/// True when `tag` is a packed control-transaction tag.
+pub fn is_ctl_tag(tag: u64) -> bool {
+    tag & CTL_TAG_BIT != 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_and_unpack_round_trip() {
+        for (origin, seq) in [(0, 0), (1, 1), (42, 7), (0x7fff_ffff, u32::MAX)] {
+            let tag = pack_ctl_tag(origin, seq);
+            assert!(is_ctl_tag(tag));
+            assert_eq!(unpack_ctl_tag(tag), Some((origin, seq)));
+            let key = TraceKey::from_tag(9, tag).unwrap();
+            assert_eq!(key, TraceKey::new(9, origin, seq));
+            assert_eq!(key.tag(), tag);
+        }
+    }
+
+    #[test]
+    fn data_tags_are_never_control() {
+        for tag in [0u64, 1, 12, u64::MAX >> 1] {
+            assert!(!is_ctl_tag(tag));
+            assert_eq!(unpack_ctl_tag(tag), None);
+            assert_eq!(TraceKey::from_tag(1, tag), None);
+        }
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(TraceKey::new(3, 14, 2).to_string(), "g3:n14#2");
+    }
+}

@@ -1,9 +1,13 @@
 //! Property-based tests for the telemetry primitives: the histogram's
 //! quantile contract under hostile `q`, sum saturation, merge algebra,
-//! and the JSONL string codec under arbitrary content.
+//! variance accumulation, the JSONL string codec under arbitrary
+//! content, and the causal trace-key packing.
 
 use proptest::prelude::*;
-use scmp_telemetry::{bucket_index, encode_json_string, Histogram};
+use scmp_telemetry::{
+    bucket_index, encode_json_string, pack_ctl_tag, unpack_ctl_tag, CtlKind, Event, EventKind,
+    Histogram, TraceKey, TrafficClass,
+};
 
 /// Build a histogram from a sample vector.
 fn hist_of(samples: &[u64]) -> Histogram {
@@ -105,6 +109,94 @@ proptest! {
         for q in [0.5, 0.9, 0.99, 1.0] {
             prop_assert_eq!(a.quantile(q), direct.quantile(q));
         }
+    }
+
+    /// Trace keys are injective per (group, origin, seq): two distinct
+    /// triples never pack to the same (group, tag) pair, and every
+    /// packed tag lands in the control space, disjoint from data tags.
+    #[test]
+    fn trace_keys_are_unique_per_triple(
+        a in (0u32..1_000_000, 0u32..0x7fff_ffff, 0u32..=u32::MAX),
+        b in (0u32..1_000_000, 0u32..0x7fff_ffff, 0u32..=u32::MAX),
+        data_tag in 0u64..(1u64 << 63),
+    ) {
+        let ka = TraceKey::new(a.0, a.1, a.2);
+        let kb = TraceKey::new(b.0, b.1, b.2);
+        prop_assert_eq!((ka.group, ka.tag()) == (kb.group, kb.tag()), a == b);
+        prop_assert_eq!(unpack_ctl_tag(ka.tag()), Some((a.1, a.2)));
+        prop_assert_ne!(ka.tag(), data_tag, "control tags never collide with data tags");
+        prop_assert_eq!(TraceKey::from_tag(a.0, ka.tag()), Some(ka));
+    }
+
+    /// A stamped event survives the JSONL codec round trip: the packed
+    /// control tag comes back bit-for-bit and unpacks to the same key.
+    #[test]
+    fn trace_keys_survive_the_jsonl_codec(
+        group in 0u32..1_000_000,
+        origin in 0u32..0x7fff_ffff,
+        seq in 0u32..=u32::MAX,
+        time in 0u64..u64::MAX,
+        from in 0u32..=u32::MAX,
+    ) {
+        let tag = pack_ctl_tag(origin, seq);
+        let ev = Event {
+            time,
+            node: origin,
+            kind: EventKind::Deliver {
+                from,
+                class: TrafficClass::Control,
+                group,
+                tag,
+                ctl: Some(CtlKind::Join),
+            },
+        };
+        let back = Event::decode(&ev.to_jsonl())
+            .map_err(|e| TestCaseError::fail(e))?;
+        prop_assert_eq!(back, ev);
+        match back.kind {
+            EventKind::Deliver { tag: t, .. } => {
+                prop_assert_eq!(unpack_ctl_tag(t), Some((origin, seq)));
+            }
+            _ => prop_assert!(false, "kind changed in round trip"),
+        }
+    }
+
+    /// The histogram's variance matches the two-pass textbook formula
+    /// within float tolerance, and never goes negative.
+    #[test]
+    fn variance_matches_naive_computation(
+        samples in prop::collection::vec(0u64..10_000_000, 1..64),
+    ) {
+        let h = hist_of(&samples);
+        let n = samples.len() as f64;
+        let mean = samples.iter().map(|&v| v as f64).sum::<f64>() / n;
+        let naive = samples
+            .iter()
+            .map(|&v| (v as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n;
+        let tol = 1e-6 * naive.max(1.0);
+        prop_assert!((h.variance() - naive).abs() <= tol,
+            "variance {} vs naive {naive}", h.variance());
+        prop_assert!(h.variance() >= 0.0);
+        prop_assert!((h.stddev() - naive.sqrt()).abs() <= tol.sqrt());
+    }
+
+    /// Variance accumulation saturates instead of wrapping or panicking
+    /// under adversarial magnitudes, and merge adds the accumulators.
+    #[test]
+    fn variance_is_total_under_extremes(
+        xs in prop::collection::vec(0u64..=u64::MAX, 1..8),
+        ys in prop::collection::vec(0u64..=u64::MAX, 1..8),
+    ) {
+        let mut a = hist_of(&xs);
+        let b = hist_of(&ys);
+        prop_assert!(a.variance().is_finite() && a.variance() >= 0.0);
+        a.merge(&b);
+        let mut all = xs.clone();
+        all.extend_from_slice(&ys);
+        prop_assert_eq!(&a, &hist_of(&all));
+        prop_assert!(a.stddev().is_finite());
     }
 
     /// Arbitrary strings round-trip through the JSON string codec.

@@ -76,6 +76,51 @@ pub fn analyze(topo: &Topology, paths: &dyn PathProvider, tree: &MulticastTree) 
     }
 }
 
+/// Compact per-tree health sample — the integer projection of
+/// [`TreeReport`] that rides a telemetry event (see
+/// `scmp_telemetry::EventKind::TreeHealth`). Floats are scaled to
+/// milli-units so the sample stays exactly comparable across runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub struct TreeHealthSample {
+    /// Member count.
+    pub members: u32,
+    /// Deepest member, in tree hops from the root.
+    pub depth: u32,
+    /// Tree cost (Σ link costs).
+    pub cost: u64,
+    /// Mean member delay stretch vs unicast, in milli-units
+    /// (1000 = every member rides its shortest-delay path).
+    pub stretch_milli: u64,
+    /// Member delay variation: max − min multicast delay (0 with fewer
+    /// than two members).
+    pub delay_var: u64,
+}
+
+/// Condense a tree into a [`TreeHealthSample`] against `topo`/`paths`.
+pub fn health(topo: &Topology, paths: &dyn PathProvider, tree: &MulticastTree) -> TreeHealthSample {
+    let r = analyze(topo, paths, tree);
+    let depth = tree
+        .members()
+        .filter_map(|m| tree.path_from_root(m))
+        .map(|p| (p.len().saturating_sub(1)) as u32)
+        .max()
+        .unwrap_or(0);
+    let delay_var = match (
+        r.member_delays.iter().map(|d| d.multicast_delay).max(),
+        r.member_delays.iter().map(|d| d.multicast_delay).min(),
+    ) {
+        (Some(hi), Some(lo)) => hi - lo,
+        _ => 0,
+    };
+    TreeHealthSample {
+        members: r.members as u32,
+        depth,
+        cost: r.cost,
+        stretch_milli: (r.mean_stretch * 1000.0).round() as u64,
+        delay_var,
+    }
+}
+
 /// Per-link usage ("stress") of a set of trees over the same topology:
 /// how many trees traverse each link — the hot-link profile of a domain
 /// running many groups.
@@ -142,6 +187,30 @@ mod tests {
         assert_eq!(r.members, 0);
         assert_eq!(r.mean_stretch, 0.0);
         assert_eq!(r.routers, 1);
+    }
+
+    #[test]
+    fn health_condenses_the_report() {
+        let topo = fig5();
+        let paths = AllPairsPaths::compute(&topo);
+        let members = [NodeId(3), NodeId(4), NodeId(5)];
+        let t = spt_tree(&topo, &paths, NodeId(0), &members);
+        let h = health(&topo, &paths, &t);
+        let r = analyze(&topo, &paths, &t);
+        assert_eq!(h.members, 3);
+        assert_eq!(h.cost, r.cost);
+        assert_eq!(h.stretch_milli, 1000); // SPT: unit stretch
+        assert!(h.depth >= 1);
+        let delays: Vec<u64> = r.member_delays.iter().map(|d| d.multicast_delay).collect();
+        let var = delays.iter().max().unwrap() - delays.iter().min().unwrap();
+        assert_eq!(h.delay_var, var);
+        // Empty tree: all-zero sample, no panic.
+        let empty = MulticastTree::new(6, NodeId(0));
+        let hz = health(&topo, &paths, &empty);
+        assert_eq!(
+            (hz.members, hz.depth, hz.delay_var, hz.stretch_milli),
+            (0, 0, 0, 0)
+        );
     }
 
     #[test]

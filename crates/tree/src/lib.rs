@@ -34,6 +34,7 @@ pub mod repair;
 pub mod spt;
 pub mod tree;
 
+pub use analysis::{analyze, health, link_stress, TreeHealthSample, TreeReport};
 pub use constraint::{delay_bound, ConstraintLevel};
 pub use dcdm::{Dcdm, DelayBound, JoinOutcome};
 pub use greedy::GreedySteiner;

@@ -45,10 +45,12 @@ fn main() {
                 class,
                 group,
                 tag,
+                ctl,
             } => {
-                let kind = match class {
-                    TrafficClass::Data => format!("DATA #{tag}"),
-                    TrafficClass::Control => "control".to_string(),
+                let kind = match (class, ctl) {
+                    (TrafficClass::Data, _) => format!("DATA #{tag}"),
+                    (TrafficClass::Control, Some(c)) => c.label().to_string(),
+                    (TrafficClass::Control, None) => "control".to_string(),
                 };
                 format!("receives {kind} for g{group} from n{from}")
             }
@@ -60,21 +62,33 @@ fn main() {
             EventKind::LinkUp { a, b } => format!("fault injected: link {a}-{b} up"),
             EventKind::RouterCrash => "fault injected: router crash".to_string(),
             EventKind::RouterRecover => "fault injected: router recover".to_string(),
-            EventKind::Drop { reason, to } => match to {
+            EventKind::Drop { reason, to, .. } => match to {
                 Some(to) => format!("drops a send to n{to} ({})", reason.label()),
                 None => format!("drops a packet ({})", reason.label()),
             },
             EventKind::Repair { latency } => {
                 format!("completes a tree repair ({latency} ticks after the fault)")
             }
-            EventKind::ChannelDuplicate { to } => format!("channel duplicates a send to n{to}"),
-            EventKind::ChannelReorder { to, jitter } => {
+            EventKind::ChannelDuplicate { to, .. } => {
+                format!("channel duplicates a send to n{to}")
+            }
+            EventKind::ChannelReorder { to, jitter, .. } => {
                 format!("channel delays a send to n{to} by {jitter} ticks")
             }
-            EventKind::Retransmit { group, to, attempt } => {
+            EventKind::Retransmit {
+                group, to, attempt, ..
+            } => {
                 format!("retransmits g{group} tree state to n{to} (attempt {attempt})")
             }
             EventKind::Takeover => "standby promotes itself to m-router".to_string(),
+            EventKind::TreeHealth {
+                group,
+                members,
+                cost,
+                ..
+            } => {
+                format!("samples g{group} tree health ({members} members, cost {cost})")
+            }
             EventKind::Gauge { .. } => continue,
         };
         println!("{:>6}  n{:<5} {}", ev.time, ev.node, what);

@@ -85,6 +85,20 @@ scale-smoke:
 inspect +args:
     cargo run -q -p scmp-bench --bin scmp-inspect -- {{args}}
 
+# Perf-regression gate: replay the scenario corpus (serial vs parallel
+# byte identity), re-run the hot-path benches, and compare against the
+# committed bench_results/ baselines with per-metric tolerance bands;
+# writes bench_results/regress.json. `just regress --smoke` for the CI
+# variant (no JSON write).
+regress *args:
+    cargo run --release -p scmp-bench --bin regress -- {{args}}
+
+# Reconstruct causal packet journeys from a committed golden trace:
+#   just journey 1        every journey in group 1
+#   just journey 1:3      the hop-by-hop journey of g1 payload #3
+journey spec="1" trace="tests/golden/failstorm_events.jsonl":
+    cargo run -q -p scmp-bench --bin scmp-inspect -- {{trace}} --journey {{spec}}
+
 # End-to-end telemetry walkthrough: sinks, gauges, histograms, spans,
 # inspector round trip.
 telemetry-tour:
@@ -96,3 +110,4 @@ golden-update:
     UPDATE_GOLDEN=1 cargo test -p scmp-integration --test golden_trace
     UPDATE_GOLDEN=1 cargo test -p scmp-integration --test telemetry
     UPDATE_GOLDEN=1 cargo test -p scmp-integration --test lossy_control_plane
+    UPDATE_GOLDEN=1 cargo test -p scmp-integration --test journey_golden

@@ -33,3 +33,14 @@ cargo test -q -p scmp-integration --test lossy_control_plane
 # non-zero on any duplicate delivery or unaccounted drop.
 cargo run -q --release -p scmp-bench --bin scmp-inspect -- \
     tests/golden/failstorm_events.jsonl --audit
+# Perf-regression gate in smoke mode: replays the pinned scenario
+# corpus serially and on 2 workers (byte-identity guard), then re-runs
+# the hot-path benches against the committed baselines. The second,
+# inverted invocation proves the gate has teeth: an injected 2x
+# throughput regression MUST make it exit non-zero.
+cargo run -q --release -p scmp-bench --bin regress -- --smoke --jobs 2
+if cargo run -q --release -p scmp-bench --bin regress -- \
+    --smoke --jobs 2 --inject 2 >/dev/null 2>&1; then
+    echo "regress gate failed to detect an injected 2x regression" >&2
+    exit 1
+fi

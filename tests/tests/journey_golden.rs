@@ -1,0 +1,145 @@
+//! Golden journey snapshots: causal chains reconstructed from the
+//! committed JSONL traces, pinned byte-for-byte.
+//!
+//! Two sources, two shapes of causality:
+//!
+//! * the fault-storm golden pins the control-plane chains — every
+//!   JOIN → BRANCH/TREE → ACK → first-delivery transaction — plus the
+//!   hop-by-hop journey of each data payload;
+//! * the lossy golden (15% control-plane loss) pins a journey that
+//!   contains a retransmission: the chain shows the drop, the retry
+//!   timer's resend, and the eventual acknowledgement.
+//!
+//! Refresh after an intentional protocol change with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p scmp-integration --test journey_golden
+//! ```
+//!
+//! and review the diff like code — a changed journey IS a changed
+//! protocol conversation.
+
+use scmp_telemetry::Trace;
+use std::fmt::Write as _;
+
+const FAILSTORM: &str = include_str!("../golden/failstorm_events.jsonl");
+const LOSSY: &str = include_str!("../golden/lossy_events.jsonl");
+const GOLDEN: &str = include_str!("../golden/journeys.txt");
+
+/// The snapshot: join chains and data journeys from the fault storm,
+/// then every retransmission-bearing journey from the lossy trace.
+fn render_journeys() -> String {
+    let mut out = String::new();
+
+    let storm = Trace::parse(FAILSTORM).expect("failstorm golden parses");
+    for group in storm.groups() {
+        let _ = writeln!(out, "=== failstorm: join chains g{group} ===");
+        out.push_str(&storm.joins_report(group));
+        for tag in storm.journey_tags(group) {
+            let j = storm.journey(group, tag);
+            if !j.is_empty() {
+                let _ = writeln!(out, "=== failstorm: journey g{group} tag {tag} ===");
+                out.push_str(&j.report());
+            }
+        }
+    }
+
+    let lossy = Trace::parse(LOSSY).expect("lossy golden parses");
+    for group in lossy.groups() {
+        for tag in lossy.journey_tags(group) {
+            let j = lossy.journey(group, tag);
+            let report = j.report();
+            if report.contains("retransmit") {
+                let _ = writeln!(
+                    out,
+                    "=== lossy: retransmission journey g{group} tag {tag} ==="
+                );
+                out.push_str(&report);
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn journeys_match_golden_snapshot() {
+    let got = render_journeys();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/golden/journeys.txt");
+        std::fs::write(path, &got).expect("write golden file");
+        return;
+    }
+    for (i, (g, w)) in got.lines().zip(GOLDEN.lines()).enumerate() {
+        assert_eq!(
+            g,
+            w,
+            "journey snapshot diverges at line {} (UPDATE_GOLDEN=1 to refresh)",
+            i + 1
+        );
+    }
+    assert_eq!(
+        got.lines().count(),
+        GOLDEN.lines().count(),
+        "journey snapshot length changed"
+    );
+}
+
+/// Reconstruction is deterministic: rendering twice from a fresh parse
+/// is byte-identical (the report order is dispatch order, not hash
+/// order).
+#[test]
+fn journey_reconstruction_is_byte_stable() {
+    assert_eq!(render_journeys(), render_journeys());
+}
+
+/// The fault-storm chains cover the full control causality the issue
+/// names: JOIN, the BRANCH (or TREE) that grafts the member, and the
+/// first delivery that proves the graft carried data.
+#[test]
+fn join_chains_reach_first_delivery() {
+    let storm = Trace::parse(FAILSTORM).expect("failstorm golden parses");
+    let report = storm.joins_report(1);
+    assert!(report.contains("join"), "{report}");
+    assert!(
+        report.contains("branch") || report.contains("tree"),
+        "{report}"
+    );
+    assert!(report.contains("first_delivery"), "{report}");
+}
+
+/// The data journeys are multi-hop: a payload from the source crosses
+/// intermediate routers before its local delivery at a member.
+#[test]
+fn data_journeys_are_multi_hop() {
+    let storm = Trace::parse(FAILSTORM).expect("failstorm golden parses");
+    let j = storm.journey(1, 1);
+    assert!(!j.is_empty(), "data journey for tag 1 missing");
+    let report = j.report();
+    assert!(report.contains("send"), "{report}");
+    assert!(report.contains("deliver_local"), "{report}");
+    // More than one distinct router appears along the chain.
+    let hops = report.matches("deliver").count();
+    assert!(hops >= 2, "journey is not multi-hop:\n{report}");
+}
+
+/// The lossy golden contains at least one journey with a
+/// retransmission, and the same journey records the loss that caused
+/// it — the drop and the retry are correlated by one trace key.
+#[test]
+fn lossy_trace_has_a_retransmission_journey() {
+    let lossy = Trace::parse(LOSSY).expect("lossy golden parses");
+    let mut found = false;
+    for group in lossy.groups() {
+        for tag in lossy.journey_tags(group) {
+            let report = lossy.journey(group, tag).report();
+            if report.contains("retransmit") {
+                found = true;
+                assert!(
+                    report.contains("drop") || report.contains("channel"),
+                    "retransmission journey shows no loss:\n{report}"
+                );
+            }
+        }
+    }
+    assert!(found, "no retransmission journey in the lossy golden");
+}

@@ -85,7 +85,11 @@ fn pinned_scenario_matches_golden_jsonl() {
 
 /// Telemetry observes, never steers: the default (telemetry off), an
 /// explicit `NullSink`, and a recording `RingSink` all leave the
-/// simulation itself bit-identical.
+/// simulation itself bit-identical. Journey stamping (trace keys in
+/// every packet header, tree-health probes, drop keying) must not
+/// shift a single dispatch whether or not a sink is watching — the
+/// dispatch count and the queue's high-water mark are compared exactly
+/// alongside the full stats report.
 #[test]
 fn sinks_do_not_perturb_the_simulation() {
     let base = run_pinned_scenario(Sink::Default);
@@ -100,6 +104,11 @@ fn sinks_do_not_perturb_the_simulation() {
         assert_eq!(a.repairs, b.repairs);
         assert_eq!(a.max_repair_latency, b.max_repair_latency);
         assert_eq!(a.report(), b.report());
+        assert_eq!(
+            base.peak_queue_depth(),
+            other.peak_queue_depth(),
+            "a sink changed the event queue's shape"
+        );
     }
     // The disabled paths record nothing; the ring records everything.
     assert!(base.events().is_empty());

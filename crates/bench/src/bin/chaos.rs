@@ -48,6 +48,37 @@ fn main() {
         ],
         &rows,
     );
+
+    let rel_rows: Vec<Vec<String>> = rep
+        .reliable_points
+        .iter()
+        .map(|p| {
+            vec![
+                format!("{:.0}%", p.loss * 100.0),
+                format!("{:.3}", p.mean_delivery_ratio),
+                format!("{:.3}", p.min_delivery_ratio),
+                format!("{:.1}", p.mean_nacks),
+                format!("{:.2}", p.nack_suppression_ratio),
+                format!("{:.2}", p.cache_hit_rate),
+                format!("{:.0}", p.mean_recovery_p50),
+                p.max_recovery_p99.to_string(),
+            ]
+        })
+        .collect();
+    report::print_table(
+        "Same sweep with NACK recovery on (reliable tier)",
+        &[
+            "loss",
+            "mean_delivery",
+            "min_delivery",
+            "mean_nacks",
+            "suppression",
+            "cache_hit",
+            "p50_rec",
+            "max_p99_rec",
+        ],
+        &rel_rows,
+    );
     println!(
         "\nall invariants held: no duplicate delivery, every member grafted, no spurious takeover"
     );

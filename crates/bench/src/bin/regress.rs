@@ -148,13 +148,36 @@ fn main() -> ExitCode {
             args.inject
         );
     }
-    let verdict = match regress::run_gate(&baseline, &overhead_baseline, reps, tol, args.inject) {
+    let mut verdict = match regress::run_gate(&baseline, &overhead_baseline, reps, tol, args.inject)
+    {
         Ok(v) => v,
         Err(e) => {
             eprintln!("regress: {e}");
             return ExitCode::FAILURE;
         }
     };
+
+    // Reliability band: re-run the chaos sweep (1 seed in smoke, the
+    // baseline's full seed set otherwise) and hold the NACK-recovery
+    // tier to its committed delivery floors and latency ceiling.
+    let chaos_baseline = match regress::load_chaos_baseline(Path::new("bench_results/chaos.json")) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("regress: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let chaos_seeds = if args.smoke { 1 } else { chaos_baseline.seeds };
+    println!(
+        "chaos recovery band: re-running the reliability sweep ({chaos_seeds} seed{})",
+        if chaos_seeds == 1 { "" } else { "s" }
+    );
+    verdict.checks.extend(regress::chaos_recovery_checks(
+        &chaos_baseline,
+        chaos_seeds,
+        jobs,
+    ));
+    verdict.passed = verdict.checks.iter().all(|c| c.pass);
 
     report::print_table(
         &format!(

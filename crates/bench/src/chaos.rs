@@ -29,7 +29,7 @@
 
 use crate::scenario_file::run_batch;
 use scmp_telemetry::{EventKind, Trace};
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
 /// Uniform per-link drop probabilities swept.
@@ -51,13 +51,15 @@ const SOURCE: u32 = 13;
 const SENDS: u64 = 20;
 
 /// One sweep cell: a `(loss, seed)` realisation on the fig-scale
-/// ARPANET topology.
-#[derive(Clone, Debug, Serialize)]
+/// ARPANET topology, with or without the reliable-multicast tier.
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct ChaosCell {
     /// Uniform drop probability on every link.
     pub loss: f64,
     /// Channel + topology seed for this realisation.
     pub seed: u64,
+    /// Whether the reliability tier (NACK recovery) was on.
+    pub reliable: bool,
     /// Fraction of expected `(tag, member)` deliveries that arrived.
     pub delivery_ratio: f64,
     /// Members that heard at least one payload (tree-convergence proxy).
@@ -72,10 +74,25 @@ pub struct ChaosCell {
     pub takeovers: u64,
     /// Duplicate `(group, tag, member)` deliveries (must stay 0).
     pub duplicate_deliveries: usize,
+    /// NACKs originated by receivers (0 with the tier off).
+    pub nacks_sent: u64,
+    /// NACKs absorbed by pending-request suppression.
+    pub nacks_suppressed: u64,
+    /// NACKs forwarded upstream after a cache miss.
+    pub nacks_forwarded: u64,
+    /// NACKs answered from a repair cache.
+    pub repair_cache_hits: u64,
+    /// NACKs that missed a repair cache.
+    pub repair_cache_misses: u64,
+    /// Data gaps closed by the tier.
+    pub recoveries: u64,
+    /// Gap-recovery latency percentiles (0 when nothing recovered).
+    pub p50_recovery_latency: u64,
+    pub p99_recovery_latency: u64,
 }
 
 /// Per-loss-rate aggregate over seeds — the degradation curve.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct ChaosPoint {
     /// Uniform drop probability.
     pub loss: f64,
@@ -87,16 +104,30 @@ pub struct ChaosPoint {
     pub mean_retransmissions: f64,
     /// Total takeovers across seeds (invariant: 0).
     pub takeovers: u64,
+    /// Mean NACKs per seed (reliable curve; 0 on the plain curve).
+    pub mean_nacks: f64,
+    /// NACKs suppressed / NACKs seen at routers — the duplicate-NACK
+    /// suppression effectiveness (0 when no NACK ever reached a router).
+    pub nack_suppression_ratio: f64,
+    /// Repair-cache hits / lookups across seeds (NACK-implosion
+    /// containment: every hit stops a NACK from travelling further).
+    pub cache_hit_rate: f64,
+    /// Mean per-seed p50 gap-recovery latency.
+    pub mean_recovery_p50: f64,
+    /// Worst per-seed p99 gap-recovery latency.
+    pub max_recovery_p99: u64,
 }
 
 /// The full sweep result persisted to `bench_results/chaos.json`.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct ChaosReport {
     /// Seeds per loss rate.
     pub seeds: u64,
-    /// Degradation curve, one point per loss rate.
+    /// Degradation curve with the reliability tier off.
     pub points: Vec<ChaosPoint>,
-    /// Every raw cell.
+    /// The same curve with NACK recovery on.
+    pub reliable_points: Vec<ChaosPoint>,
+    /// Every raw cell, the tier-off series first.
     pub cells: Vec<ChaosCell>,
 }
 
@@ -106,6 +137,13 @@ pub struct ChaosReport {
 /// JOIN/LEAVE/TREE retry, hot standby with a loss-tolerant watchdog),
 /// uniform loss on every link.
 pub fn scenario_json(loss: f64, seed: u64) -> String {
+    scenario_json_with(loss, seed, false)
+}
+
+/// Like [`scenario_json`], optionally with the reliable-multicast tier
+/// on (defaults: 300-tick NACK delay, 200-tick jitter window, 64 KiB
+/// repair caches, sequence-extent announcements for tail loss).
+pub fn scenario_json_with(loss: f64, seed: u64, reliable: bool) -> String {
     let mut events = String::new();
     for (i, m) in MEMBERS.iter().enumerate() {
         events.push_str(&format!(
@@ -129,10 +167,15 @@ pub fn scenario_json(loss: f64, seed: u64) -> String {
     // payload. The standby (node 11) sits one hop from the m-router
     // (node 10), so twelve consecutive heartbeat losses at 20% per link
     // is a ~4e-9 event: any takeover the sweep observes is a bug.
+    let reliability = if reliable {
+        "\n  \"reliability\": {},"
+    } else {
+        ""
+    };
     format!(
         r#"{{
   "topology": {{ "kind": "arpanet", "seed": {seed} }},
-  "m_router": 10,
+  "m_router": 10,{reliability}
   "robustness": {{
     "repair_interval": 2000,
     "join_retry": 500,
@@ -150,28 +193,35 @@ pub fn scenario_json(loss: f64, seed: u64) -> String {
     )
 }
 
-/// Run the sweep: `LOSS_RATES` × `seeds` cells on `jobs` workers.
+/// Run the sweep: `LOSS_RATES` × `seeds` cells, each in both modes
+/// (reliability off, then on), on `jobs` workers.
 ///
 /// # Panics
-/// When any invariant listed in the module docs is violated.
+/// When any invariant listed in the module docs is violated, or when
+/// the reliable series misses its recovery floors (min delivery ≥ 0.95
+/// at 10% loss, ≥ 0.85 at 20%).
 pub fn run(seeds: u64, jobs: usize) -> ChaosReport {
-    let grid: Vec<(f64, u64)> = LOSS_RATES
+    let grid: Vec<(f64, u64, bool)> = [false, true]
         .iter()
-        .flat_map(|&loss| (0..seeds).map(move |s| (loss, s)))
+        .flat_map(|&reliable| {
+            LOSS_RATES
+                .iter()
+                .flat_map(move |&loss| (0..seeds).map(move |s| (loss, s, reliable)))
+        })
         .collect();
     let jsons: Vec<String> = grid
         .iter()
-        .map(|&(loss, seed)| scenario_json(loss, seed))
+        .map(|&(loss, seed, reliable)| scenario_json_with(loss, seed, reliable))
         .collect();
     let outcomes = run_batch(&jsons, jobs);
 
     let mut cells = Vec::with_capacity(grid.len());
-    for (&(loss, seed), outcome) in grid.iter().zip(&outcomes) {
+    for (&(loss, seed, reliable), outcome) in grid.iter().zip(&outcomes) {
+        let tag = format!("(loss={loss}, seed={seed}, reliable={reliable})");
         let (r, trace) = outcome
             .as_ref()
-            .unwrap_or_else(|e| panic!("chaos cell (loss={loss}, seed={seed}) failed: {e}"));
-        let t = Trace::parse(trace)
-            .unwrap_or_else(|e| panic!("chaos cell (loss={loss}, seed={seed}) trace: {e}"));
+            .unwrap_or_else(|e| panic!("chaos cell {tag} failed: {e}"));
+        let t = Trace::parse(trace).unwrap_or_else(|e| panic!("chaos cell {tag} trace: {e}"));
         let audit = t.audit();
         let reached: BTreeSet<u32> = t
             .events()
@@ -182,6 +232,7 @@ pub fn run(seeds: u64, jobs: usize) -> ChaosReport {
         let cell = ChaosCell {
             loss,
             seed,
+            reliable,
             delivery_ratio: r.delivery_ratio,
             members_reached: reached.len(),
             channel_dropped: r.channel_dropped,
@@ -189,8 +240,15 @@ pub fn run(seeds: u64, jobs: usize) -> ChaosReport {
             repairs: r.repairs,
             takeovers: r.takeovers,
             duplicate_deliveries: audit.duplicates.len(),
+            nacks_sent: r.nacks_sent,
+            nacks_suppressed: r.nacks_suppressed,
+            nacks_forwarded: r.nacks_forwarded,
+            repair_cache_hits: r.repair_cache_hits,
+            repair_cache_misses: r.repair_cache_misses,
+            recoveries: r.recoveries,
+            p50_recovery_latency: r.p50_recovery_latency,
+            p99_recovery_latency: r.p99_recovery_latency,
         };
-        let tag = format!("(loss={loss}, seed={seed})");
         assert!(
             audit.duplicates.is_empty(),
             "{tag}: duplicate deliveries {:?}",
@@ -213,34 +271,101 @@ pub fn run(seeds: u64, jobs: usize) -> ChaosReport {
             assert_eq!(cell.delivery_ratio, 1.0, "{tag}: lossless run not perfect");
             assert_eq!(cell.channel_dropped, 0, "{tag}: inert channel dropped");
             assert_eq!(cell.retransmissions, 0, "{tag}: lossless run retried");
+            assert_eq!(cell.nacks_sent, 0, "{tag}: lossless run NACKed");
         } else {
             assert!(cell.channel_dropped > 0, "{tag}: channel never dropped");
+        }
+        if reliable {
+            if loss > 0.0 {
+                assert!(
+                    cell.recoveries > 0,
+                    "{tag}: lossy run never recovered a gap"
+                );
+            }
+            // The tentpole's acceptance floors: NACK recovery must hold
+            // delivery high where the best-effort tier visibly degrades.
+            if loss <= 0.10 {
+                assert!(
+                    cell.delivery_ratio >= 0.95,
+                    "{tag}: reliable delivery {} under the 0.95 floor",
+                    cell.delivery_ratio
+                );
+            } else {
+                assert!(
+                    cell.delivery_ratio >= 0.85,
+                    "{tag}: reliable delivery {} under the 0.85 floor",
+                    cell.delivery_ratio
+                );
+            }
+        } else {
+            assert_eq!(cell.nacks_sent, 0, "{tag}: tier-off run NACKed");
+            assert_eq!(cell.recoveries, 0, "{tag}: tier-off run recovered");
         }
         cells.push(cell);
     }
 
-    let points = LOSS_RATES
-        .iter()
-        .map(|&loss| {
-            let mine: Vec<&ChaosCell> = cells.iter().filter(|c| c.loss == loss).collect();
-            let n = mine.len().max(1) as f64;
-            ChaosPoint {
-                loss,
-                mean_delivery_ratio: mine.iter().map(|c| c.delivery_ratio).sum::<f64>() / n,
-                min_delivery_ratio: mine
+    let aggregate = |reliable: bool| -> Vec<ChaosPoint> {
+        LOSS_RATES
+            .iter()
+            .map(|&loss| {
+                let mine: Vec<&ChaosCell> = cells
                     .iter()
-                    .map(|c| c.delivery_ratio)
-                    .fold(f64::INFINITY, f64::min),
-                mean_retransmissions: mine.iter().map(|c| c.retransmissions as f64).sum::<f64>()
-                    / n,
-                takeovers: mine.iter().map(|c| c.takeovers).sum(),
-            }
-        })
-        .collect();
+                    .filter(|c| c.loss == loss && c.reliable == reliable)
+                    .collect();
+                let n = mine.len().max(1) as f64;
+                let nacks_seen: u64 = mine
+                    .iter()
+                    .map(|c| c.nacks_suppressed + c.nacks_forwarded + c.repair_cache_hits)
+                    .sum();
+                let suppressed: u64 = mine.iter().map(|c| c.nacks_suppressed).sum();
+                let lookups: u64 = mine
+                    .iter()
+                    .map(|c| c.repair_cache_hits + c.repair_cache_misses)
+                    .sum();
+                let hits: u64 = mine.iter().map(|c| c.repair_cache_hits).sum();
+                ChaosPoint {
+                    loss,
+                    mean_delivery_ratio: mine.iter().map(|c| c.delivery_ratio).sum::<f64>() / n,
+                    min_delivery_ratio: mine
+                        .iter()
+                        .map(|c| c.delivery_ratio)
+                        .fold(f64::INFINITY, f64::min),
+                    mean_retransmissions: mine
+                        .iter()
+                        .map(|c| c.retransmissions as f64)
+                        .sum::<f64>()
+                        / n,
+                    takeovers: mine.iter().map(|c| c.takeovers).sum(),
+                    mean_nacks: mine.iter().map(|c| c.nacks_sent as f64).sum::<f64>() / n,
+                    nack_suppression_ratio: if nacks_seen == 0 {
+                        0.0
+                    } else {
+                        suppressed as f64 / nacks_seen as f64
+                    },
+                    cache_hit_rate: if lookups == 0 {
+                        0.0
+                    } else {
+                        hits as f64 / lookups as f64
+                    },
+                    mean_recovery_p50: mine
+                        .iter()
+                        .map(|c| c.p50_recovery_latency as f64)
+                        .sum::<f64>()
+                        / n,
+                    max_recovery_p99: mine
+                        .iter()
+                        .map(|c| c.p99_recovery_latency)
+                        .max()
+                        .unwrap_or(0),
+                }
+            })
+            .collect()
+    };
 
     ChaosReport {
         seeds,
-        points,
+        points: aggregate(false),
+        reliable_points: aggregate(true),
         cells,
     }
 }
@@ -261,11 +386,30 @@ mod tests {
             "chaos sweep must be byte-identical across worker counts"
         );
         assert_eq!(serial.points.len(), LOSS_RATES.len());
+        assert_eq!(serial.reliable_points.len(), LOSS_RATES.len());
+        assert_eq!(serial.cells.len(), 2 * LOSS_RATES.len());
         assert_eq!(serial.points[0].mean_delivery_ratio, 1.0);
         let lossy = &serial.points[LOSS_RATES.len() - 1];
         assert!(
             lossy.mean_retransmissions > 0.0,
             "20% loss must force control retries"
+        );
+        // The reliable curve at the same loss rate must out-deliver the
+        // best-effort curve and show the recovery machinery at work.
+        let rel_lossy = &serial.reliable_points[LOSS_RATES.len() - 1];
+        assert!(
+            rel_lossy.min_delivery_ratio >= lossy.min_delivery_ratio,
+            "NACK recovery made delivery worse at 20% loss"
+        );
+        assert!(rel_lossy.mean_nacks > 0.0, "reliable cells never NACKed");
+        assert!(
+            rel_lossy.cache_hit_rate > 0.0,
+            "repair caches never answered a NACK at 20% loss"
+        );
+        assert_eq!(
+            serial.points[LOSS_RATES.len() - 1].mean_nacks,
+            0.0,
+            "tier-off curve must show zero NACKs"
         );
     }
 }

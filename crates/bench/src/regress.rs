@@ -22,6 +22,7 @@
 //! comparison — the gate's own self-test: `--inject 2` must fail, which
 //! `scripts/test-offline.sh` asserts right after the clean smoke pass.
 
+use crate::chaos::{self, ChaosReport};
 use crate::hotpath::{self, HotpathResult};
 use serde::Serialize;
 use std::path::Path;
@@ -158,6 +159,62 @@ pub fn load_overhead_baseline(path: &Path) -> Result<Vec<HotpathResult>, String>
         ));
     }
     Ok(v)
+}
+
+/// Load a committed `chaos.json` baseline (the reliability band source).
+pub fn load_chaos_baseline(path: &Path) -> Result<ChaosReport, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    serde_json::from_str(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// Re-run the chaos sweep and hold the reliability tier to its band:
+/// absolute worst-seed delivery floors (0.95 up to 10% loss, 0.85
+/// above — the tier's acceptance numbers) and a 2x ceiling on
+/// worst-case gap-recovery latency relative to the committed curve.
+///
+/// `seeds` may be smaller than the baseline's (smoke re-runs one seed):
+/// the checks stay sound because the engine is deterministic, so fresh
+/// seeds are a subset of the committed realisations — a fresh max can
+/// only blow the latency ceiling if the code's recovery behaviour
+/// actually drifted.
+///
+/// # Panics
+/// When the sweep itself violates a protocol invariant (see
+/// [`chaos::run`]) — that is a correctness bug, not a perf regression.
+pub fn chaos_recovery_checks(baseline: &ChaosReport, seeds: u64, jobs: usize) -> Vec<Check> {
+    let fresh = chaos::run(seeds.clamp(1, baseline.seeds.max(1)), jobs);
+    chaos_band(baseline, &fresh)
+}
+
+/// Pure band step of [`chaos_recovery_checks`]: fresh reliable curve
+/// against the committed one. Split out so the band logic is testable
+/// without running the sweep.
+pub fn chaos_band(baseline: &ChaosReport, fresh: &ChaosReport) -> Vec<Check> {
+    let mut checks = Vec::new();
+    for (b, f) in baseline.reliable_points.iter().zip(&fresh.reliable_points) {
+        if b.loss == 0.0 {
+            continue;
+        }
+        let pct = format!("{:.0}%", b.loss * 100.0);
+        let floor = if b.loss <= 0.10 { 0.95 } else { 0.85 };
+        checks.push(Check {
+            metric: format!("reliable_min_delivery[{pct}]"),
+            baseline: floor,
+            measured: f.min_delivery_ratio,
+            band: format!(">= {floor:.2} absolute"),
+            percent: false,
+            pass: f.min_delivery_ratio >= floor,
+        });
+        checks.push(Check {
+            metric: format!("recovery_latency_p99[{pct}]"),
+            baseline: b.max_recovery_p99 as f64,
+            measured: f.max_recovery_p99 as f64,
+            band: "<= 2.00x baseline".to_string(),
+            percent: false,
+            pass: f.max_recovery_p99 as f64 <= 2.0 * b.max_recovery_p99 as f64,
+        });
+    }
+    checks
 }
 
 /// Fractional slowdown of `sinked` relative to `off` (0.05 = 5%):
@@ -351,6 +408,70 @@ mod tests {
             .checks
             .iter()
             .any(|c| c.metric == "events" && !c.pass));
+    }
+
+    fn fake_chaos(specs: &[(f64, f64, u64)]) -> ChaosReport {
+        let points: Vec<chaos::ChaosPoint> = specs
+            .iter()
+            .map(|&(loss, min_del, p99)| chaos::ChaosPoint {
+                loss,
+                mean_delivery_ratio: min_del,
+                min_delivery_ratio: min_del,
+                mean_retransmissions: 0.0,
+                takeovers: 0,
+                mean_nacks: if loss > 0.0 { 4.0 } else { 0.0 },
+                nack_suppression_ratio: 0.5,
+                cache_hit_rate: 0.8,
+                mean_recovery_p50: p99 as f64 / 2.0,
+                max_recovery_p99: p99,
+            })
+            .collect();
+        ChaosReport {
+            seeds: 3,
+            points: points.clone(),
+            reliable_points: points,
+            cells: Vec::new(),
+        }
+    }
+
+    /// The reliability band: absolute delivery floors at the tier's
+    /// acceptance numbers, 2x ceiling on worst-case recovery latency.
+    #[test]
+    fn chaos_band_floors_and_latency_ceiling() {
+        let baseline = fake_chaos(&[
+            (0.0, 1.0, 0),
+            (0.05, 1.0, 900),
+            (0.10, 0.99, 1200),
+            (0.15, 0.97, 1500),
+            (0.20, 0.95, 2000),
+        ]);
+        let clean = chaos_band(&baseline, &baseline);
+        // Lossless point produces no checks; each lossy point two.
+        assert_eq!(clean.len(), 8);
+        assert!(clean.iter().all(|c| c.pass), "{clean:?}");
+
+        // Worst-seed delivery at 10% loss dipping to 0.90 trips the
+        // 0.95 floor; the same value at 20% loss clears the 0.85 one.
+        let mut dipped = baseline.clone();
+        dipped.reliable_points[2].min_delivery_ratio = 0.90;
+        dipped.reliable_points[4].min_delivery_ratio = 0.90;
+        let tripped: Vec<String> = chaos_band(&baseline, &dipped)
+            .iter()
+            .filter(|c| !c.pass)
+            .map(|c| c.metric.clone())
+            .collect();
+        assert_eq!(tripped, vec!["reliable_min_delivery[10%]"]);
+
+        // Recovery latency blowing past 2x the committed worst trips
+        // the ceiling.
+        let mut slow = baseline.clone();
+        slow.reliable_points[4].max_recovery_p99 = 4100;
+        let tripped: Vec<String> = chaos_band(&baseline, &slow)
+            .iter()
+            .filter(|c| !c.pass)
+            .map(|c| c.metric.clone())
+            .collect();
+        assert_eq!(tripped, vec!["recovery_latency_p99[20%]"]);
     }
 
     /// `run_gate` end to end with a live (tiny) measurement as its own

@@ -19,7 +19,7 @@
 //! ```
 
 use scmp_core::placement;
-use scmp_core::router::ScmpConfig;
+use scmp_core::router::{ReliabilityConfig, ScmpConfig};
 use scmp_net::rng::rng_for;
 use scmp_net::topology::{arpanet, gt_itm_flat, waxman, GtItmConfig, WaxmanConfig};
 use scmp_net::{provider_for, NodeId, PathProvider, Topology};
@@ -193,6 +193,51 @@ pub struct RobustnessSpec {
     pub heartbeat_loss_tolerance: Option<u32>,
 }
 
+/// Reliable-multicast tier knobs mapped onto [`ReliabilityConfig`];
+/// the section's *presence* switches the tier on, and absent fields
+/// keep the config defaults. Without a `reliability` section the run is
+/// byte-identical to one on a build without the tier at all.
+#[derive(Clone, Debug, Default, Deserialize, Serialize)]
+pub struct ReliabilitySpec {
+    /// Base delay before a detected gap NACKs (ticks).
+    #[serde(default)]
+    pub nack_delay: Option<u64>,
+    /// Width of the randomized suppression-jitter window (ticks).
+    #[serde(default)]
+    pub nack_jitter: Option<u64>,
+    /// NACK attempts per gap before giving up.
+    #[serde(default)]
+    pub nack_retries: Option<u32>,
+    /// Per-router repair-cache budget in bytes.
+    #[serde(default)]
+    pub cache_bytes: Option<usize>,
+    /// Period of the origin's sequence-extent announcements (0 = off).
+    #[serde(default)]
+    pub announce_interval: Option<u64>,
+    /// Announcement rounds per kick.
+    #[serde(default)]
+    pub announce_rounds: Option<u32>,
+    /// Seed of the deterministic suppression-jitter hash.
+    #[serde(default)]
+    pub seed: Option<u64>,
+}
+
+impl ReliabilitySpec {
+    /// Materialise the config, defaulting absent fields.
+    pub fn build(&self) -> ReliabilityConfig {
+        let d = ReliabilityConfig::default();
+        ReliabilityConfig {
+            nack_delay: self.nack_delay.unwrap_or(d.nack_delay),
+            nack_jitter: self.nack_jitter.unwrap_or(d.nack_jitter),
+            nack_retries: self.nack_retries.unwrap_or(d.nack_retries),
+            cache_bytes: self.cache_bytes.unwrap_or(d.cache_bytes),
+            announce_interval: self.announce_interval.unwrap_or(d.announce_interval),
+            announce_rounds: self.announce_rounds.unwrap_or(d.announce_rounds),
+            seed: self.seed.unwrap_or(d.seed),
+        }
+    }
+}
+
 /// Telemetry knobs: gauge sampling and structured-event export.
 #[derive(Clone, Debug, Default, Deserialize, Serialize)]
 pub struct TelemetrySpec {
@@ -224,6 +269,10 @@ pub struct ScenarioFile {
     /// Robustness configuration (repair scan, retries, hot standby).
     #[serde(default)]
     pub robustness: Option<RobustnessSpec>,
+    /// Reliable-multicast data tier (NACK recovery with repair caches).
+    /// Present ⇒ on; absent ⇒ byte-identical to a tier-free build.
+    #[serde(default)]
+    pub reliability: Option<ReliabilitySpec>,
     /// Seeded per-link channel impairments (drop / duplicate / corrupt
     /// probabilities, reorder jitter), validated against the topology.
     /// Absent — or present with all-zero probabilities — the run is
@@ -319,6 +368,19 @@ pub struct ScenarioResult {
     /// Control-plane hardening counters.
     pub retransmissions: u64,
     pub takeovers: u64,
+    /// Reliability-tier counters (all zero without a `reliability`
+    /// section).
+    pub nacks_sent: u64,
+    pub nacks_suppressed: u64,
+    pub nacks_forwarded: u64,
+    pub repair_cache_hits: u64,
+    pub repair_cache_misses: u64,
+    pub repair_cache_evictions: u64,
+    pub recoveries: u64,
+    pub p50_recovery_latency: u64,
+    pub p99_recovery_latency: u64,
+    /// Checksum-valid frames of an unimplemented kind, counted at decode.
+    pub unknown_kind_drops: u64,
     /// Gauge samples captured (0 unless `telemetry.gauge_interval` set).
     pub gauge_samples: u64,
     /// Every *live* router claiming the m-router role when the run
@@ -350,9 +412,19 @@ mod schema {
         "capacity",
         "faults",
         "robustness",
+        "reliability",
         "channel",
         "telemetry",
         "run_until",
+    ];
+    pub const RELIABILITY: &[&str] = &[
+        "nack_delay",
+        "nack_jitter",
+        "nack_retries",
+        "cache_bytes",
+        "announce_interval",
+        "announce_rounds",
+        "seed",
     ];
     pub const TELEMETRY: &[&str] = &["gauge_interval", "jsonl"];
     pub const ROBUSTNESS: &[&str] = &[
@@ -429,6 +501,7 @@ pub fn check_unknown_keys(json: &str) -> Result<(), String> {
             "topology" => check_keys(value, schema::TOPOLOGY, "topology section")?,
             "telemetry" => check_keys(value, schema::TELEMETRY, "telemetry section")?,
             "robustness" => check_keys(value, schema::ROBUSTNESS, "robustness section")?,
+            "reliability" => check_keys(value, schema::RELIABILITY, "reliability section")?,
             "channel" => {
                 check_keys(value, schema::CHANNEL, "channel section")?;
                 if let Some(obj) = value.as_object() {
@@ -531,6 +604,9 @@ fn run_scenario_inner(json: &str, capture: Option<&SharedBuf>) -> Result<Scenari
             config.heartbeat_loss_tolerance = v;
         }
         perpetual_timers = config.repair_interval > 0 || config.heartbeat_interval > 0;
+    }
+    if let Some(rel) = &spec.reliability {
+        config.reliability = Some(rel.build());
     }
 
     let mut engine = build_scmp_engine(topo.clone(), config);
@@ -646,6 +722,16 @@ fn run_scenario_inner(json: &str, capture: Option<&SharedBuf>) -> Result<Scenari
         channel_corrupted: stats.channel_corrupted,
         retransmissions: stats.retransmissions,
         takeovers: stats.takeovers,
+        nacks_sent: stats.nacks_sent,
+        nacks_suppressed: stats.nacks_suppressed,
+        nacks_forwarded: stats.nacks_forwarded,
+        repair_cache_hits: stats.repair_cache_hits,
+        repair_cache_misses: stats.repair_cache_misses,
+        repair_cache_evictions: stats.repair_cache_evictions,
+        recoveries: stats.recoveries,
+        p50_recovery_latency: stats.recovery_hist.p50(),
+        p99_recovery_latency: stats.recovery_hist.p99(),
+        unknown_kind_drops: stats.unknown_kind_drops,
         gauge_samples,
         m_routers_at_end,
         deliveries,
@@ -1008,6 +1094,94 @@ mod tests {
             t0, t1,
             "all-zero channel must leave the trace byte-identical"
         );
+    }
+
+    #[test]
+    fn reliability_recovers_channel_loss() {
+        // A 20% lossy channel with the reliability tier on: receivers
+        // must detect gaps, NACK, and recover to a perfect delivery
+        // ratio that the same channel without the tier cannot reach.
+        let base = r#"{
+            "topology": { "kind": "arpanet", "seed": 1 },
+            "m_router": "rule1",
+            "robustness": { "join_retry": 3000, "tree_retry": 3000 },
+            "channel": { "seed": 5, "default": { "drop": 0.2 } },
+            "events": [
+                { "time": 0,      "node": 4,  "op": "join", "group": 1 },
+                { "time": 1000,   "node": 9,  "op": "join", "group": 1 },
+                { "time": 500000, "node": 15, "op": "send", "group": 1, "tag": 1 },
+                { "time": 520000, "node": 15, "op": "send", "group": 1, "tag": 2 },
+                { "time": 540000, "node": 15, "op": "send", "group": 1, "tag": 3 },
+                { "time": 560000, "node": 15, "op": "send", "group": 1, "tag": 4 },
+                { "time": 580000, "node": 15, "op": "send", "group": 1, "tag": 5 }
+            ],
+            "run_until": 1500000
+        }"#;
+        let with = base.replace(
+            "\"robustness\"",
+            "\"reliability\": { \"nack_delay\": 300, \"nack_jitter\": 200 },\n  \"robustness\"",
+        );
+        let off = run_scenario(base).unwrap();
+        let (on, trace) = run_scenario_captured(&with).unwrap();
+        assert_eq!(off.nacks_sent, 0, "tier absent means tier silent");
+        assert_eq!(off.recoveries, 0);
+        assert!(on.nacks_sent > 0, "losses must trigger NACKs");
+        assert!(on.recoveries > 0, "NACKs must close gaps");
+        assert!(
+            on.delivery_ratio >= off.delivery_ratio,
+            "reliability must not lose ground: {} < {}",
+            on.delivery_ratio,
+            off.delivery_ratio
+        );
+        assert!(
+            (on.delivery_ratio - 1.0).abs() < 1e-9,
+            "recovered ratio {}",
+            on.delivery_ratio
+        );
+        assert!(on.p50_recovery_latency > 0);
+        assert!(on.p50_recovery_latency <= on.p99_recovery_latency);
+        let parsed = scmp_telemetry::Trace::parse(&trace).unwrap();
+        assert!(
+            parsed.audit().passed(),
+            "repairs must not duplicate deliveries: {}",
+            parsed.audit().report()
+        );
+
+        // Deterministic replay, like every other scenario feature.
+        let again = run_scenario(&with).unwrap();
+        assert_eq!(
+            serde_json::to_string(&on).unwrap(),
+            serde_json::to_string(&again).unwrap()
+        );
+
+        // Typo'd reliability knobs are named, not silently defaulted.
+        let typo = with.replace("nack_delay", "nack_dellay");
+        let err = run_scenario(&typo).unwrap_err();
+        assert!(
+            err.contains("nack_dellay") && err.contains("reliability"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn reliability_on_lossless_run_changes_nothing_observable() {
+        // On a clean wire the tier is pure bookkeeping: no NACKs, no
+        // repairs, the same deliveries, and a clean audit.
+        let with = BASIC.replace(
+            "\"m_router\": \"rule1\",",
+            "\"m_router\": \"rule1\",\n  \"reliability\": {},",
+        );
+        let plain = run_scenario(BASIC).unwrap();
+        let (r, trace) = run_scenario_captured(&with).unwrap();
+        assert_eq!(r.nacks_sent, 0);
+        assert_eq!(r.recoveries, 0);
+        assert_eq!(r.repair_cache_hits + r.repair_cache_misses, 0);
+        assert_eq!(r.delivery_ratio, plain.delivery_ratio);
+        assert_eq!(r.deliveries[0].receivers, plain.deliveries[0].receivers);
+        assert!(scmp_telemetry::Trace::parse(&trace)
+            .unwrap()
+            .audit()
+            .passed());
     }
 
     #[test]

@@ -360,6 +360,7 @@ pub fn synthesize(p: &StressPoint) -> ScenarioFile {
             tree_retry: Some(retry),
             heartbeat_loss_tolerance: Some(TOLERANCES[p.tolerance as usize]),
         }),
+        reliability: None,
         channel: if chan.is_noop() {
             None
         } else {
@@ -963,6 +964,10 @@ pub struct Checks {
     pub channel_dropped_at_least: Option<u64>,
     #[serde(default)]
     pub members_reached_at_least: Option<usize>,
+    #[serde(default)]
+    pub nacks_sent_at_least: Option<u64>,
+    #[serde(default)]
+    pub recoveries_at_least: Option<u64>,
 }
 
 /// What a corpus entry pins about its scenario's replay.
@@ -1008,6 +1013,8 @@ mod corpus_schema {
         "retransmissions_at_least",
         "channel_dropped_at_least",
         "members_reached_at_least",
+        "nacks_sent_at_least",
+        "recoveries_at_least",
     ];
 }
 
@@ -1135,6 +1142,20 @@ impl CorpusEntry {
                     "members_reached_at_least",
                     ev.members_reached >= v,
                     ev.members_reached.to_string(),
+                );
+            }
+            if let Some(v) = c.nacks_sent_at_least {
+                check(
+                    "nacks_sent_at_least",
+                    r.nacks_sent >= v,
+                    r.nacks_sent.to_string(),
+                );
+            }
+            if let Some(v) = c.recoveries_at_least {
+                check(
+                    "recoveries_at_least",
+                    r.recoveries >= v,
+                    r.recoveries.to_string(),
                 );
             }
         }

@@ -32,10 +32,14 @@ pub enum ScmpMsg {
     /// are ignored.
     Flush { gen: u64 },
     /// Multicast payload travelling on the bidirectional tree (§III-F).
-    Data,
+    /// `seq` is the per-(group, origin) stream sequence number stamped
+    /// by the originating DR when the reliability tier is enabled;
+    /// 0 means unsequenced (tier off), preserving the plain §III-F
+    /// semantics byte for byte.
+    Data { seq: u64 },
     /// Payload from an off-tree source, encapsulated in unicast toward
-    /// the m-router (§III-F).
-    EncapData,
+    /// the m-router (§III-F). `seq` as in [`ScmpMsg::Data`].
+    EncapData { seq: u64 },
     /// Primary→standby liveness beacon (§V, hot-standby design).
     Heartbeat { seq: u64 },
     /// Primary→standby membership mirror update.
@@ -54,6 +58,26 @@ pub enum ScmpMsg {
     /// TREE packet, and without an ack the m-router would believe the
     /// subtree installed.
     TreeAck { gen: u64 },
+    /// Receiver → upstream negative acknowledgement for one missing
+    /// sequence of the (group, `origin`) data stream (reliability tier,
+    /// SRM-style). Travels hop by hop toward the stream source; every
+    /// on-tree DR answers from its repair cache when it can.
+    Nack { origin: NodeId, seq: u64 },
+    /// Cache answer to a [`ScmpMsg::Nack`]: a retransmission of stream
+    /// (group, `origin`) sequence `seq`. The enclosing packet preserves
+    /// the original payload's tag/created_at/origin so the repair joins
+    /// the original packet's causal journey.
+    Repair { origin: NodeId, seq: u64 },
+    /// Stream-state beacon: "(group, `origin`) has sent through `seq`".
+    /// Lets receivers detect tail loss (a gap after the *last* packet
+    /// produces no later packet to reveal it). Sent for a few rounds
+    /// after each send burst; `round` distinguishes the rounds so
+    /// relays forward each round once.
+    SeqAnnounce {
+        origin: NodeId,
+        seq: u64,
+        round: u32,
+    },
 }
 
 impl ScmpMsg {
@@ -66,13 +90,16 @@ impl ScmpMsg {
             ScmpMsg::Tree { .. } => "TREE",
             ScmpMsg::Branch { .. } => "BRANCH",
             ScmpMsg::Flush { .. } => "FLUSH",
-            ScmpMsg::Data => "DATA",
-            ScmpMsg::EncapData => "ENCAP",
+            ScmpMsg::Data { .. } => "DATA",
+            ScmpMsg::EncapData { .. } => "ENCAP",
             ScmpMsg::Heartbeat { .. } => "HEARTBEAT",
             ScmpMsg::StandbySync { .. } => "SYNC",
             ScmpMsg::NewMRouter { .. } => "NEW-MROUTER",
             ScmpMsg::LeaveAck => "LEAVE-ACK",
             ScmpMsg::TreeAck { .. } => "TREE-ACK",
+            ScmpMsg::Nack { .. } => "NACK",
+            ScmpMsg::Repair { .. } => "REPAIR",
+            ScmpMsg::SeqAnnounce { .. } => "ANNOUNCE",
         }
     }
 }
@@ -102,8 +129,8 @@ mod tests {
                 },
             },
             ScmpMsg::Flush { gen: 1 },
-            ScmpMsg::Data,
-            ScmpMsg::EncapData,
+            ScmpMsg::Data { seq: 0 },
+            ScmpMsg::EncapData { seq: 0 },
             ScmpMsg::Heartbeat { seq: 0 },
             ScmpMsg::StandbySync {
                 member: NodeId(1),
@@ -112,6 +139,19 @@ mod tests {
             ScmpMsg::NewMRouter { address: NodeId(2) },
             ScmpMsg::LeaveAck,
             ScmpMsg::TreeAck { gen: 1 },
+            ScmpMsg::Nack {
+                origin: NodeId(3),
+                seq: 2,
+            },
+            ScmpMsg::Repair {
+                origin: NodeId(3),
+                seq: 2,
+            },
+            ScmpMsg::SeqAnnounce {
+                origin: NodeId(3),
+                seq: 2,
+                round: 0,
+            },
         ];
         let labels: std::collections::BTreeSet<&str> = msgs.iter().map(|m| m.label()).collect();
         assert_eq!(labels.len(), msgs.len(), "labels must be distinct");

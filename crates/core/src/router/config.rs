@@ -71,6 +71,61 @@ pub struct ScmpConfig {
     /// 0 disables the scan. Note: a non-zero interval re-arms forever,
     /// so drive such simulations with `run_until`, not quiescence.
     pub repair_interval: u64,
+    /// Optional reliable-multicast data tier (NACK recovery + i-router
+    /// repair caches). `None` — the default — keeps the data plane
+    /// byte-identical to plain SCMP.
+    pub reliability: Option<ReliabilityConfig>,
+}
+
+/// Knobs for the reliable-multicast data tier (SRM-style NACK recovery
+/// with in-network repair caches). All timers are in simulation time
+/// units; all randomness is a pure hash of `seed` and protocol state,
+/// so replays are deterministic across worker counts.
+#[derive(Clone, Debug)]
+pub struct ReliabilityConfig {
+    /// Base delay before a receiver NACKs a detected gap. Waiting lets
+    /// a reordered packet close the gap for free and spreads NACKs so
+    /// upstream duplicate suppression can thin them (SRM's request
+    /// timer).
+    pub nack_delay: u64,
+    /// Width of the randomized jitter added to `nack_delay` (the
+    /// suppression-timer spread). The actual jitter for a given
+    /// (node, group, origin, attempt) is a pure seeded hash in
+    /// `[0, nack_jitter)`.
+    pub nack_jitter: u64,
+    /// NACK retransmission attempts per missing sequence before giving
+    /// up. Retries back off exponentially like the control-plane ARQs.
+    pub nack_retries: u32,
+    /// Byte cap on each router's repair cache. Entries are evicted in
+    /// least-recently-used order when the cap is exceeded; each cached
+    /// payload is accounted at [`CACHE_ENTRY_BYTES`] bytes.
+    pub cache_bytes: usize,
+    /// Delay between SEQ-ANNOUNCE rounds after a send burst (tail-loss
+    /// detection); 0 disables announcements.
+    pub announce_interval: u64,
+    /// Number of SEQ-ANNOUNCE rounds sent after each send burst.
+    pub announce_rounds: u32,
+    /// Seed for the NACK suppression-timer jitter hash.
+    pub seed: u64,
+}
+
+/// Nominal bytes charged to the repair cache per cached payload
+/// (header + the simulator's abstract payload). The simulation carries
+/// no real payload bytes, so sizing is by this fixed estimate.
+pub const CACHE_ENTRY_BYTES: usize = 64;
+
+impl Default for ReliabilityConfig {
+    fn default() -> Self {
+        ReliabilityConfig {
+            nack_delay: 300,
+            nack_jitter: 200,
+            nack_retries: 8,
+            cache_bytes: 64 * 1024,
+            announce_interval: 1_000,
+            announce_rounds: 3,
+            seed: 0x5C3F_11AB,
+        }
+    }
 }
 
 impl ScmpConfig {
@@ -90,6 +145,7 @@ impl ScmpConfig {
             tree_retry: 0,
             heartbeat_loss_tolerance: 4,
             repair_interval: 0,
+            reliability: None,
         }
     }
 }

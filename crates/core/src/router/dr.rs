@@ -184,8 +184,12 @@ impl ScmpRouter {
         tag: u64,
         ctx: &mut Ctx<'_, ScmpMsg>,
     ) {
+        // Reliability tier: stamp the payload with the next sequence of
+        // this node's (group, origin=me) stream and cache it for
+        // repairs (0 = tier off, plain §III-F semantics).
+        let seq = self.rel_stamp_send(group, tag, ctx);
         if let Some(entry) = self.entries.get(&group) {
-            let pkt = Packet::data(group, tag, ctx.now(), ScmpMsg::Data);
+            let pkt = Packet::data(group, tag, ctx.now(), ScmpMsg::Data { seq });
             if entry.local_interface {
                 ctx.deliver_local(&pkt);
             }
@@ -195,7 +199,7 @@ impl ScmpRouter {
         } else {
             // Off-tree source: encapsulate toward the m-router (§III-F).
             let m = self.m_router_for(group);
-            let pkt = Packet::data(group, tag, ctx.now(), ScmpMsg::EncapData);
+            let pkt = Packet::data(group, tag, ctx.now(), ScmpMsg::EncapData { seq });
             ctx.unicast(m, pkt);
         }
     }
@@ -216,12 +220,37 @@ impl ScmpRouter {
             ctx.drop_packet();
             return;
         }
-        if !self.recent_data.insert((pkt.group.0, pkt.tag, false)) {
+        let seq = match pkt.body {
+            ScmpMsg::Data { seq } => seq,
+            _ => 0,
+        };
+        if seq > 0 {
+            // Reliability tier: per-stream sequence state is the
+            // authoritative dedup (and gap detector) for sequenced
+            // payloads.
+            if !self.rel_observe_data(
+                pkt.group,
+                pkt.origin,
+                seq,
+                pkt.tag,
+                pkt.created_at,
+                Some(from),
+                false,
+                ctx,
+            ) {
+                ctx.drop_packet_keyed(pkt.group, pkt.tag);
+                return;
+            }
+        } else if !self
+            .recent_data
+            .insert((pkt.group.0, pkt.origin.0, pkt.tag, false))
+        {
             // A channel-duplicated copy already forwarded: suppress it,
             // or every member below would receive the payload twice.
             ctx.drop_packet();
             return;
         }
+        let entry = self.entries.get(&pkt.group).expect("entry checked above");
         if entry.local_interface {
             ctx.deliver_local(&pkt);
         }
@@ -244,7 +273,31 @@ impl ScmpRouter {
             }
             return;
         }
-        if !self.recent_data.insert((pkt.group.0, pkt.tag, true)) {
+        let seq = match pkt.body {
+            ScmpMsg::EncapData { seq } => seq,
+            _ => 0,
+        };
+        if seq > 0 {
+            // Reliability tier: track the encapsulation leg as a
+            // per-origin stream — the m-router NACKs the origin over
+            // unicast for anything the leg lost.
+            if !self.rel_observe_data(
+                pkt.group,
+                pkt.origin,
+                seq,
+                pkt.tag,
+                pkt.created_at,
+                None,
+                true,
+                ctx,
+            ) {
+                ctx.drop_packet_keyed(pkt.group, pkt.tag);
+                return;
+            }
+        } else if !self
+            .recent_data
+            .insert((pkt.group.0, pkt.origin.0, pkt.tag, true))
+        {
             // Channel-duplicated encapsulation: decapsulating it again
             // would push a second copy down the whole tree.
             ctx.drop_packet();
@@ -252,7 +305,7 @@ impl ScmpRouter {
         }
         // Decapsulate and push down the tree (§III-F).
         let data = Packet {
-            body: ScmpMsg::Data,
+            body: ScmpMsg::Data { seq },
             ..pkt
         };
         if let Some(entry) = self.entries.get(&data.group) {
@@ -264,6 +317,13 @@ impl ScmpRouter {
             }
         }
         // No entry: empty group, payload evaporates at the root.
+        if seq > 0 {
+            // Restart the downstream announce series so members learn
+            // the stream extent even when the flood's tail is lost.
+            if let Some(cfg) = self.domain.config.reliability.clone() {
+                self.rel_kick_announce(data.group, data.origin, &cfg, ctx);
+            }
+        }
     }
 
     // ------------------------------------------------------------------

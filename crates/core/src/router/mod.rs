@@ -27,14 +27,16 @@ mod domain;
 mod dr;
 mod entry;
 mod mrouter;
+mod reliability;
 mod standby;
 #[cfg(test)]
 mod tests;
 
-pub use config::ScmpConfig;
+pub use config::{ReliabilityConfig, ScmpConfig, CACHE_ENTRY_BYTES};
 pub use domain::ScmpDomain;
 pub use entry::RoutingEntry;
 pub use mrouter::MRouterState;
+pub use reliability::nack_jitter;
 pub use standby::StandbyState;
 
 use crate::dedup::RecentSet;
@@ -68,6 +70,12 @@ const TIMER_LEAVE_RETRY_BASE: u64 = 1 << 61;
 /// Node ids fit 24 bits in any simulated domain and group ids stay far
 /// below 2^36, so the token never reaches [`TIMER_LEAVE_RETRY_BASE`].
 const TIMER_TREE_RETRY_BASE: u64 = 1 << 60;
+/// NACK suppression-timer tokens (reliability tier):
+/// `TIMER_NACK_BASE + (gid << 24) + stream_origin`.
+const TIMER_NACK_BASE: u64 = 1 << 59;
+/// SEQ-ANNOUNCE series tokens (reliability tier):
+/// `TIMER_ANNOUNCE_BASE + (gid << 24) + stream_origin`.
+const TIMER_ANNOUNCE_BASE: u64 = 1 << 58;
 
 /// Encode one parent → child tree-ARQ slot as a timer token.
 pub(super) fn tree_retry_token(group: GroupId, child: NodeId) -> u64 {
@@ -148,11 +156,18 @@ pub struct ScmpRouter {
     /// Seeds the generation epoch on a standby takeover (see
     /// [`GEN_EPOCH_SHIFT`]).
     gen_high_water: u64,
-    /// Recently forwarded data-packet keys `(group, tag, encapsulated)`,
-    /// for suppressing channel-duplicated payloads. The encapsulated
-    /// flag keeps an EncapData and its decapsulated Data twin (same
-    /// group and tag) from shadowing each other at the m-router.
-    recent_data: RecentSet<(u32, u64, bool)>,
+    /// Recently forwarded data-packet keys `(group, origin, tag,
+    /// encapsulated)`, for suppressing channel-duplicated payloads. The
+    /// key is the full causal trace key — origin included, so two
+    /// sources reusing the same application tag in one group cannot
+    /// shadow each other — plus an encapsulated flag that keeps an
+    /// EncapData and its decapsulated Data twin (same group, origin and
+    /// tag) from shadowing each other at the m-router.
+    recent_data: RecentSet<(u32, u32, u64, bool)>,
+    /// Reliable-multicast tier state (streams, repair cache, pending
+    /// NACK interests); empty and untouched when
+    /// `config.reliability` is `None`.
+    rel: reliability::ReliabilityState,
     /// Sequence counter behind [`ScmpRouter::fresh_txn`]: every control
     /// transaction this node originates gets a distinct causal trace key.
     next_txn: u32,
@@ -199,6 +214,7 @@ impl ScmpRouter {
             pending_trees: BTreeMap::new(),
             gen_high_water: 0,
             recent_data: RecentSet::new(RECENT_DATA_CAP),
+            rel: reliability::ReliabilityState::default(),
             next_txn: 0,
             join_txns: BTreeMap::new(),
             leave_txns: BTreeMap::new(),
@@ -292,13 +308,16 @@ impl Router for ScmpRouter {
             ScmpMsg::Tree { .. } => CtlKind::Tree,
             ScmpMsg::Branch { .. } => CtlKind::Branch,
             ScmpMsg::Flush { .. } => CtlKind::Flush,
-            ScmpMsg::Data => CtlKind::Data,
-            ScmpMsg::EncapData => CtlKind::EncapData,
+            ScmpMsg::Data { .. } => CtlKind::Data,
+            ScmpMsg::EncapData { .. } => CtlKind::EncapData,
             ScmpMsg::Heartbeat { .. } => CtlKind::Heartbeat,
             ScmpMsg::StandbySync { .. } => CtlKind::StandbySync,
             ScmpMsg::NewMRouter { .. } => CtlKind::NewMRouter,
             ScmpMsg::LeaveAck => CtlKind::LeaveAck,
             ScmpMsg::TreeAck { .. } => CtlKind::TreeAck,
+            ScmpMsg::Nack { .. } => CtlKind::Nack,
+            ScmpMsg::Repair { .. } => CtlKind::Repair,
+            ScmpMsg::SeqAnnounce { .. } => CtlKind::SeqAnnounce,
         })
     }
 
@@ -330,8 +349,13 @@ impl Router for ScmpRouter {
                     self.entries.remove(&group);
                 }
             }
-            ScmpMsg::Data => self.forward_on_tree(from, pkt, ctx),
-            ScmpMsg::EncapData => self.handle_encap_data(pkt, ctx),
+            ScmpMsg::Data { .. } => self.forward_on_tree(from, pkt, ctx),
+            ScmpMsg::EncapData { .. } => self.handle_encap_data(pkt, ctx),
+            ScmpMsg::Nack { origin, seq } => self.rel_handle_nack(from, &pkt, origin, seq, ctx),
+            ScmpMsg::Repair { origin, seq } => self.rel_handle_repair(&pkt, origin, seq, ctx),
+            ScmpMsg::SeqAnnounce { origin, seq, round } => {
+                self.rel_handle_announce(from, &pkt, origin, seq, round, ctx)
+            }
             ScmpMsg::Heartbeat { .. } => {
                 let cfg = &self.domain.config;
                 let interval = cfg.heartbeat_interval;
@@ -428,6 +452,18 @@ impl Router for ScmpRouter {
                 let group = GroupId((slot >> 24) as u32);
                 let child = NodeId((slot & 0x00FF_FFFF) as u32);
                 self.retry_tree_if_unacked(group, child, ctx);
+            }
+            token if token >= TIMER_NACK_BASE => {
+                let slot = token - TIMER_NACK_BASE;
+                let group = GroupId((slot >> 24) as u32);
+                let origin = NodeId((slot & 0x00FF_FFFF) as u32);
+                self.rel_nack_timer(group, origin, ctx);
+            }
+            token if token >= TIMER_ANNOUNCE_BASE => {
+                let slot = token - TIMER_ANNOUNCE_BASE;
+                let group = GroupId((slot >> 24) as u32);
+                let origin = NodeId((slot & 0x00FF_FFFF) as u32);
+                self.rel_announce_timer(group, origin, ctx);
             }
             token if token >= TIMER_WATCHDOG_BASE => {
                 let take_over = match &self.role {

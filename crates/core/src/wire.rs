@@ -53,6 +53,9 @@ enum MsgType {
     NewMRouter = 11,
     LeaveAck = 12,
     TreeAck = 13,
+    Nack = 14,
+    Repair = 15,
+    SeqAnnounce = 16,
 }
 
 /// Decode errors.
@@ -109,7 +112,8 @@ pub fn encode_seq(pkt: &Packet<ScmpMsg>, seq: u32) -> Bytes {
         ScmpMsg::Join { requester } | ScmpMsg::Leave { requester } => {
             b.put_u32(requester.0);
         }
-        ScmpMsg::Prune | ScmpMsg::Data | ScmpMsg::EncapData | ScmpMsg::LeaveAck => {}
+        ScmpMsg::Prune | ScmpMsg::LeaveAck => {}
+        ScmpMsg::Data { seq } | ScmpMsg::EncapData { seq } => b.put_u64(*seq),
         ScmpMsg::Tree { gen, packet } => {
             b.put_u64(*gen);
             let words = packet.encode_words();
@@ -133,6 +137,15 @@ pub fn encode_seq(pkt: &Packet<ScmpMsg>, seq: u32) -> Bytes {
         }
         ScmpMsg::NewMRouter { address } => b.put_u32(address.0),
         ScmpMsg::TreeAck { gen } => b.put_u64(*gen),
+        ScmpMsg::Nack { origin, seq } | ScmpMsg::Repair { origin, seq } => {
+            b.put_u32(origin.0);
+            b.put_u64(*seq);
+        }
+        ScmpMsg::SeqAnnounce { origin, seq, round } => {
+            b.put_u32(origin.0);
+            b.put_u64(*seq);
+            b.put_u32(*round);
+        }
     }
     let sum = fnv32(b.as_ref());
     b.put_u32(sum);
@@ -147,13 +160,16 @@ fn type_of(msg: &ScmpMsg) -> MsgType {
         ScmpMsg::Tree { .. } => MsgType::Tree,
         ScmpMsg::Branch { .. } => MsgType::Branch,
         ScmpMsg::Flush { .. } => MsgType::Flush,
-        ScmpMsg::Data => MsgType::Data,
-        ScmpMsg::EncapData => MsgType::EncapData,
+        ScmpMsg::Data { .. } => MsgType::Data,
+        ScmpMsg::EncapData { .. } => MsgType::EncapData,
         ScmpMsg::Heartbeat { .. } => MsgType::Heartbeat,
         ScmpMsg::StandbySync { .. } => MsgType::StandbySync,
         ScmpMsg::NewMRouter { .. } => MsgType::NewMRouter,
         ScmpMsg::LeaveAck => MsgType::LeaveAck,
         ScmpMsg::TreeAck { .. } => MsgType::TreeAck,
+        ScmpMsg::Nack { .. } => MsgType::Nack,
+        ScmpMsg::Repair { .. } => MsgType::Repair,
+        ScmpMsg::SeqAnnounce { .. } => MsgType::SeqAnnounce,
     }
 }
 
@@ -162,7 +178,10 @@ fn type_of(msg: &ScmpMsg) -> MsgType {
 /// by a forged class field.
 fn class_of(msg: &ScmpMsg) -> PacketClass {
     match msg {
-        ScmpMsg::Data | ScmpMsg::EncapData => PacketClass::Data,
+        ScmpMsg::Data { .. } | ScmpMsg::EncapData { .. } => PacketClass::Data,
+        // Repairs retransmit a data payload, but they are recovery
+        // traffic: accounting them as control keeps the §IV-B data-
+        // overhead metric a pure count of first-transmission payloads.
         _ => PacketClass::Control,
     }
 }
@@ -175,19 +194,59 @@ macro_rules! need {
     };
 }
 
+/// A decoded wire frame: either a message this codec version knows, or
+/// a checksum-verified packet of an unknown (future) kind.
+///
+/// Unknown kinds are *frames*, not errors: a mixed-version domain must
+/// be able to count and trace them as drops instead of aborting the
+/// parse path (see the `unknown_kind_drops` counter in the simulator).
+/// Corruption of the kind byte is still caught — the trailing checksum
+/// covers it, so a flipped kind decodes to [`WireError::BadChecksum`],
+/// never to a plausible-looking future packet.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Frame {
+    /// A packet of a known message type, plus its header control
+    /// sequence number.
+    Msg(Packet<ScmpMsg>, u32),
+    /// A structurally valid, checksum-verified packet whose type byte
+    /// this codec version does not know. The fixed header fields are
+    /// preserved so the drop can be attributed to a group/trace key.
+    UnknownKind {
+        kind: u8,
+        seq: u32,
+        group: GroupId,
+        origin: NodeId,
+        tag: u64,
+        created_at: u64,
+    },
+}
+
 /// Deserialise a packet, discarding the header's sequence number.
 pub fn decode(bytes: Bytes) -> Result<Packet<ScmpMsg>, WireError> {
     decode_seq(bytes).map(|(pkt, _)| pkt)
 }
 
-/// Deserialise a packet and its control sequence number.
+/// Deserialise a packet and its control sequence number, mapping
+/// unknown-kind frames to [`WireError::UnknownType`] (callers that want
+/// to count them instead use [`decode_frame`]).
+pub fn decode_seq(bytes: Bytes) -> Result<(Packet<ScmpMsg>, u32), WireError> {
+    match decode_frame(bytes)? {
+        Frame::Msg(pkt, seq) => Ok((pkt, seq)),
+        Frame::UnknownKind { kind, .. } => Err(WireError::UnknownType(kind)),
+    }
+}
+
+/// Deserialise a wire frame.
 ///
 /// Error precedence mirrors a real receiver's parse order: framing
-/// (magic/version/type/lengths) is rejected first; the checksum is
-/// verified last, over every byte that precedes it, so any single-bit
-/// corruption that survives framing surfaces as
-/// [`WireError::BadChecksum`].
-pub fn decode_seq(mut bytes: Bytes) -> Result<(Packet<ScmpMsg>, u32), WireError> {
+/// (magic/version/lengths) is rejected first; the checksum is verified
+/// last, over every byte that precedes it, so any single-bit corruption
+/// that survives framing surfaces as [`WireError::BadChecksum`]. An
+/// unknown type byte is not a framing error: its body length is
+/// unknowable, so everything up to the trailing checksum is treated as
+/// opaque body and the frame is returned as [`Frame::UnknownKind`] once
+/// the checksum verifies.
+pub fn decode_frame(mut bytes: Bytes) -> Result<Frame, WireError> {
     let whole = bytes.clone();
     need!(bytes, 2 + 1 + 1 + 4 + 4 + 4 + 8 + 8);
     if bytes.get_u16() != MAGIC {
@@ -243,8 +302,18 @@ pub fn decode_seq(mut bytes: Bytes) -> Result<(Packet<ScmpMsg>, u32), WireError>
                 gen: bytes.get_u64(),
             }
         }
-        t if t == MsgType::Data as u8 => ScmpMsg::Data,
-        t if t == MsgType::EncapData as u8 => ScmpMsg::EncapData,
+        t if t == MsgType::Data as u8 => {
+            need!(bytes, 8);
+            ScmpMsg::Data {
+                seq: bytes.get_u64(),
+            }
+        }
+        t if t == MsgType::EncapData as u8 => {
+            need!(bytes, 8);
+            ScmpMsg::EncapData {
+                seq: bytes.get_u64(),
+            }
+        }
         t if t == MsgType::Heartbeat as u8 => {
             need!(bytes, 8);
             ScmpMsg::Heartbeat {
@@ -271,7 +340,47 @@ pub fn decode_seq(mut bytes: Bytes) -> Result<(Packet<ScmpMsg>, u32), WireError>
                 gen: bytes.get_u64(),
             }
         }
-        other => return Err(WireError::UnknownType(other)),
+        t if t == MsgType::Nack as u8 => {
+            need!(bytes, 4 + 8);
+            ScmpMsg::Nack {
+                origin: NodeId(bytes.get_u32()),
+                seq: bytes.get_u64(),
+            }
+        }
+        t if t == MsgType::Repair as u8 => {
+            need!(bytes, 4 + 8);
+            ScmpMsg::Repair {
+                origin: NodeId(bytes.get_u32()),
+                seq: bytes.get_u64(),
+            }
+        }
+        t if t == MsgType::SeqAnnounce as u8 => {
+            need!(bytes, 4 + 8 + 4);
+            ScmpMsg::SeqAnnounce {
+                origin: NodeId(bytes.get_u32()),
+                seq: bytes.get_u64(),
+                round: bytes.get_u32(),
+            }
+        }
+        kind => {
+            // Unknown/future kind: the body length is unknowable, so
+            // everything up to the trailing checksum is opaque body.
+            need!(bytes, 4);
+            let body_len = bytes.remaining() - 4;
+            bytes.advance(body_len);
+            let sum = bytes.get_u32();
+            if sum != fnv32(&whole[..whole.len() - 4]) {
+                return Err(WireError::BadChecksum);
+            }
+            return Ok(Frame::UnknownKind {
+                kind,
+                seq,
+                group,
+                origin,
+                tag,
+                created_at,
+            });
+        }
     };
     need!(bytes, 4);
     let sum = bytes.get_u32();
@@ -282,7 +391,7 @@ pub fn decode_seq(mut bytes: Bytes) -> Result<(Packet<ScmpMsg>, u32), WireError>
         return Err(WireError::BadChecksum);
     }
     let class = class_of(&body);
-    Ok((
+    Ok(Frame::Msg(
         Packet {
             class,
             group,
@@ -312,7 +421,7 @@ mod tests {
 
     #[test]
     fn origin_rides_the_header() {
-        let mut pkt = Packet::data(GroupId(2), 5, 77, ScmpMsg::Data);
+        let mut pkt = Packet::data(GroupId(2), 5, 77, ScmpMsg::Data { seq: 0 });
         pkt.origin = NodeId(31);
         let back = decode(encode(&pkt)).expect("decodes");
         assert_eq!(back.origin, NodeId(31));
@@ -344,6 +453,19 @@ mod tests {
             },
             ScmpMsg::LeaveAck,
             ScmpMsg::TreeAck { gen: 23 },
+            ScmpMsg::Nack {
+                origin: NodeId(13),
+                seq: 4,
+            },
+            ScmpMsg::Repair {
+                origin: NodeId(13),
+                seq: u64::MAX,
+            },
+            ScmpMsg::SeqAnnounce {
+                origin: NodeId(13),
+                seq: 20,
+                round: 2,
+            },
             ScmpMsg::Branch {
                 gen: 5,
                 packet: BranchPacket {
@@ -358,8 +480,31 @@ mod tests {
 
     #[test]
     fn data_variants_roundtrip_with_metadata() {
-        roundtrip(Packet::data(GroupId(1), 99, 123_456, ScmpMsg::Data));
-        roundtrip(Packet::data(GroupId(1), 100, 123_457, ScmpMsg::EncapData));
+        roundtrip(Packet::data(
+            GroupId(1),
+            99,
+            123_456,
+            ScmpMsg::Data { seq: 0 },
+        ));
+        roundtrip(Packet::data(
+            GroupId(1),
+            100,
+            123_457,
+            ScmpMsg::EncapData { seq: 0 },
+        ));
+        // Sequenced (reliability-tier) payloads carry the stream seq.
+        roundtrip(Packet::data(
+            GroupId(1),
+            99,
+            123_456,
+            ScmpMsg::Data { seq: 7 },
+        ));
+        roundtrip(Packet::data(
+            GroupId(1),
+            100,
+            123_457,
+            ScmpMsg::EncapData { seq: u64::MAX },
+        ));
     }
 
     #[test]
@@ -384,7 +529,7 @@ mod tests {
     fn class_is_recomputed_not_trusted() {
         // Even if the caller mislabels the class, decode derives it from
         // the message type.
-        let mut pkt = Packet::control(GroupId(1), ScmpMsg::Data);
+        let mut pkt = Packet::control(GroupId(1), ScmpMsg::Data { seq: 0 });
         pkt.class = PacketClass::Control; // forged
         let back = decode(encode(&pkt)).unwrap();
         assert_eq!(back.class, PacketClass::Data);
@@ -402,11 +547,54 @@ mod tests {
             decode(Bytes::from(v)).unwrap_err(),
             WireError::BadVersion(99)
         );
+        // A *corrupted* kind byte fails the checksum — it cannot be
+        // mistaken for a genuine future message kind.
         let mut v = good.to_vec();
         v[3] = 200;
+        assert_eq!(decode(Bytes::from(v)).unwrap_err(), WireError::BadChecksum);
+    }
+
+    /// A genuine future message kind — correctly framed and checksummed
+    /// by a newer sender — decodes to [`Frame::UnknownKind`] with the
+    /// header preserved, and only the back-compat `decode` path maps it
+    /// to an error.
+    #[test]
+    fn future_kind_is_a_counted_frame_not_a_parse_failure() {
+        let mut v = encode(&Packet::control_keyed(GroupId(9), 77, ScmpMsg::Prune)).to_vec();
+        v[3] = 200; // future kind
+        let len = v.len();
+        let sum = fnv32(&v[..len - 4]);
+        v[len - 4..].copy_from_slice(&sum.to_be_bytes());
+        match decode_frame(Bytes::from(v.clone())).expect("valid frame") {
+            Frame::UnknownKind {
+                kind, group, tag, ..
+            } => {
+                assert_eq!(kind, 200);
+                assert_eq!(group, GroupId(9));
+                assert_eq!(tag, 77);
+            }
+            other => panic!("expected UnknownKind, got {other:?}"),
+        }
         assert_eq!(
-            decode(Bytes::from(v)).unwrap_err(),
+            decode(Bytes::from(v.clone())).unwrap_err(),
             WireError::UnknownType(200)
+        );
+        // Arbitrary opaque body bytes ride along as long as the
+        // checksum holds; corruption inside them is still caught.
+        let mut with_body = v.clone();
+        let csum_at = with_body.len() - 4;
+        with_body.splice(csum_at..csum_at, [0xAA, 0xBB, 0xCC]);
+        let len = with_body.len();
+        let sum = fnv32(&with_body[..len - 4]);
+        with_body[len - 4..].copy_from_slice(&sum.to_be_bytes());
+        assert!(matches!(
+            decode_frame(Bytes::from(with_body.clone())),
+            Ok(Frame::UnknownKind { kind: 200, .. })
+        ));
+        with_body[csum_at] ^= 0x01;
+        assert_eq!(
+            decode_frame(Bytes::from(with_body)).unwrap_err(),
+            WireError::BadChecksum
         );
     }
 

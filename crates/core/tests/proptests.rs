@@ -111,7 +111,7 @@ proptest! {
         created in any::<u64>(),
         origin in any::<u32>(),
         gen in any::<u64>(),
-        variant in 0usize..12,
+        variant in 0usize..15,
     ) {
         let tree = random_tree(&choices);
         let body = match variant {
@@ -121,15 +121,18 @@ proptest! {
             3 => ScmpMsg::Tree { gen, packet: TreePacket::from_tree(&tree, NodeId(0)) },
             4 => ScmpMsg::Branch { gen, packet: BranchPacket { path: vec![NodeId(1), NodeId(2)] } },
             5 => ScmpMsg::Flush { gen },
-            6 => ScmpMsg::Data,
-            7 => ScmpMsg::EncapData,
-            8 => ScmpMsg::StandbySync { member: NodeId(9), joined: gen % 2 == 0 },
+            6 => ScmpMsg::Data { seq: gen },
+            7 => ScmpMsg::EncapData { seq: gen },
+            8 => ScmpMsg::StandbySync { member: NodeId(9), joined: gen.is_multiple_of(2) },
             9 => ScmpMsg::NewMRouter { address: NodeId(10) },
             10 => ScmpMsg::LeaveAck,
+            11 => ScmpMsg::Nack { origin: NodeId(origin), seq: gen },
+            12 => ScmpMsg::Repair { origin: NodeId(origin), seq: gen },
+            13 => ScmpMsg::SeqAnnounce { origin: NodeId(origin), seq: gen, round: group },
             _ => ScmpMsg::Heartbeat { seq: gen },
         };
         let pkt = Packet {
-            class: if matches!(body, ScmpMsg::Data | ScmpMsg::EncapData) {
+            class: if matches!(body, ScmpMsg::Data { .. } | ScmpMsg::EncapData { .. }) {
                 scmp_sim::PacketClass::Data
             } else {
                 scmp_sim::PacketClass::Control

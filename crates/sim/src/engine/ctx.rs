@@ -106,6 +106,114 @@ impl<'a, M: Clone + fmt::Debug> Ctx<'a, M> {
         }
     }
 
+    /// Record a NACK originated by this router for `(group, origin,
+    /// seq)`; `tag` is the payload's causal trace key.
+    pub fn record_nack(&mut self, group: u32, origin: u32, seq: u64, tag: u64) {
+        self.stats.nacks_sent += 1;
+        if self.tele.on() {
+            self.tele.emit(
+                self.now,
+                self.node,
+                TeleKind::Nack {
+                    group,
+                    origin,
+                    seq,
+                    tag,
+                },
+            );
+        }
+    }
+
+    /// Record a NACK absorbed by this router's pending-request table
+    /// (duplicate-NACK suppression).
+    pub fn record_nack_suppressed(&mut self, group: u32, origin: u32, seq: u64, tag: u64) {
+        self.stats.nacks_suppressed += 1;
+        if self.tele.on() {
+            self.tele.emit(
+                self.now,
+                self.node,
+                TeleKind::NackSuppress {
+                    group,
+                    origin,
+                    seq,
+                    tag,
+                },
+            );
+        }
+    }
+
+    /// Record a NACK forwarded upstream after a repair-cache miss
+    /// (stats only — the miss event already carries the key).
+    pub fn record_nack_forwarded(&mut self) {
+        self.stats.nacks_forwarded += 1;
+    }
+
+    /// Record a NACK answered from this router's repair cache.
+    pub fn record_repair_hit(&mut self, group: u32, origin: u32, seq: u64, tag: u64) {
+        self.stats.repair_cache_hits += 1;
+        if self.tele.on() {
+            self.tele.emit(
+                self.now,
+                self.node,
+                TeleKind::RepairHit {
+                    group,
+                    origin,
+                    seq,
+                    tag,
+                },
+            );
+        }
+    }
+
+    /// Record a NACK that missed this router's repair cache.
+    pub fn record_repair_miss(&mut self, group: u32, origin: u32, seq: u64, tag: u64) {
+        self.stats.repair_cache_misses += 1;
+        if self.tele.on() {
+            self.tele.emit(
+                self.now,
+                self.node,
+                TeleKind::RepairMiss {
+                    group,
+                    origin,
+                    seq,
+                    tag,
+                },
+            );
+        }
+    }
+
+    /// Record repair-cache entries evicted by the byte cap (stats only).
+    pub fn record_cache_evictions(&mut self, n: u64) {
+        self.stats.repair_cache_evictions += n;
+    }
+
+    /// Record a data gap closing at this receiver, `latency` ticks
+    /// after the gap was first observed.
+    pub fn record_recovery(&mut self, group: u32, origin: u32, seq: u64, tag: u64, latency: u64) {
+        self.stats.record_recovery(latency);
+        if self.tele.on() {
+            self.tele.emit(
+                self.now,
+                self.node,
+                TeleKind::Recovery {
+                    group,
+                    origin,
+                    seq,
+                    tag,
+                    latency,
+                },
+            );
+        }
+    }
+
+    /// Record a checksum-valid frame whose message kind this build does
+    /// not implement: counted and telemetry-visible, never an error.
+    pub fn drop_unknown_kind(&mut self) {
+        self.stats.drops += 1;
+        self.stats.unknown_kind_drops += 1;
+        self.trace_drop(DropReason::UnknownKind, None, None);
+    }
+
     /// Whether the installed telemetry sink is live — expensive
     /// observability probes (tree-health sampling) are gated on this so
     /// sink-off runs pay nothing.

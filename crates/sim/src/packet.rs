@@ -35,7 +35,7 @@ pub enum PacketClass {
 /// A packet in flight. Generic over the protocol message body `M` so
 /// that every protocol crate defines its own message enum without the
 /// simulator knowing about any of them.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Packet<M> {
     /// Overhead accounting class.
     pub class: PacketClass,

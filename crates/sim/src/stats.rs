@@ -68,6 +68,26 @@ pub struct SimStats {
     pub queueing_hist: Histogram,
     /// Distribution of repair latencies.
     pub repair_hist: Histogram,
+    /// NACKs originated by receivers on the reliability tier.
+    pub nacks_sent: u64,
+    /// NACKs absorbed by a pending-request entry at some router
+    /// (duplicate-NACK suppression).
+    pub nacks_suppressed: u64,
+    /// NACKs forwarded upstream after a repair-cache miss.
+    pub nacks_forwarded: u64,
+    /// NACKs answered from a router's local repair cache.
+    pub repair_cache_hits: u64,
+    /// NACKs that missed the local repair cache.
+    pub repair_cache_misses: u64,
+    /// Cache entries evicted by the byte cap.
+    pub repair_cache_evictions: u64,
+    /// Data gaps closed at receivers via the reliability tier.
+    pub recoveries: u64,
+    /// Valid frames carrying a message kind this build does not
+    /// implement, counted and skipped at decode.
+    pub unknown_kind_drops: u64,
+    /// Distribution of gap-recovery latencies (gap detected → closed).
+    pub recovery_hist: Histogram,
 }
 
 impl SimStats {
@@ -164,6 +184,24 @@ impl SimStats {
         Some(latency)
     }
 
+    /// Record a data gap closing at a receiver, `latency` ticks after
+    /// the gap was first observed.
+    pub fn record_recovery(&mut self, latency: u64) {
+        self.recoveries += 1;
+        self.recovery_hist.record(latency);
+    }
+
+    /// Repair-cache hit rate over all NACK lookups, or 0.0 when the
+    /// reliability tier never answered one.
+    pub fn repair_cache_hit_rate(&self) -> f64 {
+        let total = self.repair_cache_hits + self.repair_cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.repair_cache_hits as f64 / total as f64
+        }
+    }
+
     /// Mean repair latency over all repairs, or 0.0 when none happened.
     pub fn mean_repair_latency(&self) -> f64 {
         if self.repairs == 0 {
@@ -244,6 +282,35 @@ impl SimStats {
             self.queueing_hist.p99(),
             self.max_queueing_delay
         );
+        // Reliability-tier lines appear only when the tier did anything,
+        // so reliability-off runs keep their golden reports byte-stable.
+        if self.nacks_sent + self.nacks_suppressed + self.nacks_forwarded > 0 {
+            let _ = writeln!(
+                out,
+                "nacks: sent={} suppressed={} forwarded={}",
+                self.nacks_sent, self.nacks_suppressed, self.nacks_forwarded
+            );
+        }
+        if self.repair_cache_hits + self.repair_cache_misses + self.repair_cache_evictions > 0 {
+            let _ = writeln!(
+                out,
+                "repair cache: hits={} misses={} evictions={}",
+                self.repair_cache_hits, self.repair_cache_misses, self.repair_cache_evictions
+            );
+        }
+        if self.recoveries > 0 {
+            let _ = writeln!(
+                out,
+                "recoveries: {} p50={} p99={} max={}",
+                self.recoveries,
+                self.recovery_hist.p50(),
+                self.recovery_hist.p99(),
+                self.recovery_hist.max()
+            );
+        }
+        if self.unknown_kind_drops > 0 {
+            let _ = writeln!(out, "unknown-kind frames: {}", self.unknown_kind_drops);
+        }
         let mut keys: Vec<_> = self.deliveries.iter().collect();
         keys.sort_by_key(|&(&(g, tag, n), _)| (g.0, tag, n.0));
         let _ = writeln!(out, "deliveries: {} distinct", keys.len());
@@ -360,6 +427,38 @@ mod tests {
         let c = r.find("g2 tag 1 -> n5").expect("third key");
         assert!(a < b && b < c, "delivery map sorted by (group, tag, node)");
         assert!(r.contains("e2e delay: p50="));
+    }
+
+    #[test]
+    fn reliability_lines_appear_only_when_the_tier_ran() {
+        let quiet = SimStats::default();
+        let r = quiet.report();
+        assert!(!r.contains("nacks:"), "{r}");
+        assert!(!r.contains("repair cache:"), "{r}");
+        assert!(!r.contains("recoveries:"), "{r}");
+        assert!(!r.contains("unknown-kind"), "{r}");
+
+        let mut s = SimStats {
+            nacks_sent: 3,
+            nacks_suppressed: 1,
+            repair_cache_hits: 2,
+            repair_cache_misses: 1,
+            unknown_kind_drops: 1,
+            ..Default::default()
+        };
+        s.record_recovery(700);
+        s.record_recovery(300);
+        assert_eq!(s.recoveries, 2);
+        assert_eq!(s.recovery_hist.max(), 700);
+        assert!((s.repair_cache_hit_rate() - 2.0 / 3.0).abs() < 1e-9);
+        let r = s.report();
+        assert!(r.contains("nacks: sent=3 suppressed=1 forwarded=0"), "{r}");
+        assert!(
+            r.contains("repair cache: hits=2 misses=1 evictions=0"),
+            "{r}"
+        );
+        assert!(r.contains("recoveries: 2"), "{r}");
+        assert!(r.contains("unknown-kind frames: 1"), "{r}");
     }
 
     #[test]

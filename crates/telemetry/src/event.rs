@@ -66,6 +66,10 @@ pub enum DropReason {
     ChannelLoss,
     /// The packet arrived corrupted and failed the receiver's checksum.
     Corrupt,
+    /// The frame carried a message kind this build does not implement
+    /// (a future protocol revision); the checksum was valid, so the
+    /// frame is counted and skipped rather than treated as corruption.
+    UnknownKind,
 }
 
 impl DropReason {
@@ -80,6 +84,7 @@ impl DropReason {
             DropReason::Protocol => "protocol",
             DropReason::ChannelLoss => "channel_loss",
             DropReason::Corrupt => "corrupt",
+            DropReason::UnknownKind => "unknown_kind",
         }
     }
 
@@ -93,6 +98,7 @@ impl DropReason {
             "protocol" => Some(DropReason::Protocol),
             "channel_loss" => Some(DropReason::ChannelLoss),
             "corrupt" => Some(DropReason::Corrupt),
+            "unknown_kind" => Some(DropReason::UnknownKind),
             _ => None,
         }
     }
@@ -129,6 +135,12 @@ pub enum CtlKind {
     LeaveAck,
     /// Hop-by-hop acknowledgement of a TREE/BRANCH install.
     TreeAck,
+    /// Receiver-driven repair request for a missing data sequence.
+    Nack,
+    /// Cached-payload retransmission answering a NACK.
+    Repair,
+    /// Sequence-extent beacon closing the tail-loss window.
+    SeqAnnounce,
 }
 
 impl CtlKind {
@@ -148,6 +160,9 @@ impl CtlKind {
             CtlKind::NewMRouter => "new_mrouter",
             CtlKind::LeaveAck => "leave_ack",
             CtlKind::TreeAck => "tree_ack",
+            CtlKind::Nack => "nack",
+            CtlKind::Repair => "repair",
+            CtlKind::SeqAnnounce => "announce",
         }
     }
 
@@ -166,6 +181,9 @@ impl CtlKind {
             "new_mrouter" => Some(CtlKind::NewMRouter),
             "leave_ack" => Some(CtlKind::LeaveAck),
             "tree_ack" => Some(CtlKind::TreeAck),
+            "nack" => Some(CtlKind::Nack),
+            "repair" => Some(CtlKind::Repair),
+            "announce" => Some(CtlKind::SeqAnnounce),
             _ => None,
         }
     }
@@ -291,6 +309,46 @@ pub enum EventKind {
         cost: u64,
         stretch_milli: u64,
         delay_var: u64,
+    },
+    /// The node requested a repair for `(group, origin, seq)` on the
+    /// reliability tier. `tag` is the payload's causal trace key so the
+    /// NACK joins the data packet's journey.
+    Nack {
+        group: u32,
+        origin: u32,
+        seq: u64,
+        tag: u64,
+    },
+    /// A would-be NACK was absorbed by a pending-request entry at the
+    /// node (duplicate-NACK suppression on the repair path).
+    NackSuppress {
+        group: u32,
+        origin: u32,
+        seq: u64,
+        tag: u64,
+    },
+    /// A NACK was answered from the node's local repair cache.
+    RepairHit {
+        group: u32,
+        origin: u32,
+        seq: u64,
+        tag: u64,
+    },
+    /// A NACK missed the node's repair cache and had to go upstream.
+    RepairMiss {
+        group: u32,
+        origin: u32,
+        seq: u64,
+        tag: u64,
+    },
+    /// A previously detected data gap closed at a receiver, `latency`
+    /// ticks after the gap was first observed.
+    Recovery {
+        group: u32,
+        origin: u32,
+        seq: u64,
+        tag: u64,
+        latency: u64,
     },
 }
 
@@ -472,6 +530,62 @@ impl Event {
                     ",\"members\":{members},\"depth\":{depth},\"cost\":{cost},\"stretch_milli\":{stretch_milli},\"delay_var\":{delay_var}"
                 );
             }
+            EventKind::Nack {
+                group,
+                origin,
+                seq,
+                tag,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"kind\":\"nack\",\"group\":{group},\"origin\":{origin},\"seq\":{seq},\"tag\":{tag}"
+                );
+            }
+            EventKind::NackSuppress {
+                group,
+                origin,
+                seq,
+                tag,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"kind\":\"nack_suppress\",\"group\":{group},\"origin\":{origin},\"seq\":{seq},\"tag\":{tag}"
+                );
+            }
+            EventKind::RepairHit {
+                group,
+                origin,
+                seq,
+                tag,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"kind\":\"repair_hit\",\"group\":{group},\"origin\":{origin},\"seq\":{seq},\"tag\":{tag}"
+                );
+            }
+            EventKind::RepairMiss {
+                group,
+                origin,
+                seq,
+                tag,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"kind\":\"repair_miss\",\"group\":{group},\"origin\":{origin},\"seq\":{seq},\"tag\":{tag}"
+                );
+            }
+            EventKind::Recovery {
+                group,
+                origin,
+                seq,
+                tag,
+                latency,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"kind\":\"recovery\",\"group\":{group},\"origin\":{origin},\"seq\":{seq},\"tag\":{tag},\"latency\":{latency}"
+                );
+            }
         }
         out.push('}');
     }
@@ -545,6 +659,8 @@ struct RawEvent {
     cost: Option<u64>,
     stretch_milli: Option<u64>,
     delay_var: Option<u64>,
+    origin: Option<u32>,
+    seq: Option<u64>,
 }
 
 impl RawEvent {
@@ -644,6 +760,37 @@ impl RawEvent {
                 cost: need(self.cost, "cost", "tree_health")?,
                 stretch_milli: need(self.stretch_milli, "stretch_milli", "tree_health")?,
                 delay_var: need(self.delay_var, "delay_var", "tree_health")?,
+            },
+            "nack" => EventKind::Nack {
+                group: need(self.group, "group", "nack")?,
+                origin: need(self.origin, "origin", "nack")?,
+                seq: need(self.seq, "seq", "nack")?,
+                tag: need(self.tag, "tag", "nack")?,
+            },
+            "nack_suppress" => EventKind::NackSuppress {
+                group: need(self.group, "group", "nack_suppress")?,
+                origin: need(self.origin, "origin", "nack_suppress")?,
+                seq: need(self.seq, "seq", "nack_suppress")?,
+                tag: need(self.tag, "tag", "nack_suppress")?,
+            },
+            "repair_hit" => EventKind::RepairHit {
+                group: need(self.group, "group", "repair_hit")?,
+                origin: need(self.origin, "origin", "repair_hit")?,
+                seq: need(self.seq, "seq", "repair_hit")?,
+                tag: need(self.tag, "tag", "repair_hit")?,
+            },
+            "repair_miss" => EventKind::RepairMiss {
+                group: need(self.group, "group", "repair_miss")?,
+                origin: need(self.origin, "origin", "repair_miss")?,
+                seq: need(self.seq, "seq", "repair_miss")?,
+                tag: need(self.tag, "tag", "repair_miss")?,
+            },
+            "recovery" => EventKind::Recovery {
+                group: need(self.group, "group", "recovery")?,
+                origin: need(self.origin, "origin", "recovery")?,
+                seq: need(self.seq, "seq", "recovery")?,
+                tag: need(self.tag, "tag", "recovery")?,
+                latency: need(self.latency, "latency", "recovery")?,
             },
             other => return Err(format!("unknown event kind {other:?}")),
         };
@@ -832,6 +979,78 @@ mod tests {
                     cost: 14,
                     stretch_milli: 1250,
                     delay_var: 6,
+                },
+            },
+            Event {
+                time: 22,
+                node: 3,
+                kind: EventKind::Nack {
+                    group: 1,
+                    origin: 13,
+                    seq: 4,
+                    tag: crate::trace_key::pack_ctl_tag(13, 4),
+                },
+            },
+            Event {
+                time: 23,
+                node: 2,
+                kind: EventKind::NackSuppress {
+                    group: 1,
+                    origin: 13,
+                    seq: 4,
+                    tag: crate::trace_key::pack_ctl_tag(13, 4),
+                },
+            },
+            Event {
+                time: 24,
+                node: 2,
+                kind: EventKind::RepairHit {
+                    group: 1,
+                    origin: 13,
+                    seq: 4,
+                    tag: 5,
+                },
+            },
+            Event {
+                time: 25,
+                node: 2,
+                kind: EventKind::RepairMiss {
+                    group: 1,
+                    origin: 13,
+                    seq: 5,
+                    tag: 6,
+                },
+            },
+            Event {
+                time: 26,
+                node: 3,
+                kind: EventKind::Recovery {
+                    group: 1,
+                    origin: 13,
+                    seq: 4,
+                    tag: 5,
+                    latency: 730,
+                },
+            },
+            Event {
+                time: 27,
+                node: 3,
+                kind: EventKind::Drop {
+                    reason: DropReason::UnknownKind,
+                    to: None,
+                    group: None,
+                    tag: None,
+                },
+            },
+            Event {
+                time: 28,
+                node: 0,
+                kind: EventKind::Deliver {
+                    from: 2,
+                    class: TrafficClass::Control,
+                    group: 1,
+                    tag: crate::trace_key::pack_ctl_tag(13, 4),
+                    ctl: Some(CtlKind::Nack),
                 },
             },
         ]

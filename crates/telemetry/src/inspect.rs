@@ -186,6 +186,19 @@ impl Journey {
             EventKind::ChannelReorder { to, jitter, .. } => {
                 format!("channel reorder -> n{to} (+{jitter})")
             }
+            EventKind::Nack { origin, seq, .. } => format!("NACK origin n{origin} seq {seq}"),
+            EventKind::NackSuppress { origin, seq, .. } => {
+                format!("nack suppressed (origin n{origin} seq {seq})")
+            }
+            EventKind::RepairHit { origin, seq, .. } => {
+                format!("repair cache HIT (origin n{origin} seq {seq})")
+            }
+            EventKind::RepairMiss { origin, seq, .. } => {
+                format!("repair cache miss (origin n{origin} seq {seq})")
+            }
+            EventKind::Recovery { seq, latency, .. } => {
+                format!("gap recovered seq {seq} (+{latency})")
+            }
             _ => "?".to_string(),
         }
     }
@@ -207,6 +220,11 @@ impl Journey {
                 EventKind::Retransmit { .. } => "retransmit",
                 EventKind::ChannelDuplicate { .. } => "dup",
                 EventKind::ChannelReorder { .. } => "reorder",
+                EventKind::Nack { .. } => "nack",
+                EventKind::NackSuppress { .. } => "nack_suppress",
+                EventKind::RepairHit { .. } => "repair_hit",
+                EventKind::RepairMiss { .. } => "repair_miss",
+                EventKind::Recovery { .. } => "recovered",
                 _ => continue,
             };
             if out.last() != Some(&stage) {
@@ -632,6 +650,11 @@ impl Trace {
                 EventKind::Retransmit { .. } => "retransmit",
                 EventKind::Takeover => "takeover",
                 EventKind::TreeHealth { .. } => "tree_health",
+                EventKind::Nack { .. } => "nack",
+                EventKind::NackSuppress { .. } => "nack_suppress",
+                EventKind::RepairHit { .. } => "repair_hit",
+                EventKind::RepairMiss { .. } => "repair_miss",
+                EventKind::Recovery { .. } => "recovery",
             };
             *by_kind.entry(name).or_insert(0) += 1;
         }
@@ -661,7 +684,12 @@ fn journey_key(ev: &Event) -> Option<(u32, u64)> {
         | EventKind::DeliverLocal { group, tag, .. }
         | EventKind::Retransmit { group, tag, .. }
         | EventKind::ChannelDuplicate { group, tag, .. }
-        | EventKind::ChannelReorder { group, tag, .. } => Some((group, tag)),
+        | EventKind::ChannelReorder { group, tag, .. }
+        | EventKind::Nack { group, tag, .. }
+        | EventKind::NackSuppress { group, tag, .. }
+        | EventKind::RepairHit { group, tag, .. }
+        | EventKind::RepairMiss { group, tag, .. }
+        | EventKind::Recovery { group, tag, .. } => Some((group, tag)),
         EventKind::Drop {
             group: Some(g),
             tag: Some(t),

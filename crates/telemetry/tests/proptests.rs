@@ -151,7 +151,7 @@ proptest! {
             },
         };
         let back = Event::decode(&ev.to_jsonl())
-            .map_err(|e| TestCaseError::fail(e))?;
+            .map_err(TestCaseError::fail)?;
         prop_assert_eq!(back, ev);
         match back.kind {
             EventKind::Deliver { tag: t, .. } => {

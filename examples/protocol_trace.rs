@@ -89,6 +89,21 @@ fn main() {
             } => {
                 format!("samples g{group} tree health ({members} members, cost {cost})")
             }
+            EventKind::Nack { origin, seq, .. } => {
+                format!("NACKs seq {seq} of n{origin}'s stream")
+            }
+            EventKind::NackSuppress { origin, seq, .. } => {
+                format!("suppresses a duplicate NACK (n{origin} seq {seq})")
+            }
+            EventKind::RepairHit { origin, seq, .. } => {
+                format!("answers a NACK from its repair cache (n{origin} seq {seq})")
+            }
+            EventKind::RepairMiss { origin, seq, .. } => {
+                format!("misses its repair cache (n{origin} seq {seq})")
+            }
+            EventKind::Recovery { seq, latency, .. } => {
+                format!("recovers seq {seq} ({latency} ticks after the gap opened)")
+            }
             EventKind::Gauge { .. } => continue,
         };
         println!("{:>6}  n{:<5} {}", ev.time, ev.node, what);

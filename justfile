@@ -53,6 +53,14 @@ sweep-speedup seeds="3" jobs="4":
 chaos seeds="3":
     cargo run --release -p scmp-bench --bin chaos -- {{seeds}}
 
+# Reliable-multicast comparison: the same chaos sweep runs both the
+# best-effort and the NACK-recovery tier and prints both curves
+# (delivery floors, recovery-latency percentiles, duplicate-NACK
+# suppression and repair-cache hit rates asserted per cell). --jobs 2
+# arms the serial-vs-parallel byte-identity guard.
+chaos-reliable seeds="3":
+    cargo run --release -p scmp-bench --bin chaos -- {{seeds}} --jobs 2
+
 # Full STRESS boundary-point search: random warm-up, coordinate
 # descent to the failure envelope, ddmin minimization; writes
 # bench_results/stress.json and pins new reproducers under

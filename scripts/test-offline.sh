@@ -12,9 +12,14 @@ cargo test -q
 # Re-run the determinism guards with the sweep executor forced onto a
 # multi-worker pool: parallel fan-out must reproduce serial output byte
 # for byte even on single-core CI hosts. The chaos sweep covers the
-# seeded channel model: impaired runs must also replay identically.
+# seeded channel model — both tiers, best-effort and NACK recovery:
+# impaired runs must also replay identically.
 SCMP_JOBS=2 cargo test -q -p scmp-integration --test determinism
 SCMP_JOBS=2 cargo test -q --release -p scmp-bench --lib chaos::
+# Reliable-tier smoke sweep: lossy runs with NACK recovery on must be
+# byte-identical across worker counts (suppression jitter is a seeded
+# hash, never an RNG) and the jitter hash itself must stay pure.
+SCMP_JOBS=2 cargo test -q -p scmp-integration --test proptest_reliability
 # STRESS explorer smoke: a reduced seeded boundary search; --jobs 2
 # arms the bin's built-in serial-vs-parallel byte-identity guard, and
 # --no-pin keeps CI from mutating the pinned corpus. The corpus itself

@@ -41,6 +41,37 @@ fn arpanet_full_group() {
     }
 }
 
+/// Regression: duplicate suppression must key on the full causal trace
+/// key — origin included. Application tags are per-source sequence
+/// numbers, so two sources legitimately reuse the same tag in one
+/// group; a `(group, tag)`-keyed dedup (the old bug) made whichever
+/// packet arrived second vanish at the first shared relay.
+#[test]
+fn two_sources_reusing_a_tag_both_deliver() {
+    use scmp_net::topology::examples::fig5;
+    let topo = fig5();
+    let mut e = scmp_engine(topo);
+    let members = [NodeId(3), NodeId(4), NodeId(5)];
+    let mut t = 0;
+    for &m in &members {
+        e.schedule_app(t, m, AppEvent::Join(G));
+        t += 1_000;
+    }
+    // Nodes 1 and 2 never join; both send payload tag 7. Their packets
+    // share (group, tag) but not origin, and the second one crosses
+    // relays that have already seen the first.
+    e.schedule_app(20_000, NodeId(1), AppEvent::Send { group: G, tag: 7 });
+    e.schedule_app(22_000, NodeId(2), AppEvent::Send { group: G, tag: 7 });
+    e.run_until(100_000);
+    for &m in &members {
+        assert_eq!(
+            e.stats().delivery_count(G, 7, m),
+            2,
+            "member {m:?} must hear tag 7 once per source"
+        );
+    }
+}
+
 #[test]
 fn m_router_mirror_matches_physical_entries() {
     // The m-router's centrally computed tree must agree, router by

@@ -1,17 +1,41 @@
 //! Chaos sweep: delivery degradation and protocol invariants under
 //! seeded uniform packet loss (see `scmp_bench::chaos`).
 //!
-//! Usage: `chaos [seeds] [--jobs N]` — defaults to 3 seeds per loss
-//! rate. Writes `bench_results/chaos.json`. When running parallel, the
-//! sweep is re-run serially and byte-compared as a determinism guard.
+//! Usage: `chaos [seeds] [--jobs N] [--partition-only]` — defaults to
+//! 3 seeds per loss rate. Writes `bench_results/chaos.json`. When
+//! running parallel, the sweep is re-run serially and byte-compared as
+//! a determinism guard. `--partition-only` runs just the
+//! partition-and-heal series (per-cell invariants still asserted) and
+//! leaves the committed baseline untouched.
 
 use scmp_bench::sweep::{resolve_jobs, take_jobs_arg};
 use scmp_bench::{chaos, report};
 
 fn main() {
     let (rest, jobs_flag) = take_jobs_arg(std::env::args().skip(1).collect());
+    let partition_only = rest.iter().any(|a| a == "--partition-only");
+    let rest: Vec<String> = rest
+        .into_iter()
+        .filter(|a| a != "--partition-only")
+        .collect();
     let seeds: u64 = rest.first().and_then(|s| s.parse().ok()).unwrap_or(3);
     let jobs = resolve_jobs(jobs_flag);
+
+    if partition_only {
+        let (summary, cells) = chaos::partition_series(seeds, jobs);
+        if jobs > 1 {
+            let serial = chaos::partition_series(seeds, 1);
+            assert_eq!(
+                serde_json::to_string(&(&summary, &cells)).unwrap(),
+                serde_json::to_string(&(&serial.0, &serial.1)).unwrap(),
+                "partition series diverged between --jobs {jobs} and serial"
+            );
+            println!("(determinism guard: --jobs {jobs} output byte-identical to serial)");
+        }
+        print_partition(&cells, &Some(summary));
+        println!("\nall partition invariants held: zero split-brain, zero duplicate delivery, bounded reconvergence");
+        return;
+    }
 
     let rep = chaos::run(seeds, jobs);
     if jobs > 1 {
@@ -79,8 +103,53 @@ fn main() {
         ],
         &rel_rows,
     );
+    print_partition(&rep.partition_cells, &rep.partition);
     println!(
-        "\nall invariants held: no duplicate delivery, every member grafted, no spurious takeover"
+        "\nall invariants held: no duplicate delivery, every member grafted, no spurious takeover, single root after heal"
     );
     report::write_json("chaos", &rep);
+}
+
+fn print_partition(
+    cells: &[chaos::ChaosPartitionCell],
+    summary: &Option<chaos::ChaosPartitionSummary>,
+) {
+    let part_rows: Vec<Vec<String>> = cells
+        .iter()
+        .map(|c| {
+            vec![
+                c.seed.to_string(),
+                c.members_stranded.to_string(),
+                c.degraded_ticks.to_string(),
+                c.takeovers.to_string(),
+                c.reconciliations.to_string(),
+                c.reconverge_ticks.to_string(),
+                format!("{:.3}", c.post_heal_delivery),
+            ]
+        })
+        .collect();
+    report::print_table(
+        &format!(
+            "Partition-and-heal series (cut at {}, heal at {}, window {})",
+            chaos::PARTITION_AT,
+            chaos::HEAL_AT,
+            chaos::RECONVERGE_WINDOW
+        ),
+        &[
+            "seed",
+            "stranded",
+            "degraded",
+            "takeovers",
+            "reconciles",
+            "reconverge",
+            "post_heal",
+        ],
+        &part_rows,
+    );
+    if let Some(p) = summary {
+        println!(
+            "\npartition: {}/{} cells stranded members, {} took over; worst reconvergence {} ticks (window {}), min post-heal delivery {:.3}",
+            p.stranded_cells, p.cells, p.takeover_cells, p.max_reconverge_ticks, p.window, p.min_post_heal_delivery
+        );
+    }
 }

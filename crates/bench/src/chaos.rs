@@ -26,6 +26,16 @@
 //! Cells run on [`run_batch`], so the whole sweep is byte-identical
 //! across `--jobs 1` and `--jobs N` (the `chaos` binary re-checks this
 //! whenever it runs parallel).
+//!
+//! A second, partition series drives the correlated
+//! [`Partition`](scmp_sim::FaultKind::Partition) fault family instead
+//! of uniform loss: a seeded graph cut strands part of the domain
+//! mid-session and heals later. Each cell must **reconverge within a
+//! bounded window** ([`RECONVERGE_WINDOW`] ticks after the heal),
+//! deliver every post-heal payload to at least 99% of the member set,
+//! end with **exactly one** live m-router (the PR 5 generation epochs
+//! resolve dual roots deterministically — no split brain), and deliver
+//! nothing twice.
 
 use crate::scenario_file::run_batch;
 use scmp_telemetry::{EventKind, Trace};
@@ -49,6 +59,19 @@ const SOURCE: u32 = 13;
 /// convergence proxy (every member hears ≥ 1 payload) needs enough
 /// independent tries to be sound at the swept loss rates.
 const SENDS: u64 = 20;
+
+/// When the partition series cuts the domain, and when it heals.
+pub const PARTITION_AT: u64 = 60_000;
+/// Absolute heal time of the partition series' cut.
+pub const HEAL_AT: u64 = 160_000;
+/// Reconvergence bound: every post-heal reconciliation must land
+/// within this many ticks of the heal (five repair-scan periods).
+pub const RECONVERGE_WINDOW: u64 = 10_000;
+/// Payloads sent before the cut / during the partition / after the
+/// heal-plus-window in the partition series.
+const PRE_SENDS: u64 = 4;
+const MID_SENDS: u64 = 4;
+const POST_SENDS: u64 = 12;
 
 /// One sweep cell: a `(loss, seed)` realisation on the fig-scale
 /// ARPANET topology, with or without the reliable-multicast tier.
@@ -118,6 +141,53 @@ pub struct ChaosPoint {
     pub max_recovery_p99: u64,
 }
 
+/// One partition-series cell: a seeded graph cut at [`PARTITION_AT`]
+/// healed at [`HEAL_AT`] on a lossless channel, so every number below
+/// is attributable to the partition alone.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ChaosPartitionCell {
+    /// Cut seed (also the ARPANET weight seed).
+    pub seed: u64,
+    /// Group members the m-router saw stranded on the far side (0 when
+    /// the seeded cut left every member on the m-router's side).
+    pub members_stranded: u32,
+    /// Repair-scan ticks spent in partition-degraded mode.
+    pub degraded_ticks: u64,
+    /// Post-heal tree reconciliations (stranded members readopted).
+    pub reconciliations: u64,
+    /// Last reconciliation's lag behind the heal (0 when nothing needed
+    /// reconciling). Bounded by [`RECONVERGE_WINDOW`].
+    pub reconverge_ticks: u64,
+    /// Fraction of post-heal `(tag, member)` deliveries that arrived.
+    pub post_heal_delivery: f64,
+    /// Standby promotions (1 when the cut separated standby from
+    /// primary for longer than the watchdog tolerance).
+    pub takeovers: u64,
+    /// Live m-router claimants at the end — exactly one, always.
+    pub m_routers_at_end: Vec<u32>,
+    /// Duplicate `(group, tag, member)` deliveries (must stay 0).
+    pub duplicate_deliveries: usize,
+}
+
+/// Partition-series aggregate — the numbers the regression gate bands.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ChaosPartitionSummary {
+    /// Absolute heal time shared by every cell.
+    pub heal_at: u64,
+    /// The reconvergence bound every cell was held to.
+    pub window: u64,
+    /// Cells run.
+    pub cells: u64,
+    /// Cells whose cut actually stranded members.
+    pub stranded_cells: u64,
+    /// Cells whose cut forced a standby takeover (dual-root geometry).
+    pub takeover_cells: u64,
+    /// Worst reconciliation lag behind the heal across cells.
+    pub max_reconverge_ticks: u64,
+    /// Worst post-heal delivery across cells.
+    pub min_post_heal_delivery: f64,
+}
+
 /// The full sweep result persisted to `bench_results/chaos.json`.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct ChaosReport {
@@ -129,6 +199,13 @@ pub struct ChaosReport {
     pub reliable_points: Vec<ChaosPoint>,
     /// Every raw cell, the tier-off series first.
     pub cells: Vec<ChaosCell>,
+    /// Partition-and-heal series aggregate (absent in pre-partition
+    /// baselines).
+    #[serde(default)]
+    pub partition: Option<ChaosPartitionSummary>,
+    /// Every partition-series cell.
+    #[serde(default)]
+    pub partition_cells: Vec<ChaosPartitionCell>,
 }
 
 /// The sweep scenario: the paper's ARPANET map (seeded weights), eight
@@ -186,6 +263,68 @@ pub fn scenario_json_with(loss: f64, seed: u64, reliable: bool) -> String {
     "heartbeat_loss_tolerance": 12
   }},
   "channel": {{ "seed": {seed}, "default": {{ "drop": {loss} }} }},
+  "events": [
+{events}  ],
+  "run_until": 250000
+}}"#
+    )
+}
+
+/// The partition-series scenario: same ARPANET membership as the loss
+/// sweep on a lossless channel, with a seeded [`Partition`] family cut
+/// at [`PARTITION_AT`] healing at [`HEAL_AT`]. Sends bracket the cut:
+/// [`PRE_SENDS`] after convergence, [`MID_SENDS`] mid-partition (the
+/// stranded side is *expected* to miss these), and [`POST_SENDS`]
+/// starting [`RECONVERGE_WINDOW`] after the heal, which reconciliation
+/// must deliver in full.
+///
+/// [`Partition`]: scmp_sim::FaultKind::Partition
+pub fn partition_scenario_json(seed: u64) -> String {
+    let mut events = String::new();
+    for (i, m) in MEMBERS.iter().enumerate() {
+        events.push_str(&format!(
+            "    {{ \"time\": {}, \"node\": {m}, \"op\": \"join\", \"group\": 1 }},\n",
+            i as u64 * 500
+        ));
+    }
+    let mut tag = 0u64;
+    let mut send_at = |events: &mut String, time: u64, last: bool| {
+        tag += 1;
+        events.push_str(&format!(
+            "    {{ \"time\": {time}, \"node\": {SOURCE}, \"op\": \"send\", \"group\": 1, \"tag\": {tag} }}{}",
+            if last { "\n" } else { ",\n" }
+        ));
+    };
+    for k in 0..PRE_SENDS {
+        send_at(&mut events, 40_000 + k * 2_000, false);
+    }
+    for k in 0..MID_SENDS {
+        send_at(&mut events, 100_000 + k * 2_000, false);
+    }
+    for k in 0..POST_SENDS {
+        send_at(
+            &mut events,
+            HEAL_AT + RECONVERGE_WINDOW + k * 2_000,
+            k + 1 == POST_SENDS,
+        );
+    }
+    format!(
+        r#"{{
+  "topology": {{ "kind": "arpanet", "seed": {seed} }},
+  "m_router": 10,
+  "robustness": {{
+    "repair_interval": 2000,
+    "join_retry": 500,
+    "leave_retry": 500,
+    "tree_retry": 500,
+    "heartbeat_interval": 1000,
+    "standby": 11,
+    "heartbeat_loss_tolerance": 12,
+    "takeover_rebuild_delay": 500
+  }},
+  "faults": [
+    {{ "time": {PARTITION_AT}, "fault": {{ "kind": "partition", "seed": {seed}, "heal_at": {HEAL_AT} }} }}
+  ],
   "events": [
 {events}  ],
   "run_until": 250000
@@ -362,12 +501,127 @@ pub fn run(seeds: u64, jobs: usize) -> ChaosReport {
             .collect()
     };
 
+    // Partition-and-heal series: one cell per seed, lossless, the cut
+    // geometry varying with the seed (including dual-root geometries
+    // where the standby is cut off from the primary and takes over).
+    let (partition, partition_cells) = partition_series(seeds, jobs);
+
     ChaosReport {
         seeds,
         points: aggregate(false),
         reliable_points: aggregate(true),
         cells,
+        partition: Some(partition),
+        partition_cells,
     }
+}
+
+/// The partition-and-heal series alone: one cell per seed, every
+/// per-cell invariant (no duplicates, single root, bounded
+/// reconvergence, post-heal delivery floor) asserted. `run` embeds
+/// this in the full report; the `chaos --partition-only` mode and
+/// `just partition-chaos` call it directly.
+pub fn partition_series(
+    seeds: u64,
+    jobs: usize,
+) -> (ChaosPartitionSummary, Vec<ChaosPartitionCell>) {
+    let pjsons: Vec<String> = (0..seeds).map(partition_scenario_json).collect();
+    let poutcomes = run_batch(&pjsons, jobs);
+    let mut partition_cells = Vec::with_capacity(pjsons.len());
+    for (seed, outcome) in (0..seeds).zip(&poutcomes) {
+        let tag = format!("(partition seed={seed})");
+        let (r, trace) = outcome
+            .as_ref()
+            .unwrap_or_else(|e| panic!("partition cell {tag} failed: {e}"));
+        let t = Trace::parse(trace).unwrap_or_else(|e| panic!("partition cell {tag} trace: {e}"));
+        let audit = t.audit();
+        let members_stranded = t
+            .events()
+            .iter()
+            .filter_map(|ev| match ev.kind {
+                EventKind::Partition { members, .. } => Some(members),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0);
+        let reconverge_ticks = t
+            .events()
+            .iter()
+            .filter(|ev| ev.time >= HEAL_AT && matches!(ev.kind, EventKind::Reconcile { .. }))
+            .map(|ev| ev.time - HEAL_AT)
+            .max()
+            .unwrap_or(0);
+        let post_tags = (PRE_SENDS + MID_SENDS + 1)..=(PRE_SENDS + MID_SENDS + POST_SENDS);
+        let post_received: usize = r
+            .deliveries
+            .iter()
+            .filter(|d| post_tags.contains(&d.tag))
+            .map(|d| d.receivers)
+            .sum();
+        let cell = ChaosPartitionCell {
+            seed,
+            members_stranded,
+            degraded_ticks: r.partition_degraded_ticks,
+            reconciliations: r.reconciliations,
+            reconverge_ticks,
+            post_heal_delivery: post_received as f64 / (POST_SENDS as usize * MEMBERS.len()) as f64,
+            takeovers: r.takeovers,
+            m_routers_at_end: r.m_routers_at_end.clone(),
+            duplicate_deliveries: audit.duplicates.len(),
+        };
+        assert!(
+            audit.duplicates.is_empty(),
+            "{tag}: duplicate deliveries {:?}",
+            audit.duplicates
+        );
+        assert_eq!(
+            cell.m_routers_at_end.len(),
+            1,
+            "{tag}: split brain or dead root survived the heal: {:?}",
+            cell.m_routers_at_end
+        );
+        assert!(
+            cell.degraded_ticks > 0,
+            "{tag}: the scan never noticed the cut"
+        );
+        assert!(
+            cell.reconverge_ticks <= RECONVERGE_WINDOW,
+            "{tag}: reconciliation {} ticks after the heal exceeds the {RECONVERGE_WINDOW}-tick bound",
+            cell.reconverge_ticks
+        );
+        assert!(
+            cell.post_heal_delivery >= 0.99,
+            "{tag}: post-heal delivery {} under the 0.99 floor",
+            cell.post_heal_delivery
+        );
+        if cell.members_stranded > 0 {
+            assert!(
+                cell.reconciliations > 0,
+                "{tag}: stranded members were never reconciled"
+            );
+        }
+        partition_cells.push(cell);
+    }
+    let summary = ChaosPartitionSummary {
+        heal_at: HEAL_AT,
+        window: RECONVERGE_WINDOW,
+        cells: partition_cells.len() as u64,
+        stranded_cells: partition_cells
+            .iter()
+            .filter(|c| c.members_stranded > 0)
+            .count() as u64,
+        takeover_cells: partition_cells.iter().filter(|c| c.takeovers > 0).count() as u64,
+        max_reconverge_ticks: partition_cells
+            .iter()
+            .map(|c| c.reconverge_ticks)
+            .max()
+            .unwrap_or(0),
+        min_post_heal_delivery: partition_cells
+            .iter()
+            .map(|c| c.post_heal_delivery)
+            .fold(f64::INFINITY, f64::min),
+    };
+    (summary, partition_cells)
 }
 
 #[cfg(test)]
@@ -411,5 +665,14 @@ mod tests {
             0.0,
             "tier-off curve must show zero NACKs"
         );
+        // Partition series: `run` itself asserts the per-cell bounds
+        // (reconvergence window, 0.99 post-heal floor, single root, no
+        // duplicates); here we check the series exists and aggregated.
+        assert_eq!(serial.partition_cells.len(), 1);
+        let p = serial.partition.as_ref().expect("partition summary");
+        assert_eq!(p.cells, 1);
+        assert_eq!(p.window, RECONVERGE_WINDOW);
+        assert!(p.min_post_heal_delivery >= 0.99);
+        assert!(p.max_reconverge_ticks <= RECONVERGE_WINDOW);
     }
 }

@@ -183,7 +183,9 @@ pub fn load_chaos_baseline(path: &Path) -> Result<ChaosReport, String> {
 /// [`chaos::run`]) — that is a correctness bug, not a perf regression.
 pub fn chaos_recovery_checks(baseline: &ChaosReport, seeds: u64, jobs: usize) -> Vec<Check> {
     let fresh = chaos::run(seeds.clamp(1, baseline.seeds.max(1)), jobs);
-    chaos_band(baseline, &fresh)
+    let mut checks = chaos_band(baseline, &fresh);
+    checks.extend(partition_band(baseline, &fresh));
+    checks
 }
 
 /// Pure band step of [`chaos_recovery_checks`]: fresh reliable curve
@@ -215,6 +217,37 @@ pub fn chaos_band(baseline: &ChaosReport, fresh: &ChaosReport) -> Vec<Check> {
         });
     }
     checks
+}
+
+/// Partition-and-heal band: the fresh series must reconverge within
+/// 2x the committed worst lag (never past the absolute
+/// [`chaos::RECONVERGE_WINDOW`] bound the sweep itself enforces) and
+/// hold its post-heal delivery to the 0.99 acceptance floor. A
+/// baseline from before the partition series existed produces no
+/// checks — the band arms itself on the first committed run.
+pub fn partition_band(baseline: &ChaosReport, fresh: &ChaosReport) -> Vec<Check> {
+    let (Some(b), Some(f)) = (&baseline.partition, &fresh.partition) else {
+        return Vec::new();
+    };
+    let lag_ceiling = (2 * b.max_reconverge_ticks).clamp(b.window / 2, b.window);
+    vec![
+        Check {
+            metric: "partition_reconverge_ticks".to_string(),
+            baseline: b.max_reconverge_ticks as f64,
+            measured: f.max_reconverge_ticks as f64,
+            band: format!("<= {lag_ceiling} (2x baseline, capped at the window)"),
+            percent: false,
+            pass: f.max_reconverge_ticks <= lag_ceiling,
+        },
+        Check {
+            metric: "partition_post_heal_delivery".to_string(),
+            baseline: 0.99,
+            measured: f.min_post_heal_delivery,
+            band: ">= 0.99 absolute".to_string(),
+            percent: false,
+            pass: f.min_post_heal_delivery >= 0.99,
+        },
+    ]
 }
 
 /// Fractional slowdown of `sinked` relative to `off` (0.05 = 5%):
@@ -431,6 +464,16 @@ mod tests {
             points: points.clone(),
             reliable_points: points,
             cells: Vec::new(),
+            partition: Some(chaos::ChaosPartitionSummary {
+                heal_at: chaos::HEAL_AT,
+                window: chaos::RECONVERGE_WINDOW,
+                cells: 3,
+                stranded_cells: 2,
+                takeover_cells: 1,
+                max_reconverge_ticks: 4_000,
+                min_post_heal_delivery: 1.0,
+            }),
+            partition_cells: Vec::new(),
         }
     }
 
@@ -472,6 +515,49 @@ mod tests {
             .map(|c| c.metric.clone())
             .collect();
         assert_eq!(tripped, vec!["recovery_latency_p99[20%]"]);
+    }
+
+    /// The partition band: reconvergence lag ceiling at 2x baseline
+    /// (clamped into `[window/2, window]`) and the 0.99 post-heal
+    /// delivery floor; pre-partition baselines arm no checks.
+    #[test]
+    fn partition_band_lag_ceiling_and_delivery_floor() {
+        let baseline = fake_chaos(&[(0.0, 1.0, 0)]);
+        let clean = partition_band(&baseline, &baseline);
+        assert_eq!(clean.len(), 2);
+        assert!(clean.iter().all(|c| c.pass), "{clean:?}");
+
+        // 2x the committed 4000-tick lag is 8000; 9000 trips it.
+        let mut slow = baseline.clone();
+        slow.partition.as_mut().unwrap().max_reconverge_ticks = 9_000;
+        let tripped: Vec<String> = partition_band(&baseline, &slow)
+            .iter()
+            .filter(|c| !c.pass)
+            .map(|c| c.metric.clone())
+            .collect();
+        assert_eq!(tripped, vec!["partition_reconverge_ticks"]);
+
+        let mut lossy = baseline.clone();
+        lossy.partition.as_mut().unwrap().min_post_heal_delivery = 0.97;
+        let tripped: Vec<String> = partition_band(&baseline, &lossy)
+            .iter()
+            .filter(|c| !c.pass)
+            .map(|c| c.metric.clone())
+            .collect();
+        assert_eq!(tripped, vec!["partition_post_heal_delivery"]);
+
+        // A committed lag of 0 still allows half the window (a fresh
+        // run reconverging at scan granularity must not trip a
+        // degenerate 0-tick ceiling).
+        let mut zero = baseline.clone();
+        zero.partition.as_mut().unwrap().max_reconverge_ticks = 0;
+        let mut fresh = baseline.clone();
+        fresh.partition.as_mut().unwrap().max_reconverge_ticks = chaos::RECONVERGE_WINDOW / 2;
+        assert!(partition_band(&zero, &fresh).iter().all(|c| c.pass));
+
+        let mut old = baseline.clone();
+        old.partition = None;
+        assert!(partition_band(&old, &baseline).is_empty());
     }
 
     /// `run_gate` end to end with a live (tiny) measurement as its own

@@ -217,6 +217,12 @@ pub struct ReliabilitySpec {
     /// Announcement rounds per kick.
     #[serde(default)]
     pub announce_rounds: Option<u32>,
+    /// Smallest modelled payload size in bytes (repair-cache charging).
+    #[serde(default)]
+    pub payload_bytes_min: Option<u32>,
+    /// Largest modelled payload size in bytes.
+    #[serde(default)]
+    pub payload_bytes_max: Option<u32>,
     /// Seed of the deterministic suppression-jitter hash.
     #[serde(default)]
     pub seed: Option<u64>,
@@ -233,8 +239,139 @@ impl ReliabilitySpec {
             cache_bytes: self.cache_bytes.unwrap_or(d.cache_bytes),
             announce_interval: self.announce_interval.unwrap_or(d.announce_interval),
             announce_rounds: self.announce_rounds.unwrap_or(d.announce_rounds),
+            payload_bytes_min: self.payload_bytes_min.unwrap_or(d.payload_bytes_min),
+            payload_bytes_max: self.payload_bytes_max.unwrap_or(d.payload_bytes_max),
             seed: self.seed.unwrap_or(d.seed),
         }
+    }
+}
+
+/// A generated membership wave: a compact description of many
+/// join/leave events the runner (and the delivery oracle) expand into
+/// the ordinary timeline. Two families from the measurement literature:
+/// the day/night cycle and the flash crowd.
+#[derive(Clone, Debug, Deserialize, Serialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum MembershipSchedule {
+    /// Day/night churn: every listed DR joins `group` at each cycle
+    /// start (`start + c * period`) and leaves at the half-period, for
+    /// `cycles` cycles.
+    DiurnalChurn {
+        group: u32,
+        members: Vec<u32>,
+        start: u64,
+        period: u64,
+        cycles: u32,
+    },
+    /// Flash crowd: the listed DRs join `group` in quick succession
+    /// (`stagger` ticks apart, starting at `at`) and — optionally —
+    /// all leave together at `leave_at`.
+    FlashCrowd {
+        group: u32,
+        members: Vec<u32>,
+        at: u64,
+        stagger: u64,
+        #[serde(default)]
+        leave_at: Option<u64>,
+    },
+}
+
+impl MembershipSchedule {
+    /// Shape-check entry `i` against the topology; errors name the
+    /// entry the same way fault validation does.
+    pub fn validate(&self, i: usize, topo: &Topology) -> Result<(), String> {
+        let (members, label) = match self {
+            MembershipSchedule::DiurnalChurn {
+                members,
+                period,
+                cycles,
+                ..
+            } => {
+                if *cycles == 0 {
+                    return Err(format!("membership_schedule[{i}]: cycles must be >= 1"));
+                }
+                if *period < 2 {
+                    return Err(format!(
+                        "membership_schedule[{i}]: period {period} too short (day half would be empty)"
+                    ));
+                }
+                (members, "diurnal_churn")
+            }
+            MembershipSchedule::FlashCrowd {
+                members,
+                at,
+                stagger,
+                leave_at,
+                ..
+            } => {
+                if let Some(leave) = leave_at {
+                    let last_join = at + stagger * (members.len().max(1) as u64 - 1);
+                    if *leave <= last_join {
+                        return Err(format!(
+                            "membership_schedule[{i}]: leave_at {leave} not after the last join at {last_join}"
+                        ));
+                    }
+                }
+                (members, "flash_crowd")
+            }
+        };
+        if members.is_empty() {
+            return Err(format!("membership_schedule[{i}]: {label} has no members"));
+        }
+        for &m in members {
+            if m as usize >= topo.node_count() {
+                return Err(format!("membership_schedule[{i}]: member {m} out of range"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Expand into plain timeline events (pure — no topology needed).
+    pub fn expand(&self) -> Vec<EventSpec> {
+        let ev = |time: u64, node: u32, op: &str, group: u32| EventSpec {
+            time,
+            node,
+            op: op.into(),
+            group,
+            tag: None,
+        };
+        let mut out = Vec::new();
+        match self {
+            MembershipSchedule::DiurnalChurn {
+                group,
+                members,
+                start,
+                period,
+                cycles,
+            } => {
+                for c in 0..u64::from(*cycles) {
+                    let day = start + c * period;
+                    for &m in members {
+                        out.push(ev(day, m, "join", *group));
+                    }
+                    for &m in members {
+                        out.push(ev(day + period / 2, m, "leave", *group));
+                    }
+                }
+            }
+            MembershipSchedule::FlashCrowd {
+                group,
+                members,
+                at,
+                stagger,
+                leave_at,
+            } => {
+                for (k, &m) in members.iter().enumerate() {
+                    out.push(ev(at + stagger * k as u64, m, "join", *group));
+                }
+                if let Some(leave) = leave_at {
+                    for &m in members {
+                        out.push(ev(*leave, m, "leave", *group));
+                    }
+                }
+            }
+        }
+        out
     }
 }
 
@@ -259,6 +396,11 @@ pub struct ScenarioFile {
     pub m_router: MRouterSpec,
     /// Timeline.
     pub events: Vec<EventSpec>,
+    /// Generated membership waves (diurnal churn, flash crowds),
+    /// expanded into ordinary join/leave events by the runner and the
+    /// delivery oracle alike.
+    #[serde(default)]
+    pub membership_schedule: Vec<MembershipSchedule>,
     /// Optional finite link capacities.
     #[serde(default)]
     pub capacity: Option<CapacitySpec>,
@@ -303,7 +445,8 @@ pub type ExpectedList = Vec<(GroupId, u64, NodeId)>;
 /// runner scores `delivery_ratio` against exactly this set; the stress
 /// oracle reuses it to name the members a failing run stranded.
 pub fn expected_deliveries(spec: &ScenarioFile) -> (SentList, ExpectedList) {
-    let mut ordered: Vec<&EventSpec> = spec.events.iter().collect();
+    let all = expanded_events(spec);
+    let mut ordered: Vec<&EventSpec> = all.iter().collect();
     ordered.sort_by_key(|ev| ev.time);
     let mut membership: std::collections::BTreeMap<(u32, u32), i64> =
         std::collections::BTreeMap::new();
@@ -330,6 +473,18 @@ pub fn expected_deliveries(spec: &ScenarioFile) -> (SentList, ExpectedList) {
         }
     }
     (sent, expected)
+}
+
+/// The scenario's full timeline: the explicit `events` plus everything
+/// the membership schedules expand into. The delivery oracle and the
+/// runner both iterate exactly this list (sorted stably by time), so
+/// the expectation set and the schedule can never disagree.
+pub fn expanded_events(spec: &ScenarioFile) -> Vec<EventSpec> {
+    let mut all = spec.events.clone();
+    for sched in &spec.membership_schedule {
+        all.extend(sched.expand());
+    }
+    all
 }
 
 /// Result summary the runner prints as JSON.
@@ -368,6 +523,12 @@ pub struct ScenarioResult {
     /// Control-plane hardening counters.
     pub retransmissions: u64,
     pub takeovers: u64,
+    /// Repair-scan ticks spent with part of the domain unreachable from
+    /// the acting m-router (0 on partition-free runs).
+    pub partition_degraded_ticks: u64,
+    /// Post-heal tree reconciliations (groups whose rebuilt tree
+    /// readopted previously stranded members).
+    pub reconciliations: u64,
     /// Reliability-tier counters (all zero without a `reliability`
     /// section).
     pub nacks_sent: u64,
@@ -409,6 +570,7 @@ mod schema {
         "topology",
         "m_router",
         "events",
+        "membership_schedule",
         "capacity",
         "faults",
         "robustness",
@@ -424,6 +586,8 @@ mod schema {
         "cache_bytes",
         "announce_interval",
         "announce_rounds",
+        "payload_bytes_min",
+        "payload_bytes_max",
         "seed",
     ];
     pub const TELEMETRY: &[&str] = &["gauge_interval", "jsonl"];
@@ -444,7 +608,21 @@ mod schema {
     pub const EVENT: &[&str] = &["time", "node", "op", "group", "tag"];
     pub const TOPOLOGY: &[&str] = &["kind", "n", "seed", "degree", "nodes", "links"];
     pub const FAULT_ENTRY: &[&str] = &["time", "fault"];
-    pub const FAULT_KIND: &[&str] = &["kind", "a", "b", "node"];
+    pub const FAULT_KIND: &[&str] = &[
+        "kind",
+        "a",
+        "b",
+        "node",
+        "seed",
+        "heal_at",
+        "links",
+        "restore_at",
+        "cycles",
+        "period",
+    ];
+    pub const MEMBERSHIP: &[&str] = &[
+        "kind", "group", "members", "start", "period", "cycles", "at", "stagger", "leave_at",
+    ];
 }
 
 fn check_keys(value: &serde_json::Value, allowed: &[&str], section: &str) -> Result<(), String> {
@@ -515,6 +693,9 @@ pub fn check_unknown_keys(json: &str) -> Result<(), String> {
             }
             "capacity" => check_keys(value, schema::CAPACITY, "capacity section")?,
             "events" => check_each(value, schema::EVENT, "events", None)?,
+            "membership_schedule" => {
+                check_each(value, schema::MEMBERSHIP, "membership_schedule", None)?
+            }
             "faults" => check_each(
                 value,
                 schema::FAULT_ENTRY,
@@ -565,6 +746,9 @@ fn run_scenario_inner(json: &str, capture: Option<&SharedBuf>) -> Result<Scenari
         if !matches!(ev.op.as_str(), "join" | "leave" | "send") {
             return Err(format!("unknown op {:?}", ev.op));
         }
+    }
+    for (i, sched) in spec.membership_schedule.iter().enumerate() {
+        sched.validate(i, &topo)?;
     }
 
     let fault_plan = FaultPlan::from(spec.faults.clone());
@@ -640,7 +824,8 @@ fn run_scenario_inner(json: &str, capture: Option<&SharedBuf>) -> Result<Scenari
     // stable on ties), then the schedule itself — sends consume their
     // tags from `sent` so the two passes can never disagree.
     let (sent, expected) = expected_deliveries(&spec);
-    let mut ordered: Vec<&EventSpec> = spec.events.iter().collect();
+    let all_events = expanded_events(&spec);
+    let mut ordered: Vec<&EventSpec> = all_events.iter().collect();
     ordered.sort_by_key(|ev| ev.time);
     let mut next_send = sent.iter();
     for ev in &ordered {
@@ -658,8 +843,7 @@ fn run_scenario_inner(json: &str, capture: Option<&SharedBuf>) -> Result<Scenari
         engine.schedule_app(ev.time, NodeId(ev.node), app);
     }
 
-    let last_scheduled = spec
-        .events
+    let last_scheduled = all_events
         .iter()
         .map(|e| e.time)
         .chain(fault_plan.faults.iter().map(|f| f.time))
@@ -722,6 +906,8 @@ fn run_scenario_inner(json: &str, capture: Option<&SharedBuf>) -> Result<Scenari
         channel_corrupted: stats.channel_corrupted,
         retransmissions: stats.retransmissions,
         takeovers: stats.takeovers,
+        partition_degraded_ticks: stats.partition_degraded_ticks,
+        reconciliations: stats.reconciliations,
         nacks_sent: stats.nacks_sent,
         nacks_suppressed: stats.nacks_suppressed,
         nacks_forwarded: stats.nacks_forwarded,
@@ -1213,5 +1399,168 @@ mod tests {
         );
         let err = run_scenario(&prob).unwrap_err();
         assert!(err.contains("not in [0, 1]"), "{err}");
+    }
+
+    /// Flash crowd joining before the send, with a later diurnal cycle.
+    const SCHEDULED: &str = r#"{
+        "topology": { "kind": "arpanet", "seed": 1 },
+        "m_router": "rule1",
+        "membership_schedule": [
+            { "kind": "flash_crowd", "group": 1, "members": [4, 9, 15],
+              "at": 0, "stagger": 500 },
+            { "kind": "diurnal_churn", "group": 1, "members": [7],
+              "start": 600000, "period": 100000, "cycles": 2 }
+        ],
+        "events": [
+            { "time": 500000, "node": 3, "op": "send", "group": 1, "tag": 1 },
+            { "time": 620000, "node": 3, "op": "send", "group": 1, "tag": 2 },
+            { "time": 680000, "node": 3, "op": "send", "group": 1, "tag": 3 }
+        ],
+        "run_until": 900000
+    }"#;
+
+    #[test]
+    fn membership_schedule_drives_oracle_and_run_alike() {
+        let spec: ScenarioFile = serde_json::from_str(SCHEDULED).unwrap();
+        let (sent, expected) = expected_deliveries(&spec);
+        assert_eq!(sent.len(), 3);
+        // tag 1: the flash crowd (3 DRs); tag 2: crowd + node 7 mid-day;
+        // tag 3: crowd only again (7 left at the half-period, 650000).
+        let expects_of = |tag: u64| expected.iter().filter(|e| e.1 == tag).count();
+        assert_eq!(expects_of(1), 3);
+        assert_eq!(expects_of(2), 4);
+        assert_eq!(expects_of(3), 3);
+
+        let r = run_scenario(SCHEDULED).unwrap();
+        assert_eq!(r.expected_deliveries, 10);
+        assert!(
+            (r.delivery_ratio - 1.0).abs() < 1e-9,
+            "schedule-driven membership delivers in full: {}",
+            r.delivery_ratio
+        );
+        assert_eq!(r.deliveries[1].receivers, 4, "day member heard tag 2");
+        assert_eq!(r.deliveries[2].receivers, 3, "night: 7 is gone again");
+    }
+
+    #[test]
+    fn membership_schedule_validation_errors_are_named() {
+        for (breakage, needle) in [
+            ("\"cycles\": 2", "\"cycles\": 0"),
+            ("\"period\": 100000", "\"period\": 1"),
+            ("\"members\": [7]", "\"members\": []"),
+            ("\"members\": [7]", "\"members\": [99]"),
+        ] {
+            let bad = SCHEDULED.replace(breakage, needle);
+            let err = run_scenario(&bad).unwrap_err();
+            assert!(
+                err.contains("membership_schedule[1]"),
+                "{needle}: error must name the entry: {err}"
+            );
+        }
+        let bad = SCHEDULED.replace(
+            "\"at\": 0, \"stagger\": 500",
+            "\"at\": 0, \"stagger\": 500, \"leave_at\": 800",
+        );
+        let err = run_scenario(&bad).unwrap_err();
+        assert!(
+            err.contains("membership_schedule[0]") && err.contains("leave_at"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn membership_schedule_typos_are_rejected_by_name() {
+        let typo = SCHEDULED.replace("\"stagger\": 500", "\"staggger\": 500");
+        let err = run_scenario(&typo).unwrap_err();
+        assert!(
+            err.contains("staggger") && err.contains("membership_schedule[0]"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn payload_size_keys_reach_the_reliability_config() {
+        let spec: ReliabilitySpec =
+            serde_json::from_str(r#"{ "payload_bytes_min": 16, "payload_bytes_max": 1024 }"#)
+                .unwrap();
+        let cfg = spec.build();
+        assert_eq!(cfg.payload_bytes_min, 16);
+        assert_eq!(cfg.payload_bytes_max, 1024);
+
+        let typo = BASIC.replace(
+            "\"m_router\": \"rule1\",",
+            "\"m_router\": \"rule1\",\n  \"reliability\": { \"payload_bytes_mim\": 16 },",
+        );
+        let err = run_scenario(&typo).unwrap_err();
+        assert!(
+            err.contains("payload_bytes_mim") && err.contains("reliability"),
+            "{err}"
+        );
+    }
+
+    /// A partition family fault driven entirely from a scenario file:
+    /// the seeded cut strands part of the ARPANET mid-session, the heal
+    /// restores it, and the repair scan reconciles the trees.
+    const PARTITIONED: &str = r#"{
+        "topology": { "kind": "arpanet", "seed": 1 },
+        "m_router": 10,
+        "robustness": { "repair_interval": 2000 },
+        "faults": [
+            { "time": 60000, "fault": { "kind": "partition", "seed": 7, "heal_at": 160000 } }
+        ],
+        "events": [
+            { "time": 0,      "node": 3,  "op": "join", "group": 1 },
+            { "time": 100,    "node": 6,  "op": "join", "group": 1 },
+            { "time": 200,    "node": 15, "op": "join", "group": 1 },
+            { "time": 300,    "node": 17, "op": "join", "group": 1 },
+            { "time": 250000, "node": 13, "op": "send", "group": 1, "tag": 1 }
+        ],
+        "run_until": 300000
+    }"#;
+
+    #[test]
+    fn partition_family_runs_degrades_and_reconciles() {
+        let r = run_scenario(PARTITIONED).unwrap();
+        assert!(r.faults_injected >= 2, "cut + heal both inject");
+        assert!(
+            r.partition_degraded_ticks > 0,
+            "the scan must notice the unreachable side"
+        );
+        assert!(
+            (r.delivery_ratio - 1.0).abs() < 1e-9,
+            "post-heal send reaches every member: {}",
+            r.delivery_ratio
+        );
+        assert_eq!(r.m_routers_at_end, vec![10], "no split brain");
+        let b = run_scenario(PARTITIONED).unwrap();
+        assert_eq!(
+            serde_json::to_string(&r).unwrap(),
+            serde_json::to_string(&b).unwrap(),
+            "partition runs replay bit-for-bit"
+        );
+    }
+
+    #[test]
+    fn family_fault_keys_pass_the_schema_and_validate() {
+        // A typo'd family key is rejected by name…
+        let typo = PARTITIONED.replace("\"heal_at\": 160000", "\"heal_et\": 160000");
+        let err = run_scenario(&typo).unwrap_err();
+        assert!(
+            err.contains("heal_et") && err.contains("faults[0].fault"),
+            "{err}"
+        );
+        // …and the other two families parse through the same schema.
+        let outage = PARTITIONED.replace(
+            "{ \"kind\": \"partition\", \"seed\": 7, \"heal_at\": 160000 }",
+            "{ \"kind\": \"regional_outage\", \"seed\": 7, \"links\": 3, \"restore_at\": 160000 }",
+        );
+        let r = run_scenario(&outage).unwrap();
+        assert!(r.faults_injected >= 2);
+        let storm = PARTITIONED.replace(
+            "{ \"kind\": \"partition\", \"seed\": 7, \"heal_at\": 160000 }",
+            "{ \"kind\": \"flap_storm\", \"seed\": 7, \"links\": 2, \"cycles\": 3, \"period\": 10000 }",
+        );
+        let r = run_scenario(&storm).unwrap();
+        assert!(r.faults_injected >= 6, "each flap cycle injects twice");
     }
 }

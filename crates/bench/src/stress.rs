@@ -39,7 +39,7 @@ use crate::scenario_file::{
 use crate::sweep::SweepRunner;
 use rand::Rng;
 use scmp_net::rng::rng_for;
-use scmp_sim::{ChannelPlan, ChannelSpec, FaultKind, FaultSpec};
+use scmp_sim::{partition_cut, ChannelPlan, ChannelSpec, FaultKind, FaultSpec};
 use scmp_telemetry::{EventKind, Trace};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
@@ -100,6 +100,12 @@ pub struct StressPoint {
     pub repair: u8,
     /// Index into [`TOLERANCES`].
     pub tolerance: u8,
+    /// Correlated partition family: 0 = none, else a seeded graph cut
+    /// at t=25k healing `15k × partition` later (0..=3).
+    pub partition: u8,
+    /// Correlated regional-outage family: 0 = none, else `outage`
+    /// links around a seeded epicentre down for `10k × outage` (0..=3).
+    pub outage: u8,
 }
 
 /// One searchable axis of [`StressPoint`]: an accessor pair plus the
@@ -178,6 +184,18 @@ pub const AXES: &[Axis] = &[
         get: |p| p.tolerance,
         set: |p, v| p.tolerance = v,
     },
+    Axis {
+        name: "partition",
+        max: 3,
+        get: |p| p.partition,
+        set: |p, v| p.partition = v,
+    },
+    Axis {
+        name: "outage",
+        max: 3,
+        get: |p| p.outage,
+        set: |p, v| p.outage = v,
+    },
 ];
 
 /// Human name of a topology index.
@@ -204,6 +222,8 @@ pub fn sample(rng: &mut impl Rng, topologies: &[u8]) -> StressPoint {
         retry: rng.gen_range(0..5u64) as u8,
         repair: rng.gen_range(0..5u64) as u8,
         tolerance: rng.gen_range(0..6u64) as u8,
+        partition: rng.gen_range(0..4u64) as u8,
+        outage: rng.gen_range(0..4u64) as u8,
     }
 }
 
@@ -328,6 +348,29 @@ pub fn synthesize(p: &StressPoint) -> ScenarioFile {
             fault: FaultKind::LinkUp { a, b },
         });
     }
+    // Correlated fault families: a seeded graph cut healing mid-run
+    // and a regional outage around a seeded epicentre, both well before
+    // the sends so the repair scan's reconciliation (when armed) has a
+    // chance — with the scan off, these are what strand members.
+    if p.partition > 0 {
+        faults.push(FaultSpec {
+            time: 25_000,
+            fault: FaultKind::Partition {
+                seed: p.seed,
+                heal_at: 25_000 + 15_000 * u64::from(p.partition),
+            },
+        });
+    }
+    if p.outage > 0 {
+        faults.push(FaultSpec {
+            time: 45_000,
+            fault: FaultKind::RegionalOutage {
+                seed: p.seed,
+                links: u32::from(p.outage),
+                restore_at: 45_000 + 10_000 * u64::from(p.outage),
+            },
+        });
+    }
     if p.crash {
         faults.push(FaultSpec {
             time: 60_000,
@@ -348,6 +391,7 @@ pub fn synthesize(p: &StressPoint) -> ScenarioFile {
         topology: prof.topology,
         m_router: MRouterSpec::Node(prof.m_router),
         events,
+        membership_schedule: Vec::new(),
         capacity: None,
         faults,
         robustness: Some(RobustnessSpec {
@@ -453,6 +497,35 @@ pub fn evaluate(json: &str) -> Result<Evaluation, String> {
     let rob = spec.robustness.clone().unwrap_or_default();
     let standby_armed = rob.standby.is_some() && rob.heartbeat_interval.is_some_and(|h| h > 0);
     let repair_interval = rob.repair_interval.unwrap_or(0);
+    // A partition whose cut separates the primary from its standby
+    // starves the watchdog legitimately: a takeover there is the
+    // protocol working, not a false promotion.
+    let partition_splits_root_pair = rob.standby.is_some_and(|standby| {
+        let topo = spec.topology.build();
+        spec.faults.iter().any(|f| {
+            if let FaultKind::Partition { seed, .. } = f.fault {
+                if let Ok(cut) = partition_cut(&topo, seed) {
+                    let a_has = |n: u32| cut.side_a.iter().any(|v| v.0 == n);
+                    return a_has(result.m_router) != a_has(standby);
+                }
+            }
+            false
+        })
+    });
+    // Correlated families hold their damage for a declared interval; a
+    // repair cannot complete while the partition (or outage) persists,
+    // so the latency bound starts counting from the heal, not the cut.
+    let max_outage: u64 = spec
+        .faults
+        .iter()
+        .map(|f| match f.fault {
+            FaultKind::Partition { heal_at, .. } => heal_at.saturating_sub(f.time),
+            FaultKind::RegionalOutage { restore_at, .. } => restore_at.saturating_sub(f.time),
+            FaultKind::FlapStorm { cycles, period, .. } => period.saturating_mul(u64::from(cycles)),
+            _ => 0,
+        })
+        .max()
+        .unwrap_or(0);
 
     let clean_run = !channel_active && spec.faults.is_empty();
     let mut hard = Vec::new();
@@ -493,13 +566,15 @@ pub fn evaluate(json: &str) -> Result<Evaluation, String> {
     {
         boundary.push("member_unreached".to_string());
     }
-    if result.takeovers > 0 && !crashed_primary {
+    if result.takeovers > 0 && !crashed_primary && !partition_splits_root_pair {
         boundary.push("unexpected_takeover".to_string());
     }
     if crashed_primary && standby_armed && result.takeovers == 0 {
         boundary.push("missed_takeover".to_string());
     }
-    if result.repairs > 0 && repair_interval > 0 && result.max_repair_latency > 4 * repair_interval
+    if result.repairs > 0
+        && repair_interval > 0
+        && result.max_repair_latency > max_outage + 4 * repair_interval
     {
         boundary.push("repair_latency_exceeded".to_string());
     }
@@ -968,6 +1043,10 @@ pub struct Checks {
     pub nacks_sent_at_least: Option<u64>,
     #[serde(default)]
     pub recoveries_at_least: Option<u64>,
+    #[serde(default)]
+    pub partition_degraded_ticks_at_least: Option<u64>,
+    #[serde(default)]
+    pub reconciliations_at_least: Option<u64>,
 }
 
 /// What a corpus entry pins about its scenario's replay.
@@ -1015,6 +1094,8 @@ mod corpus_schema {
         "members_reached_at_least",
         "nacks_sent_at_least",
         "recoveries_at_least",
+        "partition_degraded_ticks_at_least",
+        "reconciliations_at_least",
     ];
 }
 
@@ -1158,6 +1239,20 @@ impl CorpusEntry {
                     r.recoveries.to_string(),
                 );
             }
+            if let Some(v) = c.partition_degraded_ticks_at_least {
+                check(
+                    "partition_degraded_ticks_at_least",
+                    r.partition_degraded_ticks >= v,
+                    r.partition_degraded_ticks.to_string(),
+                );
+            }
+            if let Some(v) = c.reconciliations_at_least {
+                check(
+                    "reconciliations_at_least",
+                    r.reconciliations >= v,
+                    r.reconciliations.to_string(),
+                );
+            }
         }
         if bad.is_empty() {
             Ok(ev)
@@ -1236,6 +1331,8 @@ mod tests {
             retry: 4,
             repair: 4,
             tolerance: 5,
+            partition: 3,
+            outage: 0,
         }
     }
 
@@ -1252,6 +1349,8 @@ mod tests {
             retry: 0,
             repair: 1,
             tolerance: 0,
+            partition: 0,
+            outage: 0,
         }
     }
 

@@ -97,9 +97,18 @@ pub struct ReliabilityConfig {
     /// up. Retries back off exponentially like the control-plane ARQs.
     pub nack_retries: u32,
     /// Byte cap on each router's repair cache. Entries are evicted in
-    /// least-recently-used order when the cap is exceeded; each cached
-    /// payload is accounted at [`CACHE_ENTRY_BYTES`] bytes.
+    /// least-recently-used order when the summed payload bytes exceed
+    /// the cap (at least one entry is always retained).
     pub cache_bytes: usize,
+    /// Smallest modelled payload size in bytes. The simulator carries
+    /// no real payload bytes, so each `(group, origin, seq)` payload is
+    /// assigned a deterministic size in
+    /// `[payload_bytes_min, payload_bytes_max]` by a pure seeded hash;
+    /// with `min == max` every payload weighs exactly that much (the
+    /// default pins both to [`CACHE_ENTRY_BYTES`]).
+    pub payload_bytes_min: u32,
+    /// Largest modelled payload size in bytes (see `payload_bytes_min`).
+    pub payload_bytes_max: u32,
     /// Delay between SEQ-ANNOUNCE rounds after a send burst (tail-loss
     /// detection); 0 disables announcements.
     pub announce_interval: u64,
@@ -109,9 +118,9 @@ pub struct ReliabilityConfig {
     pub seed: u64,
 }
 
-/// Nominal bytes charged to the repair cache per cached payload
-/// (header + the simulator's abstract payload). The simulation carries
-/// no real payload bytes, so sizing is by this fixed estimate.
+/// Default modelled payload size in bytes (header + the simulator's
+/// abstract payload): what every cached payload weighs unless the
+/// `payload_bytes_min`/`payload_bytes_max` model says otherwise.
 pub const CACHE_ENTRY_BYTES: usize = 64;
 
 impl Default for ReliabilityConfig {
@@ -121,6 +130,8 @@ impl Default for ReliabilityConfig {
             nack_jitter: 200,
             nack_retries: 8,
             cache_bytes: 64 * 1024,
+            payload_bytes_min: CACHE_ENTRY_BYTES as u32,
+            payload_bytes_max: CACHE_ENTRY_BYTES as u32,
             announce_interval: 1_000,
             announce_rounds: 3,
             seed: 0x5C3F_11AB,

@@ -36,7 +36,7 @@ pub use config::{ReliabilityConfig, ScmpConfig, CACHE_ENTRY_BYTES};
 pub use domain::ScmpDomain;
 pub use entry::RoutingEntry;
 pub use mrouter::MRouterState;
-pub use reliability::nack_jitter;
+pub use reliability::{nack_jitter, payload_bytes};
 pub use standby::StandbyState;
 
 use crate::dedup::RecentSet;

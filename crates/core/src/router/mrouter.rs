@@ -71,6 +71,11 @@ pub struct MRouterState {
     /// then on the promoted node heartbeats and mirrors membership back,
     /// making the survivor pair symmetric again.
     pub(super) peer_alive: bool,
+    /// Nodes the previous repair scan found unreachable from this
+    /// m-router (empty in a healthy domain). The scan diffs its fresh
+    /// reachability view against this set to detect a partition forming
+    /// (degraded mode) and healing (reconciliation).
+    pub(super) unreachable: BTreeSet<NodeId>,
 }
 
 impl MRouterState {
@@ -85,6 +90,7 @@ impl MRouterState {
             gen_epoch: 0,
             heartbeat_seq: 0,
             peer_alive: false,
+            unreachable: BTreeSet::new(),
         }
     }
 
@@ -398,6 +404,63 @@ impl ScmpRouter {
         }
         let surviving = ctx.surviving_topology();
         let reachable = scmp_net::metrics::reachable_set(&surviving, me);
+        // Partition bookkeeping: diff the fresh reachability view
+        // against the previous scan's. Everything here is a no-op in a
+        // healthy domain — fault-free runs stay byte-identical.
+        let unreachable_now: BTreeSet<NodeId> = domain
+            .topo
+            .nodes()
+            .filter(|v| *v != me && !reachable[v.index()])
+            .collect();
+        {
+            let Role::MRouter(state) = &mut self.role else {
+                unreachable!()
+            };
+            if unreachable_now != state.unreachable {
+                let newly_stranded = unreachable_now.difference(&state.unreachable).count();
+                let healed: Vec<NodeId> = state
+                    .unreachable
+                    .difference(&unreachable_now)
+                    .copied()
+                    .collect();
+                if newly_stranded > 0 {
+                    // How many logged members sit on the far side — the
+                    // ones degraded mode cannot serve until the heal.
+                    let stranded_members = state
+                        .trees
+                        .keys()
+                        .flat_map(|&g| state.sessions.members_from_log(g))
+                        .filter(|m| unreachable_now.contains(m))
+                        .collect::<BTreeSet<NodeId>>()
+                        .len();
+                    ctx.record_partition(unreachable_now.len() as u32, stranded_members as u32);
+                }
+                if !healed.is_empty() {
+                    ctx.record_heal(healed.len() as u32);
+                    // Reconciliation, step 1 (dual-root rule): a
+                    // promoted standby re-announces its mastership to
+                    // every healed node. The far side may still believe
+                    // in the deposed primary — or *be* that primary,
+                    // back from isolation with stale mastership; its
+                    // `handle_new_mrouter` steps it down because the
+                    // takeover epoch outranks every generation it ever
+                    // issued. The announcement is idempotent, so
+                    // repeating it on every heal is safe.
+                    if Some(me) == domain.config.standby {
+                        for &v in &healed {
+                            ctx.unicast(
+                                v,
+                                Packet::control(GroupId(0), ScmpMsg::NewMRouter { address: me }),
+                            );
+                        }
+                    }
+                }
+                state.unreachable = unreachable_now;
+            }
+            if !state.unreachable.is_empty() {
+                ctx.record_partition_degraded_tick();
+            }
+        }
         // Phase 1 (read-only): which groups need surgery?
         let mut damaged: Vec<GroupId> = Vec::new();
         {
@@ -444,6 +507,14 @@ impl ScmpRouter {
                 .get(&group)
                 .map(|t| t.on_tree_nodes())
                 .unwrap_or_default();
+            // Members coming back onto the tree in this rebuild (on the
+            // books, reachable, but off the old mirror): the post-heal
+            // readoption the reconcile telemetry accounts.
+            let readopted = state
+                .trees
+                .get(&group)
+                .map(|t| members.iter().filter(|&&m| !t.is_member(m)).count())
+                .unwrap_or(members.len());
             let gen = state.next_gen(group);
             let mut dcdm = Dcdm::new(&surviving, &paths, me, domain.config.bound);
             for &m in &members {
@@ -469,6 +540,9 @@ impl ScmpRouter {
                 }
             }
             record_tree_health(group, HealthTrigger::Repair, &surviving, &paths, &tree, ctx);
+            if readopted > 0 {
+                ctx.record_reconcile(group.0, readopted as u32, gen);
+            }
             let Role::MRouter(state) = &mut self.role else {
                 unreachable!()
             };

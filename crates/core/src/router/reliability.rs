@@ -38,7 +38,7 @@
 //! sequence stamp stays 0, no state is touched, and the data plane is
 //! byte-identical to plain SCMP (pinned by integration tests).
 
-use super::config::{ReliabilityConfig, CACHE_ENTRY_BYTES};
+use super::config::ReliabilityConfig;
 use super::{ScmpRouter, BACKOFF_CAP, TIMER_ANNOUNCE_BASE, TIMER_NACK_BASE};
 use crate::message::ScmpMsg;
 use scmp_net::NodeId;
@@ -80,6 +80,30 @@ pub fn nack_jitter(seed: u64, me: NodeId, group: GroupId, origin: NodeId, attemp
         .wrapping_add(mix((me.0 as u64) << 32 | group.0 as u64))
         .wrapping_add(mix((origin.0 as u64) << 8 | attempt as u64));
     mix(x)
+}
+
+/// Modelled size in bytes of the payload `(group, origin, seq)`: a
+/// pure hash of the stream coordinates into
+/// `[payload_bytes_min, payload_bytes_max]`, so every router charges
+/// the same payload identically without any size travelling on the
+/// wire. Collapses to the configured constant when the range is empty
+/// (the default pins both ends to `CACHE_ENTRY_BYTES`).
+pub fn payload_bytes(cfg: &ReliabilityConfig, group: GroupId, origin: NodeId, seq: u64) -> usize {
+    fn mix(mut z: u64) -> u64 {
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+    let lo = u64::from(cfg.payload_bytes_min.min(cfg.payload_bytes_max));
+    let hi = u64::from(cfg.payload_bytes_min.max(cfg.payload_bytes_max));
+    if lo == hi {
+        return lo as usize;
+    }
+    let x = cfg
+        .seed
+        .wrapping_add(mix((origin.0 as u64) << 32 | group.0 as u64))
+        .wrapping_add(mix(seq));
+    (lo + mix(x) % (hi - lo + 1)) as usize
 }
 
 fn jitter_in(
@@ -161,18 +185,19 @@ impl StreamState {
     }
 }
 
-/// One cached payload, LRU-stamped.
+/// One cached payload, LRU-stamped and charged at its modelled size.
 #[derive(Debug)]
 struct CacheEntry {
     tag: u64,
     created_at: u64,
     stamp: u64,
+    bytes: usize,
 }
 
 /// Bounded retransmission cache: (group, origin, seq) → payload
-/// metadata, byte-capped with least-recently-used eviction. The
-/// simulator carries no payload bytes, so each entry is accounted at
-/// [`CACHE_ENTRY_BYTES`].
+/// metadata, byte-capped with least-recently-used eviction. Each entry
+/// is charged its modelled payload size (see [`payload_bytes`]), so a
+/// few jumbo payloads displace many small ones.
 #[derive(Debug, Default)]
 struct RepairCache {
     entries: BTreeMap<(u32, u32, u64), CacheEntry>,
@@ -180,12 +205,23 @@ struct RepairCache {
     /// counter), so the map is a total order of recency.
     lru: BTreeMap<u64, (u32, u32, u64)>,
     next_stamp: u64,
+    /// Summed `bytes` of every live entry.
+    total_bytes: usize,
 }
 
 impl RepairCache {
-    /// Insert (or refresh) a payload; returns how many entries were
-    /// evicted to stay under `cap_bytes`.
-    fn insert(&mut self, key: (u32, u32, u64), tag: u64, created_at: u64, cap_bytes: usize) -> u64 {
+    /// Insert (or refresh) a payload charged at `bytes`; returns how
+    /// many entries were evicted to bring the summed payload bytes back
+    /// under `cap_bytes` (the newest entry itself is never evicted, so
+    /// one oversized payload still caches).
+    fn insert(
+        &mut self,
+        key: (u32, u32, u64),
+        tag: u64,
+        created_at: u64,
+        bytes: usize,
+        cap_bytes: usize,
+    ) -> u64 {
         let stamp = self.next_stamp;
         self.next_stamp += 1;
         if let Some(e) = self.entries.get_mut(&key) {
@@ -200,14 +236,19 @@ impl RepairCache {
                 tag,
                 created_at,
                 stamp,
+                bytes,
             },
         );
         self.lru.insert(stamp, key);
-        let cap = (cap_bytes / CACHE_ENTRY_BYTES).max(1);
+        self.total_bytes += bytes;
         let mut evicted = 0;
-        while self.entries.len() > cap {
+        while self.total_bytes > cap_bytes && self.entries.len() > 1 {
             let (_, victim) = self.lru.pop_first().expect("lru tracks every entry");
-            self.entries.remove(&victim);
+            let gone = self
+                .entries
+                .remove(&victim)
+                .expect("entries track every key");
+            self.total_bytes -= gone.bytes;
             evicted += 1;
         }
         evicted
@@ -274,10 +315,14 @@ impl ScmpRouter {
         let seq = self.rel.send_seq.entry(group).or_insert(0);
         *seq += 1;
         let seq = *seq;
-        let evicted =
-            self.rel
-                .cache
-                .insert((group.0, self.me.0, seq), tag, ctx.now(), cfg.cache_bytes);
+        let bytes = payload_bytes(&cfg, group, self.me, seq);
+        let evicted = self.rel.cache.insert(
+            (group.0, self.me.0, seq),
+            tag,
+            ctx.now(),
+            bytes,
+            cfg.cache_bytes,
+        );
         ctx.record_cache_evictions(evicted);
         self.rel_kick_announce(group, self.me, &cfg, ctx);
         seq
@@ -313,10 +358,14 @@ impl ScmpRouter {
             Arrival::Duplicate => return false,
             Arrival::Fresh { closed_gap_at } => closed_gap_at,
         };
-        let evicted =
-            self.rel
-                .cache
-                .insert((group.0, origin.0, seq), tag, created_at, cfg.cache_bytes);
+        let bytes = payload_bytes(&cfg, group, origin, seq);
+        let evicted = self.rel.cache.insert(
+            (group.0, origin.0, seq),
+            tag,
+            created_at,
+            bytes,
+            cfg.cache_bytes,
+        );
         ctx.record_cache_evictions(evicted);
         if let Some(detected) = fresh {
             // A gap closed by an ordinary (reordered/duplicated) copy is
@@ -767,6 +816,7 @@ impl ScmpRouter {
 
 #[cfg(test)]
 mod tests {
+    use super::super::config::CACHE_ENTRY_BYTES;
     use super::*;
 
     #[test]
@@ -801,18 +851,79 @@ mod tests {
     #[test]
     fn repair_cache_is_byte_capped_lru() {
         let mut c = RepairCache::default();
-        let cap = 4 * CACHE_ENTRY_BYTES; // room for 4 entries
+        let cap = 4 * CACHE_ENTRY_BYTES; // room for 4 default-size entries
         for seq in 1..=4u64 {
-            assert_eq!(c.insert((1, 13, seq), seq, 0, cap), 0);
+            assert_eq!(c.insert((1, 13, seq), seq, 0, CACHE_ENTRY_BYTES, cap), 0);
         }
         // Touch seq 1 so seq 2 is the LRU victim.
         assert_eq!(c.get((1, 13, 1)), Some((1, 0)));
-        assert_eq!(c.insert((1, 13, 5), 5, 0, cap), 1, "one entry evicted");
+        assert_eq!(
+            c.insert((1, 13, 5), 5, 0, CACHE_ENTRY_BYTES, cap),
+            1,
+            "one entry evicted"
+        );
         assert_eq!(c.get((1, 13, 2)), None, "LRU victim was seq 2");
         assert_eq!(c.get((1, 13, 1)), Some((1, 0)), "recently used survives");
         // Re-inserting an existing key refreshes, never evicts.
-        assert_eq!(c.insert((1, 13, 1), 1, 0, cap), 0);
+        assert_eq!(c.insert((1, 13, 1), 1, 0, CACHE_ENTRY_BYTES, cap), 0);
         assert_eq!(c.entries.len(), 4);
+        assert_eq!(c.total_bytes, cap, "accounting matches the live set");
+    }
+
+    #[test]
+    fn repair_cache_charges_actual_payload_bytes() {
+        let mut c = RepairCache::default();
+        let cap = 1_000;
+        // Ten 100-byte payloads fill the cache exactly.
+        for seq in 1..=10u64 {
+            assert_eq!(c.insert((1, 13, seq), seq, 0, 100, cap), 0);
+        }
+        assert_eq!(c.total_bytes, 1_000);
+        // One 550-byte jumbo displaces six small payloads (five would
+        // leave 1_050 > cap), not the single entry a flat per-entry
+        // estimate would charge.
+        assert_eq!(c.insert((1, 13, 11), 11, 0, 550, cap), 6);
+        assert_eq!(c.entries.len(), 5);
+        assert_eq!(c.total_bytes, 4 * 100 + 550);
+        for seq in 1..=6u64 {
+            assert_eq!(c.get((1, 13, seq)), None, "small payload {seq} evicted");
+        }
+        // A tiny payload after the jumbo evicts nothing.
+        assert_eq!(c.insert((1, 13, 12), 12, 0, 8, cap), 0);
+        assert_eq!(c.total_bytes, 4 * 100 + 550 + 8);
+        // An oversize payload beyond the whole cap still caches (the
+        // newest entry is never evicted) but flushes everything else.
+        assert_eq!(c.insert((1, 13, 13), 13, 0, 2_000, cap), 6);
+        assert_eq!(c.entries.len(), 1);
+        assert_eq!(c.total_bytes, 2_000);
+        assert_eq!(c.get((1, 13, 13)), Some((13, 0)));
+    }
+
+    #[test]
+    fn payload_sizes_are_pure_and_ranged() {
+        let mut cfg = ReliabilityConfig {
+            payload_bytes_min: 16,
+            payload_bytes_max: 1_024,
+            ..ReliabilityConfig::default()
+        };
+        let mut distinct = BTreeSet::new();
+        for seq in 1..=64u64 {
+            let a = payload_bytes(&cfg, GroupId(1), NodeId(13), seq);
+            let b = payload_bytes(&cfg, GroupId(1), NodeId(13), seq);
+            assert_eq!(a, b, "same coordinates, same size");
+            assert!((16..=1_024).contains(&a), "size {a} out of range");
+            distinct.insert(a);
+        }
+        assert!(distinct.len() > 1, "a 64-payload mix must vary in size");
+        // A degenerate range is a constant — the default model.
+        cfg.payload_bytes_min = CACHE_ENTRY_BYTES as u32;
+        cfg.payload_bytes_max = CACHE_ENTRY_BYTES as u32;
+        for seq in 1..=8u64 {
+            assert_eq!(
+                payload_bytes(&cfg, GroupId(1), NodeId(13), seq),
+                CACHE_ENTRY_BYTES
+            );
+        }
     }
 
     #[test]

@@ -279,13 +279,18 @@ impl<R: Router> Engine<R> {
             .push(time, fault.primary_node(), EventKind::Fault(fault));
     }
 
-    /// Schedule every fault of a [`FaultPlan`].
+    /// Schedule every fault of a [`FaultPlan`], expanding correlated
+    /// fault families (partition, regional outage, flap storm) into
+    /// their primitive link events first.
     ///
     /// # Panics
     /// If the plan does not validate against the engine's topology; call
     /// [`FaultPlan::validate`] first for a `Result`.
     pub fn schedule_fault_plan(&mut self, plan: &FaultPlan) {
-        for spec in &plan.faults {
+        let specs = plan
+            .expand(&self.topo)
+            .expect("fault plan invalid for this topology");
+        for spec in &specs {
             self.schedule_fault(spec.time, spec.to_event());
         }
     }

@@ -261,6 +261,51 @@ impl<'a, M: Clone + fmt::Debug> Ctx<'a, M> {
         }
     }
 
+    /// Record the m-router's repair scan *entering* partition-degraded
+    /// mode: `stranded` nodes just became unreachable, `members` of
+    /// them are logged group members awaiting readoption.
+    pub fn record_partition(&mut self, stranded: u32, members: u32) {
+        if self.tele.on() {
+            self.tele.emit(
+                self.now,
+                self.node,
+                TeleKind::Partition { stranded, members },
+            );
+        }
+    }
+
+    /// Record one repair-scan pass served while part of the domain was
+    /// unreachable (the partition-degraded accounting of `SimStats`).
+    pub fn record_partition_degraded_tick(&mut self) {
+        self.stats.partition_degraded_ticks += 1;
+    }
+
+    /// Record previously unreachable nodes becoming reachable again
+    /// (the partition healed from this router's vantage point).
+    pub fn record_heal(&mut self, restored: u32) {
+        if self.tele.on() {
+            self.tele
+                .emit(self.now, self.node, TeleKind::Heal { restored });
+        }
+    }
+
+    /// Record a post-heal reconciliation for one group: `readopted`
+    /// stranded members merged back under generation `epoch`.
+    pub fn record_reconcile(&mut self, group: u32, readopted: u32, epoch: u64) {
+        self.stats.reconciliations += 1;
+        if self.tele.on() {
+            self.tele.emit(
+                self.now,
+                self.node,
+                TeleKind::Reconcile {
+                    group,
+                    readopted,
+                    epoch,
+                },
+            );
+        }
+    }
+
     /// Emit a drop event with its reason and — when the drop point still
     /// had the packet in hand — its (group, tag) correlation key, so
     /// journeys can show where a packet died (telemetry-enabled runs

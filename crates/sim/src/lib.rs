@@ -41,7 +41,7 @@ pub use engine::{
     AppEvent, CapacityModel, Ctx, Engine, EngineRunner, LinkSlot, Router, SimTime, TraceKind,
     TraceRecord, Transport,
 };
-pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultSpec};
+pub use fault::{partition_cut, FaultEvent, FaultKind, FaultPlan, FaultSpec, PartitionCut};
 pub use packet::{GroupId, Packet, PacketClass};
 pub use stats::SimStats;
 

@@ -88,6 +88,13 @@ pub struct SimStats {
     pub unknown_kind_drops: u64,
     /// Distribution of gap-recovery latencies (gap detected → closed).
     pub recovery_hist: Histogram,
+    /// Repair-scan passes the m-router served in partition-degraded
+    /// mode (part of the domain unreachable, reachable side still
+    /// served).
+    pub partition_degraded_ticks: u64,
+    /// Post-heal reconciliations completed (stranded members readopted
+    /// under an epoch-guarded tree merge).
+    pub reconciliations: u64,
 }
 
 impl SimStats {
@@ -310,6 +317,15 @@ impl SimStats {
         }
         if self.unknown_kind_drops > 0 {
             let _ = writeln!(out, "unknown-kind frames: {}", self.unknown_kind_drops);
+        }
+        // Partition lines appear only when a partition was ever seen, so
+        // partition-free runs keep their golden reports byte-stable.
+        if self.partition_degraded_ticks + self.reconciliations > 0 {
+            let _ = writeln!(
+                out,
+                "partition: degraded_ticks={} reconciliations={}",
+                self.partition_degraded_ticks, self.reconciliations
+            );
         }
         let mut keys: Vec<_> = self.deliveries.iter().collect();
         keys.sort_by_key(|&(&(g, tag, n), _)| (g.0, tag, n.0));

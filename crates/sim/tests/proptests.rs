@@ -126,6 +126,60 @@ proptest! {
         prop_assert_eq!(e.stats().queue_drops, burst - delivered);
     }
 
+    /// The correlated partition family's cut really partitions: for any
+    /// seed, both sides are nonempty, they tile the node set, and with
+    /// exactly the cut links removed no side-B node is reachable from
+    /// side A — on the paper's Waxman graphs and the GT-ITM-style
+    /// transit-stub-like flat random graphs alike.
+    #[test]
+    fn partition_cut_disconnects_the_sides(
+        seed in 0u64..512,
+        n in 8usize..40,
+        use_waxman in any::<bool>(),
+    ) {
+        use scmp_net::metrics::reachable_set;
+        use scmp_net::rng::rng_for;
+        use scmp_net::topology::{gt_itm_flat, waxman, GtItmConfig, WaxmanConfig};
+        use scmp_net::TopologyBuilder;
+        use scmp_sim::partition_cut;
+
+        let topo = if use_waxman {
+            waxman(
+                &WaxmanConfig { n, min_delay_one: true, ..WaxmanConfig::default() },
+                &mut rng_for("prop-partition", seed),
+            )
+        } else {
+            gt_itm_flat(
+                &GtItmConfig { n, average_degree: 3.5, grid: 32_767 },
+                &mut rng_for("prop-partition-gtitm", seed),
+            )
+        };
+        let cut = partition_cut(&topo, seed).expect("n >= 2");
+        prop_assert!(!cut.side_a.is_empty(), "side A empty");
+        prop_assert!(!cut.side_b.is_empty(), "side B empty");
+        prop_assert_eq!(cut.side_a.len() + cut.side_b.len(), topo.node_count());
+
+        let down: std::collections::BTreeSet<(u32, u32)> = cut
+            .cut
+            .iter()
+            .map(|&(a, b)| (a.0.min(b.0), a.0.max(b.0)))
+            .collect();
+        let mut b = TopologyBuilder::new(topo.node_count());
+        for &(x, y, w) in topo.edges() {
+            if !down.contains(&(x.0.min(y.0), x.0.max(y.0))) {
+                b.add_link(x, y, w);
+            }
+        }
+        let surviving = b.build();
+        let reach = reachable_set(&surviving, cut.side_a[0]);
+        for v in &cut.side_a {
+            prop_assert!(reach[v.index()], "side A split by its own cut at n{}", v.0);
+        }
+        for v in &cut.side_b {
+            prop_assert!(!reach[v.index()], "cut leaks: n{} still reachable", v.0);
+        }
+    }
+
     /// Ring flood with failure injection: dead links never deliver, the
     /// engine stays deterministic across repeated runs.
     #[test]

@@ -350,6 +350,23 @@ pub enum EventKind {
         tag: u64,
         latency: u64,
     },
+    /// The m-router's repair scan found part of the domain unreachable
+    /// (a network partition): `stranded` nodes are cut off, `members`
+    /// of them are logged group members the scan must keep on the books
+    /// for readoption.
+    Partition { stranded: u32, members: u32 },
+    /// Previously unreachable nodes became reachable again (the
+    /// partition healed): `restored` nodes rejoined the m-router's
+    /// component.
+    Heal { restored: u32 },
+    /// Post-heal reconciliation for one group: the surviving root
+    /// readopted `readopted` stranded members under generation `epoch`
+    /// (the epoch-guarded merge that resolves any dual-root race).
+    Reconcile {
+        group: u32,
+        readopted: u32,
+        epoch: u64,
+    },
 }
 
 /// Append `s` to `out` as a JSON string literal (surrounding quotes
@@ -586,6 +603,25 @@ impl Event {
                     ",\"kind\":\"recovery\",\"group\":{group},\"origin\":{origin},\"seq\":{seq},\"tag\":{tag},\"latency\":{latency}"
                 );
             }
+            EventKind::Partition { stranded, members } => {
+                let _ = write!(
+                    out,
+                    ",\"kind\":\"partition\",\"stranded\":{stranded},\"members\":{members}"
+                );
+            }
+            EventKind::Heal { restored } => {
+                let _ = write!(out, ",\"kind\":\"heal\",\"restored\":{restored}");
+            }
+            EventKind::Reconcile {
+                group,
+                readopted,
+                epoch,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"kind\":\"reconcile\",\"group\":{group},\"readopted\":{readopted},\"epoch\":{epoch}"
+                );
+            }
         }
         out.push('}');
     }
@@ -661,6 +697,10 @@ struct RawEvent {
     delay_var: Option<u64>,
     origin: Option<u32>,
     seq: Option<u64>,
+    stranded: Option<u32>,
+    restored: Option<u32>,
+    readopted: Option<u32>,
+    epoch: Option<u64>,
 }
 
 impl RawEvent {
@@ -791,6 +831,18 @@ impl RawEvent {
                 seq: need(self.seq, "seq", "recovery")?,
                 tag: need(self.tag, "tag", "recovery")?,
                 latency: need(self.latency, "latency", "recovery")?,
+            },
+            "partition" => EventKind::Partition {
+                stranded: need(self.stranded, "stranded", "partition")?,
+                members: need(self.members, "members", "partition")?,
+            },
+            "heal" => EventKind::Heal {
+                restored: need(self.restored, "restored", "heal")?,
+            },
+            "reconcile" => EventKind::Reconcile {
+                group: need(self.group, "group", "reconcile")?,
+                readopted: need(self.readopted, "readopted", "reconcile")?,
+                epoch: need(self.epoch, "epoch", "reconcile")?,
             },
             other => return Err(format!("unknown event kind {other:?}")),
         };
@@ -1051,6 +1103,28 @@ mod tests {
                     group: 1,
                     tag: crate::trace_key::pack_ctl_tag(13, 4),
                     ctl: Some(CtlKind::Nack),
+                },
+            },
+            Event {
+                time: 29,
+                node: 10,
+                kind: EventKind::Partition {
+                    stranded: 9,
+                    members: 3,
+                },
+            },
+            Event {
+                time: 30,
+                node: 10,
+                kind: EventKind::Heal { restored: 9 },
+            },
+            Event {
+                time: 31,
+                node: 10,
+                kind: EventKind::Reconcile {
+                    group: 1,
+                    readopted: 3,
+                    epoch: 1 << 32,
                 },
             },
         ]

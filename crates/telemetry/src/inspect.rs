@@ -655,6 +655,9 @@ impl Trace {
                 EventKind::RepairHit { .. } => "repair_hit",
                 EventKind::RepairMiss { .. } => "repair_miss",
                 EventKind::Recovery { .. } => "recovery",
+                EventKind::Partition { .. } => "partition",
+                EventKind::Heal { .. } => "heal",
+                EventKind::Reconcile { .. } => "reconcile",
             };
             *by_kind.entry(name).or_insert(0) += 1;
         }

@@ -104,6 +104,19 @@ fn main() {
             EventKind::Recovery { seq, latency, .. } => {
                 format!("recovers seq {seq} ({latency} ticks after the gap opened)")
             }
+            EventKind::Partition { stranded, members } => {
+                format!(
+                    "enters partition-degraded mode ({stranded} nodes, {members} members stranded)"
+                )
+            }
+            EventKind::Heal { restored } => {
+                format!("sees the partition heal ({restored} nodes restored)")
+            }
+            EventKind::Reconcile {
+                group, readopted, ..
+            } => {
+                format!("reconciles g{group} ({readopted} members readopted)")
+            }
             EventKind::Gauge { .. } => continue,
         };
         println!("{:>6}  n{:<5} {}", ev.time, ev.node, what);

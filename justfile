@@ -61,6 +61,15 @@ chaos seeds="3":
 chaos-reliable seeds="3":
     cargo run --release -p scmp-bench --bin chaos -- {{seeds}} --jobs 2
 
+# Partition-and-heal series alone: seeded correlated cuts at t=60k
+# healing at t=160k, per-cell asserts zero split-brain, zero duplicate
+# delivery, and post-heal delivery >= 0.99 inside the bounded
+# reconvergence window. --jobs 2 arms the serial-vs-parallel
+# byte-identity guard; the committed chaos.json baseline is untouched
+# (run `just chaos` to refresh it, partition series included).
+partition-chaos seeds="3":
+    cargo run --release -p scmp-bench --bin chaos -- {{seeds}} --jobs 2 --partition-only
+
 # Full STRESS boundary-point search: random warm-up, coordinate
 # descent to the failure envelope, ddmin minimization; writes
 # bench_results/stress.json and pins new reproducers under

@@ -30,6 +30,22 @@ SCMP_JOBS=2 cargo run -q --release -p scmp-bench --bin stress -- --smoke --no-pi
 # guard that the deterministic report is byte-identical to a serial
 # re-run (timing rows exempt).
 SCMP_JOBS=2 cargo run -q --release -p scmp-bench --bin scale -- --smoke --jobs 2
+# Partition-and-heal smoke: a reduced correlated-cut series plus the
+# flash-crowd membership scenario under a 2-worker pool. The chaos bin
+# byte-compares the parallel series against a serial re-run; the
+# scenario runner is then driven twice over the same file and its
+# reports compared byte for byte — the cut geometry, degraded mode,
+# and epoch reconciliation are all seeded, so any divergence is a
+# determinism bug.
+SCMP_JOBS=2 cargo run -q --release -p scmp-bench --bin chaos -- 1 --jobs 2 --partition-only
+part_a=$(cargo run -q --release -p scmp-bench --bin scenario -- \
+    tests/scenarios/partition-smoke.json tests/scenarios/partition-smoke.json --jobs 2)
+part_b=$(cargo run -q --release -p scmp-bench --bin scenario -- \
+    tests/scenarios/partition-smoke.json tests/scenarios/partition-smoke.json --jobs 1)
+[ "$part_a" = "$part_b" ] || {
+    echo "partition smoke diverged between --jobs 2 and serial" >&2
+    exit 1
+}
 # Fast loss-invariant scenario: 5% and 15% control-plane loss on the
 # fig-scale topology — eventual grafting, no duplicate delivery, no
 # spurious takeover.

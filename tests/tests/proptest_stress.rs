@@ -14,6 +14,7 @@ fn point(
     knobs: (u8, u8, u8, u8),
     crash: bool,
     sched: (u8, u8, u8, u8),
+    families: (u8, u8),
 ) -> StressPoint {
     StressPoint {
         topo,
@@ -27,6 +28,8 @@ fn point(
         retry: sched.1,
         repair: sched.2,
         tolerance: sched.3,
+        partition: families.0,
+        outage: families.1,
     }
 }
 
@@ -43,8 +46,9 @@ proptest! {
         knobs in (0u8..16, 0u8..6, 0u8..5, 0u8..5),
         crash in any::<bool>(),
         sched in (0u8..5, 0u8..5, 0u8..5, 0u8..6),
+        families in (0u8..4, 0u8..4),
     ) {
-        let p = point(topo, seed, knobs, crash, sched);
+        let p = point(topo, seed, knobs, crash, sched, families);
         let json = synthesize_json(&p);
         prop_assert!(
             check_unknown_keys(&json).is_ok(),
@@ -69,8 +73,9 @@ proptest! {
         knobs in (0u8..16, 0u8..6, 0u8..5, 0u8..5),
         crash in any::<bool>(),
         sched in (0u8..5, 0u8..5, 0u8..5, 0u8..6),
+        families in (0u8..4, 0u8..4),
     ) {
-        let p = point(topo, seed, knobs, crash, sched);
+        let p = point(topo, seed, knobs, crash, sched, families);
         let spec = synthesize(&p);
         let (sent, expected) = expected_deliveries(&spec);
         prop_assert_eq!(sent.len() as u64, SENDS);
